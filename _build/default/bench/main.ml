@@ -1,0 +1,126 @@
+(* Benchmark executable: first regenerate every experiment section
+   (E1–E12, the paper's "tables and figures"), then run Bechamel timing
+   benches for the provers and verifiers of the main schemes.
+
+   `dune exec bench/main.exe` runs everything; pass `--experiments` or
+   `--timings` to run only one half. *)
+
+let ols =
+  Bechamel.Analyze.ols ~bootstrap:0 ~r_square:true
+    ~predictors:[| Bechamel.Measure.run |]
+
+let instances = Bechamel.Toolkit.Instance.[ monotonic_clock ]
+
+let benchmark tests =
+  let cfg =
+    Bechamel.Benchmark.cfg ~limit:1000 ~stabilize:true
+      ~quota:(Bechamel.Time.second 0.25) ()
+  in
+  Bechamel.Benchmark.all cfg instances tests
+
+let report name raw =
+  Printf.printf "\n-- %s (ns/run, OLS on monotonic clock) --\n" name;
+  let results =
+    Bechamel.Analyze.all ols Bechamel.Toolkit.Instance.monotonic_clock raw
+  in
+  let rows =
+    Hashtbl.fold
+      (fun key ols_result acc ->
+        let est =
+          match Bechamel.Analyze.OLS.estimates ols_result with
+          | Some (v :: _) -> v
+          | _ -> nan
+        in
+        (key, est) :: acc)
+      results []
+  in
+  List.iter
+    (fun (key, est) -> Printf.printf "  %-52s %14.0f\n" key est)
+    (List.sort compare rows)
+
+(* Prepared inputs: all allocation outside the staged closures. *)
+
+let staged = Bechamel.Staged.stage
+
+let timing_tests () =
+  let open Bechamel in
+  (* E1 timing: spanning-tree + count prover/verifier at n = 256 *)
+  let g256 = Gen.random_tree (Rng.make 1) 256 in
+  let i256 = Instance.make g256 in
+  let count_scheme =
+    Spanning_tree.vertex_count ~expected:(fun n -> n = 256) "n=256"
+  in
+  let count_certs = Option.get (count_scheme.Scheme.prover i256) in
+  (* E2 timing: tree-MSO prover/verifier on an even path (which is
+     guaranteed to have a perfect matching) *)
+  let ipath256 = Instance.make (Gen.path 256) in
+  let pm_scheme = Tree_mso.make Library.has_perfect_matching.Library.auto in
+  let pm_certs = Option.get (pm_scheme.Scheme.prover ipath256) in
+  (* E4 timing: treedepth certification on P255 *)
+  let p255 = Gen.path 255 in
+  let ip255 = Instance.make p255 in
+  let td_scheme = Treedepth_cert.make_with_model ~t:8 (Elimination.of_path 255) in
+  let td_certs = Option.get (td_scheme.Scheme.prover ip255) in
+  (* E7 timing: kernel-MSO on a caterpillar *)
+  let cat = Gen.caterpillar ~spine:3 ~legs:16 in
+  let icat = Instance.make cat in
+  let tri_free =
+    Parser.parse_exn "forall x. forall y. forall z. ~(x -- y & y -- z & x -- z)"
+  in
+  let cat_model =
+    Elimination.coherentize (Elimination.of_caterpillar ~spine:3 ~legs:16) cat
+  in
+  let km_scheme = Kernel_mso.make_with_model ~t:4 cat_model tri_free in
+  let km_certs = Option.get (km_scheme.Scheme.prover icat) in
+  (* treedepth substrate *)
+  let gadget_eq =
+    (Treedepth_gadget.build_from_permutations ~m:2 [| 0; 1 |] [| 0; 1 |])
+      .Instance.graph
+  in
+  Test.make_grouped ~name:"localcert" ~fmt:"%s/%s"
+    [
+      Test.make_grouped ~name:"prover" ~fmt:"%s/%s"
+        [
+          Test.make ~name:"spanning-count-n256"
+            (staged (fun () -> count_scheme.Scheme.prover i256));
+          Test.make ~name:"tree-mso-pm-n256"
+            (staged (fun () -> pm_scheme.Scheme.prover ipath256));
+          Test.make ~name:"treedepth-P255"
+            (staged (fun () -> td_scheme.Scheme.prover ip255));
+          Test.make ~name:"kernel-mso-caterpillar51"
+            (staged (fun () -> km_scheme.Scheme.prover icat));
+        ];
+      Test.make_grouped ~name:"verifier" ~fmt:"%s/%s"
+        [
+          Test.make ~name:"spanning-count-n256"
+            (staged (fun () -> Scheme.run count_scheme i256 count_certs));
+          Test.make ~name:"tree-mso-pm-n256"
+            (staged (fun () -> Scheme.run pm_scheme ipath256 pm_certs));
+          Test.make ~name:"treedepth-P255"
+            (staged (fun () -> Scheme.run td_scheme ip255 td_certs));
+          Test.make ~name:"kernel-mso-caterpillar51"
+            (staged (fun () -> Scheme.run km_scheme icat km_certs));
+        ];
+      Test.make_grouped ~name:"substrate" ~fmt:"%s/%s"
+        [
+          Test.make ~name:"exact-treedepth-gadget-m2"
+            (staged (fun () -> Exact.treedepth gadget_eq));
+          Test.make ~name:"cops-robber-C8"
+            (staged (fun () -> Cops_robber.cop_number (Gen.cycle 8)));
+          Test.make ~name:"ef-equiv2-P6-P7"
+            (staged (fun () -> Ef.equiv 2 (Gen.path 6) (Gen.path 7)));
+        ];
+    ]
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  let experiments = List.mem "--experiments" argv in
+  let timings = List.mem "--timings" argv in
+  let both = (not experiments) && not timings in
+  if experiments || both then Experiments.run_all ();
+  if timings || both then begin
+    Printf.printf "\n================================================================\n";
+    Printf.printf "Timing benches (Bechamel)\n";
+    Printf.printf "================================================================\n";
+    report "all schemes" (benchmark (timing_tests ()))
+  end

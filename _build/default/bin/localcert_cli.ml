@@ -1,0 +1,365 @@
+(* localcert — command-line front end.
+
+   Subcommands:
+     eval       evaluate an FO/MSO sentence on a graph
+     treedepth  exact treedepth and an optimal elimination tree
+     certify    run a certification scheme end-to-end (sizes, attacks)
+     gadget     build the Section-7 lower-bound gadgets
+     experiments (pointer to bench/main.exe)
+
+   Graph specifications (for --graph):
+     path:N cycle:N star:N clique:N cbt:H caterpillar:S:L spider:L:LEN
+     grid:R:C random-tree:N:SEED random-btd:N:DEPTH:SEED
+     edges:0-1,1-2,...                                              *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Graph specification parsing                                         *)
+(* ------------------------------------------------------------------ *)
+
+let parse_graph spec =
+  let fail msg = Error (`Msg msg) in
+  match String.split_on_char ':' spec with
+  | [ "path"; n ] -> Ok (Gen.path (int_of_string n))
+  | [ "cycle"; n ] -> Ok (Gen.cycle (int_of_string n))
+  | [ "star"; n ] -> Ok (Gen.star (int_of_string n))
+  | [ "clique"; n ] -> Ok (Gen.clique (int_of_string n))
+  | [ "cbt"; h ] -> Ok (Gen.complete_binary_tree (int_of_string h))
+  | [ "caterpillar"; s; l ] ->
+      Ok (Gen.caterpillar ~spine:(int_of_string s) ~legs:(int_of_string l))
+  | [ "spider"; l; len ] ->
+      Ok (Gen.spider ~legs:(int_of_string l) ~leg_len:(int_of_string len))
+  | [ "grid"; r; c ] -> Ok (Gen.grid (int_of_string r) (int_of_string c))
+  | [ "random-tree"; n; seed ] ->
+      Ok (Gen.random_tree (Rng.make (int_of_string seed)) (int_of_string n))
+  | [ "random-btd"; n; d; seed ] ->
+      Ok
+        (Gen.random_bounded_treedepth
+           (Rng.make (int_of_string seed))
+           ~n:(int_of_string n) ~depth:(int_of_string d) ~p:0.5)
+  | "g6" :: rest ->
+      Result.map_error (fun e -> `Msg e) (Io.of_graph6 (String.concat ":" rest))
+  | [ "file"; path ] -> (
+      match
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let content = really_input_string ic len in
+        close_in ic;
+        content
+      with
+      | content ->
+          (* sniff: an edge-list header is "n m"; otherwise graph6 *)
+          let first_line =
+            match String.split_on_char '\n' content with
+            | l :: _ -> l
+            | [] -> ""
+          in
+          if
+            String.split_on_char ' ' (String.trim first_line)
+            |> List.for_all (fun t -> t <> "" && String.for_all (fun c -> c >= '0' && c <= '9') t)
+          then Result.map_error (fun e -> `Msg e) (Io.of_edge_list content)
+          else Result.map_error (fun e -> `Msg e) (Io.of_graph6 content)
+      | exception Sys_error e -> fail e)
+  | [ "edges"; es ] -> (
+      try
+        let pairs =
+          String.split_on_char ',' es
+          |> List.map (fun e ->
+                 match String.split_on_char '-' e with
+                 | [ a; b ] -> (int_of_string a, int_of_string b)
+                 | _ -> failwith "bad edge")
+        in
+        let n =
+          1 + List.fold_left (fun acc (a, b) -> max acc (max a b)) 0 pairs
+        in
+        Ok (Graph.of_edges ~n pairs)
+      with _ -> fail "bad edge list; expected edges:0-1,1-2,...")
+  | _ -> fail (Printf.sprintf "unknown graph spec %S" spec)
+
+let graph_conv =
+  Arg.conv
+    ( (fun s -> parse_graph s),
+      fun ppf _ -> Format.pp_print_string ppf "<graph>" )
+
+let formula_conv =
+  Arg.conv
+    ( (fun s ->
+        match Parser.parse s with
+        | Ok f -> Ok f
+        | Error e -> Error (`Msg ("formula: " ^ e))),
+      fun ppf f -> Formula.pp ppf f )
+
+let graph_arg =
+  Arg.(
+    required
+    & opt (some graph_conv) None
+    & info [ "g"; "graph" ] ~docv:"SPEC" ~doc:"Graph specification.")
+
+(* ------------------------------------------------------------------ *)
+(* eval                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let eval_cmd =
+  let run g phi =
+    if Graph.n g > 20 && not (Formula.is_fo phi) then
+      Printf.eprintf "warning: MSO evaluation is exponential; this may be slow\n";
+    Printf.printf "n=%d m=%d  rank=%d  fo=%b\n" (Graph.n g) (Graph.m g)
+      (Formula.quantifier_rank phi) (Formula.is_fo phi);
+    Printf.printf "G |= phi : %b\n" (Eval.sentence g phi)
+  in
+  let formula_arg =
+    Arg.(
+      required
+      & opt (some formula_conv) None
+      & info [ "f"; "formula" ] ~docv:"FORMULA" ~doc:"FO/MSO sentence.")
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate an FO/MSO sentence on a graph")
+    Term.(const run $ graph_arg $ formula_arg)
+
+(* ------------------------------------------------------------------ *)
+(* treedepth                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let treedepth_cmd =
+  let run g show_model cops =
+    if Graph.n g > 22 then
+      Printf.eprintf "warning: exact treedepth is exponential; n=%d is large\n"
+        (Graph.n g);
+    let td = Exact.treedepth g in
+    Printf.printf "treedepth = %d (levels; K1 has treedepth 1)\n" td;
+    if show_model then begin
+      let model = Exact.optimal_model g in
+      Format.printf "%a@." Elimination.pp model;
+      Printf.printf "coherent: %b\n" (Elimination.is_coherent model g)
+    end;
+    if cops then begin
+      Printf.printf "cops-and-robber game value: %d\n" (Cops_robber.cop_number g);
+      let strat = Cops_robber.optimal_strategy g in
+      let robber options = List.fold_left max (List.hd options) options in
+      Printf.printf "optimal cop play vs fleeing robber: %s\n"
+        (String.concat " -> "
+           (List.map string_of_int (Cops_robber.play g strat ~robber)))
+    end
+  in
+  let model_flag =
+    Arg.(value & flag & info [ "model" ] ~doc:"Print an optimal elimination tree.")
+  in
+  let cops_flag =
+    Arg.(value & flag & info [ "cops" ] ~doc:"Also play the cops-and-robber game.")
+  in
+  Cmd.v
+    (Cmd.info "treedepth" ~doc:"Exact treedepth of a graph")
+    Term.(const run $ graph_arg $ model_flag $ cops_flag)
+
+(* ------------------------------------------------------------------ *)
+(* certify                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let scheme_of_name name ~t ~formula =
+  let need_formula what =
+    match formula with
+    | Some f -> f
+    | None -> failwith (what ^ " needs --formula")
+  in
+  match name with
+  | "spanning" -> Spanning_tree.scheme ()
+  | "acyclic" -> Spanning_tree.acyclicity
+  | "treedepth" -> Treedepth_cert.make ~t ()
+  | "kernel-mso" -> Kernel_mso.make ~t (need_formula "kernel-mso")
+  | "existential" -> Existential_fo.make (need_formula "existential")
+  | "universal" -> Universal.of_formula (need_formula "universal")
+  | "path-minor-free" -> Minor_free.path_minor_free ~t
+  | _ -> (
+      (* tree-mso:<library automaton name>, or depth2:<primitive> *)
+      match String.index_opt name ':' with
+      | Some i -> (
+          let kind = String.sub name 0 i in
+          let arg = String.sub name (i + 1) (String.length name - i - 1) in
+          match kind with
+          | "tree-mso" -> (
+              match List.assoc_opt arg Library.all_named with
+              | Some e -> Tree_mso.make e.Library.auto
+              | None -> failwith ("unknown automaton " ^ arg))
+          | "tree-mso-table" -> (
+              match List.assoc_opt arg Localcert_automata.Uop.all_named with
+              | Some table -> Tree_mso.make_table table
+              | None -> failwith ("unknown UOP table " ^ arg))
+          | "lcl" -> (
+              match arg with
+              | "mis" ->
+                  Lcl.scheme_of_search Lcl.maximal_independent_set
+                    ~solve:(fun g -> Some (Lcl.greedy_mis g))
+              | "weak2" ->
+                  Lcl.scheme_of_search Lcl.weak_2_coloring
+                    ~solve:(fun g -> Some (Lcl.bfs_parity_coloring g))
+              | _ -> (
+                  match int_of_string_opt arg with
+                  | Some c ->
+                      Lcl.scheme_of_search (Lcl.proper_coloring ~colors:c)
+                        ~solve:(Lcl.greedy_coloring ~colors:c)
+                  | None -> failwith "lcl:<mis|weak2|COLORS>"))
+          | "depth2" -> (
+              match List.assoc_opt arg Depth2_fo.primitives with
+              | Some s -> s
+              | None -> failwith ("unknown depth-2 primitive " ^ arg))
+          | _ -> failwith ("unknown scheme " ^ name))
+      | None -> failwith ("unknown scheme " ^ name))
+
+let certify_cmd =
+  let run g name t formula attack =
+    let scheme = scheme_of_name name ~t ~formula in
+    let instance = Instance.make g in
+    Printf.printf "scheme: %s\ninstance: n=%d m=%d, %d-bit ids\n"
+      scheme.Scheme.name (Graph.n g) (Graph.m g) instance.Instance.id_bits;
+    (match Scheme.certify scheme instance with
+    | Some (certs, outcome) ->
+        Printf.printf "prover: certificates assigned (max %d bits)\n"
+          outcome.Scheme.max_bits;
+        Printf.printf "verifier: all nodes accept = %b\n" outcome.Scheme.accepted;
+        List.iter
+          (fun (v, r) -> Printf.printf "  node %d rejects: %s\n" v r)
+          outcome.Scheme.rejections;
+        if attack > 0 then begin
+          let r =
+            Attack.corruptions (Rng.make 0) scheme instance ~base:certs
+              ~trials:attack
+          in
+          Printf.printf
+            "attack: %d corruptions of the valid certificates tried; some \
+             corruption kept everyone accepting: %b (harmless if the property \
+             still holds)\n"
+            r.Attack.trials
+            (r.Attack.fooled <> None)
+        end
+    | None -> (
+        Printf.printf "prover: declined (no-instance or unsupported size)\n";
+        if attack > 0 then
+          let r =
+            Attack.random_assignments (Rng.make 0) scheme instance
+              ~trials:attack ~max_bits:32
+          in
+          match r.Attack.fooled with
+          | None ->
+              Printf.printf
+                "attack: %d forged certificate assignments all rejected\n"
+                r.Attack.trials
+          | Some _ ->
+              Printf.printf "attack: SOUNDNESS VIOLATION — a forgery was accepted\n"))
+  in
+  let name_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "s"; "scheme" ] ~docv:"NAME"
+          ~doc:
+            "Scheme: spanning, acyclic, treedepth, kernel-mso, existential, \
+             universal, path-minor-free, tree-mso:PROP, \
+             tree-mso-table:TABLE, lcl:(mis|weak2|COLORS), depth2:PRIM.")
+  in
+  let t_arg =
+    Arg.(value & opt int 4 & info [ "t" ] ~doc:"Treedepth bound for treedepth/kernel schemes.")
+  in
+  let formula_arg =
+    Arg.(
+      value
+      & opt (some formula_conv) None
+      & info [ "f"; "formula" ] ~docv:"FORMULA" ~doc:"Sentence, where required.")
+  in
+  let attack_arg =
+    Arg.(value & opt int 0 & info [ "attack" ] ~doc:"Also try N adversarial assignments.")
+  in
+  Cmd.v
+    (Cmd.info "certify" ~doc:"Run a certification scheme on a graph")
+    Term.(const run $ graph_arg $ name_arg $ t_arg $ formula_arg $ attack_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gadget                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let gadget_cmd =
+  let run kind m n =
+    match kind with
+    | "treedepth" ->
+        let id = Array.init m Fun.id in
+        let rot = Array.init m (fun i -> (i + 1) mod m) in
+        Printf.printf "Figure-3 gadget, m=%d: n=%d vertices\n" m ((8 * m) + 1);
+        Printf.printf "equal matchings:   cycles %s -> treedepth %d\n"
+          (String.concat "+"
+             (List.map string_of_int (Treedepth_gadget.cycle_lengths ~m id id)))
+          (Treedepth_gadget.analytic_treedepth ~m id id);
+        Printf.printf "unequal matchings: cycles %s -> treedepth %d\n"
+          (String.concat "+"
+             (List.map string_of_int (Treedepth_gadget.cycle_lengths ~m id rot)))
+          (Treedepth_gadget.analytic_treedepth ~m id rot);
+        let gadget = Treedepth_gadget.make ~m in
+        Printf.printf "ell = %d, r = 4m+1 = %d, bound ell/r = %.2f bits\n"
+          gadget.Framework.ell
+          ((4 * m) + 1)
+          (Framework.lower_bound_bits gadget)
+    | "automorphism" ->
+        let gadget = Automorphism_gadget.make ~n ~depth:3 in
+        Printf.printf "Theorem-2.3 gadget, trees of %d nodes, depth <= 3\n" n;
+        Printf.printf "ell = %d encodable bits, r = 2, bound ell/2 = %.1f\n"
+          gadget.Framework.ell
+          (Framework.lower_bound_bits gadget);
+        let rng = Rng.make 1 in
+        let sa = Rng.bits rng gadget.Framework.ell in
+        let sb = Rng.bits rng gadget.Framework.ell in
+        let eq = gadget.Framework.build sa sa in
+        let ne = gadget.Framework.build sa sb in
+        Printf.printf "equal strings:   fpf automorphism = %b\n"
+          (Iso.has_fixed_point_free_automorphism eq.Instance.graph);
+        Printf.printf "unequal strings: fpf automorphism = %b\n"
+          (Iso.has_fixed_point_free_automorphism ne.Instance.graph)
+    | _ -> failwith "gadget kind must be treedepth or automorphism"
+  in
+  let kind_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "kind" ] ~docv:"KIND" ~doc:"treedepth or automorphism.")
+  in
+  let m_arg = Arg.(value & opt int 3 & info [ "m" ] ~doc:"Block size (treedepth gadget).") in
+  let n_arg = Arg.(value & opt int 7 & info [ "n" ] ~doc:"Tree size (automorphism gadget).") in
+  Cmd.v
+    (Cmd.info "gadget" ~doc:"Build and analyze the Section-7 lower-bound gadgets")
+    Term.(const run $ kind_arg $ m_arg $ n_arg)
+
+(* ------------------------------------------------------------------ *)
+(* export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let export_cmd =
+  let run g fmt =
+    match fmt with
+    | "g6" -> print_endline (Io.to_graph6 g)
+    | "dot" -> print_string (Io.to_dot g)
+    | "edges" -> print_string (Io.to_edge_list g)
+    | "elim-dot" ->
+        if Graph.n g > 22 then failwith "exact model needs <= 22 vertices"
+        else print_string (Elimination.to_dot (Exact.optimal_model g))
+    | _ -> failwith "format must be g6, dot, edges or elim-dot"
+  in
+  let fmt_arg =
+    Arg.(
+      value & opt string "g6"
+      & info [ "format" ] ~docv:"FMT" ~doc:"g6, dot, edges or elim-dot.")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Write a graph in an interchange format")
+    Term.(const run $ graph_arg $ fmt_arg)
+
+let () =
+  let default =
+    Term.(
+      ret
+        (const (fun () -> `Help (`Pager, None)) $ const ()))
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "localcert" ~version:"1.0"
+             ~doc:"Compact local certification of MSO properties (PODC 2022)")
+          [ eval_cmd; treedepth_cmd; certify_cmd; gadget_cmd; export_cmd ]))

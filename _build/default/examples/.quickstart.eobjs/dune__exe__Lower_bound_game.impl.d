@@ -1,0 +1,1 @@
+examples/lower_bound_game.ml: Automorphism_gadget Bitstring Cops_robber Equality Exact Framework Graph Instance Iso List Printf Rng String Treedepth_gadget Universal

@@ -1,0 +1,1 @@
+examples/network_monitor.ml: Array Attack Bitstring Gen Graph Instance List Printf Rng Scheme Spanning_tree

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Attack Bitstring Gen Graph Instance List Printf Rng Scheme Spanning_tree String

@@ -1,0 +1,1 @@
+examples/regular_paths.ml: Array Attack Gen Instance List Printf Rng Scheme String Tree_mso Word

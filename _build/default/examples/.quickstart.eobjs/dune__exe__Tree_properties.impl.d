@@ -1,0 +1,1 @@
+examples/tree_properties.ml: Capped_type Eval Gen Graph Instance Library List Parser Printf Rooted Scheme Tree_automaton Tree_mso

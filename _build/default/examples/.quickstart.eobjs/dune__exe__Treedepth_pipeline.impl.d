@@ -1,0 +1,1 @@
+examples/treedepth_pipeline.ml: Array Bitstring Elimination Eval Exact Format Formula Gen Graph Instance Int Kernel_mso List Parser Printf Reduce Rng Scheme Universal Vtype

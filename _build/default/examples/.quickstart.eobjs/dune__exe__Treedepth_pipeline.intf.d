@@ -1,0 +1,1 @@
+examples/treedepth_pipeline.mli:

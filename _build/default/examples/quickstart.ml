@@ -1,0 +1,62 @@
+(* Quickstart: certify a property of a network with per-node
+   certificates and verify it with purely local (radius-1) checks.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  print_endline "== localcert quickstart ==\n";
+
+  (* 1. A network: 20 routers in a random tree topology, each with a
+     unique identifier.  (Any connected graph works.) *)
+  let rng = Rng.make 2022 in
+  let topology = Gen.random_tree rng 20 in
+  let network = Instance.make topology in
+  Printf.printf "network: %d nodes, %d links, tree=%b\n" (Graph.n topology)
+    (Graph.m topology) (Graph.is_tree topology);
+
+  (* 2. Pick a property and a certification scheme.  Here: "the network
+     has exactly 20 nodes" — not locally checkable without help, but
+     certifiable with O(log n) bits per node (Proposition 3.4). *)
+  let scheme =
+    Spanning_tree.vertex_count ~expected:(fun n -> n = 20) "n=20"
+  in
+
+  (* 3. The prover (any entity that can see the whole network) assigns
+     certificates. *)
+  let certs, outcome =
+    match Scheme.certify scheme network with
+    | Some r -> r
+    | None -> failwith "prover declined — not a yes-instance?"
+  in
+  Printf.printf "certified: every node accepts = %b\n" outcome.Scheme.accepted;
+  Printf.printf "largest certificate: %d bits (vs %d-bit IDs)\n"
+    outcome.Scheme.max_bits network.Instance.id_bits;
+
+  (* 4. Each node verifies seeing only its neighbors' certificates. *)
+  let view = Scheme.view_of network certs 0 in
+  Printf.printf "node with id %d sees %d neighbor certificate(s)\n"
+    view.Scheme.me
+    (List.length view.Scheme.nbrs);
+
+  (* 5. Faults are detected locally: corrupt one certificate bit and
+     some node rejects. *)
+  let corrupted = Array.copy certs in
+  corrupted.(7) <- Bitstring.flip corrupted.(7) 3;
+  let bad = Scheme.run scheme network corrupted in
+  Printf.printf "\nafter flipping one bit of node 7's certificate:\n";
+  Printf.printf "accepted = %b; rejecting nodes: %s\n" bad.Scheme.accepted
+    (String.concat ", "
+       (List.map
+          (fun (v, reason) -> Printf.sprintf "%d (%s)" v reason)
+          bad.Scheme.rejections));
+
+  (* 6. Soundness is not just luck: on a no-instance (claim n = 19),
+     random certificates never convince everyone. *)
+  let lie = Spanning_tree.vertex_count ~expected:(fun n -> n = 19) "n=19" in
+  let attack =
+    Attack.random_assignments (Rng.make 5) lie network ~trials:500 ~max_bits:32
+  in
+  Printf.printf
+    "\nclaiming n=19 instead: %d forged assignments tried, all rejected = %b\n"
+    attack.Attack.trials
+    (attack.Attack.fooled = None)

@@ -1,0 +1,1 @@
+lib/automata/capped_type.ml: Eval Formula Hashtbl List Rooted Tree_automaton

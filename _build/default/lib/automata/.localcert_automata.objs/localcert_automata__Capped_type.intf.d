@@ -1,0 +1,1 @@
+lib/automata/capped_type.mli: Formula Rooted Tree_automaton

@@ -1,0 +1,1 @@
+lib/automata/dga.ml: Array Graph Int List Printf

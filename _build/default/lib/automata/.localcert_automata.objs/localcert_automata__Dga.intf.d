@@ -1,0 +1,1 @@
+lib/automata/dga.mli: Graph

@@ -1,0 +1,1 @@
+lib/automata/library.ml: Array Graph Int List Printf Rooted Tree_automaton

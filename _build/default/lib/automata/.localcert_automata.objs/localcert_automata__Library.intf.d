@@ -1,0 +1,1 @@
+lib/automata/library.mli: Rooted Tree_automaton

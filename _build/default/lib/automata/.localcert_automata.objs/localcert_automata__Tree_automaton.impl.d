@@ -1,0 +1,1 @@
+lib/automata/tree_automaton.ml: Hashtbl List Option Rooted

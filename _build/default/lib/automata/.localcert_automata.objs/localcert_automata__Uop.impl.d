@@ -1,0 +1,1 @@
+lib/automata/uop.ml: Array Bitbuf Char Fun Int List Printf Result String Tree_automaton

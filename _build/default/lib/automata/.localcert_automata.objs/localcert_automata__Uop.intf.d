@@ -1,0 +1,1 @@
+lib/automata/uop.mli: Bitstring Tree_automaton

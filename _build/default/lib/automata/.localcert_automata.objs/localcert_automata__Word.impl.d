@@ -1,0 +1,1 @@
+lib/automata/word.ml: Array Fun Hashtbl Int List Printf Set String Tree_automaton

@@ -1,0 +1,75 @@
+type t = {
+  auto : Tree_automaton.t;
+  threshold : int;
+  representative : int -> Rooted.t;
+}
+
+type state_info = {
+  label : int;
+  capped_children : (int * int) list;  (** sorted (state, capped count) *)
+  rep : Rooted.t;
+}
+
+let rec replicate n x = if n <= 0 then [] else x :: replicate (n - 1) x
+
+let compile_oracle ~threshold ~name oracle =
+  if threshold < 1 then invalid_arg "Capped_type: threshold must be >= 1";
+  let intern : (int * (int * int) list, int) Hashtbl.t = Hashtbl.create 64 in
+  let infos : (int, state_info) Hashtbl.t = Hashtbl.create 64 in
+  let accept_memo : (int, bool) Hashtbl.t = Hashtbl.create 64 in
+  let next = ref 0 in
+  let info id =
+    match Hashtbl.find_opt infos id with
+    | Some i -> i
+    | None -> invalid_arg "Capped_type: unknown state"
+  in
+  let delta ~label ~counts =
+    let capped = Tree_automaton.cap_counts threshold counts in
+    let key = (label, capped) in
+    match Hashtbl.find_opt intern key with
+    | Some id -> id
+    | None ->
+        let id = !next in
+        incr next;
+        let children =
+          List.concat_map (fun (s, c) -> replicate c (info s).rep) capped
+        in
+        Hashtbl.replace intern key id;
+        Hashtbl.replace infos id
+          { label; capped_children = capped; rep = Rooted.node ~label children };
+        id
+  in
+  let accepting id =
+    match Hashtbl.find_opt accept_memo id with
+    | Some b -> b
+    | None ->
+        let b = oracle (info id).rep in
+        Hashtbl.replace accept_memo id b;
+        b
+  in
+  {
+    auto =
+      {
+        Tree_automaton.name;
+        state_count = (fun () -> !next);
+        delta;
+        accepting;
+        threshold = Some threshold;
+      };
+    threshold;
+    representative = (fun id -> (info id).rep);
+  }
+
+let compile ?threshold phi =
+  if not (Formula.is_sentence phi) then
+    invalid_arg "Capped_type.compile: open formula";
+  let threshold =
+    match threshold with
+    | Some t -> t
+    | None -> max 1 (Formula.quantifier_rank phi)
+  in
+  let oracle rep =
+    let g, labels = Rooted.to_graph rep in
+    Eval.sentence ~labels g phi
+  in
+  compile_oracle ~threshold ~name:("type⟦" ^ Formula.to_string phi ^ "⟧") oracle

@@ -1,0 +1,91 @@
+type t = {
+  name : string;
+  states : int;
+  rounds : int;
+  init : int -> int;
+  step : int -> int list -> int;
+  accept : int list -> bool;
+}
+
+let state_set states = List.sort_uniq Int.compare (Array.to_list states)
+
+let run_trace ?labels a g =
+  let n = Graph.n g in
+  let label v = match labels with None -> 0 | Some l -> l.(v) in
+  let current = ref (Array.init n (fun v -> a.init (label v))) in
+  let trace = ref [ Array.copy !current ] in
+  for _ = 1 to a.rounds do
+    let prev = !current in
+    current :=
+      Array.init n (fun v ->
+          let neighbor_states =
+            Array.to_list (Graph.neighbors g v)
+            |> List.map (fun w -> prev.(w))
+            |> List.sort_uniq Int.compare
+          in
+          a.step prev.(v) neighbor_states);
+    trace := Array.copy !current :: !trace
+  done;
+  List.rev !trace
+
+let run ?labels a g =
+  match List.rev (run_trace ?labels a g) with
+  | final :: _ -> a.accept (state_set final)
+  | [] -> assert false
+
+let exists_advice a ~advice_alphabet g =
+  let n = Graph.n g in
+  let advice = Array.make n 0 in
+  let rec search v =
+    if v = n then
+      run ~labels:(Array.map (fun adv -> adv * 16) advice) a g
+    else
+      let rec try_value x =
+        x < advice_alphabet
+        && (advice.(v) <- x;
+            search (v + 1) || try_value (x + 1))
+      in
+      try_value 0
+  in
+  search 0
+
+(* ------------------------------------------------------------------ *)
+(* Examples                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let all_same_label ~label =
+  {
+    name = Printf.sprintf "all-label-%d" label;
+    states = 2;
+    rounds = 0;
+    init = (fun l -> if l = label then 1 else 0);
+    step = (fun q _ -> q);
+    accept = (fun final -> final = [ 1 ]);
+  }
+
+(* labels double as colors (advice arrives as [advice * 16]); conflict
+   state = 1, clean state = 0; colors are encoded in states 2 + color
+   so neighbors can compare *)
+let sees_conflict =
+  {
+    name = "proper-coloring-check";
+    states = 2 + 256;
+    rounds = 2;
+    init = (fun l -> 2 + l);
+    step =
+      (fun q neighbors ->
+        if q = 0 || q = 1 then q
+        else if List.mem q neighbors then 1
+        else 0);
+    accept = (fun final -> not (List.mem 1 final));
+  }
+
+let spread ~rounds ~source =
+  {
+    name = Printf.sprintf "spread-from-%d" source;
+    states = 2;
+    rounds;
+    init = (fun l -> if l = source then 1 else 0);
+    step = (fun q neighbors -> if q = 1 || List.mem 1 neighbors then 1 else 0);
+    accept = (fun final -> final = [ 1 ]);
+  }

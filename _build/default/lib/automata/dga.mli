@@ -1,0 +1,61 @@
+(** Distributed graph automata (Appendix A.3, after Reiter [43]).
+
+    The model the paper compares itself against: anonymous finite-state
+    vertices evolve in synchronous rounds; a transition sees the own
+    state and the {e set} (no multiplicities, no identifiers) of
+    neighbor states; after a constant number of rounds the machine
+    accepts iff the {e set} of all final states belongs to an accepting
+    family.  Alternating provers supply constant-size advice labels;
+    here we implement the deterministic core and the one-prover
+    (existential-advice) fragment — the part comparable to local
+    certification with O(1) certificates.
+
+    Two executable observations from the appendix's discussion:
+    - without advice, anonymity + set-semantics make all vertices of an
+      unlabeled (vertex-transitive view) graph evolve identically — see
+      {!run_trace} and the test suite's uniformity check;
+    - one round of existential advice already captures e.g.
+      2-colorability, which radius-1 certification also gets with O(1)
+      bits ({!Localcert_core.Lcl}). *)
+
+type t = {
+  name : string;
+  states : int;
+  rounds : int;
+  init : int -> int;  (** initial state from the vertex's input label *)
+  step : int -> int list -> int;
+      (** own state and the sorted duplicate-free set of neighbor
+          states *)
+  accept : int list -> bool;
+      (** the sorted duplicate-free set of states after the last
+          round *)
+}
+
+val run : ?labels:int array -> t -> Graph.t -> bool
+
+val run_trace : ?labels:int array -> t -> Graph.t -> int array list
+(** Per-round state vectors, initial configuration first —
+    [rounds + 1] entries. *)
+
+val exists_advice :
+  t -> advice_alphabet:int -> Graph.t -> bool
+(** The existential-prover fragment: is there an assignment of advice
+    labels in [0..advice_alphabet-1] (delivered to [init] as
+    [advice * 16], clear of input labels < 16) under which the
+    automaton accepts?  Exhaustive search — tiny graphs only. *)
+
+(** {1 Examples} *)
+
+val all_same_label : label:int -> t
+(** Accepts iff every vertex carries the label (0 rounds). *)
+
+val sees_conflict : t
+(** One round: a vertex whose label equals a neighbor's label enters a
+    conflict state; accepts iff no conflict — i.e. the labels form a
+    proper coloring.  With {!exists_advice} this decides
+    k-colorability on anonymous graphs. *)
+
+val spread : rounds:int -> source:int -> t
+(** State 1 spreads from vertices labeled [source]; accepts iff
+    everyone is reached within the round budget — an eccentricity-style
+    example. *)

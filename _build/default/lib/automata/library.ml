@@ -1,0 +1,327 @@
+open Tree_automaton
+
+type entry = {
+  auto : Tree_automaton.t;
+  root_invariant : bool;
+  describes : string;
+  reference : Rooted.t -> bool;
+}
+
+let fixed_automaton ~name ~states ~delta ~accepting ~threshold =
+  { name; state_count = (fun () -> states); delta; accepting; threshold }
+
+let trivial_true =
+  {
+    auto =
+      fixed_automaton ~name:"true" ~states:1
+        ~delta:(fun ~label:_ ~counts:_ -> 0)
+        ~accepting:(fun _ -> true)
+        ~threshold:(Some 0);
+    root_invariant = true;
+    describes = "every tree (e.g. 3-colorability restricted to trees)";
+    reference = (fun _ -> true);
+  }
+
+let trivial_false =
+  {
+    auto =
+      fixed_automaton ~name:"false" ~states:1
+        ~delta:(fun ~label:_ ~counts:_ -> 0)
+        ~accepting:(fun _ -> false)
+        ~threshold:(Some 0);
+    root_invariant = true;
+    describes = "no tree";
+    reference = (fun _ -> false);
+  }
+
+(* States: Ok j (j = children count capped at d+1) encoded as j in
+   [0, d+1]; Bad = d+2.  A child in state Ok j is viable iff its full
+   degree j+1 is at most d, i.e. j <= d-1. *)
+let max_degree_at_most d =
+  if d < 0 then invalid_arg "Library.max_degree_at_most";
+  let bad = d + 2 in
+  let delta ~label:_ ~counts =
+    let viable (s, _) = s <> bad && s <= d - 1 in
+    if List.for_all viable counts then min (total counts) (d + 1) else bad
+  in
+  {
+    auto =
+      fixed_automaton
+        ~name:(Printf.sprintf "max-degree<=%d" d)
+        ~states:(d + 3) ~delta
+        ~accepting:(fun s -> s <> bad && s <= d)
+        ~threshold:(Some (d + 1));
+    root_invariant = true;
+    describes = Printf.sprintf "all vertices have degree at most %d" d;
+    reference =
+      (fun t ->
+        let g, _ = Rooted.to_graph t in
+        List.for_all (fun v -> Graph.degree g v <= d) (Graph.vertices g));
+  }
+
+(* State (f, cc): [cc] = children count capped at d; [f] = some vertex
+   of the subtree has full degree >= d (the subtree root's potential
+   parent edge is accounted for by the parent's transition, via the
+   cc >= d-1 test). *)
+let has_vertex_of_degree_at_least d =
+  if d < 1 then invalid_arg "Library.has_vertex_of_degree_at_least";
+  let encode f cc = (if f then d + 1 else 0) + cc in
+  let decode s = if s > d then (true, s - d - 1) else (false, s) in
+  let delta ~label:_ ~counts =
+    let c = total counts in
+    let any p = List.exists (fun (s, m) -> m > 0 && p (decode s)) counts in
+    let f =
+      c >= d
+      || any (fun (f, _) -> f)
+      || any (fun (_, cc) -> cc >= d - 1)
+    in
+    encode f (min c d)
+  in
+  {
+    auto =
+      fixed_automaton
+        ~name:(Printf.sprintf "exists-degree>=%d" d)
+        ~states:(2 * (d + 1))
+        ~delta
+        ~accepting:(fun s -> fst (decode s))
+        ~threshold:(Some d);
+    root_invariant = true;
+    describes = Printf.sprintf "some vertex has degree at least %d" d;
+    reference =
+      (fun t ->
+        let g, _ = Rooted.to_graph t in
+        List.exists (fun v -> Graph.degree g v >= d) (Graph.vertices g));
+  }
+
+(* Greedy matching from the leaves: U = root of subtree unmatched (must
+   marry its parent), M = subtree perfectly matched.  Two unmatched
+   children cannot both marry the node. *)
+let has_perfect_matching =
+  let u = 0 and m = 1 and bad = 2 in
+  let delta ~label:_ ~counts =
+    if count_of counts bad > 0 || count_of counts u >= 2 then bad
+    else if count_of counts u = 1 then m
+    else u
+  in
+  let reference t =
+    (* Maximum-matching DP on the rooted tree: [unmatched]/[matched]
+       are the best matching sizes in the subtree with the root free /
+       covered. *)
+    let rec dp (t : Rooted.t) =
+      let child_dps = List.map dp t.children in
+      let best_free =
+        List.fold_left (fun acc (u, m) -> acc + max u m) 0 child_dps
+      in
+      let best_covered =
+        List.fold_left
+          (fun best (u, m) ->
+            (* marry this child: it must be free below *)
+            max best (best_free - max u m + u + 1))
+          min_int child_dps
+      in
+      (best_free, best_covered)
+    in
+    let u, m = dp t in
+    let n = Rooted.size t in
+    n mod 2 = 0 && 2 * max u m = n
+  in
+  {
+    auto =
+      fixed_automaton ~name:"perfect-matching" ~states:3 ~delta
+        ~accepting:(fun s -> s = m)
+        ~threshold:(Some 2);
+    root_invariant = true;
+    describes = "the tree has a perfect matching";
+    reference;
+  }
+
+(* States 0..k = subtree height (all diameters so far <= k); Bad = k+1.
+   A node fails if its height exceeds k or the best path through it
+   (two deepest child subtrees) exceeds k. *)
+let diameter_at_most k =
+  if k < 0 then invalid_arg "Library.diameter_at_most";
+  let bad = k + 1 in
+  let delta ~label:_ ~counts =
+    if count_of counts bad > 0 then bad
+    else begin
+      (* top two child heights, counting multiplicity *)
+      let tops =
+        List.concat_map (fun (s, c) -> if c >= 2 then [ s; s ] else [ s ]) counts
+        |> List.sort (fun a b -> Int.compare b a)
+      in
+      match tops with
+      | [] -> 0
+      | [ h1 ] -> if h1 + 1 > k then bad else h1 + 1
+      | h1 :: h2 :: _ ->
+          if h1 + 1 > k || h1 + h2 + 2 > k then bad else h1 + 1
+    end
+  in
+  {
+    auto =
+      fixed_automaton
+        ~name:(Printf.sprintf "diameter<=%d" k)
+        ~states:(k + 2) ~delta
+        ~accepting:(fun s -> s <> bad)
+        ~threshold:(Some 2);
+    root_invariant = true;
+    describes = Printf.sprintf "the tree has diameter at most %d" k;
+    reference =
+      (fun t ->
+        let g, _ = Rooted.to_graph t in
+        Graph.diameter g <= k);
+  }
+
+let height_at_most h =
+  if h < 0 then invalid_arg "Library.height_at_most";
+  let bad = h + 1 in
+  let delta ~label:_ ~counts =
+    if count_of counts bad > 0 then bad
+    else
+      match List.rev_map fst counts with
+      | [] -> 0
+      | heights ->
+          let m = List.fold_left max 0 heights in
+          if m + 1 > h then bad else m + 1
+  in
+  {
+    auto =
+      fixed_automaton
+        ~name:(Printf.sprintf "height<=%d" h)
+        ~states:(h + 2) ~delta
+        ~accepting:(fun s -> s <> bad)
+        ~threshold:(Some 1);
+    root_invariant = false;
+    describes =
+      Printf.sprintf
+        "the rooted tree has height at most %d (∃-root: radius <= %d)" h h;
+    reference = (fun t -> Rooted.height t <= h);
+  }
+
+(* A tree is a caterpillar iff deleting its leaves yields a path (or
+   nothing).  In rooted terms, a vertex survives the pruning iff it has
+   degree >= 2 in the unrooted tree: any vertex with a child and a
+   parent, or the root when it has >= 2 children.  A surviving vertex's
+   pruned-degree is its surviving-children count plus 1 when its parent
+   survives; the path condition bounds it by 2.
+
+   The only rooting-dependent case is a vertex whose single child
+   survives with exactly 2 surviving grandchildren: a violation unless
+   the vertex is the root (then the vertex itself is pruned).  The
+   state carries that as a "conditional" flag, confirmed as Bad one
+   level up (where the vertex provably has a parent) and forgiven at
+   acceptance.
+
+   States: Bad = 16, or surv*8 + cond*4 + min(sc,3). *)
+let is_caterpillar =
+  let bad = 16 in
+  let encode ~surv ~cond ~sc =
+    (if surv then 8 else 0) + (if cond then 4 else 0) + min sc 3
+  in
+  let decode s = (s >= 8, s land 4 <> 0, s land 3) in
+  let delta ~label:_ ~counts =
+    if count_of counts bad > 0 then bad
+    else begin
+      let children_total = total counts in
+      let surviving = ref 0 in
+      let strict = ref false in
+      let single_child_sc = ref (-1) in
+      List.iter
+        (fun (s, c) ->
+          let surv, cond, sc = decode s in
+          if cond then strict := true;
+          if surv then begin
+            surviving := !surviving + c;
+            if sc >= 3 then strict := true;
+            if sc = 2 then
+              if children_total >= 2 then strict := true
+              else single_child_sc := sc
+          end)
+        counts;
+      if !strict then bad
+      else
+        encode ~surv:(children_total >= 1)
+          ~cond:(children_total = 1 && !single_child_sc = 2)
+          ~sc:!surviving
+    end
+  in
+  let reference t =
+    let g, _ = Rooted.to_graph t in
+    let n = Graph.n g in
+    if n <= 2 then true
+    else begin
+      let survivors =
+        List.filter (fun v -> Graph.degree g v >= 2) (Graph.vertices g)
+      in
+      (* the pruned tree is connected automatically; path-ness is a
+         degree condition among survivors *)
+      List.for_all
+        (fun v ->
+          let surviving_neighbors =
+            Array.to_list (Graph.neighbors g v)
+            |> List.filter (fun w -> Graph.degree g w >= 2)
+          in
+          List.length surviving_neighbors <= 2)
+        survivors
+    end
+  in
+  {
+    auto =
+      fixed_automaton ~name:"caterpillar" ~states:17 ~delta
+        ~accepting:(fun s -> s <> bad && s land 3 <= 2)
+        ~threshold:(Some 3);
+    root_invariant = true;
+    describes = "deleting the leaves yields a path (caterpillar)";
+    reference;
+  }
+
+(* Subtree size parity: correct, but inherently modular — NOT a
+   threshold automaton, hence (by Boneva–Talbot) not MSO on unordered
+   trees. *)
+let even_order =
+  let delta ~label:_ ~counts =
+    let parity =
+      List.fold_left (fun acc (s, c) -> acc + (s * c)) 1 counts mod 2
+    in
+    parity
+  in
+  {
+    auto =
+      fixed_automaton ~name:"even-order" ~states:2 ~delta
+        ~accepting:(fun s -> s = 0)
+        ~threshold:None;
+    root_invariant = true;
+    describes = "the tree has an even number of vertices (non-MSO control)";
+    reference = (fun t -> Rooted.size t mod 2 = 0);
+  }
+
+let root_has_label l =
+  {
+    auto =
+      fixed_automaton
+        ~name:(Printf.sprintf "root-label=%d" l)
+        ~states:2
+        ~delta:(fun ~label ~counts:_ -> if label = l then 1 else 0)
+        ~accepting:(fun s -> s = 1)
+        ~threshold:(Some 0);
+    root_invariant = false;
+    describes = Printf.sprintf "the root carries label %d" l;
+    reference = (fun t -> t.Rooted.label = l);
+  }
+
+let all_named =
+  [
+    ("true", trivial_true);
+    ("false", trivial_false);
+    ("max-degree<=1", max_degree_at_most 1);
+    ("max-degree<=2", max_degree_at_most 2);
+    ("max-degree<=3", max_degree_at_most 3);
+    ("exists-degree>=3", has_vertex_of_degree_at_least 3);
+    ("exists-degree>=4", has_vertex_of_degree_at_least 4);
+    ("perfect-matching", has_perfect_matching);
+    ("diameter<=2", diameter_at_most 2);
+    ("diameter<=4", diameter_at_most 4);
+    ("height<=3", height_at_most 3);
+    ("caterpillar", is_caterpillar);
+    ("even-order", even_order);
+    ("root-label=1", root_has_label 1);
+  ]

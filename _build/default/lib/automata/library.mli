@@ -1,0 +1,64 @@
+(** Hand-compiled tree automata for classic MSO properties of trees.
+
+    The paper (Theorem 2.2, via Boneva–Talbot [7]) guarantees that
+    every MSO property of trees is recognized by a threshold automaton
+    but gives no compiler; this module plays the role of that oracle
+    for a curated set of properties (see DESIGN.md §3, substitution 1).
+    Every entry carries an independent [reference] implementation of
+    its rooted language, and the test suite checks automaton against
+    reference on exhaustive and random tree corpora.
+
+    Some automata recognize *rooted* languages that are invariant under
+    the choice of root (so they define a property of the underlying
+    unrooted tree); others are genuinely rooted.  Since the prover of
+    Theorem 2.2's scheme chooses the root, certifying a non-invariant
+    automaton certifies the ∃-root projection of its language — e.g.
+    the rooted language "height ≤ h" projects to "radius ≤ h".  Each
+    entry is tagged accordingly. *)
+
+type entry = {
+  auto : Tree_automaton.t;
+  root_invariant : bool;
+      (** acceptance does not depend on the choice of root *)
+  describes : string;  (** human description of the recognized property *)
+  reference : Rooted.t -> bool;
+      (** independent ground-truth definition of the rooted language *)
+}
+
+val trivial_true : entry
+(** Accepts every tree (e.g. "3-colorable" restricted to trees). *)
+
+val trivial_false : entry
+
+val max_degree_at_most : int -> entry
+(** Δ(T) ≤ d; with d = 2 this is "T is a path". *)
+
+val has_vertex_of_degree_at_least : int -> entry
+
+val has_perfect_matching : entry
+(** The classic greedy-from-the-leaves matching automaton. *)
+
+val diameter_at_most : int -> entry
+(** Root-invariant: tracks capped subtree height; with d = 2 this is
+    "T is a star". *)
+
+val height_at_most : int -> entry
+(** Rooted language; its ∃-root projection is "radius ≤ h". *)
+
+val is_caterpillar : entry
+(** The leaf-pruned tree is a path — tracked by counting surviving
+    (non-leaf) children with a cap, a genuinely two-level threshold
+    automaton. *)
+
+val even_order : entry
+(** Parity of |V|: a correct automaton but NOT a threshold one — the
+    negative control separating tree automata at large from MSO
+    (cf. Appendix C.2: MSO = threshold constraints only). *)
+
+val root_has_label : int -> entry
+(** For labeled trees: the root carries the given label — exercises the
+    label alphabet. *)
+
+val all_named : (string * entry) list
+(** The sweep list used by tests and the E2 experiment (small parameter
+    instantiations). *)

@@ -1,0 +1,124 @@
+type counts = (int * int) list
+
+type t = {
+  name : string;
+  state_count : unit -> int;
+  delta : label:int -> counts:counts -> int;
+  accepting : int -> bool;
+  threshold : int option;
+}
+
+let counts_of_list states =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace tbl s (1 + Option.value ~default:0 (Hashtbl.find_opt tbl s)))
+    states;
+  List.sort compare (Hashtbl.fold (fun s c acc -> (s, c) :: acc) tbl [])
+
+let cap_counts cap counts = List.map (fun (s, c) -> (s, min c cap)) counts
+
+let total counts = List.fold_left (fun acc (_, c) -> acc + c) 0 counts
+
+let count_of counts s = Option.value ~default:0 (List.assoc_opt s counts)
+
+let run a tree =
+  Rooted.fold
+    (fun label child_states ->
+      a.delta ~label ~counts:(counts_of_list child_states))
+    tree
+
+let accepts a tree = a.accepting (run a tree)
+
+let state_labeling a tree =
+  let out = ref [] in
+  let rec go (t : Rooted.t) =
+    let child_states = List.map go t.children in
+    let s = a.delta ~label:t.label ~counts:(counts_of_list child_states) in
+    out := (t, s) :: !out;
+    s
+  in
+  ignore (go tree);
+  List.rev !out
+
+let complement a =
+  {
+    a with
+    name = "not(" ^ a.name ^ ")";
+    accepting = (fun s -> not (a.accepting s));
+  }
+
+let product ~name f a b =
+  (* Pair states are interned on demand so lazily-grown components keep
+     working. *)
+  let fwd : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let back : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  let next = ref 0 in
+  let intern p =
+    match Hashtbl.find_opt fwd p with
+    | Some id -> id
+    | None ->
+        let id = !next in
+        incr next;
+        Hashtbl.replace fwd p id;
+        Hashtbl.replace back id p;
+        id
+  in
+  let project counts =
+    let ca = Hashtbl.create 8 and cb = Hashtbl.create 8 in
+    let bump tbl s c =
+      Hashtbl.replace tbl s (c + Option.value ~default:0 (Hashtbl.find_opt tbl s))
+    in
+    List.iter
+      (fun (pair_id, c) ->
+        match Hashtbl.find_opt back pair_id with
+        | Some (sa, sb) ->
+            bump ca sa c;
+            bump cb sb c
+        | None -> invalid_arg "Tree_automaton.product: unknown pair state")
+      counts;
+    let to_counts tbl =
+      List.sort compare (Hashtbl.fold (fun s c acc -> (s, c) :: acc) tbl [])
+    in
+    (to_counts ca, to_counts cb)
+  in
+  {
+    name;
+    state_count = (fun () -> !next);
+    delta =
+      (fun ~label ~counts ->
+        let ca, cb = project counts in
+        intern (a.delta ~label ~counts:ca, b.delta ~label ~counts:cb));
+    accepting =
+      (fun id ->
+        match Hashtbl.find_opt back id with
+        | Some (sa, sb) -> f (a.accepting sa) (b.accepting sb)
+        | None -> invalid_arg "Tree_automaton.product: unknown state");
+    threshold =
+      (match (a.threshold, b.threshold) with
+      | Some x, Some y -> Some (max x y)
+      | _ -> None);
+  }
+
+let conj a b = product ~name:(a.name ^ " & " ^ b.name) ( && ) a b
+
+let disj a b = product ~name:(a.name ^ " | " ^ b.name) ( || ) a b
+
+let respects_threshold a ~cap ~samples =
+  let ok = ref true in
+  let check (t : Rooted.t) child_states =
+    let counts = counts_of_list child_states in
+    let capped = cap_counts cap counts in
+    (* Re-inflate one capped count beyond the cap and check the
+       transition is unchanged; also check delta(counts) =
+       delta(capped). *)
+    if a.delta ~label:t.label ~counts <> a.delta ~label:t.label ~counts:capped
+    then ok := false
+  in
+  let rec go (t : Rooted.t) =
+    let child_states = List.map go t.children in
+    check t child_states;
+    a.delta ~label:t.label ~counts:(counts_of_list child_states)
+  in
+  List.iter (fun t -> ignore (go t)) samples;
+  !ok

@@ -1,0 +1,81 @@
+(** Deterministic bottom-up automata on unranked, unordered, labeled
+    rooted trees.
+
+    This is the machine model behind Theorem 2.2: the paper certifies
+    an MSO property on trees by labeling each vertex with its state in
+    an accepting run and checking transitions locally.  Following the
+    discussion of Appendix C.2, the automata relevant to MSO are the
+    *threshold* ones (unary ordering Presburger automata of
+    Boneva–Talbot [7]): the next state depends only on the node's label
+    and on the multiset of children states counted *up to a constant
+    cap*.  The type below does not force that restriction — [delta] is
+    an arbitrary function — so that non-MSO machines (e.g. the parity
+    automaton) can be expressed as negative controls; {!respects_threshold}
+    checks the restriction empirically and the library tags each
+    automaton with its cap.
+
+    States are dense integers.  [state_count] is a function because the
+    capped-type compiler ({!Capped_type}) discovers states lazily; for
+    table-based automata it is constant. *)
+
+type counts = (int * int) list
+(** Multiset of children states as a sorted association list
+    [(state, multiplicity)] with positive multiplicities. *)
+
+type t = {
+  name : string;
+  state_count : unit -> int;
+      (** Number of states known so far; states are [0 .. count-1]. *)
+  delta : label:int -> counts:counts -> int;
+      (** Total deterministic transition.  A leaf has [counts = \[\]]. *)
+  accepting : int -> bool;  (** Acceptance, tested at the root. *)
+  threshold : int option;
+      (** [Some c] when [delta] provably depends only on multiplicities
+          capped at [c] (the UOP/MSO case); [None] otherwise. *)
+}
+
+(** {1 Running} *)
+
+val run : t -> Rooted.t -> int
+(** Bottom-up evaluation; the state of the root. *)
+
+val accepts : t -> Rooted.t -> bool
+(** [accepting (run t)]. *)
+
+val state_labeling : t -> Rooted.t -> (Rooted.t * int) list
+(** Every subtree paired with its state, in postorder — what the prover
+    writes into certificates. *)
+
+(** {1 Boolean closure} *)
+
+val complement : t -> t
+
+val product : name:string -> (bool -> bool -> bool) -> t -> t -> t
+(** [product ~name f a b] runs [a] and [b] in lockstep; acceptance is
+    [f] of the components'.  Pair states are interned on demand, so the
+    construction works with lazily-grown automata. *)
+
+val conj : t -> t -> t
+val disj : t -> t -> t
+
+(** {1 Multiset utilities} *)
+
+val counts_of_list : int list -> counts
+(** Sorted multiset from a list of states. *)
+
+val cap_counts : int -> counts -> counts
+(** Cap every multiplicity at the given bound. *)
+
+val total : counts -> int
+(** Sum of multiplicities. *)
+
+val count_of : counts -> int -> int
+(** Multiplicity of one state (0 if absent). *)
+
+(** {1 Diagnostics} *)
+
+val respects_threshold : t -> cap:int -> samples:Rooted.t list -> bool
+(** Empirically check that on every node of every sample tree, capping
+    children multiplicities at [cap] does not change [delta]'s output.
+    Used in tests to separate threshold (MSO-style) automata from
+    modular-counting ones. *)

@@ -1,0 +1,351 @@
+type term = Count of int | Const of int | Plus of term * term
+
+type constr = Tru | Le of term * term | And of constr * constr | Not of constr
+
+let rec eval_term t ~counts =
+  match t with
+  | Count s -> Tree_automaton.count_of counts s
+  | Const c -> c
+  | Plus (a, b) -> eval_term a ~counts + eval_term b ~counts
+
+let rec holds c ~counts =
+  match c with
+  | Tru -> true
+  | Le (a, b) -> eval_term a ~counts <= eval_term b ~counts
+  | And (a, b) -> holds a ~counts && holds b ~counts
+  | Not a -> not (holds a ~counts)
+
+let rec term_vars = function
+  | Count s -> [ s ]
+  | Const _ -> []
+  | Plus (a, b) -> term_vars a @ term_vars b
+
+let rec is_unary = function
+  | Tru -> true
+  | Le (a, b) ->
+      List.length (List.sort_uniq Int.compare (term_vars a @ term_vars b)) <= 1
+  | And (a, b) -> is_unary a && is_unary b
+  | Not a -> is_unary a
+
+let rec term_max_const = function
+  | Count _ -> 0
+  | Const c -> c
+  | Plus (a, b) -> max (term_max_const a) (term_max_const b)
+
+let rec max_constant = function
+  | Tru -> 0
+  | Le (a, b) -> max (term_max_const a) (term_max_const b)
+  | And (a, b) -> max (max_constant a) (max_constant b)
+  | Not a -> max_constant a
+
+let count_ge s c = Le (Const c, Count s)
+
+let count_le s c = Le (Count s, Const c)
+
+let count_eq s c = And (count_ge s c, count_le s c)
+
+let conj = function
+  | [] -> Tru
+  | c :: cs -> List.fold_left (fun acc x -> And (acc, x)) c cs
+
+let no_children_in states = conj (List.map (fun s -> count_le s 0) states)
+
+type rule = { guard : constr; target : int }
+
+type transition = { rules : rule list; default : int }
+
+type t = {
+  name : string;
+  states : int;
+  labels : int;
+  delta : transition array;
+  accepting : bool array;
+}
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let* () = if t.states >= 1 then Ok () else Error "no states" in
+  let* () = if t.labels >= 1 then Ok () else Error "no labels" in
+  let* () =
+    if Array.length t.delta = t.labels then Ok ()
+    else Error "delta length differs from label count"
+  in
+  let* () =
+    if Array.length t.accepting = t.states then Ok ()
+    else Error "accepting length differs from state count"
+  in
+  let state_ok s = s >= 0 && s < t.states in
+  let rec vars_of = function
+    | Tru -> []
+    | Le (a, b) -> term_vars a @ term_vars b
+    | And (a, b) -> vars_of a @ vars_of b
+    | Not a -> vars_of a
+  in
+  let check_transition tr =
+    let* () =
+      if state_ok tr.default then Ok () else Error "default state out of range"
+    in
+    List.fold_left
+      (fun acc r ->
+        let* () = acc in
+        let* () =
+          if state_ok r.target then Ok () else Error "target out of range"
+        in
+        let* () =
+          if List.for_all state_ok (vars_of r.guard) then Ok ()
+          else Error "count variable out of range"
+        in
+        if is_unary r.guard then Ok ()
+        else Error "guard is not a unary ordering constraint")
+      (Ok ()) tr.rules
+  in
+  Array.fold_left
+    (fun acc tr ->
+      let* () = acc in
+      check_transition tr)
+    (Ok ()) t.delta
+
+let threshold t =
+  1
+  + Array.fold_left
+      (fun acc tr ->
+        List.fold_left (fun acc r -> max acc (max_constant r.guard)) acc tr.rules)
+      0 t.delta
+
+let apply tr ~counts =
+  let rec first = function
+    | [] -> tr.default
+    | r :: rest -> if holds r.guard ~counts then r.target else first rest
+  in
+  first tr.rules
+
+let to_tree_automaton t =
+  (match validate t with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Uop.to_tree_automaton: " ^ e));
+  {
+    Tree_automaton.name = t.name;
+    state_count = (fun () -> t.states);
+    delta =
+      (fun ~label ~counts ->
+        let label = if label >= 0 && label < t.labels then label else 0 in
+        apply t.delta.(label) ~counts);
+    accepting = (fun s -> s >= 0 && s < t.states && t.accepting.(s));
+    threshold = Some (threshold t);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec write_term w = function
+  | Count s ->
+      Bitbuf.Writer.fixed w ~width:2 0;
+      Bitbuf.Writer.nat w s
+  | Const c ->
+      Bitbuf.Writer.fixed w ~width:2 1;
+      Bitbuf.Writer.nat w c
+  | Plus (a, b) ->
+      Bitbuf.Writer.fixed w ~width:2 2;
+      write_term w a;
+      write_term w b
+
+let rec read_term depth r =
+  if depth > 64 then raise (Bitbuf.Decode_error "term too deep");
+  match Bitbuf.Reader.fixed r ~width:2 with
+  | 0 -> Count (Bitbuf.Reader.nat r)
+  | 1 -> Const (Bitbuf.Reader.nat r)
+  | 2 ->
+      let a = read_term (depth + 1) r in
+      let b = read_term (depth + 1) r in
+      Plus (a, b)
+  | _ -> raise (Bitbuf.Decode_error "bad term tag")
+
+let rec write_constr w = function
+  | Tru -> Bitbuf.Writer.fixed w ~width:2 0
+  | Le (a, b) ->
+      Bitbuf.Writer.fixed w ~width:2 1;
+      write_term w a;
+      write_term w b
+  | And (a, b) ->
+      Bitbuf.Writer.fixed w ~width:2 2;
+      write_constr w a;
+      write_constr w b
+  | Not a ->
+      Bitbuf.Writer.fixed w ~width:2 3;
+      write_constr w a
+
+let rec read_constr depth r =
+  if depth > 64 then raise (Bitbuf.Decode_error "constraint too deep");
+  match Bitbuf.Reader.fixed r ~width:2 with
+  | 0 -> Tru
+  | 1 ->
+      let a = read_term 0 r in
+      let b = read_term 0 r in
+      Le (a, b)
+  | 2 ->
+      let a = read_constr (depth + 1) r in
+      let b = read_constr (depth + 1) r in
+      And (a, b)
+  | _ ->
+      let a = read_constr (depth + 1) r in
+      Not a
+
+let encode t =
+  let w = Bitbuf.Writer.create () in
+  Bitbuf.Writer.nat w (String.length t.name);
+  String.iter (fun c -> Bitbuf.Writer.fixed w ~width:8 (Char.code c)) t.name;
+  Bitbuf.Writer.nat w t.states;
+  Bitbuf.Writer.nat w t.labels;
+  Array.iter
+    (fun tr ->
+      Bitbuf.Writer.list w
+        (fun w r ->
+          write_constr w r.guard;
+          Bitbuf.Writer.nat w r.target)
+        tr.rules;
+      Bitbuf.Writer.nat w tr.default)
+    t.delta;
+  Array.iter (fun b -> Bitbuf.Writer.bit w b) t.accepting;
+  Bitbuf.Writer.contents w
+
+let decode b =
+  Bitbuf.decode b (fun r ->
+      let name_len = Bitbuf.Reader.nat r in
+      if name_len > 256 then raise (Bitbuf.Decode_error "name too long");
+      let name =
+        String.init name_len (fun _ ->
+            Char.chr (Bitbuf.Reader.fixed r ~width:8))
+      in
+      let states = Bitbuf.Reader.nat r in
+      let labels = Bitbuf.Reader.nat r in
+      if states > 4096 || labels > 4096 then
+        raise (Bitbuf.Decode_error "table too large");
+      let delta =
+        Array.init labels (fun _ ->
+            let rules =
+              Bitbuf.Reader.list r (fun r ->
+                  let guard = read_constr 0 r in
+                  let target = Bitbuf.Reader.nat r in
+                  { guard; target })
+            in
+            let default = Bitbuf.Reader.nat r in
+            { rules; default })
+      in
+      let accepting = Array.init states (fun _ -> Bitbuf.Reader.bit r) in
+      let t = { name; states; labels; delta; accepting } in
+      match validate t with
+      | Ok () -> t
+      | Error e -> raise (Bitbuf.Decode_error e))
+
+(* ------------------------------------------------------------------ *)
+(* Table library                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let single_label ~name ~states ~rules ~default ~accepting =
+  { name; states; labels = 1; delta = [| { rules; default } |]; accepting }
+
+let trivial_true =
+  single_label ~name:"uop:true" ~states:1 ~rules:[] ~default:0
+    ~accepting:[| true |]
+
+(* States: ok_child = 0 (usable below a parent), ok_root_only = 1
+   (exactly d children — full as a root, overfull as a child),
+   bad = 2. *)
+let max_degree_at_most d =
+  if d < 1 then invalid_arg "Uop.max_degree_at_most";
+  let ok_child = 0 and ok_root = 1 and bad = 2 in
+  single_label
+    ~name:(Printf.sprintf "uop:max-degree<=%d" d)
+    ~states:3
+    ~rules:
+      [
+        { guard = count_ge bad 1; target = bad };
+        { guard = count_ge ok_root 1; target = bad };
+        { guard = count_le ok_child (d - 1); target = ok_child };
+        { guard = count_le ok_child d; target = ok_root };
+      ]
+    ~default:bad
+    ~accepting:[| true; true; false |]
+
+let has_perfect_matching =
+  let u = 0 and m = 1 and bad = 2 in
+  single_label ~name:"uop:perfect-matching" ~states:3
+    ~rules:
+      [
+        { guard = count_ge bad 1; target = bad };
+        { guard = count_ge u 2; target = bad };
+        { guard = count_ge u 1; target = m };
+      ]
+    ~default:u
+    ~accepting:[| false; true; false |]
+
+(* States 0..h = subtree height; bad = h+1.  First matching height rule
+   is the maximum. *)
+let height_at_most h =
+  if h < 0 then invalid_arg "Uop.height_at_most";
+  let bad = h + 1 in
+  let height_rules =
+    List.init h (fun i ->
+        let j = h - 1 - i in
+        { guard = count_ge j 1; target = j + 1 })
+  in
+  single_label
+    ~name:(Printf.sprintf "uop:height<=%d" h)
+    ~states:(h + 2)
+    ~rules:
+      ({ guard = count_ge bad 1; target = bad }
+      :: { guard = count_ge h 1; target = bad }
+      :: height_rules)
+    ~default:0
+    ~accepting:(Array.init (h + 2) (fun s -> s <> bad))
+
+(* States 0..k = subtree height with all through-paths <= k; bad = k+1.
+   Violations: a child of height k (the path to the root is too long
+   already), two children at heights j >= j' with j + j' + 2 > k. *)
+let diameter_at_most k =
+  if k < 0 then invalid_arg "Uop.diameter_at_most";
+  let bad = k + 1 in
+  let pair_rules =
+    List.concat_map
+      (fun j ->
+        List.filter_map
+          (fun j' ->
+            if j + j' + 2 > k then
+              if j = j' then Some { guard = count_ge j 2; target = bad }
+              else
+                Some
+                  {
+                    guard = And (count_ge j 1, count_ge j' 1);
+                    target = bad;
+                  }
+            else None)
+          (List.init (j + 1) Fun.id))
+      (List.init k Fun.id)
+  in
+  let height_rules =
+    List.init k (fun i ->
+        let j = k - 1 - i in
+        { guard = count_ge j 1; target = j + 1 })
+  in
+  single_label
+    ~name:(Printf.sprintf "uop:diameter<=%d" k)
+    ~states:(k + 2)
+    ~rules:
+      (({ guard = count_ge bad 1; target = bad }
+       :: { guard = count_ge k 1; target = bad }
+       :: pair_rules)
+      @ height_rules)
+    ~default:0
+    ~accepting:(Array.init (k + 2) (fun s -> s <> bad))
+
+let all_named =
+  [
+    ("uop:true", trivial_true);
+    ("uop:max-degree<=2", max_degree_at_most 2);
+    ("uop:max-degree<=3", max_degree_at_most 3);
+    ("uop:perfect-matching", has_perfect_matching);
+    ("uop:height<=3", height_at_most 3);
+    ("uop:diameter<=2", diameter_at_most 2);
+    ("uop:diameter<=4", diameter_at_most 4);
+  ]

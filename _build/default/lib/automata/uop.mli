@@ -1,0 +1,105 @@
+(** Unary ordering Presburger (UOP) tree automata, concretely
+    (Appendix C.2, after Boneva–Talbot [7] and Kepser [36]).
+
+    Appendix C.2 defines the transition constraints by the grammar
+
+    {v  p ::= t <= t | p ∧ p | ¬p        t ::= y | n | t + t  v}
+
+    where each [y] is the number of children in a given state and a
+    {e unary} constraint mentions at most one such variable per atomic
+    comparison.  Proposition 8 of [7]: a set of unordered unranked
+    trees is MSO-definable iff it is recognized by an automaton whose
+    transitions are unary ordering constraints.
+
+    This module makes those automata {e first-class data}: a {!t} is a
+    finite table (per label, an ordered decision list of guarded
+    transitions), with an evaluator, a well-formedness check, a
+    bit-codec — so the "description of A" of Theorem 2.2's certificates
+    can literally be shipped inside them — and a conversion to the
+    executable {!Tree_automaton.t}.
+
+    The modular-counting automaton (parity) is exactly what this
+    formalism cannot express; the test suite checks that every table
+    here is threshold-stable while the parity automaton is not. *)
+
+(** {1 Constraints} *)
+
+type term =
+  | Count of int  (** y_s: number of children in state [s] *)
+  | Const of int
+  | Plus of term * term
+
+type constr =
+  | Tru
+  | Le of term * term
+  | And of constr * constr
+  | Not of constr
+
+val eval_term : term -> counts:Tree_automaton.counts -> int
+val holds : constr -> counts:Tree_automaton.counts -> bool
+
+val is_unary : constr -> bool
+(** Every atomic [Le] mentions at most one distinct [Count] variable —
+    the "unary" of UOP. *)
+
+val max_constant : constr -> int
+(** Largest constant compared against — determines the threshold up to
+    which multiplicities matter. *)
+
+(** {1 Convenient constraint builders} *)
+
+val count_ge : int -> int -> constr  (** [count_ge s c]: y_s ≥ c *)
+
+val count_le : int -> int -> constr  (** y_s ≤ c *)
+
+val count_eq : int -> int -> constr
+
+val conj : constr list -> constr
+
+val no_children_in : int list -> constr
+(** All the listed states have multiplicity 0. *)
+
+(** {1 Tables} *)
+
+type rule = { guard : constr; target : int }
+
+type transition = {
+  rules : rule list;  (** first match wins *)
+  default : int;
+}
+
+type t = {
+  name : string;
+  states : int;
+  labels : int;
+  delta : transition array;  (** indexed by node label *)
+  accepting : bool array;
+}
+
+val validate : t -> (unit, string) result
+(** States in range, array lengths consistent, all guards unary. *)
+
+val threshold : t -> int
+(** [1 + max_constant] over all guards: capping multiplicities there
+    provably leaves every transition unchanged. *)
+
+val to_tree_automaton : t -> Tree_automaton.t
+(** The executable automaton (with [threshold] filled in). *)
+
+(** {1 Codec} *)
+
+val encode : t -> Bitstring.t
+val decode : Bitstring.t -> t option
+
+(** {1 A library of UOP tables}
+
+    Table versions of the hand-built automata of {!Library} (minus the
+    non-UOP parity).  Each is property-tested against its functional
+    counterpart. *)
+
+val trivial_true : t
+val max_degree_at_most : int -> t
+val has_perfect_matching : t
+val height_at_most : int -> t
+val diameter_at_most : int -> t
+val all_named : (string * t) list

@@ -1,0 +1,323 @@
+type dfa = {
+  name : string;
+  states : int;
+  alphabet : int;
+  start : int;
+  delta : int array array;
+  accepting : bool array;
+}
+
+type nfa = {
+  nname : string;
+  nstates : int;
+  nalphabet : int;
+  starts : int list;
+  ndelta : int list array array;
+  naccepting : bool array;
+}
+
+let check_letter a letter =
+  if letter < 0 || letter >= a then
+    invalid_arg (Printf.sprintf "Word: letter %d outside alphabet %d" letter a)
+
+let run dfa word =
+  List.fold_left
+    (fun q letter ->
+      check_letter dfa.alphabet letter;
+      dfa.delta.(q).(letter))
+    dfa.start word
+
+let accepts dfa word = dfa.accepting.(run dfa word)
+
+let nfa_accepts nfa word =
+  let step states letter =
+    check_letter nfa.nalphabet letter;
+    List.sort_uniq Int.compare
+      (List.concat_map (fun q -> nfa.ndelta.(q).(letter)) states)
+  in
+  let final = List.fold_left step (List.sort_uniq Int.compare nfa.starts) word in
+  List.exists (fun q -> nfa.naccepting.(q)) final
+
+let complement dfa =
+  {
+    dfa with
+    name = "not(" ^ dfa.name ^ ")";
+    accepting = Array.map not dfa.accepting;
+  }
+
+let product ~name f a b =
+  if a.alphabet <> b.alphabet then invalid_arg "Word.product: alphabets differ";
+  let encode qa qb = (qa * b.states) + qb in
+  {
+    name;
+    states = a.states * b.states;
+    alphabet = a.alphabet;
+    start = encode a.start b.start;
+    delta =
+      Array.init (a.states * b.states) (fun q ->
+          let qa = q / b.states and qb = q mod b.states in
+          Array.init a.alphabet (fun l ->
+              encode a.delta.(qa).(l) b.delta.(qb).(l)));
+    accepting =
+      Array.init (a.states * b.states) (fun q ->
+          f a.accepting.(q / b.states) b.accepting.(q mod b.states));
+  }
+
+let inter a b = product ~name:(a.name ^ " & " ^ b.name) ( && ) a b
+
+let union a b = product ~name:(a.name ^ " | " ^ b.name) ( || ) a b
+
+let determinize nfa =
+  let module IS = Set.Make (Int) in
+  let interned : (IS.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let sets = ref [] in
+  let next = ref 0 in
+  let intern s =
+    match Hashtbl.find_opt interned s with
+    | Some id -> id
+    | None ->
+        let id = !next in
+        incr next;
+        Hashtbl.replace interned s id;
+        sets := (id, s) :: !sets;
+        id
+  in
+  let start_set = IS.of_list nfa.starts in
+  let start = intern start_set in
+  let transitions = Hashtbl.create 64 in
+  let rec explore s =
+    let id = intern s in
+    if not (Hashtbl.mem transitions id) then begin
+      let row =
+        Array.init nfa.nalphabet (fun l ->
+            IS.fold
+              (fun q acc -> List.fold_left (fun a x -> IS.add x a) acc nfa.ndelta.(q).(l))
+              s IS.empty)
+      in
+      Hashtbl.replace transitions id row;
+      Array.iter explore row
+    end
+  in
+  explore start_set;
+  let states = !next in
+  let delta =
+    Array.init states (fun id ->
+        let row = Hashtbl.find transitions id in
+        Array.map intern row)
+  in
+  let accepting =
+    let arr = Array.make states false in
+    List.iter
+      (fun (id, s) -> arr.(id) <- IS.exists (fun q -> nfa.naccepting.(q)) s)
+      !sets;
+    arr
+  in
+  { name = "det(" ^ nfa.nname ^ ")"; states; alphabet = nfa.nalphabet; start; delta; accepting }
+
+let reverse dfa =
+  let ndelta =
+    Array.init dfa.states (fun _ -> Array.make dfa.alphabet [])
+  in
+  Array.iteri
+    (fun q row ->
+      Array.iteri (fun l q' -> ndelta.(q').(l) <- q :: ndelta.(q').(l)) row)
+    dfa.delta;
+  {
+    nname = "rev(" ^ dfa.name ^ ")";
+    nstates = dfa.states;
+    nalphabet = dfa.alphabet;
+    starts =
+      List.filter (fun q -> dfa.accepting.(q)) (List.init dfa.states Fun.id);
+    ndelta;
+    naccepting = Array.init dfa.states (fun q -> q = dfa.start);
+  }
+
+(* Restrict to states reachable from the start. *)
+let reachable_part dfa =
+  let seen = Array.make dfa.states false in
+  let rec go q =
+    if not seen.(q) then begin
+      seen.(q) <- true;
+      Array.iter go dfa.delta.(q)
+    end
+  in
+  go dfa.start;
+  let remap = Array.make dfa.states (-1) in
+  let count = ref 0 in
+  Array.iteri
+    (fun q s ->
+      if s then begin
+        remap.(q) <- !count;
+        incr count
+      end)
+    seen;
+  let back = Array.make !count 0 in
+  Array.iteri (fun q r -> if r >= 0 then back.(r) <- q) remap;
+  {
+    dfa with
+    states = !count;
+    start = remap.(dfa.start);
+    delta =
+      Array.map (fun q -> Array.map (fun q' -> remap.(q')) dfa.delta.(q)) back;
+    accepting = Array.map (fun q -> dfa.accepting.(q)) back;
+  }
+
+let minimize dfa =
+  let dfa = reachable_part dfa in
+  (* Moore's algorithm: refine the accepting/rejecting partition until
+     stable. *)
+  let classes = ref (Array.map (fun b -> if b then 1 else 0) dfa.accepting) in
+  let stable = ref false in
+  while not !stable do
+    let signature q =
+      (!classes.(q), Array.map (fun q' -> !classes.(q')) dfa.delta.(q))
+    in
+    let interned = Hashtbl.create 16 in
+    let next = ref 0 in
+    let fresh =
+      Array.init dfa.states (fun q ->
+          let s = signature q in
+          match Hashtbl.find_opt interned s with
+          | Some c -> c
+          | None ->
+              let c = !next in
+              incr next;
+              Hashtbl.replace interned s c;
+              c)
+    in
+    stable := fresh = !classes;
+    classes := fresh
+  done;
+  let classes = !classes in
+  let count = 1 + Array.fold_left max 0 classes in
+  let repr = Array.make count (-1) in
+  Array.iteri (fun q c -> if repr.(c) = -1 then repr.(c) <- q) classes;
+  {
+    name = "min(" ^ dfa.name ^ ")";
+    states = count;
+    alphabet = dfa.alphabet;
+    start = classes.(dfa.start);
+    delta =
+      Array.init count (fun c ->
+          Array.map (fun q' -> classes.(q')) dfa.delta.(repr.(c)));
+    accepting = Array.init count (fun c -> dfa.accepting.(repr.(c)));
+  }
+
+let is_empty dfa =
+  let dfa = reachable_part dfa in
+  not (Array.exists Fun.id dfa.accepting)
+
+let equivalent a b =
+  if a.alphabet <> b.alphabet then false
+  else
+    (* symmetric difference is empty *)
+    is_empty (union (inter a (complement b)) (inter (complement a) b))
+
+let reversal_invariant dfa = equivalent dfa (determinize (reverse dfa))
+
+(* ------------------------------------------------------------------ *)
+(* Examples                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let even_count_of ~letter ~alphabet =
+  check_letter alphabet letter;
+  {
+    name = Printf.sprintf "even-#%d" letter;
+    states = 2;
+    alphabet;
+    start = 0;
+    delta =
+      Array.init 2 (fun q ->
+          Array.init alphabet (fun l -> if l = letter then 1 - q else q));
+    accepting = [| true; false |];
+  }
+
+let contains_factor ~word ~alphabet =
+  List.iter (check_letter alphabet) word;
+  let pattern = Array.of_list word in
+  let m = Array.length pattern in
+  if m = 0 then invalid_arg "Word.contains_factor: empty factor";
+  (* states 0..m: longest prefix of the pattern matched; m is a sink *)
+  let step q l =
+    if q = m then m
+    else begin
+      (* longest suffix of (matched prefix + l) that is a pattern
+         prefix: brute-force fallback of KMP, fine at these sizes *)
+      let rec fit k =
+        if k = 0 then 0
+        else begin
+          let ok = ref (pattern.(k - 1) = l) in
+          for i = 0 to k - 2 do
+            if pattern.(i) <> pattern.(q - k + 1 + i) then ok := false
+          done;
+          if !ok then k else fit (k - 1)
+        end
+      in
+      fit (min m (q + 1))
+    end
+  in
+  {
+    name =
+      Printf.sprintf "contains[%s]"
+        (String.concat "" (List.map string_of_int word));
+    states = m + 1;
+    alphabet;
+    start = 0;
+    delta = Array.init (m + 1) (fun q -> Array.init alphabet (fun l -> step q l));
+    accepting = Array.init (m + 1) (fun q -> q = m);
+  }
+
+let no_two_consecutive ~letter ~alphabet =
+  check_letter alphabet letter;
+  (* 0 = last was not the letter; 1 = last was; 2 = failed *)
+  {
+    name = Printf.sprintf "no-%d%d" letter letter;
+    states = 3;
+    alphabet;
+    start = 0;
+    delta =
+      [|
+        Array.init alphabet (fun l -> if l = letter then 1 else 0);
+        Array.init alphabet (fun l -> if l = letter then 2 else 0);
+        Array.make alphabet 2;
+      |];
+    accepting = [| true; true; false |];
+  }
+
+let length_mod ~modulus ~residue ~alphabet =
+  if modulus < 1 || residue < 0 || residue >= modulus then
+    invalid_arg "Word.length_mod";
+  {
+    name = Printf.sprintf "length=%d mod %d" residue modulus;
+    states = modulus;
+    alphabet;
+    start = 0;
+    delta =
+      Array.init modulus (fun q -> Array.make alphabet ((q + 1) mod modulus));
+    accepting = Array.init modulus (fun q -> q = residue);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Path bridge                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let to_tree_automaton dfa =
+  (* tree states: word states (after reading the leaf-to-here prefix,
+     the node's own letter included) + a rejecting sink *)
+  let sink = dfa.states in
+  let delta ~label ~counts =
+    let label = if label >= 0 && label < dfa.alphabet then label else -1 in
+    if label = -1 then sink
+    else
+      match counts with
+      | [] -> dfa.delta.(dfa.start).(label)
+      | [ (q, 1) ] when q <> sink -> dfa.delta.(q).(label)
+      | _ -> sink
+  in
+  {
+    Tree_automaton.name = "path[" ^ dfa.name ^ "]";
+    state_count = (fun () -> dfa.states + 1);
+    delta;
+    accepting = (fun q -> q <> sink && dfa.accepting.(q));
+    threshold = Some 2;
+  }

@@ -1,0 +1,87 @@
+(** Word automata and their certification on labeled paths.
+
+    Section 4 builds the intuition for Theorem 2.2 on words: a word is
+    a path whose vertices carry letters; it belongs to a regular
+    language iff the vertices can be labeled with states of an
+    accepting run, which is locally checkable — and
+    Büchi–Elgot–Trakhtenbrot says regular = MSO on words.  This module
+    supplies the classical machinery (DFAs, NFAs, determinization,
+    product, complement, Moore minimization, equivalence) and the
+    bridge {!to_tree_automaton} that reads a rooted path as a word, so
+    the Theorem-2.2 scheme certifies regular properties of labeled
+    paths with O(1) bits.
+
+    Letters are integers [0..alphabet-1]; words are read left to
+    right. *)
+
+type dfa = {
+  name : string;
+  states : int;
+  alphabet : int;
+  start : int;
+  delta : int array array;  (** [delta.(q).(a)] *)
+  accepting : bool array;
+}
+
+type nfa = {
+  nname : string;
+  nstates : int;
+  nalphabet : int;
+  starts : int list;
+  ndelta : int list array array;  (** [ndelta.(q).(a)] = successor set *)
+  naccepting : bool array;
+}
+
+(** {1 Running} *)
+
+val run : dfa -> int list -> int
+val accepts : dfa -> int list -> bool
+val nfa_accepts : nfa -> int list -> bool
+
+(** {1 Constructions} *)
+
+val complement : dfa -> dfa
+val inter : dfa -> dfa -> dfa
+val union : dfa -> dfa -> dfa
+val determinize : nfa -> dfa
+(** Subset construction (reachable part only). *)
+
+val reverse : dfa -> nfa
+(** Recognizes the mirror language. *)
+
+val minimize : dfa -> dfa
+(** Moore's partition refinement on the reachable part; the result is
+    the canonical minimal DFA. *)
+
+val equivalent : dfa -> dfa -> bool
+(** Language equality (via product reachability of distinguishing
+    pairs). *)
+
+val is_empty : dfa -> bool
+val reversal_invariant : dfa -> bool
+(** Whether L = Lᴿ — exactly when the path scheme below certifies L
+    itself rather than L ∪ Lᴿ (the prover may root either end). *)
+
+(** {1 Examples} *)
+
+val even_count_of : letter:int -> alphabet:int -> dfa
+(** Words with an even number of occurrences of the letter — modular
+    counting is MSO on {e words} (ordered!), unlike on unordered
+    trees. *)
+
+val contains_factor : word:int list -> alphabet:int -> dfa
+(** Words containing the given factor (KMP-style construction). *)
+
+val no_two_consecutive : letter:int -> alphabet:int -> dfa
+
+val length_mod : modulus:int -> residue:int -> alphabet:int -> dfa
+
+(** {1 Certification on paths} *)
+
+val to_tree_automaton : dfa -> Tree_automaton.t
+(** Reads a rooted {e path} leaf-to-root as a word (any vertex with two
+    or more children drives a rejecting sink, so non-paths are
+    refused).  [Localcert_core.Tree_mso.make (to_tree_automaton a)]
+    then certifies "the path, read from one of its ends, is in L(A)"
+    with O(1)-bit certificates; when {!reversal_invariant} holds this
+    is exactly membership in L(A). *)

@@ -1,0 +1,1 @@
+lib/core/anclist.ml: Array Bitbuf Elimination Graph Hashtbl Instance List Result Scheme Spanning

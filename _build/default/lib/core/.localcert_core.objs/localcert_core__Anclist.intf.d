@@ -1,0 +1,1 @@
+lib/core/anclist.mli: Bitbuf Bitstring Elimination Instance Scheme

@@ -1,0 +1,1 @@
+lib/core/attack.ml: Array Bitstring Fun Instance List Rng Scheme

@@ -1,0 +1,1 @@
+lib/core/depth2_fo.ml: Graph List Scheme Spanning_tree

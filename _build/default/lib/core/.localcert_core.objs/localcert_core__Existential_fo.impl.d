@@ -1,0 +1,1 @@
+lib/core/existential_fo.ml: Array Bitbuf Bitstring Formula Graph Instance List Option Printf Scheme Spanning Spanning_tree String Transform

@@ -1,0 +1,1 @@
+lib/core/existential_fo.mli: Formula Scheme

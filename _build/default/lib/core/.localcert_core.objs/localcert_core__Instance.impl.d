@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array Combin Graph Hashtbl Int List Rng

@@ -1,0 +1,1 @@
+lib/core/kernel_mso.ml: Anclist Array Bitbuf Bitstring Elimination Eval Formula Fun Graph Hashtbl Instance Int List Printf Reduce Result Scheme Treedepth_cert Vtype

@@ -1,0 +1,1 @@
+lib/core/kernel_mso.mli: Elimination Formula Graph Instance Scheme Vtype

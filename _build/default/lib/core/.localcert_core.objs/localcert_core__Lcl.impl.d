@@ -1,0 +1,1 @@
+lib/core/lcl.ml: Array Bitbuf Combin Fun Graph Instance List Localcert_automata Option Printf Scheme

@@ -1,0 +1,1 @@
+lib/core/lcl.mli: Graph Localcert_automata Scheme

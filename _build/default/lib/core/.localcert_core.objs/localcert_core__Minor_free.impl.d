@@ -1,0 +1,1 @@
+lib/core/minor_free.ml: Array Bicomp Elimination Exact Formula Graph Instance Kernel_mso List Option Paths Printf Props Scheme Spanning Treedepth_cert

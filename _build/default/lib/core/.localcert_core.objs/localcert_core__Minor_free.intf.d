@@ -1,0 +1,1 @@
+lib/core/minor_free.mli: Instance Scheme

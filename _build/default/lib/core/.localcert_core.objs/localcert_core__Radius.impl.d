@@ -1,0 +1,1 @@
+lib/core/radius.ml: Array Bitstring Fun Graph Hashtbl Instance Int List Printf Scheme

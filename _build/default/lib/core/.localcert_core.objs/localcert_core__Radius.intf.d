@@ -1,0 +1,1 @@
+lib/core/radius.mli: Bitstring Graph Instance Scheme

@@ -1,0 +1,1 @@
+lib/core/scheme.ml: Array Bitbuf Bitstring Graph Instance Int List Option

@@ -1,0 +1,1 @@
+lib/core/spanning_tree.ml: Array Bitbuf Bitstring Graph Instance List Option Printf Result Scheme Spanning

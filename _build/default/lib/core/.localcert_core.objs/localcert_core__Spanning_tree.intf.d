@@ -1,0 +1,1 @@
+lib/core/spanning_tree.mli: Bitstring Graph Instance Scheme

@@ -1,0 +1,1 @@
+lib/core/tree_mso.ml: Array Bitbuf Bitstring Combin Fun Graph Hashtbl Instance Int List Localcert_automata Option Printf Scheme Spanning_tree

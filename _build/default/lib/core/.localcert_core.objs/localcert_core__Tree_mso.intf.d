@@ -1,0 +1,1 @@
+lib/core/tree_mso.mli: Instance Localcert_automata Scheme

@@ -1,0 +1,1 @@
+lib/core/treedepth_cert.ml: Anclist Array Bitstring Elimination Exact Graph Heuristic Instance Printf Scheme

@@ -1,0 +1,1 @@
+lib/core/treedepth_cert.mli: Elimination Graph Instance Scheme

@@ -1,0 +1,1 @@
+lib/core/universal.ml: Array Bitbuf Bitstring Eval Formula Graph Hashtbl Instance Int List Scheme

@@ -1,0 +1,272 @@
+type tree_entry = { exit_id : int; dist : int; parent_id : int }
+
+type 'a entry = { aid : int; ann : 'a; tree : tree_entry option }
+
+type 'a codec = {
+  write : Bitbuf.Writer.t -> 'a -> unit;
+  read : Bitbuf.Reader.t -> 'a;
+  equal : 'a -> 'a -> bool;
+}
+
+let unit_codec =
+  { write = (fun _ () -> ()); read = (fun _ -> ()); equal = (fun () () -> true) }
+
+(* ------------------------------------------------------------------ *)
+(* Prover                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let build (inst : Instance.t) tree ~ann =
+  let g = inst.Instance.graph in
+  if not (Elimination.is_model tree g) then
+    invalid_arg "Anclist.build: not a model";
+  if not (Elimination.is_coherent tree g) then
+    invalid_arg "Anclist.build: model is not coherent";
+  let size = Graph.n g in
+  let id v = inst.Instance.ids.(v) in
+  (* For each non-root v: a spanning tree of G_v rooted at the exit
+     vertex, as (dist, parent) arrays indexed by original vertices. *)
+  let tree_info = Hashtbl.create size in
+  for v = 0 to size - 1 do
+    if tree.Elimination.parent.(v) <> -1 then begin
+      let sub = Elimination.subtree tree v in
+      let sub_graph, back = Graph.induced g sub in
+      let fwd = Hashtbl.create (List.length sub) in
+      Array.iteri (fun i x -> Hashtbl.replace fwd x i) back;
+      let exit = Elimination.exit_vertex tree g v in
+      let sp = Spanning.bfs sub_graph ~root:(Hashtbl.find fwd exit) in
+      Hashtbl.replace tree_info v (exit, sp, back, fwd)
+    end
+  done;
+  Array.init size (fun u ->
+      let ancs = Elimination.ancestors tree u in
+      List.map
+        (fun v ->
+          let tree_part =
+            if tree.Elimination.parent.(v) = -1 then None
+            else begin
+              let exit, sp, _back, fwd = Hashtbl.find tree_info v in
+              let ui = Hashtbl.find fwd u in
+              let parent_vertex =
+                if sp.Spanning.parent.(ui) = -1 then u
+                else
+                  let pi = sp.Spanning.parent.(ui) in
+                  let _, _, back, _ = Hashtbl.find tree_info v in
+                  back.(pi)
+              in
+              Some
+                {
+                  exit_id = id exit;
+                  dist = sp.Spanning.dist.(ui);
+                  parent_id = id parent_vertex;
+                }
+            end
+          in
+          { aid = id v; ann = ann v; tree = tree_part })
+        ancs)
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let encode ~id_bits codec entries =
+  let w = Bitbuf.Writer.create () in
+  let d = List.length entries in
+  Bitbuf.Writer.nat w d;
+  List.iteri
+    (fun i e ->
+      Bitbuf.Writer.fixed w ~width:id_bits e.aid;
+      codec.write w e.ann;
+      (* positional: every entry except the last (the root) has a
+         spanning-tree record *)
+      match (e.tree, i = d - 1) with
+      | Some te, false ->
+          Bitbuf.Writer.fixed w ~width:id_bits te.exit_id;
+          Bitbuf.Writer.nat w te.dist;
+          Bitbuf.Writer.fixed w ~width:id_bits te.parent_id
+      | None, true -> ()
+      | _ -> invalid_arg "Anclist.encode: tree records misplaced")
+    entries;
+  Bitbuf.Writer.contents w
+
+let decode ~id_bits codec b =
+  Bitbuf.decode b (fun r ->
+      let d = Bitbuf.Reader.nat r in
+      if d = 0 || d > 4096 then raise (Bitbuf.Decode_error "bad depth");
+      List.init d (fun i ->
+          let aid = Bitbuf.Reader.fixed r ~width:id_bits in
+          let ann = codec.read r in
+          let tree =
+            if i = d - 1 then None
+            else begin
+              let exit_id = Bitbuf.Reader.fixed r ~width:id_bits in
+              let dist = Bitbuf.Reader.nat r in
+              let parent_id = Bitbuf.Reader.fixed r ~width:id_bits in
+              Some { exit_id; dist; parent_id }
+            end
+          in
+          { aid; ann; tree }))
+
+(* ------------------------------------------------------------------ *)
+(* Verifier                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type 'a analysis = {
+  entries : 'a entry list;
+  depth : int;
+  neighbor_entries : (int * 'a entry list) list;
+  children : (int * 'a) list;
+}
+
+(* [suffix n xs] = last [n] elements of [xs] (which has length >= n). *)
+let suffix n xs =
+  let len = List.length xs in
+  List.filteri (fun i _ -> i >= len - n) xs
+
+let pairs_equal codec a b =
+  List.length a = List.length b
+  && List.for_all2 (fun x y -> x.aid = y.aid && codec.equal x.ann y.ann) a b
+
+let verify ~t_bound codec (view : Scheme.view) =
+  let ( let* ) = Result.bind in
+  let id_bits = view.Scheme.id_bits in
+  let* entries =
+    match decode ~id_bits codec view.Scheme.cert with
+    | Some e -> Ok e
+    | None -> Error "malformed certificate"
+  in
+  let d = List.length entries in
+  (* step 1: depth bound, own id first *)
+  let* () = if d <= t_bound then Ok () else Error "depth exceeds bound" in
+  let* () =
+    match entries with
+    | e :: _ when e.aid = view.Scheme.me -> Ok ()
+    | _ -> Error "list does not start with my id"
+  in
+  let* neighbor_entries =
+    let rec go = function
+      | [] -> Ok []
+      | (nid, c) :: rest -> (
+          match decode ~id_bits codec c with
+          | None -> Error "malformed neighbor certificate"
+          | Some es -> Result.map (fun tail -> (nid, es) :: tail) (go rest))
+    in
+    go view.Scheme.nbrs
+  in
+  (* neighbors' own ids must head their lists (their own verifier also
+     checks it, but we refuse to reason from ill-formed lists) *)
+  let* () =
+    if
+      List.for_all
+        (fun (nid, es) -> match es with e :: _ -> e.aid = nid | [] -> false)
+        neighbor_entries
+    then Ok ()
+    else Error "neighbor list does not start with its id"
+  in
+  (* step 2: suffix compatibility with every neighbor *)
+  let* () =
+    let compatible (_, es) =
+      let dn = List.length es in
+      if dn <= d then pairs_equal codec (suffix dn entries) es
+      else pairs_equal codec entries (suffix d es)
+    in
+    if List.for_all compatible neighbor_entries then Ok ()
+    else Error "neighbor list is not suffix-compatible"
+  in
+  (* steps 3-4: per-depth spanning-tree checks; my ancestor at depth j
+     is entry (d - j), counting my own entry as depth d. *)
+  let entry_at j = List.nth entries (d - j) in
+  let* () =
+    let rec per_depth j =
+      if j < 2 then Ok ()
+      else
+        let e = entry_at j in
+        match e.tree with
+        | None -> Error "missing spanning-tree record"
+        | Some te ->
+            (* members of G_{v_j} among my neighbors: those whose lists
+               share my j-suffix *)
+            let my_j_suffix = suffix j entries in
+            let members =
+              List.filter
+                (fun (_, es) ->
+                  List.length es >= j
+                  && pairs_equal codec (suffix j es) my_j_suffix)
+                neighbor_entries
+            in
+            let member_record (_, es) =
+              (List.nth es (List.length es - j)).tree
+            in
+            let* () =
+              if
+                List.for_all
+                  (fun m ->
+                    match member_record m with
+                    | Some r -> r.exit_id = te.exit_id
+                    | None -> false)
+                  members
+              then Ok ()
+              else Error "exit-vertex ids disagree within a subtree"
+            in
+            let* () =
+              if te.dist = 0 then
+                if te.exit_id <> view.Scheme.me then
+                  Error "claims distance 0 but is not the exit vertex"
+                else if te.parent_id <> view.Scheme.me then
+                  Error "exit vertex must be its own tree parent"
+                else begin
+                  (* the exit vertex must touch the parent of v_j: a
+                     neighbor whose whole list is my (j-1)-suffix *)
+                  let target = suffix (j - 1) entries in
+                  if
+                    List.exists
+                      (fun (_, es) -> pairs_equal codec es target)
+                      neighbor_entries
+                  then Ok ()
+                  else Error "exit vertex does not touch the parent"
+                end
+              else
+                match
+                  List.find_opt (fun (nid, _) -> nid = te.parent_id) members
+                with
+                | None -> Error "tree parent is not a neighbor in the subtree"
+                | Some m -> (
+                    match member_record m with
+                    | Some r when r.dist = te.dist - 1 -> Ok ()
+                    | Some _ -> Error "tree parent distance mismatch"
+                    | None -> Error "tree parent lacks a record")
+            in
+            per_depth (j - 1)
+    in
+    per_depth d
+  in
+  (* children info: neighbors strictly deeper than me whose list has my
+     full list as a proper suffix claim, at their depth-(d+1)-from-end
+     entry, the (id, annotation) of my child whose subtree they live
+     in. *)
+  let* children =
+    let claims =
+      List.filter_map
+        (fun (_, es) ->
+          let dn = List.length es in
+          if dn > d && pairs_equal codec (suffix d es) entries then begin
+            let child_entry = List.nth es (dn - (d + 1)) in
+            Some (child_entry.aid, child_entry.ann)
+          end
+          else None)
+        neighbor_entries
+    in
+    let tbl = Hashtbl.create 8 in
+    let conflict = ref false in
+    List.iter
+      (fun (aid, ann) ->
+        match Hashtbl.find_opt tbl aid with
+        | None -> Hashtbl.replace tbl aid ann
+        | Some existing -> if not (codec.equal existing ann) then conflict := true)
+      claims;
+    if !conflict then Error "conflicting claims about a child subtree"
+    else
+      Ok
+        (Hashtbl.fold (fun aid ann acc -> (aid, ann) :: acc) tbl []
+        |> List.sort compare)
+  in
+  Ok { entries; depth = d; neighbor_entries; children }

@@ -1,0 +1,94 @@
+type report = { trials : int; fooled : Bitstring.t array option }
+
+let probe scheme inst assignments =
+  let trials = ref 0 in
+  let fooled = ref None in
+  (try
+     assignments (fun certs ->
+         incr trials;
+         if Scheme.accepts_with scheme inst certs then begin
+           fooled := Some certs;
+           raise Exit
+         end)
+   with Exit -> ());
+  { trials = !trials; fooled = !fooled }
+
+let random_assignments rng scheme inst ~trials ~max_bits =
+  let size = Instance.n inst in
+  probe scheme inst (fun yield ->
+      for _ = 1 to trials do
+        let certs =
+          Array.init size (fun _ -> Rng.bits rng (Rng.int rng (max_bits + 1)))
+        in
+        yield certs
+      done)
+
+let exhaustive scheme inst ~max_bits =
+  let size = Instance.n inst in
+  (* All bitstrings of length 0..max_bits, as an explicit list. *)
+  let universe =
+    let rec strings len =
+      if len = 0 then [ [] ]
+      else
+        List.concat_map
+          (fun tail -> [ true :: tail; false :: tail ])
+          (strings (len - 1))
+    in
+    List.concat_map
+      (fun len -> List.map Bitstring.of_bools (strings len))
+      (List.init (max_bits + 1) Fun.id)
+  in
+  let universe = Array.of_list universe in
+  let u = Array.length universe in
+  probe scheme inst (fun yield ->
+      let choice = Array.make size 0 in
+      let rec enumerate v =
+        if v = size then
+          yield (Array.map (fun i -> universe.(i)) choice)
+        else
+          for i = 0 to u - 1 do
+            choice.(v) <- i;
+            enumerate (v + 1)
+          done
+      in
+      enumerate 0)
+
+let corruptions rng scheme inst ~base ~trials =
+  let size = Array.length base in
+  probe scheme inst (fun yield ->
+      for _ = 1 to trials do
+        let certs = Array.copy base in
+        (match Rng.int rng 3 with
+        | 0 ->
+            (* flip one bit of one nonempty certificate *)
+            let candidates =
+              List.filter
+                (fun v -> Bitstring.length certs.(v) > 0)
+                (List.init size Fun.id)
+            in
+            if candidates <> [] then begin
+              let v = Rng.pick rng candidates in
+              let i = Rng.int rng (Bitstring.length certs.(v)) in
+              certs.(v) <- Bitstring.flip certs.(v) i
+            end
+        | 1 ->
+            (* swap two vertices' certificates *)
+            if size >= 2 then begin
+              let a = Rng.int rng size and b = Rng.int rng size in
+              let tmp = certs.(a) in
+              certs.(a) <- certs.(b);
+              certs.(b) <- tmp
+            end
+        | _ ->
+            (* replace one certificate with random bits of same length *)
+            let v = Rng.int rng size in
+            certs.(v) <- Rng.bits rng (Bitstring.length certs.(v)));
+        yield certs
+      done)
+
+let transplant scheme ~from_instance ~to_instance =
+  if Instance.n from_instance <> Instance.n to_instance then
+    invalid_arg "Attack.transplant: vertex counts differ";
+  match scheme.Scheme.prover from_instance with
+  | None -> { trials = 0; fooled = None }
+  | Some certs -> probe scheme to_instance (fun yield -> yield certs)

@@ -1,0 +1,50 @@
+(** Adversarial soundness harness.
+
+    Soundness says: on a no-instance, {e every} certificate assignment
+    leaves at least one rejecting vertex.  That is a universally
+    quantified statement, so it can only be checked exhaustively on
+    tiny budgets or probed adversarially on larger ones.  Both modes
+    are here, plus a transplant attack (reusing a *valid* certification
+    of a nearby yes-instance on a no-instance — historically the way
+    broken schemes actually fail). *)
+
+type report = {
+  trials : int;
+  fooled : Bitstring.t array option;
+      (** a certificate assignment that every vertex accepted, if one
+          was found — on a no-instance this is a soundness bug *)
+}
+
+val random_assignments :
+  Localcert_util.Rng.t ->
+  Scheme.t ->
+  Instance.t ->
+  trials:int ->
+  max_bits:int ->
+  report
+(** Uniform random certificates of length ≤ [max_bits] per vertex. *)
+
+val exhaustive :
+  Scheme.t -> Instance.t -> max_bits:int -> report
+(** Every assignment of certificates of length 0..[max_bits] to every
+    vertex — [(2^(max_bits+1) - 1)^n] runs; keep [n·max_bits] tiny. *)
+
+val corruptions :
+  Localcert_util.Rng.t ->
+  Scheme.t ->
+  Instance.t ->
+  base:Bitstring.t array ->
+  trials:int ->
+  report
+(** Random single/multi-bit flips and certificate swaps applied to a
+    base assignment (e.g. a valid certification of a different
+    instance, or of this instance before an edge was removed). *)
+
+val transplant :
+  Scheme.t ->
+  from_instance:Instance.t ->
+  to_instance:Instance.t ->
+  report
+(** Certify [from_instance] (a yes-instance) and replay its
+    certificates verbatim on [to_instance] (same vertex count).  The
+    classic cut-and-plug probe. *)

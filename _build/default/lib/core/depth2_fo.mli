@@ -1,0 +1,34 @@
+(** Certification of FO sentences of quantifier depth ≤ 2 with O(log n)
+    bits (Lemma 2.1 / Lemma A.3).
+
+    The paper's analysis shows that, on connected graphs, a depth-2
+    sentence is semantically a boolean combination of three primitive
+    properties: (1) the graph has at most one vertex, (2) the graph is
+    a clique, (3) the graph has a dominating vertex.  Each primitive
+    and its negation has an O(log n) scheme (degree checks against a
+    certified vertex count, plus a spanning tree pointing at a
+    witness), and boolean combinations compose with
+    {!Scheme.conjoin}/{!Scheme.disjoin}. *)
+
+val at_most_one_vertex : Scheme.t
+(** Empty certificates: accept iff degree 0 (connected graphs). *)
+
+val more_than_one_vertex : Scheme.t
+(** Empty certificates: accept iff degree ≥ 1. *)
+
+val is_clique : Scheme.t
+(** Certified vertex count; every vertex checks degree = n − 1. *)
+
+val not_clique : Scheme.t
+(** Certified count and a spanning tree rooted at a vertex of degree
+    < n − 1. *)
+
+val has_dominating_vertex : Scheme.t
+(** Certified count and a spanning tree rooted at a vertex of degree
+    n − 1. *)
+
+val no_dominating_vertex : Scheme.t
+(** Certified count; every vertex checks degree < n − 1. *)
+
+val primitives : (string * Scheme.t) list
+(** All six, for sweeps. *)

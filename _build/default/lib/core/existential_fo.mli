@@ -1,0 +1,30 @@
+(** Certification of existential FO sentences with O(k log n) bits
+    (Lemma 2.1 / Lemma A.2).
+
+    For ∃x₁…∃x_k φ with φ quantifier-free, the prover finds witnesses
+    v₁…v_k and writes into every certificate: the witness identifiers,
+    the k×k adjacency matrix of the witnesses, and one spanning-tree
+    certificate rooted at each witness.  Every vertex checks
+    description agreement and the k spanning trees (which force the
+    witnesses to exist); each witness vᵢ additionally checks that row i
+    of the matrix matches its true adjacency to the other witnesses;
+    and everybody evaluates φ on the matrix. *)
+
+val make : Formula.t -> Scheme.t
+(** Raises [Invalid_argument] if the sentence is not of the form
+    ∃x₁…∃x_k (quantifier-free matrix) up to the boolean structure
+    accepted by [Formula.is_existential]; the prover searches witness
+    tuples by brute force ([n^k]). *)
+
+val strip_existentials : Formula.t -> (string list * Formula.t) option
+(** [(vars, matrix)] when the sentence is a prefix of existential
+    element quantifiers over a quantifier-free matrix. *)
+
+val eval_matrix :
+  vars:string list ->
+  ids:int array ->
+  adj:(int -> int -> bool) ->
+  Formula.t ->
+  bool
+(** Evaluate a quantifier-free formula over the witness tuple: [Eq] is
+    identifier equality, [Adj] reads the matrix.  Exposed for tests. *)

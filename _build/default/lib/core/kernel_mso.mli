@@ -1,0 +1,62 @@
+(** FO/MSO certification on bounded-treedepth graphs via certified
+    kernels (Theorem 2.6, Sections 6.1–6.4) —
+    O(t log n + f(t, φ)) bits.
+
+    Certificate of a vertex: the Theorem-2.4 ancestor-list certificate
+    where each ancestor entry additionally carries the Section-6
+    annotations (pruned flag, structural end type, kernel index and
+    alive-count of its subtree), plus a broadcast description of the
+    kernel (one row per kernel vertex: parent in the model restricted
+    to the kernel, and the ancestor-adjacency vector, which determines
+    all edges since every edge of a treedepth model joins
+    ancestor–descendant pairs).
+
+    The verifier runs the Section-5 checks, then at every vertex:
+    - end types are recomputed from the (coherence-guaranteed visible)
+      children claims and the vertex's true ancestor adjacencies;
+    - the pruning is valid and maximal: at most [k] surviving children
+      per end type, and exactly [k] whenever a sibling was pruned
+      (Lemma 6.1);
+    - alive-counts add up, and kernel indices tile DFS intervals —
+      forcing a bijection between surviving vertices and kernel rows,
+      so the broadcast kernel is exactly the k-reduced graph;
+    - the kernel (a graph whose size depends only on (k, t),
+      Proposition 6.2) satisfies the sentence — checked with the
+      brute-force evaluator, legitimate because G ≃_k H
+      (Proposition 6.3).
+
+    For FO sentences, [k] defaults to the quantifier rank, which is
+    what Proposition 6.3 requires.  For genuinely MSO sentences the
+    paper invokes the MSO→FO collapse on bounded treedepth
+    (Theorem 3.2) whose effective rank we do not compute; callers pick
+    [k] explicitly (DESIGN.md §3, substitution 2). *)
+
+type ann = {
+  pruned : bool;  (** root of a pruned subtree *)
+  vtype : Vtype.t;  (** end type *)
+  kindex : int;  (** kernel index, -1 when deleted *)
+  count : int;  (** surviving vertices in the subtree *)
+}
+
+val make :
+  ?find_model:(Graph.t -> Elimination.t option) ->
+  ?k:int ->
+  t:int ->
+  Formula.t ->
+  Scheme.t
+(** [make ~t phi] certifies "treedepth ≤ t and G ⊨ phi". *)
+
+val make_with_model :
+  ?k:int -> t:int -> Elimination.t -> Formula.t -> Scheme.t
+
+type measure = {
+  total_bits : int;  (** max certificate size *)
+  anclist_bits : int;  (** the O(t log n) part *)
+  kernel_bits : int;  (** the f(t, φ) broadcast part, constant in n *)
+  kernel_vertices : int;
+}
+
+val measure :
+  ?k:int -> t:int -> Elimination.t -> Formula.t -> Instance.t -> measure option
+(** Size breakdown on an instance (None when the prover declines) —
+    the E7 series. *)

@@ -1,0 +1,61 @@
+let no_path_formula t =
+  Formula.Not (Option.get (Props.contains_path_on t).Props.formula)
+
+let path_minor_free ~t =
+  if t < 2 then invalid_arg "Minor_free.path_minor_free: need t >= 2";
+  let phi = no_path_formula t in
+  Scheme.conjoin
+    ~name:(Printf.sprintf "P%d-minor-free" t)
+    (Treedepth_cert.make ~t:(t - 1) ())
+    (Kernel_mso.make ~t:(t - 1) phi)
+
+type block_report = {
+  blocks : int;
+  max_block_size : int;
+  per_block_bits : int list;
+  max_vertex_bits : int;
+}
+
+let cycle_block_analysis ~t (inst : Instance.t) =
+  if t < 3 then invalid_arg "Minor_free.cycle_block_analysis: need t >= 3";
+  let g = inst.Instance.graph in
+  if Paths.has_cycle_minor g t then None
+  else begin
+    let vertex_sets = Bicomp.block_vertex_sets g in
+    let per_vertex = Array.make (Graph.n g) 0 in
+    let per_block_bits =
+      List.map
+        (fun vs ->
+          let sub, back = Graph.induced g vs in
+          let sub_ids = Array.map (fun v -> inst.Instance.ids.(v)) back in
+          let sub_inst = Instance.make ~ids:sub_ids sub in
+          let model =
+            if Graph.n sub <= 20 then Exact.optimal_model sub
+            else if Graph.is_tree sub then Elimination.centroid_of_tree sub
+            else
+              (* blocks of C_t-minor-free graphs are P_{t^2}-free, so
+                 treedepth <= t^2 - 1; fall back to a DFS-based model *)
+              Elimination.coherentize
+                (Elimination.make
+                   ~parent:
+                     (let sp = Spanning.bfs sub ~root:0 in
+                      sp.Spanning.parent))
+                sub
+          in
+          let bits =
+            Treedepth_cert.cert_size ~t:(Elimination.height model) model
+              sub_inst
+          in
+          List.iter (fun v -> per_vertex.(v) <- per_vertex.(v) + bits) vs;
+          bits)
+        vertex_sets
+    in
+    Some
+      {
+        blocks = List.length vertex_sets;
+        max_block_size =
+          List.fold_left (fun acc vs -> max acc (List.length vs)) 0 vertex_sets;
+        per_block_bits;
+        max_vertex_bits = Array.fold_left max 0 per_vertex;
+      }
+  end

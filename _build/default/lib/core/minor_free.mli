@@ -1,0 +1,34 @@
+(** Certification of P_t- and C_t-minor-freeness (Corollary 2.7).
+
+    A graph has a [P_t] minor iff it contains a path on [t] vertices;
+    [P_t]-minor-free graphs have treedepth at most [t − 1] ([41]), and
+    "no path on t vertices" is FO, so the Theorem-2.6 pipeline yields a
+    compact certification: conjoin the treedepth-(t−1) certificate with
+    the kernel-MSO certificate of ¬(contains P_t).
+
+    For [C_t]-minor-freeness the paper routes through the certification
+    of 2-connected-component decompositions of [8] (each block of a
+    [C_t]-minor-free graph is [P_{t²}]-minor-free).  Reimplementing [8]
+    is out of scope (DESIGN.md §3): {!cycle_block_analysis} implements
+    the graph-theoretic content — the block decomposition and the
+    per-block certificates — and reports the per-vertex certificate
+    mass that the [8]-style glue would carry, without the block-
+    decomposition certification itself. *)
+
+val path_minor_free : t:int -> Scheme.t
+(** Certifies "G has no P_t minor" ([t ≥ 2]).  Prover uses the exact
+    treedepth solver; instance sizes should respect its limits. *)
+
+type block_report = {
+  blocks : int;
+  max_block_size : int;
+  per_block_bits : int list;  (** treedepth-certificate size per block *)
+  max_vertex_bits : int;
+      (** worst per-vertex total over incident blocks — the quantity an
+          [8]-style scheme must keep logarithmic *)
+}
+
+val cycle_block_analysis : t:int -> Instance.t -> block_report option
+(** For a [C_t]-minor-free instance: decompose into blocks, certify
+    each block's treedepth (≤ t² − 1 via the P_{t²} bound), and report
+    sizes.  [None] if some block actually has a [C_t] minor. *)

@@ -1,0 +1,161 @@
+type view = {
+  me : int;
+  id_bits : int;
+  label : int;
+  cert : Bitstring.t;
+  nbrs : (int * Bitstring.t) list;
+}
+
+type verdict = Accept | Reject of string
+
+type t = {
+  name : string;
+  prover : Instance.t -> Bitstring.t array option;
+  verifier : view -> verdict;
+}
+
+type outcome = {
+  accepted : bool;
+  rejections : (int * string) list;
+  max_bits : int;
+}
+
+let view_of (inst : Instance.t) certs v =
+  let nbrs =
+    Array.to_list (Graph.neighbors inst.Instance.graph v)
+    |> List.map (fun w -> (inst.Instance.ids.(w), certs.(w)))
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  {
+    me = inst.Instance.ids.(v);
+    id_bits = inst.Instance.id_bits;
+    label = inst.Instance.labels.(v);
+    cert = certs.(v);
+    nbrs;
+  }
+
+let run scheme inst certs =
+  let rejections = ref [] in
+  for v = Graph.n inst.Instance.graph - 1 downto 0 do
+    match scheme.verifier (view_of inst certs v) with
+    | Accept -> ()
+    | Reject reason -> rejections := (v, reason) :: !rejections
+  done;
+  {
+    accepted = !rejections = [];
+    rejections = !rejections;
+    max_bits = Array.fold_left (fun acc c -> max acc (Bitstring.length c)) 0 certs;
+  }
+
+let certify scheme inst =
+  match scheme.prover inst with
+  | None -> None
+  | Some certs -> Some (certs, run scheme inst certs)
+
+let certificate_size scheme inst =
+  match scheme.prover inst with
+  | None -> None
+  | Some certs ->
+      Some
+        (Array.fold_left (fun acc c -> max acc (Bitstring.length c)) 0 certs)
+
+let accepts_with scheme inst certs = (run scheme inst certs).accepted
+
+(* Pair encoding: length-prefixed first component, then the second. *)
+let encode_pair a b =
+  let w = Bitbuf.Writer.create () in
+  Bitbuf.Writer.bitstring w a;
+  Bitbuf.Writer.bitstring w b;
+  Bitbuf.Writer.contents w
+
+let decode_pair c =
+  Bitbuf.decode c (fun r ->
+      let a = Bitbuf.Reader.bitstring r in
+      let b = Bitbuf.Reader.bitstring r in
+      (a, b))
+
+let conjoin ~name s1 s2 =
+  let prover inst =
+    match (s1.prover inst, s2.prover inst) with
+    | Some c1, Some c2 -> Some (Array.map2 encode_pair c1 c2)
+    | _ -> None
+  in
+  let verifier view =
+    let split c = decode_pair c in
+    match split view.cert with
+    | None -> Reject "conjoin: malformed pair certificate"
+    | Some (mine1, mine2) -> (
+        let halves =
+          List.map (fun (id, c) -> (id, split c)) view.nbrs
+        in
+        if List.exists (fun (_, h) -> h = None) halves then
+          Reject "conjoin: malformed neighbor certificate"
+        else
+          let part proj mine =
+            {
+              view with
+              cert = mine;
+              nbrs =
+                List.map
+                  (fun (id, h) -> (id, proj (Option.get h)))
+                  halves;
+            }
+          in
+          match s1.verifier (part fst mine1) with
+          | Reject r -> Reject (s1.name ^ ": " ^ r)
+          | Accept -> (
+              match s2.verifier (part snd mine2) with
+              | Reject r -> Reject (s2.name ^ ": " ^ r)
+              | Accept -> Accept))
+  in
+  { name; prover; verifier }
+
+let disjoin ~name s1 s2 =
+  let tag bit c =
+    let w = Bitbuf.Writer.create () in
+    Bitbuf.Writer.bit w bit;
+    Bitbuf.Writer.bitstring w c;
+    Bitbuf.Writer.contents w
+  in
+  let untag c =
+    Bitbuf.decode c (fun r ->
+        let bit = Bitbuf.Reader.bit r in
+        let body = Bitbuf.Reader.bitstring r in
+        (bit, body))
+  in
+  let prover inst =
+    match s1.prover inst with
+    | Some c1 -> Some (Array.map (tag false) c1)
+    | None -> (
+        match s2.prover inst with
+        | Some c2 -> Some (Array.map (tag true) c2)
+        | None -> None)
+  in
+  let verifier view =
+    match untag view.cert with
+    | None -> Reject "disjoin: malformed certificate"
+    | Some (sel, body) -> (
+        let nbrs = List.map (fun (id, c) -> (id, untag c)) view.nbrs in
+        if List.exists (fun (_, u) -> u = None) nbrs then
+          Reject "disjoin: malformed neighbor certificate"
+        else if
+          List.exists (fun (_, u) -> fst (Option.get u) <> sel) nbrs
+        then Reject "disjoin: neighbors disagree on the selector"
+        else
+          let inner =
+            {
+              view with
+              cert = body;
+              nbrs = List.map (fun (id, u) -> (id, snd (Option.get u))) nbrs;
+            }
+          in
+          if sel then s2.verifier inner else s1.verifier inner)
+  in
+  { name; prover; verifier }
+
+let trivial ~name verifier =
+  {
+    name;
+    prover = (fun inst -> Some (Array.make (Instance.n inst) Bitstring.empty));
+    verifier;
+  }

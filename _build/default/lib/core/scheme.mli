@@ -1,0 +1,75 @@
+(** The local certification framework (Section 3.3).
+
+    A scheme is a prover together with a radius-1 verifier:
+
+    - the {e prover} sees the whole instance and, on yes-instances,
+      produces one certificate (bit string) per vertex;
+    - the {e verifier} runs at each vertex on its {!view} — its own
+      identifier and certificate and the identifiers and certificates
+      of its neighbors (radius exactly 1: it does {e not} see edges
+      among its neighbors, per Section 2.2 / Appendix A.1) — and
+      accepts or rejects.
+
+    A scheme certifies a property when (completeness) on yes-instances
+    the prover's certificates make every vertex accept, and (soundness)
+    on no-instances {e every} certificate assignment is rejected by at
+    least one vertex.  {!run} decides one assignment; the adversarial
+    side lives in {!Attack}. *)
+
+type view = {
+  me : int;  (** own identifier *)
+  id_bits : int;  (** instance-global ID width (public knowledge) *)
+  label : int;  (** own vertex label (0 when unlabeled) *)
+  cert : Bitstring.t;
+  nbrs : (int * Bitstring.t) list;
+      (** (identifier, certificate) of each neighbor, sorted by id *)
+}
+
+type verdict = Accept | Reject of string
+(** Rejections carry a human-readable reason; the framework treats any
+    [Reject _] identically. *)
+
+type t = {
+  name : string;
+  prover : Instance.t -> Bitstring.t array option;
+      (** [None] when the instance is a no-instance (or the prover
+          cannot find a witness); [Some certs] indexed by vertex. *)
+  verifier : view -> verdict;
+}
+
+type outcome = {
+  accepted : bool;
+  rejections : (int * string) list;  (** rejecting vertices with reasons *)
+  max_bits : int;  (** size of the largest certificate in the run *)
+}
+
+val view_of : Instance.t -> Bitstring.t array -> int -> view
+(** The radius-1 view of a vertex under a certificate assignment. *)
+
+val run : t -> Instance.t -> Bitstring.t array -> outcome
+(** Execute the verifier at every vertex. *)
+
+val certify : t -> Instance.t -> (Bitstring.t array * outcome) option
+(** Prover then verifier; [None] if the prover declines. *)
+
+val certificate_size : t -> Instance.t -> int option
+(** Max certificate bits the prover uses on this instance ([None] if it
+    declines) — the paper's measure of a certification. *)
+
+val accepts_with : t -> Instance.t -> Bitstring.t array -> bool
+(** [run] reduced to the global conjunction. *)
+
+(** {1 Combinators} *)
+
+val conjoin : name:string -> t -> t -> t
+(** Certify both properties: certificates are length-prefixed pairs;
+    each vertex runs both verifiers on the respective halves. *)
+
+val disjoin : name:string -> t -> t -> t
+(** Certify a disjunction: a selector bit (checked equal between
+    neighbors, hence global by connectivity) says which scheme's
+    certificate follows. *)
+
+val trivial : name:string -> (view -> verdict) -> t
+(** A scheme with empty certificates (e.g. "max degree ≤ 3" needs none:
+    the view alone decides). *)

@@ -1,0 +1,282 @@
+type cert = { root_id : int; dist : int; parent_id : int }
+
+let encode ~id_bits c =
+  let w = Bitbuf.Writer.create () in
+  Bitbuf.Writer.fixed w ~width:id_bits c.root_id;
+  Bitbuf.Writer.nat w c.dist;
+  Bitbuf.Writer.fixed w ~width:id_bits c.parent_id;
+  Bitbuf.Writer.contents w
+
+let decode ~id_bits b =
+  Bitbuf.decode b (fun r ->
+      let root_id = Bitbuf.Reader.fixed r ~width:id_bits in
+      let dist = Bitbuf.Reader.nat r in
+      let parent_id = Bitbuf.Reader.fixed r ~width:id_bits in
+      { root_id; dist; parent_id })
+
+let check_tree_view ~me c ~neighbors =
+  let ( let* ) = Result.bind in
+  let* () =
+    if List.for_all (fun (_, nc) -> nc.root_id = c.root_id) neighbors then
+      Ok ()
+    else Error "root ids disagree"
+  in
+  if c.dist = 0 then
+    if c.root_id <> me then Error "distance 0 but not the claimed root"
+    else if c.parent_id <> me then Error "root must be its own parent"
+    else Ok ()
+  else
+    let* () =
+      if c.root_id = me then Error "claimed root has nonzero distance"
+      else Ok ()
+    in
+    match List.find_opt (fun (nid, _) -> nid = c.parent_id) neighbors with
+    | None -> Error "parent is not a neighbor"
+    | Some (_, pc) ->
+        if pc.dist = c.dist - 1 then Ok ()
+        else Error "parent distance is not mine minus one"
+
+(* Build certificates from a BFS spanning tree. *)
+let tree_certs (inst : Instance.t) root =
+  let sp = Spanning.bfs inst.graph ~root in
+  Array.init (Instance.n inst) (fun v ->
+      {
+        root_id = inst.ids.(root);
+        dist = sp.dist.(v);
+        parent_id =
+          (if v = root then inst.ids.(root) else inst.ids.(sp.parent.(v)));
+      })
+
+let decode_view (view : Scheme.view) =
+  let id_bits = view.id_bits in
+  match decode ~id_bits view.cert with
+  | None -> Error "malformed certificate"
+  | Some mine ->
+      let rec decode_all = function
+        | [] -> Ok []
+        | (nid, c) :: rest -> (
+            match decode ~id_bits c with
+            | None -> Error "malformed neighbor certificate"
+            | Some nc ->
+                Result.map (fun tail -> (nid, nc) :: tail) (decode_all rest))
+      in
+      Result.map (fun nbrs -> (mine, nbrs)) (decode_all view.nbrs)
+
+let scheme ?(root = 0) () =
+  {
+    Scheme.name = "spanning-tree";
+    prover =
+      (fun inst ->
+        if Graph.is_connected inst.graph then
+          Some
+            (Array.map
+               (encode ~id_bits:inst.id_bits)
+               (tree_certs inst root))
+        else None);
+    verifier =
+      (fun view ->
+        match decode_view view with
+        | Error e -> Reject e
+        | Ok (mine, nbrs) -> (
+            match check_tree_view ~me:view.me mine ~neighbors:nbrs with
+            | Ok () -> Accept
+            | Error e -> Reject e));
+  }
+
+let acyclicity =
+  {
+    Scheme.name = "acyclicity";
+    prover =
+      (fun inst ->
+        if Graph.is_tree inst.graph then
+          Some
+            (Array.map (encode ~id_bits:inst.id_bits) (tree_certs inst 0))
+        else None);
+    verifier =
+      (fun view ->
+        match decode_view view with
+        | Error e -> Reject e
+        | Ok (mine, nbrs) -> (
+            match check_tree_view ~me:view.me mine ~neighbors:nbrs with
+            | Error e -> Reject e
+            | Ok () ->
+                (* every edge must be a tree edge: each neighbor is my
+                   parent (dist-1, and I claim it) or my child (dist+1,
+                   and it claims me) *)
+                let bad =
+                  List.find_opt
+                    (fun (nid, nc) ->
+                      let is_parent =
+                        nc.dist = mine.dist - 1 && mine.parent_id = nid
+                      in
+                      let is_child =
+                        nc.dist = mine.dist + 1 && nc.parent_id = view.me
+                      in
+                      not (is_parent || is_child))
+                    nbrs
+                in
+                (match bad with
+                | None -> Accept
+                | Some _ -> Reject "non-tree edge detected")));
+  }
+
+(* Vertex count: spanning-tree certificate extended with the subtree
+   size and the claimed global total. *)
+type count_cert = { tree : cert; size : int; total : int }
+
+let encode_count ~id_bits c =
+  let w = Bitbuf.Writer.create () in
+  Bitbuf.Writer.fixed w ~width:id_bits c.tree.root_id;
+  Bitbuf.Writer.nat w c.tree.dist;
+  Bitbuf.Writer.fixed w ~width:id_bits c.tree.parent_id;
+  Bitbuf.Writer.nat w c.size;
+  Bitbuf.Writer.nat w c.total;
+  Bitbuf.Writer.contents w
+
+let decode_count ~id_bits b =
+  Bitbuf.decode b (fun r ->
+      let root_id = Bitbuf.Reader.fixed r ~width:id_bits in
+      let dist = Bitbuf.Reader.nat r in
+      let parent_id = Bitbuf.Reader.fixed r ~width:id_bits in
+      let size = Bitbuf.Reader.nat r in
+      let total = Bitbuf.Reader.nat r in
+      { tree = { root_id; dist; parent_id }; size; total })
+
+let count_certs (inst : Instance.t) root =
+  let sp = Spanning.bfs inst.graph ~root in
+  let sizes = Spanning.subtree_sizes sp in
+  let base = tree_certs inst root in
+  Array.init (Instance.n inst) (fun v ->
+      { tree = base.(v); size = sizes.(v); total = Instance.n inst })
+
+let vertex_count ?(root = 0) ~expected pred_name =
+  let verifier (view : Scheme.view) : Scheme.verdict =
+    let id_bits = view.id_bits in
+    match decode_count ~id_bits view.cert with
+    | None -> Reject "malformed certificate"
+    | Some mine -> (
+        let nbrs =
+          List.map (fun (nid, c) -> (nid, decode_count ~id_bits c)) view.nbrs
+        in
+        if List.exists (fun (_, c) -> c = None) nbrs then
+          Reject "malformed neighbor certificate"
+        else
+          let nbrs = List.map (fun (nid, c) -> (nid, Option.get c)) nbrs in
+          let tree_nbrs = List.map (fun (nid, c) -> (nid, c.tree)) nbrs in
+          match check_tree_view ~me:view.me mine.tree ~neighbors:tree_nbrs with
+          | Error e -> Reject e
+          | Ok () ->
+              if List.exists (fun (_, c) -> c.total <> mine.total) nbrs then
+                Reject "totals disagree"
+              else begin
+                let children_sum =
+                  List.fold_left
+                    (fun acc (_, c) ->
+                      if
+                        c.tree.parent_id = view.me
+                        && c.tree.dist = mine.tree.dist + 1
+                      then acc + c.size
+                      else acc)
+                    0 nbrs
+                in
+                if mine.size <> children_sum + 1 then
+                  Reject "subtree size does not match children"
+                else if mine.tree.dist = 0 && mine.size <> mine.total then
+                  Reject "root size differs from claimed total"
+                else if mine.tree.dist = 0 && not (expected mine.total) then
+                  Reject "total fails the predicate"
+                else Accept
+              end)
+  in
+  {
+    Scheme.name = Printf.sprintf "vertex-count[%s]" pred_name;
+    prover =
+      (fun inst ->
+        if Graph.is_connected inst.graph && expected (Instance.n inst) then
+          Some
+            (Array.map (encode_count ~id_bits:inst.id_bits) (count_certs inst root))
+        else None);
+    verifier;
+  }
+
+let counted ?(choose_root = fun _ -> Some 0) ~name ~total_pred ~local
+    ~root_check () =
+  let verifier (view : Scheme.view) : Scheme.verdict =
+    let id_bits = view.id_bits in
+    match decode_count ~id_bits view.cert with
+    | None -> Reject "malformed certificate"
+    | Some mine -> (
+        let nbrs =
+          List.map (fun (nid, c) -> (nid, decode_count ~id_bits c)) view.nbrs
+        in
+        if List.exists (fun (_, c) -> c = None) nbrs then
+          Reject "malformed neighbor certificate"
+        else
+          let nbrs = List.map (fun (nid, c) -> (nid, Option.get c)) nbrs in
+          let tree_nbrs = List.map (fun (nid, c) -> (nid, c.tree)) nbrs in
+          match check_tree_view ~me:view.me mine.tree ~neighbors:tree_nbrs with
+          | Error e -> Reject e
+          | Ok () ->
+              if List.exists (fun (_, c) -> c.total <> mine.total) nbrs then
+                Reject "totals disagree"
+              else begin
+                let children_sum =
+                  List.fold_left
+                    (fun acc (_, c) ->
+                      if
+                        c.tree.parent_id = view.me
+                        && c.tree.dist = mine.tree.dist + 1
+                      then acc + c.size
+                      else acc)
+                    0 nbrs
+                in
+                let degree = List.length view.nbrs in
+                if mine.size <> children_sum + 1 then
+                  Reject "subtree size does not match children"
+                else if mine.tree.dist = 0 && mine.size <> mine.total then
+                  Reject "root size differs from claimed total"
+                else if mine.tree.dist = 0 && not (total_pred mine.total) then
+                  Reject "total fails the predicate"
+                else if not (local ~total:mine.total ~me:view.me ~degree) then
+                  Reject "local degree check failed"
+                else if
+                  mine.tree.dist = 0 && not (root_check ~total:mine.total ~degree)
+                then Reject "root check failed"
+                else Accept
+              end)
+  in
+  {
+    Scheme.name = name;
+    prover =
+      (fun inst ->
+        let g = inst.Instance.graph in
+        if not (Graph.is_connected g) then None
+        else
+          match choose_root g with
+          | None -> None
+          | Some root ->
+              let n = Instance.n inst in
+              let ok =
+                total_pred n
+                && Graph.fold_vertices
+                     (fun v acc ->
+                       acc
+                       && local ~total:n ~me:inst.Instance.ids.(v)
+                            ~degree:(Graph.degree g v))
+                     g true
+                && root_check ~total:n ~degree:(Graph.degree g root)
+              in
+              if ok then
+                Some
+                  (Array.map
+                     (encode_count ~id_bits:inst.Instance.id_bits)
+                     (count_certs inst root))
+              else None);
+    verifier;
+  }
+
+let count_cert_size inst =
+  let certs = count_certs inst 0 in
+  Array.fold_left
+    (fun acc c -> max acc (Bitstring.length (encode_count ~id_bits:inst.Instance.id_bits c)))
+    0 certs

@@ -1,0 +1,241 @@
+module TA = Localcert_automata.Tree_automaton
+
+type cert = { dist3 : int; state : int; fingerprint : int }
+
+let fingerprint_bits = 16
+
+let fingerprint (auto : TA.t) = Hashtbl.hash auto.TA.name land 0xFFFF
+
+let encode ~state_bits c =
+  let w = Bitbuf.Writer.create () in
+  Bitbuf.Writer.fixed w ~width:2 c.dist3;
+  Bitbuf.Writer.fixed w ~width:state_bits c.state;
+  Bitbuf.Writer.fixed w ~width:fingerprint_bits c.fingerprint;
+  Bitbuf.Writer.contents w
+
+let decode ~state_bits b =
+  Bitbuf.decode b (fun r ->
+      let dist3 = Bitbuf.Reader.fixed r ~width:2 in
+      let state = Bitbuf.Reader.fixed r ~width:state_bits in
+      let fingerprint = Bitbuf.Reader.fixed r ~width:fingerprint_bits in
+      { dist3; state; fingerprint })
+
+(* Fixed-table automata report their exact state count up front; lazy
+   ones (products, capped-type compilations) may report 0 or 1 before
+   they have been run, so give those a roomy default.  The prover
+   re-checks that every state fits (see [prover_certs]). *)
+let default_state_bits (auto : TA.t) =
+  let count = auto.TA.state_count () in
+  if count >= 2 then Combin.ceil_log2 count else 8
+
+(* Prover: run the automaton from [root], returning per-vertex
+   (dist mod 3, state). *)
+let label_run (inst : Instance.t) (auto : TA.t) root =
+  let g = inst.Instance.graph in
+  let dist = Graph.bfs_dist g root in
+  let size = Graph.n g in
+  let states = Array.make size (-1) in
+  (* bottom-up by decreasing distance *)
+  let order = Array.init size Fun.id in
+  Array.sort (fun a b -> Int.compare dist.(b) dist.(a)) order;
+  Array.iter
+    (fun v ->
+      let child_states =
+        Array.to_list (Graph.neighbors g v)
+        |> List.filter (fun w -> dist.(w) = dist.(v) + 1)
+        |> List.map (fun w -> states.(w))
+      in
+      states.(v) <-
+        auto.TA.delta ~label:inst.Instance.labels.(v)
+          ~counts:(TA.counts_of_list child_states))
+    order;
+  (dist, states)
+
+let prover_certs ?state_bits (inst : Instance.t) (auto : TA.t) roots =
+  if not (Graph.is_tree inst.Instance.graph) then None
+  else
+    let accepting_root =
+      List.find_opt
+        (fun r ->
+          let _, states = label_run inst auto r in
+          auto.TA.accepting states.(r))
+        roots
+    in
+    match accepting_root with
+    | None -> None
+    | Some root ->
+        let dist, states = label_run inst auto root in
+        let fp = fingerprint auto in
+        let sb =
+          match state_bits with
+          | Some b -> b
+          | None -> default_state_bits auto
+        in
+        let max_state = Array.fold_left max 0 states in
+        if max_state >= 1 lsl sb then
+          invalid_arg
+            (Printf.sprintf
+               "Tree_mso: automaton %s reached state %d, which does not fit \
+                the %d-bit state field; pass ~state_bits"
+               auto.TA.name max_state sb);
+        Some
+          (Array.init (Instance.n inst) (fun v ->
+               encode ~state_bits:sb
+                 { dist3 = dist.(v) mod 3; state = states.(v); fingerprint = fp }))
+
+let verifier ~state_bits (auto : TA.t) (view : Scheme.view) : Scheme.verdict =
+  let fp = fingerprint auto in
+  match decode ~state_bits view.cert with
+  | None -> Reject "malformed certificate"
+  | Some mine -> (
+      if mine.fingerprint <> fp then Reject "automaton fingerprint mismatch"
+      else if mine.dist3 > 2 then Reject "invalid mod-3 distance"
+      else
+        let nbrs = List.map (fun (_, c) -> decode ~state_bits c) view.nbrs in
+        if List.exists (fun c -> c = None) nbrs then
+          Reject "malformed neighbor certificate"
+        else
+          let nbrs = List.map Option.get nbrs in
+          if List.exists (fun c -> c.fingerprint <> fp) nbrs then
+            Reject "neighbor fingerprint mismatch"
+          else begin
+            let up = (mine.dist3 + 2) mod 3 and down = (mine.dist3 + 1) mod 3 in
+            let parents = List.filter (fun c -> c.dist3 = up) nbrs in
+            let children = List.filter (fun c -> c.dist3 = down) nbrs in
+            if List.length parents + List.length children <> List.length nbrs
+            then Reject "neighbor at my own mod-3 distance"
+            else
+              match parents with
+              | _ :: _ :: _ -> Reject "two parents"
+              | [ _ ] ->
+                  (* internal vertex: transition check *)
+                  let expected =
+                    auto.TA.delta ~label:view.label
+                      ~counts:
+                        (TA.counts_of_list (List.map (fun c -> c.state) children))
+                  in
+                  if expected <> mine.state then
+                    Reject "state is not the transition of the children states"
+                  else Accept
+              | [] ->
+                  (* root *)
+                  if mine.dist3 <> 0 then Reject "root must have distance 0"
+                  else
+                    let expected =
+                      auto.TA.delta ~label:view.label
+                        ~counts:
+                          (TA.counts_of_list
+                             (List.map (fun c -> c.state) children))
+                    in
+                    if expected <> mine.state then
+                      Reject "root state is not the transition of the children"
+                    else if not (auto.TA.accepting mine.state) then
+                      Reject "root state is not accepting"
+                    else Accept
+          end)
+
+let make ?state_bits auto =
+  let sb = match state_bits with Some b -> b | None -> default_state_bits auto in
+  {
+    Scheme.name = "tree-mso[" ^ auto.TA.name ^ "]";
+    prover =
+      (fun inst ->
+        prover_certs ~state_bits:sb inst auto (Graph.vertices inst.Instance.graph));
+    verifier = verifier ~state_bits:sb auto;
+  }
+
+let make_with_root ?state_bits ~root auto =
+  let sb = match state_bits with Some b -> b | None -> default_state_bits auto in
+  {
+    Scheme.name = Printf.sprintf "tree-mso[%s]@%d" auto.TA.name root;
+    prover = (fun inst -> prover_certs ~state_bits:sb inst auto [ root ]);
+    verifier = verifier ~state_bits:sb auto;
+  }
+
+(* The literal certificate of Appendix C.1: mod-3 counter, automaton
+   description (the encoded UOP table), and run state. *)
+let make_table table =
+  let module U = Localcert_automata.Uop in
+  let auto = U.to_tree_automaton table in
+  let table_bits = U.encode table in
+  let sb = max 1 (Combin.ceil_log2 (max 2 table.U.states)) in
+  let encode_full dist3 state =
+    let w = Bitbuf.Writer.create () in
+    Bitbuf.Writer.fixed w ~width:2 dist3;
+    Bitbuf.Writer.fixed w ~width:sb state;
+    Bitbuf.Writer.contents w
+    |> fun prefix -> Bitstring.append prefix table_bits
+  in
+  let decode_full c =
+    let expected_len = 2 + sb + Bitstring.length table_bits in
+    if Bitstring.length c <> expected_len then None
+    else
+      let prefix = Bitstring.sub c ~pos:0 ~len:(2 + sb) in
+      let rest = Bitstring.sub c ~pos:(2 + sb) ~len:(Bitstring.length table_bits) in
+      if not (Bitstring.equal rest table_bits) then None
+      else
+        Bitbuf.decode prefix (fun r ->
+            let dist3 = Bitbuf.Reader.fixed r ~width:2 in
+            let state = Bitbuf.Reader.fixed r ~width:sb in
+            (dist3, state))
+  in
+  let prover (inst : Instance.t) =
+    if not (Graph.is_tree inst.Instance.graph) then None
+    else
+      let roots = Graph.vertices inst.Instance.graph in
+      let accepting_root =
+        List.find_opt
+          (fun r ->
+            let _, states = label_run inst auto r in
+            auto.TA.accepting states.(r))
+          roots
+      in
+      match accepting_root with
+      | None -> None
+      | Some root ->
+          let dist, states = label_run inst auto root in
+          Some
+            (Array.init (Instance.n inst) (fun v ->
+                 encode_full (dist.(v) mod 3) states.(v)))
+  in
+  let verifier (view : Scheme.view) : Scheme.verdict =
+    match decode_full view.cert with
+    | None -> Reject "malformed certificate or wrong automaton description"
+    | Some (dist3, state) -> (
+        let nbrs = List.map (fun (_, c) -> decode_full c) view.nbrs in
+        if List.exists (fun c -> c = None) nbrs then
+          Reject "malformed neighbor certificate"
+        else
+          let nbrs = List.map Option.get nbrs in
+          let up = (dist3 + 2) mod 3 and down = (dist3 + 1) mod 3 in
+          let parents = List.filter (fun (d, _) -> d = up) nbrs in
+          let children = List.filter (fun (d, _) -> d = down) nbrs in
+          if List.length parents + List.length children <> List.length nbrs
+          then Reject "neighbor at my own mod-3 distance"
+          else
+            let expected =
+              auto.TA.delta ~label:view.label
+                ~counts:(TA.counts_of_list (List.map snd children))
+            in
+            match parents with
+            | _ :: _ :: _ -> Reject "two parents"
+            | [ _ ] ->
+                if expected <> state then Reject "transition mismatch"
+                else Accept
+            | [] ->
+                if dist3 <> 0 then Reject "root must have distance 0"
+                else if expected <> state then Reject "root transition mismatch"
+                else if not (auto.TA.accepting state) then
+                  Reject "root state not accepting"
+                else Accept)
+  in
+  { Scheme.name = "tree-mso-table[" ^ table.U.name ^ "]"; prover; verifier }
+
+let with_tree_promise_check scheme =
+  Scheme.conjoin
+    ~name:(scheme.Scheme.name ^ "+acyclic")
+    Spanning_tree.acyclicity scheme
+
+let cert_size ?state_bits auto inst =
+  let scheme = make ?state_bits auto in
+  Scheme.certificate_size scheme inst

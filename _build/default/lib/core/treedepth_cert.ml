@@ -1,0 +1,61 @@
+let default_find_model g =
+  if Graph.n g <= 20 then Some (Exact.optimal_model g)
+  else if Graph.is_tree g then Some (Elimination.centroid_of_tree g)
+  else Some (Heuristic.model g)
+
+let certs_for (inst : Instance.t) model =
+  let model = Elimination.coherentize model inst.Instance.graph in
+  Anclist.build inst model ~ann:(fun _ -> ())
+
+let verifier ~t (view : Scheme.view) : Scheme.verdict =
+  match Anclist.verify ~t_bound:t Anclist.unit_codec view with
+  | Ok _ -> Accept
+  | Error e -> Reject e
+
+let make ?(find_model = default_find_model) ~t () =
+  {
+    Scheme.name = Printf.sprintf "treedepth<=%d" t;
+    prover =
+      (fun inst ->
+        if not (Graph.is_connected inst.Instance.graph) then None
+        else
+          match find_model inst.Instance.graph with
+          | Some model when Elimination.height model <= t ->
+              let entries = certs_for inst model in
+              Some
+                (Array.map
+                   (Anclist.encode ~id_bits:inst.Instance.id_bits
+                      Anclist.unit_codec)
+                   entries)
+          | _ -> None);
+    verifier = verifier ~t;
+  }
+
+let make_with_model ~t model =
+  {
+    Scheme.name = Printf.sprintf "treedepth<=%d[fixed-model]" t;
+    prover =
+      (fun inst ->
+        if
+          Graph.is_connected inst.Instance.graph
+          && Elimination.is_model model inst.Instance.graph
+          && Elimination.height model <= t
+        then
+          let entries = certs_for inst model in
+          Some
+            (Array.map
+               (Anclist.encode ~id_bits:inst.Instance.id_bits Anclist.unit_codec)
+               entries)
+        else None);
+    verifier = verifier ~t;
+  }
+
+let cert_size ~t inst_model inst =
+  ignore t;
+  let entries = certs_for inst inst_model in
+  Array.fold_left
+    (fun acc es ->
+      max acc
+        (Bitstring.length
+           (Anclist.encode ~id_bits:inst.Instance.id_bits Anclist.unit_codec es)))
+    0 entries

@@ -1,0 +1,34 @@
+(** Certification that the graph has treedepth at most t
+    (Theorem 2.4, Section 5) — O(t log n) bits.
+
+    Prover: find a coherent elimination tree of depth ≤ t (exact solver
+    on small instances, closed-form or caller-provided models on big
+    ones), then emit the ancestor-list certificates of {!Anclist}.
+
+    Verifier: the Section-5 checks.  Soundness: accepted certificates
+    embed a pointer structure that decrements list lengths, hence an
+    elimination forest of depth ≤ t whose ancestor relation covers
+    every edge (Claim 1 of the paper). *)
+
+val make :
+  ?find_model:(Graph.t -> Elimination.t option) -> t:int -> unit -> Scheme.t
+(** [make ~t ()] certifies treedepth ≤ [t] (levels convention).  The
+    default model finder uses the exact solver for ≤ 20 vertices, the
+    centroid decomposition for trees, and the BFS-separator heuristic
+    otherwise; supply [find_model] for constructed families. *)
+
+val make_with_model : t:int -> Elimination.t -> Scheme.t
+(** Fixed model (must be a model of the instance's graph; it is
+    coherentized automatically). *)
+
+val default_find_model : Graph.t -> Elimination.t option
+(** The finder described under {!make}: exact for ≤ 20 vertices,
+    centroid decomposition on trees, BFS-separator heuristic
+    ([Heuristic.model]) otherwise; exposed for reuse.  (When the
+    heuristic's height exceeds [t], {!make}'s prover declines even if
+    the true treedepth is ≤ [t] — supply a better model in that
+    case.) *)
+
+val cert_size : t:int -> Elimination.t -> Instance.t -> int
+(** Measured maximum certificate size for a given model — the E4
+    series. *)

@@ -1,0 +1,23 @@
+(** The universal O(n²)-bit certification (Section 1.2).
+
+    Any property of connected graphs can be certified by writing the
+    whole graph into every certificate: each vertex checks that the
+    description is identical to its neighbors', that its own row of the
+    description matches its true neighborhood, and that the described
+    graph satisfies the property.  Consistency plus connectivity force
+    the description to be the real graph.
+
+    This is the baseline every compact scheme is measured against; E11
+    prints its measured size next to the O(log n) and O(1) schemes. *)
+
+val make : name:string -> (Graph.t -> bool) -> Scheme.t
+(** [make ~name p] certifies [p] with Θ(n² + n log n)-bit
+    certificates. *)
+
+val of_formula : Formula.t -> Scheme.t
+(** Universal scheme deciding an MSO sentence with the brute-force
+    evaluator (small graphs only). *)
+
+val cert_size : Instance.t -> int
+(** Measured certificate size of the graph description on an
+    instance. *)

@@ -1,0 +1,1 @@
+lib/graph/bicomp.ml: Array Graph Int List

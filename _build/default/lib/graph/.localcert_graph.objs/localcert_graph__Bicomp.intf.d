@@ -1,0 +1,1 @@
+lib/graph/bicomp.mli: Graph

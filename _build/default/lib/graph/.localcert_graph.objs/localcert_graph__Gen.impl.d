@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Array Fun Graph Int List Localcert_util Set

@@ -1,0 +1,1 @@
+lib/graph/io.ml: Array Buffer Char Graph List Printf Result String

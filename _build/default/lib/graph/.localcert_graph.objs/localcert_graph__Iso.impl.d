@@ -1,0 +1,1 @@
+lib/graph/iso.ml: Array Graph Int List

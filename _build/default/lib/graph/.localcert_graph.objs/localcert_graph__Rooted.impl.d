@@ -1,0 +1,1 @@
+lib/graph/rooted.ml: Array Format Graph Hashtbl List Localcert_util Printf String

@@ -1,0 +1,1 @@
+lib/graph/spanning.ml: Array Fun Graph Int List

@@ -1,0 +1,62 @@
+(* Hopcroft–Tarjan block decomposition by DFS with an edge stack. *)
+
+let decompose g =
+  let n = Graph.n g in
+  let disc = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let timer = ref 0 in
+  let stack = ref [] in
+  let blocks = ref [] in
+  let cuts = Array.make n false in
+  let rec dfs v parent =
+    disc.(v) <- !timer;
+    low.(v) <- !timer;
+    incr timer;
+    let children = ref 0 in
+    Array.iter
+      (fun w ->
+        if disc.(w) = -1 then begin
+          incr children;
+          stack := (v, w) :: !stack;
+          dfs w v;
+          low.(v) <- min low.(v) low.(w);
+          if low.(w) >= disc.(v) then begin
+            (* [v] closes a block; pop the edge stack down to (v, w). *)
+            if parent <> -1 then cuts.(v) <- true;
+            let block = ref [] in
+            let continue = ref true in
+            while !continue do
+              match !stack with
+              | [] -> continue := false
+              | e :: rest ->
+                  stack := rest;
+                  block := e :: !block;
+                  if e = (v, w) then continue := false
+            done;
+            blocks := !block :: !blocks
+          end
+        end
+        else if w <> parent && disc.(w) < disc.(v) then begin
+          stack := (v, w) :: !stack;
+          low.(v) <- min low.(v) disc.(w)
+        end)
+      (Graph.neighbors g v);
+    if parent = -1 && !children >= 2 then cuts.(v) <- true
+  in
+  for v = 0 to n - 1 do
+    if disc.(v) = -1 then dfs v (-1)
+  done;
+  (List.rev !blocks, cuts)
+
+let cut_vertices g =
+  let _, cuts = decompose g in
+  List.filter (fun v -> cuts.(v)) (Graph.vertices g)
+
+let blocks g = fst (decompose g)
+
+let block_vertex_sets g =
+  List.map
+    (fun edge_list ->
+      List.sort_uniq Int.compare
+        (List.concat_map (fun (u, v) -> [ u; v ]) edge_list))
+    (blocks g)

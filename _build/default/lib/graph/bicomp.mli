@@ -1,0 +1,17 @@
+(** Cut vertices and 2-connected components (blocks).
+
+    Used by Corollary 2.7: every 2-connected component of a
+    [C_t]-minor-free graph is [P_{t²}]-minor-free, so the certification
+    decomposes along blocks. *)
+
+val cut_vertices : Graph.t -> int list
+(** Articulation points, sorted. *)
+
+val blocks : Graph.t -> (int * int) list list
+(** The blocks (maximal 2-connected subgraphs, bridges included as
+    2-vertex blocks) as edge lists.  Every edge belongs to exactly one
+    block. *)
+
+val block_vertex_sets : Graph.t -> int list list
+(** Vertex sets of the blocks, each sorted.  Isolated vertices form no
+    block. *)

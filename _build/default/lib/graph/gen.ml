@@ -1,0 +1,153 @@
+module Rng = Localcert_util.Rng
+
+let path n =
+  Graph.of_edges ~n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Gen.cycle: need n >= 3";
+  Graph.of_edges ~n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let star n =
+  if n < 1 then invalid_arg "Gen.star: need n >= 1";
+  Graph.of_edges ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let clique n =
+  let es = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      es := (u, v) :: !es
+    done
+  done;
+  Graph.of_edges ~n !es
+
+let complete_binary_tree h =
+  if h < 0 then invalid_arg "Gen.complete_binary_tree: negative height";
+  let n = (1 lsl (h + 1)) - 1 in
+  let es = ref [] in
+  for v = 1 to n - 1 do
+    es := (v, (v - 1) / 2) :: !es
+  done;
+  Graph.of_edges ~n !es
+
+let caterpillar ~spine ~legs =
+  if spine < 1 || legs < 0 then invalid_arg "Gen.caterpillar";
+  let n = spine * (legs + 1) in
+  let es = ref [] in
+  for i = 0 to spine - 2 do
+    es := (i, i + 1) :: !es
+  done;
+  for i = 0 to spine - 1 do
+    for j = 0 to legs - 1 do
+      es := (i, spine + (i * legs) + j) :: !es
+    done
+  done;
+  Graph.of_edges ~n !es
+
+let spider ~legs ~leg_len =
+  if legs < 0 || leg_len < 1 then invalid_arg "Gen.spider";
+  let n = 1 + (legs * leg_len) in
+  let es = ref [] in
+  for l = 0 to legs - 1 do
+    let base = 1 + (l * leg_len) in
+    es := (0, base) :: !es;
+    for j = 0 to leg_len - 2 do
+      es := (base + j, base + j + 1) :: !es
+    done
+  done;
+  Graph.of_edges ~n !es
+
+let grid rows cols =
+  if rows < 1 || cols < 1 then invalid_arg "Gen.grid";
+  let idx r c = (r * cols) + c in
+  let es = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then es := (idx r c, idx r (c + 1)) :: !es;
+      if r + 1 < rows then es := (idx r c, idx (r + 1) c) :: !es
+    done
+  done;
+  Graph.of_edges ~n:(rows * cols) !es
+
+(* Decode a Prüfer sequence of length n-2 into a labelled tree. *)
+let random_tree rng n =
+  if n < 1 then invalid_arg "Gen.random_tree: need n >= 1";
+  if n = 1 then Graph.empty 1
+  else if n = 2 then Graph.of_edges ~n [ (0, 1) ]
+  else begin
+    let seq = Array.init (n - 2) (fun _ -> Rng.int rng n) in
+    let deg = Array.make n 1 in
+    Array.iter (fun v -> deg.(v) <- deg.(v) + 1) seq;
+    let module IS = Set.Make (Int) in
+    let leaves = ref IS.empty in
+    for v = 0 to n - 1 do
+      if deg.(v) = 1 then leaves := IS.add v !leaves
+    done;
+    let es = ref [] in
+    Array.iter
+      (fun v ->
+        let leaf = IS.min_elt !leaves in
+        leaves := IS.remove leaf !leaves;
+        es := (leaf, v) :: !es;
+        deg.(v) <- deg.(v) - 1;
+        if deg.(v) = 1 then leaves := IS.add v !leaves)
+      seq;
+    (match IS.elements !leaves with
+    | [ a; b ] -> es := (a, b) :: !es
+    | _ -> assert false);
+    Graph.of_edges ~n !es
+  end
+
+let random_tree_bounded_depth rng ~n ~depth =
+  if n < 1 || depth < 0 then invalid_arg "Gen.random_tree_bounded_depth";
+  let parent = Array.make n (-1) in
+  let vdepth = Array.make n 0 in
+  let candidates = ref [ 0 ] in
+  for v = 1 to n - 1 do
+    (match !candidates with
+    | [] -> invalid_arg "Gen.random_tree_bounded_depth: depth 0, n > 1"
+    | cs ->
+        let p = Rng.pick rng cs in
+        parent.(v) <- p;
+        vdepth.(v) <- vdepth.(p) + 1);
+    if vdepth.(v) < depth then candidates := v :: !candidates
+  done;
+  Graph.of_edges ~n
+    (List.filter_map
+       (fun v -> if parent.(v) >= 0 then Some (v, parent.(v)) else None)
+       (List.init n Fun.id))
+
+let random_connected rng ~n ~extra_edges =
+  let t = random_tree rng n in
+  let non_edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if not (Graph.mem_edge t u v) then non_edges := (u, v) :: !non_edges
+    done
+  done;
+  let pool = Array.of_list !non_edges in
+  Rng.shuffle rng pool;
+  let take = min extra_edges (Array.length pool) in
+  let extra = Array.to_list (Array.sub pool 0 take) in
+  Graph.of_edges ~n (extra @ Graph.edges t)
+
+let random_bounded_treedepth rng ~n ~depth ~p =
+  if depth < 1 then invalid_arg "Gen.random_bounded_treedepth: depth >= 1";
+  let tree = random_tree_bounded_depth rng ~n ~depth:(depth - 1) in
+  (* Recover parent/ancestor structure of the rooted tree (root 0). *)
+  let dist = Graph.bfs_dist tree 0 in
+  let parent = Array.make n (-1) in
+  for v = 1 to n - 1 do
+    Array.iter
+      (fun u -> if dist.(u) = dist.(v) - 1 then parent.(v) <- u)
+      (Graph.neighbors tree v)
+  done;
+  let rec ancestors v = if v = 0 then [] else parent.(v) :: ancestors parent.(v) in
+  let es = ref [] in
+  for v = 1 to n - 1 do
+    es := (v, parent.(v)) :: !es;
+    List.iter
+      (fun a ->
+        if a <> parent.(v) && Rng.float rng 1.0 < p then es := (v, a) :: !es)
+      (ancestors v)
+  done;
+  Graph.of_edges ~n !es

@@ -1,0 +1,53 @@
+(** Graph generators for experiments and tests.
+
+    Families are chosen to exercise the paper's regimes: paths have
+    treedepth ⌈log₂(n+1)⌉ (the classic example next to Figure 1), stars
+    and caterpillars have constant treedepth, complete binary trees have
+    logarithmic treedepth, and random trees / bounded-treedepth graphs
+    provide unstructured instances. *)
+
+val path : int -> Graph.t
+(** [path n] is P_n: vertices [0..n-1], edges [i — i+1]. *)
+
+val cycle : int -> Graph.t
+(** [cycle n] is C_n ([n >= 3]). *)
+
+val star : int -> Graph.t
+(** [star n] has center [0] and [n-1] leaves. *)
+
+val clique : int -> Graph.t
+(** [clique n] is K_n. *)
+
+val complete_binary_tree : int -> Graph.t
+(** [complete_binary_tree h] has [2^(h+1) - 1] vertices in heap order
+    (children of [i] are [2i+1] and [2i+2]); height [h]. *)
+
+val caterpillar : spine:int -> legs:int -> Graph.t
+(** A path on [spine] vertices with [legs] pendant leaves on each spine
+    vertex. *)
+
+val spider : legs:int -> leg_len:int -> Graph.t
+(** [legs] paths of [leg_len] vertices glued to a common center. *)
+
+val grid : int -> int -> Graph.t
+(** [grid rows cols]; vertex [(r, c)] is [r * cols + c]. *)
+
+val random_tree : Localcert_util.Rng.t -> int -> Graph.t
+(** Uniform labelled tree on [n] vertices via a random Prüfer sequence
+    ([n >= 1]). *)
+
+val random_tree_bounded_depth : Localcert_util.Rng.t -> n:int -> depth:int -> Graph.t
+(** A random tree rooted at [0] whose root-to-leaf distance never
+    exceeds [depth]: each non-root vertex picks a parent uniformly among
+    earlier vertices of depth < [depth]. *)
+
+val random_connected : Localcert_util.Rng.t -> n:int -> extra_edges:int -> Graph.t
+(** A random tree plus [extra_edges] additional uniform non-edges
+    (clamped to the number available); always connected. *)
+
+val random_bounded_treedepth :
+  Localcert_util.Rng.t -> n:int -> depth:int -> p:float -> Graph.t
+(** A graph of treedepth at most [depth] built from a random elimination
+    tree of that depth: every (ancestor, descendant) pair is joined
+    independently with probability [p], and every vertex is joined to
+    its parent so the graph is connected and the model coherent. *)

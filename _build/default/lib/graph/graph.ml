@@ -1,0 +1,184 @@
+type t = { size : int; adj : int array array }
+
+let check_vertex ~n v =
+  if v < 0 || v >= n then
+    invalid_arg (Printf.sprintf "Graph: vertex %d out of [0,%d)" v n)
+
+let of_edges ~n edges =
+  if n < 0 then invalid_arg "Graph.of_edges: negative size";
+  let sets = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      check_vertex ~n u;
+      check_vertex ~n v;
+      if u = v then invalid_arg "Graph.of_edges: loop";
+      sets.(u) <- v :: sets.(u);
+      sets.(v) <- u :: sets.(v))
+    edges;
+  let adj =
+    Array.map
+      (fun l -> Array.of_list (List.sort_uniq Int.compare l))
+      sets
+  in
+  { size = n; adj }
+
+let empty n = of_edges ~n []
+
+let n g = g.size
+
+let neighbors g v =
+  check_vertex ~n:g.size v;
+  g.adj.(v)
+
+let degree g v = Array.length (neighbors g v)
+
+let m g = Array.fold_left (fun acc a -> acc + Array.length a) 0 g.adj / 2
+
+let mem_edge g u v =
+  check_vertex ~n:g.size u;
+  check_vertex ~n:g.size v;
+  let a = g.adj.(u) in
+  let rec bin lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = v then true
+      else if a.(mid) < v then bin (mid + 1) hi
+      else bin lo mid
+  in
+  bin 0 (Array.length a)
+
+let edges g =
+  let acc = ref [] in
+  for u = g.size - 1 downto 0 do
+    let a = g.adj.(u) in
+    for i = Array.length a - 1 downto 0 do
+      if u < a.(i) then acc := (u, a.(i)) :: !acc
+    done
+  done;
+  List.sort compare !acc
+
+let vertices g = List.init g.size Fun.id
+
+let fold_vertices f g init =
+  let acc = ref init in
+  for v = 0 to g.size - 1 do
+    acc := f v !acc
+  done;
+  !acc
+
+let add_edge g u v =
+  check_vertex ~n:g.size u;
+  check_vertex ~n:g.size v;
+  if u = v then invalid_arg "Graph.add_edge: loop";
+  if mem_edge g u v then g else of_edges ~n:g.size ((u, v) :: edges g)
+
+let remove_vertex g v =
+  check_vertex ~n:g.size v;
+  let rename u = if u < v then u else u - 1 in
+  let keep =
+    List.filter_map
+      (fun (a, b) ->
+        if a = v || b = v then None else Some (rename a, rename b))
+      (edges g)
+  in
+  of_edges ~n:(g.size - 1) keep
+
+let induced g vs =
+  let vs = List.sort_uniq Int.compare vs in
+  List.iter (check_vertex ~n:g.size) vs;
+  let back = Array.of_list vs in
+  let fwd = Hashtbl.create (Array.length back) in
+  Array.iteri (fun i v -> Hashtbl.replace fwd v i) back;
+  let sub_edges =
+    List.filter_map
+      (fun (u, v) ->
+        match (Hashtbl.find_opt fwd u, Hashtbl.find_opt fwd v) with
+        | Some a, Some b -> Some (a, b)
+        | _ -> None)
+      (edges g)
+  in
+  (of_edges ~n:(Array.length back) sub_edges, back)
+
+let disjoint_union g h =
+  let shift = g.size in
+  let es =
+    edges g @ List.map (fun (u, v) -> (u + shift, v + shift)) (edges h)
+  in
+  of_edges ~n:(g.size + h.size) es
+
+let relabel g perm =
+  if Array.length perm <> g.size then
+    invalid_arg "Graph.relabel: wrong permutation length";
+  let seen = Array.make g.size false in
+  Array.iter
+    (fun v ->
+      check_vertex ~n:g.size v;
+      if seen.(v) then invalid_arg "Graph.relabel: not a permutation";
+      seen.(v) <- true)
+    perm;
+  of_edges ~n:g.size
+    (List.map (fun (u, v) -> (perm.(u), perm.(v))) (edges g))
+
+let equal g h = g.size = h.size && edges g = edges h
+
+let bfs_dist g s =
+  check_vertex ~n:g.size s;
+  let dist = Array.make g.size (-1) in
+  dist.(s) <- 0;
+  let q = Queue.create () in
+  Queue.add s q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun v ->
+        if dist.(v) = -1 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v q
+        end)
+      g.adj.(u)
+  done;
+  dist
+
+let is_connected g =
+  if g.size = 0 then false
+  else Array.for_all (fun d -> d >= 0) (bfs_dist g 0)
+
+let components g =
+  let seen = Array.make g.size false in
+  let comps = ref [] in
+  for s = 0 to g.size - 1 do
+    if not seen.(s) then begin
+      let dist = bfs_dist g s in
+      let comp = ref [] in
+      for v = g.size - 1 downto 0 do
+        if dist.(v) >= 0 && not seen.(v) then begin
+          seen.(v) <- true;
+          comp := v :: !comp
+        end
+      done;
+      comps := !comp :: !comps
+    end
+  done;
+  List.rev !comps
+
+let diameter g =
+  if g.size = 0 then invalid_arg "Graph.diameter: empty graph";
+  let best = ref 0 in
+  for s = 0 to g.size - 1 do
+    Array.iter
+      (fun d ->
+        if d < 0 then invalid_arg "Graph.diameter: disconnected graph";
+        if d > !best then best := d)
+      (bfs_dist g s)
+  done;
+  !best
+
+let is_tree g = is_connected g && m g = g.size - 1
+
+let is_acyclic g = m g = g.size - List.length (components g)
+
+let pp ppf g =
+  Format.fprintf ppf "@[<hov 2>n=%d;@ edges=" g.size;
+  List.iter (fun (u, v) -> Format.fprintf ppf "(%d,%d)@ " u v) (edges g);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,97 @@
+(** Finite simple undirected graphs on vertex set [{0, …, n-1}].
+
+    All graphs in the paper (and hence in this library) are loopless
+    and simple; the certification model additionally assumes connected
+    graphs, which callers check with {!is_connected} where it matters.
+
+    The representation is an immutable sorted adjacency array, which
+    makes neighbor scans (the heart of every radius-1 verifier) cheap
+    and allocation-free. *)
+
+type t
+
+(** {1 Construction} *)
+
+val of_edges : n:int -> (int * int) list -> t
+(** [of_edges ~n edges] builds the graph on vertices [0..n-1] with the
+    given undirected edges.  Duplicate edges are collapsed; loops raise
+    [Invalid_argument], as do endpoints outside [\[0, n)]. *)
+
+val empty : int -> t
+(** [empty n] has [n] vertices and no edge. *)
+
+val add_edge : t -> int -> int -> t
+(** Functional edge insertion (no-op if present). *)
+
+val remove_vertex : t -> int -> t
+(** [remove_vertex g v] deletes [v]; remaining vertices are renumbered
+    by shifting down, preserving relative order. *)
+
+val induced : t -> int list -> t * int array
+(** [induced g vs] is the subgraph induced by the (duplicate-free) list
+    [vs], together with the array mapping new indices to original
+    vertices. *)
+
+val disjoint_union : t -> t -> t
+(** Vertices of the second graph are shifted by [n] of the first. *)
+
+val relabel : t -> int array -> t
+(** [relabel g perm] renames vertex [v] to [perm.(v)]; [perm] must be a
+    permutation of [0..n-1]. *)
+
+(** {1 Observation} *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val neighbors : t -> int -> int array
+(** Sorted neighbor array.  Do not mutate. *)
+
+val degree : t -> int -> int
+
+val mem_edge : t -> int -> int -> bool
+(** Adjacency test (binary search). *)
+
+val edges : t -> (int * int) list
+(** All edges as pairs [(u, v)] with [u < v], sorted. *)
+
+val vertices : t -> int list
+(** [0; 1; …; n-1]. *)
+
+val fold_vertices : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val equal : t -> t -> bool
+(** Same vertex count and same edge set (identity on labels). *)
+
+(** {1 Traversal and metrics} *)
+
+val bfs_dist : t -> int -> int array
+(** [bfs_dist g s] has distance from [s] at index [v], or [-1] when
+    unreachable. *)
+
+val is_connected : t -> bool
+(** True on the empty graph's complement convention: a graph with 0
+    vertices is not connected (the paper assumes non-empty graphs); a
+    1-vertex graph is. *)
+
+val components : t -> int list list
+(** Connected components as sorted vertex lists, in order of least
+    vertex. *)
+
+val diameter : t -> int
+(** Exact eccentricity maximum over all vertices (BFS from each).
+    Raises [Invalid_argument] on a disconnected or empty graph. *)
+
+val is_tree : t -> bool
+(** Connected and [m = n - 1]. *)
+
+val is_acyclic : t -> bool
+(** Forest test: [m = n - #components]. *)
+
+(** {1 Pretty-printing} *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [n=…; edges=(u,v)…]. *)

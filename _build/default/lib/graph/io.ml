@@ -1,0 +1,141 @@
+(* graph6: size prefix (n, or 126 then 3 sextets for n <= 258047),
+   then the upper triangle x(0,1) x(0,2) x(1,2) x(0,3) … packed into
+   6-bit groups, each + 63. *)
+
+let to_graph6 g =
+  let n = Graph.n g in
+  let buf = Buffer.create (8 + (n * n / 12)) in
+  if n <= 62 then Buffer.add_char buf (Char.chr (63 + n))
+  else begin
+    if n > 258047 then invalid_arg "Io.to_graph6: graph too large";
+    Buffer.add_char buf (Char.chr 126);
+    Buffer.add_char buf (Char.chr (63 + ((n lsr 12) land 63)));
+    Buffer.add_char buf (Char.chr (63 + ((n lsr 6) land 63)));
+    Buffer.add_char buf (Char.chr (63 + (n land 63)))
+  end;
+  let bit_count = n * (n - 1) / 2 in
+  let acc = ref 0 and filled = ref 0 in
+  let flush_groups () =
+    Buffer.add_char buf (Char.chr (63 + !acc));
+    acc := 0;
+    filled := 0
+  in
+  let push b =
+    acc := (!acc lsl 1) lor (if b then 1 else 0);
+    incr filled;
+    if !filled = 6 then flush_groups ()
+  in
+  for col = 1 to n - 1 do
+    for row = 0 to col - 1 do
+      push (Graph.mem_edge g row col)
+    done
+  done;
+  if !filled > 0 then begin
+    acc := !acc lsl (6 - !filled);
+    filled := 6;
+    flush_groups ()
+  end;
+  ignore bit_count;
+  Buffer.contents buf
+
+let of_graph6 line =
+  let line = String.trim line in
+  let len = String.length line in
+  let byte i =
+    if i >= len then Error "truncated graph6"
+    else
+      let c = Char.code line.[i] - 63 in
+      if c < 0 || c > 63 then Error "invalid graph6 character" else Ok c
+  in
+  let ( let* ) = Result.bind in
+  let* n, start =
+    let* b0 = byte 0 in
+    if b0 < 63 then Ok (b0, 1)
+    else
+      let* b1 = byte 1 in
+      let* b2 = byte 2 in
+      let* b3 = byte 3 in
+      Ok ((b1 lsl 12) lor (b2 lsl 6) lor b3, 4)
+  in
+  let bit_count = n * (n - 1) / 2 in
+  let needed = (bit_count + 5) / 6 in
+  if len - start < needed then Error "graph6 body too short"
+  else if
+    not
+      (String.for_all
+         (fun c -> Char.code c >= 63 && Char.code c <= 126)
+         (String.sub line start (len - start)))
+  then Error "invalid graph6 character"
+  else begin
+    let bit i =
+      let group = Char.code line.[start + (i / 6)] - 63 in
+      group land (1 lsl (5 - (i mod 6))) <> 0
+    in
+    let es = ref [] in
+    let idx = ref 0 in
+    for col = 1 to n - 1 do
+      for row = 0 to col - 1 do
+        if bit !idx then es := (row, col) :: !es;
+        incr idx
+      done
+    done;
+    match Graph.of_edges ~n !es with
+    | g -> Ok g
+    | exception Invalid_argument m -> Error m
+  end
+
+let to_dot ?labels ?(highlight = []) g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "graph G {\n";
+  List.iter
+    (fun v ->
+      let label =
+        match labels with
+        | Some a when a.(v) <> 0 -> Printf.sprintf " [label=\"%d:%d\"]" v a.(v)
+        | _ -> ""
+      in
+      let fill =
+        if List.mem v highlight then " [style=filled fillcolor=lightblue]"
+        else ""
+      in
+      Buffer.add_string buf (Printf.sprintf "  %d%s%s;\n" v label fill))
+    (Graph.vertices g);
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_edge_list g =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "%d %d\n" (Graph.n g) (Graph.m g));
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v))
+    (Graph.edges g);
+  Buffer.contents buf
+
+let of_edge_list text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> Error "empty input"
+  | header :: rest -> (
+      match String.split_on_char ' ' header with
+      | [ n; m ] -> (
+          try
+            let n = int_of_string n and m = int_of_string m in
+            let es =
+              List.map
+                (fun l ->
+                  match String.split_on_char ' ' l with
+                  | [ a; b ] -> (int_of_string a, int_of_string b)
+                  | _ -> failwith "bad edge line")
+                rest
+            in
+            if List.length es <> m then Error "edge count mismatch"
+            else Ok (Graph.of_edges ~n es)
+          with Failure msg -> Error msg | Invalid_argument msg -> Error msg)
+      | _ -> Error "bad header")

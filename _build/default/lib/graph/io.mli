@@ -1,0 +1,21 @@
+(** Graph interchange: graph6, DOT, and plain edge lists.
+
+    graph6 is the de-facto exchange format for small graphs (McKay's
+    nauty suite); supporting it lets the CLI consume standard graph
+    corpora.  DOT output is for eyeballing instances, elimination
+    trees and tree decompositions. *)
+
+val to_graph6 : Graph.t -> string
+(** Standard graph6 (n ≤ 62 uses the 1-byte size; larger sizes use the
+    4-byte form). *)
+
+val of_graph6 : string -> (Graph.t, string) result
+(** Parses a graph6 line (trailing newline tolerated). *)
+
+val to_dot : ?labels:int array -> ?highlight:int list -> Graph.t -> string
+(** Undirected DOT; [highlight] fills the listed vertices. *)
+
+val to_edge_list : Graph.t -> string
+(** ["n m\nu v\n…"] — the trivial format. *)
+
+val of_edge_list : string -> (Graph.t, string) result

@@ -1,0 +1,79 @@
+(* Backtracking isomorphism search.  Vertices of [g] are assigned images
+   in [h] one at a time in a fixed order; a partial assignment is kept
+   only if it preserves adjacency and non-adjacency with all previously
+   assigned vertices.  Degree sequences prune most mismatches early. *)
+
+let degree_histogram g =
+  List.sort Int.compare
+    (List.map (Graph.degree g) (Graph.vertices g))
+
+let compatible_partial g h map u x =
+  (* [map.(v)] is the image of [v] or -1.  Check edges between [u] and
+     all already-mapped vertices transfer to [x]. *)
+  let ok = ref (Graph.degree g u = Graph.degree h x) in
+  if !ok then
+    Array.iteri
+      (fun v y ->
+        if y >= 0 && v <> u then
+          if Graph.mem_edge g u v <> Graph.mem_edge h x y then ok := false)
+      map;
+  !ok
+
+let search ~all g h =
+  let n = Graph.n g in
+  let results = ref [] in
+  let found_one = ref false in
+  if Graph.n h <> n || Graph.m g <> Graph.m h then []
+  else if degree_histogram g <> degree_histogram h then []
+  else begin
+    let map = Array.make n (-1) in
+    let used = Array.make n false in
+    let rec go u =
+      if (not all) && !found_one then ()
+      else if u = n then begin
+        results := Array.copy map :: !results;
+        found_one := true
+      end
+      else
+        for x = 0 to n - 1 do
+          if (not used.(x)) && compatible_partial g h map u x then begin
+            map.(u) <- x;
+            used.(x) <- true;
+            go (u + 1);
+            map.(u) <- -1;
+            used.(x) <- false
+          end
+        done
+    in
+    go 0;
+    List.rev !results
+  end
+
+let find_isomorphism g h =
+  match search ~all:false g h with [] -> None | m :: _ -> Some m
+
+let isomorphic g h = find_isomorphism g h <> None
+
+let automorphisms g = search ~all:true g g
+
+(* Stop at the first fixed-point-free witness rather than enumerating
+   the whole automorphism group. *)
+let has_fixed_point_free_automorphism g =
+  let n = Graph.n g in
+  let map = Array.make n (-1) in
+  let used = Array.make n false in
+  let exception Found in
+  let rec go u =
+    if u = n then raise Found
+    else
+      for x = 0 to n - 1 do
+        if x <> u && (not used.(x)) && compatible_partial g g map u x then begin
+          map.(u) <- x;
+          used.(x) <- true;
+          go (u + 1);
+          map.(u) <- -1;
+          used.(x) <- false
+        end
+      done
+  in
+  match go 0 with () -> false | exception Found -> true

@@ -1,0 +1,26 @@
+(** Isomorphism and automorphisms of small graphs.
+
+    The paper's Theorem 2.3 concerns the property "the tree has an
+    automorphism without fixed point", the canonical example of a
+    non-MSO property.  The gadget of Section 7.2 builds instances
+    where this holds iff two rooted trees are isomorphic; we provide
+    both the generic search (for validation on small graphs) and that
+    equivalence is tested against it.
+
+    Plain backtracking with degree-based pruning: intended for
+    [n ≲ 20]. *)
+
+val isomorphic : Graph.t -> Graph.t -> bool
+(** Graph isomorphism by backtracking search. *)
+
+val automorphisms : Graph.t -> int array list
+(** All automorphisms as permutation arrays.  Exponential output is
+    possible; use on small graphs only. *)
+
+val has_fixed_point_free_automorphism : Graph.t -> bool
+(** Whether some automorphism moves every vertex.  This is the property
+    certified (expensively!) in Theorem 2.3; the search stops at the
+    first witness. *)
+
+val find_isomorphism : Graph.t -> Graph.t -> int array option
+(** A witness map from the first graph's vertices to the second's. *)

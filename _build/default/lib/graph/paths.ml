@@ -1,0 +1,60 @@
+(* Exhaustive DFS over simple paths.  The visited set is a plain bool
+   array; the search is exponential in the worst case but fine on the
+   sparse instances the experiments use. *)
+
+let longest_path g =
+  let n = Graph.n g in
+  if n = 0 then 0
+  else begin
+    let visited = Array.make n false in
+    let best = ref 1 in
+    let rec extend v len =
+      if len > !best then best := len;
+      Array.iter
+        (fun w ->
+          if not visited.(w) then begin
+            visited.(w) <- true;
+            extend w (len + 1);
+            visited.(w) <- false
+          end)
+        (Graph.neighbors g v)
+    in
+    for s = 0 to n - 1 do
+      visited.(s) <- true;
+      extend s 1;
+      visited.(s) <- false
+    done;
+    !best
+  end
+
+let circumference g =
+  let n = Graph.n g in
+  let best = ref 0 in
+  let visited = Array.make n false in
+  (* Only search cycles whose minimum vertex is the start [s]; this
+     avoids rediscovering each cycle at every vertex. *)
+  let rec extend s v len =
+    Array.iter
+      (fun w ->
+        if w = s && len >= 3 then begin
+          if len > !best then best := len
+        end
+        else if w > s && not visited.(w) then begin
+          visited.(w) <- true;
+          extend s w (len + 1);
+          visited.(w) <- false
+        end)
+      (Graph.neighbors g v)
+  in
+  for s = 0 to n - 1 do
+    visited.(s) <- true;
+    extend s s 1;
+    visited.(s) <- false
+  done;
+  !best
+
+let has_path_minor g t = t <= 1 || longest_path g >= t
+
+let has_cycle_minor g t =
+  if t < 3 then invalid_arg "Paths.has_cycle_minor: need t >= 3";
+  circumference g >= t

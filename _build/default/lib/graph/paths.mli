@@ -1,0 +1,26 @@
+(** Longest paths and cycles (exact, small graphs).
+
+    Corollary 2.7 certifies [P_t]-minor-freeness and [C_t]-minor-
+    freeness.  A graph has a [P_t] minor iff it contains a path on [t]
+    vertices (branch sets of a path model can be threaded into a
+    subgraph path), and a [C_t] minor iff its circumference is at least
+    [t]; so minor-freeness for these families reduces to the exact
+    metrics below.  Both are NP-hard in general — the implementations
+    are exponential-time DFS searches meant for the instance sizes of
+    the experiments ([n ≲ 25], or larger on sparse graphs). *)
+
+val longest_path : Graph.t -> int
+(** Number of vertices on a longest simple path (1 for a single
+    vertex). *)
+
+val circumference : Graph.t -> int
+(** Number of vertices on a longest simple cycle, or [0] if the graph
+    is acyclic. *)
+
+val has_path_minor : Graph.t -> int -> bool
+(** [has_path_minor g t]: does [g] contain [P_t] as a minor
+    (equivalently, a path on [t] vertices)? *)
+
+val has_cycle_minor : Graph.t -> int -> bool
+(** [has_cycle_minor g t]: does [g] contain [C_t] ([t >= 3]) as a minor
+    (equivalently, a cycle on at least [t] vertices)? *)

@@ -1,0 +1,153 @@
+type t = { label : int; children : t list }
+
+let leaf ?(label = 0) () = { label; children = [] }
+let node ?(label = 0) children = { label; children }
+
+let of_graph ?labels g ~root =
+  if not (Graph.is_tree g) then invalid_arg "Rooted.of_graph: not a tree";
+  let lab v = match labels with None -> 0 | Some a -> a.(v) in
+  let rec build v parent =
+    let children =
+      Array.to_list (Graph.neighbors g v)
+      |> List.filter (fun w -> w <> parent)
+      |> List.map (fun w -> build w v)
+    in
+    { label = lab v; children }
+  in
+  build root (-1)
+
+let rec size t = 1 + List.fold_left (fun acc c -> acc + size c) 0 t.children
+
+let rec height t =
+  List.fold_left (fun acc c -> max acc (1 + height c)) 0 t.children
+
+let to_graph t =
+  let total = size t in
+  let labels = Array.make total 0 in
+  let es = ref [] in
+  (* Preorder numbering. *)
+  let counter = ref 0 in
+  let rec go t parent =
+    let me = !counter in
+    incr counter;
+    labels.(me) <- t.label;
+    if parent >= 0 then es := (parent, me) :: !es;
+    List.iter (fun c -> go c me) t.children
+  in
+  go t (-1);
+  (Graph.of_edges ~n:total !es, labels)
+
+let rec fold f t = f t.label (List.map (fold f) t.children)
+
+let canonical t =
+  fold
+    (fun label keys ->
+      let keys = List.sort String.compare keys in
+      Printf.sprintf "(%d%s)" label (String.concat "" keys))
+    t
+
+let iso a b = String.equal (canonical a) (canonical b)
+
+let rec sort t =
+  let children = List.map sort t.children in
+  let children =
+    List.sort (fun a b -> String.compare (canonical a) (canonical b)) children
+  in
+  { t with children }
+
+(* Enumerate all unlabeled rooted trees of each size up to iso, as
+   canonically sorted values, optionally bounded in height.  Memoized on
+   (size, height budget). *)
+let all_of_size ?max_height n =
+  if n < 1 then invalid_arg "Rooted.all_of_size: need n >= 1";
+  let memo : (int * int, t list) Hashtbl.t = Hashtbl.create 64 in
+  let rec trees sz hbudget =
+    if sz < 1 || hbudget < 0 then []
+    else
+      match Hashtbl.find_opt memo (sz, hbudget) with
+      | Some ts -> ts
+      | None ->
+          let result =
+            if sz = 1 then [ leaf () ]
+            else begin
+              (* Pool of candidate children: trees of size < sz and
+                 height <= hbudget - 1, with a fixed order; choose a
+                 weakly decreasing sequence of pool indices with total
+                 size sz - 1 to enumerate multisets once each. *)
+              let pool =
+                List.concat_map
+                  (fun s -> List.map (fun t -> (s, t)) (trees s (hbudget - 1)))
+                  (List.init (sz - 1) (fun i -> i + 1))
+              in
+              let pool = Array.of_list pool in
+              let out = ref [] in
+              let rec choose max_idx remaining acc =
+                if remaining = 0 then out := node (List.rev acc) :: !out
+                else
+                  for i = 0 to max_idx do
+                    let s, child = pool.(i) in
+                    if s <= remaining then
+                      choose i (remaining - s) (child :: acc)
+                  done
+              in
+              choose (Array.length pool - 1) (sz - 1) [];
+              !out
+            end
+          in
+          Hashtbl.replace memo (sz, hbudget) result;
+          result
+  in
+  let budget = match max_height with None -> n | Some h -> h in
+  trees n budget
+
+let count_by_depth ~n ~depth =
+  if n < 1 || depth < 0 then invalid_arg "Rooted.count_by_depth";
+  (* count.(d).(k) = #rooted trees of height <= d on k nodes, up to iso.
+     Height-(<= d) trees on k nodes = multisets of height-(<= d-1) trees
+     with total size k - 1. *)
+  let counts_for prev_layer =
+    (* prev_layer.(k) = number of kinds of parts of size k.  Returns the
+       multiset-counting table w.(s) = #multisets of total size s. *)
+    let w = Array.make n 0 in
+    w.(0) <- 1;
+    for k = 1 to n - 1 do
+      let kinds = prev_layer.(k) in
+      if kinds > 0 then begin
+        let w' = Array.make n 0 in
+        for s = 0 to n - 1 do
+          if w.(s) > 0 then begin
+            (* Choose m parts of size k from [kinds] kinds with
+               repetition: C(kinds + m - 1, m) ways. *)
+            let mmax = (n - 1 - s) / k in
+            for mult = 0 to mmax do
+              let ways = Localcert_util.Combin.binomial (kinds + mult - 1) mult in
+              w'.(s + (mult * k)) <- w'.(s + (mult * k)) + (w.(s) * ways)
+            done
+          end
+        done;
+        Array.blit w' 0 w 0 n
+      end
+    done;
+    w
+  in
+  let layer = Array.make (n + 1) 0 in
+  layer.(1) <- 1;
+  (* height <= 0: only the single-node tree *)
+  let current = ref layer in
+  for _ = 1 to depth do
+    let w = counts_for !current in
+    let next = Array.make (n + 1) 0 in
+    for k = 1 to n do
+      next.(k) <- w.(k - 1)
+    done;
+    current := next
+  done;
+  !current.(n)
+
+let rec pp ppf t =
+  if t.children = [] then Format.fprintf ppf "•%d" t.label
+  else begin
+    Format.fprintf ppf "@[<hov 1>(•%d" t.label;
+    List.iter (fun c -> Format.fprintf ppf "@ %a" pp c) t.children;
+    Format.fprintf ppf ")@]"
+  end

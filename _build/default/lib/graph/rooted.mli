@@ -1,0 +1,65 @@
+(** Rooted, unordered, unranked, node-labeled trees.
+
+    This is the structure on which the tree automata of Section 4 run,
+    and the shape of the gadgets of Theorem 2.3.  Labels are small
+    integers; unlabeled trees use label [0] everywhere. *)
+
+type t = { label : int; children : t list }
+
+(** {1 Construction} *)
+
+val leaf : ?label:int -> unit -> t
+val node : ?label:int -> t list -> t
+
+val of_graph : ?labels:int array -> Graph.t -> root:int -> t
+(** [of_graph g ~root] views the tree [g] as rooted at [root].  Raises
+    [Invalid_argument] if [g] is not a tree.  [labels.(v)] gives the
+    label of graph vertex [v] (default all [0]). *)
+
+val to_graph : t -> Graph.t * int array
+(** Back to an unrooted graph; the root becomes vertex [0] and the
+    returned array gives labels by vertex.  Children are numbered in
+    preorder. *)
+
+(** {1 Observation} *)
+
+val size : t -> int
+(** Number of nodes. *)
+
+val height : t -> int
+(** Number of edges on a longest root-to-leaf path; [height (leaf ())]
+    is [0]. *)
+
+val fold : (int -> 'a list -> 'a) -> t -> 'a
+(** Bottom-up fold: [fold f t] applies [f label results_of_children]. *)
+
+(** {1 Canonical forms (AHU)} *)
+
+val canonical : t -> string
+(** The Aho–Hopcroft–Ullman canonical encoding: two rooted labeled trees
+    are isomorphic (as rooted unordered trees) iff their canonical
+    encodings are equal. *)
+
+val iso : t -> t -> bool
+(** Rooted unordered isomorphism. *)
+
+val sort : t -> t
+(** Canonically reorders children everywhere (so [sort a = sort b] iff
+    [iso a b]). *)
+
+(** {1 Enumeration} *)
+
+val all_of_size : ?max_height:int -> int -> t list
+(** All unlabeled rooted trees with exactly [size] nodes up to
+    isomorphism (and height at most [max_height] when given).  Exact but
+    exponential; intended for [size <= 12] in tests and for the
+    Theorem 2.3 injection. *)
+
+val count_by_depth : n:int -> depth:int -> int
+(** Number of unlabeled rooted trees on [n] nodes of height at most
+    [depth], up to isomorphism — the quantity whose logarithm drives the
+    Ω̃(n) bound of Theorem 2.3 (Pach et al. [42]).  Exact dynamic
+    programming; overflow is the caller's responsibility (stay below
+    [n ≈ 40] at [depth = 3]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+type t = { root : int; parent : int array; dist : int array }
+
+let bfs g ~root =
+  let dist = Graph.bfs_dist g root in
+  if Array.exists (fun d -> d < 0) dist then
+    invalid_arg "Spanning.bfs: disconnected graph";
+  let parent = Array.make (Graph.n g) (-1) in
+  for v = 0 to Graph.n g - 1 do
+    if v <> root then begin
+      let best = ref (-1) in
+      Array.iter
+        (fun u -> if dist.(u) = dist.(v) - 1 && !best = -1 then best := u)
+        (Graph.neighbors g v);
+      parent.(v) <- !best
+    end
+  done;
+  { root; parent; dist }
+
+let children t v =
+  let out = ref [] in
+  Array.iteri (fun w p -> if p = v then out := w :: !out) t.parent;
+  List.rev !out
+
+let subtree_sizes t =
+  let n = Array.length t.parent in
+  let sizes = Array.make n 1 in
+  (* Process vertices by decreasing BFS distance so children are done
+     before their parents. *)
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> Int.compare t.dist.(b) t.dist.(a)) order;
+  Array.iter
+    (fun v ->
+      if t.parent.(v) >= 0 then
+        sizes.(t.parent.(v)) <- sizes.(t.parent.(v)) + sizes.(v))
+    order;
+  sizes
+
+let to_graph t =
+  let n = Array.length t.parent in
+  let es = ref [] in
+  Array.iteri (fun v p -> if p >= 0 then es := (v, p) :: !es) t.parent;
+  Graph.of_edges ~n !es

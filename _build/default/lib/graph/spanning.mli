@@ -1,0 +1,27 @@
+(** BFS spanning trees.
+
+    Spanning trees are the workhorse of local certification
+    (Proposition 3.4): the prover roots one, labels every vertex with
+    its distance to the root and the root's identity, and local
+    distance comparisons force global correctness.  This module
+    computes the structural side (parents and distances); the encoding
+    and verification live in [Localcert_core.Spanning_tree]. *)
+
+type t = {
+  root : int;
+  parent : int array;  (** [parent.(root) = -1] *)
+  dist : int array;  (** BFS distance from the root *)
+}
+
+val bfs : Graph.t -> root:int -> t
+(** Raises [Invalid_argument] if the graph is disconnected. *)
+
+val children : t -> int -> int list
+(** Children of a vertex in the spanning tree. *)
+
+val subtree_sizes : t -> int array
+(** [sizes.(v)] = number of vertices in the subtree of [v]; the root's
+    entry is [n].  Used to certify the vertex count. *)
+
+val to_graph : t -> Graph.t
+(** The tree's own edge set, as a graph on the same vertices. *)

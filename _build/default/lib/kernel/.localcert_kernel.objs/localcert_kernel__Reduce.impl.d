@@ -1,0 +1,1 @@
+lib/kernel/reduce.ml: Array Elimination Fun Graph Hashtbl Int List Option Vtype

@@ -1,0 +1,1 @@
+lib/kernel/reduce.mli: Elimination Graph Vtype

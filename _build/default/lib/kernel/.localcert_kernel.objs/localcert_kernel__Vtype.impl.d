@@ -1,0 +1,1 @@
+lib/kernel/vtype.ml: Array Elimination Format Fun Graph Hashtbl Int List

@@ -1,0 +1,1 @@
+lib/kernel/vtype.mli: Elimination Format Graph

@@ -1,0 +1,126 @@
+type t = {
+  graph : Graph.t;
+  tree : Elimination.t;
+  k : int;
+  alive : bool array;
+  pruned : bool array;
+  end_type : Vtype.t array;
+  kernel : Graph.t;
+  to_kernel : int array;
+  of_kernel : int array;
+}
+
+let reduce ?labels g tree ~k =
+  let label_of v = match labels with None -> 0 | Some a -> a.(v) in
+  if k < 1 then invalid_arg "Reduce.reduce: k must be >= 1";
+  if not (Elimination.is_model tree g) then
+    invalid_arg "Reduce.reduce: not a model of the graph";
+  if not (Elimination.is_coherent tree g) then
+    invalid_arg "Reduce.reduce: model is not coherent";
+  let size = Graph.n g in
+  let depth = Elimination.depth tree in
+  let maxdepth = Elimination.height tree in
+  let alive = Array.make size true in
+  let end_type : Vtype.t option array = Array.make size None in
+  let pruned = Array.make size false in
+  let typ v = match end_type.(v) with Some t -> t | None -> assert false in
+  let anc_vector_of v =
+    let ancs = List.tl (Elimination.ancestors tree v) in
+    List.rev_map (fun a -> Graph.mem_edge g v a) ancs
+  in
+  let kill_subtree w =
+    pruned.(w) <- true;
+    List.iter (fun x -> alive.(x) <- false) (Elimination.subtree tree w)
+  in
+  (* Deepest-first: at depth [d], prune surplus children (at depth d+1,
+     already typed) and then fix the type of each alive vertex. *)
+  for d = maxdepth downto 1 do
+    for v = 0 to size - 1 do
+      if alive.(v) && depth.(v) = d then begin
+        let kids =
+          List.filter (fun w -> alive.(w)) (Elimination.children tree v)
+        in
+        (* group by end type id; keep the k lowest-numbered *)
+        let by_type = Hashtbl.create 8 in
+        List.iter
+          (fun w ->
+            let key = Vtype.id (typ w) in
+            Hashtbl.replace by_type key
+              (w :: Option.value ~default:[] (Hashtbl.find_opt by_type key)))
+          kids;
+        Hashtbl.iter
+          (fun _ group ->
+            let group = List.sort Int.compare group in
+            List.iteri (fun i w -> if i >= k then kill_subtree w) group)
+          by_type;
+        let remaining =
+          List.filter (fun w -> alive.(w)) (Elimination.children tree v)
+        in
+        let grouped =
+          let tbl = Hashtbl.create 8 in
+          List.iter
+            (fun w ->
+              let key = Vtype.id (typ w) in
+              Hashtbl.replace tbl key
+                (match Hashtbl.find_opt tbl key with
+                | Some (t, c) -> (t, c + 1)
+                | None -> (typ w, 1)))
+            remaining;
+          Hashtbl.fold (fun _ tc acc -> tc :: acc) tbl []
+        in
+        end_type.(v) <-
+          Some
+            (Vtype.make ~label:(label_of v) ~anc:(anc_vector_of v)
+               ~children:grouped)
+      end
+    done
+  done;
+  let kept =
+    List.filter (fun v -> alive.(v)) (List.init size Fun.id)
+  in
+  let kernel, of_kernel = Graph.induced g kept in
+  let to_kernel = Array.make size (-1) in
+  Array.iteri (fun i v -> to_kernel.(v) <- i) of_kernel;
+  {
+    graph = g;
+    tree;
+    k;
+    alive;
+    pruned;
+    end_type = Array.map (function Some t -> t | None -> assert false) end_type;
+    kernel;
+    to_kernel;
+    of_kernel;
+  }
+
+let kernel_size r = Graph.n r.kernel
+
+let check_lemma_6_1 r =
+  let size = Graph.n r.graph in
+  let ok = ref true in
+  for v = 0 to size - 1 do
+    if r.alive.(v) then
+      List.iter
+        (fun u ->
+          if (not r.alive.(u)) && r.pruned.(u) then begin
+            let same_type_alive =
+              List.filter
+                (fun w ->
+                  r.alive.(w) && Vtype.equal r.end_type.(w) r.end_type.(u))
+                (Elimination.children r.tree v)
+            in
+            if List.length same_type_alive <> r.k then ok := false
+          end)
+        (Elimination.children r.tree v)
+  done;
+  !ok
+
+let kernel_tree r =
+  let parent =
+    Array.map
+      (fun v ->
+        let p = r.tree.Elimination.parent.(v) in
+        if p = -1 then -1 else r.to_kernel.(p))
+      r.of_kernel
+  in
+  Elimination.make ~parent

@@ -1,0 +1,43 @@
+(** k-reduced graphs (the kernels of Section 6).
+
+    Starting from a coherent t-model, repeatedly apply {e valid pruning
+    operations} at the largest possible depth: whenever a node keeps
+    more than [k] children of the same (end) type, delete surplus
+    subtrees.  The surviving graph [H] — the {e k-reduced graph} —
+    satisfies [G ≃_k H] (Proposition 6.3) and its size depends only on
+    [(k, t)] (Proposition 6.2), which makes it a certifiable kernel for
+    FO model checking (Theorem 2.6).
+
+    Deepest-first pruning means that when a vertex is deleted the types
+    of all vertices at its depth and below are final; those recorded
+    here are exactly the paper's {e end types}. *)
+
+type t = {
+  graph : Graph.t;  (** the original graph G *)
+  tree : Elimination.t;  (** the model used *)
+  k : int;
+  alive : bool array;  (** vertex survives into the kernel *)
+  pruned : bool array;
+      (** vertex is the root of a subtree removed by a pruning step
+          (deleted, but deeper deleted vertices are not "pruned") *)
+  end_type : Vtype.t array;  (** per original vertex *)
+  kernel : Graph.t;  (** H = G\[alive\] *)
+  to_kernel : int array;  (** original → kernel index, -1 when deleted *)
+  of_kernel : int array;  (** kernel index → original vertex *)
+}
+
+val reduce : ?labels:int array -> Graph.t -> Elimination.t -> k:int -> t
+(** Requires a coherent model of [g] ([k >= 1]); raises
+    [Invalid_argument] otherwise.  [labels] makes types label-aware, so
+    the kernel preserves sentences with [Lab] atoms. *)
+
+val kernel_size : t -> int
+(** Number of vertices of the kernel. *)
+
+val check_lemma_6_1 : t -> bool
+(** Lemma 6.1: for every deleted child [u] of a surviving vertex [v],
+    exactly [k] surviving children of [v] share [u]'s end type.  Used
+    as an internal consistency oracle in tests. *)
+
+val kernel_tree : t -> Elimination.t
+(** The restriction of the model to the kernel (on kernel indices). *)

@@ -1,0 +1,56 @@
+(** Vertex types for the Section-6 kernelization.
+
+    The {e type} of a vertex [v] (w.r.t. an elimination tree) is its
+    subtree in which every node is decorated with its {e ancestor
+    vector} — the bit vector recording which of its ancestors it is
+    adjacent to in the graph.  Identifiers do not appear, so distant
+    vertices can share a type; the pruning rule of Section 6.1 deletes
+    surplus children of equal type.
+
+    Types are hash-consed in a global registry: two types are equal iff
+    they have the same {!id}, and ids are stable within a process,
+    which gives the kernel certificates a canonical structural
+    encoding. *)
+
+type t
+
+val id : t -> int
+(** Registry identifier; equality of types is equality of ids. *)
+
+val label : t -> int
+(** The vertex label baked into the type (0 on unlabeled graphs) — the
+    "constant-size inputs" extension mentioned after Theorem 2.6. *)
+
+val anc_vector : t -> bool list
+(** Adjacency to the proper ancestors, from depth 1 (the root) down to
+    the parent.  Length = depth of the vertex − 1. *)
+
+val children : t -> (t * int) list
+(** Multiset of children types, sorted by {!id}, positive counts. *)
+
+val make : label:int -> anc:bool list -> children:(t * int) list -> t
+(** Hash-consing constructor; [children] need not be sorted; [label]
+    is 0 on unlabeled graphs. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val size : t -> int
+(** Number of tree nodes a vertex of this type roots. *)
+
+val height : t -> int
+(** Levels of the subtree (1 for a leaf type). *)
+
+val compute : ?labels:int array -> Graph.t -> Elimination.t -> t array
+(** The (unpruned) type of every vertex of the graph with respect to
+    the model — bottom-up over the elimination tree.  [labels] extends
+    types to vertex-labeled graphs. *)
+
+val pp : Format.formatter -> t -> unit
+(** Structural rendering [⟨anc|child-type×count …⟩]. *)
+
+val f_bound : k:int -> t:int -> int array
+(** Proposition 6.2's recurrence: [f.(d)] bounds the number of possible
+    end types at depth [d] (1-indexed; [f.(t)] = 2^(t-1) … saturating
+    at [max_int]).  Printed by the E7 experiment to show why structural
+    encodings beat table indices. *)

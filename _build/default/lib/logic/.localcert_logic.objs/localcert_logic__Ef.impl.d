@@ -1,0 +1,1 @@
+lib/logic/ef.ml: Graph List

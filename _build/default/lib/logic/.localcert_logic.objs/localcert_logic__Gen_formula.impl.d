@@ -1,0 +1,1 @@
+lib/logic/gen_formula.ml: Formula List Localcert_util Printf

@@ -1,0 +1,1 @@
+lib/logic/gen_formula.mli: Formula Localcert_util

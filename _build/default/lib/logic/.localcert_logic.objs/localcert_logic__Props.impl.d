@@ -1,0 +1,1 @@
+lib/logic/props.ml: Array Formula Graph Iso List Option Paths Printf Queue

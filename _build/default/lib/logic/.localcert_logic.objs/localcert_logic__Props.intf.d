@@ -1,0 +1,1 @@
+lib/logic/props.mli: Formula Graph

@@ -1,0 +1,44 @@
+(* The partial map x_j ↦ y_j must be an isomorphism between the induced
+   subgraphs: injective both ways, and preserving equality and
+   (non-)adjacency. *)
+let partial_iso g h xs ys =
+  let rec pairs = function
+    | [] -> []
+    | a :: rest -> List.map (fun b -> (a, b)) rest @ pairs rest
+  in
+  let zip = List.combine xs ys in
+  List.for_all
+    (fun ((x1, y1), (x2, y2)) ->
+      (x1 = x2) = (y1 = y2) && Graph.mem_edge g x1 x2 = Graph.mem_edge h y1 y2)
+    (pairs zip)
+
+let spoiler_wins_round g h xs ys = not (partial_iso g h xs ys)
+
+let equiv k g h =
+  (* dup r xs ys: Duplicator survives r more rounds from position
+     (xs, ys), assuming the current position is a partial iso. *)
+  let rec dup r xs ys =
+    if r = 0 then true
+    else
+      let respond_in_h u =
+        List.exists
+          (fun v ->
+            partial_iso g h (u :: xs) (v :: ys) && dup (r - 1) (u :: xs) (v :: ys))
+          (Graph.vertices h)
+      in
+      let respond_in_g v =
+        List.exists
+          (fun u ->
+            partial_iso g h (u :: xs) (v :: ys) && dup (r - 1) (u :: xs) (v :: ys))
+          (Graph.vertices g)
+      in
+      List.for_all respond_in_h (Graph.vertices g)
+      && List.for_all respond_in_g (Graph.vertices h)
+  in
+  dup k [] []
+
+let distinguishing_rank ~max g h =
+  let rec go k =
+    if k > max then None else if not (equiv k g h) then Some k else go (k + 1)
+  in
+  go 0

@@ -1,0 +1,24 @@
+(** Ehrenfeucht–Fraïssé games (Section 3.2, Theorem 3.3).
+
+    [equiv k g h] decides whether Duplicator has a winning strategy in
+    the [k]-round FO EF game on [(g, h)] — equivalently (Theorem 3.3)
+    whether [g] and [h] satisfy the same FO sentences of quantifier
+    depth at most [k], written [g ≃_k h].
+
+    This is the tool that makes the Section-6 kernelization *testable*:
+    Proposition 6.3 claims [G ≃_k H] for the k-reduced graph [H], and
+    our tests verify it by actually playing the game.
+
+    Complexity is [(|G|·|H|)^k]; keep [k ≤ 3] and graphs small. *)
+
+val equiv : int -> Graph.t -> Graph.t -> bool
+(** [equiv k g h] = Duplicator wins the [k]-round game. *)
+
+val spoiler_wins_round : Graph.t -> Graph.t -> int list -> int list -> bool
+(** [spoiler_wins_round g h xs ys]: is the partial map [xs ↦ ys] *not* a
+    partial isomorphism (i.e. has Spoiler already won)?  Exposed for
+    tests. *)
+
+val distinguishing_rank : max:int -> Graph.t -> Graph.t -> int option
+(** Least [k ≤ max] such that Spoiler wins the [k]-round game, if
+    any — i.e. the least quantifier depth distinguishing the graphs. *)

@@ -1,0 +1,69 @@
+type value = Vertex of int | Set of int
+
+type env = (string * value) list
+
+let lookup_vertex env x =
+  match List.assoc_opt x env with
+  | Some (Vertex v) -> v
+  | Some (Set _) ->
+      invalid_arg (Printf.sprintf "Eval: %s bound to a set, used as vertex" x)
+  | None -> invalid_arg (Printf.sprintf "Eval: unbound element variable %s" x)
+
+let lookup_set env x =
+  match List.assoc_opt x env with
+  | Some (Set s) -> s
+  | Some (Vertex _) ->
+      invalid_arg (Printf.sprintf "Eval: %s bound to a vertex, used as set" x)
+  | None -> invalid_arg (Printf.sprintf "Eval: unbound set variable %s" x)
+
+let holds ?labels ?(env = []) g f =
+  let n = Graph.n g in
+  let label v = match labels with None -> 0 | Some a -> a.(v) in
+  let rec eval env (f : Formula.t) =
+    match f with
+    | True -> true
+    | False -> false
+    | Eq (x, y) -> lookup_vertex env x = lookup_vertex env y
+    | Adj (x, y) -> Graph.mem_edge g (lookup_vertex env x) (lookup_vertex env y)
+    | Mem (x, bigx) ->
+        let v = lookup_vertex env x in
+        lookup_set env bigx land (1 lsl v) <> 0
+    | Lab (x, l) -> label (lookup_vertex env x) = l
+    | Not f -> not (eval env f)
+    | And (f, h) -> eval env f && eval env h
+    | Or (f, h) -> eval env f || eval env h
+    | Imp (f, h) -> (not (eval env f)) || eval env h
+    | Iff (f, h) -> eval env f = eval env h
+    | Exists (x, f) ->
+        let rec try_v v =
+          v < n && (eval ((x, Vertex v) :: env) f || try_v (v + 1))
+        in
+        try_v 0
+    | Forall (x, f) ->
+        let rec all_v v =
+          v >= n || (eval ((x, Vertex v) :: env) f && all_v (v + 1))
+        in
+        all_v 0
+    | Exists_set (bigx, f) ->
+        if n > 62 then
+          invalid_arg "Eval: set quantifier on a graph with > 62 vertices";
+        let limit = 1 lsl n in
+        let rec try_s s =
+          s < limit && (eval ((bigx, Set s) :: env) f || try_s (s + 1))
+        in
+        try_s 0
+    | Forall_set (bigx, f) ->
+        if n > 62 then
+          invalid_arg "Eval: set quantifier on a graph with > 62 vertices";
+        let limit = 1 lsl n in
+        let rec all_s s =
+          s >= limit || (eval ((bigx, Set s) :: env) f && all_s (s + 1))
+        in
+        all_s 0
+  in
+  eval env f
+
+let sentence ?labels g f =
+  if not (Formula.is_sentence f) then
+    invalid_arg "Eval.sentence: formula has free variables";
+  holds ?labels g f

@@ -1,0 +1,28 @@
+(** Brute-force model checking of FO/MSO sentences.
+
+    This is the reference semantics against which everything else in
+    the library is validated: tree automata (Section 4), kernels
+    (Section 6), and the certification schemes themselves.  Element
+    quantifiers cost a factor [n], set quantifiers a factor [2^n]:
+    intended for small graphs (set quantifiers require [n <= 62]; in
+    practice keep [n] below ~20 per set quantifier).
+
+    Vertex sets are machine-word bitmasks. *)
+
+type value =
+  | Vertex of int
+  | Set of int  (** bitmask over vertices *)
+
+type env = (string * value) list
+
+val holds :
+  ?labels:int array -> ?env:env -> Graph.t -> Formula.t -> bool
+(** [holds g f] evaluates [f] on [g].  Free variables must be bound by
+    [env]; otherwise [Invalid_argument] is raised.  [labels.(v)] gives
+    the label of [v] for [Lab] atoms (default: all 0).  Raises
+    [Invalid_argument] if a set quantifier is evaluated on a graph with
+    more than 62 vertices. *)
+
+val sentence : ?labels:int array -> Graph.t -> Formula.t -> bool
+(** Like {!holds} with an empty environment; raises [Invalid_argument]
+    if the formula is not a sentence. *)

@@ -1,0 +1,182 @@
+type t =
+  | True
+  | False
+  | Eq of string * string
+  | Adj of string * string
+  | Mem of string * string
+  | Lab of string * int
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Imp of t * t
+  | Iff of t * t
+  | Exists of string * t
+  | Forall of string * t
+  | Exists_set of string * t
+  | Forall_set of string * t
+
+let conj = function
+  | [] -> True
+  | f :: fs -> List.fold_left (fun acc g -> And (acc, g)) f fs
+
+let disj = function
+  | [] -> False
+  | f :: fs -> List.fold_left (fun acc g -> Or (acc, g)) f fs
+
+let exists_many vars body =
+  List.fold_right (fun v acc -> Exists (v, acc)) vars body
+
+let forall_many vars body =
+  List.fold_right (fun v acc -> Forall (v, acc)) vars body
+
+let distinct vars =
+  let rec pairs = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> Not (Eq (x, y))) rest @ pairs rest
+  in
+  conj (pairs vars)
+
+let rec quantifier_rank = function
+  | True | False | Eq _ | Adj _ | Mem _ | Lab _ -> 0
+  | Not f -> quantifier_rank f
+  | And (f, g) | Or (f, g) | Imp (f, g) | Iff (f, g) ->
+      max (quantifier_rank f) (quantifier_rank g)
+  | Exists (_, f) | Forall (_, f) | Exists_set (_, f) | Forall_set (_, f) ->
+      1 + quantifier_rank f
+
+let rec fo_rank = function
+  | True | False | Eq _ | Adj _ | Mem _ | Lab _ -> 0
+  | Not f -> fo_rank f
+  | And (f, g) | Or (f, g) | Imp (f, g) | Iff (f, g) ->
+      max (fo_rank f) (fo_rank g)
+  | Exists (_, f) | Forall (_, f) -> 1 + fo_rank f
+  | Exists_set (_, f) | Forall_set (_, f) -> fo_rank f
+
+let rec set_rank = function
+  | True | False | Eq _ | Adj _ | Mem _ | Lab _ -> 0
+  | Not f -> set_rank f
+  | And (f, g) | Or (f, g) | Imp (f, g) | Iff (f, g) ->
+      max (set_rank f) (set_rank g)
+  | Exists (_, f) | Forall (_, f) -> set_rank f
+  | Exists_set (_, f) | Forall_set (_, f) -> 1 + set_rank f
+
+let rec size = function
+  | True | False | Eq _ | Adj _ | Mem _ | Lab _ -> 1
+  | Not f -> 1 + size f
+  | And (f, g) | Or (f, g) | Imp (f, g) | Iff (f, g) -> 1 + size f + size g
+  | Exists (_, f) | Forall (_, f) | Exists_set (_, f) | Forall_set (_, f) ->
+      1 + size f
+
+let rec is_fo = function
+  | True | False | Eq _ | Adj _ | Lab _ -> true
+  | Mem _ -> false
+  | Not f -> is_fo f
+  | And (f, g) | Or (f, g) | Imp (f, g) | Iff (f, g) -> is_fo f && is_fo g
+  | Exists (_, f) | Forall (_, f) -> is_fo f
+  | Exists_set _ | Forall_set _ -> false
+
+(* Negation normal form over FO formulas, rewriting Imp/Iff away. *)
+let rec nnf = function
+  | (True | False | Eq _ | Adj _ | Mem _ | Lab _) as a -> a
+  | And (f, g) -> And (nnf f, nnf g)
+  | Or (f, g) -> Or (nnf f, nnf g)
+  | Imp (f, g) -> Or (nnf (Not f), nnf g)
+  | Iff (f, g) -> And (nnf (Imp (f, g)), nnf (Imp (g, f)))
+  | Exists (v, f) -> Exists (v, nnf f)
+  | Forall (v, f) -> Forall (v, nnf f)
+  | Exists_set (v, f) -> Exists_set (v, nnf f)
+  | Forall_set (v, f) -> Forall_set (v, nnf f)
+  | Not f -> (
+      match f with
+      | True -> False
+      | False -> True
+      | Eq _ | Adj _ | Mem _ | Lab _ -> Not f
+      | Not g -> nnf g
+      | And (g, h) -> Or (nnf (Not g), nnf (Not h))
+      | Or (g, h) -> And (nnf (Not g), nnf (Not h))
+      | Imp (g, h) -> And (nnf g, nnf (Not h))
+      | Iff (g, h) -> nnf (Not (And (Imp (g, h), Imp (h, g))))
+      | Exists (v, g) -> Forall (v, nnf (Not g))
+      | Forall (v, g) -> Exists (v, nnf (Not g))
+      | Exists_set (v, g) -> Forall_set (v, nnf (Not g))
+      | Forall_set (v, g) -> Exists_set (v, nnf (Not g)))
+
+let is_existential f =
+  let rec no_universal = function
+    | True | False | Eq _ | Adj _ | Mem _ | Lab _ | Not _ -> true
+    | And (f, g) | Or (f, g) -> no_universal f && no_universal g
+    | Exists (_, f) -> no_universal f
+    | Forall _ | Exists_set _ | Forall_set _ -> false
+    | Imp _ | Iff _ -> assert false (* removed by nnf *)
+  in
+  is_fo f && no_universal (nnf f)
+
+module SS = Set.Make (String)
+
+let free_vars f =
+  let rec go bound_e bound_s = function
+    | True | False -> (SS.empty, SS.empty)
+    | Eq (x, y) | Adj (x, y) ->
+        let fe =
+          SS.filter (fun v -> not (SS.mem v bound_e)) (SS.of_list [ x; y ])
+        in
+        (fe, SS.empty)
+    | Lab (x, _) ->
+        ((if SS.mem x bound_e then SS.empty else SS.singleton x), SS.empty)
+    | Mem (x, bigx) ->
+        ( (if SS.mem x bound_e then SS.empty else SS.singleton x),
+          if SS.mem bigx bound_s then SS.empty else SS.singleton bigx )
+    | Not f -> go bound_e bound_s f
+    | And (f, g) | Or (f, g) | Imp (f, g) | Iff (f, g) ->
+        let fe, fs = go bound_e bound_s f in
+        let ge, gs = go bound_e bound_s g in
+        (SS.union fe ge, SS.union fs gs)
+    | Exists (v, f) | Forall (v, f) -> go (SS.add v bound_e) bound_s f
+    | Exists_set (v, f) | Forall_set (v, f) -> go bound_e (SS.add v bound_s) f
+  in
+  let fe, fs = go SS.empty SS.empty f in
+  (SS.elements fe, SS.elements fs)
+
+let is_sentence f = free_vars f = ([], [])
+
+(* Precedence levels: iff 1, imp 2, or 3, and 4, not/quant 5, atom 6. *)
+let rec pp_prec prec ppf f =
+  let paren p body =
+    if prec > p then Format.fprintf ppf "(%t)" body else body ppf
+  in
+  match f with
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Eq (x, y) -> Format.fprintf ppf "%s = %s" x y
+  | Adj (x, y) -> Format.fprintf ppf "%s -- %s" x y
+  | Mem (x, bigx) -> Format.fprintf ppf "%s in %s" x bigx
+  | Lab (x, l) -> Format.fprintf ppf "lab%d(%s)" l x
+  | Not g -> paren 5 (fun ppf -> Format.fprintf ppf "~%a" (pp_prec 5) g)
+  | And (g, h) ->
+      paren 4 (fun ppf ->
+          Format.fprintf ppf "%a@ & %a" (pp_prec 4) g (pp_prec 5) h)
+  | Or (g, h) ->
+      paren 3 (fun ppf ->
+          Format.fprintf ppf "%a@ | %a" (pp_prec 3) g (pp_prec 4) h)
+  | Imp (g, h) ->
+      paren 2 (fun ppf ->
+          Format.fprintf ppf "%a@ -> %a" (pp_prec 3) g (pp_prec 2) h)
+  | Iff (g, h) ->
+      paren 1 (fun ppf ->
+          Format.fprintf ppf "%a@ <-> %a" (pp_prec 2) g (pp_prec 2) h)
+  | Exists (v, g) ->
+      paren 0 (fun ppf ->
+          Format.fprintf ppf "exists %s.@ %a" v (pp_prec 0) g)
+  | Forall (v, g) ->
+      paren 0 (fun ppf ->
+          Format.fprintf ppf "forall %s.@ %a" v (pp_prec 0) g)
+  | Exists_set (v, g) ->
+      paren 0 (fun ppf ->
+          Format.fprintf ppf "exists %s.@ %a" v (pp_prec 0) g)
+  | Forall_set (v, g) ->
+      paren 0 (fun ppf ->
+          Format.fprintf ppf "forall %s.@ %a" v (pp_prec 0) g)
+
+let pp ppf f = Format.fprintf ppf "@[<hov 2>%a@]" (pp_prec 0) f
+
+let to_string f = Format.asprintf "%a" pp f

@@ -1,0 +1,82 @@
+(** First-order and monadic second-order formulas on graphs.
+
+    The grammar follows Section 3.2 of the paper: atomic predicates are
+    equality [x = y], adjacency [x − y], set membership [x ∈ X], plus —
+    for labeled graphs, used by the locally-checkable-labeling
+    extension mentioned after Theorem 2.6 — a label test.  Boolean
+    connectives, and quantification over vertices (lowercase
+    conventions) and vertex sets (uppercase) complete the logic.
+
+    The type does not separate FO from MSO; {!is_fo} checks for the
+    absence of set constructs, and the paper's results are parameterized
+    by {!quantifier_rank} (all quantifiers) or {!fo_rank}. *)
+
+type t =
+  | True
+  | False
+  | Eq of string * string  (** x = y *)
+  | Adj of string * string  (** x − y: adjacency *)
+  | Mem of string * string  (** [Mem (x, bigX)]: x ∈ X *)
+  | Lab of string * int  (** vertex x carries label ℓ (labeled graphs) *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Imp of t * t
+  | Iff of t * t
+  | Exists of string * t  (** ∃x (element) *)
+  | Forall of string * t  (** ∀x (element) *)
+  | Exists_set of string * t  (** ∃X ⊆ V *)
+  | Forall_set of string * t  (** ∀X ⊆ V *)
+
+(** {1 Smart constructors} *)
+
+val conj : t list -> t
+(** Right-nested conjunction; [conj \[\] = True]. *)
+
+val disj : t list -> t
+(** Right-nested disjunction; [disj \[\] = False]. *)
+
+val exists_many : string list -> t -> t
+val forall_many : string list -> t -> t
+
+val distinct : string list -> t
+(** Pairwise inequality of the listed element variables. *)
+
+(** {1 Measures} *)
+
+val quantifier_rank : t -> int
+(** Maximum nesting depth of quantifiers of either kind — the [k] that
+    drives kernelization (Section 6) and EF games. *)
+
+val fo_rank : t -> int
+(** Nesting depth counting only element quantifiers. *)
+
+val set_rank : t -> int
+(** Nesting depth counting only set quantifiers. *)
+
+val size : t -> int
+(** Number of AST nodes. *)
+
+val is_fo : t -> bool
+(** No set quantifier and no membership atom. *)
+
+val is_existential : t -> bool
+(** Whether the prenex normal form uses only existential element
+    quantifiers (Lemma 2.1's second fragment): computed by checking the
+    formula is built from quantifier-free parts, ∧/∨, and ∃ only, after
+    pushing negations to atoms. *)
+
+(** {1 Variables} *)
+
+val free_vars : t -> string list * string list
+(** [(element_vars, set_vars)] free in the formula, each sorted. *)
+
+val is_sentence : t -> bool
+(** No free variable of either kind. *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+(** Concrete syntax compatible with {!Parser.parse}. *)
+
+val to_string : t -> string

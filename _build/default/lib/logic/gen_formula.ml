@@ -1,0 +1,46 @@
+module Rng = Localcert_util.Rng
+
+(* Grow a formula top-down: at each step either quantify (consuming
+   rank), branch with a connective, or close with an atom over the
+   variables currently in scope. *)
+let fo_sentence rng ~rank =
+  let fresh =
+    let counter = ref 0 in
+    fun () ->
+      incr counter;
+      Printf.sprintf "v%d" !counter
+  in
+  let atom scope : Formula.t =
+    match scope with
+    | [] -> if Rng.bool rng then True else False
+    | _ -> (
+        let x = Rng.pick rng scope in
+        let y = Rng.pick rng scope in
+        match Rng.int rng 3 with
+        | 0 -> Eq (x, y)
+        | 1 -> Adj (x, y)
+        | _ -> Not (Adj (x, y)))
+  in
+  let rec go budget scope fuel : Formula.t =
+    if fuel = 0 then atom scope
+    else
+      match Rng.int rng (if budget > 0 then 6 else 4) with
+      | 0 -> atom scope
+      | 1 -> Not (go budget scope (fuel - 1))
+      | 2 -> And (go budget scope (fuel - 1), go budget scope (fuel - 1))
+      | 3 -> Or (go budget scope (fuel - 1), go budget scope (fuel - 1))
+      | 4 ->
+          let v = fresh () in
+          Exists (v, go (budget - 1) (v :: scope) (fuel - 1))
+      | _ ->
+          let v = fresh () in
+          Forall (v, go (budget - 1) (v :: scope) (fuel - 1))
+  in
+  (* Start with a quantifier so the sentence is rarely trivial. *)
+  let v = fresh () in
+  if rank <= 0 then atom []
+  else if Rng.bool rng then Exists (v, go (rank - 1) [ v ] (2 * rank))
+  else Forall (v, go (rank - 1) [ v ] (2 * rank))
+
+let fo_sentences rng ~rank ~count =
+  List.init count (fun _ -> fo_sentence rng ~rank)

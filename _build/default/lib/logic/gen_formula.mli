@@ -1,0 +1,14 @@
+(** Random FO sentence generation for property-based tests.
+
+    The generated sentences are small and of bounded quantifier rank;
+    tests use them to check semantic-preservation claims (e.g. a kernel
+    satisfies the same rank-k sentences, Proposition 6.3) on formulas
+    nobody cherry-picked. *)
+
+val fo_sentence : Localcert_util.Rng.t -> rank:int -> Formula.t
+(** A closed FO sentence with quantifier rank exactly at most [rank]
+    (both quantifier kinds drawn uniformly; atoms use only bound
+    variables). *)
+
+val fo_sentences : Localcert_util.Rng.t -> rank:int -> count:int -> Formula.t list
+(** [count] independent draws. *)

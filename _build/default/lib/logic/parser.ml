@@ -1,0 +1,246 @@
+type token =
+  | Tident of string
+  | Tint of int
+  | Tlparen
+  | Trparen
+  | Tdot
+  | Teq
+  | Tadj
+  | Tnot
+  | Tand
+  | Tor
+  | Timp
+  | Tiff
+  | Tforall
+  | Texists
+  | Tin
+  | Ttrue
+  | Tfalse
+  | Tlab
+
+exception Error of string
+
+let fail pos fmt =
+  Printf.ksprintf (fun s -> raise (Error (Printf.sprintf "at %d: %s" pos s))) fmt
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let lex s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := (t, !i) :: !toks in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '(' then (push Tlparen; incr i)
+    else if c = ')' then (push Trparen; incr i)
+    else if c = '.' then (push Tdot; incr i)
+    else if c = '=' then (push Teq; incr i)
+    else if c = '~' then (push Tnot; incr i)
+    else if c = '&' then (push Tand; incr i)
+    else if c = '|' then (push Tor; incr i)
+    else if c = '<' then begin
+      if !i + 2 < n && s.[!i + 1] = '-' && s.[!i + 2] = '>' then begin
+        push Tiff;
+        i := !i + 3
+      end
+      else fail !i "expected '<->'"
+    end
+    else if c = '-' then begin
+      if !i + 1 < n && s.[!i + 1] = '>' then begin
+        push Timp;
+        i := !i + 2
+      end
+      else if !i + 1 < n && s.[!i + 1] = '-' then begin
+        push Tadj;
+        i := !i + 2
+      end
+      else fail !i "expected '--' or '->'"
+    end
+    else if c >= '0' && c <= '9' then begin
+      let j = ref !i in
+      while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do
+        incr j
+      done;
+      push (Tint (int_of_string (String.sub s !i (!j - !i))));
+      i := !j
+    end
+    else if is_ident_char c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char s.[!j] do
+        incr j
+      done;
+      let word = String.sub s !i (!j - !i) in
+      i := !j;
+      let is_lab_literal w =
+        String.length w > 3
+        && String.sub w 0 3 = "lab"
+        && String.for_all (fun c -> c >= '0' && c <= '9')
+             (String.sub w 3 (String.length w - 3))
+      in
+      match word with
+      | "forall" | "all" -> push Tforall
+      | "exists" | "ex" -> push Texists
+      | "in" -> push Tin
+      | "true" -> push Ttrue
+      | "false" -> push Tfalse
+      | "lab" -> push Tlab
+      | w when is_lab_literal w ->
+          push Tlab;
+          push (Tint (int_of_string (String.sub w 3 (String.length w - 3))))
+      | _ -> push (Tident word)
+    end
+    else fail !i "unexpected character %c" c
+  done;
+  List.rev !toks
+
+type stream = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with [] -> None | (t, _) :: _ -> Some t
+
+let pos st = match st.toks with [] -> -1 | (_, p) :: _ -> p
+
+let advance st =
+  match st.toks with [] -> fail (-1) "unexpected end" | _ :: r -> st.toks <- r
+
+let expect st t what =
+  match st.toks with
+  | (t', _) :: rest when t' = t -> st.toks <- rest
+  | _ -> fail (pos st) "expected %s" what
+
+let ident st =
+  match st.toks with
+  | (Tident x, _) :: rest ->
+      st.toks <- rest;
+      x
+  | _ -> fail (pos st) "expected a variable"
+
+let is_set_var x = String.length x > 0 && x.[0] >= 'A' && x.[0] <= 'Z'
+
+let rec parse_formula st : Formula.t =
+  match peek st with
+  | Some Tforall ->
+      advance st;
+      let x = ident st in
+      expect st Tdot "'.'";
+      let body = parse_formula st in
+      if is_set_var x then Forall_set (x, body) else Forall (x, body)
+  | Some Texists ->
+      advance st;
+      let x = ident st in
+      expect st Tdot "'.'";
+      let body = parse_formula st in
+      if is_set_var x then Exists_set (x, body) else Exists (x, body)
+  | _ -> parse_iff st
+
+and parse_iff st =
+  let lhs = parse_imp st in
+  match peek st with
+  | Some Tiff ->
+      advance st;
+      let rhs = parse_imp st in
+      Iff (lhs, rhs)
+  | _ -> lhs
+
+and parse_imp st =
+  let lhs = parse_or st in
+  match peek st with
+  | Some Timp ->
+      advance st;
+      let rhs = parse_imp st in
+      Imp (lhs, rhs)
+  | _ -> lhs
+
+and parse_or st =
+  let lhs = parse_and st in
+  let rec loop acc =
+    match peek st with
+    | Some Tor ->
+        advance st;
+        let rhs = parse_and st in
+        loop (Formula.Or (acc, rhs))
+    | _ -> acc
+  in
+  loop lhs
+
+and parse_and st =
+  let lhs = parse_unary st in
+  let rec loop acc =
+    match peek st with
+    | Some Tand ->
+        advance st;
+        let rhs = parse_unary st in
+        loop (Formula.And (acc, rhs))
+    | _ -> acc
+  in
+  loop lhs
+
+and parse_unary st =
+  match peek st with
+  | Some Tnot ->
+      advance st;
+      Not (parse_unary st)
+  | Some (Tforall | Texists) -> parse_formula st
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | Some Tlparen ->
+      advance st;
+      let f = parse_formula st in
+      expect st Trparen "')'";
+      f
+  | Some Ttrue ->
+      advance st;
+      True
+  | Some Tfalse ->
+      advance st;
+      False
+  | Some Tlab ->
+      advance st;
+      let l =
+        match st.toks with
+        | (Tint l, _) :: rest ->
+            st.toks <- rest;
+            l
+        | _ -> fail (pos st) "expected a label number after 'lab'"
+      in
+      expect st Tlparen "'('";
+      let x = ident st in
+      expect st Trparen "')'";
+      Lab (x, l)
+  | Some (Tident x) ->
+      advance st;
+      (match peek st with
+      | Some Teq ->
+          advance st;
+          Eq (x, ident st)
+      | Some Tadj ->
+          advance st;
+          Adj (x, ident st)
+      | Some Tin ->
+          advance st;
+          let bigx = ident st in
+          if not (is_set_var bigx) then
+            fail (pos st) "'in' expects an uppercase set variable";
+          Mem (x, bigx)
+      | _ -> fail (pos st) "expected '=', '--' or 'in' after variable %s" x)
+  | _ -> fail (pos st) "expected an atom"
+
+let parse s =
+  match
+    let st = { toks = lex s } in
+    let f = parse_formula st in
+    if st.toks <> [] then fail (pos st) "trailing input";
+    f
+  with
+  | f -> Ok f
+  | exception Error msg -> Result.Error msg
+
+let parse_exn s =
+  match parse s with
+  | Ok f -> f
+  | Error msg -> invalid_arg ("Parser.parse_exn: " ^ msg)

@@ -1,0 +1,30 @@
+(** Parser for the concrete formula syntax.
+
+    Grammar (lowest precedence first; quantifiers reach as far right as
+    possible):
+
+    {v
+    formula ::= ("forall" | "exists") var "." formula
+              | iff
+    iff     ::= imp ("<->" imp)*
+    imp     ::= or ("->" imp)?
+    or      ::= and ("|" and)*
+    and     ::= unary ("&" unary)*
+    unary   ::= "~" unary | atom
+    atom    ::= "(" formula ")" | "true" | "false"
+              | var "=" var | var "--" var | var "in" VAR
+              | "lab" INT "(" var ")"
+    v}
+
+    Variables beginning with an uppercase letter are set variables;
+    others are element variables.  [forall X. …] therefore quantifies
+    over sets; [forall x. …] over vertices.  This matches the paper's
+    notational convention ("usually denoted by capital variables"). *)
+
+val parse : string -> (Formula.t, string) result
+(** Parse a sentence or open formula; the error string carries a
+    character position. *)
+
+val parse_exn : string -> Formula.t
+(** Like {!parse}, raising [Invalid_argument] on error.  Convenient in
+    tests and examples. *)

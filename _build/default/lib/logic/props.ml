@@ -1,0 +1,277 @@
+open Formula
+
+type t = {
+  name : string;
+  formula : Formula.t option;
+  check : Graph.t -> bool;
+  mso_only : bool;
+}
+
+let fo name formula check = { name; formula = Some formula; check; mso_only = false }
+
+let mso name formula check = { name; formula = Some formula; check; mso_only = true }
+
+let semantic name check = { name; formula = None; check; mso_only = false }
+
+let diameter_at_most_2 =
+  fo "diameter<=2"
+    (Forall
+       ( "x",
+         Forall
+           ( "y",
+             disj
+               [
+                 Eq ("x", "y");
+                 Adj ("x", "y");
+                 Exists ("z", And (Adj ("x", "z"), Adj ("z", "y")));
+               ] ) ))
+    (fun g -> Graph.n g > 0 && Graph.is_connected g && Graph.diameter g <= 2)
+
+let triangle_free =
+  fo "triangle-free"
+    (forall_many [ "x"; "y"; "z" ]
+       (Not (conj [ Adj ("x", "y"); Adj ("y", "z"); Adj ("x", "z") ])))
+    (fun g ->
+      let n = Graph.n g in
+      let found = ref false in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          if Graph.mem_edge g u v then
+            for w = v + 1 to n - 1 do
+              if Graph.mem_edge g u w && Graph.mem_edge g v w then found := true
+            done
+        done
+      done;
+      not !found)
+
+let has_dominating_vertex =
+  fo "has-dominating-vertex"
+    (Exists ("x", Forall ("y", Or (Eq ("x", "y"), Adj ("x", "y")))))
+    (fun g ->
+      List.exists (fun v -> Graph.degree g v = Graph.n g - 1) (Graph.vertices g))
+
+let is_clique =
+  fo "is-clique"
+    (forall_many [ "x"; "y" ] (Or (Eq ("x", "y"), Adj ("x", "y"))))
+    (fun g -> Graph.m g = Graph.n g * (Graph.n g - 1) / 2)
+
+let at_most_one_vertex =
+  fo "at-most-one-vertex"
+    (forall_many [ "x"; "y" ] (Eq ("x", "y")))
+    (fun g -> Graph.n g <= 1)
+
+let max_degree_at_most d =
+  let ys = List.init (d + 1) (fun i -> Printf.sprintf "y%d" i) in
+  fo
+    (Printf.sprintf "max-degree<=%d" d)
+    (Forall
+       ( "x",
+         Not
+           (exists_many ys
+              (conj (distinct ys :: List.map (fun y -> Adj ("x", y)) ys))) ))
+    (fun g -> List.for_all (fun v -> Graph.degree g v <= d) (Graph.vertices g))
+
+let min_degree_at_least d =
+  let ys = List.init d (fun i -> Printf.sprintf "y%d" i) in
+  fo
+    (Printf.sprintf "min-degree>=%d" d)
+    (Forall
+       ( "x",
+         exists_many ys
+           (conj (distinct ys :: List.map (fun y -> Adj ("x", y)) ys)) ))
+    (fun g -> List.for_all (fun v -> Graph.degree g v >= d) (Graph.vertices g))
+
+let has_vertex_of_degree_exactly d =
+  let ys = List.init d (fun i -> Printf.sprintf "y%d" i) in
+  let zs = List.init (d + 1) (fun i -> Printf.sprintf "z%d" i) in
+  fo
+    (Printf.sprintf "has-vertex-of-degree=%d" d)
+    (Exists
+       ( "x",
+         And
+           ( exists_many ys
+               (conj (distinct ys :: List.map (fun y -> Adj ("x", y)) ys)),
+             Not
+               (exists_many zs
+                  (conj (distinct zs :: List.map (fun z -> Adj ("x", z)) zs)))
+           ) ))
+    (fun g -> List.exists (fun v -> Graph.degree g v = d) (Graph.vertices g))
+
+let contains_path_on k =
+  let xs = List.init k (fun i -> Printf.sprintf "x%d" i) in
+  let rec chain = function
+    | a :: b :: rest -> Adj (a, b) :: chain (b :: rest)
+    | _ -> []
+  in
+  fo
+    (Printf.sprintf "contains-P%d" k)
+    (exists_many xs (conj (distinct xs :: chain xs)))
+    (fun g -> Paths.longest_path g >= k)
+
+(* "Is a path" as certified on trees: among trees, being a path is
+   exactly having maximum degree 2, which is FO.  The checker encodes
+   the same FO property so that formula and checker agree on all
+   graphs; treeness is the promise under which the property reads
+   "is a path". *)
+let is_path_graph =
+  fo "is-path(tree-promise)"
+    ((max_degree_at_most 2).formula |> Option.get)
+    (fun g -> List.for_all (fun v -> Graph.degree g v <= 2) (Graph.vertices g))
+
+(* A proper 2-coloring is a set X such that every edge leaves X exactly
+   once. *)
+let two_colorable =
+  mso "2-colorable"
+    (Exists_set
+       ( "X",
+         forall_many [ "u"; "v" ]
+           (Imp (Adj ("u", "v"), Not (Iff (Mem ("u", "X"), Mem ("v", "X"))))) ))
+    (fun g ->
+      (* BFS 2-coloring per component. *)
+      let n = Graph.n g in
+      let color = Array.make n (-1) in
+      let ok = ref true in
+      for s = 0 to n - 1 do
+        if color.(s) = -1 then begin
+          color.(s) <- 0;
+          let q = Queue.create () in
+          Queue.add s q;
+          while not (Queue.is_empty q) do
+            let u = Queue.pop q in
+            Array.iter
+              (fun v ->
+                if color.(v) = -1 then begin
+                  color.(v) <- 1 - color.(u);
+                  Queue.add v q
+                end
+                else if color.(v) = color.(u) then ok := false)
+              (Graph.neighbors g u)
+          done
+        end
+      done;
+      !ok)
+
+(* Classes: X, Y, and the rest — X and Y disjoint so there are exactly
+   three; adjacent vertices must differ in at least one of the two
+   sets. *)
+let three_colorable =
+  mso "3-colorable"
+    (Exists_set
+       ( "X",
+         Exists_set
+           ( "Y",
+             And
+               ( Forall ("w", Not (And (Mem ("w", "X"), Mem ("w", "Y")))),
+                 forall_many [ "u"; "v" ]
+                   (Imp
+                      ( Adj ("u", "v"),
+                        Not
+                          (And
+                             ( Iff (Mem ("u", "X"), Mem ("v", "X")),
+                               Iff (Mem ("u", "Y"), Mem ("v", "Y")) )) )) ) ) ))
+    (fun g ->
+      let n = Graph.n g in
+      let color = Array.make n (-1) in
+      let rec go v =
+        if v = n then true
+        else
+          List.exists
+            (fun c ->
+              let clash =
+                Array.exists
+                  (fun w -> w < v && color.(w) = c)
+                  (Graph.neighbors g v)
+              in
+              if clash then false
+              else begin
+                color.(v) <- c;
+                let r = go (v + 1) in
+                color.(v) <- -1;
+                r
+              end)
+            [ 0; 1; 2 ]
+      in
+      go 0)
+
+let connected_mso =
+  mso "connected"
+    (Forall_set
+       ( "X",
+         Imp
+           ( And
+               ( Exists ("x", Mem ("x", "X")),
+                 Exists ("y", Not (Mem ("y", "X"))) ),
+             exists_many [ "u"; "v" ]
+               (conj [ Mem ("u", "X"); Not (Mem ("v", "X")); Adj ("u", "v") ])
+           ) ))
+    Graph.is_connected
+
+let acyclic_mso =
+  mso "acyclic"
+    (Forall_set
+       ( "X",
+         Imp
+           ( Exists ("x", Mem ("x", "X")),
+             Exists
+               ( "x",
+                 And
+                   ( Mem ("x", "X"),
+                     Not
+                       (exists_many [ "y"; "z" ]
+                          (conj
+                             [
+                               Not (Eq ("y", "z"));
+                               Mem ("y", "X");
+                               Mem ("z", "X");
+                               Adj ("x", "y");
+                               Adj ("x", "z");
+                             ])) ) ) ) ))
+    Graph.is_acyclic
+
+let independent_dominating_pair =
+  mso "independent-dominating-set"
+    (Exists_set
+       ( "X",
+         And
+           ( forall_many [ "u"; "v" ]
+               (Imp
+                  ( And (Mem ("u", "X"), Mem ("v", "X")),
+                    Not (Adj ("u", "v")) )),
+             Forall
+               ( "u",
+                 Or
+                   ( Mem ("u", "X"),
+                     Exists ("v", And (Mem ("v", "X"), Adj ("u", "v"))) ) ) ) ))
+    (fun g -> Graph.n g > 0)
+(* Greedy maximal independent sets always exist, so semantically this is
+   just non-emptiness. *)
+
+let has_fixed_point_free_automorphism =
+  semantic "fixed-point-free-automorphism" Iso.has_fixed_point_free_automorphism
+
+let even_order = semantic "even-order" (fun g -> Graph.n g mod 2 = 0)
+
+let all =
+  [
+    diameter_at_most_2;
+    triangle_free;
+    has_dominating_vertex;
+    is_clique;
+    at_most_one_vertex;
+    max_degree_at_most 2;
+    max_degree_at_most 3;
+    min_degree_at_least 2;
+    has_vertex_of_degree_exactly 1;
+    contains_path_on 3;
+    contains_path_on 4;
+    is_path_graph;
+    two_colorable;
+    three_colorable;
+    connected_mso;
+    acyclic_mso;
+    independent_dominating_pair;
+    has_fixed_point_free_automorphism;
+    even_order;
+  ]
+
+let find name = List.find_opt (fun p -> p.name = name) all

@@ -1,0 +1,82 @@
+(** A library of named graph properties.
+
+    Each property pairs (when it exists) an FO/MSO sentence with an
+    independent semantic implementation.  The test suite checks the two
+    against each other on exhaustive/random instances, and the
+    certification layers consume either side: the formula feeds the
+    generic machinery (kernels, capped-type automata), while the
+    semantic checker acts as ground truth in audits.
+
+    Properties without a formula are the paper's designated non-MSO
+    examples (fixed-point-free automorphism, Theorem 2.3; parity of the
+    order). *)
+
+type t = {
+  name : string;
+  formula : Formula.t option;  (** [None] for non-MSO properties *)
+  check : Graph.t -> bool;  (** independent semantic definition *)
+  mso_only : bool;
+      (** true when the formula uses set quantifiers (so evaluation is
+          exponential and tests must keep instances tiny) *)
+}
+
+(** {1 The paper's running examples (Section 2)} *)
+
+val diameter_at_most_2 : t
+(** The FO sentence of Section 2.2 that cannot be certified compactly:
+    ∀x∀y (x=y ∨ x−y ∨ ∃z (x−z ∧ z−y)). *)
+
+val triangle_free : t
+(** ∀x∀y∀z ¬(x−y ∧ y−z ∧ x−z) — the other Section 2.2 hard example. *)
+
+val has_dominating_vertex : t
+(** One of the three depth-2 FO properties of Lemma A.3. *)
+
+val is_clique : t
+(** Another depth-2 property of Lemma A.3. *)
+
+val at_most_one_vertex : t
+(** The third depth-2 property of Lemma A.3. *)
+
+(** {1 FO properties used in experiments} *)
+
+val max_degree_at_most : int -> t
+val min_degree_at_least : int -> t
+val has_vertex_of_degree_exactly : int -> t
+val contains_path_on : int -> t
+(** ∃ distinct x₁…x_k chained — a subgraph path on [k] vertices. *)
+
+val is_path_graph : t
+(** Connected + acyclic are assumed (tree context): degree ≤ 2 and the
+    semantic check additionally verifies treeness. *)
+
+(** {1 MSO properties (set quantifiers)} *)
+
+val two_colorable : t
+val three_colorable : t
+val connected_mso : t
+(** Connectivity written in MSO — true on all our instances, but its
+    evaluation exercises set quantification. *)
+
+val acyclic_mso : t
+(** Forests: every nonempty set contains a vertex with at most one
+    neighbor inside the set. *)
+
+val independent_dominating_pair : t
+(** ∃X (X independent ∧ X dominating) — true on every graph (maximal
+    independent sets), a useful automaton sanity case. *)
+
+(** {1 Non-MSO properties (lower-bound side)} *)
+
+val has_fixed_point_free_automorphism : t
+(** Theorem 2.3's property.  Semantic only; exponential-time check. *)
+
+val even_order : t
+(** |V| even — not MSO-definable on unordered trees. *)
+
+val all : t list
+(** Every property above (with degree/path parameters instantiated at
+    small values), for sweep-style tests. *)
+
+val find : string -> t option
+(** Look up by {!field-name} in {!all}. *)

@@ -1,0 +1,158 @@
+open Formula
+
+let nnf f =
+  (* reuse the (private) NNF from Formula via a local copy to keep the
+     dependency direction simple *)
+  let rec go = function
+    | (True | False | Eq _ | Adj _ | Mem _ | Lab _) as a -> a
+    | And (f, g) -> And (go f, go g)
+    | Or (f, g) -> Or (go f, go g)
+    | Imp (f, g) -> Or (go (Not f), go g)
+    | Iff (f, g) -> And (go (Imp (f, g)), go (Imp (g, f)))
+    | Exists (v, f) -> Exists (v, go f)
+    | Forall (v, f) -> Forall (v, go f)
+    | Exists_set (v, f) -> Exists_set (v, go f)
+    | Forall_set (v, f) -> Forall_set (v, go f)
+    | Not f -> (
+        match f with
+        | True -> False
+        | False -> True
+        | Eq _ | Adj _ | Mem _ | Lab _ -> Not f
+        | Not g -> go g
+        | And (g, h) -> Or (go (Not g), go (Not h))
+        | Or (g, h) -> And (go (Not g), go (Not h))
+        | Imp (g, h) -> And (go g, go (Not h))
+        | Iff (g, h) -> go (Not (And (Imp (g, h), Imp (h, g))))
+        | Exists (v, g) -> Forall (v, go (Not g))
+        | Forall (v, g) -> Exists (v, go (Not g))
+        | Exists_set (v, g) -> Forall_set (v, go (Not g))
+        | Forall_set (v, g) -> Exists_set (v, go (Not g)))
+  in
+  go f
+
+let rename_apart f =
+  let counter = ref 0 in
+  let fresh base =
+    incr counter;
+    Printf.sprintf "%s_%d" base !counter
+  in
+  (* substitution maps for element and set variables *)
+  let rec go subst_e subst_s = function
+    | True -> True
+    | False -> False
+    | Eq (x, y) -> Eq (lookup subst_e x, lookup subst_e y)
+    | Adj (x, y) -> Adj (lookup subst_e x, lookup subst_e y)
+    | Mem (x, bigx) -> Mem (lookup subst_e x, lookup subst_s bigx)
+    | Lab (x, l) -> Lab (lookup subst_e x, l)
+    | Not f -> Not (go subst_e subst_s f)
+    | And (f, g) -> And (go subst_e subst_s f, go subst_e subst_s g)
+    | Or (f, g) -> Or (go subst_e subst_s f, go subst_e subst_s g)
+    | Imp (f, g) -> Imp (go subst_e subst_s f, go subst_e subst_s g)
+    | Iff (f, g) -> Iff (go subst_e subst_s f, go subst_e subst_s g)
+    | Exists (v, f) ->
+        let v' = fresh v in
+        Exists (v', go ((v, v') :: subst_e) subst_s f)
+    | Forall (v, f) ->
+        let v' = fresh v in
+        Forall (v', go ((v, v') :: subst_e) subst_s f)
+    | Exists_set (v, f) ->
+        let v' = fresh v in
+        Exists_set (v', go subst_e ((v, v') :: subst_s) f)
+    | Forall_set (v, f) ->
+        let v' = fresh v in
+        Forall_set (v', go subst_e ((v, v') :: subst_s) f)
+  and lookup subst v =
+    match List.assoc_opt v subst with Some v' -> v' | None -> v
+  in
+  go [] [] f
+
+let prenex f =
+  if not (Formula.is_fo f) then
+    invalid_arg "Transform.prenex: not a first-order formula";
+  let f = rename_apart (nnf f) in
+  (* After NNF + renaming apart, pull quantifiers out of And/Or.  In
+     NNF there is no Imp/Iff and Not only guards atoms. *)
+  let rec pull = function
+    | (True | False | Eq _ | Adj _ | Lab _ | Not _) as a -> ([], a)
+    | Exists (v, f) ->
+        let prefix, matrix = pull f in
+        ((true, v) :: prefix, matrix)
+    | Forall (v, f) ->
+        let prefix, matrix = pull f in
+        ((false, v) :: prefix, matrix)
+    | And (f, g) ->
+        let pf, mf = pull f in
+        let pg, mg = pull g in
+        (pf @ pg, And (mf, mg))
+    | Or (f, g) ->
+        let pf, mf = pull f in
+        let pg, mg = pull g in
+        (pf @ pg, Or (mf, mg))
+    | Imp _ | Iff _ -> assert false (* removed by nnf *)
+    | Mem _ | Exists_set _ | Forall_set _ -> assert false (* FO-checked *)
+  in
+  let prefix, matrix = pull f in
+  List.fold_right
+    (fun (is_ex, v) acc -> if is_ex then Exists (v, acc) else Forall (v, acc))
+    prefix matrix
+
+let quantifier_prefix f =
+  let rec go acc = function
+    | Exists (v, f) -> go ((true, v) :: acc) f
+    | Forall (v, f) -> go ((false, v) :: acc) f
+    | matrix -> (List.rev acc, matrix)
+  in
+  go [] f
+
+let rec simplify f =
+  match f with
+  | True | False | Adj _ | Mem _ | Lab _ -> f
+  | Eq (x, y) when x = y -> True
+  | Eq _ -> f
+  | Not g -> (
+      match simplify g with
+      | True -> False
+      | False -> True
+      | Not h -> h
+      | h -> Not h)
+  | And (g, h) -> (
+      match (simplify g, simplify h) with
+      | True, x | x, True -> x
+      | False, _ | _, False -> False
+      | x, y -> And (x, y))
+  | Or (g, h) -> (
+      match (simplify g, simplify h) with
+      | False, x | x, False -> x
+      | True, _ | _, True -> True
+      | x, y -> Or (x, y))
+  | Imp (g, h) -> (
+      match (simplify g, simplify h) with
+      | False, _ -> True
+      | True, x -> x
+      | _, True -> True
+      | x, y -> Imp (x, y))
+  | Iff (g, h) -> (
+      match (simplify g, simplify h) with
+      | True, x | x, True -> x
+      | False, x | x, False -> simplify (Not x)
+      | x, y -> Iff (x, y))
+  | Exists (v, g) -> (
+      match simplify g with
+      | True -> True (* graphs are non-empty *)
+      | False -> False
+      | h -> Exists (v, h))
+  | Forall (v, g) -> (
+      match simplify g with
+      | True -> True
+      | False -> False (* graphs are non-empty *)
+      | h -> Forall (v, h))
+  | Exists_set (v, g) -> (
+      match simplify g with
+      | True -> True
+      | False -> False
+      | h -> Exists_set (v, h))
+  | Forall_set (v, g) -> (
+      match simplify g with
+      | True -> True
+      | False -> False
+      | h -> Forall_set (v, h))

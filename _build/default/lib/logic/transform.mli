@@ -1,0 +1,31 @@
+(** Formula transformations: negation normal form, prenex normal form,
+    and renaming.
+
+    Lemma 2.1 speaks of sentences "whose prenex normal form has only
+    existential quantifiers"; {!prenex} computes that normal form for
+    FO formulas (fresh variables are introduced to avoid capture), so
+    the existential-FO scheme can accept any sentence whose prenex form
+    qualifies, not only syntactically prenex ones. *)
+
+val nnf : Formula.t -> Formula.t
+(** Negation normal form: negations pushed to atoms, [Imp]/[Iff]
+    expanded.  Defined for full MSO. *)
+
+val rename_apart : Formula.t -> Formula.t
+(** Renames bound variables so that every quantifier binds a distinct
+    fresh name and no bound name collides with a free one. *)
+
+val prenex : Formula.t -> Formula.t
+(** Prenex normal form of an FO formula: a quantifier prefix over a
+    quantifier-free matrix, logically equivalent to the input.  Raises
+    [Invalid_argument] on set quantifiers or membership atoms. *)
+
+val quantifier_prefix : Formula.t -> (bool * string) list * Formula.t
+(** [(is_existential, var)] prefix and the matrix of a prenex
+    formula (the prefix is empty if the formula is quantifier-free;
+    quantifiers below connectives are left in the matrix). *)
+
+val simplify : Formula.t -> Formula.t
+(** Constant folding: [And (True, f) = f] etc., double negation,
+    trivial equalities [x = x].  Semantics-preserving; used to keep
+    generated formulas readable. *)

@@ -1,0 +1,1 @@
+lib/lowerbound/automorphism_gadget.ml: Array Bitstring Combin Framework Fun Graph Hashtbl Instance Iso List Printf Rooted String

@@ -1,0 +1,1 @@
+lib/lowerbound/automorphism_gadget.mli: Bitstring Framework Graph Rooted

@@ -1,0 +1,1 @@
+lib/lowerbound/equality.ml: Bitstring Combin Fun List Printf Rng

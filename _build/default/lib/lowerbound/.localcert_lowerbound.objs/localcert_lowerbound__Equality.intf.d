@@ -1,0 +1,1 @@
+lib/lowerbound/equality.mli: Bitstring Localcert_util

@@ -1,0 +1,1 @@
+lib/lowerbound/framework.ml: Array Bitbuf Bitstring Equality Graph Instance Int List Result Scheme

@@ -1,0 +1,1 @@
+lib/lowerbound/framework.mli: Bitstring Equality Instance Scheme

@@ -1,0 +1,1 @@
+lib/lowerbound/treedepth_gadget.ml: Array Bitstring Combin Elimination Exact Framework Fun Graph Instance Int List Printf

@@ -1,0 +1,1 @@
+lib/lowerbound/treedepth_gadget.mli: Bitstring Framework Instance Localcert_treedepth

@@ -1,0 +1,89 @@
+let trees_cache : (int * int, Rooted.t array) Hashtbl.t = Hashtbl.create 8
+
+let trees ~n ~depth =
+  match Hashtbl.find_opt trees_cache (n, depth) with
+  | Some ts -> ts
+  | None ->
+      let ts =
+        Rooted.all_of_size ~max_height:depth n
+        |> List.map Rooted.sort
+        |> List.sort (fun a b ->
+               String.compare (Rooted.canonical a) (Rooted.canonical b))
+        |> Array.of_list
+      in
+      Hashtbl.replace trees_cache (n, depth) ts;
+      ts
+
+let index_of_string s =
+  List.fold_left (fun acc b -> (2 * acc) + if b then 1 else 0) 0
+    (Bitstring.to_bools s)
+
+let tree_of_string ~n ~depth s =
+  let ts = trees ~n ~depth in
+  ts.(index_of_string s mod Array.length ts)
+
+let property = Iso.has_fixed_point_free_automorphism
+
+let build ~n ~depth sa sb =
+  let ta = tree_of_string ~n ~depth sa in
+  let tb = tree_of_string ~n ~depth sb in
+  let ga, _ = Rooted.to_graph ta in
+  let gb, _ = Rooted.to_graph tb in
+  (* layout: Alice tree on [0, n), α = n, β = n+1, Bob tree on
+     [n+2, 2n+2); tree roots are local vertex 0 *)
+  let alpha = n and beta = n + 1 in
+  let shift = n + 2 in
+  let es =
+    Graph.edges ga
+    @ List.map (fun (u, v) -> (u + shift, v + shift)) (Graph.edges gb)
+    @ [ (0, alpha); (alpha, beta); (beta, shift) ]
+  in
+  let g = Graph.of_edges ~n:((2 * n) + 2) es in
+  (* cut ids 1..2; everyone else 3.. *)
+  let ids =
+    Array.init (Graph.n g) (fun v ->
+        if v = alpha then 1
+        else if v = beta then 2
+        else if v < n then 3 + v
+        else 3 + n + (v - shift))
+  in
+  Instance.make ~ids g
+
+let make ~n ~depth =
+  let ts = trees ~n ~depth in
+  let count = Array.length ts in
+  if count < 2 then
+    invalid_arg "Automorphism_gadget.make: need at least two trees";
+  let ell = Combin.ceil_log2 (count + 1) - 1 in
+  if ell < 1 then invalid_arg "Automorphism_gadget.make: ell < 1";
+  {
+    Framework.name = Printf.sprintf "fpf-automorphism[n=%d,depth=%d]" n depth;
+    ell;
+    build = build ~n ~depth;
+    side_of =
+      (fun v ->
+        if v < n then Framework.A
+        else if v = n then Framework.Alpha
+        else if v = n + 1 then Framework.Beta
+        else Framework.B);
+  }
+
+let equivalence_holds ~n ~depth sa sb =
+  let inst = build ~n ~depth sa sb in
+  let ta = tree_of_string ~n ~depth sa and tb = tree_of_string ~n ~depth sb in
+  (* the gadget lemma: fpf automorphism ⟺ the trees are isomorphic,
+     which by injectivity of the encoding ⟺ the strings are equal *)
+  property inst.Instance.graph = Rooted.iso ta tb
+  && Rooted.iso ta tb
+     = (Bitstring.length sa = Bitstring.length sb
+       && index_of_string sa = index_of_string sb)
+
+let bound_curve ~depth ~max_n =
+  List.filter_map
+    (fun n ->
+      if n < 4 then None
+      else
+        let count = Rooted.count_by_depth ~n ~depth in
+        if count < 1 then None
+        else Some (n, log (float_of_int count) /. log 2.0))
+    (List.init (max_n + 1) Fun.id)

@@ -1,0 +1,34 @@
+(** The Theorem-2.3 gadget: fixed-point-free automorphism of
+    bounded-depth trees requires Ω̃(n)-bit certificates.
+
+    Construction (Section 7.2 / Appendix E.2): V_α and V_β are single
+    vertices on a path (a, α, β, b); Alice hangs a rooted tree of depth
+    ≤ k on [a] encoding her string through an injection into
+    non-isomorphic trees, Bob does the same on [b].  The whole graph
+    has a fixed-point-free automorphism iff the two trees are
+    isomorphic iff the strings are equal; with r = 2 cut vertices,
+    Proposition 7.2 gives certificates of Ω(ℓ) = Ω̃(n) bits.
+
+    The quantitative side is [Rooted.count_by_depth]: ℓ grows like
+    n / polylog(n) at depth 3 (Pach et al. [42]). *)
+
+val make : n:int -> depth:int -> Framework.gadget
+(** Trees with exactly [n] nodes and height ≤ [depth]; the encodable
+    length is [ell ≥ 1] (raises [Invalid_argument] if fewer than two
+    such trees exist).  Exhaustive tree enumeration: keep [n ≤ 12]. *)
+
+val tree_of_string : n:int -> depth:int -> Bitstring.t -> Rooted.t
+(** The injection: interprets the string as an index into the sorted
+    list of canonical trees. *)
+
+val property : Graph.t -> bool
+(** The certified property — fixed-point-free automorphism.  Wraps
+    [Iso.has_fixed_point_free_automorphism]. *)
+
+val equivalence_holds : n:int -> depth:int -> Bitstring.t -> Bitstring.t -> bool
+(** Machine-check of the gadget's defining property on one pair:
+    [property (build sa sb) ⟺ sa = sb]. *)
+
+val bound_curve : depth:int -> max_n:int -> (int * float) list
+(** [(n, log₂ #trees(n, depth) / 1)] for n = 4..max_n — the Ω̃(n) curve
+    of E3 (certificate bits per vertex ≈ ℓ / r with r = 2). *)

@@ -1,0 +1,66 @@
+type protocol = {
+  name : string;
+  cert_bits : int;
+  prove : Bitstring.t -> Bitstring.t -> Bitstring.t option;
+  alice : Bitstring.t -> Bitstring.t -> bool;
+  bob : Bitstring.t -> Bitstring.t -> bool;
+}
+
+let trivial ~len =
+  {
+    name = Printf.sprintf "trivial[%d]" len;
+    cert_bits = len;
+    prove = (fun sa sb -> if Bitstring.equal sa sb then Some sa else None);
+    alice = (fun sa cert -> Bitstring.equal sa cert);
+    bob = (fun sb cert -> Bitstring.equal sb cert);
+  }
+
+let decides_equality rng proto ~len ~samples =
+  let ok = ref true in
+  for _ = 1 to samples do
+    (* completeness: equal pair *)
+    let s = Rng.bits rng len in
+    (match proto.prove s s with
+    | None -> ok := false
+    | Some cert -> if not (proto.alice s cert && proto.bob s cert) then ok := false);
+    (* soundness: unequal pair; try the honest certificates of both
+       sides and a random certificate *)
+    let sa = Rng.bits rng len in
+    let sb =
+      let flip_at = Rng.int rng len in
+      Bitstring.flip sa flip_at
+    in
+    let candidates =
+      List.filter_map Fun.id
+        [
+          proto.prove sa sa;
+          proto.prove sb sb;
+          Some (Rng.bits rng proto.cert_bits);
+        ]
+    in
+    List.iter
+      (fun cert ->
+        if proto.alice sa cert && proto.bob sb cert then ok := false)
+      candidates
+  done;
+  !ok
+
+let fooling_set_bound ~len = len
+
+(* The pigeonhole core of Theorem 7.1 on the canonical fooling set:
+   2^len equal pairs, at most 2^max_bits certificates.  If max_bits <
+   len, two distinct strings s ≠ s' must share an accepted certificate
+   c; then Alice (holding s) accepts c and Bob (holding s') accepts c,
+   so the unequal pair (s, s') is wrongly accepted.  We verify the
+   collision is unavoidable by counting. *)
+let exhaustive_lower_bound_check ~len ~max_bits =
+  if max_bits >= len then false
+  else begin
+    let pairs = Combin.pow 2 len in
+    let certs =
+      (* all certificates of length 0..max_bits *)
+      let rec total b acc = if b > max_bits then acc else total (b + 1) (acc + Combin.pow 2 b) in
+      total 0 0
+    in
+    pairs > certs
+  end

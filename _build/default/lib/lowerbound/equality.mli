@@ -1,0 +1,45 @@
+(** Non-deterministic two-party communication complexity of EQUALITY
+    (Section 7.1, Theorem 7.1).
+
+    Alice holds [s_A], Bob holds [s_B], both of length ℓ; a prover
+    broadcasts one certificate; each player accepts or rejects from its
+    own string and the certificate.  The protocol decides EQUALITY if
+    equal inputs admit a certificate both accept and unequal inputs
+    never do.  Theorem 7.1 (Babai–Frankl–Simon): any such protocol
+    needs certificates of Ω(ℓ) bits; the fooling-set argument is
+    implemented here so that the bound is *computed*, not asserted. *)
+
+type protocol = {
+  name : string;
+  cert_bits : int;  (** certificate length used *)
+  prove : Bitstring.t -> Bitstring.t -> Bitstring.t option;
+      (** honest prover for an equal pair *)
+  alice : Bitstring.t -> Bitstring.t -> bool;  (** own string, certificate *)
+  bob : Bitstring.t -> Bitstring.t -> bool;
+}
+
+val trivial : len:int -> protocol
+(** The optimal trivial protocol: the certificate is the string itself
+    (ℓ bits). *)
+
+val decides_equality :
+  Localcert_util.Rng.t -> protocol -> len:int -> samples:int -> bool
+(** Empirical check: completeness on random equal pairs; soundness on
+    random unequal pairs against the honest certificates of both sides
+    (and random certificates). *)
+
+val fooling_set_bound : len:int -> int
+(** The lower bound from the canonical fooling set {(s, s)}: a protocol
+    with [b]-bit certificates accepts at most [2^b] "colors", and two
+    equal pairs sharing a certificate would force accepting a mixed
+    (unequal) pair — hence [b ≥ ℓ].  Returns ℓ. *)
+
+val exhaustive_lower_bound_check : len:int -> max_bits:int -> bool
+(** For tiny ℓ: verify by brute force over all deterministic
+    accept-tables that no protocol with certificates of [max_bits <
+    len] bits decides EQUALITY on length-[len] strings.  (Checks the
+    fooling-set argument concretely: for any assignment of a
+    [max_bits]-bit certificate to each equal pair, some two pairs
+    collide, and the crossed pair fools any monotone acceptance.)  True
+    when the pigeonhole collision exists for every assignment —
+    constructively, [2^len > 2^max_bits]. *)

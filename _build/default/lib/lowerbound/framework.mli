@@ -1,0 +1,47 @@
+(** The reduction framework of Section 7.1 (Proposition 7.2).
+
+    A {!gadget} turns a pair of ℓ-bit strings into a graph
+    [G(s_A, s_B)] partitioned as V_A ∪ V_α ∪ V_β ∪ V_B, with string-
+    independent edges confined to the five allowed position classes and
+    the cut vertices V_α ∪ V_β carrying identifiers 1..r.  If a target
+    property holds exactly when [s_A = s_B], any q-bit local
+    certification yields an (r·q)-bit non-deterministic EQUALITY
+    protocol — Alice simulates the verifier on V_A ∪ V_α, Bob on
+    V_B ∪ V_β — so q = Ω(ℓ/r) by Theorem 7.1.
+
+    {!protocol_of_scheme} builds that protocol executably (the honest
+    prover supplies each side's private certificates along with the cut
+    certificate, which is exactly the nondeterminism of the model), and
+    {!check_partition} machine-checks the structural side conditions of
+    the framework on concrete gadgets. *)
+
+type side = A | Alpha | Beta | B
+
+type gadget = {
+  name : string;
+  ell : int;  (** string length the gadget encodes *)
+  build : Bitstring.t -> Bitstring.t -> Instance.t;
+  side_of : int -> side;  (** partition of the vertices (by vertex) *)
+}
+
+val cut_size : gadget -> Bitstring.t -> Bitstring.t -> int
+(** r = |V_α ∪ V_β| on a built instance. *)
+
+val check_partition : gadget -> Bitstring.t -> Bitstring.t -> (unit, string) result
+(** Validates Section 7.1's side conditions on a built instance:
+    no V_A–V_B, V_A–V_β or V_α–V_B edges; string-dependent edges only
+    within V_A (resp. V_B): rebuilt with both strings zeroed, only
+    A-internal and B-internal edges may change; the cut vertices carry
+    ids 1..r. *)
+
+val lower_bound_bits : gadget -> float
+(** ℓ / r evaluated on the all-zero strings — the per-vertex bound of
+    Proposition 7.2 (up to the constant of Theorem 7.1). *)
+
+val protocol_of_scheme : Scheme.t -> gadget -> Equality.protocol
+(** The Proposition-7.2 simulation: the protocol's certificate is the
+    concatenation of all vertex certificates (cut and private sides);
+    Alice replays the verifier on V_A ∪ V_α with her own edges only,
+    Bob symmetrically.  Decides EQUALITY whenever the scheme certifies
+    a property equivalent to [s_A = s_B] — checked empirically by
+    [Equality.decides_equality]. *)

@@ -1,0 +1,183 @@
+(* Vertex layout for block size m:
+     set s ∈ {A=0, α=1, β=2, B=3}, layer j ∈ {0,1}, index i ∈ [0,m):
+       vertex = s·2m + j·m + i
+     apex u = 8m.
+   Cut identifiers: V_α then V_β get 1..4m (in layout order), u gets
+   4m+1 — the paper treats u as an α-vertex; the rest follow. *)
+
+let idx ~m s j i = (s * 2 * m) + (j * m) + i
+
+let apex ~m = 8 * m
+
+let build_from_permutations ~m pa pb =
+  if m < 2 then invalid_arg "Treedepth_gadget: need m >= 2";
+  let check p =
+    let seen = Array.make m false in
+    Array.iter
+      (fun x ->
+        if x < 0 || x >= m || seen.(x) then
+          invalid_arg "Treedepth_gadget: not a permutation";
+        seen.(x) <- true)
+      p
+  in
+  check pa;
+  check pb;
+  let a = 0 and al = 1 and be = 2 and b = 3 in
+  let es = ref [] in
+  for j = 0 to 1 do
+    for i = 0 to m - 1 do
+      es :=
+        (idx ~m a j i, idx ~m al j i)
+        :: (idx ~m al j i, idx ~m be j i)
+        :: (idx ~m be j i, idx ~m b j i)
+        :: (apex ~m, idx ~m al j i)
+        :: !es
+    done
+  done;
+  for i = 0 to m - 1 do
+    es := (idx ~m a 0 i, idx ~m a 1 pa.(i)) :: !es;
+    es := (idx ~m b 0 i, idx ~m b 1 pb.(i)) :: !es
+  done;
+  let g = Graph.of_edges ~n:((8 * m) + 1) !es in
+  let ids =
+    Array.init (Graph.n g) (fun v ->
+        if v >= idx ~m al 0 0 && v < idx ~m be 0 0 + (2 * m) then
+          (* α block spans [2m, 4m), β block [4m, 6m) *)
+          v - (2 * m) + 1
+        else if v = apex ~m then (4 * m) + 1
+        else if v < 2 * m then (4 * m) + 2 + v
+        else (4 * m) + 2 + (v - (4 * m)) + (2 * m))
+  in
+  Instance.make ~ids g
+
+let factorials m =
+  let f = Array.make (m + 1) 1 in
+  for i = 1 to m do
+    f.(i) <- f.(i - 1) * i
+  done;
+  f
+
+let permutation_of_string ~m s =
+  let f = factorials m in
+  let index =
+    List.fold_left (fun acc b -> (2 * acc) + if b then 1 else 0) 0
+      (Bitstring.to_bools s)
+    mod f.(m)
+  in
+  (* Lehmer decode *)
+  let available = ref (List.init m Fun.id) in
+  let perm = Array.make m 0 in
+  let rest = ref index in
+  for i = 0 to m - 1 do
+    let block = f.(m - 1 - i) in
+    let pos = !rest / block in
+    rest := !rest mod block;
+    let chosen = List.nth !available pos in
+    perm.(i) <- chosen;
+    available := List.filter (fun x -> x <> chosen) !available
+  done;
+  perm
+
+let ell_of m =
+  let f = factorials m in
+  Combin.ceil_log2 (f.(m) + 1) - 1
+
+let make ~m =
+  let ell = ell_of m in
+  if ell < 1 then invalid_arg "Treedepth_gadget.make: ell < 1";
+  {
+    Framework.name = Printf.sprintf "treedepth5[m=%d]" m;
+    ell;
+    build =
+      (fun sa sb ->
+        build_from_permutations ~m (permutation_of_string ~m sa)
+          (permutation_of_string ~m sb));
+    side_of =
+      (fun v ->
+        if v = apex ~m then Framework.Alpha
+        else if v < 2 * m then Framework.A
+        else if v < 4 * m then Framework.Alpha
+        else if v < 6 * m then Framework.Beta
+        else Framework.B);
+  }
+
+let cycle_lengths ~m pa pb =
+  (* The 8-paths glue into cycles following σ = pb ∘ pa⁻¹ on layer
+     indices: each σ-cycle of length c yields a gadget cycle of 8c
+     vertices. *)
+  let pa_inv = Array.make m 0 in
+  Array.iteri (fun i x -> pa_inv.(x) <- i) pa;
+  let sigma i = pa_inv.(pb.(i)) in
+  let seen = Array.make m false in
+  let cycles = ref [] in
+  for i = 0 to m - 1 do
+    if not seen.(i) then begin
+      let len = ref 0 in
+      let j = ref i in
+      while not seen.(!j) do
+        seen.(!j) <- true;
+        incr len;
+        j := sigma !j
+      done;
+      cycles := (8 * !len) :: !cycles
+    end
+  done;
+  List.sort Int.compare !cycles
+
+let analytic_treedepth ~m pa pb =
+  1
+  + List.fold_left
+      (fun acc len -> max acc (Exact.cycle_treedepth len))
+      0 (cycle_lengths ~m pa pb)
+
+let paper_gap ~m pa pb =
+  if analytic_treedepth ~m pa pb = 5 then `Equal_td5 else `Unequal_td6plus
+
+(* The vertex sequence of the cycle through layer-0 path index [start],
+   in cyclic order. *)
+let cycle_vertices ~m pa pb start =
+  let a = 0 and al = 1 and be = 2 and b = 3 in
+  let pa_inv = Array.make m 0 in
+  Array.iteri (fun i x -> pa_inv.(x) <- i) pa;
+  let sigma i = pa_inv.(pb.(i)) in
+  let rec go i acc =
+    let seg =
+      [
+        idx ~m a 0 i; idx ~m al 0 i; idx ~m be 0 i; idx ~m b 0 i;
+        idx ~m b 1 pb.(i); idx ~m be 1 pb.(i); idx ~m al 1 pb.(i);
+        idx ~m a 1 pb.(i);
+      ]
+    in
+    let next = sigma i in
+    if next = start then List.rev (List.rev_append seg acc)
+    else go next (List.rev_append seg acc)
+  in
+  go start []
+
+let analytic_model ~m pa pb =
+  let total = (8 * m) + 1 in
+  let parent = Array.make total (-1) in
+  (* the apex is the root; roots of cycle models hang under it *)
+  let seen = Array.make m false in
+  let pa_inv = Array.make m 0 in
+  Array.iteri (fun i x -> pa_inv.(x) <- i) pa;
+  let rec mark i = if not seen.(i) then begin seen.(i) <- true; mark (pa_inv.(pb.(i))) end in
+  for start = 0 to m - 1 do
+    if not seen.(start) then begin
+      mark start;
+      match cycle_vertices ~m pa pb start with
+      | [] -> assert false
+      | break :: path ->
+          parent.(break) <- apex ~m;
+          (* balanced model of the remaining path, re-rooted under the
+             break vertex *)
+          let path = Array.of_list path in
+          let sub = Elimination.of_path (Array.length path) in
+          Array.iteri
+            (fun j p ->
+              parent.(path.(j)) <-
+                (if p = -1 then break else path.(p)))
+            sub.Elimination.parent
+    end
+  done;
+  Elimination.make ~parent

@@ -1,0 +1,49 @@
+(** The Theorem-2.5 gadget: certifying treedepth ≤ 5 requires
+    Ω(log n) bits (Section 7.3, Figure 3, Lemma 7.3).
+
+    Eight blocks of [m] vertices each — V_A^j, V_α^j, V_β^j, V_B^j for
+    j ∈ {1,2} — wired as 2m disjoint paths
+    (V_A^j\[i\], V_α^j\[i\], V_β^j\[i\], V_B^j\[i\]), plus an apex [u]
+    adjacent to all of V_α (kept on Alice's side of the cut, as in the
+    paper).  Alice's string encodes a perfect matching between V_A^1
+    and V_A^2, Bob's likewise; equal matchings close 2m? no — m cycles
+    of length 8, unequal matchings force a cycle of length ≥ 16.  By
+    Lemma 7.3 the treedepth is 5 iff the matchings are equal, else
+    ≥ 6.  With ℓ ≈ log₂(m!) ≈ m log m and r = 4m + 1 cut vertices,
+    Proposition 7.2 gives the Ω(log n) bound.
+
+    Matchings are represented as permutations of [0..m)]; strings embed
+    via the factorial number system (Lehmer codes). *)
+
+val make : m:int -> Framework.gadget
+(** [m ≥ 2]; encodable string length ℓ = ⌊log₂ m!⌋. *)
+
+val build_from_permutations : m:int -> int array -> int array -> Instance.t
+(** Direct construction from Alice's and Bob's matchings. *)
+
+val permutation_of_string : m:int -> Bitstring.t -> int array
+(** The injection (Lehmer decoding of the string read as an integer). *)
+
+val apex : m:int -> int
+(** The vertex [u]. *)
+
+val cycle_lengths : m:int -> int array -> int array -> int list
+(** Lengths of the disjoint cycles of the gadget minus the apex: 8·c
+    for each cycle c of pa∘pb⁻¹. *)
+
+val analytic_treedepth : m:int -> int array -> int array -> int
+(** 1 + max over cycles of the closed-form cycle treedepth — the value
+    Lemma 7.3's cop strategy achieves; cross-checked against the exact
+    solver in tests (m = 2). *)
+
+val paper_gap : m:int -> int array -> int array -> [ `Equal_td5 | `Unequal_td6plus ]
+(** Classifies a pair per Lemma 7.3's dichotomy using
+    {!analytic_treedepth}. *)
+
+val analytic_model :
+  m:int -> int array -> int array -> Localcert_treedepth.Elimination.t
+(** An optimal elimination tree of the gadget, built from Lemma 7.3's
+    cop strategy: the apex [u] is the root; under it, each cycle is
+    modeled by one break vertex over a balanced path model.  Height
+    equals {!analytic_treedepth}; lets the Theorem-2.4 prover certify
+    gadgets far beyond the exact solver's reach. *)

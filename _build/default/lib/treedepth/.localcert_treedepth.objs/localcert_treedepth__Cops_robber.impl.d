@@ -1,0 +1,1 @@
+lib/treedepth/cops_robber.ml: Array Graph Hashtbl List

@@ -1,0 +1,1 @@
+lib/treedepth/elimination.ml: Array Buffer Format Fun Graph List Printf

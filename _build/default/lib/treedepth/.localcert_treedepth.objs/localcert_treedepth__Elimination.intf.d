@@ -1,0 +1,1 @@
+lib/treedepth/elimination.mli: Format Graph

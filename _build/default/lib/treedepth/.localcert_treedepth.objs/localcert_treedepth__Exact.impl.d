@@ -1,0 +1,1 @@
+lib/treedepth/exact.ml: Array Elimination Graph Hashtbl List Localcert_util

@@ -1,0 +1,1 @@
+lib/treedepth/exact.mli: Elimination Graph

@@ -1,0 +1,1 @@
+lib/treedepth/heuristic.ml: Array Elimination Exact Graph List

@@ -1,0 +1,1 @@
+lib/treedepth/heuristic.mli: Elimination Graph

@@ -1,0 +1,1 @@
+lib/treedepth/treewidth.ml: Array Elimination Fun Graph Int List Printf Queue Result

@@ -1,0 +1,1 @@
+lib/treedepth/treewidth.mli: Elimination Graph

@@ -1,0 +1,129 @@
+type strategy = Caught | Place of int * (int * strategy) list
+
+let bit_list mask =
+  let rec go m acc =
+    if m = 0 then List.rev acc
+    else
+      let b = m land -m in
+      let rec log2 v i = if v = 1 then i else log2 (v lsr 1) (i + 1) in
+      go (m lxor b) (log2 b 0 :: acc)
+  in
+  go mask []
+
+let min_bit mask =
+  match bit_list mask with
+  | [] -> invalid_arg "Cops_robber: empty region"
+  | b :: _ -> b
+
+let neighborhood_masks g =
+  Array.init (Graph.n g) (fun v ->
+      Array.fold_left (fun acc w -> acc lor (1 lsl w)) 0 (Graph.neighbors g v))
+
+let components nbr mask =
+  let comp_from seed =
+    let rec grow frontier seen =
+      if frontier = 0 then seen
+      else begin
+        let b = frontier land -frontier in
+        let rec log2 v i = if v = 1 then i else log2 (v lsr 1) (i + 1) in
+        let vi = log2 b 0 in
+        let fresh = nbr.(vi) land mask land lnot seen in
+        grow ((frontier lxor b) lor fresh) (seen lor fresh)
+      end
+    in
+    grow seed seed
+  in
+  let rec go rest acc =
+    if rest = 0 then List.rev acc
+    else
+      let seed = rest land -rest in
+      let comp = comp_from seed in
+      go (rest land lnot comp) (comp :: acc)
+  in
+  go mask []
+
+(* value region = cops needed to catch a robber confined to [region]
+   (a connected cop-free set). *)
+let solve g =
+  let size = Graph.n g in
+  if size = 0 then invalid_arg "Cops_robber: empty graph";
+  if size > 62 then invalid_arg "Cops_robber: more than 62 vertices";
+  let nbr = neighborhood_masks g in
+  let memo : (int, int * int) Hashtbl.t = Hashtbl.create 4096 in
+  let rec value region =
+    match Hashtbl.find_opt memo region with
+    | Some (v, _) -> v
+    | None ->
+        let best = ref max_int and best_v = ref (-1) in
+        List.iter
+          (fun v ->
+            let rest = region land lnot (1 lsl v) in
+            let worst =
+              List.fold_left
+                (fun acc c -> max acc (value c))
+                0 (components nbr rest)
+            in
+            if 1 + worst < !best then begin
+              best := 1 + worst;
+              best_v := v
+            end)
+          (bit_list region);
+        Hashtbl.replace memo region (!best, !best_v);
+        !best
+  in
+  (nbr, memo, value)
+
+let cop_number g =
+  let nbr, _, value = solve g in
+  List.fold_left
+    (fun acc c -> max acc (value c))
+    0
+    (components nbr ((1 lsl Graph.n g) - 1))
+
+let optimal_strategy g =
+  if not (Graph.is_connected g) then
+    invalid_arg "Cops_robber.optimal_strategy: disconnected graph";
+  let nbr, memo, value = solve g in
+  let rec build region =
+    if region = 0 then Caught
+    else begin
+      ignore (value region);
+      let _, v = Hashtbl.find memo region in
+      let rest = region land lnot (1 lsl v) in
+      let branches =
+        List.map (fun c -> (min_bit c, build c)) (components nbr rest)
+      in
+      Place (v, branches)
+    end
+  in
+  build ((1 lsl Graph.n g) - 1)
+
+let rec strategy_depth = function
+  | Caught -> 0
+  | Place (_, branches) ->
+      1 + List.fold_left (fun acc (_, s) -> max acc (strategy_depth s)) 0 branches
+
+let play g strat ~robber =
+  let nbr = neighborhood_masks g in
+  let rec go strat region placements =
+    match strat with
+    | Caught -> List.rev placements
+    | Place (v, branches) ->
+        let rest = region land lnot (1 lsl v) in
+        let options = bit_list rest in
+        if options = [] then List.rev (v :: placements)
+        else begin
+          let choice = robber options in
+          if not (List.mem choice options) then
+            invalid_arg "Cops_robber.play: robber moved outside its region";
+          let comp =
+            List.find
+              (fun c -> c land (1 lsl choice) <> 0)
+              (components nbr rest)
+          in
+          match List.assoc_opt (min_bit comp) branches with
+          | Some sub -> go sub comp (v :: placements)
+          | None -> invalid_arg "Cops_robber.play: strategy missing a branch"
+        end
+  in
+  go strat ((1 lsl Graph.n g) - 1) []

@@ -1,0 +1,42 @@
+(** The cops-and-robber characterization of treedepth (Lemma 7.3,
+    citing Gruber–Holzer [33]).
+
+    Immobile cops are placed one at a time; before each placement the
+    position of the incoming cop is announced and the robber may move
+    anywhere reachable without crossing an already-placed cop.  The
+    minimum number of cops that guarantees capture equals the
+    treedepth.
+
+    This module is an {e independent} implementation of that game
+    (solved as a game, with strategy extraction) — the tests check it
+    agrees with {!Exact.treedepth}, which executes the paper's proof
+    device of Lemma 7.3, and the E6 experiment prints the Figure-4
+    strategy trace on the 8-cycle instance. *)
+
+type strategy =
+  | Caught  (** the robber's region is empty: done *)
+  | Place of int * (int * strategy) list
+      (** place a cop on the vertex; then one branch per connected
+          region the robber may retreat to, keyed by the region's
+          minimum vertex *)
+
+val cop_number : Graph.t -> int
+(** Game value — equal to the treedepth.  Same size limits as
+    {!Exact.treedepth}. *)
+
+val optimal_strategy : Graph.t -> strategy
+(** A minimum-cop winning strategy for the cop player on a connected
+    graph. *)
+
+val strategy_depth : strategy -> int
+(** Number of cops used in the worst branch (= {!cop_number} for an
+    optimal strategy). *)
+
+val play :
+  Graph.t -> strategy -> robber:(int list -> int) -> int list
+(** [play g strat ~robber] runs the game: at each step the robber
+    callback receives its current region (a sorted vertex list) and
+    answers the vertex it retreats to after the announced placement
+    (any vertex of the region; the robber is captured when its region
+    becomes empty).  Returns the sequence of cop placements — the
+    Figure-4 trace. *)

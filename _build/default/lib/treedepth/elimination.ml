@@ -1,0 +1,249 @@
+type t = { parent : int array }
+
+let n t = Array.length t.parent
+
+let make ~parent =
+  let size = Array.length parent in
+  (* Detect cycles by walking up with a step budget. *)
+  Array.iteri
+    (fun v _ ->
+      let rec walk u steps =
+        if steps > size then invalid_arg "Elimination.make: parent cycle"
+        else if parent.(u) >= 0 then walk parent.(u) (steps + 1)
+        else if parent.(u) < -1 || parent.(u) >= size then
+          invalid_arg "Elimination.make: parent out of range"
+      in
+      walk v 0)
+    parent;
+  { parent }
+
+let roots t =
+  List.filter (fun v -> t.parent.(v) = -1) (List.init (n t) Fun.id)
+
+let root t =
+  match roots t with
+  | [ r ] -> r
+  | _ -> invalid_arg "Elimination.root: not a tree"
+
+let depth t =
+  let d = Array.make (n t) 0 in
+  let rec dep v =
+    if d.(v) > 0 then d.(v)
+    else begin
+      let value = if t.parent.(v) = -1 then 1 else 1 + dep t.parent.(v) in
+      d.(v) <- value;
+      value
+    end
+  in
+  Array.iteri (fun v _ -> ignore (dep v)) t.parent;
+  d
+
+let height t = Array.fold_left max 0 (depth t)
+
+let ancestors t v =
+  let rec go u acc = if u = -1 then List.rev acc else go t.parent.(u) (u :: acc) in
+  go v []
+
+let children t v =
+  List.filter (fun w -> t.parent.(w) = v) (List.init (n t) Fun.id)
+
+let subtree t v =
+  let rec is_desc u = u = v || (u <> -1 && is_desc t.parent.(u)) in
+  List.filter is_desc (List.init (n t) Fun.id)
+
+let is_ancestor t ~anc ~desc =
+  let rec go u = u = anc || (u <> -1 && go t.parent.(u)) in
+  go desc
+
+let is_model t g =
+  Graph.n g = n t
+  && List.for_all
+       (fun (u, v) ->
+         is_ancestor t ~anc:u ~desc:v || is_ancestor t ~anc:v ~desc:u)
+       (Graph.edges g)
+
+let is_coherent t g =
+  List.for_all
+    (fun v ->
+      List.for_all
+        (fun w ->
+          List.exists
+            (fun x -> Graph.mem_edge g x v)
+            (subtree t w))
+        (children t v))
+    (List.init (n t) Fun.id)
+
+let coherentize t g =
+  if not (is_model t g) then
+    invalid_arg "Elimination.coherentize: not a model of the graph";
+  let parent = Array.copy t.parent in
+  let current () = { parent } in
+  let rec fix () =
+    let tree = current () in
+    let violation =
+      List.find_map
+        (fun v ->
+          List.find_map
+            (fun w ->
+              let sub = subtree tree w in
+              if List.exists (fun x -> Graph.mem_edge g x v) sub then None
+              else Some (v, w, sub))
+            (children tree v))
+        (List.init (n tree) Fun.id)
+    in
+    match violation with
+    | None -> ()
+    | Some (v, w, sub) ->
+        (* Lowest proper ancestor of [v] adjacent to the subtree of [w];
+           exists because [g] is connected and all edges out of the
+           subtree go to ancestors of [w]. *)
+        let rec lowest u =
+          if u = -1 then invalid_arg "Elimination.coherentize: disconnected"
+          else if List.exists (fun x -> Graph.mem_edge g x u) sub then u
+          else lowest parent.(u)
+        in
+        parent.(w) <- lowest parent.(v);
+        fix ()
+  in
+  fix ();
+  make ~parent
+
+let exit_vertex t g v =
+  let p = t.parent.(v) in
+  if p = -1 then invalid_arg "Elimination.exit_vertex: root";
+  match List.find_opt (fun x -> Graph.mem_edge g x p) (subtree t v) with
+  | Some x -> x
+  | None -> raise Not_found
+
+let of_path count =
+  if count < 1 then invalid_arg "Elimination.of_path";
+  let parent = Array.make count (-1) in
+  let rec build lo hi up =
+    if lo <= hi then begin
+      let mid = (lo + hi) / 2 in
+      parent.(mid) <- up;
+      build lo (mid - 1) mid;
+      build (mid + 1) hi mid
+    end
+  in
+  build 0 (count - 1) (-1);
+  make ~parent
+
+let of_cycle count =
+  if count < 3 then invalid_arg "Elimination.of_cycle";
+  let path_model = of_path (count - 1) in
+  let parent = Array.make count (-1) in
+  Array.blit path_model.parent 0 parent 0 (count - 1);
+  (* The path's root hangs under the removed vertex [count-1]. *)
+  Array.iteri (fun v p -> if p = -1 && v < count - 1 then parent.(v) <- count - 1) parent;
+  make ~parent
+
+let of_complete_binary_tree ~h =
+  if h < 0 then invalid_arg "Elimination.of_complete_binary_tree";
+  let size = (1 lsl (h + 1)) - 1 in
+  let parent = Array.init size (fun v -> if v = 0 then -1 else (v - 1) / 2) in
+  make ~parent
+
+let of_caterpillar ~spine ~legs =
+  if spine < 1 || legs < 0 then invalid_arg "Elimination.of_caterpillar";
+  let total = spine * (legs + 1) in
+  let spine_model = of_path spine in
+  let parent = Array.make total (-1) in
+  Array.blit spine_model.parent 0 parent 0 spine;
+  (* leg j of spine vertex i is vertex spine + i*legs + j, hanging
+     under i (matching Gen.caterpillar's layout) *)
+  for i = 0 to spine - 1 do
+    for j = 0 to legs - 1 do
+      parent.(spine + (i * legs) + j) <- i
+    done
+  done;
+  make ~parent
+
+let centroid_of_tree g =
+  if not (Graph.is_tree g) then
+    invalid_arg "Elimination.centroid_of_tree: not a tree";
+  let total = Graph.n g in
+  let parent = Array.make total (-1) in
+  let alive = Array.make total true in
+  (* Centroid of the alive component containing [v]. *)
+  let component v =
+    let seen = Array.make total false in
+    let acc = ref [] in
+    let rec dfs u =
+      seen.(u) <- true;
+      acc := u :: !acc;
+      Array.iter
+        (fun w -> if alive.(w) && not seen.(w) then dfs w)
+        (Graph.neighbors g u)
+    in
+    dfs v;
+    !acc
+  in
+  let centroid comp =
+    let in_comp = Array.make total false in
+    List.iter (fun v -> in_comp.(v) <- true) comp;
+    let size = List.length comp in
+    let best = ref (-1) and best_score = ref max_int in
+    (* subtree sizes by rooted DFS from an arbitrary vertex *)
+    let sub = Array.make total 0 in
+    let rec calc u p =
+      sub.(u) <- 1;
+      Array.iter
+        (fun w ->
+          if in_comp.(w) && w <> p then begin
+            calc w u;
+            sub.(u) <- sub.(u) + sub.(w)
+          end)
+        (Graph.neighbors g u)
+    in
+    let start = List.hd comp in
+    calc start (-1);
+    let rec walk u p =
+      let score = ref (size - sub.(u)) in
+      Array.iter
+        (fun w ->
+          if in_comp.(w) && w <> p then score := max !score sub.(w))
+        (Graph.neighbors g u);
+      if !score < !best_score then begin
+        best_score := !score;
+        best := u
+      end;
+      Array.iter
+        (fun w -> if in_comp.(w) && w <> p then walk w u)
+        (Graph.neighbors g u)
+    in
+    walk start (-1);
+    !best
+  in
+  let rec decompose v up =
+    let comp = component v in
+    let c = centroid comp in
+    parent.(c) <- up;
+    alive.(c) <- false;
+    Array.iter
+      (fun w -> if alive.(w) then decompose w c)
+      (Graph.neighbors g c)
+  in
+  if total > 0 then decompose 0 (-1);
+  make ~parent
+
+let to_dot t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "digraph Elimination {\n";
+  Array.iteri
+    (fun v p ->
+      if p = -1 then
+        Buffer.add_string buf (Printf.sprintf "  %d [shape=doublecircle];\n" v)
+      else Buffer.add_string buf (Printf.sprintf "  %d -> %d;\n" p v))
+    t.parent;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp ppf t =
+  Format.fprintf ppf "@[<hov 2>elimination:";
+  Array.iteri
+    (fun v p ->
+      if p = -1 then Format.fprintf ppf "@ %d↑·" v
+      else Format.fprintf ppf "@ %d↑%d" v p)
+    t.parent;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,118 @@
+let popcount mask =
+  let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
+  go mask 0
+
+let bits_of mask =
+  let rec go m acc =
+    if m = 0 then List.rev acc
+    else
+      let b = m land -m in
+      let rec log2 v i = if v = 1 then i else log2 (v lsr 1) (i + 1) in
+      go (m lxor b) (log2 b 0 :: acc)
+  in
+  go mask []
+
+(* Solver state shared by [treedepth] and [optimal_model]. *)
+type solver = {
+  nbr : int array;  (** neighborhood masks *)
+  memo : (int, int * int) Hashtbl.t;  (** mask -> (treedepth, best root) *)
+}
+
+let make_solver g =
+  let size = Graph.n g in
+  if size = 0 then invalid_arg "Exact: empty graph";
+  if size > 62 then invalid_arg "Exact: more than 62 vertices";
+  let nbr =
+    Array.init size (fun v ->
+        Array.fold_left (fun acc w -> acc lor (1 lsl w)) 0 (Graph.neighbors g v))
+  in
+  { nbr; memo = Hashtbl.create 4096 }
+
+(* Connected components of the induced subgraph on [mask], as masks. *)
+let components_of s mask =
+  let comp_from seed =
+    (* BFS by mask saturation *)
+    let rec grow frontier seen =
+      if frontier = 0 then seen
+      else begin
+        let v = frontier land -frontier in
+        let rec log2 m i = if m = 1 then i else log2 (m lsr 1) (i + 1) in
+        let vi = log2 v 0 in
+        let new_bits = s.nbr.(vi) land mask land lnot seen in
+        grow ((frontier lxor v) lor new_bits) (seen lor new_bits)
+      end
+    in
+    grow seed seed
+  in
+  let rec go rest acc =
+    if rest = 0 then acc
+    else
+      let seed = rest land -rest in
+      let comp = comp_from seed in
+      go (rest land lnot comp) (comp :: acc)
+  in
+  go mask []
+
+(* Treedepth of the connected induced subgraph on [mask]. *)
+let rec solve s mask =
+  match Hashtbl.find_opt s.memo mask with
+  | Some (td, _) -> td
+  | None ->
+      let result =
+        if popcount mask = 1 then
+          let v = bits_of mask |> List.hd in
+          (1, v)
+        else begin
+          let best = ref max_int and best_v = ref (-1) in
+          List.iter
+            (fun v ->
+              let rest = mask land lnot (1 lsl v) in
+              let comps = components_of s rest in
+              let worst =
+                List.fold_left (fun acc c -> max acc (solve s c)) 0 comps
+              in
+              if 1 + worst < !best then begin
+                best := 1 + worst;
+                best_v := v
+              end)
+            (bits_of mask);
+          (!best, !best_v)
+        end
+      in
+      Hashtbl.replace s.memo mask result;
+      fst result
+
+let treedepth g =
+  let s = make_solver g in
+  let full_components =
+    Graph.components g
+    |> List.map (fun vs -> List.fold_left (fun m v -> m lor (1 lsl v)) 0 vs)
+  in
+  List.fold_left (fun acc c -> max acc (solve s c)) 0 full_components
+
+let optimal_model g =
+  let s = make_solver g in
+  let parent = Array.make (Graph.n g) (-1) in
+  let rec build mask up =
+    ignore (solve s mask);
+    let _, v = Hashtbl.find s.memo mask in
+    parent.(v) <- up;
+    let rest = mask land lnot (1 lsl v) in
+    List.iter (fun c -> build c v) (components_of s rest)
+  in
+  List.iter
+    (fun vs ->
+      let mask = List.fold_left (fun m v -> m lor (1 lsl v)) 0 vs in
+      build mask (-1))
+    (Graph.components g);
+  Elimination.make ~parent
+
+let treedepth_at_most g t = treedepth g <= t
+
+let path_treedepth count =
+  if count < 1 then invalid_arg "Exact.path_treedepth";
+  Localcert_util.Combin.ceil_log2 (count + 1)
+
+let cycle_treedepth count =
+  if count < 3 then invalid_arg "Exact.cycle_treedepth";
+  1 + path_treedepth (count - 1)

@@ -1,0 +1,32 @@
+(** Exact treedepth by memoized recursion over vertex subsets.
+
+    The recurrence td(G) = 1 + min over v of max over components C of
+    G − v of td(C) (for connected G), with memoization on bitmask-
+    encoded vertex sets.  Exponential in n, intended for n ≤ ~22 —
+    enough to validate the lower-bound gadget of Theorem 2.5 and every
+    small-instance test.
+
+    Depth convention as in {!Elimination}: treedepth is the number of
+    levels (td(K₁) = 1, td(P₇) = 3). *)
+
+val treedepth : Graph.t -> int
+(** Exact treedepth of a (possibly disconnected) graph: max over
+    components.  Raises [Invalid_argument] when [Graph.n g > 62] or the
+    graph is empty. *)
+
+val optimal_model : Graph.t -> Elimination.t
+(** An elimination forest of minimum height (equal to {!treedepth}).
+    For connected inputs, a tree. *)
+
+val treedepth_at_most : Graph.t -> int -> bool
+(** [treedepth_at_most g t] — convenience for yes/no-instance
+    construction. *)
+
+val path_treedepth : int -> int
+(** Closed form ⌈log₂(n+1)⌉ for P_n — used to cross-check both this
+    solver and the balanced model of {!Elimination.of_path}. *)
+
+val cycle_treedepth : int -> int
+(** Closed form for C_n: [1 + path_treedepth (n-1)] is an upper bound
+    that is tight; returned value matches the exact solver on all
+    tested sizes. *)

@@ -1,0 +1,61 @@
+let model ?(exact_cutoff = 14) g =
+  let n = Graph.n g in
+  let parent = Array.make n (-1) in
+  (* Attach a sub-model computed on an induced subgraph, translating
+     local indices back and hanging local roots under [up]. *)
+  let attach (sub : Elimination.t) (back : int array) up =
+    Array.iteri
+      (fun local p ->
+        parent.(back.(local)) <- (if p = -1 then up else back.(p)))
+      sub.Elimination.parent
+  in
+  (* Connected components of an induced vertex set, as global lists. *)
+  let components vs =
+    let sub, back = Graph.induced g vs in
+    List.map (fun comp -> List.map (fun i -> back.(i)) comp) (Graph.components sub)
+  in
+  let rec solve vs up =
+    match vs with
+    | [] -> ()
+    | [ v ] -> parent.(v) <- up
+    | _ ->
+        let sub, back = Graph.induced g vs in
+        if Graph.n sub <= exact_cutoff then attach (Exact.optimal_model sub) back up
+        else if Graph.is_tree sub then
+          attach (Elimination.centroid_of_tree sub) back up
+        else begin
+          (* middle BFS layer from a far vertex *)
+          let d0 = Graph.bfs_dist sub 0 in
+          let far = ref 0 in
+          Array.iteri (fun v d -> if d > d0.(!far) then far := v) d0;
+          let dist = Graph.bfs_dist sub !far in
+          let ecc = Array.fold_left max 0 dist in
+          let mid = max 1 (ecc / 2) in
+          let separator =
+            List.filter (fun v -> dist.(v) = mid) (Graph.vertices sub)
+          in
+          let separator =
+            if separator = [] then [ !far ] else separator
+          in
+          (* chain the separator at the top *)
+          let rec chain prev = function
+            | [] -> prev
+            | s :: rest ->
+                parent.(back.(s)) <- prev;
+                chain back.(s) rest
+          in
+          let bottom = chain up separator in
+          let rest =
+            List.filter
+              (fun v -> not (List.mem v separator))
+              (Graph.vertices sub)
+            |> List.map (fun v -> back.(v))
+          in
+          List.iter (fun comp -> solve comp bottom) (components rest)
+        end
+  in
+  List.iter (fun comp -> solve comp (-1)) (Graph.components g);
+  Elimination.make ~parent
+
+let treedepth_upper_bound ?exact_cutoff g =
+  Elimination.height (model ?exact_cutoff g)

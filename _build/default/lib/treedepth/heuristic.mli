@@ -1,0 +1,16 @@
+(** Heuristic elimination trees for graphs beyond the exact solver.
+
+    Recursive BFS-layer separators: pick a middle BFS layer (from a
+    far-away start, two BFS sweeps), chain its vertices at the top of
+    the model, recurse on the remaining components; below a size cutoff
+    switch to the exact solver, and on trees to the centroid
+    decomposition.  Always a valid model; height within
+    O(separator sizes · log n) — good on shallow sparse graphs, and the
+    prover's fallback when no closed form applies. *)
+
+val model : ?exact_cutoff:int -> Graph.t -> Elimination.t
+(** A valid elimination forest of the (possibly disconnected) graph.
+    [exact_cutoff] (default 14) bounds the components solved exactly. *)
+
+val treedepth_upper_bound : ?exact_cutoff:int -> Graph.t -> int
+(** Height of {!model} — an upper bound on the treedepth. *)

@@ -1,0 +1,223 @@
+type decomposition = { bags : int list array; tree : Graph.t }
+
+let width d =
+  Array.fold_left (fun acc b -> max acc (List.length b - 1)) 0 d.bags
+
+let is_valid d g =
+  let ( let* ) = Result.bind in
+  let n = Graph.n g in
+  let* () =
+    if Graph.n d.tree = Array.length d.bags then Ok ()
+    else Error "bag count differs from tree size"
+  in
+  let* () =
+    if Graph.n d.tree > 0 && Graph.is_tree d.tree then Ok ()
+    else Error "the bag graph is not a tree"
+  in
+  (* vertex coverage *)
+  let containing = Array.make n [] in
+  Array.iteri
+    (fun i bag -> List.iter (fun v -> containing.(v) <- i :: containing.(v)) bag)
+    d.bags;
+  let* () =
+    if Array.for_all (fun l -> l <> []) containing then Ok ()
+    else Error "a vertex appears in no bag"
+  in
+  (* edge coverage *)
+  let* () =
+    if
+      List.for_all
+        (fun (u, v) ->
+          Array.exists (fun bag -> List.mem u bag && List.mem v bag) d.bags)
+        (Graph.edges g)
+    then Ok ()
+    else Error "an edge is covered by no bag"
+  in
+  (* connectivity of each vertex's bags *)
+  let rec check v =
+    if v = n then Ok ()
+    else begin
+      let sub, _ = Graph.induced d.tree containing.(v) in
+      if Graph.is_connected sub then check (v + 1)
+      else Error (Printf.sprintf "bags of vertex %d are disconnected" v)
+    end
+  in
+  check 0
+
+(* --- subset DP machinery (shared with Exact's style) --- *)
+
+let bit_list mask =
+  let rec go m acc =
+    if m = 0 then List.rev acc
+    else
+      let b = m land -m in
+      let rec log2 v i = if v = 1 then i else log2 (v lsr 1) (i + 1) in
+      go (m lxor b) (log2 b 0 :: acc)
+  in
+  go mask []
+
+let guard g =
+  let n = Graph.n g in
+  if n = 0 then invalid_arg "Treewidth: empty graph";
+  if n > 22 then invalid_arg "Treewidth: more than 22 vertices";
+  n
+
+(* q(S, v): number of vertices outside S ∪ {v} reachable from v through
+   S — the degree of v after eliminating S. *)
+let reach_through g s v =
+  let n = Graph.n g in
+  let seen = Array.make n false in
+  let out = ref 0 in
+  let outside = Array.make n false in
+  seen.(v) <- true;
+  let q = Queue.create () in
+  Queue.add v q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun w ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          if s land (1 lsl w) <> 0 then Queue.add w q
+          else if not outside.(w) then begin
+            outside.(w) <- true;
+            incr out
+          end
+        end)
+      (Graph.neighbors g u)
+  done;
+  !out
+
+(* Optimal elimination order by the Bodlaender–Fomin–Koster subset DP;
+   returns (treewidth, elimination order as a list, first-eliminated
+   first). *)
+let treewidth_dp g =
+  let n = guard g in
+  let full = (1 lsl n) - 1 in
+  let dp = Array.make (full + 1) 0 in
+  let choice = Array.make (full + 1) (-1) in
+  for mask = 1 to full do
+    let best = ref max_int and best_v = ref (-1) in
+    List.iter
+      (fun v ->
+        let rest = mask land lnot (1 lsl v) in
+        let cost = max dp.(rest) (reach_through g rest v) in
+        if cost < !best then begin
+          best := cost;
+          best_v := v
+        end)
+      (bit_list mask);
+    dp.(mask) <- !best;
+    choice.(mask) <- !best_v
+  done;
+  (* elimination order: the chosen vertex of [mask] is eliminated last
+     among [mask]; peel from the full set *)
+  let rec peel mask acc =
+    if mask = 0 then acc
+    else
+      let v = choice.(mask) in
+      peel (mask land lnot (1 lsl v)) (v :: acc)
+  in
+  (dp.(full), peel full [])
+
+let treewidth g = fst (treewidth_dp g)
+
+(* Vertex separation = pathwidth: dp over the set of already-placed
+   vertices; the cost of a prefix is the number of placed vertices with
+   an unplaced neighbor. *)
+let pathwidth g =
+  let n = guard g in
+  let full = (1 lsl n) - 1 in
+  let nbr =
+    Array.init n (fun v ->
+        Array.fold_left (fun acc w -> acc lor (1 lsl w)) 0 (Graph.neighbors g v))
+  in
+  let boundary mask =
+    let count = ref 0 in
+    List.iter
+      (fun u -> if nbr.(u) land lnot mask <> 0 then incr count)
+      (bit_list mask);
+    !count
+  in
+  let dp = Array.make (full + 1) max_int in
+  dp.(0) <- 0;
+  for mask = 1 to full do
+    let b = boundary mask in
+    let best = ref max_int in
+    List.iter
+      (fun v ->
+        let prev = dp.(mask land lnot (1 lsl v)) in
+        if prev < !best then best := prev)
+      (bit_list mask);
+    dp.(mask) <- max b !best
+  done;
+  dp.(full)
+
+(* Tree decomposition from an elimination order (first-eliminated
+   first): bag(v) = v plus its higher neighbors in the fill-in graph;
+   parent bag = bag of the earliest-eliminated higher neighbor. *)
+let decomposition_of_order g order =
+  let n = Graph.n g in
+  let pos = Array.make n 0 in
+  List.iteri (fun i v -> pos.(v) <- i) order;
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    (Graph.edges g);
+  let bags = Array.make n [] in
+  let parent = Array.make n (-1) in
+  List.iter
+    (fun v ->
+      let higher =
+        List.sort_uniq Int.compare
+          (List.filter (fun w -> pos.(w) > pos.(v)) adj.(v))
+      in
+      bags.(v) <- v :: higher;
+      (match higher with
+      | [] -> ()
+      | _ ->
+          let lowest =
+            List.fold_left
+              (fun acc w -> if pos.(w) < pos.(acc) then w else acc)
+              (List.hd higher) higher
+          in
+          parent.(v) <- lowest;
+          (* fill in: the higher neighborhood becomes a clique *)
+          List.iter
+            (fun a ->
+              List.iter
+                (fun b ->
+                  if a < b && not (List.mem b adj.(a)) then begin
+                    adj.(a) <- b :: adj.(a);
+                    adj.(b) <- a :: adj.(b)
+                  end)
+                higher)
+            higher))
+    order;
+  let tree_edges =
+    List.filter_map
+      (fun v -> if parent.(v) >= 0 then Some (v, parent.(v)) else None)
+      (List.init n Fun.id)
+  in
+  { bags = Array.map (List.sort_uniq Int.compare) bags;
+    tree = Graph.of_edges ~n tree_edges }
+
+let optimal_decomposition g =
+  let _, order = treewidth_dp g in
+  decomposition_of_order g order
+
+let decomposition_of_elimination g model =
+  if not (Elimination.is_model model g) then
+    invalid_arg "Treewidth.decomposition_of_elimination: not a model";
+  let n = Graph.n g in
+  let bags = Array.init n (fun v -> List.sort_uniq Int.compare (Elimination.ancestors model v)) in
+  let tree_edges =
+    List.filter_map
+      (fun v ->
+        let p = model.Elimination.parent.(v) in
+        if p >= 0 then Some (v, p) else None)
+      (List.init n Fun.id)
+  in
+  { bags; tree = Graph.of_edges ~n tree_edges }

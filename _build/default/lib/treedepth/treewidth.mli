@@ -1,0 +1,42 @@
+(** Treewidth and pathwidth: the width parameters the paper positions
+    treedepth against (Section 3.1: treedepth bounds pathwidth, which
+    is central to minors and interval graphs; Section 2.4: the
+    follow-up work [28] certifies MSO on bounded {e treewidth} with
+    Θ(log² n) bits).
+
+    Exact computation by the classical elimination-ordering dynamic
+    programs over vertex subsets (O*(2ⁿ)); intended for n ≲ 20.  Tree
+    decompositions are first-class and validated, so the inequalities
+
+    {v  treewidth ≤ pathwidth ≤ treedepth − 1  v}
+
+    are machine-checked by the test suite rather than assumed. *)
+
+type decomposition = {
+  bags : int list array;  (** sorted vertex lists *)
+  tree : Graph.t;  (** tree on bag indices *)
+}
+
+val is_valid : decomposition -> Graph.t -> (unit, string) result
+(** The three tree-decomposition axioms: vertices covered, edges
+    covered, and for every vertex the bags containing it induce a
+    connected subtree. *)
+
+val width : decomposition -> int
+(** Max bag size − 1. *)
+
+val treewidth : Graph.t -> int
+(** Exact, via the elimination-ordering DP.  n ≤ 22. *)
+
+val pathwidth : Graph.t -> int
+(** Exact, via the vertex-separation DP (vertex separation =
+    pathwidth).  n ≤ 22. *)
+
+val decomposition_of_elimination : Graph.t -> Elimination.t -> decomposition
+(** The canonical decomposition from a treedepth model: the bag of a
+    vertex is its ancestor path, so the width is at most the model's
+    height − 1 — the executable form of tw ≤ td − 1. *)
+
+val optimal_decomposition : Graph.t -> decomposition
+(** A minimum-width tree decomposition extracted from an optimal
+    elimination ordering (the DP's witness). *)

@@ -1,0 +1,1 @@
+lib/util/bitbuf.ml: Bitstring List Printf

@@ -1,0 +1,1 @@
+lib/util/bitbuf.mli: Bitstring

@@ -1,0 +1,1 @@
+lib/util/bitstring.ml: Bytes Char Format Hashtbl Int List Printf String

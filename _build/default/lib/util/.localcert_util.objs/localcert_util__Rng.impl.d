@@ -1,0 +1,1 @@
+lib/util/rng.ml: Array Bitstring Fun Int64 List

@@ -1,0 +1,113 @@
+exception Decode_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
+
+module Writer = struct
+  type t = { mutable rev_bits : bool list; mutable len : int }
+
+  let create () = { rev_bits = []; len = 0 }
+
+  let bit w b =
+    w.rev_bits <- b :: w.rev_bits;
+    w.len <- w.len + 1
+
+  let fixed w ~width n =
+    if n < 0 then invalid_arg "Bitbuf.Writer.fixed: negative";
+    if width < 0 || (width < 63 && n lsr width <> 0) then
+      invalid_arg
+        (Printf.sprintf "Bitbuf.Writer.fixed: %d does not fit in %d bits" n
+           width);
+    for i = width - 1 downto 0 do
+      bit w (n land (1 lsl i) <> 0)
+    done
+
+  (* Elias gamma of [n+1]: with [k] = number of bits of [n+1], write
+     [k-1] zeros, then the [k] bits of [n+1]. *)
+  let nat w n =
+    if n < 0 then invalid_arg "Bitbuf.Writer.nat: negative";
+    let v = n + 1 in
+    let k =
+      let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+      go 0 v
+    in
+    for _ = 1 to k - 1 do
+      bit w false
+    done;
+    fixed w ~width:k v
+
+  let int w n =
+    let zigzag = if n >= 0 then 2 * n else (-2 * n) - 1 in
+    nat w zigzag
+
+  let bitstring w b =
+    nat w (Bitstring.length b);
+    List.iter (bit w) (Bitstring.to_bools b)
+
+  let list w enc xs =
+    nat w (List.length xs);
+    List.iter (enc w) xs
+
+  let length w = w.len
+
+  let contents w = Bitstring.of_bools (List.rev w.rev_bits)
+end
+
+module Reader = struct
+  type t = { src : Bitstring.t; mutable pos : int }
+
+  let of_bitstring src = { src; pos = 0 }
+
+  let bit r =
+    if r.pos >= Bitstring.length r.src then fail "truncated certificate";
+    let b = Bitstring.get r.src r.pos in
+    r.pos <- r.pos + 1;
+    b
+
+  let fixed r ~width =
+    let n = ref 0 in
+    for _ = 1 to width do
+      n := (!n lsl 1) lor (if bit r then 1 else 0)
+    done;
+    !n
+
+  let nat r =
+    let zeros = ref 0 in
+    while not (bit r) do
+      incr zeros;
+      if !zeros > 62 then fail "nat: unreasonable length"
+    done;
+    (* We consumed the leading 1 of the value; read the remaining
+       [zeros] bits. *)
+    let v = ref 1 in
+    for _ = 1 to !zeros do
+      v := (!v lsl 1) lor (if bit r then 1 else 0)
+    done;
+    !v - 1
+
+  let int r =
+    let z = nat r in
+    if z mod 2 = 0 then z / 2 else -((z + 1) / 2)
+
+  let bitstring r =
+    let len = nat r in
+    Bitstring.of_bools (List.init len (fun _ -> bit r))
+
+  let list r dec =
+    let len = nat r in
+    List.init len (fun _ -> dec r)
+
+  let remaining r = Bitstring.length r.src - r.pos
+
+  let expect_end r =
+    if remaining r <> 0 then fail "trailing bits in certificate"
+end
+
+let decode b dec =
+  let r = Reader.of_bitstring b in
+  match
+    let v = dec r in
+    Reader.expect_end r;
+    v
+  with
+  | v -> Some v
+  | exception Decode_error _ -> None

@@ -1,0 +1,85 @@
+type t = { data : Bytes.t; len : int }
+
+(* Bit [i] lives in byte [i / 8], at position [7 - i mod 8] (MSB first),
+   so that the textual rendering reads left to right in writing order. *)
+
+let empty = { data = Bytes.create 0; len = 0 }
+
+let bytes_for len = (len + 7) / 8
+
+let get b i =
+  if i < 0 || i >= b.len then
+    invalid_arg (Printf.sprintf "Bitstring.get: index %d out of [0,%d)" i b.len);
+  let byte = Char.code (Bytes.get b.data (i / 8)) in
+  byte land (1 lsl (7 - (i mod 8))) <> 0
+
+let unsafe_set data i v =
+  let j = i / 8 in
+  let mask = 1 lsl (7 - (i mod 8)) in
+  let byte = Char.code (Bytes.get data j) in
+  let byte = if v then byte lor mask else byte land lnot mask in
+  Bytes.set data j (Char.chr byte)
+
+let of_bools bs =
+  let len = List.length bs in
+  let data = Bytes.make (bytes_for len) '\000' in
+  List.iteri (fun i v -> unsafe_set data i v) bs;
+  { data; len }
+
+let of_string s =
+  let len = String.length s in
+  let data = Bytes.make (bytes_for len) '\000' in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '0' -> ()
+      | '1' -> unsafe_set data i true
+      | _ -> invalid_arg "Bitstring.of_string: expected '0' or '1'")
+    s;
+  { data; len }
+
+let length b = b.len
+
+let to_bools b = List.init b.len (get b)
+
+(* Equality must ignore the unused low bits of the last byte; writers in
+   this module always keep them zero, so plain byte comparison works. *)
+let equal a b = a.len = b.len && Bytes.equal a.data b.data
+
+let compare a b =
+  match Int.compare a.len b.len with
+  | 0 -> Bytes.compare a.data b.data
+  | c -> c
+
+let hash b = Hashtbl.hash (b.len, Bytes.to_string b.data)
+
+let flip b i =
+  if i < 0 || i >= b.len then
+    invalid_arg (Printf.sprintf "Bitstring.flip: index %d out of [0,%d)" i b.len);
+  let data = Bytes.copy b.data in
+  unsafe_set data i (not (get b i));
+  { data; len = b.len }
+
+let append a b =
+  let len = a.len + b.len in
+  let data = Bytes.make (bytes_for len) '\000' in
+  for i = 0 to a.len - 1 do
+    unsafe_set data i (get a i)
+  done;
+  for i = 0 to b.len - 1 do
+    unsafe_set data (a.len + i) (get b i)
+  done;
+  { data; len }
+
+let sub b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > b.len then
+    invalid_arg "Bitstring.sub: out of bounds";
+  let data = Bytes.make (bytes_for len) '\000' in
+  for i = 0 to len - 1 do
+    unsafe_set data i (get b (pos + i))
+  done;
+  { data; len }
+
+let to_string b = String.init b.len (fun i -> if get b i then '1' else '0')
+
+let pp ppf b = Format.fprintf ppf "%s⟨%d⟩" (to_string b) b.len

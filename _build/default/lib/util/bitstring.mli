@@ -1,0 +1,65 @@
+(** Immutable bit strings.
+
+    Certificates in local certification are, by definition, strings of
+    bits; the size of a certification is the number of bits of its
+    largest certificate.  Every scheme in this library materializes its
+    certificates as values of type {!t} so that sizes are measured on
+    real encodings rather than estimated.
+
+    Bits are addressed from 0; bit 0 is the first bit written by a
+    {!Bitbuf.Writer}. *)
+
+type t
+
+(** {1 Construction} *)
+
+val empty : t
+(** The empty bit string (0 bits). *)
+
+val of_bools : bool list -> t
+(** [of_bools bs] is the bit string whose [i]-th bit is [List.nth bs i]. *)
+
+val of_string : string -> t
+(** [of_string s] parses a textual bit string such as ["010011"].
+    Raises [Invalid_argument] on characters other than ['0'] and ['1']. *)
+
+(** {1 Observation} *)
+
+val length : t -> int
+(** Number of bits. *)
+
+val get : t -> int -> bool
+(** [get b i] is the [i]-th bit.  Raises [Invalid_argument] if [i] is
+    out of bounds. *)
+
+val to_bools : t -> bool list
+(** All bits, in order. *)
+
+val equal : t -> t -> bool
+(** Structural equality (same length and same bits). *)
+
+val compare : t -> t -> int
+(** A total order compatible with {!equal}. *)
+
+val hash : t -> int
+(** A hash compatible with {!equal}. *)
+
+(** {1 Mutation-as-copy} *)
+
+val flip : t -> int -> t
+(** [flip b i] is [b] with bit [i] negated.  Used by the adversarial
+    soundness harness to corrupt certificates. *)
+
+val append : t -> t -> t
+(** Concatenation. *)
+
+val sub : t -> pos:int -> len:int -> t
+(** [sub b ~pos ~len] extracts [len] bits starting at [pos]. *)
+
+(** {1 Pretty-printing} *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as ["0"/"1"] characters, with a [⟨len⟩] suffix. *)
+
+val to_string : t -> string
+(** ["010011"]-style rendering (no suffix). *)

@@ -1,0 +1,69 @@
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1 in
+    for i = 1 to k do
+      acc := !acc * (n - k + i) / i
+    done;
+    !acc
+  end
+
+let log2_factorial n =
+  let acc = ref 0.0 in
+  for i = 2 to n do
+    acc := !acc +. (log (float_of_int i) /. log 2.0)
+  done;
+  !acc
+
+let partitions n =
+  if n < 0 then invalid_arg "Combin.partitions: negative";
+  (* Parts are listed weakly decreasing; [go n cap] lists partitions of
+     [n] with all parts <= cap. *)
+  let rec go n cap =
+    if n = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun part ->
+          List.map (fun rest -> part :: rest) (go (n - part) part))
+        (List.init (min n cap) (fun i -> i + 1))
+  in
+  go n n
+
+let count_partitions n =
+  if n < 0 then invalid_arg "Combin.count_partitions: negative";
+  let p = Array.make_matrix (n + 1) (n + 1) 0 in
+  (* p.(m).(cap) = number of partitions of m into parts <= cap *)
+  for cap = 0 to n do
+    p.(0).(cap) <- 1
+  done;
+  for m = 1 to n do
+    for cap = 1 to n do
+      p.(m).(cap) <-
+        (p.(m).(cap - 1) + if m >= cap then p.(m - cap).(cap) else 0)
+    done
+  done;
+  p.(n).(n)
+
+let pow b e =
+  if e < 0 then invalid_arg "Combin.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (acc * b) (b * b) (e lsr 1)
+    else go acc (b * b) (e lsr 1)
+  in
+  go 1 b e
+
+let ceil_log2 n =
+  if n <= 0 then invalid_arg "Combin.ceil_log2: nonpositive";
+  let rec go w acc = if acc >= n then w else go (w + 1) (acc * 2) in
+  go 0 1
+
+let multisets_upto kinds cap =
+  let base = cap + 1 in
+  let rec go acc e =
+    if e = 0 then acc
+    else if acc > max_int / base then max_int
+    else go (acc * base) (e - 1)
+  in
+  go 1 kinds

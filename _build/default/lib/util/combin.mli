@@ -1,0 +1,37 @@
+(** Small exact combinatorics used by the lower-bound experiments.
+
+    The quantitative content of the paper's lower bounds is counting:
+    Theorem 2.3 needs the number of rooted trees of bounded depth
+    (Pach–Pluhár–Pongrácz–Szabó [42]), Theorem 2.5 needs [log2 n!], and
+    the EQUALITY fooling-set bound needs powers of two compared against
+    certificate budgets.  Everything here is exact over [float] logs or
+    arbitrary-size via simple big-number-free recurrences kept within
+    [int] range (callers stay below 2^62). *)
+
+val binomial : int -> int -> int
+(** [binomial n k], exact; 0 when [k < 0 || k > n].  Overflow is the
+    caller's responsibility. *)
+
+val log2_factorial : int -> float
+(** [log2_factorial n] = log₂ (n!) via a Stirling-free exact sum. *)
+
+val partitions : int -> int list list
+(** All integer partitions of [n] as weakly decreasing positive lists.
+    [partitions 0 = \[\[\]\]]. *)
+
+val count_partitions : int -> int
+(** Number of integer partitions of [n] (exact Euler recurrence). *)
+
+val pow : int -> int -> int
+(** [pow b e] with [e >= 0]; exact integer power. *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 n] is the least [w] with [2^w >= n]; [ceil_log2 1 = 0].
+    This is the bit width needed to address [n] distinct values.
+    Raises [Invalid_argument] for [n <= 0]. *)
+
+val multisets_upto : int -> int -> int
+(** [multisets_upto kinds cap] counts functions from [kinds] kinds to
+    multiplicities in [\[0, cap\]], i.e. [(cap+1)^kinds]; saturates at
+    [max_int] instead of overflowing.  This is the state-count bound
+    [f_d(k,t)] uses (Proposition 6.2). *)

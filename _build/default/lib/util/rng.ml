@@ -1,0 +1,52 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let make seed = { state = Int64.of_int seed }
+
+(* SplitMix64 step (Steele, Lea, Flood 2014). *)
+let next r =
+  r.state <- Int64.add r.state golden;
+  let z = r.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split r =
+  let s = next r in
+  { state = s }
+
+let int r bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* keep 62 bits so the value fits OCaml's 63-bit int nonnegatively *)
+  let v = Int64.to_int (Int64.shift_right_logical (next r) 2) in
+  v mod bound
+
+let int_in r lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int r (hi - lo + 1)
+
+let bool r = Int64.logand (next r) 1L = 1L
+
+let float r bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next r) 11) in
+  bound *. v /. 9007199254740992.0 (* 2^53 *)
+
+let pick r = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | xs -> List.nth xs (int r (List.length xs))
+
+let shuffle r a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int r (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation r n =
+  let a = Array.init n Fun.id in
+  shuffle r a;
+  a
+
+let bits r len = Bitstring.of_bools (List.init len (fun _ -> bool r))

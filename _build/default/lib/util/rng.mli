@@ -1,0 +1,42 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    All randomized components (graph generators, adversarial corruption,
+    random formula generation) take an explicit {!t} so that every
+    experiment and test is reproducible from a seed.  The generator is
+    SplitMix64; it is emphatically not cryptographic. *)
+
+type t
+
+val make : int -> t
+(** [make seed] creates a generator from an integer seed. *)
+
+val split : t -> t
+(** [split r] returns an independent generator and advances [r].  Use it
+    to hand a private stream to a sub-computation without coupling its
+    consumption to the caller's. *)
+
+val int : t -> int -> int
+(** [int r bound] is uniform in [\[0, bound)].  Raises
+    [Invalid_argument] if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in r lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val bool : t -> bool
+(** A fair coin. *)
+
+val float : t -> float -> float
+(** [float r bound] is uniform in [\[0, bound)]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list.  Raises [Invalid_argument] on
+    the empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation r n] is a uniform permutation of [0..n-1]. *)
+
+val bits : t -> int -> Bitstring.t
+(** [bits r len] is a uniform bit string of length [len]. *)

@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Capped_type Eval Format Formula Fun Gen Gen_formula Graph Lazy Library List Parser Printf Rng Rooted Tree_automaton

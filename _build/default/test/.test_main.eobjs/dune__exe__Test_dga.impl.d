@@ -1,0 +1,1 @@
+test/test_dga.ml: Alcotest Array Dga Gen Lcl List

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bicomp Exact Gen Graph Iso List Paths Printf QCheck QCheck_alcotest Rng Rooted Spanning String

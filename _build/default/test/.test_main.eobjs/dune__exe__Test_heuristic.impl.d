@@ -1,0 +1,1 @@
+test/test_heuristic.ml: Alcotest Elimination Exact Gen Graph Heuristic Instance List QCheck QCheck_alcotest Rng Scheme Treedepth_cert

@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Elimination Gen Graph Io QCheck QCheck_alcotest Result Rng String

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Ef Elimination Eval Exact Formula Gen Gen_formula Graph Hashtbl List Option Parser Printf Props QCheck QCheck_alcotest Reduce Rng Vtype

@@ -1,0 +1,1 @@
+test/test_lcl.ml: Alcotest Array Attack Bitstring Gen Graph Instance Lcl List Option Rng Scheme

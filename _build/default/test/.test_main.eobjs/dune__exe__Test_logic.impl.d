@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Ef Eval Formula Gen Gen_formula Graph List Parser Printf Props QCheck QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_radius.ml: Alcotest Array Bitstring Gen Graph Instance List Printf Radius Scheme Spanning_tree

@@ -1,0 +1,1 @@
+test/test_schemes.ml: Alcotest Array Attack Combin Depth2_fo Existential_fo Gen Graph Instance Int List Option Parser Printf Props Rng Scheme Spanning_tree String Universal

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Eval Existential_fo Formula Gen Gen_formula Graph Instance Lazy List Parser Printf QCheck QCheck_alcotest Rng Scheme String Transform

@@ -1,0 +1,1 @@
+test/test_treedepth.ml: Alcotest Array Combin Cops_robber Elimination Exact Gen Graph List Printf QCheck QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_treewidth.ml: Alcotest Elimination Exact Gen Graph List Printf QCheck QCheck_alcotest Result Rng Treewidth

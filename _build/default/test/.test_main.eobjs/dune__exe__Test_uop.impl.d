@@ -1,0 +1,1 @@
+test/test_uop.ml: Alcotest Array Attack Bitstring Format Gen Instance Lazy Library List Option Printf Rng Rooted Scheme Tree_automaton Tree_mso Uop

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitbuf Bitstring Combin Fun Int List QCheck QCheck_alcotest Rng

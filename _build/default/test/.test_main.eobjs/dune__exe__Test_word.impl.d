@@ -1,0 +1,1 @@
+test/test_word.ml: Alcotest Array Attack Fun Gen Instance List Printf QCheck QCheck_alcotest Rng Rooted Scheme String Tree_automaton Tree_mso Word

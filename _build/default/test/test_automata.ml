@@ -1,0 +1,285 @@
+(* Tests for tree automata: the hand-compiled library against
+   independent references, boolean closure, threshold diagnostics, and
+   the capped-type compiler against the brute-force evaluator. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* All rooted trees up to 8 nodes — the exhaustive corpus. *)
+let corpus =
+  lazy
+    (List.concat_map
+       (fun n -> Rooted.all_of_size n)
+       (List.init 8 (fun i -> i + 1)))
+
+(* Random larger trees, every rooting of random unrooted trees. *)
+let random_corpus =
+  lazy
+    (let rng = Rng.make 314 in
+     List.concat_map
+       (fun _ ->
+         let n = 5 + Rng.int rng 10 in
+         let g = Gen.random_tree rng n in
+         List.map (fun root -> Rooted.of_graph g ~root) [ 0; n / 2; n - 1 ])
+       (List.init 15 Fun.id))
+
+let check_entry_on (e : Library.entry) trees =
+  List.iter
+    (fun t ->
+      check
+        (Printf.sprintf "%s on %s" e.Library.auto.Tree_automaton.name
+           (Format.asprintf "%a" Rooted.pp t))
+        (e.Library.reference t)
+        (Tree_automaton.accepts e.Library.auto t))
+    trees
+
+let library_vs_reference_exhaustive () =
+  List.iter
+    (fun (_, e) -> check_entry_on e (Lazy.force corpus))
+    Library.all_named
+
+let library_vs_reference_random () =
+  List.iter
+    (fun (_, e) -> check_entry_on e (Lazy.force random_corpus))
+    Library.all_named
+
+let root_invariance () =
+  let rng = Rng.make 2718 in
+  List.iter
+    (fun (_, (e : Library.entry)) ->
+      if e.Library.root_invariant then
+        for _ = 1 to 10 do
+          let n = 4 + Rng.int rng 8 in
+          let g = Gen.random_tree rng n in
+          let verdicts =
+            List.map
+              (fun root ->
+                Tree_automaton.accepts e.Library.auto (Rooted.of_graph g ~root))
+              (Graph.vertices g)
+          in
+          check "all rootings agree" true
+            (List.for_all (fun v -> v = List.hd verdicts) verdicts)
+        done)
+    Library.all_named
+
+let specific_verdicts () =
+  let path n = Rooted.of_graph (Gen.path n) ~root:0 in
+  let star n = Rooted.of_graph (Gen.star n) ~root:0 in
+  let accepts e t = Tree_automaton.accepts e.Library.auto t in
+  check "P4 is a path" true (accepts (Library.max_degree_at_most 2) (path 4));
+  check "star is not a path" false
+    (accepts (Library.max_degree_at_most 2) (star 5));
+  check "P4 has perfect matching" true
+    (accepts Library.has_perfect_matching (path 4));
+  check "P5 has no perfect matching" false
+    (accepts Library.has_perfect_matching (path 5));
+  check "star6 has no perfect matching" false
+    (accepts Library.has_perfect_matching (star 6));
+  check "star diameter 2" true (accepts (Library.diameter_at_most 2) (star 7));
+  check "P5 diameter 4" true (accepts (Library.diameter_at_most 4) (path 5));
+  check "P6 diameter > 4" false (accepts (Library.diameter_at_most 4) (path 6));
+  check "even order" true (accepts Library.even_order (path 4));
+  check "odd order" false (accepts Library.even_order (path 5))
+
+let boolean_closure () =
+  let trees = Lazy.force corpus in
+  let a = (Library.max_degree_at_most 2).Library.auto in
+  let b = Library.has_perfect_matching.Library.auto in
+  let both = Tree_automaton.conj a b in
+  let either = Tree_automaton.disj a b in
+  let nota = Tree_automaton.complement a in
+  List.iter
+    (fun t ->
+      let va = Tree_automaton.accepts a t and vb = Tree_automaton.accepts b t in
+      check "conj" (va && vb) (Tree_automaton.accepts both t);
+      check "disj" (va || vb) (Tree_automaton.accepts either t);
+      check "complement" (not va) (Tree_automaton.accepts nota t))
+    trees
+
+let threshold_diagnostics () =
+  let trees = Lazy.force corpus @ Lazy.force random_corpus in
+  (* threshold automata respect their declared caps *)
+  List.iter
+    (fun (_, (e : Library.entry)) ->
+      match e.Library.auto.Tree_automaton.threshold with
+      | Some cap ->
+          check
+            (e.Library.auto.Tree_automaton.name ^ " respects cap")
+            true
+            (Tree_automaton.respects_threshold e.Library.auto ~cap
+               ~samples:trees)
+      | None -> ())
+    Library.all_named;
+  (* the parity automaton must FAIL every small cap — that is the
+     Appendix C.2 separation between tree automata and MSO *)
+  let parity = Library.even_order.Library.auto in
+  List.iter
+    (fun cap ->
+      check
+        (Printf.sprintf "parity breaks cap %d" cap)
+        false
+        (Tree_automaton.respects_threshold parity ~cap ~samples:trees))
+    [ 1; 2; 3 ]
+
+let counts_utilities () =
+  let c = Tree_automaton.counts_of_list [ 2; 0; 2; 2; 1 ] in
+  Alcotest.(check (list (pair int int))) "counts" [ (0, 1); (1, 1); (2, 3) ] c;
+  check_int "total" 5 (Tree_automaton.total c);
+  check_int "count_of" 3 (Tree_automaton.count_of c 2);
+  check_int "count_of missing" 0 (Tree_automaton.count_of c 7);
+  Alcotest.(check (list (pair int int)))
+    "capped" [ (0, 1); (1, 1); (2, 2) ]
+    (Tree_automaton.cap_counts 2 c)
+
+let state_labeling_consistency () =
+  let a = Library.has_perfect_matching.Library.auto in
+  let t = Rooted.of_graph (Gen.path 6) ~root:2 in
+  let labeling = Tree_automaton.state_labeling a t in
+  check_int "one state per node" (Rooted.size t) (List.length labeling);
+  (* the root's state appears, and matches run *)
+  let root_state = Tree_automaton.run a t in
+  check "root state in labeling" true
+    (List.exists (fun (st, s) -> st == t && s = root_state) labeling)
+
+(* --- capped-type compiler --- *)
+
+let capped_formulas =
+  [
+    "forall x. forall y. x = y | x -- y";
+    "exists x. forall y. x = y | x -- y";
+    "forall x. exists y. x -- y";
+    "exists x. exists y. exists z. x -- y & x -- z & ~(y = z)";
+    "forall x. forall y. forall z. ~(x -- y & x -- z & ~(y = z))";
+    "exists x. ~(exists y. exists z. x -- y & x -- z & ~(y = z))";
+  ]
+
+let capped_type_vs_bruteforce () =
+  let trees = Lazy.force corpus in
+  List.iter
+    (fun src ->
+      let phi = Parser.parse_exn src in
+      let compiled = Capped_type.compile phi in
+      List.iter
+        (fun t ->
+          let g, labels = Rooted.to_graph t in
+          check
+            (Printf.sprintf "⟦%s⟧ on size %d" src (Rooted.size t))
+            (Eval.sentence ~labels g phi)
+            (Tree_automaton.accepts compiled.Capped_type.auto t))
+        trees)
+    capped_formulas
+
+let capped_type_vs_bruteforce_random () =
+  let trees = Lazy.force random_corpus in
+  List.iter
+    (fun src ->
+      let phi = Parser.parse_exn src in
+      let compiled = Capped_type.compile phi in
+      List.iter
+        (fun t ->
+          let g, labels = Rooted.to_graph t in
+          check src
+            (Eval.sentence ~labels g phi)
+            (Tree_automaton.accepts compiled.Capped_type.auto t))
+        trees)
+    capped_formulas
+
+let capped_type_random_formulas () =
+  (* random rank-2 sentences, exhaustive small trees *)
+  let rng = Rng.make 500 in
+  let trees =
+    List.concat_map (fun n -> Rooted.all_of_size n) [ 1; 2; 3; 4; 5; 6 ]
+  in
+  List.iter
+    (fun phi ->
+      let compiled = Capped_type.compile phi in
+      List.iter
+        (fun t ->
+          let g, labels = Rooted.to_graph t in
+          check
+            (Formula.to_string phi)
+            (Eval.sentence ~labels g phi)
+            (Tree_automaton.accepts compiled.Capped_type.auto t))
+        trees)
+    (Gen_formula.fo_sentences rng ~rank:2 ~count:25)
+
+let capped_type_finite_on_bounded_depth () =
+  (* on bounded-depth trees the state space stabilizes: feeding many
+     trees of depth <= 2 discovers only finitely many states *)
+  let phi = Parser.parse_exn "forall x. exists y. x -- y" in
+  let compiled = Capped_type.compile phi in
+  let rng = Rng.make 7 in
+  for _ = 1 to 50 do
+    let g = Gen.random_tree_bounded_depth rng ~n:20 ~depth:2 in
+    ignore
+      (Tree_automaton.accepts compiled.Capped_type.auto (Rooted.of_graph g ~root:0))
+  done;
+  let after50 = compiled.Capped_type.auto.Tree_automaton.state_count () in
+  for _ = 1 to 50 do
+    let g = Gen.random_tree_bounded_depth rng ~n:25 ~depth:2 in
+    ignore
+      (Tree_automaton.accepts compiled.Capped_type.auto (Rooted.of_graph g ~root:0))
+  done;
+  let after100 = compiled.Capped_type.auto.Tree_automaton.state_count () in
+  check "state space saturates" true (after100 <= after50 + 3);
+  check "nontrivial" true (after50 >= 2)
+
+let capped_type_representatives () =
+  let phi = Parser.parse_exn "forall x. exists y. x -- y" in
+  let compiled = Capped_type.compile phi in
+  let t = Rooted.of_graph (Gen.star 5) ~root:0 in
+  let s = Tree_automaton.run compiled.Capped_type.auto t in
+  let rep = compiled.Capped_type.representative s in
+  (* representative is capped: at threshold q, the star's leaves
+     collapse to q *)
+  check "rep is smaller" true (Rooted.size rep <= Rooted.size t);
+  (* and equi-satisfies the formula *)
+  let g, labels = Rooted.to_graph rep in
+  let g', labels' = Rooted.to_graph t in
+  check "rep equisatisfiable" (Eval.sentence ~labels:labels' g' phi)
+    (Eval.sentence ~labels g phi)
+
+let capped_oracle_variant () =
+  (* compile_oracle with a semantic oracle: "has a perfect matching"
+     needs a larger threshold than rank would suggest; check it against
+     the reference on bounded-depth trees with threshold 3 *)
+  let oracle t = Library.has_perfect_matching.Library.reference t in
+  let compiled =
+    Capped_type.compile_oracle ~threshold:3 ~name:"pm-oracle" oracle
+  in
+  ignore compiled;
+  (* sanity: trivially correct on paths *)
+  let t4 = Rooted.of_graph (Gen.path 4) ~root:0 in
+  check "P4 accepted" true (Tree_automaton.accepts compiled.Capped_type.auto t4)
+
+let suite =
+  [
+    ( "automata:library",
+      [
+        Alcotest.test_case "vs reference (exhaustive ≤8)" `Quick
+          library_vs_reference_exhaustive;
+        Alcotest.test_case "vs reference (random)" `Quick
+          library_vs_reference_random;
+        Alcotest.test_case "root invariance" `Quick root_invariance;
+        Alcotest.test_case "specific verdicts" `Quick specific_verdicts;
+      ] );
+    ( "automata:ops",
+      [
+        Alcotest.test_case "boolean closure" `Quick boolean_closure;
+        Alcotest.test_case "threshold diagnostics" `Quick threshold_diagnostics;
+        Alcotest.test_case "counts utilities" `Quick counts_utilities;
+        Alcotest.test_case "state labeling" `Quick state_labeling_consistency;
+      ] );
+    ( "automata:capped-type",
+      [
+        Alcotest.test_case "vs brute force (exhaustive)" `Quick
+          capped_type_vs_bruteforce;
+        Alcotest.test_case "vs brute force (random)" `Quick
+          capped_type_vs_bruteforce_random;
+        Alcotest.test_case "random formulas" `Quick capped_type_random_formulas;
+        Alcotest.test_case "finite on bounded depth" `Quick
+          capped_type_finite_on_bounded_depth;
+        Alcotest.test_case "representatives" `Quick capped_type_representatives;
+        Alcotest.test_case "oracle variant" `Quick capped_oracle_variant;
+      ] );
+  ]

@@ -1,0 +1,178 @@
+(* Additional cross-checks: threshold sensitivity of the capped-type
+   compiler, random-identifier robustness for the big schemes, and
+   extra exhaustive soundness slices. *)
+
+let check = Alcotest.(check bool)
+
+(* The capped-type construction is provably correct at threshold =
+   quantifier rank; an under-threshold automaton must MISCLASSIFY some
+   tree — this is the negative control showing the threshold is doing
+   real work, not decoration. *)
+let capped_threshold_sensitivity () =
+  (* "there exist three pairwise-distinct leaves-of-the-same-center":
+     simpler: at least 3 neighbors — rank 4, distinguishes stars by
+     branch count up to 3 *)
+  let phi =
+    Parser.parse_exn
+      "exists x. exists a. exists b. exists c. a -- x & b -- x & c -- x & \
+       ~(a = b) & ~(a = c) & ~(b = c)"
+  in
+  let ok = Capped_type.compile phi in
+  let starving = Capped_type.compile ~threshold:1 phi in
+  let trees = List.concat_map (fun n -> Rooted.all_of_size n) [ 1; 2; 3; 4; 5; 6 ] in
+  let correct auto =
+    List.for_all
+      (fun t ->
+        let g, labels = Rooted.to_graph t in
+        Eval.sentence ~labels g phi = Tree_automaton.accepts auto t)
+      trees
+  in
+  check "rank threshold correct" true (correct ok.Capped_type.auto);
+  check "threshold 1 misclassifies" false (correct starving.Capped_type.auto)
+
+let random_ids_big_schemes () =
+  let rng = Rng.make 31337 in
+  for _ = 1 to 4 do
+    let g = Gen.random_bounded_treedepth rng ~n:10 ~depth:3 ~p:0.4 in
+    let t = Exact.treedepth g in
+    let instance = Instance.with_random_ids rng (Instance.make g) in
+    (* treedepth scheme *)
+    (match Scheme.certify (Treedepth_cert.make ~t ()) instance with
+    | Some (_, o) -> check "treedepth w/ random ids" true o.Scheme.accepted
+    | None -> Alcotest.fail "treedepth prover declined");
+    (* kernel scheme *)
+    let phi = Parser.parse_exn "forall x. exists y. x -- y" in
+    (match Scheme.certify (Kernel_mso.make ~t phi) instance with
+    | Some (_, o) -> check "kernel-mso w/ random ids" true o.Scheme.accepted
+    | None -> Alcotest.fail "kernel prover declined")
+  done;
+  (* tree-MSO with random ids *)
+  for _ = 1 to 4 do
+    let g = Gen.random_tree rng 12 in
+    let instance = Instance.with_random_ids rng (Instance.make g) in
+    match
+      Scheme.certify (Tree_mso.make Library.trivial_true.Library.auto) instance
+    with
+    | Some (_, o) -> check "tree-mso w/ random ids" true o.Scheme.accepted
+    | None -> Alcotest.fail "tree-mso prover declined"
+  done
+
+let exhaustive_slices () =
+  (* tiny-budget exhaustive refutations for more schemes: any sound
+     scheme must reject every assignment on a no-instance, including
+     all the short ones *)
+  let cases =
+    [
+      (Treedepth_cert.make ~t:2 (), Instance.make (Gen.path 4));
+      ( Kernel_mso.make ~t:1 (Parser.parse_exn "forall x. x = x"),
+        Instance.make (Gen.path 3) );
+      (Depth2_fo.is_clique, Instance.make (Gen.path 3));
+      ( Lcl.scheme_of_search (Lcl.proper_coloring ~colors:2)
+          ~solve:(Lcl.greedy_coloring ~colors:2),
+        Instance.make (Gen.cycle 3) );
+    ]
+  in
+  List.iter
+    (fun (scheme, instance) ->
+      let r = Attack.exhaustive scheme instance ~max_bits:2 in
+      check (scheme.Scheme.name ^ " exhaustively sound at <=2 bits") true
+        (r.Attack.fooled = None))
+    cases
+
+let labeled_capped_type () =
+  (* the capped-type compiler handles labeled trees: "some leaf is
+     labeled 1" — distinguish by labels *)
+  let phi = Parser.parse_exn "exists x. lab1(x) & ~(exists y. exists z. x -- y & x -- z & ~(y = z))" in
+  let compiled = Capped_type.compile phi in
+  let mk labels g root = Rooted.of_graph ~labels g ~root in
+  let star = Gen.star 4 in
+  (* leaf labeled 1 *)
+  check "labeled leaf found" true
+    (Tree_automaton.accepts compiled.Capped_type.auto
+       (mk [| 0; 1; 0; 0 |] star 0));
+  (* only the center labeled 1: center has 3 neighbors, not a leaf *)
+  check "center does not count" false
+    (Tree_automaton.accepts compiled.Capped_type.auto
+       (mk [| 1; 0; 0; 0 |] star 0))
+
+let scheme_outcomes_reported () =
+  (* outcome bookkeeping: max_bits matches the largest certificate and
+     rejections list the right vertices *)
+  let scheme = Spanning_tree.acyclicity in
+  let instance = Instance.make (Gen.path 4) in
+  let certs = Option.get (scheme.Scheme.prover instance) in
+  let o = Scheme.run scheme instance certs in
+  check "accepted" true o.Scheme.accepted;
+  Alcotest.(check int) "max_bits"
+    (Array.fold_left (fun a c -> max a (Bitstring.length c)) 0 certs)
+    o.Scheme.max_bits;
+  let bad = Array.map (fun _ -> Bitstring.empty) certs in
+  let o = Scheme.run scheme instance bad in
+  Alcotest.(check int) "everyone rejects garbage" 4 (List.length o.Scheme.rejections)
+
+let kernel_ef_rank3 () =
+  (* Proposition 6.3 at k = 3, on tiny instances (the EF game at rank 3
+     is (n·m)^3) *)
+  let rng = Rng.make 999 in
+  for _ = 1 to 3 do
+    let g = Gen.random_bounded_treedepth rng ~n:6 ~depth:2 ~p:0.6 in
+    let model = Elimination.coherentize (Exact.optimal_model g) g in
+    let red = Reduce.reduce g model ~k:3 in
+    check "G ≃_3 kernel" true (Ef.equiv 3 g red.Reduce.kernel)
+  done
+
+let labeled_tree_mso_scheme () =
+  (* the Theorem-2.2 scheme on a labeled tree: certify "some rooting
+     puts a 1-labeled vertex at the root" = "some vertex is labeled 1" *)
+  let scheme = Tree_mso.make (Library.root_has_label 1).Library.auto in
+  let g = Gen.path 6 in
+  let yes = Instance.make ~labels:[| 0; 0; 1; 0; 0; 0 |] g in
+  (match Scheme.certify scheme yes with
+  | Some (_, o) -> check "accepted" true o.Scheme.accepted
+  | None -> Alcotest.fail "labeled yes-instance declined");
+  let no = Instance.make ~labels:(Array.make 6 0) g in
+  check "declined" true (scheme.Scheme.prover no = None);
+  let attack =
+    Attack.random_assignments (Rng.make 8) scheme no ~trials:200 ~max_bits:21
+  in
+  check "sound" true (attack.Attack.fooled = None)
+
+let conjoined_headline_scheme () =
+  (* the full "G is a tree AND satisfies an MSO property" package:
+     acyclicity (log n) + automaton states (O(1)) via conjoin *)
+  let scheme =
+    Tree_mso.with_tree_promise_check
+      (Tree_mso.make Library.is_caterpillar.Library.auto)
+  in
+  let yes = Instance.make (Gen.caterpillar ~spine:4 ~legs:2) in
+  (match Scheme.certify scheme yes with
+  | Some (_, o) -> check "caterpillar certified" true o.Scheme.accepted
+  | None -> Alcotest.fail "caterpillar declined");
+  (* a spider is a tree but not a caterpillar *)
+  let spider = Instance.make (Gen.spider ~legs:3 ~leg_len:2) in
+  check "spider declined" true (scheme.Scheme.prover spider = None);
+  (* a cycle is not even a tree *)
+  let cyc = Instance.make (Gen.cycle 6) in
+  check "cycle declined" true (scheme.Scheme.prover cyc = None);
+  let attack =
+    Attack.random_assignments (Rng.make 12) scheme spider ~trials:150
+      ~max_bits:40
+  in
+  check "spider unfoolable" true (attack.Attack.fooled = None)
+
+let suite =
+  [
+    ( "extra",
+      [
+        Alcotest.test_case "Prop 6.3 at rank 3" `Quick kernel_ef_rank3;
+        Alcotest.test_case "labeled tree-mso scheme" `Quick labeled_tree_mso_scheme;
+        Alcotest.test_case "tree-promise + caterpillar" `Quick
+          conjoined_headline_scheme;
+        Alcotest.test_case "capped threshold sensitivity" `Quick
+          capped_threshold_sensitivity;
+        Alcotest.test_case "random ids on big schemes" `Quick random_ids_big_schemes;
+        Alcotest.test_case "exhaustive slices" `Quick exhaustive_slices;
+        Alcotest.test_case "labeled capped types" `Quick labeled_capped_type;
+        Alcotest.test_case "outcome bookkeeping" `Quick scheme_outcomes_reported;
+      ] );
+  ]

@@ -1,0 +1,80 @@
+(* Tests for the BFS-separator heuristic model finder. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let always_valid_model () =
+  let rng = Rng.make 314 in
+  for _ = 1 to 15 do
+    let n = 5 + Rng.int rng 60 in
+    let g =
+      match Rng.int rng 3 with
+      | 0 -> Gen.random_tree rng n
+      | 1 -> Gen.random_connected rng ~n ~extra_edges:(Rng.int rng (2 * n))
+      | _ -> Gen.random_bounded_treedepth rng ~n ~depth:4 ~p:0.3
+    in
+    let model = Heuristic.model g in
+    check "is model" true (Elimination.is_model model g)
+  done
+
+let matches_exact_on_small () =
+  let rng = Rng.make 316 in
+  for _ = 1 to 10 do
+    let n = 3 + Rng.int rng 10 in
+    let g = Gen.random_connected rng ~n ~extra_edges:(Rng.int rng 5) in
+    (* below the cutoff the heuristic IS the exact solver *)
+    check_int "exact below cutoff" (Exact.treedepth g)
+      (Heuristic.treedepth_upper_bound g)
+  done
+
+let upper_bound_quality () =
+  (* sane bounds on structured families well beyond the exact range *)
+  check "path 255" true (Heuristic.treedepth_upper_bound (Gen.path 255) <= 12);
+  check "cycle 128" true (Heuristic.treedepth_upper_bound (Gen.cycle 128) <= 14);
+  check "star 200" true (Heuristic.treedepth_upper_bound (Gen.star 200) <= 3);
+  check "grid 4x16" true (Heuristic.treedepth_upper_bound (Gen.grid 4 16) <= 24);
+  (* and it is an upper bound where we can check exactly *)
+  let g = Gen.grid 3 5 in
+  check "bound >= exact" true
+    (Heuristic.treedepth_upper_bound ~exact_cutoff:4 g >= Exact.treedepth g)
+
+let disconnected_graphs () =
+  let g = Graph.of_edges ~n:7 [ (0, 1); (1, 2); (4, 5); (5, 6) ] in
+  let model = Heuristic.model g in
+  check "forest model of disconnected graph" true (Elimination.is_model model g);
+  check_int "one root per component" 3 (List.length (Elimination.roots model))
+
+let feeds_the_default_prover () =
+  (* a 60-vertex non-tree graph: the default finder now succeeds *)
+  let rng = Rng.make 317 in
+  let g = Gen.random_bounded_treedepth rng ~n:60 ~depth:3 ~p:0.3 in
+  match Treedepth_cert.default_find_model g with
+  | None -> Alcotest.fail "heuristic fallback missing"
+  | Some model ->
+      check "valid" true (Elimination.is_model model g);
+      let t = Elimination.height model in
+      let scheme = Treedepth_cert.make ~t () in
+      (match Scheme.certify scheme (Instance.make g) with
+      | Some (_, o) -> check "certified at heuristic height" true o.Scheme.accepted
+      | None -> Alcotest.fail "prover declined")
+
+let qcheck_heuristic_valid =
+  QCheck.Test.make ~name:"heuristic model always valid" ~count:20
+    QCheck.(pair (int_range 4 40) int)
+    (fun (n, seed) ->
+      let rng = Rng.make seed in
+      let g = Gen.random_connected rng ~n ~extra_edges:(Rng.int rng n) in
+      Elimination.is_model (Heuristic.model g) g)
+
+let suite =
+  [
+    ( "treedepth:heuristic",
+      [
+        Alcotest.test_case "always a model" `Quick always_valid_model;
+        Alcotest.test_case "exact below cutoff" `Quick matches_exact_on_small;
+        Alcotest.test_case "bound quality" `Quick upper_bound_quality;
+        Alcotest.test_case "disconnected" `Quick disconnected_graphs;
+        Alcotest.test_case "default prover fallback" `Quick feeds_the_default_prover;
+        QCheck_alcotest.to_alcotest qcheck_heuristic_valid;
+      ] );
+  ]

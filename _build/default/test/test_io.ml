@@ -1,0 +1,85 @@
+(* Tests for graph interchange formats. *)
+
+let check = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let graph6_known_values () =
+  (* K3 is the canonical "Bw"; the triangle-free P3 is "Bg" *)
+  check_string "K3" "Bw" (Io.to_graph6 (Gen.clique 3));
+  check_string "P3" "Bg" (Io.to_graph6 (Gen.path 3));
+  check_string "K1" "@" (Io.to_graph6 (Graph.empty 1));
+  (* C5 computed from the format definition *)
+  check_string "C5" "Dhc" (Io.to_graph6 (Gen.cycle 5))
+
+let graph6_roundtrip () =
+  let rng = Rng.make 77 in
+  for _ = 1 to 30 do
+    let n = 1 + Rng.int rng 30 in
+    let g =
+      if Rng.bool rng then Gen.random_tree rng n
+      else Gen.random_connected rng ~n:(max 2 n) ~extra_edges:(Rng.int rng 10)
+    in
+    match Io.of_graph6 (Io.to_graph6 g) with
+    | Ok g' -> check "roundtrip" true (Graph.equal g g')
+    | Error e -> Alcotest.failf "decode failed: %s" e
+  done
+
+let graph6_large_size_form () =
+  (* n = 70 forces the 4-byte size header *)
+  let g = Gen.path 70 in
+  let s = Io.to_graph6 g in
+  check "long form marker" true (s.[0] = '~');
+  match Io.of_graph6 s with
+  | Ok g' -> check "roundtrip" true (Graph.equal g g')
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let graph6_errors () =
+  check "garbage rejected" true (Result.is_error (Io.of_graph6 "B"));
+  check "bad char rejected" true (Result.is_error (Io.of_graph6 "B\x01\x01"));
+  check "empty rejected" true (Result.is_error (Io.of_graph6 ""))
+
+let dot_output () =
+  let s = Io.to_dot ~highlight:[ 0 ] (Gen.path 3) in
+  check "has header" true (String.length s > 0 && String.sub s 0 7 = "graph G");
+  check "has edge" true
+    (let rec contains i =
+       i + 6 <= String.length s
+       && (String.sub s i 6 = "0 -- 1" || contains (i + 1))
+     in
+     contains 0);
+  let d = Elimination.to_dot (Elimination.of_path 7) in
+  check "elim dot is digraph" true (String.sub d 0 7 = "digraph")
+
+let edge_list_roundtrip () =
+  let rng = Rng.make 5 in
+  for _ = 1 to 10 do
+    let g = Gen.random_connected rng ~n:12 ~extra_edges:5 in
+    match Io.of_edge_list (Io.to_edge_list g) with
+    | Ok g' -> check "roundtrip" true (Graph.equal g g')
+    | Error e -> Alcotest.failf "decode failed: %s" e
+  done;
+  check "bad header" true (Result.is_error (Io.of_edge_list "x y\n"));
+  check "count mismatch" true (Result.is_error (Io.of_edge_list "3 2\n0 1\n"))
+
+let qcheck_graph6 =
+  QCheck.Test.make ~name:"graph6 roundtrips random trees" ~count:50
+    QCheck.(pair (int_range 1 40) int)
+    (fun (n, seed) ->
+      let g = Gen.random_tree (Rng.make seed) n in
+      match Io.of_graph6 (Io.to_graph6 g) with
+      | Ok g' -> Graph.equal g g'
+      | Error _ -> false)
+
+let suite =
+  [
+    ( "graph:io",
+      [
+        Alcotest.test_case "graph6 known values" `Quick graph6_known_values;
+        Alcotest.test_case "graph6 roundtrip" `Quick graph6_roundtrip;
+        Alcotest.test_case "graph6 long form" `Quick graph6_large_size_form;
+        Alcotest.test_case "graph6 errors" `Quick graph6_errors;
+        Alcotest.test_case "dot" `Quick dot_output;
+        Alcotest.test_case "edge list" `Quick edge_list_roundtrip;
+        QCheck_alcotest.to_alcotest qcheck_graph6;
+      ] );
+  ]

@@ -1,0 +1,116 @@
+(* Tests for locally checkable labelings via threshold constraints
+   (Appendix C.2 / Naor–Stockmeyer). *)
+
+let check = Alcotest.(check bool)
+
+let inst ?labels g = Instance.make ?labels g
+
+let constraint_semantics () =
+  let col = Lcl.proper_coloring ~colors:3 in
+  check "different colors ok" true
+    (Lcl.valid_at col ~label:0 ~neighbor_labels:[ 1; 2; 1 ]);
+  check "clash rejected" false
+    (Lcl.valid_at col ~label:1 ~neighbor_labels:[ 2; 1 ]);
+  check "out of alphabet" false
+    (Lcl.valid_at col ~label:5 ~neighbor_labels:[]);
+  let mis = Lcl.maximal_independent_set in
+  check "in-set, independent" true (Lcl.valid_at mis ~label:1 ~neighbor_labels:[ 0; 0 ]);
+  check "in-set, clash" false (Lcl.valid_at mis ~label:1 ~neighbor_labels:[ 1 ]);
+  check "out-set, dominated" true (Lcl.valid_at mis ~label:0 ~neighbor_labels:[ 0; 1 ]);
+  check "out-set, undominated" false (Lcl.valid_at mis ~label:0 ~neighbor_labels:[ 0 ])
+
+let greedy_solvers () =
+  let rng = Rng.make 33 in
+  for _ = 1 to 10 do
+    let g = Gen.random_connected rng ~n:15 ~extra_edges:(Rng.int rng 10) in
+    (* greedy coloring with Δ+1 colors always succeeds and is proper *)
+    let maxdeg =
+      List.fold_left (fun acc v -> max acc (Graph.degree g v)) 0 (Graph.vertices g)
+    in
+    (match Lcl.greedy_coloring ~colors:(maxdeg + 1) g with
+    | Some labels ->
+        check "proper" true (Lcl.valid (Lcl.proper_coloring ~colors:(maxdeg + 1)) g ~labels)
+    | None -> Alcotest.fail "greedy must succeed with Δ+1 colors");
+    (* greedy MIS satisfies the MIS constraint *)
+    let labels = Lcl.greedy_mis g in
+    check "mis valid" true (Lcl.valid Lcl.maximal_independent_set g ~labels)
+  done
+
+let labeled_scheme () =
+  (* certify a correct input coloring of C6; reject a spoiled one *)
+  let lcl = Lcl.proper_coloring ~colors:2 in
+  let good = inst ~labels:[| 0; 1; 0; 1; 0; 1 |] (Gen.cycle 6) in
+  let scheme = Lcl.scheme_of_labeled lcl in
+  (match Scheme.certify scheme good with
+  | Some (_, o) -> check "good coloring accepted" true o.Scheme.accepted
+  | None -> Alcotest.fail "prover declined a valid coloring");
+  let bad = inst ~labels:[| 0; 1; 0; 1; 1; 1 |] (Gen.cycle 6) in
+  check "bad coloring declined" true (scheme.Scheme.prover bad = None);
+  (* and no forged certificates help: the certs must match the inputs *)
+  let rng = Rng.make 3 in
+  let attack = Attack.random_assignments rng scheme bad ~trials:200 ~max_bits:4 in
+  check "unfoolable" true (attack.Attack.fooled = None);
+  (* lying about one's own label is caught *)
+  let certs = Option.get (scheme.Scheme.prover good) in
+  let forged = Array.copy certs in
+  forged.(4) <- Bitstring.flip forged.(4) 0;
+  let o = Scheme.run scheme good forged in
+  check "label lie caught" false o.Scheme.accepted
+
+let search_scheme () =
+  (* "an MIS exists" — always true; the labeling travels in certs *)
+  let scheme =
+    Lcl.scheme_of_search Lcl.maximal_independent_set
+      ~solve:(fun g -> Some (Lcl.greedy_mis g))
+  in
+  let rng = Rng.make 21 in
+  for _ = 1 to 8 do
+    let g = Gen.random_connected rng ~n:12 ~extra_edges:(Rng.int rng 6) in
+    match Scheme.certify scheme (inst g) with
+    | Some (_, o) ->
+        check "mis certified" true o.Scheme.accepted;
+        check "constant certificate" true (o.Scheme.max_bits <= 1)
+    | None -> Alcotest.fail "MIS always exists"
+  done;
+  (* 2-coloring exists iff bipartite *)
+  let two =
+    Lcl.scheme_of_search (Lcl.proper_coloring ~colors:2)
+      ~solve:(Lcl.greedy_coloring ~colors:2)
+  in
+  (* greedy in vertex order 2-colors paths and even cycles *)
+  (match Scheme.certify two (inst (Gen.path 8)) with
+  | Some (_, o) -> check "path 2-colored" true o.Scheme.accepted
+  | None -> Alcotest.fail "paths are bipartite (greedy order works)");
+  check "odd cycle declined" true (two.Scheme.prover (inst (Gen.cycle 5)) = None);
+  let attack =
+    Attack.random_assignments (Rng.make 9) two (inst (Gen.cycle 5)) ~trials:300
+      ~max_bits:3
+  in
+  check "no forged 2-coloring of C5" true (attack.Attack.fooled = None)
+
+let threshold_lcl_beyond_bounded_degree () =
+  (* at-most-k-neighbors-in-set: a genuinely counting constraint *)
+  let lcl = Lcl.at_most_k_neighbors_in_set 2 in
+  let star = Gen.star 8 in
+  (* center out of the set with 7 in-set leaves: violates k=2 *)
+  check "7 in-set neighbors too many" false
+    (Lcl.valid lcl star ~labels:(Array.init 8 (fun v -> if v = 0 then 0 else 1)));
+  (* center in the set: label-1 vertices are unconstrained *)
+  check "center in set is fine" true
+    (Lcl.valid lcl star ~labels:(Array.init 8 (fun v -> if v = 0 then 1 else 1)));
+  (* two in-set leaves: fine *)
+  check "2 in-set neighbors ok" true
+    (Lcl.valid lcl star ~labels:(Array.init 8 (fun v -> if v >= 1 && v <= 2 then 1 else 0)))
+
+let suite =
+  [
+    ( "lcl",
+      [
+        Alcotest.test_case "constraint semantics" `Quick constraint_semantics;
+        Alcotest.test_case "greedy solvers" `Quick greedy_solvers;
+        Alcotest.test_case "labeled scheme" `Quick labeled_scheme;
+        Alcotest.test_case "search scheme" `Quick search_scheme;
+        Alcotest.test_case "threshold beyond bounded degree" `Quick
+          threshold_lcl_beyond_bounded_degree;
+      ] );
+  ]

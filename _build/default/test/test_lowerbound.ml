@@ -1,0 +1,318 @@
+(* Tests for Section 7: the EQUALITY communication game, the reduction
+   framework (Prop 7.2), and the two gadgets (Thms 2.3 and 2.5). *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let rng () = Rng.make 7777
+
+(* --- EQUALITY --- *)
+
+let equality_trivial_protocol () =
+  let proto = Equality.trivial ~len:8 in
+  check "decides equality" true
+    (Equality.decides_equality (rng ()) proto ~len:8 ~samples:100);
+  check_int "uses exactly ell bits" 8 proto.Equality.cert_bits
+
+let equality_bounds () =
+  check_int "fooling bound" 12 (Equality.fooling_set_bound ~len:12);
+  check "pigeonhole at len 3, bits 1" true
+    (Equality.exhaustive_lower_bound_check ~len:3 ~max_bits:1);
+  check "pigeonhole at len 4, bits 2" true
+    (Equality.exhaustive_lower_bound_check ~len:4 ~max_bits:2);
+  check "no collision claim when bits >= len" false
+    (Equality.exhaustive_lower_bound_check ~len:3 ~max_bits:3)
+
+let equality_broken_protocol_detected () =
+  (* a protocol that ignores the certificate cannot be sound *)
+  let broken =
+    {
+      Equality.name = "broken";
+      cert_bits = 0;
+      prove = (fun _ _ -> Some Bitstring.empty);
+      alice = (fun _ _ -> true);
+      bob = (fun _ _ -> true);
+    }
+  in
+  check "broken detected" false
+    (Equality.decides_equality (rng ()) broken ~len:6 ~samples:50)
+
+(* --- framework structural checks --- *)
+
+let zeros len = Bitstring.of_bools (List.init len (fun _ -> false))
+
+let auto_gadget = lazy (Automorphism_gadget.make ~n:7 ~depth:3)
+
+let td_gadget = lazy (Treedepth_gadget.make ~m:3)
+
+let partition_conditions () =
+  let check_gadget (g : Framework.gadget) =
+    let r = Rng.make 31 in
+    for _ = 1 to 5 do
+      let sa = Rng.bits r g.Framework.ell in
+      let sb = Rng.bits r g.Framework.ell in
+      match Framework.check_partition g sa sb with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" g.Framework.name e
+    done
+  in
+  check_gadget (Lazy.force auto_gadget);
+  check_gadget (Lazy.force td_gadget)
+
+let cut_sizes () =
+  let auto = Lazy.force auto_gadget in
+  check_int "automorphism gadget r = 2" 2
+    (Framework.cut_size auto (zeros auto.Framework.ell) (zeros auto.Framework.ell));
+  let td = Lazy.force td_gadget in
+  (* r = 4m + 1 with m = 3 *)
+  check_int "treedepth gadget r = 13" 13
+    (Framework.cut_size td (zeros td.Framework.ell) (zeros td.Framework.ell))
+
+let lower_bound_values () =
+  let auto = Lazy.force auto_gadget in
+  (* ell / 2 with r = 2: substantial per-vertex bound *)
+  check "auto gadget bound positive" true (Framework.lower_bound_bits auto > 0.5);
+  let td = Lazy.force td_gadget in
+  check "td gadget bound positive" true (Framework.lower_bound_bits td > 0.1)
+
+(* --- Theorem 2.3 gadget --- *)
+
+let automorphism_equivalence () =
+  let r = rng () in
+  let g = Lazy.force auto_gadget in
+  let ell = g.Framework.ell in
+  for _ = 1 to 6 do
+    let sa = Rng.bits r ell in
+    check "equal strings" true (Automorphism_gadget.equivalence_holds ~n:7 ~depth:3 sa sa);
+    let sb = Rng.bits r ell in
+    check "pair" true (Automorphism_gadget.equivalence_holds ~n:7 ~depth:3 sa sb)
+  done
+
+let automorphism_injection () =
+  (* distinct strings map to non-isomorphic trees *)
+  let seen = Hashtbl.create 64 in
+  let ell = (Lazy.force auto_gadget).Framework.ell in
+  let rec all_strings len =
+    if len = 0 then [ [] ]
+    else List.concat_map (fun t -> [ true :: t; false :: t ]) (all_strings (len - 1))
+  in
+  List.iter
+    (fun bits ->
+      let t = Automorphism_gadget.tree_of_string ~n:7 ~depth:3 (Bitstring.of_bools bits) in
+      let key = Rooted.canonical t in
+      check "injective" false (Hashtbl.mem seen key);
+      Hashtbl.replace seen key ();
+      check_int "right size" 7 (Rooted.size t);
+      check "depth bound" true (Rooted.height t <= 3))
+    (all_strings ell)
+
+let automorphism_graph_shape () =
+  let g = Lazy.force auto_gadget in
+  let inst = g.Framework.build (zeros g.Framework.ell) (zeros g.Framework.ell) in
+  check_int "n = 2*7+2" 16 (Graph.n inst.Instance.graph);
+  check "connected" true (Graph.is_connected inst.Instance.graph);
+  check "is a tree" true (Graph.is_tree inst.Instance.graph)
+
+let bound_curve_monotone () =
+  let curve = Automorphism_gadget.bound_curve ~depth:3 ~max_n:25 in
+  check "nonempty" true (List.length curve > 10);
+  let rec increasing = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  check "strictly increasing" true (increasing curve);
+  (* near-linear: bits(25) / bits(12) should exceed 1.6 *)
+  let v n = List.assoc n curve in
+  check "super-logarithmic growth" true (v 25 /. v 12 > 1.6)
+
+(* --- Theorem 2.5 gadget --- *)
+
+let td_gadget_structure () =
+  let pa = [| 0; 1; 2 |] in
+  let inst = Treedepth_gadget.build_from_permutations ~m:3 pa pa in
+  check_int "n = 8m+1" 25 (Graph.n inst.Instance.graph);
+  check "connected" true (Graph.is_connected inst.Instance.graph);
+  (* apex adjacent to all alpha vertices (2m of them) *)
+  check_int "apex degree" 6 (Graph.degree inst.Instance.graph (Treedepth_gadget.apex ~m:3));
+  (* removing the apex leaves disjoint cycles *)
+  let rest = Graph.remove_vertex inst.Instance.graph (Treedepth_gadget.apex ~m:3) in
+  check "2-regular without apex" true
+    (List.for_all (fun v -> Graph.degree rest v = 2) (Graph.vertices rest))
+
+let td_gadget_cycles () =
+  let id3 = [| 0; 1; 2 |] in
+  Alcotest.(check (list int)) "equal: three 8-cycles" [ 8; 8; 8 ]
+    (Treedepth_gadget.cycle_lengths ~m:3 id3 id3);
+  let swap = [| 1; 0; 2 |] in
+  Alcotest.(check (list int)) "one transposition: 16 + 8" [ 8; 16 ]
+    (Treedepth_gadget.cycle_lengths ~m:3 id3 swap);
+  let rot = [| 1; 2; 0 |] in
+  Alcotest.(check (list int)) "3-cycle: one 24-cycle" [ 24 ]
+    (Treedepth_gadget.cycle_lengths ~m:3 id3 rot)
+
+let td_gadget_dichotomy_analytic () =
+  let id3 = [| 0; 1; 2 |] in
+  check_int "equal -> 5" 5 (Treedepth_gadget.analytic_treedepth ~m:3 id3 id3);
+  check "classified equal" true
+    (Treedepth_gadget.paper_gap ~m:3 id3 id3 = `Equal_td5);
+  let swap = [| 1; 0; 2 |] in
+  check "unequal -> >= 6" true
+    (Treedepth_gadget.analytic_treedepth ~m:3 id3 swap >= 6);
+  check "classified unequal" true
+    (Treedepth_gadget.paper_gap ~m:3 id3 swap = `Unequal_td6plus)
+
+let td_gadget_exact_validation () =
+  (* m = 2: 17 vertices, exact solver feasible — Lemma 7.3 verified
+     against ground truth *)
+  let id2 = [| 0; 1 |] and swap2 = [| 1; 0 |] in
+  let eq_inst = Treedepth_gadget.build_from_permutations ~m:2 id2 id2 in
+  let ne_inst = Treedepth_gadget.build_from_permutations ~m:2 id2 swap2 in
+  let td_eq = Exact.treedepth eq_inst.Instance.graph in
+  let td_ne = Exact.treedepth ne_inst.Instance.graph in
+  check_int "equal matchings: treedepth exactly 5" 5 td_eq;
+  check "unequal matchings: treedepth at least 6" true (td_ne >= 6);
+  (* analytic formula agrees with the exact solver *)
+  check_int "analytic = exact (equal)" td_eq
+    (Treedepth_gadget.analytic_treedepth ~m:2 id2 id2);
+  check_int "analytic = exact (unequal)" td_ne
+    (Treedepth_gadget.analytic_treedepth ~m:2 id2 swap2)
+
+let td_gadget_permutation_injection () =
+  let seen = Hashtbl.create 16 in
+  let ell = (Lazy.force td_gadget).Framework.ell in
+  let rec all_strings len =
+    if len = 0 then [ [] ]
+    else List.concat_map (fun t -> [ true :: t; false :: t ]) (all_strings (len - 1))
+  in
+  List.iter
+    (fun bits ->
+      let p = Treedepth_gadget.permutation_of_string ~m:3 (Bitstring.of_bools bits) in
+      let key = Array.to_list p in
+      check "injective" false (Hashtbl.mem seen key);
+      Hashtbl.replace seen key ())
+    (all_strings ell)
+
+(* --- Prop 7.2 simulation: scheme -> protocol --- *)
+
+let simulation_decides_equality () =
+  (* plug the exact universal certification of "treedepth <= 5" into
+     the m=2 gadget: the resulting protocol must decide EQUALITY *)
+  let scheme =
+    Universal.make ~name:"treedepth<=5" (fun g -> Exact.treedepth g <= 5)
+  in
+  let gadget = Treedepth_gadget.make ~m:2 in
+  let proto = Framework.protocol_of_scheme scheme gadget in
+  check "protocol decides equality" true
+    (Equality.decides_equality (rng ()) proto ~len:gadget.Framework.ell
+       ~samples:8)
+
+let simulation_automorphism () =
+  let scheme =
+    Universal.make ~name:"fpf-automorphism" Automorphism_gadget.property
+  in
+  let gadget = Automorphism_gadget.make ~n:6 ~depth:3 in
+  let proto = Framework.protocol_of_scheme scheme gadget in
+  check "protocol decides equality" true
+    (Equality.decides_equality (rng ()) proto ~len:gadget.Framework.ell
+       ~samples:6)
+
+let simulation_completeness_details () =
+  (* on an equal pair, the honest certificate convinces both players *)
+  let scheme =
+    Universal.make ~name:"treedepth<=5" (fun g -> Exact.treedepth g <= 5)
+  in
+  let gadget = Treedepth_gadget.make ~m:2 in
+  let proto = Framework.protocol_of_scheme scheme gadget in
+  let s = Rng.bits (rng ()) gadget.Framework.ell in
+  match proto.Equality.prove s s with
+  | None -> Alcotest.fail "honest prover must succeed on equal strings"
+  | Some cert ->
+      check "alice accepts" true (proto.Equality.alice s cert);
+      check "bob accepts" true (proto.Equality.bob s cert)
+
+let suite =
+  [
+    ( "lowerbound:equality",
+      [
+        Alcotest.test_case "trivial protocol" `Quick equality_trivial_protocol;
+        Alcotest.test_case "bounds" `Quick equality_bounds;
+        Alcotest.test_case "broken protocol detected" `Quick
+          equality_broken_protocol_detected;
+      ] );
+    ( "lowerbound:framework",
+      [
+        Alcotest.test_case "partition conditions" `Quick partition_conditions;
+        Alcotest.test_case "cut sizes" `Quick cut_sizes;
+        Alcotest.test_case "bound values" `Quick lower_bound_values;
+      ] );
+    ( "lowerbound:automorphism (Thm 2.3)",
+      [
+        Alcotest.test_case "gadget equivalence" `Quick automorphism_equivalence;
+        Alcotest.test_case "injection" `Quick automorphism_injection;
+        Alcotest.test_case "graph shape" `Quick automorphism_graph_shape;
+        Alcotest.test_case "Ω̃(n) curve" `Quick bound_curve_monotone;
+      ] );
+    ( "lowerbound:treedepth-gadget (Thm 2.5)",
+      [
+        Alcotest.test_case "structure (Fig 3)" `Quick td_gadget_structure;
+        Alcotest.test_case "cycle lengths" `Quick td_gadget_cycles;
+        Alcotest.test_case "dichotomy analytic (Lemma 7.3)" `Quick
+          td_gadget_dichotomy_analytic;
+        Alcotest.test_case "dichotomy exact (m=2)" `Quick td_gadget_exact_validation;
+        Alcotest.test_case "permutation injection" `Quick
+          td_gadget_permutation_injection;
+      ] );
+    ( "lowerbound:simulation (Prop 7.2)",
+      [
+        Alcotest.test_case "treedepth protocol" `Quick simulation_decides_equality;
+        Alcotest.test_case "automorphism protocol" `Quick simulation_automorphism;
+        Alcotest.test_case "completeness details" `Quick
+          simulation_completeness_details;
+      ] );
+  ]
+
+(* appended: analytic model tests *)
+let td_gadget_analytic_model () =
+  let id3 = [| 0; 1; 2 |] and rot = [| 1; 2; 0 |] in
+  List.iter
+    (fun (pa, pb) ->
+      let inst = Treedepth_gadget.build_from_permutations ~m:3 pa pb in
+      let model = Treedepth_gadget.analytic_model ~m:3 pa pb in
+      check "is a model" true (Elimination.is_model model inst.Instance.graph);
+      check_int "height = analytic treedepth"
+        (Treedepth_gadget.analytic_treedepth ~m:3 pa pb)
+        (Elimination.height model))
+    [ (id3, id3); (id3, rot); (rot, id3) ]
+
+let td_gadget_scheme_on_large_instance () =
+  (* certify treedepth <= 5 on a 41-vertex gadget (m = 5) via the
+     analytic model — far beyond the exact solver's comfort zone *)
+  let m = 5 in
+  let id5 = Array.init m Fun.id in
+  let inst = Treedepth_gadget.build_from_permutations ~m id5 id5 in
+  let model = Treedepth_gadget.analytic_model ~m id5 id5 in
+  let scheme = Treedepth_cert.make_with_model ~t:5 model in
+  (match Scheme.certify scheme inst with
+  | Some (_, o) -> check "accepted" true o.Scheme.accepted
+  | None -> Alcotest.fail "prover declined");
+  (* unequal matchings: treedepth 6 certificate works, 5 does not
+     (the model's height is 6) *)
+  let rot = Array.init m (fun i -> (i + 1) mod m) in
+  let inst' = Treedepth_gadget.build_from_permutations ~m id5 rot in
+  let model' = Treedepth_gadget.analytic_model ~m id5 rot in
+  check "unequal model deeper" true (Elimination.height model' >= 6);
+  let scheme6 = Treedepth_cert.make_with_model ~t:(Elimination.height model') model' in
+  match Scheme.certify scheme6 inst' with
+  | Some (_, o) -> check "accepted at t=6+" true o.Scheme.accepted
+  | None -> Alcotest.fail "prover declined"
+
+let suite =
+  suite
+  @ [
+      ( "lowerbound:analytic-model",
+        [
+          Alcotest.test_case "model correctness" `Quick td_gadget_analytic_model;
+          Alcotest.test_case "large-instance scheme" `Quick
+            td_gadget_scheme_on_large_instance;
+        ] );
+    ]

@@ -1,0 +1,129 @@
+(* Tests for radius-r verification (Appendix A.1): the certificate-free
+   diameter scheme at radius d+1, and the executable
+   indistinguishability argument showing radius 1 cannot do it. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let inst ?ids g = Instance.make ?ids g
+
+let ball_shapes () =
+  let g = Gen.path 7 in
+  let certs = Array.make 7 Bitstring.empty in
+  let b = Radius.ball_of (inst g) certs ~r:2 3 in
+  check_int "ball size" 5 (Graph.n b.Radius.graph);
+  check_int "center local index" 0 b.Radius.center;
+  check_int "center distance" 0 b.Radius.dist.(0);
+  check "distances bounded" true (Array.for_all (fun d -> d <= 2) b.Radius.dist);
+  (* the ball sees its internal edges *)
+  check_int "edges in ball" 4 (Graph.m b.Radius.graph);
+  (* at the end of the path the ball is smaller *)
+  let b0 = Radius.ball_of (inst g) certs ~r:2 0 in
+  check_int "corner ball" 3 (Graph.n b0.Radius.graph)
+
+let diameter_scheme_completeness () =
+  let scheme = Radius.diameter_at_most ~d:2 in
+  check_int "radius is d+1" 3 scheme.Radius.radius;
+  List.iter
+    (fun g ->
+      match Radius.certify scheme (inst g) with
+      | Some (certs, o) ->
+          check "accepted" true o.Scheme.accepted;
+          check "no certificates" true
+            (Array.for_all (fun c -> Bitstring.length c = 0) certs)
+      | None -> Alcotest.fail "yes-instance declined")
+    [ Gen.star 8; Gen.cycle 4; Gen.cycle 5; Gen.clique 5; Gen.grid 2 2 ]
+
+let diameter_scheme_soundness () =
+  let scheme = Radius.diameter_at_most ~d:2 in
+  List.iter
+    (fun g ->
+      (* there are no certificates to forge: the verifier must reject
+         the empty assignment *)
+      let certs = Array.make (Graph.n g) Bitstring.empty in
+      let o = Radius.run scheme (inst g) certs in
+      check "rejected" false o.Scheme.accepted)
+    [ Gen.path 4; Gen.cycle 7; Gen.grid 2 4 ]
+
+let diameter_scheme_various_d () =
+  List.iter
+    (fun d ->
+      let scheme = Radius.diameter_at_most ~d in
+      List.iter
+        (fun n ->
+          let g = Gen.cycle n in
+          let is_yes = Graph.diameter g <= d in
+          let certs = Array.make n Bitstring.empty in
+          let o = Radius.run scheme (inst g) certs in
+          check
+            (Printf.sprintf "C%d at d=%d" n d)
+            is_yes o.Scheme.accepted)
+        [ 4; 5; 6; 7; 8; 9 ])
+    [ 2; 3; 4 ]
+
+(* The indistinguishability construction: every radius-1 view of C6
+   (empty certificates) also occurs in SOME yes-instance (a C4 with
+   suitable identifiers).  Hence a certificate-free radius-1 verifier
+   that accepts all yes-instances accepts C6 — which has diameter 3.
+   This is the executable content of "diameter 2 cannot be checked at
+   radius 1 without certificates". *)
+let radius1_indistinguishability () =
+  let ids6 = [| 1; 2; 4; 6; 5; 3 |] in
+  let c6 = inst ~ids:ids6 (Gen.cycle 6) in
+  let empty6 = Array.make 6 Bitstring.empty in
+  List.iter
+    (fun v ->
+      let view6 = Scheme.view_of c6 empty6 v in
+      (* build a C4 (diameter 2!) whose vertex 0 sees the same view:
+         same own id, same two neighbor ids (plus one far vertex with a
+         fresh id) *)
+      let my = view6.Scheme.me in
+      let nbr_ids = List.map fst view6.Scheme.nbrs in
+      match nbr_ids with
+      | [ a; b ] ->
+          let fresh = 63 in
+          (* C4 on vertices 0-1-2-3-0 with ids my, a, fresh, b *)
+          let c4 = inst ~ids:[| my; a; fresh; b |] (Gen.cycle 4) in
+          check "yes instance" true (Graph.diameter (Gen.cycle 4) <= 2);
+          let empty4 = Array.make 4 Bitstring.empty in
+          let view4 = Scheme.view_of c4 empty4 0 in
+          check
+            (Printf.sprintf "views agree for vertex %d" v)
+            true
+            (view4.Scheme.me = view6.Scheme.me
+            && List.map fst view4.Scheme.nbrs = List.map fst view6.Scheme.nbrs
+            && view4.Scheme.label = view6.Scheme.label)
+      | _ -> Alcotest.fail "cycle vertex must have two neighbors")
+    (Graph.vertices (Gen.cycle 6))
+
+let radius1_embedding () =
+  (* of_radius1 wraps an ordinary scheme unchanged *)
+  let wrapped = Radius.of_radius1 Spanning_tree.acyclicity in
+  (match Radius.certify wrapped (inst (Gen.complete_binary_tree 3)) with
+  | Some (_, o) -> check "accepted" true o.Scheme.accepted
+  | None -> Alcotest.fail "tree declined");
+  check "declines cycle" true
+    (wrapped.Radius.prover (inst (Gen.cycle 5)) = None);
+  (* same rejections as the native runner *)
+  let instance = inst (Gen.cycle 5) in
+  let certs = Array.make 5 (Bitstring.of_string "1010") in
+  let native = Scheme.run Spanning_tree.acyclicity instance certs in
+  let lifted = Radius.run wrapped instance certs in
+  check "same verdict" native.Scheme.accepted lifted.Scheme.accepted
+
+let suite =
+  [
+    ( "radius:model",
+      [
+        Alcotest.test_case "ball shapes" `Quick ball_shapes;
+        Alcotest.test_case "radius-1 embedding" `Quick radius1_embedding;
+      ] );
+    ( "radius:diameter (App A.1)",
+      [
+        Alcotest.test_case "completeness" `Quick diameter_scheme_completeness;
+        Alcotest.test_case "soundness" `Quick diameter_scheme_soundness;
+        Alcotest.test_case "various d" `Quick diameter_scheme_various_d;
+        Alcotest.test_case "radius-1 indistinguishability" `Quick
+          radius1_indistinguishability;
+      ] );
+  ]

@@ -1,0 +1,366 @@
+(* Tests for the certification framework and the simpler schemes:
+   spanning trees, vertex count, acyclicity, universal, existential-FO,
+   depth-2 fragment, and the scheme combinators.
+
+   Pattern: completeness (prover's certificates accepted everywhere on
+   yes-instances), refusal on no-instances, and adversarial soundness
+   (random corruption, transplants, and exhaustive tiny budgets never
+   fool the verifier on no-instances). *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let inst ?ids g = Instance.make ?ids g
+
+let complete scheme instance =
+  match Scheme.certify scheme instance with
+  | None -> Alcotest.failf "%s: prover declined a yes-instance" scheme.Scheme.name
+  | Some (_, outcome) ->
+      if not outcome.Scheme.accepted then
+        Alcotest.failf "%s: rejected: %s" scheme.Scheme.name
+          (String.concat "; "
+             (List.map
+                (fun (v, r) -> Printf.sprintf "%d:%s" v r)
+                outcome.Scheme.rejections))
+
+let declines scheme instance =
+  check
+    (scheme.Scheme.name ^ " declines no-instance")
+    true
+    (scheme.Scheme.prover instance = None)
+
+(* soundness probe on a no-instance: nothing fools all vertices *)
+let unfoolable ?(trials = 300) ?(max_bits = 24) scheme instance =
+  let rng = Rng.make 1234 in
+  let report = Attack.random_assignments rng scheme instance ~trials ~max_bits in
+  check (scheme.Scheme.name ^ " random attack") true (report.Attack.fooled = None)
+
+(* --- instance basics --- *)
+
+let instance_ids () =
+  let i = inst (Gen.path 4) in
+  check_int "default ids" 1 (Instance.id_of i 0);
+  check_int "id bits" 3 i.Instance.id_bits;
+  Alcotest.(check (list int)) "neighbor ids" [ 1; 3 ] (Instance.neighbor_ids i 1);
+  check "reverse lookup" true (Instance.vertex_of_id i 3 = Some 2);
+  check "missing id" true (Instance.vertex_of_id i 9 = None);
+  check "duplicate ids rejected" true
+    (try ignore (Instance.make ~ids:[| 1; 1; 2; 3 |] (Gen.path 4)); false
+     with Invalid_argument _ -> true)
+
+let instance_random_ids () =
+  let rng = Rng.make 5 in
+  let i = Instance.with_random_ids rng (inst (Gen.cycle 6)) in
+  let ids = Array.to_list i.Instance.ids in
+  check_int "still 6 ids" 6 (List.length (List.sort_uniq Int.compare ids));
+  check "polynomial range" true (List.for_all (fun id -> id >= 1 && id <= 36) ids)
+
+(* --- spanning tree --- *)
+
+let spanning_tree_complete () =
+  List.iter
+    (fun g -> complete (Spanning_tree.scheme ()) (inst g))
+    [ Gen.path 5; Gen.cycle 7; Gen.star 6; Gen.clique 4; Gen.grid 3 3 ]
+
+let spanning_tree_sizes () =
+  (* O(log n): id widths dominate *)
+  let size n =
+    Option.get (Scheme.certificate_size (Spanning_tree.scheme ()) (inst (Gen.path n)))
+  in
+  check "grows slowly" true (size 128 <= size 8 + 24);
+  check "log-ish" true (size 128 <= 4 * Combin.ceil_log2 129 + 16)
+
+let spanning_tree_random_ids () =
+  let rng = Rng.make 77 in
+  for _ = 1 to 5 do
+    complete (Spanning_tree.scheme ())
+      (Instance.with_random_ids rng (inst (Gen.random_connected rng ~n:12 ~extra_edges:4)))
+  done
+
+(* --- acyclicity --- *)
+
+let acyclicity_complete () =
+  List.iter
+    (fun g -> complete Spanning_tree.acyclicity (inst g))
+    [ Gen.path 6; Gen.star 7; Gen.complete_binary_tree 3;
+      Gen.caterpillar ~spine:4 ~legs:2 ]
+
+let acyclicity_declines () =
+  List.iter
+    (fun g -> declines Spanning_tree.acyclicity (inst g))
+    [ Gen.cycle 5; Gen.clique 4; Gen.grid 2 3 ]
+
+let acyclicity_sound () =
+  List.iter
+    (fun g -> unfoolable Spanning_tree.acyclicity (inst g))
+    [ Gen.cycle 5; Gen.grid 2 3 ]
+
+let acyclicity_transplant () =
+  (* transplant a valid path certification onto a cycle of equal size:
+     must be caught *)
+  let from_instance = inst (Gen.path 6) in
+  let to_instance =
+    inst (Graph.of_edges ~n:6 ((5, 0) :: Graph.edges (Gen.path 6)))
+  in
+  let r =
+    Attack.transplant Spanning_tree.acyclicity ~from_instance ~to_instance
+  in
+  check "transplant caught" true (r.Attack.fooled = None)
+
+let acyclicity_exhaustive_tiny () =
+  (* triangle with 2-bit certificates: exhaustive refutation *)
+  let r =
+    Attack.exhaustive Spanning_tree.acyclicity (inst (Gen.cycle 3)) ~max_bits:2
+  in
+  check "exhaustive: always a rejector" true (r.Attack.fooled = None);
+  check "tried everything" true (r.Attack.trials = 7 * 7 * 7)
+
+(* --- vertex count --- *)
+
+let vertex_count_complete () =
+  let scheme = Spanning_tree.vertex_count ~expected:(fun n -> n = 9) "n=9" in
+  complete scheme (inst (Gen.grid 3 3));
+  declines scheme (inst (Gen.path 8))
+
+let vertex_count_sound () =
+  (* claim n = 5 on a 6-vertex path: soundness via attacks *)
+  let scheme = Spanning_tree.vertex_count ~expected:(fun n -> n = 5) "n=5" in
+  unfoolable scheme (inst (Gen.path 6));
+  (* and transplant the honest n=5 certs onto the 6-path: caught *)
+  let ok = inst (Gen.path 5) in
+  (match Scheme.certify scheme ok with
+  | Some (_, o) -> check "complete on P5" true o.Scheme.accepted
+  | None -> Alcotest.fail "P5 should be certifiable");
+  let parity = Spanning_tree.vertex_count ~expected:(fun n -> n mod 2 = 0) "even" in
+  complete parity (inst (Gen.path 6));
+  declines parity (inst (Gen.path 5));
+  unfoolable parity (inst (Gen.path 5))
+
+let vertex_count_sizes () =
+  let size n = Spanning_tree.count_cert_size (inst (Gen.path n)) in
+  (* Θ(log n) *)
+  check "log growth" true (size 256 <= size 16 * 3)
+
+(* --- universal scheme --- *)
+
+let universal_complete () =
+  let tri_free = Universal.make ~name:"triangle-free" Props.triangle_free.Props.check in
+  complete tri_free (inst (Gen.cycle 5));
+  complete tri_free (inst (Gen.path 6));
+  declines tri_free (inst (Gen.clique 3))
+
+let universal_sound () =
+  let tri_free = Universal.make ~name:"triangle-free" Props.triangle_free.Props.check in
+  unfoolable ~max_bits:40 tri_free (inst (Gen.clique 3));
+  (* transplant: certify C5, replay on C5-plus-chord (has a triangle) *)
+  let c5 = Gen.cycle 5 in
+  let chord = Graph.add_edge c5 0 2 in
+  let r =
+    Attack.transplant tri_free ~from_instance:(inst c5) ~to_instance:(inst chord)
+  in
+  check "transplant caught" true (r.Attack.fooled = None)
+
+let universal_of_formula () =
+  let phi = Parser.parse_exn "forall x. forall y. x = y | x -- y" in
+  let s = Universal.of_formula phi in
+  complete s (inst (Gen.clique 4));
+  declines s (inst (Gen.path 3))
+
+let universal_size_quadratic () =
+  let size n = Universal.cert_size (inst (Gen.clique n)) in
+  check "quadratic-ish growth" true (size 16 > 3 * size 8)
+
+(* --- existential FO --- *)
+
+let existential_strip () =
+  let phi = Parser.parse_exn "exists x. exists y. x -- y & ~(x = y)" in
+  match Existential_fo.strip_existentials phi with
+  | Some (vars, _) -> Alcotest.(check (list string)) "vars" [ "x"; "y" ] vars
+  | None -> Alcotest.fail "should strip"
+
+let existential_complete () =
+  (* "there exist two adjacent vertices of degree... keep simple:
+     a triangle exists" *)
+  let phi =
+    Parser.parse_exn "exists x. exists y. exists z. x -- y & y -- z & x -- z"
+  in
+  let s = Existential_fo.make phi in
+  complete s (inst (Graph.add_edge (Gen.cycle 5) 0 2));
+  complete s (inst (Gen.clique 4));
+  declines s (inst (Gen.cycle 5));
+  declines s (inst (Gen.path 4))
+
+let existential_sound () =
+  let phi =
+    Parser.parse_exn "exists x. exists y. exists z. x -- y & y -- z & x -- z"
+  in
+  let s = Existential_fo.make phi in
+  unfoolable ~max_bits:40 s (inst (Gen.cycle 5))
+
+let existential_sizes () =
+  let phi = Parser.parse_exn "exists x. exists y. x -- y" in
+  let s = Existential_fo.make phi in
+  let size n = Option.get (Scheme.certificate_size s (inst (Gen.path n))) in
+  check "O(k log n)" true (size 128 <= 2 * size 8 + 40)
+
+let existential_rejects_universal () =
+  check "refuses universal sentences" true
+    (try
+       ignore (Existential_fo.make (Parser.parse_exn "forall x. x = x"));
+       false
+     with Invalid_argument _ -> true)
+
+(* --- depth-2 fragment --- *)
+
+let depth2_complete_and_declines () =
+  let p5 = inst (Gen.path 5) and k4 = inst (Gen.clique 4) in
+  let k1 = inst (Graph.empty 1) and star = inst (Gen.star 5) in
+  complete Depth2_fo.at_most_one_vertex k1;
+  (* trivial schemes never decline: their verifier rejects instead *)
+  (match Scheme.certify Depth2_fo.at_most_one_vertex p5 with
+  | Some (_, o) -> check "n<=1 rejected on P5" false o.Scheme.accepted
+  | None -> Alcotest.fail "trivial scheme always produces certificates");
+  complete Depth2_fo.more_than_one_vertex p5;
+  complete Depth2_fo.is_clique k4;
+  declines Depth2_fo.is_clique star;
+  complete Depth2_fo.not_clique star;
+  declines Depth2_fo.not_clique k4;
+  complete Depth2_fo.has_dominating_vertex star;
+  complete Depth2_fo.has_dominating_vertex k4;
+  declines Depth2_fo.has_dominating_vertex p5;
+  complete Depth2_fo.no_dominating_vertex p5;
+  declines Depth2_fo.no_dominating_vertex star
+
+let depth2_sound () =
+  unfoolable Depth2_fo.is_clique (inst (Gen.star 5));
+  unfoolable Depth2_fo.has_dominating_vertex (inst (Gen.path 5));
+  unfoolable Depth2_fo.no_dominating_vertex (inst (Gen.star 5))
+
+(* --- combinators --- *)
+
+let combinators () =
+  let acy = Spanning_tree.acyclicity in
+  let clique = Depth2_fo.is_clique in
+  let both = Scheme.conjoin ~name:"tree-and-clique" acy clique in
+  (* K2 is both a tree and a clique *)
+  complete both (inst (Gen.path 2));
+  declines both (inst (Gen.clique 4));
+  declines both (inst (Gen.path 3) |> fun i -> i);
+  check "conjoin declines P3" true (both.Scheme.prover (inst (Gen.path 3)) = None);
+  let either = Scheme.disjoin ~name:"tree-or-clique" acy clique in
+  complete either (inst (Gen.path 5));
+  complete either (inst (Gen.clique 4));
+  unfoolable either (inst (Graph.add_edge (Gen.cycle 5) 0 2))
+
+let conjoin_rejects_mixed_certs () =
+  (* valid halves from different instances must not splice *)
+  let acy = Spanning_tree.acyclicity in
+  let count9 = Spanning_tree.vertex_count ~expected:(fun n -> n = 9) "n=9" in
+  let s = Scheme.conjoin ~name:"tree-and-9" acy count9 in
+  complete s (inst (Gen.star 9));
+  declines s (inst (Gen.star 8));
+  unfoolable s (inst (Gen.star 8))
+
+(* --- attack harness self-tests --- *)
+
+let attack_reports () =
+  (* a scheme that accepts anything is fooled instantly *)
+  let yes = Scheme.trivial ~name:"always-yes" (fun _ -> Scheme.Accept) in
+  let rng = Rng.make 1 in
+  let r =
+    Attack.random_assignments rng yes (inst (Gen.path 3)) ~trials:10 ~max_bits:2
+  in
+  check "fooled" true (r.Attack.fooled <> None);
+  check_int "stopped early" 1 r.Attack.trials;
+  (* a scheme that rejects everything is never fooled *)
+  let no = Scheme.trivial ~name:"always-no" (fun _ -> Scheme.Reject "no") in
+  let r = Attack.exhaustive no (inst (Gen.path 2)) ~max_bits:1 in
+  check "never fooled" true (r.Attack.fooled = None);
+  check_int "3^2 assignments" 9 r.Attack.trials
+
+let corruption_on_yes_instances () =
+  (* flipping bits of a valid acyclicity certificate must never crash
+     the verifier (Decode_error is a rejection, not an exception) *)
+  let scheme = Spanning_tree.acyclicity in
+  let instance = inst (Gen.complete_binary_tree 3) in
+  match Scheme.certify scheme instance with
+  | None -> Alcotest.fail "complete binary tree is a tree"
+  | Some (certs, _) ->
+      let rng = Rng.make 9 in
+      (* corrupted certificates may or may not be accepted (the
+         property still holds, and e.g. a swap of equal certificates is
+         harmless), but no exception may escape the verifier *)
+      let r = Attack.corruptions rng scheme instance ~base:certs ~trials:500 in
+      check "ran without exceptions" true (r.Attack.trials >= 1);
+      (* on the no-instance side the same corruptions never fool *)
+      let no_inst = inst (Gen.cycle 7) in
+      (match Scheme.certify Spanning_tree.acyclicity no_inst with
+      | Some _ -> Alcotest.fail "cycle is not a tree"
+      | None -> ());
+      let star_certs =
+        Option.get (Spanning_tree.acyclicity.Scheme.prover (inst (Gen.star 7)))
+      in
+      let r2 =
+        Attack.corruptions rng Spanning_tree.acyclicity no_inst
+          ~base:star_certs ~trials:500
+      in
+      check "no-instance never fooled" true (r2.Attack.fooled = None)
+
+let suite =
+  [
+    ( "core:instance",
+      [
+        Alcotest.test_case "ids" `Quick instance_ids;
+        Alcotest.test_case "random ids" `Quick instance_random_ids;
+      ] );
+    ( "core:spanning-tree",
+      [
+        Alcotest.test_case "complete" `Quick spanning_tree_complete;
+        Alcotest.test_case "sizes" `Quick spanning_tree_sizes;
+        Alcotest.test_case "random ids" `Quick spanning_tree_random_ids;
+      ] );
+    ( "core:acyclicity",
+      [
+        Alcotest.test_case "complete" `Quick acyclicity_complete;
+        Alcotest.test_case "declines" `Quick acyclicity_declines;
+        Alcotest.test_case "sound" `Quick acyclicity_sound;
+        Alcotest.test_case "transplant" `Quick acyclicity_transplant;
+        Alcotest.test_case "exhaustive tiny" `Quick acyclicity_exhaustive_tiny;
+      ] );
+    ( "core:vertex-count",
+      [
+        Alcotest.test_case "complete" `Quick vertex_count_complete;
+        Alcotest.test_case "sound" `Quick vertex_count_sound;
+        Alcotest.test_case "sizes" `Quick vertex_count_sizes;
+      ] );
+    ( "core:universal",
+      [
+        Alcotest.test_case "complete" `Quick universal_complete;
+        Alcotest.test_case "sound" `Quick universal_sound;
+        Alcotest.test_case "of_formula" `Quick universal_of_formula;
+        Alcotest.test_case "quadratic size" `Quick universal_size_quadratic;
+      ] );
+    ( "core:existential-fo",
+      [
+        Alcotest.test_case "strip" `Quick existential_strip;
+        Alcotest.test_case "complete" `Quick existential_complete;
+        Alcotest.test_case "sound" `Quick existential_sound;
+        Alcotest.test_case "sizes" `Quick existential_sizes;
+        Alcotest.test_case "rejects universal" `Quick existential_rejects_universal;
+      ] );
+    ( "core:depth2",
+      [
+        Alcotest.test_case "complete/declines" `Quick depth2_complete_and_declines;
+        Alcotest.test_case "sound" `Quick depth2_sound;
+      ] );
+    ( "core:combinators",
+      [
+        Alcotest.test_case "conjoin/disjoin" `Quick combinators;
+        Alcotest.test_case "no cert splicing" `Quick conjoin_rejects_mixed_certs;
+      ] );
+    ( "core:attack",
+      [
+        Alcotest.test_case "harness self-test" `Quick attack_reports;
+        Alcotest.test_case "corruption robustness" `Quick corruption_on_yes_instances;
+      ] );
+  ]

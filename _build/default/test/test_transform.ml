@@ -1,0 +1,152 @@
+(* Tests for formula transformations: NNF, renaming, prenexing,
+   simplification — all checked semantics-preserving against the
+   brute-force evaluator. *)
+
+let check = Alcotest.(check bool)
+
+let f = Parser.parse_exn
+
+let graphs =
+  lazy [ Gen.path 2; Gen.path 4; Gen.star 4; Gen.cycle 4; Gen.clique 4; Gen.cycle 5 ]
+
+let equisatisfiable name phi psi =
+  List.iter
+    (fun g ->
+      check
+        (Printf.sprintf "%s on n=%d m=%d" name (Graph.n g) (Graph.m g))
+        (Eval.sentence g phi) (Eval.sentence g psi))
+    (Lazy.force graphs)
+
+let corpus =
+  [
+    "forall x. exists y. x -- y";
+    "~(forall x. exists y. x -- y & ~(x = y))";
+    "(exists x. forall y. x = y | x -- y) -> (forall u. forall v. u = v | u -- v)";
+    "(exists x. exists y. x -- y) <-> ~(forall z. z = z & false)";
+    "forall x. (exists y. x -- y) & (exists y. ~(x = y))";
+  ]
+
+let nnf_preserves () =
+  List.iter (fun s -> equisatisfiable ("nnf " ^ s) (f s) (Transform.nnf (f s))) corpus
+
+let nnf_shape () =
+  (* no Imp/Iff survive; Not only guards atoms *)
+  let rec good : Formula.t -> bool = function
+    | True | False | Eq _ | Adj _ | Mem _ | Lab _ -> true
+    | Not (Eq _ | Adj _ | Mem _ | Lab _) -> true
+    | Not _ -> false
+    | And (a, b) | Or (a, b) -> good a && good b
+    | Imp _ | Iff _ -> false
+    | Exists (_, a) | Forall (_, a) | Exists_set (_, a) | Forall_set (_, a) ->
+        good a
+  in
+  List.iter (fun s -> check ("shape " ^ s) true (good (Transform.nnf (f s)))) corpus
+
+let rename_apart_properties () =
+  let phi = f "(exists x. x = x) & (exists x. forall x. x = x)" in
+  let psi = Transform.rename_apart phi in
+  equisatisfiable "rename" phi psi;
+  (* all bound names distinct *)
+  let rec bound : Formula.t -> string list = function
+    | True | False | Eq _ | Adj _ | Mem _ | Lab _ -> []
+    | Not a -> bound a
+    | And (a, b) | Or (a, b) | Imp (a, b) | Iff (a, b) -> bound a @ bound b
+    | Exists (v, a) | Forall (v, a) | Exists_set (v, a) | Forall_set (v, a) ->
+        v :: bound a
+  in
+  let names = bound psi in
+  check "distinct bound names" true
+    (List.length names = List.length (List.sort_uniq String.compare names))
+
+let prenex_preserves () =
+  List.iter
+    (fun s -> equisatisfiable ("prenex " ^ s) (f s) (Transform.prenex (f s)))
+    corpus
+
+let prenex_shape () =
+  List.iter
+    (fun s ->
+      let p = Transform.prenex (f s) in
+      let _, matrix = Transform.quantifier_prefix p in
+      let rec qf : Formula.t -> bool = function
+        | True | False | Eq _ | Adj _ | Lab _ | Mem _ -> true
+        | Not a -> qf a
+        | And (a, b) | Or (a, b) | Imp (a, b) | Iff (a, b) -> qf a && qf b
+        | Exists _ | Forall _ | Exists_set _ | Forall_set _ -> false
+      in
+      check ("matrix quantifier-free " ^ s) true (qf matrix))
+    corpus
+
+let prenex_rejects_mso () =
+  check "set quantifier rejected" true
+    (try ignore (Transform.prenex (f "exists X. exists x. x in X")); false
+     with Invalid_argument _ -> true)
+
+let simplify_preserves () =
+  let cases =
+    [
+      "forall x. x = x & true";
+      "(exists y. y -- y) | false";
+      "~(~(exists x. exists y. x -- y))";
+      "true -> (forall x. x = x)";
+      "(forall x. x = x) <-> true";
+    ]
+  in
+  List.iter
+    (fun s ->
+      equisatisfiable ("simplify " ^ s) (f s) (Transform.simplify (f s));
+      check ("smaller or equal " ^ s) true
+        (Formula.size (Transform.simplify (f s)) <= Formula.size (f s)))
+    cases;
+  check "x = x folds" true (Transform.simplify (f "forall x. x = x") = Formula.True)
+
+let prenex_enables_existential_scheme () =
+  (* a non-prenex existential sentence: double negation over exists *)
+  let phi = f "~(~(exists x. exists y. x -- y & ~(x = y)))" in
+  let scheme = Existential_fo.make phi in
+  match Scheme.certify scheme (Instance.make (Gen.path 4)) with
+  | Some (_, o) -> check "accepted" true o.Scheme.accepted
+  | None -> Alcotest.fail "P4 has an edge"
+
+let qcheck_nnf_random =
+  QCheck.Test.make ~name:"nnf preserves random sentences" ~count:60 QCheck.int
+    (fun seed ->
+      let rng = Rng.make seed in
+      let phi = Gen_formula.fo_sentence rng ~rank:2 in
+      let g = Gen.random_tree (Rng.make (seed + 1)) 5 in
+      Eval.sentence g phi = Eval.sentence g (Transform.nnf phi))
+
+let qcheck_prenex_random =
+  QCheck.Test.make ~name:"prenex preserves random sentences" ~count:60 QCheck.int
+    (fun seed ->
+      let rng = Rng.make seed in
+      let phi = Gen_formula.fo_sentence rng ~rank:2 in
+      let g = Gen.random_tree (Rng.make (seed + 1)) 5 in
+      Eval.sentence g phi = Eval.sentence g (Transform.prenex phi))
+
+let qcheck_simplify_random =
+  QCheck.Test.make ~name:"simplify preserves random sentences" ~count:60
+    QCheck.int (fun seed ->
+      let rng = Rng.make seed in
+      let phi = Gen_formula.fo_sentence rng ~rank:2 in
+      let g = Gen.random_tree (Rng.make (seed + 1)) 5 in
+      Eval.sentence g phi = Eval.sentence g (Transform.simplify phi))
+
+let suite =
+  [
+    ( "logic:transform",
+      [
+        Alcotest.test_case "nnf preserves" `Quick nnf_preserves;
+        Alcotest.test_case "nnf shape" `Quick nnf_shape;
+        Alcotest.test_case "rename apart" `Quick rename_apart_properties;
+        Alcotest.test_case "prenex preserves" `Quick prenex_preserves;
+        Alcotest.test_case "prenex shape" `Quick prenex_shape;
+        Alcotest.test_case "prenex rejects MSO" `Quick prenex_rejects_mso;
+        Alcotest.test_case "simplify" `Quick simplify_preserves;
+        Alcotest.test_case "prenex feeds existential scheme" `Quick
+          prenex_enables_existential_scheme;
+        QCheck_alcotest.to_alcotest qcheck_nnf_random;
+        QCheck_alcotest.to_alcotest qcheck_prenex_random;
+        QCheck_alcotest.to_alcotest qcheck_simplify_random;
+      ] );
+  ]

@@ -1,0 +1,148 @@
+(* Tests for treewidth/pathwidth: known values, decomposition validity,
+   and the machine-checked chain tw <= pw <= td - 1. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let known_treewidth () =
+  check_int "K1" 0 (Treewidth.treewidth (Graph.empty 1));
+  check_int "P5" 1 (Treewidth.treewidth (Gen.path 5));
+  check_int "any tree" 1 (Treewidth.treewidth (Gen.complete_binary_tree 3));
+  check_int "C5" 2 (Treewidth.treewidth (Gen.cycle 5));
+  check_int "C9" 2 (Treewidth.treewidth (Gen.cycle 9));
+  check_int "K4" 3 (Treewidth.treewidth (Gen.clique 4));
+  check_int "K6" 5 (Treewidth.treewidth (Gen.clique 6));
+  check_int "grid 2x4" 2 (Treewidth.treewidth (Gen.grid 2 4));
+  check_int "grid 3x3" 3 (Treewidth.treewidth (Gen.grid 3 3));
+  check_int "star" 1 (Treewidth.treewidth (Gen.star 8))
+
+let known_pathwidth () =
+  check_int "P6" 1 (Treewidth.pathwidth (Gen.path 6));
+  check_int "C6" 2 (Treewidth.pathwidth (Gen.cycle 6));
+  check_int "K5" 4 (Treewidth.pathwidth (Gen.clique 5));
+  check_int "star" 1 (Treewidth.pathwidth (Gen.star 8));
+  check_int "grid 2x4" 2 (Treewidth.pathwidth (Gen.grid 2 4));
+  (* complete binary trees: pw = ceil(h/2); height 2 is a caterpillar
+     (pw 1), height 3 is the smallest with pw 2 *)
+  check_int "cbt h=2" 1 (Treewidth.pathwidth (Gen.complete_binary_tree 2));
+  check_int "cbt h=3" 2 (Treewidth.pathwidth (Gen.complete_binary_tree 3))
+
+let optimal_decompositions_valid () =
+  let rng = Rng.make 41 in
+  for _ = 1 to 12 do
+    let n = 3 + Rng.int rng 9 in
+    let g = Gen.random_connected rng ~n ~extra_edges:(Rng.int rng 6) in
+    let d = Treewidth.optimal_decomposition g in
+    (match Treewidth.is_valid d g with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "invalid decomposition: %s" e);
+    check_int "width matches treewidth" (Treewidth.treewidth g)
+      (Treewidth.width d)
+  done
+
+let elimination_decompositions () =
+  let rng = Rng.make 42 in
+  for _ = 1 to 12 do
+    let n = 3 + Rng.int rng 9 in
+    let g = Gen.random_connected rng ~n ~extra_edges:(Rng.int rng 5) in
+    let model = Exact.optimal_model g in
+    let d = Treewidth.decomposition_of_elimination g model in
+    (match Treewidth.is_valid d g with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "invalid elimination decomposition: %s" e);
+    check_int "width = height - 1" (Elimination.height model - 1)
+      (Treewidth.width d)
+  done
+
+let parameter_chain () =
+  (* tw <= pw <= td - 1, machine-checked (Section 3.1) *)
+  let rng = Rng.make 43 in
+  let instances =
+    [
+      Gen.path 8; Gen.cycle 7; Gen.star 7; Gen.clique 5;
+      Gen.complete_binary_tree 2; Gen.grid 2 4; Gen.grid 3 3;
+      Gen.caterpillar ~spine:3 ~legs:2;
+    ]
+    @ List.init 8 (fun _ ->
+          Gen.random_connected rng ~n:(4 + Rng.int rng 8)
+            ~extra_edges:(Rng.int rng 6))
+  in
+  List.iter
+    (fun g ->
+      let tw = Treewidth.treewidth g in
+      let pw = Treewidth.pathwidth g in
+      let td = Exact.treedepth g in
+      check
+        (Printf.sprintf "tw<=pw<=td-1 (n=%d m=%d: %d,%d,%d)" (Graph.n g)
+           (Graph.m g) tw pw td)
+        true
+        (tw <= pw && pw <= td - 1))
+    instances
+
+let invalid_decompositions_caught () =
+  let g = Gen.cycle 4 in
+  (* missing edge coverage *)
+  let d =
+    {
+      Treewidth.bags = [| [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ] |];
+      tree = Gen.path 3;
+    }
+  in
+  check "uncovered edge" true (Result.is_error (Treewidth.is_valid d g));
+  (* disconnected occurrence of vertex 0 *)
+  let d =
+    {
+      Treewidth.bags = [| [ 0; 1 ]; [ 1; 2 ]; [ 2; 3; 0 ] |];
+      tree = Gen.path 3;
+    }
+  in
+  check "disconnected vertex bags" true (Result.is_error (Treewidth.is_valid d g));
+  (* a correct one *)
+  let d =
+    {
+      Treewidth.bags = [| [ 0; 1; 2 ]; [ 0; 2; 3 ] |];
+      tree = Gen.path 2;
+    }
+  in
+  check "valid decomposition" true (Result.is_ok (Treewidth.is_valid d g));
+  check_int "width 2" 2 (Treewidth.width d)
+
+let paths_treedepth_vs_pathwidth () =
+  (* paths: tw = pw = 1 while td grows logarithmically — the reason
+     bounded treedepth is strictly stronger than bounded pathwidth *)
+  List.iter
+    (fun n ->
+      check_int "tw" 1 (Treewidth.treewidth (Gen.path n));
+      check_int "pw" 1 (Treewidth.pathwidth (Gen.path n));
+      check "td grows" true (Exact.treedepth (Gen.path n) = Exact.path_treedepth n))
+    [ 4; 8; 16 ]
+
+let qcheck_chain =
+  QCheck.Test.make ~name:"tw <= pw <= td-1 on random graphs" ~count:12
+    QCheck.(pair (int_range 3 10) int)
+    (fun (n, seed) ->
+      let rng = Rng.make seed in
+      let g = Gen.random_connected rng ~n ~extra_edges:(Rng.int rng 5) in
+      let tw = Treewidth.treewidth g in
+      let pw = Treewidth.pathwidth g in
+      let td = Exact.treedepth g in
+      tw <= pw && pw <= td - 1)
+
+let suite =
+  [
+    ( "treewidth",
+      [
+        Alcotest.test_case "known treewidth" `Quick known_treewidth;
+        Alcotest.test_case "known pathwidth" `Quick known_pathwidth;
+        Alcotest.test_case "optimal decompositions valid" `Quick
+          optimal_decompositions_valid;
+        Alcotest.test_case "elimination decompositions" `Quick
+          elimination_decompositions;
+        Alcotest.test_case "tw <= pw <= td-1" `Quick parameter_chain;
+        Alcotest.test_case "invalid decompositions caught" `Quick
+          invalid_decompositions_caught;
+        Alcotest.test_case "paths separate td from pw" `Quick
+          paths_treedepth_vs_pathwidth;
+        QCheck_alcotest.to_alcotest qcheck_chain;
+      ] );
+  ]

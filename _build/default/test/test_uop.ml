@@ -1,0 +1,205 @@
+(* Tests for the UOP constraint automata (Appendix C.2) and the
+   table-carrying Theorem-2.2 scheme. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let corpus =
+  lazy
+    (List.concat_map (fun n -> Rooted.all_of_size n) (List.init 8 (fun i -> i + 1)))
+
+let constraint_evaluation () =
+  let counts = Tree_automaton.counts_of_list [ 0; 0; 1; 2; 2; 2 ] in
+  check_int "count term" 2 (Uop.eval_term (Uop.Count 0) ~counts);
+  check_int "const" 7 (Uop.eval_term (Uop.Const 7) ~counts);
+  check_int "plus" 5
+    (Uop.eval_term (Uop.Plus (Uop.Count 0, Uop.Count 2)) ~counts);
+  check "ge holds" true (Uop.holds (Uop.count_ge 2 3) ~counts);
+  check "ge fails" false (Uop.holds (Uop.count_ge 2 4) ~counts);
+  check "le holds" true (Uop.holds (Uop.count_le 1 1) ~counts);
+  check "eq" true (Uop.holds (Uop.count_eq 1 1) ~counts);
+  check "not" true (Uop.holds (Uop.Not (Uop.count_ge 1 2)) ~counts);
+  check "no_children_in" true
+    (Uop.holds (Uop.no_children_in [ 3; 4 ]) ~counts);
+  check "no_children_in fails" false
+    (Uop.holds (Uop.no_children_in [ 0 ]) ~counts);
+  check "conj empty" true (Uop.holds (Uop.conj []) ~counts)
+
+let unarity () =
+  check "single var" true (Uop.is_unary (Uop.count_ge 3 2));
+  check "same var twice" true
+    (Uop.is_unary (Uop.Le (Uop.Plus (Uop.Count 1, Uop.Count 1), Uop.Const 4)));
+  check "two vars in one atom" false
+    (Uop.is_unary (Uop.Le (Uop.Plus (Uop.Count 1, Uop.Count 2), Uop.Const 4)));
+  check "conjunction of different unary atoms ok" true
+    (Uop.is_unary (Uop.And (Uop.count_ge 1 1, Uop.count_ge 2 1)));
+  check_int "max constant" 9
+    (Uop.max_constant (Uop.And (Uop.count_ge 0 9, Uop.count_le 1 3)))
+
+let tables_validate () =
+  List.iter
+    (fun (name, table) ->
+      match Uop.validate table with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" name e)
+    Uop.all_named
+
+let tables_match_functional_library () =
+  (* each UOP table recognizes the same language as the functional
+     automaton, on the exhaustive corpus *)
+  let pairs =
+    [
+      (Uop.trivial_true, Library.trivial_true);
+      (Uop.max_degree_at_most 2, Library.max_degree_at_most 2);
+      (Uop.max_degree_at_most 3, Library.max_degree_at_most 3);
+      (Uop.has_perfect_matching, Library.has_perfect_matching);
+      (Uop.height_at_most 3, Library.height_at_most 3);
+      (Uop.diameter_at_most 2, Library.diameter_at_most 2);
+      (Uop.diameter_at_most 4, Library.diameter_at_most 4);
+    ]
+  in
+  List.iter
+    (fun (table, (entry : Library.entry)) ->
+      let a = Uop.to_tree_automaton table in
+      List.iter
+        (fun t ->
+          check
+            (Printf.sprintf "%s on %s" table.Uop.name
+               (Format.asprintf "%a" Rooted.pp t))
+            (Tree_automaton.accepts entry.Library.auto t)
+            (Tree_automaton.accepts a t))
+        (Lazy.force corpus))
+    pairs
+
+let tables_match_on_random_trees () =
+  let rng = Rng.make 271 in
+  for _ = 1 to 25 do
+    let n = 5 + Rng.int rng 12 in
+    let g = Gen.random_tree rng n in
+    let t = Rooted.of_graph g ~root:(Rng.int rng n) in
+    List.iter
+      (fun (table, (entry : Library.entry)) ->
+        let a = Uop.to_tree_automaton table in
+        check table.Uop.name
+          (Tree_automaton.accepts entry.Library.auto t)
+          (Tree_automaton.accepts a t))
+      [
+        (Uop.max_degree_at_most 2, Library.max_degree_at_most 2);
+        (Uop.has_perfect_matching, Library.has_perfect_matching);
+        (Uop.diameter_at_most 4, Library.diameter_at_most 4);
+      ]
+  done
+
+let thresholds_respected () =
+  let trees = Lazy.force corpus in
+  List.iter
+    (fun (name, table) ->
+      let a = Uop.to_tree_automaton table in
+      check (name ^ " threshold")
+        true
+        (Tree_automaton.respects_threshold a ~cap:(Uop.threshold table)
+           ~samples:trees))
+    Uop.all_named
+
+let codec_roundtrip () =
+  List.iter
+    (fun (name, table) ->
+      let bits = Uop.encode table in
+      match Uop.decode bits with
+      | None -> Alcotest.failf "%s does not decode" name
+      | Some table' ->
+          check (name ^ " roundtrip") true (table = table');
+          (* and the decoded table still runs *)
+          let a = Uop.to_tree_automaton table' in
+          let t = Rooted.of_graph (Gen.path 4) ~root:0 in
+          ignore (Tree_automaton.accepts a t))
+    Uop.all_named;
+  (* corrupted tables are rejected, not misinterpreted *)
+  let bits = Uop.encode Uop.has_perfect_matching in
+  let truncated = Bitstring.sub bits ~pos:0 ~len:(Bitstring.length bits - 5) in
+  check "truncated rejected" true (Uop.decode truncated = None)
+
+let table_sizes () =
+  (* the "description of A" is small: a few hundred bits *)
+  List.iter
+    (fun (name, table) ->
+      let bits = Bitstring.length (Uop.encode table) in
+      check (Printf.sprintf "%s reasonably small (%d bits)" name bits) true
+        (bits < 2000))
+    Uop.all_named
+
+(* --- the table-carrying scheme --- *)
+
+let inst g = Instance.make g
+
+let table_scheme_complete () =
+  let scheme = Tree_mso.make_table Uop.has_perfect_matching in
+  (match Scheme.certify scheme (inst (Gen.path 8)) with
+  | Some (_, o) ->
+      check "accepted" true o.Scheme.accepted;
+      (* the description dominates the size, but it is constant *)
+      check "bits > table size" true
+        (o.Scheme.max_bits > Bitstring.length (Uop.encode Uop.has_perfect_matching))
+  | None -> Alcotest.fail "P8 has a perfect matching");
+  check "declines P7" true (scheme.Scheme.prover (inst (Gen.path 7)) = None)
+
+let table_scheme_constant_size () =
+  let scheme = Tree_mso.make_table (Uop.diameter_at_most 4) in
+  let size n = Scheme.certificate_size scheme (inst (Gen.star n)) in
+  check "constant" true (size 8 = size 512)
+
+let table_scheme_wrong_table_rejected () =
+  (* transplant certificates built for one automaton onto the verifier
+     of another: the embedded description betrays them *)
+  let pm = Tree_mso.make_table Uop.has_perfect_matching in
+  let deg = Tree_mso.make_table (Uop.max_degree_at_most 2) in
+  let instance = inst (Gen.path 8) in
+  let pm_certs = Option.get (pm.Scheme.prover instance) in
+  let outcome = Scheme.run deg instance pm_certs in
+  check "wrong description rejected" false outcome.Scheme.accepted
+
+let table_scheme_sound () =
+  let scheme = Tree_mso.make_table Uop.has_perfect_matching in
+  let rng = Rng.make 5 in
+  let r =
+    Attack.random_assignments rng scheme (inst (Gen.path 5)) ~trials:150
+      ~max_bits:200
+  in
+  check "random attack fails" true (r.Attack.fooled = None);
+  (* corrupting one table bit in an otherwise valid assignment is
+     always caught (the description must match exactly) *)
+  let instance = inst (Gen.path 8) in
+  let certs = Option.get (scheme.Scheme.prover instance) in
+  let corrupted = Array.copy certs in
+  let len = Bitstring.length corrupted.(3) in
+  corrupted.(3) <- Bitstring.flip corrupted.(3) (len - 1);
+  let outcome = Scheme.run scheme instance corrupted in
+  check "table corruption detected" false outcome.Scheme.accepted
+
+let suite =
+  [
+    ( "uop:constraints",
+      [
+        Alcotest.test_case "evaluation" `Quick constraint_evaluation;
+        Alcotest.test_case "unarity" `Quick unarity;
+      ] );
+    ( "uop:tables",
+      [
+        Alcotest.test_case "validate" `Quick tables_validate;
+        Alcotest.test_case "match functional (exhaustive)" `Quick
+          tables_match_functional_library;
+        Alcotest.test_case "match functional (random)" `Quick
+          tables_match_on_random_trees;
+        Alcotest.test_case "thresholds" `Quick thresholds_respected;
+        Alcotest.test_case "codec roundtrip" `Quick codec_roundtrip;
+        Alcotest.test_case "table sizes" `Quick table_sizes;
+      ] );
+    ( "uop:scheme",
+      [
+        Alcotest.test_case "complete" `Quick table_scheme_complete;
+        Alcotest.test_case "constant size" `Quick table_scheme_constant_size;
+        Alcotest.test_case "wrong table rejected" `Quick
+          table_scheme_wrong_table_rejected;
+        Alcotest.test_case "sound" `Quick table_scheme_sound;
+      ] );
+  ]

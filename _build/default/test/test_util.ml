@@ -1,0 +1,219 @@
+(* Tests for the util library: bit strings, codecs, RNG, combinatorics. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let bitstring_roundtrip () =
+  let b = Bitstring.of_string "0110010111" in
+  check_int "length" 10 (Bitstring.length b);
+  Alcotest.(check string) "to_string" "0110010111" (Bitstring.to_string b);
+  check "get 0" true (not (Bitstring.get b 0));
+  check "get 1" true (Bitstring.get b 1);
+  check "equal self" true (Bitstring.equal b b);
+  let b' = Bitstring.flip b 0 in
+  check "flip differs" true (not (Bitstring.equal b b'));
+  check "flip twice restores" true (Bitstring.equal b (Bitstring.flip b' 0))
+
+let bitstring_append_sub () =
+  let a = Bitstring.of_string "101" and b = Bitstring.of_string "0011" in
+  let ab = Bitstring.append a b in
+  Alcotest.(check string) "append" "1010011" (Bitstring.to_string ab);
+  Alcotest.(check string) "sub" "0011"
+    (Bitstring.to_string (Bitstring.sub ab ~pos:3 ~len:4))
+
+let bitstring_compare_hash () =
+  let a = Bitstring.of_string "101" and b = Bitstring.of_string "101" in
+  check_int "compare equal" 0 (Bitstring.compare a b);
+  check_int "hash equal" (Bitstring.hash a) (Bitstring.hash b);
+  check "compare length-sensitive" true
+    (Bitstring.compare (Bitstring.of_string "1") (Bitstring.of_string "10") <> 0)
+
+let writer_fixed_roundtrip () =
+  let w = Bitbuf.Writer.create () in
+  Bitbuf.Writer.fixed w ~width:7 93;
+  Bitbuf.Writer.fixed w ~width:1 1;
+  Bitbuf.Writer.fixed w ~width:12 0;
+  let b = Bitbuf.Writer.contents w in
+  check_int "total bits" 20 (Bitstring.length b);
+  let r = Bitbuf.Reader.of_bitstring b in
+  check_int "first" 93 (Bitbuf.Reader.fixed r ~width:7);
+  check_int "second" 1 (Bitbuf.Reader.fixed r ~width:1);
+  check_int "third" 0 (Bitbuf.Reader.fixed r ~width:12);
+  Bitbuf.Reader.expect_end r
+
+let nat_roundtrip () =
+  let values = [ 0; 1; 2; 3; 7; 8; 100; 1023; 1024; 123456789 ] in
+  let w = Bitbuf.Writer.create () in
+  List.iter (Bitbuf.Writer.nat w) values;
+  let r = Bitbuf.Reader.of_bitstring (Bitbuf.Writer.contents w) in
+  List.iter (fun v -> check_int "nat" v (Bitbuf.Reader.nat r)) values;
+  Bitbuf.Reader.expect_end r
+
+let int_roundtrip () =
+  let values = [ 0; -1; 1; -100; 100; max_int / 4; -(max_int / 4) ] in
+  let w = Bitbuf.Writer.create () in
+  List.iter (Bitbuf.Writer.int w) values;
+  let r = Bitbuf.Reader.of_bitstring (Bitbuf.Writer.contents w) in
+  List.iter (fun v -> check_int "int" v (Bitbuf.Reader.int r)) values
+
+let list_and_bitstring_roundtrip () =
+  let w = Bitbuf.Writer.create () in
+  Bitbuf.Writer.list w Bitbuf.Writer.nat [ 4; 0; 17 ];
+  Bitbuf.Writer.bitstring w (Bitstring.of_string "1101");
+  let r = Bitbuf.Reader.of_bitstring (Bitbuf.Writer.contents w) in
+  Alcotest.(check (list int)) "list" [ 4; 0; 17 ] (Bitbuf.Reader.list r Bitbuf.Reader.nat);
+  Alcotest.(check string) "bitstring" "1101"
+    (Bitstring.to_string (Bitbuf.Reader.bitstring r))
+
+let truncated_input_rejected () =
+  let w = Bitbuf.Writer.create () in
+  Bitbuf.Writer.nat w 1000;
+  let b = Bitbuf.Writer.contents w in
+  let half = Bitstring.sub b ~pos:0 ~len:(Bitstring.length b / 2) in
+  check "decode None on truncation" true
+    (Bitbuf.decode half Bitbuf.Reader.nat = None);
+  (* trailing bits also rejected *)
+  let padded = Bitstring.append b (Bitstring.of_string "0") in
+  check "decode None on padding" true
+    (Bitbuf.decode padded Bitbuf.Reader.nat = None)
+
+let nat_gamma_size () =
+  (* Elias gamma of n+1 uses 2·⌊log₂(n+1)⌋ + 1 bits *)
+  let w = Bitbuf.Writer.create () in
+  Bitbuf.Writer.nat w 0;
+  check_int "nat 0 is 1 bit" 1 (Bitbuf.Writer.length w);
+  let w = Bitbuf.Writer.create () in
+  Bitbuf.Writer.nat w 7;
+  check_int "nat 7 is 7 bits" 7 (Bitbuf.Writer.length w)
+
+let rng_determinism () =
+  let a = Rng.make 42 and b = Rng.make 42 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys;
+  let c = Rng.make 43 in
+  let zs = List.init 20 (fun _ -> Rng.int c 1000) in
+  check "different seed differs" true (xs <> zs)
+
+let rng_bounds () =
+  let rng = Rng.make 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    check "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 100 do
+    let v = Rng.int_in rng 5 9 in
+    check "int_in range" true (v >= 5 && v <= 9)
+  done
+
+let rng_permutation () =
+  let rng = Rng.make 11 in
+  let p = Rng.permutation rng 30 in
+  let sorted = Array.copy p in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 30 Fun.id) sorted
+
+let combin_binomial () =
+  check_int "C(5,2)" 10 (Combin.binomial 5 2);
+  check_int "C(10,0)" 1 (Combin.binomial 10 0);
+  check_int "C(10,10)" 1 (Combin.binomial 10 10);
+  check_int "C(4,7)" 0 (Combin.binomial 4 7);
+  check_int "C(20,10)" 184756 (Combin.binomial 20 10)
+
+let combin_partitions () =
+  check_int "p(0)" 1 (List.length (Combin.partitions 0));
+  check_int "p(5)" 7 (List.length (Combin.partitions 5));
+  check_int "p(10)" 42 (List.length (Combin.partitions 10));
+  check_int "count matches enumeration" (List.length (Combin.partitions 12))
+    (Combin.count_partitions 12);
+  (* every partition sums to n with weakly decreasing parts *)
+  List.iter
+    (fun p ->
+      check_int "sums to 8" 8 (List.fold_left ( + ) 0 p);
+      let rec decreasing = function
+        | a :: b :: rest -> a >= b && decreasing (b :: rest)
+        | _ -> true
+      in
+      check "weakly decreasing" true (decreasing p))
+    (Combin.partitions 8)
+
+let combin_log2_factorial () =
+  let lf = Combin.log2_factorial 10 in
+  (* log2(3628800) ≈ 21.79 *)
+  check "log2(10!)" true (abs_float (lf -. 21.791) < 0.01)
+
+let combin_ceil_log2 () =
+  check_int "1" 0 (Combin.ceil_log2 1);
+  check_int "2" 1 (Combin.ceil_log2 2);
+  check_int "3" 2 (Combin.ceil_log2 3);
+  check_int "8" 3 (Combin.ceil_log2 8);
+  check_int "9" 4 (Combin.ceil_log2 9)
+
+let combin_pow_multisets () =
+  check_int "pow" 243 (Combin.pow 3 5);
+  check_int "multisets" 27 (Combin.multisets_upto 3 2);
+  check_int "multisets saturates" max_int (Combin.multisets_upto 100 100)
+
+let qcheck_bitbuf_nat =
+  QCheck.Test.make ~name:"nat roundtrips for all naturals" ~count:500
+    QCheck.(int_bound 1_000_000)
+    (fun n ->
+      let w = Bitbuf.Writer.create () in
+      Bitbuf.Writer.nat w n;
+      Bitbuf.decode (Bitbuf.Writer.contents w) Bitbuf.Reader.nat = Some n)
+
+let qcheck_bitbuf_fixed =
+  QCheck.Test.make ~name:"fixed roundtrips at any width" ~count:500
+    QCheck.(pair (int_bound 30) (int_bound 1_000_000))
+    (fun (extra, n) ->
+      let width = Combin.ceil_log2 (n + 2) + extra in
+      let w = Bitbuf.Writer.create () in
+      Bitbuf.Writer.fixed w ~width n;
+      Bitbuf.decode (Bitbuf.Writer.contents w) (fun r ->
+          Bitbuf.Reader.fixed r ~width)
+      = Some n)
+
+let qcheck_bitstring_flip =
+  QCheck.Test.make ~name:"flip is an involution" ~count:200
+    QCheck.(pair (list bool) small_nat)
+    (fun (bits, i) ->
+      QCheck.assume (bits <> []);
+      let b = Bitstring.of_bools bits in
+      let i = i mod Bitstring.length b in
+      Bitstring.equal b (Bitstring.flip (Bitstring.flip b i) i))
+
+let suite =
+  [
+    ( "util:bitstring",
+      [
+        Alcotest.test_case "roundtrip" `Quick bitstring_roundtrip;
+        Alcotest.test_case "append/sub" `Quick bitstring_append_sub;
+        Alcotest.test_case "compare/hash" `Quick bitstring_compare_hash;
+        QCheck_alcotest.to_alcotest qcheck_bitstring_flip;
+      ] );
+    ( "util:bitbuf",
+      [
+        Alcotest.test_case "fixed" `Quick writer_fixed_roundtrip;
+        Alcotest.test_case "nat" `Quick nat_roundtrip;
+        Alcotest.test_case "int" `Quick int_roundtrip;
+        Alcotest.test_case "list+bitstring" `Quick list_and_bitstring_roundtrip;
+        Alcotest.test_case "truncation rejected" `Quick truncated_input_rejected;
+        Alcotest.test_case "gamma size" `Quick nat_gamma_size;
+        QCheck_alcotest.to_alcotest qcheck_bitbuf_nat;
+        QCheck_alcotest.to_alcotest qcheck_bitbuf_fixed;
+      ] );
+    ( "util:rng",
+      [
+        Alcotest.test_case "determinism" `Quick rng_determinism;
+        Alcotest.test_case "bounds" `Quick rng_bounds;
+        Alcotest.test_case "permutation" `Quick rng_permutation;
+      ] );
+    ( "util:combin",
+      [
+        Alcotest.test_case "binomial" `Quick combin_binomial;
+        Alcotest.test_case "partitions" `Quick combin_partitions;
+        Alcotest.test_case "log2 factorial" `Quick combin_log2_factorial;
+        Alcotest.test_case "ceil_log2" `Quick combin_ceil_log2;
+        Alcotest.test_case "pow and multisets" `Quick combin_pow_multisets;
+      ] );
+  ]

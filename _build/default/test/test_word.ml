@@ -1,0 +1,235 @@
+(* Tests for word automata: classical ops (product, complement,
+   determinization, minimization, equivalence) and the path bridge to
+   the Theorem-2.2 scheme. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* All words over {0,1} up to a given length. *)
+let words ~alphabet ~max_len =
+  let rec go len =
+    if len = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun w -> List.init alphabet (fun l -> l :: w))
+        (go (len - 1))
+  in
+  List.concat_map go (List.init (max_len + 1) Fun.id)
+
+let sem dfa ws = List.map (Word.accepts dfa) ws
+
+let examples_semantic () =
+  let even = Word.even_count_of ~letter:1 ~alphabet:2 in
+  check "empty even" true (Word.accepts even []);
+  check "single odd" false (Word.accepts even [ 1 ]);
+  check "0s irrelevant" true (Word.accepts even [ 0; 1; 0; 1; 0 ]);
+  let factor = Word.contains_factor ~word:[ 1; 0; 1 ] ~alphabet:2 in
+  check "contains" true (Word.accepts factor [ 0; 1; 0; 1; 1 ]);
+  check "missing" false (Word.accepts factor [ 1; 1; 0; 0; 1 ]);
+  check "prefix overlap" true (Word.accepts factor [ 1; 1; 0; 1; 0 ]);
+  let nocc = Word.no_two_consecutive ~letter:1 ~alphabet:2 in
+  check "ok" true (Word.accepts nocc [ 1; 0; 1; 0; 1 ]);
+  check "fails" false (Word.accepts nocc [ 0; 1; 1 ]);
+  let len3 = Word.length_mod ~modulus:3 ~residue:0 ~alphabet:2 in
+  check "len 0" true (Word.accepts len3 []);
+  check "len 3" true (Word.accepts len3 [ 0; 0; 1 ]);
+  check "len 4" false (Word.accepts len3 [ 0; 0; 1; 1 ])
+
+let contains_factor_reference () =
+  (* brute-force factor search on every word up to length 7 *)
+  let pat = [ 1; 0; 1 ] in
+  let dfa = Word.contains_factor ~word:pat ~alphabet:2 in
+  let contains w =
+    let w = Array.of_list w and p = Array.of_list pat in
+    let n = Array.length w and m = Array.length p in
+    let found = ref false in
+    for i = 0 to n - m do
+      let ok = ref true in
+      for j = 0 to m - 1 do
+        if w.(i + j) <> p.(j) then ok := false
+      done;
+      if !ok then found := true
+    done;
+    !found
+  in
+  List.iter
+    (fun w -> check "factor agrees" (contains w) (Word.accepts dfa w))
+    (words ~alphabet:2 ~max_len:7)
+
+let boolean_ops () =
+  let ws = words ~alphabet:2 ~max_len:6 in
+  let a = Word.even_count_of ~letter:1 ~alphabet:2 in
+  let b = Word.no_two_consecutive ~letter:1 ~alphabet:2 in
+  List.iter
+    (fun w ->
+      let va = Word.accepts a w and vb = Word.accepts b w in
+      check "inter" (va && vb) (Word.accepts (Word.inter a b) w);
+      check "union" (va || vb) (Word.accepts (Word.union a b) w);
+      check "complement" (not va) (Word.accepts (Word.complement a) w))
+    ws
+
+let determinize_correct () =
+  let ws = words ~alphabet:2 ~max_len:6 in
+  let a = Word.contains_factor ~word:[ 1; 1 ] ~alphabet:2 in
+  let rev = Word.reverse a in
+  let det = Word.determinize rev in
+  (* reverse language: w in L(rev) iff mirror(w) in L(a) *)
+  List.iter
+    (fun w ->
+      check "reversal" (Word.accepts a (List.rev w)) (Word.accepts det w))
+    ws;
+  List.iter
+    (fun w -> check "nfa vs dfa" (Word.nfa_accepts rev w) (Word.accepts det w))
+    ws
+
+let minimize_properties () =
+  let ws = words ~alphabet:2 ~max_len:7 in
+  let candidates =
+    [
+      Word.even_count_of ~letter:0 ~alphabet:2;
+      Word.contains_factor ~word:[ 1; 0; 1 ] ~alphabet:2;
+      Word.no_two_consecutive ~letter:1 ~alphabet:2;
+      Word.length_mod ~modulus:4 ~residue:2 ~alphabet:2;
+      Word.inter
+        (Word.even_count_of ~letter:1 ~alphabet:2)
+        (Word.no_two_consecutive ~letter:1 ~alphabet:2);
+    ]
+  in
+  List.iter
+    (fun a ->
+      let m = Word.minimize a in
+      check "language preserved" true (sem a ws = sem m ws);
+      check "no bigger" true (m.Word.states <= a.Word.states);
+      (* minimizing twice is idempotent in size *)
+      check_int "idempotent" m.Word.states (Word.minimize m).Word.states;
+      check "equivalent" true (Word.equivalent a m))
+    candidates;
+  (* the even-count automaton is already minimal (2 states) *)
+  check_int "even minimal" 2
+    (Word.minimize (Word.even_count_of ~letter:1 ~alphabet:2)).Word.states;
+  (* a bloated union has redundant states that minimization removes *)
+  let bloated =
+    Word.union
+      (Word.even_count_of ~letter:1 ~alphabet:2)
+      (Word.even_count_of ~letter:1 ~alphabet:2)
+  in
+  check "bloated shrinks" true
+    ((Word.minimize bloated).Word.states < bloated.Word.states)
+
+let equivalence () =
+  let a = Word.even_count_of ~letter:1 ~alphabet:2 in
+  let b = Word.complement (Word.complement a) in
+  check "double complement" true (Word.equivalent a b);
+  check "distinct languages" false
+    (Word.equivalent a (Word.complement a));
+  check "emptiness" true (Word.is_empty (Word.inter a (Word.complement a)))
+
+let reversal_invariance () =
+  check "even-count reversal invariant" true
+    (Word.reversal_invariant (Word.even_count_of ~letter:1 ~alphabet:2));
+  check "no-11 reversal invariant" true
+    (Word.reversal_invariant (Word.no_two_consecutive ~letter:1 ~alphabet:2));
+  (* "starts with 1" is not reversal invariant *)
+  let starts_with_1 =
+    {
+      Word.name = "starts-with-1";
+      states = 3;
+      alphabet = 2;
+      start = 0;
+      delta = [| [| 2; 1 |]; [| 1; 1 |]; [| 2; 2 |] |];
+      accepting = [| false; true; false |];
+    }
+  in
+  check "starts-with not invariant" false (Word.reversal_invariant starts_with_1)
+
+(* --- the path bridge --- *)
+
+let path_of_word w =
+  let n = List.length w in
+  (Gen.path n, Array.of_list w)
+
+let bridge_semantics () =
+  let dfas =
+    [
+      Word.even_count_of ~letter:1 ~alphabet:2;
+      Word.contains_factor ~word:[ 1; 0 ] ~alphabet:2;
+      Word.no_two_consecutive ~letter:1 ~alphabet:2;
+    ]
+  in
+  let ws = List.filter (fun w -> w <> []) (words ~alphabet:2 ~max_len:6) in
+  List.iter
+    (fun dfa ->
+      let ta = Word.to_tree_automaton dfa in
+      List.iter
+        (fun w ->
+          let g, labels = path_of_word w in
+          (* root at the LAST vertex: the word is read leaf(0)→root *)
+          let t = Rooted.of_graph ~labels g ~root:(List.length w - 1) in
+          check
+            (Printf.sprintf "%s on %s" dfa.Word.name
+               (String.concat "" (List.map string_of_int w)))
+            (Word.accepts dfa w) (Tree_automaton.accepts ta t))
+        ws)
+    dfas
+
+let bridge_rejects_non_paths () =
+  let dfa = Word.even_count_of ~letter:1 ~alphabet:2 in
+  let ta = Word.to_tree_automaton dfa in
+  let star = Rooted.of_graph (Gen.star 5) ~root:0 in
+  check "star rejected" false (Tree_automaton.accepts ta star);
+  let bad_letter = Rooted.node ~label:7 [] in
+  check "foreign letter rejected" false (Tree_automaton.accepts ta bad_letter)
+
+let bridge_certification () =
+  (* certify "even number of 1-labeled vertices" on labeled paths *)
+  let dfa = Word.even_count_of ~letter:1 ~alphabet:2 in
+  let scheme = Tree_mso.make (Word.to_tree_automaton dfa) in
+  let yes = Instance.make ~labels:[| 1; 0; 1; 0; 0 |] (Gen.path 5) in
+  (match Scheme.certify scheme yes with
+  | Some (_, o) -> check "accepted" true o.Scheme.accepted
+  | None -> Alcotest.fail "two 1s is even");
+  let no = Instance.make ~labels:[| 1; 0; 1; 1; 0 |] (Gen.path 5) in
+  check "declined" true (scheme.Scheme.prover no = None);
+  let attack =
+    Attack.random_assignments (Rng.make 4) scheme no ~trials:200 ~max_bits:21
+  in
+  check "sound" true (attack.Attack.fooled = None);
+  (* constant size *)
+  let big = Instance.make ~labels:(Array.make 200 0) (Gen.path 200) in
+  check "constant size" true
+    (Scheme.certificate_size scheme yes = Scheme.certificate_size scheme big)
+
+let qcheck_minimize_random_words =
+  QCheck.Test.make ~name:"minimization preserves random evaluations" ~count:100
+    QCheck.(pair (list (int_bound 1)) int)
+    (fun (w, pick) ->
+      let dfas =
+        [|
+          Word.even_count_of ~letter:1 ~alphabet:2;
+          Word.contains_factor ~word:[ 0; 1; 1 ] ~alphabet:2;
+          Word.length_mod ~modulus:5 ~residue:3 ~alphabet:2;
+        |]
+      in
+      let a = dfas.(abs pick mod 3) in
+      Word.accepts a w = Word.accepts (Word.minimize a) w)
+
+let suite =
+  [
+    ( "word:automata",
+      [
+        Alcotest.test_case "examples" `Quick examples_semantic;
+        Alcotest.test_case "factor reference" `Quick contains_factor_reference;
+        Alcotest.test_case "boolean ops" `Quick boolean_ops;
+        Alcotest.test_case "determinize/reverse" `Quick determinize_correct;
+        Alcotest.test_case "minimize" `Quick minimize_properties;
+        Alcotest.test_case "equivalence" `Quick equivalence;
+        Alcotest.test_case "reversal invariance" `Quick reversal_invariance;
+        QCheck_alcotest.to_alcotest qcheck_minimize_random_words;
+      ] );
+    ( "word:path-bridge",
+      [
+        Alcotest.test_case "semantics" `Quick bridge_semantics;
+        Alcotest.test_case "rejects non-paths" `Quick bridge_rejects_non_paths;
+        Alcotest.test_case "certification" `Quick bridge_certification;
+      ] );
+  ]
