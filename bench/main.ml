@@ -42,7 +42,7 @@ let report name raw =
 
 let staged = Bechamel.Staged.stage
 
-let timing_tests () =
+let timing_tests pool =
   let open Bechamel in
   (* E1 timing: spanning-tree + count prover/verifier at n = 256 *)
   let g256 = Gen.random_tree (Rng.make 1) 256 in
@@ -72,6 +72,9 @@ let timing_tests () =
   in
   let km_scheme = Kernel_mso.make_with_model ~t:4 cat_model tri_free in
   let km_certs = Option.get (km_scheme.Scheme.prover icat) in
+  (* engine: sequential vs domain-parallel verification at large n *)
+  let ipath4096 = Instance.make (Gen.path 4096) in
+  let pm4096_certs = Option.get (pm_scheme.Scheme.prover ipath4096) in
   (* treedepth substrate *)
   let gadget_eq =
     (Treedepth_gadget.build_from_permutations ~m:2 [| 0; 1 |] [| 0; 1 |])
@@ -101,6 +104,14 @@ let timing_tests () =
           Test.make ~name:"kernel-mso-caterpillar51"
             (staged (fun () -> Scheme.run km_scheme icat km_certs));
         ];
+      Test.make_grouped ~name:"engine" ~fmt:"%s/%s"
+        [
+          Test.make ~name:"run-seq/tree-mso-pm-n4096"
+            (staged (fun () -> Scheme.run pm_scheme ipath4096 pm4096_certs));
+          Test.make
+            ~name:(Printf.sprintf "run-par%d/tree-mso-pm-n4096" (Pool.size pool))
+            (staged (fun () -> Engine.run_par ~pool pm_scheme ipath4096 pm4096_certs));
+        ];
       Test.make_grouped ~name:"substrate" ~fmt:"%s/%s"
         [
           Test.make ~name:"exact-treedepth-gadget-m2"
@@ -112,6 +123,95 @@ let timing_tests () =
         ];
     ]
 
+(* Wall-clock seq-vs-par comparison on the largest E-series instances.
+   Bechamel's OLS is great for ns-scale closures but the engine story is
+   a milliseconds-scale one; a direct measurement (1 warmup, then the
+   mean of [reps]) reads better and prints the speedup explicitly. *)
+
+let wall ~reps f =
+  ignore (Sys.opaque_identity (f ()));
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int reps
+
+let engine_comparison pool =
+  let jobs = Pool.size pool in
+  (* E1: spanning-tree + vertex count at n = 16384 *)
+  let n1 = 16384 in
+  let i1 = Instance.make (Gen.random_tree (Rng.make 1) n1) in
+  let s1 =
+    Spanning_tree.vertex_count ~expected:(fun n -> n = n1) "n=16384"
+  in
+  let c1 = Option.get (s1.Scheme.prover i1) in
+  (* E2: tree-MSO perfect matching on P4096 *)
+  let n2 = 4096 in
+  let i2 = Instance.make (Gen.path n2) in
+  let s2 = Tree_mso.make Library.has_perfect_matching.Library.auto in
+  let c2 = Option.get (s2.Scheme.prover i2) in
+  (* E4: treedepth certification on P2047 *)
+  let n3 = 2047 in
+  let i3 = Instance.make (Gen.path n3) in
+  let s3 = Treedepth_cert.make_with_model ~t:11 (Elimination.of_path n3) in
+  let c3 = Option.get (s3.Scheme.prover i3) in
+  (* E7: kernel-MSO triangle-freeness on a wide caterpillar *)
+  let spine = 3 and legs = 64 in
+  let g4 = Gen.caterpillar ~spine ~legs in
+  let i4 = Instance.make g4 in
+  let tri_free =
+    Parser.parse_exn
+      "forall x. forall y. forall z. ~(x -- y & y -- z & x -- z)"
+  in
+  let model4 =
+    Elimination.coherentize (Elimination.of_caterpillar ~spine ~legs) g4
+  in
+  let s4 = Kernel_mso.make_with_model ~t:4 model4 tri_free in
+  let c4 = Option.get (s4.Scheme.prover i4) in
+  Printf.printf
+    "\n-- engine: Scheme.run vs Engine.run_par, --jobs %d (ms/run, mean) --\n"
+    jobs;
+  Printf.printf "  %-28s %7s %10s %10s %9s\n" "scheme" "n" "seq" "par" "speedup";
+  List.iter
+    (fun (name, scheme, inst, certs, reps) ->
+      let seq = wall ~reps (fun () -> Scheme.run scheme inst certs) in
+      let par = wall ~reps (fun () -> Engine.run_par ~pool scheme inst certs) in
+      Printf.printf "  %-28s %7d %9.2f %9.2f %8.2fx\n" name
+        (Instance.n inst) (seq *. 1e3) (par *. 1e3) (seq /. par))
+    [
+      ("spanning-count", s1, i1, c1, 20);
+      ("tree-mso-pm", s2, i2, c2, 20);
+      ("treedepth", s3, i3, c3, 20);
+      ("kernel-mso-caterpillar", s4, i4, c4, 10);
+    ];
+  (* parallel adversarial probing, same seed at every job count *)
+  let attack_trials = 2000 in
+  let seq_attack =
+    wall ~reps:3 (fun () ->
+        Engine.attack_par ~jobs:1 (Rng.make 7) s2 i2 ~trials:attack_trials
+          ~max_bits:8)
+  in
+  let par_attack =
+    wall ~reps:3 (fun () ->
+        Engine.attack_par ~pool (Rng.make 7) s2 i2 ~trials:attack_trials
+          ~max_bits:8)
+  in
+  Printf.printf "  %-28s %7d %9.2f %9.2f %8.2fx\n"
+    (Printf.sprintf "attack-par (%d trials)" attack_trials)
+    (Instance.n i2) (seq_attack *. 1e3) (par_attack *. 1e3)
+    (seq_attack /. par_attack)
+
+let jobs_of_argv argv =
+  let rec go = function
+    | "--jobs" :: v :: _ -> int_of_string v
+    | arg :: rest ->
+        (match String.length arg > 7 && String.sub arg 0 7 = "--jobs=" with
+        | true -> int_of_string (String.sub arg 7 (String.length arg - 7))
+        | false -> go rest)
+    | [] -> Domain.recommended_domain_count ()
+  in
+  go argv
+
 let () =
   let argv = Array.to_list Sys.argv in
   let experiments = List.mem "--experiments" argv in
@@ -122,5 +222,7 @@ let () =
     Printf.printf "\n================================================================\n";
     Printf.printf "Timing benches (Bechamel)\n";
     Printf.printf "================================================================\n";
-    report "all schemes" (benchmark (timing_tests ()))
+    Pool.with_pool ~jobs:(jobs_of_argv argv) (fun pool ->
+        engine_comparison pool;
+        report "all schemes" (benchmark (timing_tests pool)))
   end

@@ -208,45 +208,55 @@ let scheme_of_name name ~t ~formula =
       | None -> failwith ("unknown scheme " ^ name))
 
 let certify_cmd =
-  let run g name t formula attack =
+  let run g name t formula attack jobs =
     let scheme = scheme_of_name name ~t ~formula in
     let instance = Instance.make g in
     Printf.printf "scheme: %s\ninstance: n=%d m=%d, %d-bit ids\n"
       scheme.Scheme.name (Graph.n g) (Graph.m g) instance.Instance.id_bits;
-    (match Scheme.certify scheme instance with
-    | Some (certs, outcome) ->
-        Printf.printf "prover: certificates assigned (max %d bits)\n"
-          outcome.Scheme.max_bits;
-        Printf.printf "verifier: all nodes accept = %b\n" outcome.Scheme.accepted;
-        List.iter
-          (fun (v, r) -> Printf.printf "  node %d rejects: %s\n" v r)
-          outcome.Scheme.rejections;
-        if attack > 0 then begin
-          let r =
-            Attack.corruptions (Rng.make 0) scheme instance ~base:certs
-              ~trials:attack
-          in
-          Printf.printf
-            "attack: %d corruptions of the valid certificates tried; some \
-             corruption kept everyone accepting: %b (harmless if the property \
-             still holds)\n"
-            r.Attack.trials
-            (r.Attack.fooled <> None)
-        end
-    | None -> (
-        Printf.printf "prover: declined (no-instance or unsupported size)\n";
-        if attack > 0 then
-          let r =
-            Attack.random_assignments (Rng.make 0) scheme instance
-              ~trials:attack ~max_bits:32
-          in
-          match r.Attack.fooled with
-          | None ->
+    Pool.with_pool ?jobs (fun pool ->
+        if Pool.size pool > 1 then
+          Printf.printf "engine: %d domains\n" (Pool.size pool);
+        let verify certs =
+          if Pool.size pool > 1 then Engine.run_par ~pool scheme instance certs
+          else Scheme.run scheme instance certs
+        in
+        match scheme.Scheme.prover instance with
+        | Some certs ->
+            let outcome = verify certs in
+            Printf.printf "prover: certificates assigned (max %d bits)\n"
+              outcome.Scheme.max_bits;
+            Printf.printf "verifier: all nodes accept = %b\n"
+              outcome.Scheme.accepted;
+            List.iter
+              (fun (v, r) -> Printf.printf "  node %d rejects: %s\n" v r)
+              outcome.Scheme.rejections;
+            if attack > 0 then begin
+              let r =
+                Attack.corruptions (Rng.make 0) scheme instance ~base:certs
+                  ~trials:attack
+              in
               Printf.printf
-                "attack: %d forged certificate assignments all rejected\n"
+                "attack: %d corruptions of the valid certificates tried; some \
+                 corruption kept everyone accepting: %b (harmless if the \
+                 property still holds)\n"
                 r.Attack.trials
-          | Some _ ->
-              Printf.printf "attack: SOUNDNESS VIOLATION — a forgery was accepted\n"))
+                (r.Attack.fooled <> None)
+            end
+        | None -> (
+            Printf.printf "prover: declined (no-instance or unsupported size)\n";
+            if attack > 0 then
+              let r =
+                Engine.attack_par ~pool (Rng.make 0) scheme instance
+                  ~trials:attack ~max_bits:32
+              in
+              match r.Attack.fooled with
+              | None ->
+                  Printf.printf
+                    "attack: %d forged certificate assignments all rejected\n"
+                    r.Attack.trials
+              | Some _ ->
+                  Printf.printf
+                    "attack: SOUNDNESS VIOLATION — a forgery was accepted\n"))
   in
   let name_arg =
     Arg.(
@@ -270,9 +280,31 @@ let certify_cmd =
   let attack_arg =
     Arg.(value & opt int 0 & info [ "attack" ] ~doc:"Also try N adversarial assignments.")
   in
+  let jobs_conv =
+    Arg.conv
+      ( (fun s ->
+          match int_of_string_opt s with
+          | Some j when j >= 1 && j <= 128 -> Ok j
+          | Some _ | None ->
+              Error (`Msg "expected a job count between 1 and 128")),
+        Format.pp_print_int )
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some jobs_conv) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Verify and attack on $(docv) domains in parallel (default: the \
+             number of cores).  Results are identical at every job count: \
+             verification outcomes are exact, and attack randomness is keyed \
+             to trial positions, not domains.")
+  in
   Cmd.v
     (Cmd.info "certify" ~doc:"Run a certification scheme on a graph")
-    Term.(const run $ graph_arg $ name_arg $ t_arg $ formula_arg $ attack_arg)
+    Term.(
+      const run $ graph_arg $ name_arg $ t_arg $ formula_arg $ attack_arg
+      $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gadget                                                              *)

@@ -14,6 +14,12 @@ let rec replicate n x = if n <= 0 then [] else x :: replicate (n - 1) x
 
 let compile_oracle ~threshold ~name oracle =
   if threshold < 1 then invalid_arg "Capped_type: threshold must be >= 1";
+  (* The intern/info/memo tables are shared by every [delta]/[accepting]
+     call on the compiled automaton — including calls racing from
+     parallel domains (Engine.run_par) — so all table accesses take
+     [lock].  The oracle runs unlocked: it evaluates a formula on a
+     representative tree and never re-enters this automaton. *)
+  let lock = Mutex.create () in
   let intern : (int * (int * int) list, int) Hashtbl.t = Hashtbl.create 64 in
   let infos : (int, state_info) Hashtbl.t = Hashtbl.create 64 in
   let accept_memo : (int, bool) Hashtbl.t = Hashtbl.create 64 in
@@ -26,38 +32,44 @@ let compile_oracle ~threshold ~name oracle =
   let delta ~label ~counts =
     let capped = Tree_automaton.cap_counts threshold counts in
     let key = (label, capped) in
-    match Hashtbl.find_opt intern key with
-    | Some id -> id
-    | None ->
-        let id = !next in
-        incr next;
-        let children =
-          List.concat_map (fun (s, c) -> replicate c (info s).rep) capped
-        in
-        Hashtbl.replace intern key id;
-        Hashtbl.replace infos id
-          { label; capped_children = capped; rep = Rooted.node ~label children };
-        id
+    Mutex.protect lock (fun () ->
+        match Hashtbl.find_opt intern key with
+        | Some id -> id
+        | None ->
+            let id = !next in
+            incr next;
+            let children =
+              List.concat_map (fun (s, c) -> replicate c (info s).rep) capped
+            in
+            Hashtbl.replace intern key id;
+            Hashtbl.replace infos id
+              {
+                label;
+                capped_children = capped;
+                rep = Rooted.node ~label children;
+              };
+            id)
   in
   let accepting id =
-    match Hashtbl.find_opt accept_memo id with
+    match Mutex.protect lock (fun () -> Hashtbl.find_opt accept_memo id) with
     | Some b -> b
     | None ->
-        let b = oracle (info id).rep in
-        Hashtbl.replace accept_memo id b;
+        let rep = Mutex.protect lock (fun () -> (info id).rep) in
+        let b = oracle rep in
+        Mutex.protect lock (fun () -> Hashtbl.replace accept_memo id b);
         b
   in
   {
     auto =
       {
         Tree_automaton.name;
-        state_count = (fun () -> !next);
+        state_count = (fun () -> Mutex.protect lock (fun () -> !next));
         delta;
         accepting;
         threshold = Some threshold;
       };
     threshold;
-    representative = (fun id -> (info id).rep);
+    representative = (fun id -> Mutex.protect lock (fun () -> (info id).rep));
   }
 
 let compile ?threshold phi =

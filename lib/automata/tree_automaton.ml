@@ -50,7 +50,13 @@ let complement a =
 
 let product ~name f a b =
   (* Pair states are interned on demand so lazily-grown components keep
-     working. *)
+     working.  The intern tables are shared by every [delta]/[accepting]
+     call on the product — including calls racing from parallel domains
+     (Engine.run_par) — so all table accesses take [lock].  The lock is
+     never held across calls into [a] or [b]: nested products lock their
+     own tables, structurally parent-then-child, so the order is acyclic
+     and deadlock-free. *)
+  let lock = Mutex.create () in
   let fwd : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
   let back : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
   let next = ref 0 in
@@ -84,14 +90,16 @@ let product ~name f a b =
   in
   {
     name;
-    state_count = (fun () -> !next);
+    state_count = (fun () -> Mutex.protect lock (fun () -> !next));
     delta =
       (fun ~label ~counts ->
-        let ca, cb = project counts in
-        intern (a.delta ~label ~counts:ca, b.delta ~label ~counts:cb));
+        let ca, cb = Mutex.protect lock (fun () -> project counts) in
+        let sa = a.delta ~label ~counts:ca in
+        let sb = b.delta ~label ~counts:cb in
+        Mutex.protect lock (fun () -> intern (sa, sb)));
     accepting =
       (fun id ->
-        match Hashtbl.find_opt back id with
+        match Mutex.protect lock (fun () -> Hashtbl.find_opt back id) with
         | Some (sa, sb) -> f (a.accepting sa) (b.accepting sb)
         | None -> invalid_arg "Tree_automaton.product: unknown state");
     threshold =

@@ -252,10 +252,18 @@ let split_cert c =
       (anclist, rows))
 
 let verifier ~k ~t phi =
-  (* memoize formula evaluation per kernel description *)
+  (* Memoize formula evaluation per kernel description.  The table is
+     shared by every verifier call of this scheme value, including calls
+     racing from parallel domains (Engine.run_par), so it is guarded by
+     a mutex; the evaluation itself runs unlocked (two domains may
+     compute the same entry — they agree, so last-write-wins is fine). *)
   let eval_memo : (Bitstring.t, bool) Hashtbl.t = Hashtbl.create 8 in
+  let memo_lock = Mutex.create () in
   let eval_rows rows_bits rows =
-    match Hashtbl.find_opt eval_memo rows_bits with
+    let cached =
+      Mutex.protect memo_lock (fun () -> Hashtbl.find_opt eval_memo rows_bits)
+    in
+    match cached with
     | Some b -> b
     | None ->
         let b =
@@ -265,7 +273,8 @@ let verifier ~k ~t phi =
               try Eval.sentence ~labels:klabels kg phi
               with Invalid_argument _ -> false)
         in
-        Hashtbl.replace eval_memo rows_bits b;
+        Mutex.protect memo_lock (fun () ->
+            Hashtbl.replace eval_memo rows_bits b);
         b
   in
   fun (view : Scheme.view) : Scheme.verdict ->

@@ -34,17 +34,24 @@ let view_of (inst : Instance.t) certs v =
     nbrs;
   }
 
-let run scheme inst certs =
+let max_cert_bits certs =
+  Array.fold_left (fun acc c -> max acc (Bitstring.length c)) 0 certs
+
+let run ?(early_exit = false) scheme inst certs =
   let rejections = ref [] in
-  for v = Graph.n inst.Instance.graph - 1 downto 0 do
-    match scheme.verifier (view_of inst certs v) with
-    | Accept -> ()
-    | Reject reason -> rejections := (v, reason) :: !rejections
-  done;
+  (try
+     for v = Graph.n inst.Instance.graph - 1 downto 0 do
+       match scheme.verifier (view_of inst certs v) with
+       | Accept -> ()
+       | Reject reason ->
+           rejections := (v, reason) :: !rejections;
+           if early_exit then raise Exit
+     done
+   with Exit -> ());
   {
     accepted = !rejections = [];
     rejections = !rejections;
-    max_bits = Array.fold_left (fun acc c -> max acc (Bitstring.length c)) 0 certs;
+    max_bits = max_cert_bits certs;
   }
 
 let certify scheme inst =
@@ -59,7 +66,8 @@ let certificate_size scheme inst =
       Some
         (Array.fold_left (fun acc c -> max acc (Bitstring.length c)) 0 certs)
 
-let accepts_with scheme inst certs = (run scheme inst certs).accepted
+let accepts_with scheme inst certs =
+  (run ~early_exit:true scheme inst certs).accepted
 
 (* Pair encoding: length-prefixed first component, then the second. *)
 let encode_pair a b =

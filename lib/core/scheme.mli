@@ -46,8 +46,15 @@ type outcome = {
 val view_of : Instance.t -> Bitstring.t array -> int -> view
 (** The radius-1 view of a vertex under a certificate assignment. *)
 
-val run : t -> Instance.t -> Bitstring.t array -> outcome
-(** Execute the verifier at every vertex. *)
+val run : ?early_exit:bool -> t -> Instance.t -> Bitstring.t array -> outcome
+(** Execute the verifier at every vertex.  With [~early_exit:true] the
+    sweep stops at the first rejecting vertex, so [rejections] contains
+    exactly one entry on rejection; [accepted] and [max_bits] are
+    unaffected.  The default [false] reports every rejecting vertex. *)
+
+val max_cert_bits : Bitstring.t array -> int
+(** Size of the largest certificate in an assignment (the [max_bits]
+    field of an {!outcome}). *)
 
 val certify : t -> Instance.t -> (Bitstring.t array * outcome) option
 (** Prover then verifier; [None] if the prover declines. *)

@@ -1,0 +1,103 @@
+let with_pool_arg ?pool ?jobs f =
+  match pool with
+  | Some p -> f p
+  | None -> Pool.with_pool ?jobs f
+
+(* Chunks per domain for vertex sharding: enough slack that one slow
+   chunk (an expensive verifier hitting a cold memo) load-balances, not
+   so many that counter traffic shows up at small n. *)
+let chunk_factor = 8
+
+let run_par ?pool ?jobs ?(early_exit = false) scheme inst certs =
+  with_pool_arg ?pool ?jobs (fun pool ->
+      let n = Graph.n inst.Instance.graph in
+      let chunks = max 1 (min n (Pool.size pool * chunk_factor)) in
+      let stop = Atomic.make false in
+      let per_chunk =
+        Pool.map_chunks pool ~chunks (fun c ->
+            (* contiguous ranges: chunk c covers [lo, hi) *)
+            let lo = c * n / chunks and hi = (c + 1) * n / chunks in
+            let rejections = ref [] in
+            (try
+               (* downto, so consing leaves the list vertex-ascending *)
+               for v = hi - 1 downto lo do
+                 if early_exit && Atomic.get stop then raise Exit;
+                 match scheme.Scheme.verifier (Scheme.view_of inst certs v) with
+                 | Scheme.Accept -> ()
+                 | Scheme.Reject reason ->
+                     rejections := (v, reason) :: !rejections;
+                     if early_exit then begin
+                       Atomic.set stop true;
+                       raise Exit
+                     end
+               done
+             with Exit -> ());
+            !rejections)
+      in
+      let rejections = List.concat (Array.to_list per_chunk) in
+      {
+        Scheme.accepted = rejections = [];
+        rejections;
+        max_bits = Scheme.max_cert_bits certs;
+      })
+
+(* Trials per Rng stream.  Any constant works; it only trades stream
+   count against intra-block sequencing.  It must not depend on the job
+   count, or determinism under [--jobs] would be lost. *)
+let trial_block = 32
+
+let attack_par ?pool ?jobs rng scheme inst ~trials ~max_bits =
+  if trials <= 0 then { Attack.trials = 0; fooled = None }
+  else
+    with_pool_arg ?pool ?jobs (fun pool ->
+        let size = Instance.n inst in
+        let blocks = (trials + trial_block - 1) / trial_block in
+        let streams = Rng.split rng blocks in
+        (* lowest fooling trial index found so far; max_int = none *)
+        let best = Atomic.make max_int in
+        let witness_lock = Mutex.create () in
+        let witness = ref None in
+        let record t certs =
+          let rec lower () =
+            let cur = Atomic.get best in
+            if t < cur && not (Atomic.compare_and_set best cur t) then lower ()
+          in
+          lower ();
+          Mutex.protect witness_lock (fun () ->
+              match !witness with
+              | Some (t', _) when t' <= t -> ()
+              | _ -> witness := Some (t, certs))
+        in
+        ignore
+          (Pool.map_chunks pool ~chunks:blocks (fun b ->
+               let lo = b * trial_block in
+               if lo < Atomic.get best then begin
+                 let rng_b = streams.(b) in
+                 let hi = min trials (lo + trial_block) in
+                 for t = lo to hi - 1 do
+                   (* Once a trial is skipped, every later trial in the
+                      block is too (t grows, best only shrinks), so the
+                      stream position of each executed trial is fixed. *)
+                   if t < Atomic.get best then begin
+                     let certs =
+                       Array.init size (fun _ ->
+                           Rng.bits rng_b (Rng.int rng_b (max_bits + 1)))
+                     in
+                     if Scheme.accepts_with scheme inst certs then
+                       record t certs
+                   end
+                 done
+               end));
+        let final = Atomic.get best in
+        if final = max_int then { Attack.trials; fooled = None }
+        else
+          let certs =
+            match
+              Mutex.protect witness_lock (fun () -> !witness)
+            with
+            | Some (t, certs) ->
+                assert (t = final);
+                certs
+            | None -> assert false
+          in
+          { Attack.trials = final + 1; fooled = Some certs })

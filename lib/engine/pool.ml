@@ -1,0 +1,133 @@
+(* Fixed pool of worker domains fed by a mutex-protected task queue.
+
+   Workers block on [cv] until a task arrives or the pool stops.  A
+   parallel region ([map_chunks]) does not enqueue one task per chunk:
+   it enqueues one "drain" task per worker and lets every participant —
+   workers and the calling domain alike — claim chunk indices from an
+   atomic counter.  That keeps queue traffic at O(workers) per region
+   while chunk claiming stays lock-free. *)
+
+type t = {
+  jobs : int;
+  queue : (unit -> unit) Queue.t;
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let worker t =
+  let rec loop () =
+    Mutex.lock t.m;
+    while Queue.is_empty t.queue && not t.stopped do
+      Condition.wait t.cv t.m
+    done;
+    match Queue.take_opt t.queue with
+    | None ->
+        (* stopped and drained *)
+        Mutex.unlock t.m
+    | Some task ->
+        Mutex.unlock t.m;
+        task ();
+        loop ()
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs =
+    match jobs with
+    | None -> Domain.recommended_domain_count ()
+    | Some j ->
+        if j > 128 then invalid_arg "Pool.create: more than 128 jobs";
+        max 1 j
+  in
+  let t =
+    {
+      jobs;
+      queue = Queue.create ();
+      m = Mutex.create ();
+      cv = Condition.create ();
+      stopped = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let size t = t.jobs
+
+let shutdown t =
+  let to_join =
+    Mutex.protect t.m (fun () ->
+        if t.stopped then []
+        else begin
+          t.stopped <- true;
+          Condition.broadcast t.cv;
+          let ws = t.workers in
+          t.workers <- [];
+          ws
+        end)
+  in
+  List.iter Domain.join to_join
+
+let submit t task =
+  Mutex.protect t.m (fun () ->
+      if t.stopped then invalid_arg "Pool: already shut down";
+      Queue.push task t.queue;
+      Condition.signal t.cv)
+
+let map_chunks (type a) t ~chunks (f : int -> a) : a array =
+  if chunks < 0 then invalid_arg "Pool.map_chunks: negative chunk count";
+  if chunks = 0 then [||]
+  else if t.jobs = 1 || chunks = 1 then begin
+    if t.stopped then invalid_arg "Pool: already shut down";
+    Array.init chunks f
+  end
+  else begin
+    let results : a option array = Array.make chunks None in
+    let error = Atomic.make None in
+    let next = Atomic.make 0 in
+    let pending = Atomic.make chunks in
+    let done_m = Mutex.create () in
+    let done_cv = Condition.create () in
+    let drain () =
+      let rec claim () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < chunks then begin
+          (match f i with
+          | v -> results.(i) <- Some v
+          | exception e ->
+              ignore
+                (Atomic.compare_and_set error None
+                   (Some (e, Printexc.get_raw_backtrace ()))));
+          if Atomic.fetch_and_add pending (-1) = 1 then
+            Mutex.protect done_m (fun () -> Condition.broadcast done_cv);
+          claim ()
+        end
+      in
+      claim ()
+    in
+    (* Never more helpers than chunks; the caller is one participant. *)
+    let helpers = min (t.jobs - 1) (chunks - 1) in
+    for _ = 1 to helpers do
+      submit t drain
+    done;
+    drain ();
+    Mutex.lock done_m;
+    while Atomic.get pending > 0 do
+      Condition.wait done_cv done_m
+    done;
+    Mutex.unlock done_m;
+    (match Atomic.get error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map
+      (function
+        | Some v -> v
+        | None -> assert false (* no error implies every chunk completed *))
+      results
+  end
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

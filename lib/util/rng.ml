@@ -12,9 +12,12 @@ let next r =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let split r =
-  let s = next r in
-  { state = s }
+let split r k =
+  if k < 0 then invalid_arg "Rng.split: negative count";
+  (* Each child seeds from one output of the parent stream.  SplitMix64's
+     output function is a bijection of the (distinct) internal states, so
+     the child seeds — hence the streams — are pairwise distinct. *)
+  Array.init k (fun _ -> { state = next r })
 
 let int r bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";

@@ -10,10 +10,13 @@ type t
 val make : int -> t
 (** [make seed] creates a generator from an integer seed. *)
 
-val split : t -> t
-(** [split r] returns an independent generator and advances [r].  Use it
-    to hand a private stream to a sub-computation without coupling its
-    consumption to the caller's. *)
+val split : t -> int -> t array
+(** [split r k] returns [k] pairwise-distinct independent generators and
+    advances [r] by [k] steps.  Use it to hand private streams to
+    sub-computations (in particular parallel domains) without coupling
+    their consumption to the caller's: the array depends only on the
+    state of [r], so a computation that shards work over [split r k] is
+    reproducible regardless of how many domains execute the shards. *)
 
 val int : t -> int -> int
 (** [int r bound] is uniform in [\[0, bound)].  Raises

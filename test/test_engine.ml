@@ -1,0 +1,323 @@
+(* Differential tests for the parallel execution engine.
+
+   The engine's contract is equivalence with the sequential reference:
+   [Engine.run_par] (early exit off) must return exactly the outcome of
+   [Scheme.run] — same acceptance, same max_bits, same rejection list,
+   reasons included — over arbitrary instances, schemes and certificate
+   assignments; and [Engine.attack_par] must be a function of the seed
+   alone, never of the job count.  Every property here is a cross-check
+   of two executions, not a test of a single one. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Shared pools, spawned once; alcotest runs suites in-process so the
+   domains are reused across all cases and released at exit. *)
+let pool4 = Pool.create ~jobs:4 ()
+let pool1 = Pool.create ~jobs:1 ()
+let pool8 = Pool.create ~jobs:8 ()
+let () = at_exit (fun () -> List.iter Pool.shutdown [ pool4; pool1; pool8 ])
+
+(* ------------------------------------------------------------------ *)
+(* Generators: graphs, schemes, certificate assignments                 *)
+(* ------------------------------------------------------------------ *)
+
+let graph_of rng =
+  let n = 1 + Rng.int rng 12 in
+  match Rng.int rng 6 with
+  | 0 -> Gen.path n
+  | 1 -> Gen.cycle (max 3 n)
+  | 2 -> Gen.star n
+  | 3 -> Gen.random_tree rng (max 2 n)
+  | 4 -> Gen.random_connected rng ~n:(max 2 n) ~extra_edges:(Rng.int rng 4)
+  | _ -> Gen.caterpillar ~spine:(1 + Rng.int rng 3) ~legs:(1 + Rng.int rng 3)
+
+let instance_of rng =
+  let inst = Instance.make (graph_of rng) in
+  if Rng.bool rng then Instance.with_random_ids rng inst else inst
+
+(* A scheme that accepts iff every certificate has ≥ d bits: decidedly
+   not sound for anything, which is the point — it gives the attack
+   differentials cases where foolings exist and must be found by both
+   sides. *)
+let length_scheme d =
+  {
+    Scheme.name = Printf.sprintf "len>=%d" d;
+    prover =
+      (fun inst ->
+        Some (Array.make (Instance.n inst) (Rng.bits (Rng.make d) d)));
+    verifier =
+      (fun view ->
+        if Bitstring.length view.Scheme.cert >= d then Scheme.Accept
+        else Scheme.Reject "certificate too short");
+  }
+
+let even_count =
+  Spanning_tree.vertex_count ~expected:(fun n -> n mod 2 = 0) "even"
+
+let schemes =
+  [|
+    Spanning_tree.acyclicity;
+    even_count;
+    Scheme.conjoin ~name:"acyclic-and-even" Spanning_tree.acyclicity even_count;
+    Scheme.disjoin ~name:"acyclic-or-even" Spanning_tree.acyclicity even_count;
+    Tree_mso.make Library.has_perfect_matching.Library.auto;
+    Treedepth_cert.make ~t:4 ();
+    length_scheme 1;
+  |]
+
+let scheme_of rng = schemes.(Rng.int rng (Array.length schemes))
+
+let random_certs rng ~max_bits inst =
+  Array.init (Instance.n inst) (fun _ ->
+      Rng.bits rng (Rng.int rng (max_bits + 1)))
+
+(* Half the time try the scheme's own prover, so the differential also
+   covers the all-accept path with structured certificates; fall back to
+   random (mostly-rejecting) assignments. *)
+let certs_of rng scheme inst =
+  let forged () = random_certs rng ~max_bits:8 inst in
+  if Rng.bool rng then forged ()
+  else match scheme.Scheme.prover inst with Some c -> c | None -> forged ()
+
+let outcome_equal (a : Scheme.outcome) (b : Scheme.outcome) =
+  a.Scheme.accepted = b.Scheme.accepted
+  && a.Scheme.max_bits = b.Scheme.max_bits
+  && a.Scheme.rejections = b.Scheme.rejections
+
+let seed_arbitrary = QCheck.(int_bound 1_000_000)
+
+(* ------------------------------------------------------------------ *)
+(* run_par ≡ run                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_run_par_equals_run =
+  QCheck.Test.make ~name:"run_par ≡ run (outcome equality, early exit off)"
+    ~count:1000 seed_arbitrary (fun seed ->
+      let rng = Rng.make seed in
+      let scheme = scheme_of rng in
+      let inst = instance_of rng in
+      let certs = certs_of rng scheme inst in
+      let seq = Scheme.run scheme inst certs in
+      let par = Engine.run_par ~pool:pool4 scheme inst certs in
+      outcome_equal seq par)
+
+let qcheck_run_par_early_exit_accepted =
+  QCheck.Test.make
+    ~name:"run_par ~early_exit:true agrees on acceptance, rejections ⊆ full"
+    ~count:1000 seed_arbitrary (fun seed ->
+      let rng = Rng.make seed in
+      let scheme = scheme_of rng in
+      let inst = instance_of rng in
+      let certs = certs_of rng scheme inst in
+      let full = Scheme.run scheme inst certs in
+      let fast = Engine.run_par ~pool:pool4 ~early_exit:true scheme inst certs in
+      fast.Scheme.accepted = full.Scheme.accepted
+      && fast.Scheme.max_bits = full.Scheme.max_bits
+      && ((not fast.Scheme.accepted) || fast.Scheme.rejections = [])
+      && List.for_all
+           (fun r -> List.mem r full.Scheme.rejections)
+           fast.Scheme.rejections)
+
+(* Satellite: the sequential path's optional short-circuit.  Pin that
+   the default (and explicit [~early_exit:false]) rejection reasons are
+   unchanged, and that [~early_exit:true] reports a genuine rejection. *)
+let qcheck_run_early_exit_flag =
+  QCheck.Test.make
+    ~name:"Scheme.run ?early_exit: false is the reference, true is a member"
+    ~count:1000 seed_arbitrary (fun seed ->
+      let rng = Rng.make seed in
+      let scheme = scheme_of rng in
+      let inst = instance_of rng in
+      let certs = certs_of rng scheme inst in
+      let reference = Scheme.run scheme inst certs in
+      let explicit = Scheme.run ~early_exit:false scheme inst certs in
+      let fast = Scheme.run ~early_exit:true scheme inst certs in
+      outcome_equal reference explicit
+      && fast.Scheme.accepted = reference.Scheme.accepted
+      &&
+      match fast.Scheme.rejections with
+      | [] -> reference.Scheme.accepted
+      | [ r ] -> List.mem r reference.Scheme.rejections
+      | _ :: _ :: _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* attack_par: determinism and cross-checks                             *)
+(* ------------------------------------------------------------------ *)
+
+let report_equal (a : Attack.report) (b : Attack.report) =
+  a.Attack.trials = b.Attack.trials
+  &&
+  match (a.Attack.fooled, b.Attack.fooled) with
+  | None, None -> true
+  | Some ca, Some cb ->
+      Array.length ca = Array.length cb
+      && Array.for_all2 Bitstring.equal ca cb
+  | _ -> false
+
+let qcheck_attack_par_jobs_deterministic =
+  QCheck.Test.make
+    ~name:"attack_par: --jobs 1 ≡ --jobs 8 (same seed, same report)"
+    ~count:1000 seed_arbitrary (fun seed ->
+      let rng = Rng.make seed in
+      let scheme =
+        (* bias toward foolable schemes so the witness path is exercised *)
+        if Rng.bool rng then length_scheme (Rng.int rng 3) else scheme_of rng
+      in
+      let inst = instance_of rng in
+      let trials = 1 + Rng.int rng 80 in
+      let max_bits = Rng.int rng 3 in
+      let r1 =
+        Engine.attack_par ~pool:pool1 (Rng.make seed) scheme inst ~trials
+          ~max_bits
+      in
+      let r8 =
+        Engine.attack_par ~pool:pool8 (Rng.make seed) scheme inst ~trials
+          ~max_bits
+      in
+      report_equal r1 r8)
+
+(* Satellite: Attack differential.  On tiny budgets the exhaustive
+   sweep is the ground truth; the randomized prober must never exhibit
+   a fooling assignment on an instance where exhaustion finds none. *)
+let tiny_instance_of rng =
+  let n = 1 + Rng.int rng 4 in
+  let g =
+    match Rng.int rng 3 with
+    | 0 -> Gen.path n
+    | 1 -> Gen.cycle (max 3 (min 4 (n + 2)))
+    | _ -> Gen.clique (max 2 n)
+  in
+  Instance.make g
+
+let qcheck_attack_random_vs_exhaustive =
+  QCheck.Test.make
+    ~name:"Attack: random_assignments fooling ⇒ exhaustive fooling (tiny)"
+    ~count:1000 seed_arbitrary (fun seed ->
+      let rng = Rng.make seed in
+      let scheme =
+        if Rng.bool rng then length_scheme (Rng.int rng 3) else scheme_of rng
+      in
+      let inst = tiny_instance_of rng in
+      let max_bits = Rng.int rng 3 in
+      let random =
+        Attack.random_assignments (Rng.make seed) scheme inst ~trials:40
+          ~max_bits
+      in
+      match random.Attack.fooled with
+      | None -> true
+      | Some _ ->
+          (Attack.exhaustive scheme inst ~max_bits).Attack.fooled <> None)
+
+let qcheck_attack_par_vs_exhaustive =
+  QCheck.Test.make
+    ~name:"attack_par fooling ⇒ exhaustive fooling (tiny)" ~count:1000
+    seed_arbitrary (fun seed ->
+      let rng = Rng.make seed in
+      let scheme =
+        if Rng.bool rng then length_scheme (Rng.int rng 3) else scheme_of rng
+      in
+      let inst = tiny_instance_of rng in
+      let max_bits = Rng.int rng 3 in
+      let par =
+        Engine.attack_par ~pool:pool4 (Rng.make seed) scheme inst ~trials:40
+          ~max_bits
+      in
+      match par.Attack.fooled with
+      | None -> true
+      | Some certs ->
+          (* the witness itself must be a genuine fooling... *)
+          Scheme.accepts_with scheme inst certs
+          (* ...and exhaustion must know about some fooling too *)
+          && (Attack.exhaustive scheme inst ~max_bits).Attack.fooled <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_pool_map_chunks =
+  QCheck.Test.make ~name:"Pool.map_chunks ≡ Array.init" ~count:1000
+    QCheck.(pair (int_bound 1_000_000) (int_bound 100))
+    (fun (salt, chunks) ->
+      let f i = (i * 31) + salt in
+      Pool.map_chunks pool4 ~chunks f = Array.init chunks f)
+
+let pool_exception_propagates () =
+  (match
+     Pool.map_chunks pool4 ~chunks:40 (fun i ->
+         if i = 17 then failwith "boom" else i)
+   with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Failure msg -> check "message" true (msg = "boom"));
+  (* the pool survives a failed region *)
+  check_int "still works" 10
+    (Array.length (Pool.map_chunks pool4 ~chunks:10 Fun.id))
+
+let pool_shutdown_semantics () =
+  let p = Pool.create ~jobs:3 () in
+  check_int "size" 3 (Pool.size p);
+  check_int "map" 4 (Pool.map_chunks p ~chunks:5 Fun.id).(4);
+  Pool.shutdown p;
+  Pool.shutdown p;
+  (* idempotent *)
+  match Pool.map_chunks p ~chunks:2 Fun.id with
+  | _ -> Alcotest.fail "expected Invalid_argument after shutdown"
+  | exception Invalid_argument _ -> ()
+
+let run_par_large_instance () =
+  (* chunked ranges (several vertices per chunk) on a real scheme *)
+  let n = 3000 in
+  let inst = Instance.make (Gen.random_tree (Rng.make 5) n) in
+  let scheme = Spanning_tree.scheme () in
+  let certs = Option.get (scheme.Scheme.prover inst) in
+  let seq = Scheme.run scheme inst certs in
+  let par = Engine.run_par ~pool:pool4 scheme inst certs in
+  check "accepted" true (seq.Scheme.accepted && par.Scheme.accepted);
+  check "outcomes equal" true (outcome_equal seq par);
+  (* now corrupt a certificate and require identical rejection reports *)
+  let bad = Array.copy certs in
+  bad.(n / 2) <- Bitstring.empty;
+  let seq = Scheme.run scheme inst bad in
+  let par = Engine.run_par ~pool:pool4 scheme inst bad in
+  check "rejects" true (not seq.Scheme.accepted);
+  check "rejection reports equal" true (outcome_equal seq par)
+
+let attack_par_sound_scheme () =
+  (* C12 is a no-instance for acyclicity; nothing may fool it, at any
+     job count, and the trial count must be the full budget *)
+  let inst = Instance.make (Gen.cycle 12) in
+  List.iter
+    (fun pool ->
+      let r =
+        Engine.attack_par ~pool (Rng.make 3) Spanning_tree.acyclicity inst
+          ~trials:300 ~max_bits:6
+      in
+      check "no fooling" true (r.Attack.fooled = None);
+      check_int "full budget" 300 r.Attack.trials)
+    [ pool1; pool4 ]
+
+let suite =
+  [
+    ( "engine:differential",
+      [
+        QCheck_alcotest.to_alcotest qcheck_run_par_equals_run;
+        QCheck_alcotest.to_alcotest qcheck_run_par_early_exit_accepted;
+        QCheck_alcotest.to_alcotest qcheck_run_early_exit_flag;
+        Alcotest.test_case "run_par at n=3000" `Quick run_par_large_instance;
+      ] );
+    ( "engine:attack",
+      [
+        QCheck_alcotest.to_alcotest qcheck_attack_par_jobs_deterministic;
+        QCheck_alcotest.to_alcotest qcheck_attack_random_vs_exhaustive;
+        QCheck_alcotest.to_alcotest qcheck_attack_par_vs_exhaustive;
+        Alcotest.test_case "sound scheme unfoolable" `Quick
+          attack_par_sound_scheme;
+      ] );
+    ( "engine:pool",
+      [
+        QCheck_alcotest.to_alcotest qcheck_pool_map_chunks;
+        Alcotest.test_case "exceptions propagate" `Quick
+          pool_exception_propagates;
+        Alcotest.test_case "shutdown" `Quick pool_shutdown_semantics;
+      ] );
+  ]

@@ -182,6 +182,62 @@ let qcheck_bitstring_flip =
       let i = i mod Bitstring.length b in
       Bitstring.equal b (Bitstring.flip (Bitstring.flip b i) i))
 
+(* Concat/slice identities that certificate packing (length-prefixed
+   pair encodings, Bitbuf writers) relies on. *)
+let qcheck_bitstring_append_sub =
+  QCheck.Test.make ~name:"append/sub: slices recover both halves"
+    ~count:1000
+    QCheck.(pair (list bool) (list bool))
+    (fun (xs, ys) ->
+      let a = Bitstring.of_bools xs and b = Bitstring.of_bools ys in
+      let ab = Bitstring.append a b in
+      Bitstring.length ab = Bitstring.length a + Bitstring.length b
+      && Bitstring.equal a
+           (Bitstring.sub ab ~pos:0 ~len:(Bitstring.length a))
+      && Bitstring.equal b
+           (Bitstring.sub ab ~pos:(Bitstring.length a)
+              ~len:(Bitstring.length b))
+      && Bitstring.to_bools ab = xs @ ys)
+
+let qcheck_bitstring_sub_compose =
+  QCheck.Test.make ~name:"sub of sub composes offsets" ~count:1000
+    QCheck.(quad (list bool) small_nat small_nat small_nat)
+    (fun (bits, p1, l1, p2) ->
+      let b = Bitstring.of_bools bits in
+      let n = Bitstring.length b in
+      let p1 = if n = 0 then 0 else p1 mod (n + 1) in
+      let l1 = min l1 (n - p1) in
+      let p2 = if l1 = 0 then 0 else p2 mod (l1 + 1) in
+      let l2 = l1 - p2 in
+      Bitstring.equal
+        (Bitstring.sub (Bitstring.sub b ~pos:p1 ~len:l1) ~pos:p2 ~len:l2)
+        (Bitstring.sub b ~pos:(p1 + p2) ~len:l2))
+
+let qcheck_rng_split_reproducible =
+  QCheck.Test.make ~name:"Rng.split: reproducible from the seed"
+    ~count:1000
+    QCheck.(pair (int_bound 1_000_000) (int_bound 32))
+    (fun (seed, k) ->
+      let draw rng = List.init 8 (fun _ -> Rng.int rng 1_000_000) in
+      let a = Array.map draw (Rng.split (Rng.make seed) k) in
+      let b = Array.map draw (Rng.split (Rng.make seed) k) in
+      a = b)
+
+let qcheck_rng_split_distinct =
+  QCheck.Test.make ~name:"Rng.split: streams pairwise distinct"
+    ~count:1000
+    QCheck.(pair (int_bound 1_000_000) (int_bound 32))
+    (fun (seed, k) ->
+      let k = k + 2 in
+      let streams = Rng.split (Rng.make seed) k in
+      let firsts =
+        Array.to_list
+          (Array.map
+             (fun r -> List.init 4 (fun _ -> Rng.int r (1 lsl 30)))
+             streams)
+      in
+      List.length (List.sort_uniq compare firsts) = k)
+
 let suite =
   [
     ( "util:bitstring",
@@ -190,6 +246,8 @@ let suite =
         Alcotest.test_case "append/sub" `Quick bitstring_append_sub;
         Alcotest.test_case "compare/hash" `Quick bitstring_compare_hash;
         QCheck_alcotest.to_alcotest qcheck_bitstring_flip;
+        QCheck_alcotest.to_alcotest qcheck_bitstring_append_sub;
+        QCheck_alcotest.to_alcotest qcheck_bitstring_sub_compose;
       ] );
     ( "util:bitbuf",
       [
@@ -207,6 +265,8 @@ let suite =
         Alcotest.test_case "determinism" `Quick rng_determinism;
         Alcotest.test_case "bounds" `Quick rng_bounds;
         Alcotest.test_case "permutation" `Quick rng_permutation;
+        QCheck_alcotest.to_alcotest qcheck_rng_split_reproducible;
+        QCheck_alcotest.to_alcotest qcheck_rng_split_distinct;
       ] );
     ( "util:combin",
       [
