@@ -1,4 +1,4 @@
-.PHONY: all check build test bench clean
+.PHONY: all check build test bench bench-runtime clean
 
 all: build
 
@@ -13,6 +13,11 @@ check: build test
 
 bench:
 	dune exec bench/main.exe -- --timings
+
+# Fault-injection sweep over the round-based runtime; writes
+# BENCH_runtime.json (detection rate/latency/communication series).
+bench-runtime:
+	dune exec bench/main.exe -- --runtime
 
 clean:
 	dune clean

@@ -2,8 +2,8 @@
    (E1–E12, the paper's "tables and figures"), then run Bechamel timing
    benches for the provers and verifiers of the main schemes.
 
-   `dune exec bench/main.exe` runs everything; pass `--experiments` or
-   `--timings` to run only one half. *)
+   `dune exec bench/main.exe` runs everything; pass `--experiments`,
+   `--timings` or `--runtime` to run only one part. *)
 
 let ols =
   Bechamel.Analyze.ols ~bootstrap:0 ~r_square:true
@@ -216,9 +216,12 @@ let () =
   let argv = Array.to_list Sys.argv in
   let experiments = List.mem "--experiments" argv in
   let timings = List.mem "--timings" argv in
-  let both = (not experiments) && not timings in
-  if experiments || both then Experiments.run_all ();
-  if timings || both then begin
+  let runtime = List.mem "--runtime" argv in
+  let all = (not experiments) && (not timings) && not runtime in
+  if experiments || all then Experiments.run_all ();
+  if runtime || all then
+    Pool.with_pool ~jobs:(jobs_of_argv argv) Runtime_bench.run;
+  if timings || all then begin
     Printf.printf "\n================================================================\n";
     Printf.printf "Timing benches (Bechamel)\n";
     Printf.printf "================================================================\n";

@@ -4,6 +4,8 @@
      eval       evaluate an FO/MSO sentence on a graph
      treedepth  exact treedepth and an optimal elimination tree
      certify    run a certification scheme end-to-end (sizes, attacks)
+     attack     adversarial soundness probes (corruptions, transplant, ...)
+     simulate   round-based distributed execution with fault injection
      gadget     build the Section-7 lower-bound gadgets
      experiments (pointer to bench/main.exe)
 
@@ -207,8 +209,57 @@ let scheme_of_name name ~t ~formula =
           | _ -> failwith ("unknown scheme " ^ name))
       | None -> failwith ("unknown scheme " ^ name))
 
+(* Arguments shared by certify, attack and simulate. *)
+
+let name_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "s"; "scheme" ] ~docv:"NAME"
+        ~doc:
+          "Scheme: spanning, acyclic, treedepth, kernel-mso, existential, \
+           universal, path-minor-free, tree-mso:PROP, \
+           tree-mso-table:TABLE, lcl:(mis|weak2|COLORS), depth2:PRIM.")
+
+let t_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "t" ] ~doc:"Treedepth bound for treedepth/kernel schemes.")
+
+let formula_arg =
+  Arg.(
+    value
+    & opt (some formula_conv) None
+    & info [ "f"; "formula" ] ~docv:"FORMULA" ~doc:"Sentence, where required.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Random seed; every run is reproducible from it.")
+
+let jobs_conv =
+  Arg.conv
+    ( (fun s ->
+        match int_of_string_opt s with
+        | Some j when j >= 1 && j <= 128 -> Ok j
+        | Some _ | None ->
+            Error (`Msg "expected a job count between 1 and 128")),
+      Format.pp_print_int )
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some jobs_conv) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run on $(docv) domains in parallel (default: the number of \
+           cores).  Results are identical at every job count: verification \
+           outcomes are exact, and all randomness is keyed to trial or \
+           (round, vertex) positions, not domains.")
+
 let certify_cmd =
-  let run g name t formula attack jobs =
+  let run g name t formula attack seed jobs =
     let scheme = scheme_of_name name ~t ~formula in
     let instance = Instance.make g in
     Printf.printf "scheme: %s\ninstance: n=%d m=%d, %d-bit ids\n"
@@ -232,7 +283,7 @@ let certify_cmd =
               outcome.Scheme.rejections;
             if attack > 0 then begin
               let r =
-                Attack.corruptions (Rng.make 0) scheme instance ~base:certs
+                Attack.corruptions (Rng.make seed) scheme instance ~base:certs
                   ~trials:attack
               in
               Printf.printf
@@ -240,13 +291,18 @@ let certify_cmd =
                  corruption kept everyone accepting: %b (harmless if the \
                  property still holds)\n"
                 r.Attack.trials
-                (r.Attack.fooled <> None)
+                (r.Attack.fooled <> None);
+              match r.Attack.near_miss with
+              | Some (v, reason) ->
+                  Printf.printf "  last near-miss stopped at node %d: %s\n" v
+                    reason
+              | None -> ()
             end
         | None -> (
             Printf.printf "prover: declined (no-instance or unsupported size)\n";
             if attack > 0 then
               let r =
-                Engine.attack_par ~pool (Rng.make 0) scheme instance
+                Engine.attack_par ~pool (Rng.make seed) scheme instance
                   ~trials:attack ~max_bits:32
               in
               match r.Attack.fooled with
@@ -258,53 +314,223 @@ let certify_cmd =
                   Printf.printf
                     "attack: SOUNDNESS VIOLATION — a forgery was accepted\n"))
   in
-  let name_arg =
-    Arg.(
-      required
-      & opt (some string) None
-      & info [ "s"; "scheme" ] ~docv:"NAME"
-          ~doc:
-            "Scheme: spanning, acyclic, treedepth, kernel-mso, existential, \
-             universal, path-minor-free, tree-mso:PROP, \
-             tree-mso-table:TABLE, lcl:(mis|weak2|COLORS), depth2:PRIM.")
-  in
-  let t_arg =
-    Arg.(value & opt int 4 & info [ "t" ] ~doc:"Treedepth bound for treedepth/kernel schemes.")
-  in
-  let formula_arg =
-    Arg.(
-      value
-      & opt (some formula_conv) None
-      & info [ "f"; "formula" ] ~docv:"FORMULA" ~doc:"Sentence, where required.")
-  in
   let attack_arg =
     Arg.(value & opt int 0 & info [ "attack" ] ~doc:"Also try N adversarial assignments.")
-  in
-  let jobs_conv =
-    Arg.conv
-      ( (fun s ->
-          match int_of_string_opt s with
-          | Some j when j >= 1 && j <= 128 -> Ok j
-          | Some _ | None ->
-              Error (`Msg "expected a job count between 1 and 128")),
-        Format.pp_print_int )
-  in
-  let jobs_arg =
-    Arg.(
-      value
-      & opt (some jobs_conv) None
-      & info [ "j"; "jobs" ] ~docv:"N"
-          ~doc:
-            "Verify and attack on $(docv) domains in parallel (default: the \
-             number of cores).  Results are identical at every job count: \
-             verification outcomes are exact, and attack randomness is keyed \
-             to trial positions, not domains.")
   in
   Cmd.v
     (Cmd.info "certify" ~doc:"Run a certification scheme on a graph")
     Term.(
       const run $ graph_arg $ name_arg $ t_arg $ formula_arg $ attack_arg
-      $ jobs_arg)
+      $ seed_arg $ jobs_arg)
+
+(* ------------------------------------------------------------------ *)
+(* attack                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let attack_cmd =
+  let run g name t formula mode trials max_bits seed from jobs =
+    let scheme = scheme_of_name name ~t ~formula in
+    let instance = Instance.make g in
+    Printf.printf "scheme: %s\ninstance: n=%d m=%d\nmode: %s, seed %d\n"
+      scheme.Scheme.name (Graph.n g) (Graph.m g) mode seed;
+    let report =
+      match mode with
+      | "corruptions" -> (
+          match scheme.Scheme.prover instance with
+          | None ->
+              failwith
+                "corruptions needs a valid base certification, but the \
+                 prover declined on this instance"
+          | Some base ->
+              Attack.corruptions (Rng.make seed) scheme instance ~base ~trials)
+      | "random" -> (
+          match jobs with
+          | Some jobs when jobs > 1 ->
+              Engine.attack_par ~jobs (Rng.make seed) scheme instance ~trials
+                ~max_bits
+          | _ ->
+              Attack.random_assignments (Rng.make seed) scheme instance
+                ~trials ~max_bits)
+      | "exhaustive" ->
+          if Instance.n instance * (max_bits + 1) > 24 then
+            Printf.eprintf
+              "warning: exhaustive enumerates (2^(max-bits+1)-1)^n \
+               assignments; this may never finish\n";
+          Attack.exhaustive scheme instance ~max_bits
+      | "transplant" -> (
+          match from with
+          | None -> failwith "transplant needs --from YES-INSTANCE"
+          | Some g' ->
+              Attack.transplant scheme ~from_instance:(Instance.make g')
+                ~to_instance:instance)
+      | m ->
+          failwith
+            (Printf.sprintf
+               "unknown mode %s (expected corruptions, random, exhaustive or \
+                transplant)"
+               m)
+    in
+    Printf.printf "trials: %d\n" report.Attack.trials;
+    (match report.Attack.near_miss with
+    | Some (v, reason) ->
+        Printf.printf "last near-miss stopped at node %d: %s\n" v reason
+    | None -> ());
+    match report.Attack.fooled with
+    | None -> Printf.printf "verdict: every assignment was rejected\n"
+    | Some certs ->
+        Printf.printf
+          "verdict: FOOLED — an assignment was accepted everywhere (max %d \
+           bits); a soundness violation if this is a no-instance\n"
+          (Scheme.max_cert_bits certs)
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt string "random"
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Probe: $(b,random) (uniform assignments), $(b,corruptions) \
+             (mutations of a valid certification), $(b,exhaustive) (every \
+             assignment up to --max-bits), $(b,transplant) (replay a valid \
+             certification of --from).")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "trials" ] ~docv:"N" ~doc:"Trial budget (random/corruptions).")
+  in
+  let max_bits_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-bits" ] ~docv:"B"
+          ~doc:"Max certificate bits per vertex (random/exhaustive).")
+  in
+  let from_arg =
+    Arg.(
+      value
+      & opt (some graph_conv) None
+      & info [ "from" ] ~docv:"SPEC"
+          ~doc:"Yes-instance whose certification transplant replays.")
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:"Probe a scheme's soundness with adversarial certificates")
+    Term.(
+      const run $ graph_arg $ name_arg $ t_arg $ formula_arg $ mode_arg
+      $ trials_arg $ max_bits_arg $ seed_arg $ from_arg $ jobs_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let run g name t formula plan rounds seed trace_out sweep jobs =
+    let scheme = scheme_of_name name ~t ~formula in
+    let instance = Instance.make g in
+    let certs =
+      match scheme.Scheme.prover instance with
+      | Some certs -> certs
+      | None ->
+          failwith
+            "the prover declined on this instance; simulate needs an initial \
+             certification (pick a yes-instance)"
+    in
+    Pool.with_pool ?jobs (fun pool ->
+        let result =
+          Runtime.execute ~pool ~plan ~rounds ~seed scheme instance certs
+        in
+        Format.printf "%a" Trace.pp_summary result.Runtime.trace;
+        (match trace_out with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Trace.to_json result.Runtime.trace);
+            output_char oc '\n';
+            close_out oc;
+            Printf.printf "trace written to %s\n" path);
+        if sweep then begin
+          Printf.printf
+            "\ncorruption-rate sweep (%d rounds per run, 5 seeds per rate):\n"
+            rounds;
+          Printf.printf "%8s %10s %10s %12s\n" "rate" "corrupted" "detected"
+            "latency";
+          List.iter
+            (fun rate ->
+              let corrupted = ref 0 and detected = ref 0 in
+              let latencies = ref [] in
+              for s = 0 to 4 do
+                let r =
+                  Runtime.execute ~pool ~plan:(Fault.corruption rate) ~rounds
+                    ~seed:((seed * 5) + s) scheme instance certs
+                in
+                let m = Trace.metrics r.Runtime.trace in
+                if m.Trace.certs_corrupted > 0 then incr corrupted;
+                match (r.Runtime.detected_at, m.Trace.first_corruption) with
+                | Some d, Some c ->
+                    incr detected;
+                    latencies := (d - c + 1) :: !latencies
+                | _ -> ()
+              done;
+              let mean_latency =
+                match !latencies with
+                | [] -> nan
+                | ls ->
+                    float_of_int (List.fold_left ( + ) 0 ls)
+                    /. float_of_int (List.length ls)
+              in
+              Printf.printf "%8.2f %10d %10d %12.1f\n" rate !corrupted
+                !detected mean_latency)
+            [ 0.02; 0.05; 0.1; 0.2; 0.4 ]
+        end)
+  in
+  let plan_conv =
+    Arg.conv
+      ( (fun s -> Result.map_error (fun e -> `Msg e) (Fault.of_spec s)),
+        fun ppf p -> Format.pp_print_string ppf (Fault.to_string p) )
+  in
+  let plan_arg =
+    Arg.(
+      value
+      & opt plan_conv Fault.none
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "Fault plan: $(b,none) or comma-separated kind:value with kinds \
+             drop, flip, corrupt, crash, byz (rates) and crashed (vertex \
+             list, e.g. crashed:0+3).")
+  in
+  let rounds_conv =
+    Arg.conv
+      ( (fun s ->
+          match int_of_string_opt s with
+          | Some r when r >= 1 -> Ok r
+          | _ -> Error (`Msg "rounds must be a positive integer")),
+        Format.pp_print_int )
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt rounds_conv 1
+      & info [ "rounds" ] ~docv:"R"
+          ~doc:"Re-verification rounds (self-stabilization mode when > 1).")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write the full execution trace as JSON to $(docv).")
+  in
+  let sweep_arg =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:"Also sweep corruption rates and report detection statistics.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Execute a scheme as a round-based distributed protocol")
+    Term.(
+      const run $ graph_arg $ name_arg $ t_arg $ formula_arg $ plan_arg
+      $ rounds_arg $ seed_arg $ trace_arg $ sweep_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gadget                                                              *)
@@ -394,4 +620,12 @@ let () =
        (Cmd.group ~default
           (Cmd.info "localcert" ~version:"1.0"
              ~doc:"Compact local certification of MSO properties (PODC 2022)")
-          [ eval_cmd; treedepth_cmd; certify_cmd; gadget_cmd; export_cmd ]))
+          [
+            eval_cmd;
+            treedepth_cmd;
+            certify_cmd;
+            attack_cmd;
+            simulate_cmd;
+            gadget_cmd;
+            export_cmd;
+          ]))

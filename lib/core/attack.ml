@@ -1,17 +1,27 @@
-type report = { trials : int; fooled : Bitstring.t array option }
+type report = {
+  trials : int;
+  fooled : Bitstring.t array option;
+  near_miss : (int * string) option;
+}
 
 let probe scheme inst assignments =
   let trials = ref 0 in
   let fooled = ref None in
+  let near_miss = ref None in
   (try
      assignments (fun certs ->
          incr trials;
-         if Scheme.accepts_with scheme inst certs then begin
+         let o = Scheme.run ~early_exit:true scheme inst certs in
+         if o.Scheme.accepted then begin
            fooled := Some certs;
            raise Exit
-         end)
+         end
+         else
+           match o.Scheme.rejections with
+           | r :: _ -> near_miss := Some r
+           | [] -> ())
    with Exit -> ());
-  { trials = !trials; fooled = !fooled }
+  { trials = !trials; fooled = !fooled; near_miss = !near_miss }
 
 let random_assignments rng scheme inst ~trials ~max_bits =
   let size = Instance.n inst in
@@ -90,5 +100,5 @@ let transplant scheme ~from_instance ~to_instance =
   if Instance.n from_instance <> Instance.n to_instance then
     invalid_arg "Attack.transplant: vertex counts differ";
   match scheme.Scheme.prover from_instance with
-  | None -> { trials = 0; fooled = None }
+  | None -> { trials = 0; fooled = None; near_miss = None }
   | Some certs -> probe scheme to_instance (fun yield -> yield certs)

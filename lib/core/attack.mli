@@ -13,6 +13,11 @@ type report = {
   fooled : Bitstring.t array option;
       (** a certificate assignment that every vertex accepted, if one
           was found — on a no-instance this is a soundness bug *)
+  near_miss : (int * string) option;
+      (** the rejecting vertex and reason of the {e last} failed trial
+          — how close the adversary got, and which check stopped it.
+          [None] when no trial was rejected (or, for {!Engine.attack_par},
+          where a deterministic "last" trial does not exist). *)
 }
 
 val random_assignments :

@@ -47,7 +47,7 @@ let run_par ?pool ?jobs ?(early_exit = false) scheme inst certs =
 let trial_block = 32
 
 let attack_par ?pool ?jobs rng scheme inst ~trials ~max_bits =
-  if trials <= 0 then { Attack.trials = 0; fooled = None }
+  if trials <= 0 then { Attack.trials = 0; fooled = None; near_miss = None }
   else
     with_pool_arg ?pool ?jobs (fun pool ->
         let size = Instance.n inst in
@@ -89,7 +89,9 @@ let attack_par ?pool ?jobs rng scheme inst ~trials ~max_bits =
                  done
                end));
         let final = Atomic.get best in
-        if final = max_int then { Attack.trials; fooled = None }
+        (* near_miss stays None: which failed trial ran "last" depends
+           on scheduling, and the report must not. *)
+        if final = max_int then { Attack.trials; fooled = None; near_miss = None }
         else
           let certs =
             match
@@ -100,4 +102,4 @@ let attack_par ?pool ?jobs rng scheme inst ~trials ~max_bits =
                 certs
             | None -> assert false
           in
-          { Attack.trials = final + 1; fooled = Some certs })
+          { Attack.trials = final + 1; fooled = Some certs; near_miss = None })

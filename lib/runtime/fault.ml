@@ -1,0 +1,135 @@
+type t = {
+  name : string;
+  drop : float;
+  flip : float;
+  corrupt : float;
+  crash : float;
+  crashed : int list;
+  byzantine : float;
+  byz_bits : int;
+}
+
+let none =
+  {
+    name = "none";
+    drop = 0.;
+    flip = 0.;
+    corrupt = 0.;
+    crash = 0.;
+    crashed = [];
+    byzantine = 0.;
+    byz_bits = 16;
+  }
+
+let is_none p =
+  p.drop = 0. && p.flip = 0. && p.corrupt = 0. && p.crash = 0.
+  && p.crashed = [] && p.byzantine = 0.
+
+let check_rate what r =
+  if not (r >= 0. && r <= 1.) then
+    invalid_arg (Printf.sprintf "Fault.%s: rate %g outside [0, 1]" what r)
+
+let drops r =
+  check_rate "drops" r;
+  { none with name = Printf.sprintf "drop:%g" r; drop = r }
+
+let flips r =
+  check_rate "flips" r;
+  { none with name = Printf.sprintf "flip:%g" r; flip = r }
+
+let corruption r =
+  check_rate "corruption" r;
+  { none with name = Printf.sprintf "corrupt:%g" r; corrupt = r }
+
+let crashes r =
+  check_rate "crashes" r;
+  { none with name = Printf.sprintf "crash:%g" r; crash = r }
+
+let crash_vertices vs =
+  let vs = List.sort_uniq Int.compare vs in
+  {
+    none with
+    name =
+      Printf.sprintf "crashed:%s"
+        (String.concat "+" (List.map string_of_int vs));
+    crashed = vs;
+  }
+
+let byzantine ?(bits = 16) r =
+  check_rate "byzantine" r;
+  if bits < 0 then invalid_arg "Fault.byzantine: negative bit budget";
+  { none with name = Printf.sprintf "byz:%g" r; byzantine = r; byz_bits = bits }
+
+let union a b =
+  {
+    name =
+      (if is_none a then b.name
+       else if is_none b then a.name
+       else a.name ^ "," ^ b.name);
+    drop = Float.max a.drop b.drop;
+    flip = Float.max a.flip b.flip;
+    corrupt = Float.max a.corrupt b.corrupt;
+    crash = Float.max a.crash b.crash;
+    crashed = List.sort_uniq Int.compare (a.crashed @ b.crashed);
+    byzantine = Float.max a.byzantine b.byzantine;
+    byz_bits = max a.byz_bits b.byz_bits;
+  }
+
+let of_spec spec =
+  let ( let* ) = Result.bind in
+  let parse_rate kind v =
+    match float_of_string_opt v with
+    | Some r when r >= 0. && r <= 1. -> Ok r
+    | Some _ | None ->
+        Error (Printf.sprintf "fault %s: %S is not a rate in [0, 1]" kind v)
+  in
+  let parse_item item =
+    match String.index_opt item ':' with
+    | None -> Error (Printf.sprintf "fault item %S: expected kind:value" item)
+    | Some i -> (
+        let kind = String.sub item 0 i in
+        let v = String.sub item (i + 1) (String.length item - i - 1) in
+        match kind with
+        | "drop" -> Result.map drops (parse_rate kind v)
+        | "flip" -> Result.map flips (parse_rate kind v)
+        | "corrupt" -> Result.map corruption (parse_rate kind v)
+        | "crash" -> Result.map crashes (parse_rate kind v)
+        | "byz" -> Result.map (byzantine ?bits:None) (parse_rate kind v)
+        | "crashed" -> (
+            let vs = String.split_on_char '+' v in
+            match
+              List.map
+                (fun s ->
+                  match int_of_string_opt s with
+                  | Some x when x >= 0 -> x
+                  | _ -> raise Exit)
+                vs
+            with
+            | vs -> Ok (crash_vertices vs)
+            | exception Exit ->
+                Error
+                  (Printf.sprintf
+                     "fault crashed: %S is not a +-separated vertex list" v))
+        | _ ->
+            Error
+              (Printf.sprintf
+                 "unknown fault kind %S (expected drop, flip, corrupt, crash, \
+                  byz or crashed)"
+                 kind))
+  in
+  match String.trim spec with
+  | "" | "none" -> Ok none
+  | spec ->
+      let* plan =
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            let* p = parse_item (String.trim item) in
+            Ok (union acc p))
+          (Ok none)
+          (String.split_on_char ',' spec)
+      in
+      (* keep the user's spelling for reproducibility in traces *)
+      Ok { plan with name = spec }
+
+let to_string p = p.name

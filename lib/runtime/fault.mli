@@ -1,0 +1,71 @@
+(** Fault plans for the round-based runtime.
+
+    A plan describes the adversary/environment the {!Runtime} simulator
+    applies at every communication round.  All rates are per-round
+    probabilities; every random decision is drawn from a per-vertex
+    {!Localcert_util.Rng.split} stream, so an execution under a plan is
+    a pure function of the seed — never of the job count.
+
+    The fault kinds mirror the self-stabilization literature behind
+    proof-labeling schemes:
+
+    - {e drops}: a message (one certificate broadcast over one directed
+      edge) is lost, making the sender silent toward that neighbor for
+      the round;
+    - {e flips}: one uniformly chosen bit of a message is inverted on
+      the wire (transient — the stored certificate is unharmed);
+    - {e corruption}: a vertex's {e stored} certificate is mutated
+      (one-bit flip or same-length random replacement, the
+      {!Attack.corruptions} mutations) — persistent until the end of
+      the execution;
+    - {e crashes}: a vertex halts permanently: it sends nothing and
+      renders no verdicts from the crash round on;
+    - {e Byzantine} vertices (drawn once, in round 1) send arbitrary,
+      per-neighbor random certificates instead of their own and render
+      no verdicts. *)
+
+type t = {
+  name : string;  (** the spec string the plan was built from *)
+  drop : float;  (** P(message dropped), per directed edge per round *)
+  flip : float;  (** P(one message bit flipped), per directed edge per round *)
+  corrupt : float;  (** P(stored certificate mutated), per vertex per round *)
+  crash : float;  (** P(vertex crashes), per vertex per round *)
+  crashed : int list;  (** vertices deterministically crashed in round 1 *)
+  byzantine : float;  (** P(vertex is Byzantine), drawn once in round 1 *)
+  byz_bits : int;  (** max length of a forged Byzantine message *)
+}
+
+val none : t
+(** The fault-free plan: under it, every round is exactly
+    {!Scheme.run}. *)
+
+val is_none : t -> bool
+(** No fault kind can ever fire under this plan. *)
+
+val drops : float -> t
+val flips : float -> t
+val corruption : float -> t
+val crashes : float -> t
+(** Single-kind plans.  Each raises [Invalid_argument] on a rate
+    outside [\[0, 1\]]. *)
+
+val crash_vertices : int list -> t
+(** Deterministically crash the listed vertices in round 1 (targeted
+    tests: e.g. crash every neighbor of one vertex). *)
+
+val byzantine : ?bits:int -> float -> t
+(** Byzantine vertices with forged messages of up to [bits] (default
+    16) bits. *)
+
+val union : t -> t -> t
+(** Pointwise-worst combination of two plans (max of each rate, union
+    of crash lists). *)
+
+val of_spec : string -> (t, string) result
+(** Parse a plan from a CLI spec: ["none"], or a comma-separated list
+    of [kind:value] items with kind one of [drop], [flip], [corrupt],
+    [crash], [byz] (value a probability) or [crashed] (value a
+    [+]-separated vertex list), e.g. ["drop:0.1,corrupt:0.05"]. *)
+
+val to_string : t -> string
+(** The spec the plan was built from ([name]). *)

@@ -1,0 +1,97 @@
+type send = { dst : int; payload : Bitstring.t }
+
+(* The Attack.corruptions-style persistent mutation: flip one bit or
+   replace the certificate with fresh random bits of the same length.
+   Empty certificates have no bits to corrupt and are left alone. *)
+let mutate_cert stream cert =
+  let len = Bitstring.length cert in
+  if len = 0 then cert
+  else if Rng.int stream 2 = 0 then Bitstring.flip cert (Rng.int stream len)
+  else Rng.bits stream len
+
+(* One vertex's sender step.  Only reads/writes [node] and only draws
+   from [stream]; see the .mli determinism contract. *)
+let sender_step ~plan ~first_round ~inst ~(node : Node.t) ~stream =
+  let events = ref [] in
+  let push e = events := e :: !events in
+  if first_round then begin
+    if node.Node.status = Node.Alive && List.mem node.vertex plan.Fault.crashed
+    then begin
+      node.status <- Node.Crashed;
+      push (Trace.Crash { vertex = node.vertex })
+    end;
+    let u_byz = Rng.float stream 1.0 in
+    if node.status = Node.Alive && u_byz < plan.Fault.byzantine then begin
+      node.status <- Node.Byzantine;
+      push (Trace.Went_byzantine { vertex = node.vertex })
+    end
+  end;
+  let u_crash = Rng.float stream 1.0 in
+  if node.status <> Node.Crashed && u_crash < plan.Fault.crash then begin
+    node.status <- Node.Crashed;
+    push (Trace.Crash { vertex = node.vertex })
+  end;
+  let u_corrupt = Rng.float stream 1.0 in
+  if node.status = Node.Alive && u_corrupt < plan.Fault.corrupt then begin
+    node.cert <- mutate_cert stream node.cert;
+    push (Trace.Corrupt { vertex = node.vertex })
+  end;
+  let sends = ref [] in
+  if node.status <> Node.Crashed then
+    Array.iter
+      (fun w ->
+        let u_drop = Rng.float stream 1.0 in
+        let u_flip = Rng.float stream 1.0 in
+        let forged = node.status = Node.Byzantine in
+        let payload =
+          if forged then
+            Rng.bits stream (Rng.int stream (plan.Fault.byz_bits + 1))
+          else node.cert
+        in
+        if u_drop < plan.Fault.drop then
+          push (Trace.Drop { src = node.vertex; dst = w })
+        else begin
+          let payload =
+            if
+              (not forged) && u_flip < plan.Fault.flip
+              && Bitstring.length payload > 0
+            then begin
+              let bit = Rng.int stream (Bitstring.length payload) in
+              push (Trace.Flip { src = node.vertex; dst = w; bit });
+              Bitstring.flip payload bit
+            end
+            else payload
+          in
+          let bits = Bitstring.length payload in
+          push
+            (if forged then Trace.Forge { src = node.vertex; dst = w; bits }
+             else Trace.Send { src = node.vertex; dst = w; bits });
+          sends := { dst = w; payload } :: !sends
+        end)
+      (Graph.neighbors inst.Instance.graph node.vertex);
+  (List.rev !events, List.rev !sends)
+
+let chunk_factor = 8
+
+let exchange ~pool ~plan ~first_round ~inst ~nodes ~streams =
+  let n = Array.length nodes in
+  let per_vertex = Array.make n ([], []) in
+  let chunks = max 1 (min n (Pool.size pool * chunk_factor)) in
+  ignore
+    (Pool.map_chunks pool ~chunks (fun c ->
+         let lo = c * n / chunks and hi = (c + 1) * n / chunks in
+         for v = lo to hi - 1 do
+           per_vertex.(v) <-
+             sender_step ~plan ~first_round ~inst ~node:nodes.(v)
+               ~stream:streams.(v)
+         done));
+  let inboxes = Array.make n [] in
+  Array.iteri
+    (fun v (_, sends) ->
+      List.iter
+        (fun { dst; payload } ->
+          inboxes.(dst) <- (nodes.(v).Node.id, payload) :: inboxes.(dst))
+        sends)
+    per_vertex;
+  let events = List.concat_map fst (Array.to_list per_vertex) in
+  (events, inboxes)

@@ -1,0 +1,32 @@
+(** One communication round: broadcast, faults, delivery.
+
+    Each alive vertex broadcasts its stored certificate to every
+    neighbor; the fault plan intercepts state (crash, Byzantine
+    conversion, stored-certificate corruption) and messages (drop, bit
+    flip, forgery) on the way.
+
+    Determinism contract: vertex [v]'s step consumes randomness only
+    from [streams.(v)] and mutates only [nodes.(v)], so the phase can
+    be sharded across any number of domains without changing the
+    outcome — events are reassembled in ascending vertex order
+    afterwards. *)
+
+val exchange :
+  pool:Pool.t ->
+  plan:Fault.t ->
+  first_round:bool ->
+  inst:Instance.t ->
+  nodes:Node.t array ->
+  streams:Localcert_util.Rng.t array ->
+  Trace.event list * (int * Bitstring.t) list array
+(** [exchange ~pool ~plan ~first_round ~inst ~nodes ~streams] plays one
+    round of message exchange.  Returns the sender-side events (in
+    canonical ascending-sender order) and, per vertex, the inbox of
+    [(sender id, payload)] messages that survived the faults.
+
+    Per vertex the stream is consumed in a fixed order: round-1
+    Byzantine draw, crash draw, corruption draw (plus mutation draws
+    when it fires), then per neighbor in ascending vertex order a drop
+    draw, a flip draw and — for Byzantine senders — the forged
+    payload.  [nodes] is mutated in place (status transitions,
+    corrupted certificates). *)

@@ -1,0 +1,24 @@
+type status = Alive | Crashed | Byzantine
+
+type t = {
+  vertex : int;
+  id : int;
+  mutable cert : Bitstring.t;
+  mutable status : status;
+}
+
+let boot inst certs =
+  let n = Instance.n inst in
+  if Array.length certs <> n then
+    invalid_arg "Node.boot: certificate count does not match the instance";
+  Array.init n (fun v ->
+      { vertex = v; id = Instance.id_of inst v; cert = certs.(v); status = Alive })
+
+let view inst node ~inbox =
+  {
+    Scheme.me = node.id;
+    id_bits = inst.Instance.id_bits;
+    label = inst.Instance.labels.(node.vertex);
+    cert = node.cert;
+    nbrs = List.sort (fun (a, _) (b, _) -> Int.compare a b) inbox;
+  }

@@ -1,0 +1,121 @@
+type result = {
+  outcome : Scheme.outcome;
+  per_round : Scheme.outcome array;
+  detected_at : int option;
+  trace : Trace.t;
+}
+
+let with_pool_arg ?pool ?jobs f =
+  match pool with Some p -> f p | None -> Pool.with_pool ?jobs f
+
+let chunk_factor = 8
+
+(* Verification phase: every alive honest vertex assembles its view
+   from the round's inbox and runs the verifier.  Verdicts come back in
+   ascending vertex order (per-chunk downto + cons, chunks ascending),
+   matching Scheme.run's rejection order. *)
+let verify_round ~pool ~inst ~nodes ~inboxes scheme =
+  let n = Array.length nodes in
+  let chunks = max 1 (min n (Pool.size pool * chunk_factor)) in
+  let per_chunk =
+    Pool.map_chunks pool ~chunks (fun c ->
+        let lo = c * n / chunks and hi = (c + 1) * n / chunks in
+        let out = ref [] in
+        for v = hi - 1 downto lo do
+          let node = nodes.(v) in
+          if node.Node.status = Node.Alive then begin
+            let view = Node.view inst node ~inbox:inboxes.(v) in
+            let verdict =
+              match scheme.Scheme.verifier view with
+              | verdict -> verdict
+              | exception e ->
+                  Scheme.Reject ("verifier raised: " ^ Printexc.to_string e)
+            in
+            out := (v, verdict) :: !out
+          end
+        done;
+        !out)
+  in
+  List.concat (Array.to_list per_chunk)
+
+let execute ?pool ?jobs ?(plan = Fault.none) ?(rounds = 1) ?(seed = 0) scheme
+    inst certs =
+  if rounds < 1 then invalid_arg "Runtime.execute: rounds must be >= 1";
+  if Array.length certs <> Instance.n inst then
+    invalid_arg "Runtime.execute: certificate count does not match the instance";
+  with_pool_arg ?pool ?jobs (fun pool ->
+      let nodes = Node.boot inst certs in
+      let n = Array.length nodes in
+      let rng = Rng.make seed in
+      let round_streams = Rng.split rng rounds in
+      let logs = ref [] in
+      let outcomes = ref [] in
+      for r = 1 to rounds do
+        let streams = Rng.split round_streams.(r - 1) n in
+        let events, inboxes =
+          Network.exchange ~pool ~plan ~first_round:(r = 1) ~inst ~nodes
+            ~streams
+        in
+        let verdicts = verify_round ~pool ~inst ~nodes ~inboxes scheme in
+        let rejections =
+          List.filter_map
+            (function
+              | v, Scheme.Reject reason -> Some (v, reason)
+              | _, Scheme.Accept -> None)
+            verdicts
+        in
+        let verdict_events =
+          List.map
+            (fun (v, verdict) ->
+              match verdict with
+              | Scheme.Accept ->
+                  Trace.Verdict { vertex = v; accepted = true; reason = "" }
+              | Scheme.Reject reason ->
+                  Trace.Verdict { vertex = v; accepted = false; reason })
+            verdicts
+        in
+        let max_bits =
+          Array.fold_left
+            (fun acc (nd : Node.t) -> max acc (Bitstring.length nd.Node.cert))
+            0 nodes
+        in
+        let wire_bits =
+          List.fold_left
+            (fun acc e ->
+              match e with
+              | Trace.Send { bits; _ } | Trace.Forge { bits; _ } -> acc + bits
+              | _ -> acc)
+            0 events
+        in
+        logs :=
+          {
+            Trace.round = r;
+            events = events @ verdict_events;
+            wire_bits;
+            rejections;
+          }
+          :: !logs;
+        outcomes := { Scheme.accepted = rejections = []; rejections; max_bits } :: !outcomes
+      done;
+      let per_round = Array.of_list (List.rev !outcomes) in
+      let detected_at =
+        let found = ref None in
+        Array.iteri
+          (fun i (o : Scheme.outcome) ->
+            if !found = None && not o.Scheme.accepted then found := Some (i + 1))
+          per_round;
+        !found
+      in
+      {
+        outcome = per_round.(rounds - 1);
+        per_round;
+        detected_at;
+        trace =
+          {
+            Trace.scheme = scheme.Scheme.name;
+            n;
+            seed;
+            plan = Fault.to_string plan;
+            rounds = List.rev !logs;
+          };
+      })

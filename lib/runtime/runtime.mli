@@ -1,0 +1,61 @@
+(** Round-based distributed execution of certification schemes.
+
+    The paper's model (Section 2.2 / Appendix A.1) is a distributed
+    protocol: every vertex receives its neighbors' certificates and
+    decides locally.  {!execute} actually runs that protocol — each
+    round, every alive vertex broadcasts its stored certificate, a
+    {!Fault} plan intercepts state and messages, each vertex assembles
+    a {!Scheme.view} from what it received and runs the verifier.
+
+    Two contracts anchor the simulator:
+
+    - {e Reference equivalence}: under {!Fault.none} with [~rounds:1],
+      the final {!Scheme.outcome} is identical to
+      [Scheme.run scheme inst certs] — same [accepted], same
+      [max_bits], same [rejections] (order and reasons included).
+    - {e Seed determinism}: the whole execution — outcome {e and}
+      trace, byte for byte — is a function of [(seed, plan, rounds)]
+      only, never of [?jobs] or scheduling.  Randomness is dealt from
+      {!Localcert_util.Rng.split} streams keyed by (round, vertex).
+
+    Multi-round executions model self-stabilizing re-verification:
+    persistent faults (corrupted certificates, crashes) accumulate,
+    and {!result.detected_at} reports the first round in which some
+    honest vertex rejected. *)
+
+type result = {
+  outcome : Scheme.outcome;  (** the final round's outcome *)
+  per_round : Scheme.outcome array;  (** outcome of every round, in order *)
+  detected_at : int option;
+      (** first round (1-based) with a rejecting verdict *)
+  trace : Trace.t;
+}
+
+val execute :
+  ?pool:Pool.t ->
+  ?jobs:int ->
+  ?plan:Fault.t ->
+  ?rounds:int ->
+  ?seed:int ->
+  Scheme.t ->
+  Instance.t ->
+  Bitstring.t array ->
+  result
+(** [execute scheme inst certs] runs the protocol for [?rounds]
+    (default 1) communication rounds under [?plan] (default
+    {!Fault.none}), seeded by [?seed] (default 0).
+
+    Vertices are sharded across the {!Pool} in both the exchange and
+    the verification phase of every round ([?pool] to reuse a pool,
+    [?jobs] for a private one, as in {!Engine.run_par}).
+
+    A round's outcome counts the verdicts of alive, honest vertices
+    only — crashed and Byzantine vertices render none.  [max_bits]
+    measures the stored certificates as of that round (so persistent
+    corruption is reflected, transient wire flips are not).  A verifier
+    that raises is treated as rejecting with the exception text: a
+    vertex whose neighbors all crashed (or whose messages were mangled)
+    must never take the simulator down.
+
+    Raises [Invalid_argument] if [rounds < 1] or the certificate count
+    does not match the instance. *)

@@ -1,0 +1,223 @@
+type event =
+  | Crash of { vertex : int }
+  | Went_byzantine of { vertex : int }
+  | Corrupt of { vertex : int }
+  | Send of { src : int; dst : int; bits : int }
+  | Drop of { src : int; dst : int }
+  | Flip of { src : int; dst : int; bit : int }
+  | Forge of { src : int; dst : int; bits : int }
+  | Verdict of { vertex : int; accepted : bool; reason : string }
+
+type round_log = {
+  round : int;
+  events : event list;
+  wire_bits : int;
+  rejections : (int * string) list;
+}
+
+type t = {
+  scheme : string;
+  n : int;
+  seed : int;
+  plan : string;
+  rounds : round_log list;
+}
+
+type metrics = {
+  rounds : int;
+  detected_at : int option;
+  first_corruption : int option;
+  messages_sent : int;
+  messages_dropped : int;
+  messages_flipped : int;
+  messages_forged : int;
+  certs_corrupted : int;
+  crashed : int;
+  byzantine : int;
+  wire_bits : int;
+  rejecting_verdicts : int;
+}
+
+let is_fault = function
+  | Corrupt _ | Drop _ | Flip _ | Forge _ | Crash _ | Went_byzantine _ -> true
+  | Send _ | Verdict _ -> false
+
+let metrics (t : t) =
+  let m =
+    ref
+      {
+        rounds = List.length t.rounds;
+        detected_at = None;
+        first_corruption = None;
+        messages_sent = 0;
+        messages_dropped = 0;
+        messages_flipped = 0;
+        messages_forged = 0;
+        certs_corrupted = 0;
+        crashed = 0;
+        byzantine = 0;
+        wire_bits = 0;
+        rejecting_verdicts = 0;
+      }
+  in
+  List.iter
+    (fun r ->
+      let acc = !m in
+      let acc =
+        if r.rejections <> [] && acc.detected_at = None then
+          { acc with detected_at = Some r.round }
+        else acc
+      in
+      let acc =
+        if acc.first_corruption = None && List.exists is_fault r.events then
+          { acc with first_corruption = Some r.round }
+        else acc
+      in
+      m :=
+        List.fold_left
+          (fun acc e ->
+            match e with
+            | Send _ -> { acc with messages_sent = acc.messages_sent + 1 }
+            | Drop _ -> { acc with messages_dropped = acc.messages_dropped + 1 }
+            | Flip _ ->
+                (* a flipped message is still delivered: count both *)
+                {
+                  acc with
+                  messages_flipped = acc.messages_flipped + 1;
+                }
+            | Forge _ -> { acc with messages_forged = acc.messages_forged + 1 }
+            | Corrupt _ ->
+                { acc with certs_corrupted = acc.certs_corrupted + 1 }
+            | Crash _ -> { acc with crashed = acc.crashed + 1 }
+            | Went_byzantine _ -> { acc with byzantine = acc.byzantine + 1 }
+            | Verdict { accepted = false; _ } ->
+                { acc with rejecting_verdicts = acc.rejecting_verdicts + 1 }
+            | Verdict _ -> acc)
+          { acc with wire_bits = acc.wire_bits + r.wire_bits }
+          r.events)
+    t.rounds;
+  !m
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let event_json b = function
+  | Crash { vertex } ->
+      Printf.bprintf b {|{"type":"crash","vertex":%d}|} vertex
+  | Went_byzantine { vertex } ->
+      Printf.bprintf b {|{"type":"byzantine","vertex":%d}|} vertex
+  | Corrupt { vertex } ->
+      Printf.bprintf b {|{"type":"corrupt","vertex":%d}|} vertex
+  | Send { src; dst; bits } ->
+      Printf.bprintf b {|{"type":"send","src":%d,"dst":%d,"bits":%d}|} src dst
+        bits
+  | Drop { src; dst } ->
+      Printf.bprintf b {|{"type":"drop","src":%d,"dst":%d}|} src dst
+  | Flip { src; dst; bit } ->
+      Printf.bprintf b {|{"type":"flip","src":%d,"dst":%d,"bit":%d}|} src dst
+        bit
+  | Forge { src; dst; bits } ->
+      Printf.bprintf b {|{"type":"forge","src":%d,"dst":%d,"bits":%d}|} src
+        dst bits
+  | Verdict { vertex; accepted; reason } ->
+      Printf.bprintf b {|{"type":"verdict","vertex":%d,"accepted":%b|} vertex
+        accepted;
+      if not accepted then begin
+        Buffer.add_string b {|,"reason":"|};
+        escape b reason;
+        Buffer.add_char b '"'
+      end;
+      Buffer.add_char b '}'
+
+let sep_iter b f = function
+  | [] -> ()
+  | x :: rest ->
+      f b x;
+      List.iter
+        (fun x ->
+          Buffer.add_char b ',';
+          f b x)
+        rest
+
+let round_json b r =
+  Printf.bprintf b {|{"round":%d,"wire_bits":%d,"rejections":[|} r.round
+    r.wire_bits;
+  sep_iter b
+    (fun b (v, reason) ->
+      Printf.bprintf b {|{"vertex":%d,"reason":"|} v;
+      escape b reason;
+      Buffer.add_string b {|"}|})
+    r.rejections;
+  Buffer.add_string b {|],"events":[|};
+  sep_iter b event_json r.events;
+  Buffer.add_string b "]}"
+
+let to_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b {|{"scheme":"|};
+  escape b t.scheme;
+  Printf.bprintf b {|","n":%d,"seed":%d,"plan":"|} t.n t.seed;
+  escape b t.plan;
+  Buffer.add_string b {|","rounds":[|};
+  sep_iter b round_json t.rounds;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Human-readable summary                                              *)
+(* ------------------------------------------------------------------ *)
+
+let pp_summary ppf t =
+  Format.fprintf ppf "scheme %s, n=%d, seed=%d, plan=%s@." t.scheme t.n t.seed
+    t.plan;
+  List.iter
+    (fun r ->
+      let count f = List.length (List.filter f r.events) in
+      Format.fprintf ppf
+        "round %2d: %4d sent (%d bits), %d dropped, %d flipped, %d forged, %d \
+         corrupted, %d crashed; %d rejecting@."
+        r.round
+        (count (function Send _ -> true | _ -> false))
+        r.wire_bits
+        (count (function Drop _ -> true | _ -> false))
+        (count (function Flip _ -> true | _ -> false))
+        (count (function Forge _ -> true | _ -> false))
+        (count (function Corrupt _ -> true | _ -> false))
+        (count (function Crash _ -> true | _ -> false))
+        (List.length r.rejections))
+    t.rounds;
+  let m = metrics t in
+  (match (m.detected_at, m.first_corruption) with
+  | Some d, Some c ->
+      Format.fprintf ppf
+        "detection: first rejection in round %d (first fault in round %d, \
+         latency %d round%s)@."
+        d c
+        (d - c + 1)
+        (if d - c = 0 then "" else "s")
+  | Some d, None ->
+      Format.fprintf ppf "detection: first rejection in round %d@." d
+  | None, Some c ->
+      Format.fprintf ppf
+        "detection: none (first fault in round %d went undetected)@." c
+  | None, None -> Format.fprintf ppf "detection: nothing to detect@.");
+  Format.fprintf ppf
+    "totals: %d rounds, %d bits on the wire, %d corrupted certs, %d crashed, \
+     %d byzantine, %d rejecting verdicts@."
+    m.rounds m.wire_bits m.certs_corrupted m.crashed m.byzantine
+    m.rejecting_verdicts

@@ -1,0 +1,68 @@
+(** Structured execution traces of the round-based runtime.
+
+    A trace is the full, deterministic event log of one
+    {!Runtime.execute}: per round, every message sent, dropped,
+    corrupted on the wire or forged, every state fault (crash,
+    Byzantine conversion, stored-certificate corruption) and every
+    verdict rendered.  Event order is canonical — sender events in
+    ascending vertex order, then verdicts in ascending vertex order —
+    so the same seed produces a byte-identical {!to_json} rendering at
+    every job count.
+
+    {!metrics} folds a trace into the aggregate figures the bench
+    sweep reports: detection latency in rounds, corruption/detection
+    counts, and total communication bits. *)
+
+type event =
+  | Crash of { vertex : int }  (** the vertex halted this round *)
+  | Went_byzantine of { vertex : int }  (** round-1 adversary draw *)
+  | Corrupt of { vertex : int }  (** stored certificate mutated *)
+  | Send of { src : int; dst : int; bits : int }  (** delivered honestly *)
+  | Drop of { src : int; dst : int }  (** lost on the wire *)
+  | Flip of { src : int; dst : int; bit : int }
+      (** delivered with bit [bit] inverted *)
+  | Forge of { src : int; dst : int; bits : int }
+      (** Byzantine sender, arbitrary payload delivered *)
+  | Verdict of { vertex : int; accepted : bool; reason : string }
+      (** verifier output ([reason] is [""] on acceptance) *)
+
+type round_log = {
+  round : int;  (** 1-based *)
+  events : event list;  (** canonical order, see above *)
+  wire_bits : int;  (** delivered payload bits this round *)
+  rejections : (int * string) list;  (** rejecting vertices, ascending *)
+}
+
+type t = {
+  scheme : string;
+  n : int;
+  seed : int;
+  plan : string;
+  rounds : round_log list;  (** ascending round order *)
+}
+
+type metrics = {
+  rounds : int;
+  detected_at : int option;  (** first round with a rejection, 1-based *)
+  first_corruption : int option;
+      (** first round with any fault event (corrupt/flip/drop/forge/crash) *)
+  messages_sent : int;  (** delivered, honest *)
+  messages_dropped : int;
+  messages_flipped : int;
+  messages_forged : int;
+  certs_corrupted : int;
+  crashed : int;
+  byzantine : int;
+  wire_bits : int;  (** delivered payload bits over all rounds *)
+  rejecting_verdicts : int;
+}
+
+val metrics : t -> metrics
+
+val to_json : t -> string
+(** Machine-readable rendering.  Deterministic: the same trace value
+    always yields the same bytes. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One line per round plus the aggregate metrics — the CLI's default
+    [simulate] output. *)

@@ -1,0 +1,265 @@
+(* Differential tests for the round-based distributed runtime.
+
+   The simulator's two contracts (see runtime.mli) are checked as
+   cross-executions: fault-free single-round [Runtime.execute] must be
+   outcome-identical to the sequential reference [Scheme.run] on every
+   registered scheme, and a faulty execution — outcome *and* trace,
+   byte for byte — must depend on the seed only, never on the job
+   count.  The fault machinery itself gets targeted unit tests
+   (crash-isolation safety, plan parsing) and the attack near-miss
+   surfacing is pinned here too, since the runtime CLI reuses it. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let pool1 = Pool.create ~jobs:1 ()
+let pool8 = Pool.create ~jobs:8 ()
+let () = at_exit (fun () -> List.iter Pool.shutdown [ pool1; pool8 ])
+
+let outcome_equal (a : Scheme.outcome) (b : Scheme.outcome) =
+  a.Scheme.accepted = b.Scheme.accepted
+  && a.Scheme.max_bits = b.Scheme.max_bits
+  && a.Scheme.rejections = b.Scheme.rejections
+
+let seed_arbitrary = QCheck.(int_bound 1_000_000)
+
+(* Half prover certificates (covering the all-accept path), half random
+   garbage (covering dense rejection), as in test_engine. *)
+let certs_of rng scheme inst =
+  let forged () =
+    Array.init (Instance.n inst) (fun _ -> Rng.bits rng (Rng.int rng 9))
+  in
+  if Rng.bool rng then forged ()
+  else match scheme.Scheme.prover inst with Some c -> c | None -> forged ()
+
+(* ------------------------------------------------------------------ *)
+(* Fault-free runtime ≡ Scheme.run, for every registered scheme         *)
+(* ------------------------------------------------------------------ *)
+
+(* Each qcheck case runs the differential once per registry entry, so
+   count 60 exercises 600 (scheme, instance, certs) triples. *)
+let qcheck_fault_free_equals_run =
+  QCheck.Test.make
+    ~name:"fault-free execute ≡ Scheme.run (every registered scheme)"
+    ~count:60 seed_arbitrary (fun seed ->
+      List.for_all
+        (fun e ->
+          let rng = Rng.split (Rng.make seed) 2 in
+          let inst = e.Registry.instance rng.(0) in
+          let certs = certs_of rng.(1) e.Registry.scheme inst in
+          let reference = Scheme.run e.Registry.scheme inst certs in
+          let r = Runtime.execute ~pool:pool8 e.Registry.scheme inst certs in
+          outcome_equal reference r.Runtime.outcome
+          && Array.length r.Runtime.per_round = 1
+          && r.Runtime.detected_at
+             = (if reference.Scheme.accepted then None else Some 1))
+        Registry.all)
+
+(* Multi-round fault-free executions are stationary: nothing mutates
+   state, so every round's outcome is the round-1 outcome. *)
+let qcheck_fault_free_stationary =
+  QCheck.Test.make ~name:"fault-free multi-round execution is stationary"
+    ~count:60 seed_arbitrary (fun seed ->
+      let e = List.nth Registry.all (seed mod List.length Registry.all) in
+      let rng = Rng.split (Rng.make seed) 2 in
+      let inst = e.Registry.instance rng.(0) in
+      let certs = certs_of rng.(1) e.Registry.scheme inst in
+      let reference = Scheme.run e.Registry.scheme inst certs in
+      let r =
+        Runtime.execute ~pool:pool8 ~rounds:4 e.Registry.scheme inst certs
+      in
+      Array.length r.Runtime.per_round = 4
+      && Array.for_all (outcome_equal reference) r.Runtime.per_round)
+
+(* ------------------------------------------------------------------ *)
+(* Seed determinism: trace bytes are a function of the seed, not jobs   *)
+(* ------------------------------------------------------------------ *)
+
+let stress_plan =
+  List.fold_left Fault.union (Fault.drops 0.15)
+    [
+      Fault.flips 0.15;
+      Fault.corruption 0.1;
+      Fault.crashes 0.05;
+      Fault.byzantine ~bits:6 0.1;
+    ]
+
+let qcheck_jobs_determinism =
+  QCheck.Test.make
+    ~name:"faulty execution: trace byte-identical across --jobs 1 and 8"
+    ~count:40 seed_arbitrary (fun seed ->
+      let e = List.nth Registry.all (seed mod List.length Registry.all) in
+      let rng = Rng.split (Rng.make seed) 2 in
+      let inst = e.Registry.instance rng.(0) in
+      let certs = certs_of rng.(1) e.Registry.scheme inst in
+      let run pool =
+        Runtime.execute ~pool ~plan:stress_plan ~rounds:3 ~seed
+          e.Registry.scheme inst certs
+      in
+      let a = run pool1 and b = run pool8 in
+      Trace.to_json a.Runtime.trace = Trace.to_json b.Runtime.trace
+      && outcome_equal a.Runtime.outcome b.Runtime.outcome
+      && a.Runtime.detected_at = b.Runtime.detected_at)
+
+(* And across repeated executions at the same job count: same seed in,
+   same bytes out. *)
+let qcheck_seed_reproducibility =
+  QCheck.Test.make ~name:"same seed twice gives the same trace" ~count:40
+    seed_arbitrary (fun seed ->
+      let e = List.nth Registry.all (seed mod List.length Registry.all) in
+      let rng = Rng.split (Rng.make seed) 2 in
+      let inst = e.Registry.instance rng.(0) in
+      let certs = certs_of rng.(1) e.Registry.scheme inst in
+      let run () =
+        Runtime.execute ~pool:pool8 ~plan:stress_plan ~rounds:3 ~seed
+          e.Registry.scheme inst certs
+      in
+      Trace.to_json (run ()).Runtime.trace
+      = Trace.to_json (run ()).Runtime.trace)
+
+(* ------------------------------------------------------------------ *)
+(* Crash isolation: a vertex with no alive neighbor must not crash us   *)
+(* ------------------------------------------------------------------ *)
+
+(* Star graph, crash the center: every leaf's only neighbor is gone, so
+   all seven leaves receive zero messages for 5 rounds.  The simulator
+   must survive and keep rendering leaf verdicts; the spanning-tree
+   verifier rejects each starved view ("parent is not a neighbor")
+   rather than raising out of the run. *)
+let test_all_neighbors_crashed () =
+  let inst = Instance.make (Gen.star 8) in
+  let scheme = Spanning_tree.scheme () in
+  let certs = Option.get (scheme.Scheme.prover inst) in
+  let r =
+    Runtime.execute ~pool:pool8 ~plan:(Fault.crash_vertices [ 0 ]) ~rounds:5
+      scheme inst certs
+  in
+  check "execution rejected" false r.Runtime.outcome.Scheme.accepted;
+  check_int "detected in round 1" 1 (Option.get r.Runtime.detected_at);
+  (* the crashed center renders no verdict: all 7 leaves reject *)
+  Alcotest.(check (list int))
+    "every leaf rejects" [ 1; 2; 3; 4; 5; 6; 7 ]
+    (List.map fst r.Runtime.outcome.Scheme.rejections);
+  let m = Trace.metrics r.Runtime.trace in
+  check_int "exactly the center crashed" 1 m.Trace.crashed;
+  check_int "5 rejecting verdicts per leaf" 35 m.Trace.rejecting_verdicts
+
+(* A verifier that raises must be folded into a rejection, not escape. *)
+let test_raising_verifier_contained () =
+  let raising =
+    {
+      Scheme.name = "raises";
+      prover = (fun inst -> Some (Array.make (Instance.n inst) Bitstring.empty));
+      verifier = (fun _ -> failwith "boom");
+    }
+  in
+  let inst = Instance.make (Gen.path 5) in
+  let certs = Option.get (raising.Scheme.prover inst) in
+  let r = Runtime.execute ~pool:pool1 raising inst certs in
+  check "rejected" false r.Runtime.outcome.Scheme.accepted;
+  List.iter
+    (fun (_, reason) ->
+      check "reason mentions the raise" true
+        (String.length reason >= 15
+        && String.sub reason 0 15 = "verifier raised"))
+    r.Runtime.outcome.Scheme.rejections
+
+(* ------------------------------------------------------------------ *)
+(* Fault plan parsing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_of_spec () =
+  (match Fault.of_spec "none" with
+  | Ok p -> check "none parses to the empty plan" true (Fault.is_none p)
+  | Error e -> Alcotest.failf "none rejected: %s" e);
+  (match Fault.of_spec "drop:0.1,corrupt:0.05,byz:0.2" with
+  | Ok p ->
+      check "drop rate" true (p.Fault.drop = 0.1);
+      check "corrupt rate" true (p.Fault.corrupt = 0.05);
+      check "byz rate" true (p.Fault.byzantine = 0.2);
+      check "no crash" true (p.Fault.crash = 0.0 && p.Fault.crashed = []);
+      check_string "spec survives as name" "drop:0.1,corrupt:0.05,byz:0.2"
+        (Fault.to_string p)
+  | Error e -> Alcotest.failf "valid spec rejected: %s" e);
+  (match Fault.of_spec "crashed:1+4+2" with
+  | Ok p ->
+      check "crash list parsed" true
+        (List.sort compare p.Fault.crashed = [ 1; 2; 4 ])
+  | Error e -> Alcotest.failf "crashed spec rejected: %s" e);
+  List.iter
+    (fun bad ->
+      match Fault.of_spec bad with
+      | Ok _ -> Alcotest.failf "bad spec %S accepted" bad
+      | Error _ -> ())
+    [ "drop"; "drop:2.0"; "frob:0.1"; "drop:x" ];
+  match Fault.of_spec "" with
+  | Ok p -> check "empty spec is the fault-free plan" true (Fault.is_none p)
+  | Error e -> Alcotest.failf "empty spec rejected: %s" e
+
+let test_union () =
+  let u = Fault.union (Fault.drops 0.3) (Fault.crash_vertices [ 2 ]) in
+  check "drop kept" true (u.Fault.drop = 0.3);
+  check "crash list kept" true (u.Fault.crashed = [ 2 ]);
+  check "union of none is none" true
+    (Fault.is_none (Fault.union Fault.none Fault.none))
+
+(* ------------------------------------------------------------------ *)
+(* Attack near-miss surfacing (satellite)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Acyclicity on a cycle is a no-instance: every random assignment is
+   rejected, so the report must carry a near-miss and no fooling. *)
+let test_near_miss_on_no_instance () =
+  let inst = Instance.make (Gen.cycle 6) in
+  let r =
+    Attack.random_assignments (Rng.make 3) Spanning_tree.acyclicity inst
+      ~trials:50 ~max_bits:4
+  in
+  check "no fooling assignment" true (r.Attack.fooled = None);
+  match r.Attack.near_miss with
+  | None -> Alcotest.fail "expected a near-miss on a rejected trial"
+  | Some (v, reason) ->
+      check "vertex in range" true (v >= 0 && v < 6);
+      check "reason non-empty" true (reason <> "")
+
+(* When the adversary wins, the near-miss reflects the last *failed*
+   trial before the win — and a fooled report on an accepting scheme
+   keeps near_miss coherent (here: first trial wins, so no near-miss). *)
+let test_near_miss_absent_when_first_trial_wins () =
+  let accept_all =
+    {
+      Scheme.name = "accept-all";
+      prover = (fun _ -> None);
+      verifier = (fun _ -> Scheme.Accept);
+    }
+  in
+  let inst = Instance.make (Gen.path 4) in
+  let r =
+    Attack.random_assignments (Rng.make 0) accept_all inst ~trials:10
+      ~max_bits:2
+  in
+  check "fooled" true (r.Attack.fooled <> None);
+  check_int "won on the first trial" 1 r.Attack.trials;
+  check "no failed trial, no near-miss" true (r.Attack.near_miss = None)
+
+let suite =
+  [
+    ( "runtime",
+      [
+        QCheck_alcotest.to_alcotest qcheck_fault_free_equals_run;
+        QCheck_alcotest.to_alcotest qcheck_fault_free_stationary;
+        QCheck_alcotest.to_alcotest qcheck_jobs_determinism;
+        QCheck_alcotest.to_alcotest qcheck_seed_reproducibility;
+        Alcotest.test_case "all neighbors crashed: simulator survives" `Quick
+          test_all_neighbors_crashed;
+        Alcotest.test_case "raising verifier becomes a rejection" `Quick
+          test_raising_verifier_contained;
+        Alcotest.test_case "Fault.of_spec" `Quick test_of_spec;
+        Alcotest.test_case "Fault.union" `Quick test_union;
+        Alcotest.test_case "attack near-miss on a no-instance" `Quick
+          test_near_miss_on_no_instance;
+        Alcotest.test_case "attack near-miss absent on instant fooling" `Quick
+          test_near_miss_absent_when_first_trial_wins;
+      ] );
+  ]
