@@ -1,4 +1,4 @@
-.PHONY: all check build test bench bench-runtime clean
+.PHONY: all check build test bench bench-runtime bench-perf bench-perf-smoke clean
 
 all: build
 
@@ -18,6 +18,16 @@ bench:
 # BENCH_runtime.json (detection rate/latency/communication series).
 bench-runtime:
 	dune exec bench/main.exe -- --runtime
+
+# Prover/verifier wall-clock, throughput, parallel speedup and
+# allocation counters per scheme family; writes BENCH_PERF.json
+# (schema: lib/util/perf_schema.mli, guarded by the test suite).
+bench-perf:
+	dune exec bench/main.exe -- --perf
+
+# Small-n variant for CI: same artifact, seconds instead of minutes.
+bench-perf-smoke:
+	dune exec bench/main.exe -- --perf-smoke
 
 clean:
 	dune clean

@@ -3,7 +3,10 @@
    benches for the provers and verifiers of the main schemes.
 
    `dune exec bench/main.exe` runs everything; pass `--experiments`,
-   `--timings` or `--runtime` to run only one part. *)
+   `--timings`, `--runtime`, `--perf` or `--perf-smoke` to run only one
+   part.  `--perf` writes the BENCH_PERF.json artifact (see
+   Perf_bench); it is not part of the default everything-run because it
+   overwrites the committed artifact. *)
 
 let ols =
   Bechamel.Analyze.ols ~bootstrap:0 ~r_square:true
@@ -217,7 +220,13 @@ let () =
   let experiments = List.mem "--experiments" argv in
   let timings = List.mem "--timings" argv in
   let runtime = List.mem "--runtime" argv in
-  let all = (not experiments) && (not timings) && not runtime in
+  let perf = List.mem "--perf" argv in
+  let perf_smoke = List.mem "--perf-smoke" argv in
+  let all =
+    (not experiments) && (not timings) && (not runtime) && (not perf)
+    && not perf_smoke
+  in
+  if perf || perf_smoke then Perf_bench.run ~smoke:perf_smoke ();
   if experiments || all then Experiments.run_all ();
   if runtime || all then
     Pool.with_pool ~jobs:(jobs_of_argv argv) Runtime_bench.run;

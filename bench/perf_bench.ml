@@ -1,0 +1,178 @@
+(* Timing benchmark harness behind `bench/main.exe --perf`.
+
+   For each scheme family and instance size this measures prover and
+   verifier wall-clock, derives vertices/second, samples the Gc minor
+   allocation counter across the prover runs, and records the
+   certificate-store hit ratio.  The verifier is measured once per job
+   count (1/2/4/8) so the parallel-speedup story is in the artifact,
+   not just in a transient table.  Results land in [BENCH_PERF.json]
+   (schema: {!Perf_schema}), plus a human-readable table on stdout.
+
+   `--perf-smoke` shrinks sizes, repetitions and the job ladder so CI
+   can regenerate and schema-check the artifact in seconds. *)
+
+let out_file = "BENCH_PERF.json"
+
+(* Mean wall-clock seconds over [reps] calls, after one warmup. *)
+let wall ~reps f =
+  ignore (Sys.opaque_identity (f ()));
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int reps
+
+(* Minor words allocated by one call of [f] (measured over [reps] calls
+   on the calling domain; parallel helpers' allocations are not
+   counted, which is the honest per-run prover number since provers are
+   sequential). *)
+let minor_words_per ~reps f =
+  let before = Gc.minor_words () in
+  for _ = 1 to reps do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  (Gc.minor_words () -. before) /. float_of_int reps
+
+type family = {
+  name : string;
+  sizes : int list;  (** full-run instance sizes *)
+  smoke_sizes : int list;
+  make : int -> Scheme.t * Instance.t;
+}
+
+let tri_free () =
+  Parser.parse_exn "forall x. forall y. forall z. ~(x -- y & y -- z & x -- z)"
+
+(* Caterpillar sizes are n = spine * (legs + 1) with spine = 3; [make]
+   receives n and recovers legs. *)
+let caterpillar_spine = 3
+let caterpillar_n legs = caterpillar_spine * (legs + 1)
+
+let families =
+  [
+    {
+      name = "spanning";
+      sizes = [ 4096; 16384 ];
+      smoke_sizes = [ 256 ];
+      make =
+        (fun n ->
+          let g = Gen.random_tree (Rng.make 1) n in
+          ( Spanning_tree.vertex_count
+              ~expected:(fun m -> m = n)
+              (Printf.sprintf "n=%d" n),
+            Instance.make g ));
+    };
+    {
+      name = "tree-mso-pm";
+      sizes = [ 1024; 4096 ];
+      smoke_sizes = [ 128 ];
+      make =
+        (fun n ->
+          ( Tree_mso.make Library.has_perfect_matching.Library.auto,
+            Instance.make (Gen.path n) ));
+    };
+    {
+      name = "treedepth";
+      sizes = [ 1023; 2047 ];
+      smoke_sizes = [ 127 ];
+      make =
+        (fun n ->
+          let t = Combin.ceil_log2 (n + 1) in
+          ( Treedepth_cert.make_with_model ~t (Elimination.of_path n),
+            Instance.make (Gen.path n) ));
+    };
+    {
+      name = "kernel-mso";
+      sizes = [ caterpillar_n 32; caterpillar_n 64 ];
+      smoke_sizes = [ caterpillar_n 8 ];
+      make =
+        (fun n ->
+          let legs = (n / caterpillar_spine) - 1 in
+          let g = Gen.caterpillar ~spine:caterpillar_spine ~legs in
+          let model =
+            Elimination.coherentize
+              (Elimination.of_caterpillar ~spine:caterpillar_spine ~legs)
+              g
+          in
+          ( Kernel_mso.make_with_model ~t:4 model (tri_free ()),
+            Instance.make g ));
+    };
+  ]
+
+let measure_family ~smoke ~jobs_ladder ~reps fam =
+  let sizes = if smoke then fam.smoke_sizes else fam.sizes in
+  let rows =
+    List.concat_map
+      (fun n ->
+        let scheme, inst = fam.make n in
+        let prover () = Option.get (scheme.Scheme.prover inst) in
+        (* hit ratio of interning one fresh prover output into an empty
+           store: how much duplicate-label sharing the family has *)
+        Cert_store.reset ();
+        let certs = Cert_store.intern_all (prover ()) in
+        let interned_ratio = Cert_store.hit_ratio () in
+        let prover_s = wall ~reps prover in
+        let minor_words = minor_words_per ~reps prover in
+        List.map
+          (fun jobs ->
+            let verify_s =
+              if jobs = 1 then
+                wall ~reps (fun () -> Scheme.run scheme inst certs)
+              else
+                Pool.with_pool ~jobs (fun pool ->
+                    wall ~reps (fun () ->
+                        Engine.run_par ~pool scheme inst certs))
+            in
+            {
+              Perf_schema.n;
+              jobs;
+              prover_ms = prover_s *. 1e3;
+              verify_ms = verify_s *. 1e3;
+              verts_per_sec = float_of_int n /. verify_s;
+              minor_words;
+              interned_ratio;
+            })
+          jobs_ladder)
+      sizes
+  in
+  { Perf_schema.scheme = fam.name; rows }
+
+let print_series (s : Perf_schema.series) =
+  Printf.printf "\n  %s\n" s.scheme;
+  Printf.printf "    %7s %5s %11s %11s %13s %13s %9s\n" "n" "jobs"
+    "prover_ms" "verify_ms" "verts/sec" "minor_words" "interned";
+  List.iter
+    (fun (r : Perf_schema.row) ->
+      Printf.printf "    %7d %5d %11.3f %11.3f %13.0f %13.0f %8.0f%%\n" r.n
+        r.jobs r.prover_ms r.verify_ms r.verts_per_sec r.minor_words
+        (100. *. r.interned_ratio))
+    s.rows
+
+let run ~smoke () =
+  let jobs_ladder = if smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let reps = if smoke then 2 else 5 in
+  Printf.printf
+    "\n================================================================\n";
+  Printf.printf "Perf bench%s (reps=%d, jobs ladder %s)\n"
+    (if smoke then " [smoke]" else "")
+    reps
+    (String.concat "/" (List.map string_of_int jobs_ladder));
+  Printf.printf
+    "================================================================\n";
+  let doc =
+    {
+      Perf_schema.smoke;
+      series = List.map (measure_family ~smoke ~jobs_ladder ~reps) families;
+    }
+  in
+  List.iter print_series doc.series;
+  let rendered = Perf_schema.render doc in
+  (* round-trip guard before writing: the artifact must parse under
+     the committed schema *)
+  (match Perf_schema.parse rendered with
+  | Ok _ -> ()
+  | Error msg -> failwith ("perf bench produced an invalid artifact: " ^ msg));
+  let oc = open_out out_file in
+  output_string oc rendered;
+  close_out oc;
+  Printf.printf "\nwrote %s (%d series)\n" out_file (List.length doc.series)

@@ -16,60 +16,55 @@ let compile_oracle ~threshold ~name oracle =
   if threshold < 1 then invalid_arg "Capped_type: threshold must be >= 1";
   (* The intern/info/memo tables are shared by every [delta]/[accepting]
      call on the compiled automaton — including calls racing from
-     parallel domains (Engine.run_par) — so all table accesses take
-     [lock].  The oracle runs unlocked: it evaluates a formula on a
-     representative tree and never re-enters this automaton. *)
-  let lock = Mutex.create () in
-  let intern : (int * (int * int) list, int) Hashtbl.t = Hashtbl.create 64 in
-  let infos : (int, state_info) Hashtbl.t = Hashtbl.create 64 in
-  let accept_memo : (int, bool) Hashtbl.t = Hashtbl.create 64 in
-  let next = ref 0 in
+     parallel domains (Engine.run_par) — so they are sharded [Memo]
+     tables: concurrent lookups only contend on a shard, not on one
+     global lock.  State ids come from an atomic counter; [intern]'s
+     compute runs under its shard lock, which makes id allocation and
+     the [infos] insert atomic per key (a state id never escapes before
+     its info is published).  The oracle runs unlocked: it evaluates a
+     formula on a representative tree and never re-enters this
+     automaton. *)
+  let intern : (int * (int * int) list, int) Memo.t = Memo.create 64 in
+  let infos : (int, state_info) Memo.t = Memo.create 64 in
+  let accept_memo : (int, bool) Memo.t = Memo.create 64 in
+  let next = Atomic.make 0 in
   let info id =
-    match Hashtbl.find_opt infos id with
+    match Memo.find_opt infos id with
     | Some i -> i
     | None -> invalid_arg "Capped_type: unknown state"
   in
   let delta ~label ~counts =
     let capped = Tree_automaton.cap_counts threshold counts in
     let key = (label, capped) in
-    Mutex.protect lock (fun () ->
-        match Hashtbl.find_opt intern key with
-        | Some id -> id
-        | None ->
-            let id = !next in
-            incr next;
-            let children =
-              List.concat_map (fun (s, c) -> replicate c (info s).rep) capped
-            in
-            Hashtbl.replace intern key id;
-            Hashtbl.replace infos id
-              {
-                label;
-                capped_children = capped;
-                rep = Rooted.node ~label children;
-              };
-            id)
+    Memo.find_or_add intern key (fun () ->
+        let id = Atomic.fetch_and_add next 1 in
+        let children =
+          List.concat_map (fun (s, c) -> replicate c (info s).rep) capped
+        in
+        Memo.set infos id
+          { label; capped_children = capped; rep = Rooted.node ~label children };
+        id)
   in
   let accepting id =
-    match Mutex.protect lock (fun () -> Hashtbl.find_opt accept_memo id) with
+    match Memo.find_opt accept_memo id with
     | Some b -> b
     | None ->
-        let rep = Mutex.protect lock (fun () -> (info id).rep) in
-        let b = oracle rep in
-        Mutex.protect lock (fun () -> Hashtbl.replace accept_memo id b);
+        (* compute unlocked: racing domains agree on the result *)
+        let b = oracle (info id).rep in
+        Memo.set accept_memo id b;
         b
   in
   {
     auto =
       {
         Tree_automaton.name;
-        state_count = (fun () -> Mutex.protect lock (fun () -> !next));
+        state_count = (fun () -> Atomic.get next);
         delta;
         accepting;
         threshold = Some threshold;
       };
     threshold;
-    representative = (fun id -> Mutex.protect lock (fun () -> (info id).rep));
+    representative = (fun id -> (info id).rep);
   }
 
 let compile ?threshold phi =

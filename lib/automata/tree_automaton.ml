@@ -52,23 +52,20 @@ let product ~name f a b =
   (* Pair states are interned on demand so lazily-grown components keep
      working.  The intern tables are shared by every [delta]/[accepting]
      call on the product — including calls racing from parallel domains
-     (Engine.run_par) — so all table accesses take [lock].  The lock is
-     never held across calls into [a] or [b]: nested products lock their
-     own tables, structurally parent-then-child, so the order is acyclic
-     and deadlock-free. *)
-  let lock = Mutex.create () in
-  let fwd : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
-  let back : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
-  let next = ref 0 in
+     (Engine.run_par) — so they are sharded [Memo] tables; lookups from
+     different domains only contend per shard.  [intern] allocates the
+     id and publishes the reverse mapping under its shard lock, so an
+     id never escapes before [back] knows it.  No lock is held across
+     calls into [a] or [b]: nested products use their own tables, so
+     the locking is structurally acyclic and deadlock-free. *)
+  let fwd : (int * int, int) Memo.t = Memo.create 64 in
+  let back : (int, int * int) Memo.t = Memo.create 64 in
+  let next = Atomic.make 0 in
   let intern p =
-    match Hashtbl.find_opt fwd p with
-    | Some id -> id
-    | None ->
-        let id = !next in
-        incr next;
-        Hashtbl.replace fwd p id;
-        Hashtbl.replace back id p;
-        id
+    Memo.find_or_add fwd p (fun () ->
+        let id = Atomic.fetch_and_add next 1 in
+        Memo.set back id p;
+        id)
   in
   let project counts =
     let ca = Hashtbl.create 8 and cb = Hashtbl.create 8 in
@@ -77,7 +74,7 @@ let product ~name f a b =
     in
     List.iter
       (fun (pair_id, c) ->
-        match Hashtbl.find_opt back pair_id with
+        match Memo.find_opt back pair_id with
         | Some (sa, sb) ->
             bump ca sa c;
             bump cb sb c
@@ -90,16 +87,16 @@ let product ~name f a b =
   in
   {
     name;
-    state_count = (fun () -> Mutex.protect lock (fun () -> !next));
+    state_count = (fun () -> Atomic.get next);
     delta =
       (fun ~label ~counts ->
-        let ca, cb = Mutex.protect lock (fun () -> project counts) in
+        let ca, cb = project counts in
         let sa = a.delta ~label ~counts:ca in
         let sb = b.delta ~label ~counts:cb in
-        Mutex.protect lock (fun () -> intern (sa, sb)));
+        intern (sa, sb));
     accepting =
       (fun id ->
-        match Mutex.protect lock (fun () -> Hashtbl.find_opt back id) with
+        match Memo.find_opt back id with
         | Some (sa, sb) -> f (a.accepting sa) (b.accepting sb)
         | None -> invalid_arg "Tree_automaton.product: unknown state");
     threshold =

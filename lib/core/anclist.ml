@@ -23,46 +23,69 @@ let build (inst : Instance.t) tree ~ann =
     invalid_arg "Anclist.build: model is not coherent";
   let size = Graph.n g in
   let id v = inst.Instance.ids.(v) in
-  (* For each non-root v: a spanning tree of G_v rooted at the exit
-     vertex, as (dist, parent) arrays indexed by original vertices. *)
-  let tree_info = Hashtbl.create size in
+  let depth = Elimination.depth tree in
+  let kids = Elimination.children_all tree in
+  (* Subtree vertex lists, sorted ascending (the exit-vertex choice
+     below depends on this order), built bottom-up so the whole pass
+     is O(Σ|subtree|) = O(n · depth) rather than O(n²). *)
+  let subs = Array.make size [] in
+  let by_depth = Array.init size Fun.id in
+  Array.sort (fun a b -> Int.compare depth.(b) depth.(a)) by_depth;
+  Array.iter
+    (fun v ->
+      subs.(v) <-
+        List.sort Int.compare
+          (v :: List.concat_map (fun c -> subs.(c)) kids.(v)))
+    by_depth;
+  (* For each vertex u and each proper-depth slot j: u's record in the
+     spanning tree of G_v for its ancestor v at depth j+1.  Filled per
+     ancestor v in one sweep over its subtree, so no per-(u, v) lookup
+     structure is needed. *)
+  let tree_parts =
+    Array.init size (fun u -> Array.make depth.(u) None)
+  in
   for v = 0 to size - 1 do
-    if tree.Elimination.parent.(v) <> -1 then begin
-      let sub = Elimination.subtree tree v in
+    let p = tree.Elimination.parent.(v) in
+    if p <> -1 then begin
+      let sub = subs.(v) in
       let sub_graph, back = Graph.induced g sub in
-      let fwd = Hashtbl.create (List.length sub) in
-      Array.iteri (fun i x -> Hashtbl.replace fwd x i) back;
-      let exit = Elimination.exit_vertex tree g v in
-      let sp = Spanning.bfs sub_graph ~root:(Hashtbl.find fwd exit) in
-      Hashtbl.replace tree_info v (exit, sp, back, fwd)
+      (* the exit vertex: lowest-numbered subtree vertex adjacent to
+         the parent (same choice as [Elimination.exit_vertex]) *)
+      let exit =
+        match List.find_opt (fun x -> Graph.mem_edge g x p) sub with
+        | Some x -> x
+        | None -> raise Not_found
+      in
+      let exit_i = ref (-1) in
+      Array.iteri (fun i x -> if x = exit then exit_i := i) back;
+      let sp = Spanning.bfs sub_graph ~root:!exit_i in
+      let slot = depth.(v) - 1 in
+      let exit_id = id exit in
+      Array.iteri
+        (fun i u ->
+          let parent_vertex =
+            if sp.Spanning.parent.(i) = -1 then u
+            else back.(sp.Spanning.parent.(i))
+          in
+          tree_parts.(u).(slot) <-
+            Some
+              {
+                exit_id;
+                dist = sp.Spanning.dist.(i);
+                parent_id = id parent_vertex;
+              })
+        back
     end
   done;
   Array.init size (fun u ->
-      let ancs = Elimination.ancestors tree u in
       List.map
         (fun v ->
           let tree_part =
             if tree.Elimination.parent.(v) = -1 then None
-            else begin
-              let exit, sp, _back, fwd = Hashtbl.find tree_info v in
-              let ui = Hashtbl.find fwd u in
-              let parent_vertex =
-                if sp.Spanning.parent.(ui) = -1 then u
-                else
-                  let pi = sp.Spanning.parent.(ui) in
-                  let _, _, back, _ = Hashtbl.find tree_info v in
-                  back.(pi)
-              in
-              Some
-                {
-                  exit_id = id exit;
-                  dist = sp.Spanning.dist.(ui);
-                  parent_id = id parent_vertex;
-                }
-            end
+            else tree_parts.(u).(depth.(v) - 1)
           in
           { aid = id v; ann = ann v; tree = tree_part })
-        ancs)
+        (Elimination.ancestors tree u))
 
 (* ------------------------------------------------------------------ *)
 (* Codec                                                                *)

@@ -150,13 +150,15 @@ let kernel_rows_of_reduction ?labels (red : Reduce.t) =
 (* DFS preorder kernel indices over surviving vertices. *)
 let assign_kernel_indices (red : Reduce.t) =
   let size = Graph.n red.graph in
+  let kids = Elimination.children_all red.tree in
   let kindex = Array.make size (-1) in
   let counter = ref 0 in
   let rec dfs v =
     if red.alive.(v) then begin
       kindex.(v) <- !counter;
       incr counter;
-      List.iter dfs (List.sort Int.compare (Elimination.children red.tree v))
+      (* children_all lists are already ascending *)
+      List.iter dfs kids.(v)
     end
   in
   dfs (Elimination.root red.tree);
@@ -165,6 +167,7 @@ let assign_kernel_indices (red : Reduce.t) =
 let alive_counts (red : Reduce.t) =
   let size = Graph.n red.graph in
   let counts = Array.make size 0 in
+  let kids = Elimination.children_all red.tree in
   let depth = Elimination.depth red.tree in
   let order = List.init size Fun.id in
   let order = List.sort (fun a b -> Int.compare depth.(b) depth.(a)) order in
@@ -172,11 +175,7 @@ let alive_counts (red : Reduce.t) =
     (fun v ->
       let own = if red.alive.(v) then 1 else 0 in
       counts.(v) <-
-        own
-        + List.fold_left
-            (fun acc w -> acc + counts.(w))
-            0
-            (Elimination.children red.tree v))
+        own + List.fold_left (fun acc w -> acc + counts.(w)) 0 kids.(v))
     order;
   counts
 
@@ -228,6 +227,8 @@ let prover_certs ~k ~t phi (inst : Instance.t) model =
           }
         in
         let entry_lists = Anclist.build inst model ~ann in
+        (* Intern the labels: vertices with identical ancestor lists
+           (and the shared kernel part) get one allocation. *)
         Some
           (Array.map
              (fun entries ->
@@ -236,7 +237,7 @@ let prover_certs ~k ~t phi (inst : Instance.t) model =
                  (Anclist.encode ~id_bits:inst.Instance.id_bits ann_codec
                     entries);
                Bitbuf.Writer.bitstring w rows_bits;
-               Bitbuf.Writer.contents w)
+               Cert_store.intern (Bitbuf.Writer.contents w))
              entry_lists)
       end
     end
@@ -254,16 +255,16 @@ let split_cert c =
 let verifier ~k ~t phi =
   (* Memoize formula evaluation per kernel description.  The table is
      shared by every verifier call of this scheme value, including calls
-     racing from parallel domains (Engine.run_par), so it is guarded by
-     a mutex; the evaluation itself runs unlocked (two domains may
-     compute the same entry — they agree, so last-write-wins is fine). *)
-  let eval_memo : (Bitstring.t, bool) Hashtbl.t = Hashtbl.create 8 in
-  let memo_lock = Mutex.create () in
+     racing from parallel domains (Engine.run_par), so it is a sharded
+     [Memo] keyed by the certificate's own FNV hash — polymorphic
+     hashing would leak Bitstring's cached-hash field into the key.
+     The evaluation itself runs unlocked (two domains may compute the
+     same entry — they agree, so last-write-wins is fine). *)
+  let eval_memo : (Bitstring.t, bool) Memo.t =
+    Memo.create ~hash:Bitstring.hash ~equal:Bitstring.equal 8
+  in
   let eval_rows rows_bits rows =
-    let cached =
-      Mutex.protect memo_lock (fun () -> Hashtbl.find_opt eval_memo rows_bits)
-    in
-    match cached with
+    match Memo.find_opt eval_memo rows_bits with
     | Some b -> b
     | None ->
         let b =
@@ -273,8 +274,7 @@ let verifier ~k ~t phi =
               try Eval.sentence ~labels:klabels kg phi
               with Invalid_argument _ -> false)
         in
-        Mutex.protect memo_lock (fun () ->
-            Hashtbl.replace eval_memo rows_bits b);
+        Memo.set eval_memo rows_bits b;
         b
   in
   fun (view : Scheme.view) : Scheme.verdict ->

@@ -57,7 +57,12 @@ let run ?(early_exit = false) scheme inst certs =
 let certify scheme inst =
   match scheme.prover inst with
   | None -> None
-  | Some certs -> Some (certs, run scheme inst certs)
+  | Some certs ->
+      (* hash-cons the labels: duplicate certificates (common in
+         broadcast-style schemes) share one allocation.  Interning is
+         observation-equal, so the outcome and max_bits are unchanged. *)
+      let certs = Cert_store.intern_all certs in
+      Some (certs, run scheme inst certs)
 
 let certificate_size scheme inst =
   match scheme.prover inst with

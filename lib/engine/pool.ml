@@ -70,11 +70,20 @@ let shutdown t =
   in
   List.iter Domain.join to_join
 
-let submit t task =
-  Mutex.protect t.m (fun () ->
-      if t.stopped then invalid_arg "Pool: already shut down";
-      Queue.push task t.queue;
-      Condition.signal t.cv)
+(* Enqueue [count] copies of [task] with one lock acquisition and one
+   wake-up.  Signalling per task would take and release the queue lock
+   [count] times and thundering-herd the workers once per push; a batch
+   is one broadcast that wakes exactly the sleepers that can claim
+   work. *)
+let submit_batch t count task =
+  if count < 0 then invalid_arg "Pool.submit_batch: negative count"
+  else if count > 0 then
+    Mutex.protect t.m (fun () ->
+        if t.stopped then invalid_arg "Pool: already shut down";
+        for _ = 1 to count do
+          Queue.push task t.queue
+        done;
+        if count = 1 then Condition.signal t.cv else Condition.broadcast t.cv)
 
 let map_chunks (type a) t ~chunks (f : int -> a) : a array =
   if chunks < 0 then invalid_arg "Pool.map_chunks: negative chunk count";
@@ -109,15 +118,17 @@ let map_chunks (type a) t ~chunks (f : int -> a) : a array =
     in
     (* Never more helpers than chunks; the caller is one participant. *)
     let helpers = min (t.jobs - 1) (chunks - 1) in
-    for _ = 1 to helpers do
-      submit t drain
-    done;
+    submit_batch t helpers drain;
     drain ();
     Mutex.lock done_m;
     while Atomic.get pending > 0 do
       Condition.wait done_cv done_m
     done;
     Mutex.unlock done_m;
+    (* Coverage: with fewer chunks than jobs some helpers find nothing
+       to claim — every chunk must still have been claimed exactly
+       once. *)
+    assert (Atomic.get next >= chunks);
     (match Atomic.get error with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());

@@ -20,6 +20,7 @@ let reduce ?labels g tree ~k =
   let size = Graph.n g in
   let depth = Elimination.depth tree in
   let maxdepth = Elimination.height tree in
+  let kids_of = Elimination.children_all tree in
   let alive = Array.make size true in
   let end_type : Vtype.t option array = Array.make size None in
   let pruned = Array.make size false in
@@ -37,9 +38,7 @@ let reduce ?labels g tree ~k =
   for d = maxdepth downto 1 do
     for v = 0 to size - 1 do
       if alive.(v) && depth.(v) = d then begin
-        let kids =
-          List.filter (fun w -> alive.(w)) (Elimination.children tree v)
-        in
+        let kids = List.filter (fun w -> alive.(w)) kids_of.(v) in
         (* group by end type id; keep the k lowest-numbered *)
         let by_type = Hashtbl.create 8 in
         List.iter
@@ -53,9 +52,7 @@ let reduce ?labels g tree ~k =
             let group = List.sort Int.compare group in
             List.iteri (fun i w -> if i >= k then kill_subtree w) group)
           by_type;
-        let remaining =
-          List.filter (fun w -> alive.(w)) (Elimination.children tree v)
-        in
+        let remaining = List.filter (fun w -> alive.(w)) kids_of.(v) in
         let grouped =
           let tbl = Hashtbl.create 8 in
           List.iter

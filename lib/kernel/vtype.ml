@@ -56,6 +56,7 @@ let compute ?labels g tree =
     List.rev_map (fun a -> Graph.mem_edge g v a) ancs
   in
   (* bottom-up by decreasing depth *)
+  let kids = Elimination.children_all tree in
   let order = List.init n Fun.id in
   let order = List.sort (fun a b -> Int.compare depth.(b) depth.(a)) order in
   List.iter
@@ -66,7 +67,7 @@ let compute ?labels g tree =
             match types.(w) with
             | Some t -> t
             | None -> assert false)
-          (Elimination.children tree v)
+          kids.(v)
       in
       let grouped =
         let tbl = Hashtbl.create 8 in

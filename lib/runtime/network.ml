@@ -6,8 +6,12 @@ type send = { dst : int; payload : Bitstring.t }
 let mutate_cert stream cert =
   let len = Bitstring.length cert in
   if len = 0 then cert
-  else if Rng.int stream 2 = 0 then Bitstring.flip cert (Rng.int stream len)
-  else Rng.bits stream len
+  else
+    (* intern the replacement so a corruption that recreates an
+       existing label still pointer-shares it *)
+    Cert_store.intern
+      (if Rng.int stream 2 = 0 then Bitstring.flip cert (Rng.int stream len)
+       else Rng.bits stream len)
 
 (* One vertex's sender step.  Only reads/writes [node] and only draws
    from [stream]; see the .mli determinism contract. *)

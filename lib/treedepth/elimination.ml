@@ -45,11 +45,41 @@ let ancestors t v =
   go v []
 
 let children t v =
-  List.filter (fun w -> t.parent.(w) = v) (List.init (n t) Fun.id)
+  let acc = ref [] in
+  for w = n t - 1 downto 0 do
+    if t.parent.(w) = v then acc := w :: !acc
+  done;
+  !acc
+
+(* All children lists in one pass — callers that would otherwise call
+   [children] in a loop (and pay O(n) per call) use this instead. *)
+let children_all t =
+  let kids = Array.make (n t) [] in
+  for v = n t - 1 downto 0 do
+    let p = t.parent.(v) in
+    if p >= 0 then kids.(p) <- v :: kids.(p)
+  done;
+  kids
 
 let subtree t v =
-  let rec is_desc u = u = v || (u <> -1 && is_desc t.parent.(u)) in
-  List.filter is_desc (List.init (n t) Fun.id)
+  (* classify every vertex by walking up with memoization: O(n) total
+     instead of an O(depth) walk per vertex *)
+  let size = n t in
+  let state = Array.make size 0 (* 0 unknown, 1 inside, 2 outside *) in
+  state.(v) <- 1;
+  let rec classify u =
+    if state.(u) <> 0 then state.(u)
+    else begin
+      let s = if t.parent.(u) = -1 then 2 else classify t.parent.(u) in
+      state.(u) <- s;
+      s
+    end
+  in
+  let acc = ref [] in
+  for u = size - 1 downto 0 do
+    if classify u = 1 then acc := u :: !acc
+  done;
+  !acc
 
 let is_ancestor t ~anc ~desc =
   let rec go u = u = anc || (u <> -1 && go t.parent.(u)) in
@@ -62,16 +92,33 @@ let is_model t g =
          is_ancestor t ~anc:u ~desc:v || is_ancestor t ~anc:v ~desc:u)
        (Graph.edges g)
 
+(* Coherence, restated per non-root vertex [w]: some vertex of the
+   subtree of [w] is adjacent to [parent w].  Every witness is an edge
+   (x, y) with [y] a proper ancestor of [x]; walking up from [x] to
+   [y] identifies the child of [y] it covers — one O(depth) walk per
+   edge endpoint instead of a subtree scan per (v, child) pair. *)
 let is_coherent t g =
-  List.for_all
-    (fun v ->
-      List.for_all
-        (fun w ->
-          List.exists
-            (fun x -> Graph.mem_edge g x v)
-            (subtree t w))
-        (children t v))
-    (List.init (n t) Fun.id)
+  let covered = Array.make (n t) false in
+  let mark x y =
+    (* if y is a proper ancestor of x, cover y's child on the path *)
+    let rec go c p =
+      if p <> -1 then if p = y then covered.(c) <- true else go p t.parent.(p)
+    in
+    go x t.parent.(x)
+  in
+  let size = n t in
+  List.iter
+    (fun (u, v) ->
+      if u < size && v < size then begin
+        mark u v;
+        mark v u
+      end)
+    (Graph.edges g);
+  let ok = ref true in
+  Array.iteri
+    (fun w p -> if p <> -1 && not covered.(w) then ok := false)
+    t.parent;
+  !ok
 
 let coherentize t g =
   if not (is_model t g) then

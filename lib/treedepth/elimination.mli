@@ -34,6 +34,12 @@ val ancestors : t -> int -> int list
     certificate list of Theorem 2.4. *)
 
 val children : t -> int -> int list
+
+val children_all : t -> int list array
+(** Every vertex's children (ascending), built in one O(n) pass:
+    [(children_all t).(v) = children t v].  Use it instead of calling
+    {!children} in a loop. *)
+
 val subtree : t -> int -> int list
 (** Vertices of the subtree rooted at [v] (including [v]), sorted. *)
 

@@ -3,13 +3,60 @@ exception Decode_error of string
 let fail fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
 
 module Writer = struct
-  type t = { mutable rev_bits : bool list; mutable len : int }
+  (* Growable byte buffer, bits packed MSB first.  Bytes past [len] are
+     always zero, so appending a 0-bit (or a run of them) is just a
+     length bump, and [contents] can hand the prefix to [Bitstring]
+     with the zero-padding invariant already holding. *)
+  type t = { mutable buf : Bytes.t; mutable len : int (* bits *) }
 
-  let create () = { rev_bits = []; len = 0 }
+  let create () = { buf = Bytes.make 32 '\000'; len = 0 }
+
+  let ensure w extra =
+    let need = (w.len + extra + 7) / 8 in
+    if need > Bytes.length w.buf then begin
+      let cap = ref (Bytes.length w.buf) in
+      while !cap < need do
+        cap := !cap * 2
+      done;
+      let nb = Bytes.make !cap '\000' in
+      Bytes.blit w.buf 0 nb 0 (Bytes.length w.buf);
+      w.buf <- nb
+    end
 
   let bit w b =
-    w.rev_bits <- b :: w.rev_bits;
+    ensure w 1;
+    if b then begin
+      let j = w.len lsr 3 in
+      Bytes.unsafe_set w.buf j
+        (Char.unsafe_chr
+           (Char.code (Bytes.unsafe_get w.buf j)
+           lor (1 lsl (7 - (w.len land 7)))));
+    end;
     w.len <- w.len + 1
+
+  (* Append the low [width] <= 62 bits of [n], most significant first,
+     one byte-merge per iteration rather than one call per bit. *)
+  let unsafe_bits w ~width n =
+    ensure w width;
+    let remaining = ref width in
+    while !remaining > 0 do
+      let free = 8 - (w.len land 7) in
+      let take = min free !remaining in
+      let chunk = (n lsr (!remaining - take)) land ((1 lsl take) - 1) in
+      if chunk <> 0 then begin
+        let j = w.len lsr 3 in
+        Bytes.unsafe_set w.buf j
+          (Char.unsafe_chr
+             (Char.code (Bytes.unsafe_get w.buf j) lor (chunk lsl (free - take))))
+      end;
+      w.len <- w.len + take;
+      remaining := !remaining - take
+    done
+
+  (* A run of zero bits: the buffer is already zero there. *)
+  let zeros w count =
+    ensure w count;
+    w.len <- w.len + count
 
   let fixed w ~width n =
     if n < 0 then invalid_arg "Bitbuf.Writer.fixed: negative";
@@ -17,9 +64,11 @@ module Writer = struct
       invalid_arg
         (Printf.sprintf "Bitbuf.Writer.fixed: %d does not fit in %d bits" n
            width);
-    for i = width - 1 downto 0 do
-      bit w (n land (1 lsl i) <> 0)
-    done
+    if width > 62 then begin
+      zeros w (width - 62);
+      unsafe_bits w ~width:62 n
+    end
+    else unsafe_bits w ~width n
 
   (* Elias gamma of [n+1]: with [k] = number of bits of [n+1], write
      [k-1] zeros, then the [k] bits of [n+1]. *)
@@ -30,18 +79,19 @@ module Writer = struct
       let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
       go 0 v
     in
-    for _ = 1 to k - 1 do
-      bit w false
-    done;
-    fixed w ~width:k v
+    zeros w (k - 1);
+    unsafe_bits w ~width:k v
 
   let int w n =
     let zigzag = if n >= 0 then 2 * n else (-2 * n) - 1 in
     nat w zigzag
 
   let bitstring w b =
-    nat w (Bitstring.length b);
-    List.iter (bit w) (Bitstring.to_bools b)
+    let blen = Bitstring.length b in
+    nat w blen;
+    ensure w blen;
+    Bitstring.unsafe_blit b w.buf ~off:w.len;
+    w.len <- w.len + blen
 
   let list w enc xs =
     nat w (List.length xs);
@@ -49,7 +99,9 @@ module Writer = struct
 
   let length w = w.len
 
-  let contents w = Bitstring.of_bools (List.rev w.rev_bits)
+  let contents w =
+    let nbytes = (w.len + 7) / 8 in
+    Bitstring.unsafe_of_bytes (Bytes.sub w.buf 0 nbytes) ~len:w.len
 end
 
 module Reader = struct
@@ -64,11 +116,21 @@ module Reader = struct
     b
 
   let fixed r ~width =
-    let n = ref 0 in
-    for _ = 1 to width do
-      n := (!n lsl 1) lor (if bit r then 1 else 0)
-    done;
-    !n
+    if width <= 62 then begin
+      if r.pos + width > Bitstring.length r.src then fail "truncated certificate";
+      let v = Bitstring.unsafe_extract r.src ~pos:r.pos ~width in
+      r.pos <- r.pos + width;
+      v
+    end
+    else begin
+      (* wider than an int payload: the leading bits must decode as
+         zero for the value to be representable at all *)
+      let n = ref 0 in
+      for _ = 1 to width do
+        n := (!n lsl 1) lor (if bit r then 1 else 0)
+      done;
+      !n
+    end
 
   let nat r =
     let zeros = ref 0 in
@@ -78,11 +140,14 @@ module Reader = struct
     done;
     (* We consumed the leading 1 of the value; read the remaining
        [zeros] bits. *)
-    let v = ref 1 in
-    for _ = 1 to !zeros do
-      v := (!v lsl 1) lor (if bit r then 1 else 0)
-    done;
-    !v - 1
+    if !zeros = 0 then 0
+    else begin
+      let k = !zeros in
+      if r.pos + k > Bitstring.length r.src then fail "truncated certificate";
+      let rest = Bitstring.unsafe_extract r.src ~pos:r.pos ~width:k in
+      r.pos <- r.pos + k;
+      ((1 lsl k) lor rest) - 1
+    end
 
   let int r =
     let z = nat r in
@@ -90,7 +155,10 @@ module Reader = struct
 
   let bitstring r =
     let len = nat r in
-    Bitstring.of_bools (List.init len (fun _ -> bit r))
+    if r.pos + len > Bitstring.length r.src then fail "truncated certificate";
+    let b = Bitstring.sub r.src ~pos:r.pos ~len in
+    r.pos <- r.pos + len;
+    b
 
   let list r dec =
     let len = nat r in

@@ -1,11 +1,32 @@
-type t = { data : Bytes.t; len : int }
-
 (* Bit [i] lives in byte [i / 8], at position [7 - i mod 8] (MSB first),
-   so that the textual rendering reads left to right in writing order. *)
+   so that the textual rendering reads left to right in writing order.
 
-let empty = { data = Bytes.create 0; len = 0 }
+   Invariants maintained by every constructor in this module:
+   - the unused low bits of the last byte are zero (so byte-level
+     [equal]/[compare]/[hash] agree with bit-level semantics), and
+   - [hash_cache] is [-1] until the FNV-1a hash has been computed, and
+     never changes afterwards.  The cache is the only mutable field and
+     is invisible through this interface: two structurally equal values
+     may differ in it, which is why all consumers must go through
+     [equal]/[compare]/[hash] rather than polymorphic comparison. *)
+
+type t = { data : Bytes.t; len : int; mutable hash_cache : int }
+
+let mk data len = { data; len; hash_cache = -1 }
+
+let empty = mk (Bytes.create 0) 0
 
 let bytes_for len = (len + 7) / 8
+
+(* Zero the padding bits below position [len] in the last byte. *)
+let mask_tail data len =
+  let t = len land 7 in
+  if t <> 0 then begin
+    let last = (len lsr 3) in
+    let keep = 0xff lxor (0xff lsr t) in
+    Bytes.unsafe_set data last
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get data last) land keep))
+  end
 
 let get b i =
   if i < 0 || i >= b.len then
@@ -23,8 +44,22 @@ let unsafe_set data i v =
 let of_bools bs =
   let len = List.length bs in
   let data = Bytes.make (bytes_for len) '\000' in
-  List.iteri (fun i v -> unsafe_set data i v) bs;
-  { data; len }
+  (* accumulate eight bits at a time; one [Bytes.set] per byte *)
+  let cur = ref 0 and nbits = ref 0 and j = ref 0 in
+  List.iter
+    (fun v ->
+      cur := (!cur lsl 1) lor Bool.to_int v;
+      incr nbits;
+      if !nbits = 8 then begin
+        Bytes.unsafe_set data !j (Char.unsafe_chr !cur);
+        incr j;
+        cur := 0;
+        nbits := 0
+      end)
+    bs;
+  if !nbits > 0 then
+    Bytes.unsafe_set data !j (Char.unsafe_chr (!cur lsl (8 - !nbits)));
+  mk data len
 
 let of_string s =
   let len = String.length s in
@@ -36,49 +71,175 @@ let of_string s =
       | '1' -> unsafe_set data i true
       | _ -> invalid_arg "Bitstring.of_string: expected '0' or '1'")
     s;
-  { data; len }
+  mk data len
 
 let length b = b.len
 
-let to_bools b = List.init b.len (get b)
+let to_bools b =
+  (* cons in descending bit order so the result reads ascending *)
+  let acc = ref [] in
+  let full = b.len lsr 3 and tail = b.len land 7 in
+  if tail > 0 then begin
+    let c = Char.code (Bytes.unsafe_get b.data full) in
+    for k = tail - 1 downto 0 do
+      acc := (c land (1 lsl (7 - k)) <> 0) :: !acc
+    done
+  end;
+  for j = full - 1 downto 0 do
+    let c = Char.code (Bytes.unsafe_get b.data j) in
+    for k = 7 downto 0 do
+      acc := (c land (1 lsl (7 - k)) <> 0) :: !acc
+    done
+  done;
+  !acc
+
+(* FNV-1a over the length and the raw bytes, folded into OCaml's
+   nonnegative int range.  No intermediate string is allocated; the
+   result is cached so memo lookups and the intern table hash each
+   distinct certificate once. *)
+let fnv_offset = 0x3BF29CE484222325
+let fnv_prime = 0x100000001B3
+
+let hash b =
+  let cached = b.hash_cache in
+  if cached >= 0 then cached
+  else begin
+    let h = ref ((fnv_offset lxor b.len) * fnv_prime) in
+    for j = 0 to Bytes.length b.data - 1 do
+      h := (!h lxor Char.code (Bytes.unsafe_get b.data j)) * fnv_prime
+    done;
+    let h = !h land max_int in
+    b.hash_cache <- h;
+    h
+  end
 
 (* Equality must ignore the unused low bits of the last byte; writers in
-   this module always keep them zero, so plain byte comparison works. *)
-let equal a b = a.len = b.len && Bytes.equal a.data b.data
+   this module always keep them zero, so plain byte comparison works.
+   Interned certificates are physically shared, so try [==] first; two
+   already-computed hashes that differ decide without touching bytes. *)
+let equal a b =
+  a == b
+  || a.len = b.len
+     && (let ha = a.hash_cache and hb = b.hash_cache in
+         ha < 0 || hb < 0 || ha = hb)
+     && Bytes.equal a.data b.data
 
 let compare a b =
-  match Int.compare a.len b.len with
-  | 0 -> Bytes.compare a.data b.data
-  | c -> c
-
-let hash b = Hashtbl.hash (b.len, Bytes.to_string b.data)
+  if a == b then 0
+  else
+    match Int.compare a.len b.len with
+    | 0 -> Bytes.compare a.data b.data
+    | c -> c
 
 let flip b i =
   if i < 0 || i >= b.len then
     invalid_arg (Printf.sprintf "Bitstring.flip: index %d out of [0,%d)" i b.len);
   let data = Bytes.copy b.data in
   unsafe_set data i (not (get b i));
-  { data; len = b.len }
+  mk data b.len
+
+let xor a b =
+  if a.len <> b.len then invalid_arg "Bitstring.xor: length mismatch";
+  let nbytes = Bytes.length a.data in
+  let data = Bytes.create nbytes in
+  for j = 0 to nbytes - 1 do
+    Bytes.unsafe_set data j
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get a.data j)
+         lxor Char.code (Bytes.unsafe_get b.data j)))
+  done;
+  (* both tails are zero, so the xor'd tail is zero too *)
+  mk data a.len
+
+(* OR [len] bits of [src] (padding bits zero) into [dst] starting at bit
+   offset [off].  The destination range must be zero.  Unaligned offsets
+   shift-merge whole source bytes: the high [8-r] bits of each source
+   byte land in one destination byte, the low [r] bits spill into the
+   next — which exists whenever the spill is nonzero, because a nonzero
+   spill comes from a real (in-range) source bit. *)
+let unsafe_blit_bits src len dst off =
+  if len > 0 then begin
+    let r = off land 7 and j0 = off lsr 3 in
+    let nbytes = bytes_for len in
+    if r = 0 then Bytes.blit src 0 dst j0 nbytes
+    else begin
+      let hi = 8 - r in
+      for i = 0 to nbytes - 1 do
+        let c = Char.code (Bytes.unsafe_get src i) in
+        let j = j0 + i in
+        let d = Char.code (Bytes.unsafe_get dst j) in
+        Bytes.unsafe_set dst j (Char.unsafe_chr (d lor (c lsr r)));
+        let spill = (c lsl hi) land 0xff in
+        if spill <> 0 then begin
+          let d2 = Char.code (Bytes.unsafe_get dst (j + 1)) in
+          Bytes.unsafe_set dst (j + 1) (Char.unsafe_chr (d2 lor spill))
+        end
+      done
+    end
+  end
 
 let append a b =
-  let len = a.len + b.len in
-  let data = Bytes.make (bytes_for len) '\000' in
-  for i = 0 to a.len - 1 do
-    unsafe_set data i (get a i)
-  done;
-  for i = 0 to b.len - 1 do
-    unsafe_set data (a.len + i) (get b i)
-  done;
-  { data; len }
+  if a.len = 0 then b
+  else if b.len = 0 then a
+  else begin
+    let len = a.len + b.len in
+    let data = Bytes.make (bytes_for len) '\000' in
+    Bytes.blit a.data 0 data 0 (Bytes.length a.data);
+    unsafe_blit_bits b.data b.len data a.len;
+    mk data len
+  end
 
 let sub b ~pos ~len =
   if pos < 0 || len < 0 || pos + len > b.len then
     invalid_arg "Bitstring.sub: out of bounds";
-  let data = Bytes.make (bytes_for len) '\000' in
-  for i = 0 to len - 1 do
-    unsafe_set data i (get b (pos + i))
+  if len = 0 then empty
+  else begin
+    let data = Bytes.make (bytes_for len) '\000' in
+    let r = pos land 7 and j0 = pos lsr 3 in
+    let nbytes = bytes_for len in
+    if r = 0 then Bytes.blit b.data j0 data 0 nbytes
+    else begin
+      (* left-shift across byte boundaries *)
+      let hi = 8 - r in
+      let src_len = Bytes.length b.data in
+      for i = 0 to nbytes - 1 do
+        let c1 = Char.code (Bytes.unsafe_get b.data (j0 + i)) in
+        let c2 =
+          if j0 + i + 1 < src_len then
+            Char.code (Bytes.unsafe_get b.data (j0 + i + 1))
+          else 0
+        in
+        Bytes.unsafe_set data i
+          (Char.unsafe_chr (((c1 lsl r) lor (c2 lsr hi)) land 0xff))
+      done
+    end;
+    mask_tail data len;
+    mk data len
+  end
+
+(* Read [width] <= 62 bits starting at bit [pos], MSB first, as an int.
+   Bounds are the caller's responsibility (Bitbuf checks them). *)
+let unsafe_extract b ~pos ~width =
+  let v = ref 0 in
+  let p = ref pos and remaining = ref width in
+  while !remaining > 0 do
+    let j = !p lsr 3 and r = !p land 7 in
+    let avail = 8 - r in
+    let take = min avail !remaining in
+    let c = Char.code (Bytes.unsafe_get b.data j) in
+    let chunk = (c lsr (avail - take)) land ((1 lsl take) - 1) in
+    v := (!v lsl take) lor chunk;
+    p := !p + take;
+    remaining := !remaining - take
   done;
-  { data; len }
+  !v
+
+let unsafe_blit src dst ~off = unsafe_blit_bits src.data src.len dst off
+
+let unsafe_of_bytes data ~len =
+  if Bytes.length data <> bytes_for len then
+    invalid_arg "Bitstring.unsafe_of_bytes: byte count does not match length";
+  mk data len
 
 let to_string b = String.init b.len (fun i -> if get b i then '1' else '0')
 

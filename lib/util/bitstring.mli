@@ -42,7 +42,10 @@ val compare : t -> t -> int
 (** A total order compatible with {!equal}. *)
 
 val hash : t -> int
-(** A hash compatible with {!equal}. *)
+(** A hash compatible with {!equal}: FNV-1a over the length and the
+    underlying bytes, computed in place (no intermediate string) and
+    cached inside the value, so repeated lookups in memo tables and the
+    certificate intern store hash each distinct value once. *)
 
 (** {1 Mutation-as-copy} *)
 
@@ -50,8 +53,12 @@ val flip : t -> int -> t
 (** [flip b i] is [b] with bit [i] negated.  Used by the adversarial
     soundness harness to corrupt certificates. *)
 
+val xor : t -> t -> t
+(** [xor a b] is the bitwise exclusive-or of two strings of the same
+    length.  Raises [Invalid_argument] on a length mismatch. *)
+
 val append : t -> t -> t
-(** Concatenation. *)
+(** Concatenation (byte-blit plus shift-merge; not per-bit). *)
 
 val sub : t -> pos:int -> len:int -> t
 (** [sub b ~pos ~len] extracts [len] bits starting at [pos]. *)
@@ -63,3 +70,25 @@ val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
 (** ["010011"]-style rendering (no suffix). *)
+
+(** {1 Byte-level plumbing}
+
+    Word-level building blocks used by {!Bitbuf} to avoid per-bit
+    loops.  They expose the internal MSB-first byte layout: bit [i]
+    lives in byte [i / 8] at position [7 - i mod 8], and the unused low
+    bits of the last byte are zero.  Ordinary clients never need
+    them. *)
+
+val unsafe_of_bytes : Bytes.t -> len:int -> t
+(** [unsafe_of_bytes data ~len] wraps [data] (which must have exactly
+    [(len+7)/8] bytes and zero padding bits) without copying.  The
+    caller must not mutate [data] afterwards. *)
+
+val unsafe_blit : t -> Bytes.t -> off:int -> unit
+(** [unsafe_blit src dst ~off] ORs the bits of [src] into [dst]
+    starting at bit offset [off].  The destination bit range must be
+    within [dst] and currently zero; bounds are not checked. *)
+
+val unsafe_extract : t -> pos:int -> width:int -> int
+(** [unsafe_extract b ~pos ~width] reads [width <= 62] bits starting
+    at [pos], most significant first.  Bounds are not checked. *)

@@ -1,0 +1,68 @@
+(* Hash-consed certificate store.
+
+   Provers and the distributed runtime allocate the same certificate
+   value many times over: every kernel-MSO label embeds the same kernel
+   description, per-round re-broadcasts resend unchanged labels, and
+   attack trials regenerate near-identical assignments.  Interning by
+   (hash, bytes) makes each distinct certificate exist once, so
+   duplicate labels are pointer-shared — which also turns
+   [Bitstring.equal] on them into a pointer comparison.
+
+   Interning is semantically invisible: the interned value is
+   structurally equal to the input, so scheme outcomes, wire-bit
+   accounting (which only reads lengths) and [max_cert_bits] are
+   byte-identical with the store on or off.  The differential suite in
+   test/test_bitstring.ml pins that down.
+
+   The store is global and sharded like [Memo]; [set_enabled false]
+   turns every [intern] into the identity (used by the transparency
+   tests and to A/B the memory effect in bench/perf_bench.ml). *)
+
+let enabled = Atomic.make true
+
+let lookups = Atomic.make 0
+let hits = Atomic.make 0
+
+let mk_store () : (Bitstring.t, Bitstring.t) Memo.t =
+  Memo.create ~hash:Bitstring.hash ~equal:Bitstring.equal 256
+
+let store = ref (mk_store ())
+
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
+
+let intern c =
+  if (not (Atomic.get enabled)) || Bitstring.length c = 0 then c
+  else begin
+    Atomic.incr lookups;
+    let canonical = Memo.find_or_add !store c (fun () -> c) in
+    if canonical != c then Atomic.incr hits;
+    canonical
+  end
+
+let intern_all certs = Array.map intern certs
+
+type stats = { lookups : int; hits : int; distinct : int }
+
+let stats () =
+  {
+    lookups = Atomic.get lookups;
+    hits = Atomic.get hits;
+    distinct = Memo.length !store;
+  }
+
+(* Hit fraction among lookups: 0 when every certificate was distinct,
+   approaching 1 when everything was a duplicate. *)
+let hit_ratio () =
+  let l = Atomic.get lookups in
+  if l = 0 then 0.0 else float_of_int (Atomic.get hits) /. float_of_int l
+
+let reset () =
+  store := mk_store ();
+  Atomic.set lookups 0;
+  Atomic.set hits 0
+
+let with_enabled b f =
+  let prev = Atomic.get enabled in
+  Atomic.set enabled b;
+  Fun.protect ~finally:(fun () -> Atomic.set enabled prev) f

@@ -1,0 +1,44 @@
+(** Hash-consed certificate store.
+
+    [intern c] returns a canonical physically-shared representative of
+    [c]: structurally equal certificates intern to the same value, so
+    duplicate labels (identical kernel-MSO labels, unchanged per-round
+    re-broadcasts) are allocated once and compared by pointer.
+
+    Invariant: interning never changes observable behaviour.  The
+    returned value satisfies [Bitstring.equal c (intern c)] and has the
+    same length, so certificate sizes ([max_cert_bits]) and wire-bit
+    accounting are byte-identical with the store enabled or disabled.
+
+    The store is a process-global sharded table, safe to use from
+    parallel domains. *)
+
+val intern : Bitstring.t -> Bitstring.t
+(** Canonical representative (the identity when disabled, and on the
+    empty certificate). *)
+
+val intern_all : Bitstring.t array -> Bitstring.t array
+(** Fresh array of interned certificates. *)
+
+val set_enabled : bool -> unit
+(** Toggle interning globally; disabled means [intern] is the
+    identity.  Enabled by default. *)
+
+val is_enabled : unit -> bool
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** Run a thunk with interning forced on/off, restoring the previous
+    setting afterwards. *)
+
+type stats = { lookups : int; hits : int; distinct : int }
+
+val stats : unit -> stats
+(** Counters since the last {!reset}: total interning lookups, lookups
+    that found an existing representative, and distinct certificates
+    stored. *)
+
+val hit_ratio : unit -> float
+(** [hits / lookups] since the last reset; [0.] before any lookup. *)
+
+val reset : unit -> unit
+(** Drop all interned certificates and zero the counters. *)

@@ -1,0 +1,104 @@
+(* N-way sharded memo table.
+
+   The engine's parallel verification (Engine.run_par) hammers the memo
+   tables of compiled automata and scheme verifiers from every domain at
+   once; a single mutex around one hashtable serializes all of them.
+   Here the key space is split across [shards] independent (mutex,
+   table) pairs by key hash, so domains only contend when they touch the
+   same shard — and the default shard count (2x the recommended domain
+   count, rounded up to a power of two) keeps that unlikely.
+
+   Shard tables are keyed by the full key hash and store collision
+   lists, so callers supply [hash]/[equal] explicitly when polymorphic
+   hashing is wrong for their key type (e.g. Bitstring's cached-hash
+   field must not leak into the key identity). *)
+
+type ('a, 'b) shard = {
+  m : Mutex.t;
+  tbl : (int, ('a * 'b) list) Hashtbl.t;
+}
+
+type ('a, 'b) t = {
+  hash : 'a -> int;
+  equal : 'a -> 'a -> bool;
+  mask : int;
+  shards : ('a, 'b) shard array;
+}
+
+let default_shards () =
+  let want = 2 * Domain.recommended_domain_count () in
+  let rec pow2 c = if c >= want then c else pow2 (c * 2) in
+  pow2 1
+
+let create ?shards ?(hash = Hashtbl.hash) ?(equal = ( = )) initial =
+  let shards =
+    match shards with
+    | None -> default_shards ()
+    | Some s ->
+        if s < 1 then invalid_arg "Memo.create: shard count must be >= 1";
+        let rec pow2 c = if c >= s then c else pow2 (c * 2) in
+        pow2 1
+  in
+  {
+    hash;
+    equal;
+    mask = shards - 1;
+    shards =
+      Array.init shards (fun _ ->
+          { m = Mutex.create (); tbl = Hashtbl.create (max 1 initial) });
+  }
+
+let shard_of t h = t.shards.(h land t.mask)
+
+let find_opt t k =
+  let h = t.hash k in
+  let s = shard_of t h in
+  Mutex.protect s.m (fun () ->
+      match Hashtbl.find_opt s.tbl h with
+      | None -> None
+      | Some kvs ->
+          let rec scan = function
+            | [] -> None
+            | (k', v) :: rest -> if t.equal k k' then Some v else scan rest
+          in
+          scan kvs)
+
+(* Replace-or-insert under the shard lock. *)
+let set t k v =
+  let h = t.hash k in
+  let s = shard_of t h in
+  Mutex.protect s.m (fun () ->
+      let kvs = Option.value ~default:[] (Hashtbl.find_opt s.tbl h) in
+      let kvs = List.filter (fun (k', _) -> not (t.equal k k')) kvs in
+      Hashtbl.replace s.tbl h ((k, v) :: kvs))
+
+(* [find_or_add t k f] computes [f ()] under the shard lock, so the
+   value for [k] is computed exactly once even under races — the
+   interning discipline used for automaton state tables, where [f]
+   allocates a fresh state id.  [f] must not re-enter this memo with a
+   key that could land on the same shard (callers here never re-enter
+   the same memo at all).  For expensive [f] where duplicated work is
+   preferable to holding a lock, use [find_opt]/[set] instead. *)
+let find_or_add t k f =
+  let h = t.hash k in
+  let s = shard_of t h in
+  Mutex.protect s.m (fun () ->
+      let kvs = Option.value ~default:[] (Hashtbl.find_opt s.tbl h) in
+      let rec scan = function
+        | [] ->
+            let v = f () in
+            Hashtbl.replace s.tbl h ((k, v) :: kvs);
+            v
+        | (k', v) :: rest -> if t.equal k k' then v else scan rest
+      in
+      scan kvs)
+
+let length t =
+  Array.fold_left
+    (fun acc s ->
+      acc
+      + Mutex.protect s.m (fun () ->
+            Hashtbl.fold (fun _ kvs n -> n + List.length kvs) s.tbl 0))
+    0 t.shards
+
+let shard_count t = t.mask + 1

@@ -1,0 +1,44 @@
+(** N-way sharded memo tables for cross-domain caching.
+
+    A drop-in replacement for the "one [Hashtbl] plus one [Mutex]"
+    pattern that the compiled automata and scheme verifiers used to
+    guard their memo tables.  Keys are distributed over independently
+    locked shards by hash, so parallel verification domains
+    ({!Localcert_engine.Engine.run_par}) only contend when two lookups
+    land on the same shard.
+
+    The default shard count is twice [Domain.recommended_domain_count],
+    rounded up to a power of two. *)
+
+type ('a, 'b) t
+
+val create :
+  ?shards:int ->
+  ?hash:('a -> int) ->
+  ?equal:('a -> 'a -> bool) ->
+  int ->
+  ('a, 'b) t
+(** [create n] makes an empty table with initial per-shard capacity
+    [n].  [hash] and [equal] default to the polymorphic ones; pass both
+    whenever polymorphic hashing is unsound for the key type (anything
+    containing a {!Bitstring.t} must use [Bitstring.hash] /
+    [Bitstring.equal]).  [shards] is rounded up to a power of two. *)
+
+val find_opt : ('a, 'b) t -> 'a -> 'b option
+(** Lookup under the key's shard lock only. *)
+
+val set : ('a, 'b) t -> 'a -> 'b -> unit
+(** Insert or replace.  Racing writers for the same key agree on
+    last-write-wins; use this with {!find_opt} when recomputing a value
+    is cheaper than holding a lock during the computation. *)
+
+val find_or_add : ('a, 'b) t -> 'a -> (unit -> 'b) -> 'b
+(** [find_or_add t k f] returns the cached value for [k], computing and
+    caching [f ()] under the shard lock if absent — exactly-once
+    semantics for interning-style uses.  [f] must not re-enter [t]. *)
+
+val length : ('a, 'b) t -> int
+(** Total number of entries (takes every shard lock in turn). *)
+
+val shard_count : ('a, 'b) t -> int
+(** Number of shards (a power of two). *)

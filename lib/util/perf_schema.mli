@@ -1,0 +1,43 @@
+(** Schema for [BENCH_PERF.json], the timing-benchmark artifact.
+
+    The benchmark harness ([bench/main.exe --perf]) writes one document
+    per run: a list of per-scheme series, each a list of rows measured
+    at a given instance size and job count.  The schema lives in
+    [lib/util] so the test suite can guard the committed artifact: any
+    drift between what the bench writes and what this module parses is
+    a test failure, not a silently stale file.
+
+    Rendering and parsing are hand-rolled (no JSON library in the
+    dependency cone); the parser accepts general JSON but [parse]
+    rejects documents that do not match the schema exactly. *)
+
+type row = {
+  n : int;  (** instance size (vertices) *)
+  jobs : int;  (** pool size used for the parallel verifier *)
+  prover_ms : float;  (** mean prover wall-clock, milliseconds *)
+  verify_ms : float;  (** mean verifier wall-clock, milliseconds *)
+  verts_per_sec : float;  (** [n / verify] throughput *)
+  minor_words : float;  (** Gc minor words allocated per prover run *)
+  interned_ratio : float;  (** certificate-store hit ratio, [0..1] *)
+}
+
+type series = {
+  scheme : string;  (** scheme family name, e.g. ["kernel-mso"] *)
+  rows : row list;  (** non-empty, ordered by [(n, jobs)] *)
+}
+
+type doc = {
+  smoke : bool;  (** true when produced by the CI small-n smoke run *)
+  series : series list;  (** non-empty *)
+}
+
+val render : doc -> string
+(** Pretty-printed JSON, trailing newline included. *)
+
+val parse : string -> (doc, string) result
+(** Parse and validate: JSON well-formedness, exact field sets, at
+    least one series, at least one row per series, finite non-negative
+    numbers, [interned_ratio] within [0..1]. *)
+
+val parse_exn : string -> doc
+(** [parse] or [Invalid_argument]. *)

@@ -1,0 +1,319 @@
+(* Differential tests for the word-level bit-string core.
+
+   [Bitstring]'s append/sub/xor/extract and [Bitbuf]'s writer/reader
+   run on whole bytes with shift-merge tails; the reference model is
+   the obvious bit-at-a-time one over [bool list].  Every property
+   draws random *unaligned* lengths so the merge paths (offset mod 8
+   ≠ 0, spill into the next byte, partial last byte) are the common
+   case, not the corner.
+
+   The second half pins the certificate-store invariant: interning is
+   observation-equal, so [Scheme.certify], [Engine.run_par] and a
+   faulty [Runtime.execute] must produce byte-identical results with
+   the store enabled and disabled. *)
+
+let check = Alcotest.(check bool)
+
+let seed_arbitrary = QCheck.(int_bound 1_000_000)
+
+let pool4 = Pool.create ~jobs:4 ()
+let () = at_exit (fun () -> Pool.shutdown pool4)
+
+(* ------------------------------------------------------------------ *)
+(* Reference model: bool lists                                        *)
+(* ------------------------------------------------------------------ *)
+
+let bools_of rng len = List.init len (fun _ -> Rng.bool rng)
+
+(* Random lengths land on every residue mod 8, including 0. *)
+let len_of rng = Rng.int rng 201
+
+let qcheck_of_to_bools =
+  QCheck.Test.make ~name:"of_bools/to_bools is the identity" ~count:500
+    seed_arbitrary (fun seed ->
+      let rng = Rng.make seed in
+      let bs = bools_of rng (len_of rng) in
+      let b = Bitstring.of_bools bs in
+      Bitstring.to_bools b = bs
+      && Bitstring.length b = List.length bs
+      && List.mapi (fun i _ -> Bitstring.get b i) bs
+         = List.mapi (fun i _ -> List.nth bs i) bs)
+
+let qcheck_append =
+  QCheck.Test.make ~name:"append ≡ list append (unaligned lengths)"
+    ~count:500 seed_arbitrary (fun seed ->
+      let rng = Rng.make seed in
+      let xs = bools_of rng (len_of rng) in
+      let ys = bools_of rng (len_of rng) in
+      Bitstring.to_bools
+        (Bitstring.append (Bitstring.of_bools xs) (Bitstring.of_bools ys))
+      = xs @ ys)
+
+let slice xs pos len = List.filteri (fun i _ -> i >= pos && i < pos + len) xs
+
+let qcheck_sub =
+  QCheck.Test.make ~name:"sub ≡ list slice (unaligned pos and len)"
+    ~count:500 seed_arbitrary (fun seed ->
+      let rng = Rng.make seed in
+      let xs = bools_of rng (1 + len_of rng) in
+      let n = List.length xs in
+      let pos = Rng.int rng (n + 1) in
+      let len = Rng.int rng (n - pos + 1) in
+      Bitstring.to_bools (Bitstring.sub (Bitstring.of_bools xs) ~pos ~len)
+      = slice xs pos len)
+
+(* Equality, hash and compare must agree across different construction
+   paths of the same bits — append/sub produce values whose internal
+   byte alignment history differs, and the lazily cached hash must not
+   observe that. *)
+let qcheck_equal_hash_compare =
+  QCheck.Test.make ~name:"equal/hash/compare agree across constructions"
+    ~count:500 seed_arbitrary (fun seed ->
+      let rng = Rng.make seed in
+      let xs = bools_of rng (1 + len_of rng) in
+      let n = List.length xs in
+      let cut = Rng.int rng (n + 1) in
+      let direct = Bitstring.of_bools xs in
+      let via_append =
+        Bitstring.append
+          (Bitstring.of_bools (slice xs 0 cut))
+          (Bitstring.of_bools (slice xs cut (n - cut)))
+      in
+      let via_sub =
+        (* embed at an unaligned offset, then slice back out *)
+        let pad = bools_of rng (1 + Rng.int rng 13) in
+        Bitstring.sub
+          (Bitstring.append (Bitstring.of_bools pad) direct)
+          ~pos:(List.length pad) ~len:n
+      in
+      let flipped = Bitstring.flip direct (Rng.int rng n) in
+      (* force one hash before the equality checks so cached and
+         uncached values meet *)
+      ignore (Bitstring.hash via_append);
+      Bitstring.equal direct via_append
+      && Bitstring.equal direct via_sub
+      && Bitstring.hash direct = Bitstring.hash via_append
+      && Bitstring.hash direct = Bitstring.hash via_sub
+      && Bitstring.compare direct via_append = 0
+      && Bitstring.compare direct via_sub = 0
+      && (not (Bitstring.equal direct flipped))
+      && Bitstring.compare direct flipped <> 0)
+
+let qcheck_xor =
+  QCheck.Test.make ~name:"xor ≡ pointwise xor; self-xor is zero"
+    ~count:500 seed_arbitrary (fun seed ->
+      let rng = Rng.make seed in
+      let n = len_of rng in
+      let xs = bools_of rng n and ys = bools_of rng n in
+      let a = Bitstring.of_bools xs and b = Bitstring.of_bools ys in
+      Bitstring.to_bools (Bitstring.xor a b)
+      = List.map2 (fun x y -> x <> y) xs ys
+      && Bitstring.equal (Bitstring.xor a a)
+           (Bitstring.of_bools (List.map (fun _ -> false) xs)))
+
+let qcheck_extract =
+  QCheck.Test.make ~name:"unsafe_extract ≡ MSB-first fold" ~count:500
+    seed_arbitrary (fun seed ->
+      let rng = Rng.make seed in
+      let xs = bools_of rng (1 + len_of rng) in
+      let n = List.length xs in
+      let pos = Rng.int rng n in
+      let width = 1 + Rng.int rng (min 62 (n - pos)) in
+      let expected =
+        List.fold_left
+          (fun acc b -> (acc lsl 1) lor if b then 1 else 0)
+          0
+          (slice xs pos width)
+      in
+      Bitstring.unsafe_extract (Bitstring.of_bools xs) ~pos ~width = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Bitbuf: word-level writer/reader vs the bit-level reference        *)
+(* ------------------------------------------------------------------ *)
+
+let bits_of_fixed ~width v =
+  List.init width (fun i -> (v lsr (width - 1 - i)) land 1 = 1)
+
+let rec bit_count n = if n = 0 then 0 else 1 + bit_count (n lsr 1)
+
+(* Elias gamma of n+1: k-1 zeros, then the k bits of n+1. *)
+let bits_of_nat n =
+  let k = bit_count (n + 1) in
+  List.init (k - 1) (fun _ -> false) @ bits_of_fixed ~width:k (n + 1)
+
+type op = Bit of bool | Fixed of int * int | Nat of int | Bits of bool list
+
+let op_of rng =
+  match Rng.int rng 4 with
+  | 0 -> Bit (Rng.bool rng)
+  | 1 ->
+      let width = 1 + Rng.int rng 62 in
+      let v =
+        if width >= 62 then Rng.int rng max_int
+        else Rng.int rng (1 lsl width)
+      in
+      Fixed (width, v)
+  | 2 -> Nat (Rng.int rng 1_000_000)
+  | _ -> Bits (bools_of rng (Rng.int rng 41))
+
+let qcheck_writer_matches_reference =
+  QCheck.Test.make
+    ~name:"Writer emits exactly the reference bits; Reader restores"
+    ~count:500 seed_arbitrary (fun seed ->
+      let rng = Rng.make seed in
+      let ops = List.init (Rng.int rng 20) (fun _ -> op_of rng) in
+      let w = Bitbuf.Writer.create () in
+      let expected =
+        List.concat_map
+          (fun op ->
+            match op with
+            | Bit b ->
+                Bitbuf.Writer.bit w b;
+                [ b ]
+            | Fixed (width, v) ->
+                Bitbuf.Writer.fixed w ~width v;
+                bits_of_fixed ~width v
+            | Nat n ->
+                Bitbuf.Writer.nat w n;
+                bits_of_nat n
+            | Bits bs ->
+                Bitbuf.Writer.bitstring w (Bitstring.of_bools bs);
+                bits_of_nat (List.length bs) @ bs)
+          ops
+      in
+      let contents = Bitbuf.Writer.contents w in
+      Bitstring.to_bools contents = expected
+      && Bitbuf.decode contents (fun r ->
+             List.for_all
+               (fun op ->
+                 match op with
+                 | Bit b -> Bitbuf.Reader.bit r = b
+                 | Fixed (width, v) -> Bitbuf.Reader.fixed r ~width = v
+                 | Nat n -> Bitbuf.Reader.nat r = n
+                 | Bits bs ->
+                     Bitstring.to_bools (Bitbuf.Reader.bitstring r) = bs)
+               ops)
+         = Some true)
+
+(* ------------------------------------------------------------------ *)
+(* Interning transparency                                             *)
+(* ------------------------------------------------------------------ *)
+
+let outcome_equal (a : Scheme.outcome) (b : Scheme.outcome) =
+  a.Scheme.accepted = b.Scheme.accepted
+  && a.Scheme.max_bits = b.Scheme.max_bits
+  && a.Scheme.rejections = b.Scheme.rejections
+
+(* Half prover certificates, half random garbage, as in test_engine. *)
+let certs_of rng scheme inst =
+  let forged () =
+    Array.init (Instance.n inst) (fun _ -> Rng.bits rng (Rng.int rng 9))
+  in
+  if Rng.bool rng then forged ()
+  else match scheme.Scheme.prover inst with Some c -> c | None -> forged ()
+
+let entry_of seed = List.nth Registry.all (seed mod List.length Registry.all)
+
+let qcheck_interning_certify =
+  QCheck.Test.make
+    ~name:"Scheme.certify byte-identical with interning on/off" ~count:40
+    seed_arbitrary (fun seed ->
+      let e = entry_of seed in
+      let certify enabled =
+        Cert_store.with_enabled enabled (fun () ->
+            Cert_store.reset ();
+            let rng = Rng.make seed in
+            match Scheme.certify e.Registry.scheme (e.Registry.instance rng) with
+            | None -> None
+            | Some (certs, outcome) ->
+                Some (Array.map Bitstring.to_string certs, outcome))
+      in
+      match (certify true, certify false) with
+      | None, None -> true
+      | Some (ca, oa), Some (cb, ob) -> ca = cb && outcome_equal oa ob
+      | _ -> false)
+
+let qcheck_interning_run_par =
+  QCheck.Test.make
+    ~name:"Engine.run_par outcome identical with interning on/off"
+    ~count:40 seed_arbitrary (fun seed ->
+      let e = entry_of seed in
+      let run enabled =
+        Cert_store.with_enabled enabled (fun () ->
+            Cert_store.reset ();
+            let rng = Rng.split (Rng.make seed) 2 in
+            let inst = e.Registry.instance rng.(0) in
+            let certs =
+              Cert_store.intern_all (certs_of rng.(1) e.Registry.scheme inst)
+            in
+            Engine.run_par ~pool:pool4 e.Registry.scheme inst certs)
+      in
+      outcome_equal (run true) (run false))
+
+let stress_plan =
+  List.fold_left Fault.union (Fault.drops 0.15)
+    [
+      Fault.flips 0.15;
+      Fault.corruption 0.1;
+      Fault.crashes 0.05;
+      Fault.byzantine ~bits:6 0.1;
+    ]
+
+let qcheck_interning_runtime =
+  QCheck.Test.make
+    ~name:"faulty Runtime.execute trace byte-identical with interning on/off"
+    ~count:30 seed_arbitrary (fun seed ->
+      let e = entry_of seed in
+      let run enabled =
+        Cert_store.with_enabled enabled (fun () ->
+            Cert_store.reset ();
+            let rng = Rng.split (Rng.make seed) 2 in
+            let inst = e.Registry.instance rng.(0) in
+            let certs = certs_of rng.(1) e.Registry.scheme inst in
+            Runtime.execute ~pool:pool4 ~plan:stress_plan ~rounds:3 ~seed
+              e.Registry.scheme inst certs)
+      in
+      let a = run true and b = run false in
+      Trace.to_json a.Runtime.trace = Trace.to_json b.Runtime.trace
+      && outcome_equal a.Runtime.outcome b.Runtime.outcome
+      && a.Runtime.detected_at = b.Runtime.detected_at)
+
+(* Interning really shares: equal certificates intern to one pointer. *)
+let interning_shares () =
+  Cert_store.with_enabled true (fun () ->
+      Cert_store.reset ();
+      let a = Bitstring.of_string "1011001" in
+      let b =
+        Bitstring.append (Bitstring.of_string "101") (Bitstring.of_string "1001")
+      in
+      let ia = Cert_store.intern a in
+      let ib = Cert_store.intern b in
+      check "physically shared" true (ia == ib);
+      check "equal to the original" true (Bitstring.equal ia a);
+      let s = Cert_store.stats () in
+      Alcotest.(check int) "distinct" 1 s.Cert_store.distinct;
+      Alcotest.(check int) "hits" 1 s.Cert_store.hits)
+
+let suite =
+  [
+    ( "bitstring-diff",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          qcheck_of_to_bools;
+          qcheck_append;
+          qcheck_sub;
+          qcheck_equal_hash_compare;
+          qcheck_xor;
+          qcheck_extract;
+          qcheck_writer_matches_reference;
+        ] );
+    ( "interning",
+      Alcotest.test_case "interning shares equal certificates" `Quick
+        interning_shares
+      :: List.map QCheck_alcotest.to_alcotest
+           [
+             qcheck_interning_certify;
+             qcheck_interning_run_par;
+             qcheck_interning_runtime;
+           ] );
+  ]

@@ -1,0 +1,146 @@
+(* Guard tests for the BENCH_PERF.json schema.
+
+   The committed artifact must always parse under [Perf_schema] — a
+   bench that drifts from the schema (or a hand-edited artifact) is a
+   test failure here, not a silently stale file. *)
+
+let check = Alcotest.(check bool)
+
+let sample =
+  {
+    Perf_schema.smoke = false;
+    series =
+      [
+        {
+          Perf_schema.scheme = "kernel-mso";
+          rows =
+            [
+              {
+                Perf_schema.n = 195;
+                jobs = 4;
+                prover_ms = 12.5;
+                verify_ms = 0.75;
+                verts_per_sec = 260000.;
+                minor_words = 1048576.;
+                interned_ratio = 0.25;
+              };
+            ];
+        };
+      ];
+  }
+
+let render_parse_roundtrip () =
+  let rendered = Perf_schema.render sample in
+  match Perf_schema.parse rendered with
+  | Error msg -> Alcotest.failf "rendered sample does not parse: %s" msg
+  | Ok d ->
+      check "smoke" true (d.Perf_schema.smoke = sample.Perf_schema.smoke);
+      (* render is a fixpoint after one round trip *)
+      Alcotest.(check string) "fixpoint" rendered (Perf_schema.render d)
+
+let seed_arbitrary = QCheck.(int_bound 1_000_000)
+
+let qcheck_random_roundtrip =
+  QCheck.Test.make ~name:"random docs round-trip through render/parse"
+    ~count:200 seed_arbitrary (fun seed ->
+      let rng = Rng.make seed in
+      let row () =
+        {
+          Perf_schema.n = 1 + Rng.int rng 100_000;
+          jobs = 1 + Rng.int rng 16;
+          prover_ms = Rng.float rng 10_000.;
+          verify_ms = Rng.float rng 10_000.;
+          verts_per_sec = Rng.float rng 1e9;
+          minor_words = float_of_int (Rng.int rng 1_000_000_000);
+          interned_ratio = Rng.float rng 1.0;
+        }
+      in
+      let series i =
+        {
+          Perf_schema.scheme = Printf.sprintf "scheme-%d" i;
+          rows = List.init (1 + Rng.int rng 8) (fun _ -> row ());
+        }
+      in
+      let doc =
+        {
+          Perf_schema.smoke = Rng.bool rng;
+          series = List.init (1 + Rng.int rng 5) series;
+        }
+      in
+      let rendered = Perf_schema.render doc in
+      match Perf_schema.parse rendered with
+      | Error _ -> false
+      | Ok d -> Perf_schema.render d = rendered)
+
+let rejects_malformed () =
+  let bad =
+    [
+      ("not json", "{");
+      ("empty series", {|{ "smoke": false, "series": [] }|});
+      ( "empty rows",
+        {|{ "smoke": false, "series": [ { "scheme": "x", "rows": [] } ] }|} );
+      ( "missing field",
+        {|{ "smoke": false, "series": [ { "scheme": "x", "rows": [ { "n": 1, "jobs": 1 } ] } ] }|}
+      );
+      ( "unknown field",
+        {|{ "smoke": false, "oops": 1, "series": [ { "scheme": "x", "rows": [ { "n": 1, "jobs": 1, "prover_ms": 1, "verify_ms": 1, "verts_per_sec": 1, "minor_words": 1, "interned_ratio": 0 } ] } ] }|}
+      );
+      ( "ratio above one",
+        {|{ "smoke": false, "series": [ { "scheme": "x", "rows": [ { "n": 1, "jobs": 1, "prover_ms": 1, "verify_ms": 1, "verts_per_sec": 1, "minor_words": 1, "interned_ratio": 2 } ] } ] }|}
+      );
+      ( "negative time",
+        {|{ "smoke": false, "series": [ { "scheme": "x", "rows": [ { "n": 1, "jobs": 1, "prover_ms": -1, "verify_ms": 1, "verts_per_sec": 1, "minor_words": 1, "interned_ratio": 0 } ] } ] }|}
+      );
+    ]
+  in
+  List.iter
+    (fun (name, text) ->
+      check name true (Result.is_error (Perf_schema.parse text)))
+    bad
+
+(* The committed artifact at the repository root: walk up from the
+   dune sandbox cwd until BENCH_PERF.json appears. *)
+let find_artifact () =
+  let rec go dir depth =
+    if depth > 6 then None
+    else
+      let candidate = Filename.concat dir "BENCH_PERF.json" in
+      if Sys.file_exists candidate then Some candidate
+      else go (Filename.concat dir Filename.parent_dir_name) (depth + 1)
+  in
+  go (Sys.getcwd ()) 0
+
+let committed_artifact_parses () =
+  match find_artifact () with
+  | None ->
+      Alcotest.fail
+        "BENCH_PERF.json not found; run `make bench-perf` (or commit the \
+         artifact)"
+  | Some path ->
+      let ic = open_in_bin path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (match Perf_schema.parse text with
+      | Error msg -> Alcotest.failf "%s does not parse: %s" path msg
+      | Ok d ->
+          check "at least 4 scheme families" true
+            (List.length d.Perf_schema.series >= 4);
+          List.iter
+            (fun (s : Perf_schema.series) ->
+              check (s.Perf_schema.scheme ^ " has rows") true
+                (s.Perf_schema.rows <> []))
+            d.Perf_schema.series)
+
+let suite =
+  [
+    ( "perf-schema",
+      [
+        Alcotest.test_case "render/parse roundtrip" `Quick
+          render_parse_roundtrip;
+        QCheck_alcotest.to_alcotest qcheck_random_roundtrip;
+        Alcotest.test_case "malformed documents rejected" `Quick
+          rejects_malformed;
+        Alcotest.test_case "committed BENCH_PERF.json parses" `Quick
+          committed_artifact_parses;
+      ] );
+  ]
