@@ -215,6 +215,21 @@ let jobs_of_argv argv =
   in
   go argv
 
+(* `--metrics FILE` turns telemetry on for the whole bench run and
+   writes the final snapshot.  The timing numbers then include the
+   (one-branch) telemetry overhead, so perf runs meant for the
+   committed artifact should not pass it. *)
+let metrics_of_argv argv =
+  let rec go = function
+    | "--metrics" :: v :: _ -> Some v
+    | arg :: rest ->
+        if String.length arg > 10 && String.sub arg 0 10 = "--metrics=" then
+          Some (String.sub arg 10 (String.length arg - 10))
+        else go rest
+    | [] -> None
+  in
+  go argv
+
 let () =
   let argv = Array.to_list Sys.argv in
   let experiments = List.mem "--experiments" argv in
@@ -226,6 +241,8 @@ let () =
     (not experiments) && (not timings) && (not runtime) && (not perf)
     && not perf_smoke
   in
+  let metrics_out = metrics_of_argv argv in
+  if metrics_out <> None then Metrics.set_enabled true;
   if perf || perf_smoke then Perf_bench.run ~smoke:perf_smoke ();
   if experiments || all then Experiments.run_all ();
   if runtime || all then
@@ -237,4 +254,9 @@ let () =
     Pool.with_pool ~jobs:(jobs_of_argv argv) (fun pool ->
         engine_comparison pool;
         report "all schemes" (benchmark (timing_tests pool)))
-  end
+  end;
+  match metrics_out with
+  | None -> ()
+  | Some path ->
+      Export.write_file path (Export.snapshot ());
+      Printf.printf "\nmetrics written to %s\n" path

@@ -40,6 +40,29 @@ type family = {
   make : int -> Scheme.t * Instance.t;
 }
 
+(* Aggregate named-memo hit ratio over one instrumented prover +
+   sequential verification.  This is a separate accounting pass with
+   telemetry forced on, so the timed measurements above never run with
+   recording enabled — timings and counters come from different runs by
+   construction. *)
+let memo_hit_ratio scheme inst certs =
+  Metrics.reset ();
+  Metrics.with_enabled true (fun () ->
+      ignore (Sys.opaque_identity (scheme.Scheme.prover inst));
+      ignore (Sys.opaque_identity (Scheme.run scheme inst certs)));
+  let hits, misses =
+    List.fold_left
+      (fun (h, m) (name, _, v) ->
+        if not (String.starts_with ~prefix:"memo." name) then (h, m)
+        else if String.ends_with ~suffix:".hits" name then (h + v, m)
+        else if String.ends_with ~suffix:".misses" name then (h, m + v)
+        else (h, m))
+      (0, 0) (Metrics.counters ())
+  in
+  Metrics.reset ();
+  if hits + misses = 0 then None
+  else Some (float_of_int hits /. float_of_int (hits + misses))
+
 let tri_free () =
   Parser.parse_exn "forall x. forall y. forall z. ~(x -- y & y -- z & x -- z)"
 
@@ -111,6 +134,7 @@ let measure_family ~smoke ~jobs_ladder ~reps fam =
         Cert_store.reset ();
         let certs = Cert_store.intern_all (prover ()) in
         let interned_ratio = Cert_store.hit_ratio () in
+        let memo_ratio = memo_hit_ratio scheme inst certs in
         let prover_s = wall ~reps prover in
         let minor_words = minor_words_per ~reps prover in
         List.map
@@ -131,6 +155,7 @@ let measure_family ~smoke ~jobs_ladder ~reps fam =
               verts_per_sec = float_of_int n /. verify_s;
               minor_words;
               interned_ratio;
+              memo_hit_ratio = memo_ratio;
             })
           jobs_ladder)
       sizes
@@ -139,13 +164,16 @@ let measure_family ~smoke ~jobs_ladder ~reps fam =
 
 let print_series (s : Perf_schema.series) =
   Printf.printf "\n  %s\n" s.scheme;
-  Printf.printf "    %7s %5s %11s %11s %13s %13s %9s\n" "n" "jobs"
-    "prover_ms" "verify_ms" "verts/sec" "minor_words" "interned";
+  Printf.printf "    %7s %5s %11s %11s %13s %13s %9s %6s\n" "n" "jobs"
+    "prover_ms" "verify_ms" "verts/sec" "minor_words" "interned" "memo";
   List.iter
     (fun (r : Perf_schema.row) ->
-      Printf.printf "    %7d %5d %11.3f %11.3f %13.0f %13.0f %8.0f%%\n" r.n
+      Printf.printf "    %7d %5d %11.3f %11.3f %13.0f %13.0f %8.0f%% %6s\n" r.n
         r.jobs r.prover_ms r.verify_ms r.verts_per_sec r.minor_words
-        (100. *. r.interned_ratio))
+        (100. *. r.interned_ratio)
+        (match r.memo_hit_ratio with
+        | None -> "-"
+        | Some m -> Printf.sprintf "%.0f%%" (100. *. m)))
     s.rows
 
 let run ~smoke () =

@@ -38,11 +38,11 @@ let sweep pool scheme inst certs =
         let m = Trace.metrics r.Runtime.trace in
         wire := !wire + m.Trace.wire_bits;
         if m.Trace.certs_corrupted > 0 then incr corrupted;
-        match (r.Runtime.detected_at, m.Trace.first_corruption) with
-        | Some d, Some c ->
-            incr detected;
-            latencies := (d - c + 1) :: !latencies
-        | _ -> ()
+        if r.Runtime.detected_at <> None && m.Trace.first_corruption <> None
+        then incr detected;
+        match Trace.detection_latency m with
+        | Some l -> latencies := l :: !latencies
+        | None -> ()
       done;
       let mean_latency =
         match !latencies with

@@ -258,8 +258,58 @@ let jobs_arg =
            outcomes are exact, and all randomness is keyed to trial or \
            (round, vertex) positions, not domains.")
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry flags (shared by certify and simulate)                    *)
+(* ------------------------------------------------------------------ *)
+
+let log_conv =
+  Arg.conv
+    ( (fun s ->
+        match Logger.level_of_string s with
+        | Ok l -> Ok l
+        | Error e -> Error (`Msg e)),
+      fun ppf l ->
+        Format.pp_print_string ppf
+          (match l with None -> "off" | Some l -> Logger.level_to_string l) )
+
+let log_arg =
+  Arg.(
+    value
+    & opt (some log_conv) None
+    & info [ "log" ] ~docv:"LEVEL"
+        ~doc:
+          "Log level: off, error, warn, info or debug (logfmt lines on \
+           stderr).  Overrides the LOCALCERT_LOG environment variable.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Enable telemetry and write a JSON metrics snapshot to $(docv) on \
+           exit.  The deterministic section (counters, gauges, histograms) is \
+           identical across same-seed runs at any job count; timings and \
+           approximate metrics live in a separate section.")
+
+(* Applied around a subcommand body: --log sets the level first, and
+   --metrics switches recording on so the snapshot written afterwards
+   has data in it.  Without --metrics, telemetry stays off and every
+   instrument update is a single load-and-branch. *)
+let with_telemetry log metrics f =
+  (match log with None -> () | Some l -> Logger.set_level l);
+  (match metrics with None -> () | Some _ -> Metrics.set_enabled true);
+  let r = f () in
+  (match metrics with
+  | None -> ()
+  | Some path ->
+      Export.write_file path (Export.snapshot ());
+      Printf.printf "metrics written to %s\n" path);
+  r
+
 let certify_cmd =
-  let run g name t formula attack seed jobs =
+  let run g name t formula attack seed jobs log metrics =
+    with_telemetry log metrics @@ fun () ->
     let scheme = scheme_of_name name ~t ~formula in
     let instance = Instance.make g in
     Printf.printf "scheme: %s\ninstance: n=%d m=%d, %d-bit ids\n"
@@ -271,9 +321,19 @@ let certify_cmd =
           if Pool.size pool > 1 then Engine.run_par ~pool scheme instance certs
           else Scheme.run scheme instance certs
         in
-        match scheme.Scheme.prover instance with
+        match Span.with_ "prover" (fun () -> scheme.Scheme.prover instance) with
         | Some certs ->
-            let outcome = verify certs in
+            let certs = Cert_store.intern_all certs in
+            Scheme.record_cert_sizes scheme certs;
+            let outcome = Span.with_ "verify" (fun () -> verify certs) in
+            Logger.debug
+              ~fields:
+                [
+                  ("scheme", scheme.Scheme.name);
+                  ("accepted", string_of_bool outcome.Scheme.accepted);
+                  ("max_bits", string_of_int outcome.Scheme.max_bits);
+                ]
+              "certify done";
             Printf.printf "prover: certificates assigned (max %d bits)\n"
               outcome.Scheme.max_bits;
             Printf.printf "verifier: all nodes accept = %b\n"
@@ -321,7 +381,7 @@ let certify_cmd =
     (Cmd.info "certify" ~doc:"Run a certification scheme on a graph")
     Term.(
       const run $ graph_arg $ name_arg $ t_arg $ formula_arg $ attack_arg
-      $ seed_arg $ jobs_arg)
+      $ seed_arg $ jobs_arg $ log_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* attack                                                              *)
@@ -424,7 +484,8 @@ let attack_cmd =
 (* ------------------------------------------------------------------ *)
 
 let simulate_cmd =
-  let run g name t formula plan rounds seed trace_out sweep jobs =
+  let run g name t formula plan rounds seed trace_out sweep jobs log metrics =
+    with_telemetry log metrics @@ fun () ->
     let scheme = scheme_of_name name ~t ~formula in
     let instance = Instance.make g in
     let certs =
@@ -465,11 +526,11 @@ let simulate_cmd =
                 in
                 let m = Trace.metrics r.Runtime.trace in
                 if m.Trace.certs_corrupted > 0 then incr corrupted;
-                match (r.Runtime.detected_at, m.Trace.first_corruption) with
-                | Some d, Some c ->
-                    incr detected;
-                    latencies := (d - c + 1) :: !latencies
-                | _ -> ()
+                if r.Runtime.detected_at <> None && m.Trace.first_corruption <> None
+                then incr detected;
+                match Trace.detection_latency m with
+                | Some l -> latencies := l :: !latencies
+                | None -> ()
               done;
               let mean_latency =
                 match !latencies with
@@ -530,7 +591,8 @@ let simulate_cmd =
        ~doc:"Execute a scheme as a round-based distributed protocol")
     Term.(
       const run $ graph_arg $ name_arg $ t_arg $ formula_arg $ plan_arg
-      $ rounds_arg $ seed_arg $ trace_arg $ sweep_arg $ jobs_arg)
+      $ rounds_arg $ seed_arg $ trace_arg $ sweep_arg $ jobs_arg $ log_arg
+      $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gadget                                                              *)
@@ -586,6 +648,107 @@ let gadget_cmd =
     Term.(const run $ kind_arg $ m_arg $ n_arg)
 
 (* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  text
+
+(* Every metric name appearing anywhere in a snapshot. *)
+let snapshot_names (s : Export.t) =
+  List.map fst s.Export.counters
+  @ List.map fst s.Export.gauges
+  @ List.map (fun (h : Export.histogram) -> h.Export.name) s.Export.histograms
+  @ List.map fst s.Export.approx_counters
+  @ List.map fst s.Export.approx_gauges
+  @ List.map
+      (fun (h : Export.histogram) -> h.Export.name)
+      s.Export.approx_histograms
+  @ List.map (fun (t : Export.timing) -> t.Export.name) s.Export.timings
+
+(* A small fixed workload exercising every instrumented layer, so a
+   bare `localcert stats` shows a populated snapshot: two scheme
+   families certified, one parallel sweep, one fault-injected
+   simulation. *)
+let demo_workload () =
+  let s1 = Spanning_tree.scheme () in
+  let i1 = Instance.make (Gen.random_tree (Rng.make 3) 64) in
+  (match Scheme.certify s1 i1 with
+  | Some (certs, _) ->
+      Pool.with_pool ~jobs:2 (fun pool ->
+          ignore (Engine.run_par ~pool s1 i1 certs);
+          ignore
+            (Runtime.execute ~pool ~plan:(Fault.corruption 0.05) ~rounds:4
+               ~seed:1 s1 i1 certs))
+  | None -> ());
+  let s2 = Tree_mso.make Library.has_perfect_matching.Library.auto in
+  ignore (Scheme.certify s2 (Instance.make (Gen.path 32)))
+
+let stats_cmd =
+  let run validate required prometheus log =
+    (match log with None -> () | Some l -> Logger.set_level l);
+    match validate with
+    | Some path -> (
+        match Export.parse (read_file path) with
+        | Error msg ->
+            Printf.eprintf "%s: invalid metrics snapshot: %s\n" path msg;
+            exit 1
+        | Ok snap -> (
+            let names = snapshot_names snap in
+            match List.filter (fun r -> not (List.mem r names)) required with
+            | [] ->
+                Printf.printf "%s: valid snapshot, %d metrics%s\n" path
+                  (List.length names)
+                  (if required = [] then ""
+                   else
+                     Printf.sprintf " (%d required names present)"
+                       (List.length required))
+            | missing ->
+                Printf.eprintf "%s: missing required metrics: %s\n" path
+                  (String.concat ", " missing);
+                exit 1))
+    | None ->
+        Metrics.set_enabled true;
+        demo_workload ();
+        let snap = Export.snapshot () in
+        print_string
+          (if prometheus then Export.to_prometheus snap else Export.render snap)
+  in
+  let validate_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "validate" ] ~docv:"FILE"
+          ~doc:
+            "Strictly parse a snapshot written by --metrics instead of \
+             running the demo workload; exit non-zero if it is malformed.")
+  in
+  let require_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "require" ] ~docv:"NAMES"
+          ~doc:
+            "With --validate: comma-separated metric names that must be \
+             present in the snapshot.")
+  in
+  let prometheus_flag =
+    Arg.(
+      value & flag
+      & info [ "prometheus" ]
+          ~doc:"Print the Prometheus text exposition instead of JSON.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a demo workload with telemetry on and print the snapshot, or \
+          validate a snapshot file")
+    Term.(const run $ validate_arg $ require_arg $ prometheus_flag $ log_arg)
+
+(* ------------------------------------------------------------------ *)
 (* export                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -609,6 +772,14 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Write a graph in an interchange format")
     Term.(const run $ graph_arg $ fmt_arg)
 
+(* --version output: the dune-project version (via the generated
+   Version module) plus one line per registered scheme family. *)
+let version_banner =
+  String.concat "\n"
+    (Printf.sprintf "localcert %s" Version.version
+    :: "scheme families:"
+    :: List.map (fun l -> "  " ^ l) (Registry.summary ()))
+
 let () =
   let default =
     Term.(
@@ -618,7 +789,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default
-          (Cmd.info "localcert" ~version:"1.0"
+          (Cmd.info "localcert" ~version:version_banner
              ~doc:"Compact local certification of MSO properties (PODC 2022)")
           [
             eval_cmd;
@@ -627,5 +798,6 @@ let () =
             attack_cmd;
             simulate_cmd;
             gadget_cmd;
+            stats_cmd;
             export_cmd;
           ]))

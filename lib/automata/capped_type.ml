@@ -24,9 +24,15 @@ let compile_oracle ~threshold ~name oracle =
      its info is published).  The oracle runs unlocked: it evaluates a
      formula on a representative tree and never re-enters this
      automaton. *)
-  let intern : (int * (int * int) list, int) Memo.t = Memo.create 64 in
-  let infos : (int, state_info) Memo.t = Memo.create 64 in
-  let accept_memo : (int, bool) Memo.t = Memo.create 64 in
+  let intern : (int * (int * int) list, int) Memo.t =
+    Memo.create ~name:"capped_type.intern" 64
+  in
+  let infos : (int, state_info) Memo.t =
+    Memo.create ~name:"capped_type.infos" 64
+  in
+  let accept_memo : (int, bool) Memo.t =
+    Memo.create ~name:"capped_type.accept" 64
+  in
   let next = Atomic.make 0 in
   let info id =
     match Memo.find_opt infos id with

@@ -58,8 +58,12 @@ let product ~name f a b =
      id never escapes before [back] knows it.  No lock is held across
      calls into [a] or [b]: nested products use their own tables, so
      the locking is structurally acyclic and deadlock-free. *)
-  let fwd : (int * int, int) Memo.t = Memo.create 64 in
-  let back : (int, int * int) Memo.t = Memo.create 64 in
+  let fwd : (int * int, int) Memo.t =
+    Memo.create ~name:"product.fwd" 64
+  in
+  let back : (int, int * int) Memo.t =
+    Memo.create ~name:"product.back" 64
+  in
   let next = Atomic.make 0 in
   let intern p =
     Memo.find_or_add fwd p (fun () ->

@@ -261,7 +261,7 @@ let verifier ~k ~t phi =
      The evaluation itself runs unlocked (two domains may compute the
      same entry — they agree, so last-write-wins is fine). *)
   let eval_memo : (Bitstring.t, bool) Memo.t =
-    Memo.create ~hash:Bitstring.hash ~equal:Bitstring.equal 8
+    Memo.create ~name:"kernel_mso.eval" ~hash:Bitstring.hash ~equal:Bitstring.equal 8
   in
   let eval_rows rows_bits rows =
     match Memo.find_opt eval_memo rows_bits with

@@ -86,3 +86,12 @@ let all =
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all
+
+(* One line per family: the registry name and the (possibly
+   parameterized) name of the pinned default scheme. *)
+let summary () =
+  List.map
+    (fun e ->
+      if e.name = e.scheme.Scheme.name then e.name
+      else Printf.sprintf "%s (%s)" e.name e.scheme.Scheme.name)
+    all

@@ -22,3 +22,8 @@ val all : entry list
     tree-mso:perfect-matching, lcl:mis, depth2:dominating. *)
 
 val find : string -> entry option
+
+val summary : unit -> string list
+(** One line per registered family — the registry name, plus the
+    pinned default scheme's own name when it differs.  Shown by the
+    CLI's [--version] banner. *)

@@ -37,6 +37,28 @@ let view_of (inst : Instance.t) certs v =
 let max_cert_bits certs =
   Array.fold_left (fun acc c -> max acc (Bitstring.length c)) 0 certs
 
+(* Telemetry for a completed exhaustive sweep.  Accept/reject is a
+   property of the outcome, so for exhaustive sweeps the counters are
+   deterministic under any scheduling.  Early-exit sweeps are not
+   counted at all: they are the attack path, where racing trial
+   pruning makes even the {e number} of sweeps scheduling-dependent. *)
+let record_outcome scheme ~early_exit outcome =
+  if (not early_exit) && Metrics.is_enabled () then begin
+    let prefix = "scheme." ^ scheme.name ^ "." in
+    Metrics.incr
+      (Metrics.counter
+         (prefix ^ if outcome.accepted then "accept" else "reject"));
+    Metrics.add
+      (Metrics.counter (prefix ^ "rejections"))
+      (List.length outcome.rejections)
+  end
+
+let record_cert_sizes scheme certs =
+  if Metrics.is_enabled () then begin
+    let h = Metrics.histogram ("scheme." ^ scheme.name ^ ".cert_bits") in
+    Array.iter (fun c -> Metrics.observe h (Bitstring.length c)) certs
+  end
+
 let run ?(early_exit = false) scheme inst certs =
   let rejections = ref [] in
   (try
@@ -48,21 +70,39 @@ let run ?(early_exit = false) scheme inst certs =
            if early_exit then raise Exit
      done
    with Exit -> ());
-  {
-    accepted = !rejections = [];
-    rejections = !rejections;
-    max_bits = max_cert_bits certs;
-  }
+  let outcome =
+    {
+      accepted = !rejections = [];
+      rejections = !rejections;
+      max_bits = max_cert_bits certs;
+    }
+  in
+  record_outcome scheme ~early_exit outcome;
+  outcome
 
 let certify scheme inst =
-  match scheme.prover inst with
-  | None -> None
+  Span.with_ "certify" @@ fun () ->
+  Span.with_ scheme.name @@ fun () ->
+  match Span.with_ "prover" (fun () -> scheme.prover inst) with
+  | None ->
+      Logger.debug ~fields:[ ("scheme", scheme.name) ] "prover gave up";
+      None
   | Some certs ->
       (* hash-cons the labels: duplicate certificates (common in
          broadcast-style schemes) share one allocation.  Interning is
          observation-equal, so the outcome and max_bits are unchanged. *)
       let certs = Cert_store.intern_all certs in
-      Some (certs, run scheme inst certs)
+      record_cert_sizes scheme certs;
+      let outcome = Span.with_ "verify" (fun () -> run scheme inst certs) in
+      Logger.debug
+        ~fields:
+          [
+            ("scheme", scheme.name);
+            ("accepted", string_of_bool outcome.accepted);
+            ("max_bits", string_of_int outcome.max_bits);
+          ]
+        "certify done";
+      Some (certs, outcome)
 
 let certificate_size scheme inst =
   match scheme.prover inst with

@@ -66,6 +66,20 @@ val certificate_size : t -> Instance.t -> int option
 val accepts_with : t -> Instance.t -> Bitstring.t array -> bool
 (** [run] reduced to the global conjunction. *)
 
+val record_cert_sizes : t -> Bitstring.t array -> unit
+(** Feed every certificate's bit length into the per-scheme
+    [scheme.<name>.cert_bits] telemetry histogram.  [certify] calls
+    this itself; exposed for drivers that invoke the prover directly
+    (the CLI). *)
+
+val record_outcome : t -> early_exit:bool -> outcome -> unit
+(** Bump the per-scheme accept/reject/rejections telemetry counters
+    ({!Localcert_obs.Metrics}) for a completed sweep.  [run] calls this
+    itself; it is exposed for alternative sweep implementations
+    ({!Localcert_engine.Engine.run_par}).  Early-exit sweeps are never
+    counted — under racing attack-trial pruning even the number of
+    such sweeps is scheduling-dependent. *)
+
 (** {1 Combinators} *)
 
 val conjoin : name:string -> t -> t -> t

@@ -10,8 +10,20 @@ let chunk_factor = 8
 
 let run_par ?pool ?jobs ?(early_exit = false) scheme inst certs =
   with_pool_arg ?pool ?jobs (fun pool ->
+      Span.with_ "run_par" @@ fun () ->
       let n = Graph.n inst.Instance.graph in
       let chunks = max 1 (min n (Pool.size pool * chunk_factor)) in
+      (* chunk geometry is a pure function of (n, pool size) — stable
+         for a fixed command line, but a different [--jobs] changes it,
+         so it is segregated into the approx section to keep the
+         deterministic section jobs-invariant *)
+      if Metrics.is_enabled () then begin
+        Metrics.add (Metrics.counter ~approx:true "engine.chunks") chunks;
+        let h = Metrics.histogram ~approx:true "engine.chunk_vertices" in
+        for c = 0 to chunks - 1 do
+          Metrics.observe h (((c + 1) * n / chunks) - (c * n / chunks))
+        done
+      end;
       let stop = Atomic.make false in
       let per_chunk =
         Pool.map_chunks pool ~chunks (fun c ->
@@ -35,11 +47,17 @@ let run_par ?pool ?jobs ?(early_exit = false) scheme inst certs =
             !rejections)
       in
       let rejections = List.concat (Array.to_list per_chunk) in
-      {
-        Scheme.accepted = rejections = [];
-        rejections;
-        max_bits = Scheme.max_cert_bits certs;
-      })
+      let outcome =
+        {
+          Scheme.accepted = rejections = [];
+          rejections;
+          max_bits = Scheme.max_cert_bits certs;
+        }
+      in
+      Scheme.record_outcome scheme ~early_exit outcome;
+      if (not early_exit) && Metrics.is_enabled () then
+        Metrics.add (Metrics.counter "engine.vertices_verified") n;
+      outcome)
 
 (* Trials per Rng stream.  Any constant works; it only trades stream
    count against intra-block sequencing.  It must not depend on the job

@@ -16,7 +16,19 @@ type t = {
   mutable workers : unit Domain.t list;
 }
 
-let worker t =
+(* Worker [i]'s task executions run under a span named after the
+   worker, so `pool.worker.<i>` timings give per-domain busy time and
+   task counts (approximate by construction: which worker claims a
+   task is scheduling).  Completions also bump a total — every
+   submitted task is executed exactly once, no matter by whom, but the
+   task count itself depends on the pool size, so it lives in the
+   approx section alongside the submission counter. *)
+let completed () =
+  if Metrics.is_enabled () then
+    Metrics.incr (Metrics.counter ~approx:true "pool.tasks_completed")
+
+let worker i t =
+  let span_name = Printf.sprintf "pool.worker.%d" i in
   let rec loop () =
     Mutex.lock t.m;
     while Queue.is_empty t.queue && not t.stopped do
@@ -28,7 +40,8 @@ let worker t =
         Mutex.unlock t.m
     | Some task ->
         Mutex.unlock t.m;
-        task ();
+        Span.with_ span_name task;
+        completed ();
         loop ()
   in
   loop ()
@@ -51,7 +64,7 @@ let create ?jobs () =
       workers = [];
     }
   in
-  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t.workers <- List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker i t));
   t
 
 let size t = t.jobs
@@ -77,13 +90,16 @@ let shutdown t =
    work. *)
 let submit_batch t count task =
   if count < 0 then invalid_arg "Pool.submit_batch: negative count"
-  else if count > 0 then
+  else if count > 0 then begin
     Mutex.protect t.m (fun () ->
         if t.stopped then invalid_arg "Pool: already shut down";
         for _ = 1 to count do
           Queue.push task t.queue
         done;
-        if count = 1 then Condition.signal t.cv else Condition.broadcast t.cv)
+        if count = 1 then Condition.signal t.cv else Condition.broadcast t.cv);
+    if Metrics.is_enabled () then
+      Metrics.add (Metrics.counter ~approx:true "pool.tasks_submitted") count
+  end
 
 let map_chunks (type a) t ~chunks (f : int -> a) : a array =
   if chunks < 0 then invalid_arg "Pool.map_chunks: negative chunk count";

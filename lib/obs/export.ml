@@ -1,0 +1,400 @@
+type histogram = {
+  name : string;
+  bounds : int list;
+  counts : int list;
+  sum : int;
+}
+
+type timing = { name : string; count : int; total_ms : float; max_ms : float }
+
+type t = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  histograms : histogram list;
+  approx_counters : (string * int) list;
+  approx_gauges : (string * int) list;
+  approx_histograms : histogram list;
+  timings : timing list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot assembly                                                   *)
+
+let split_approx entries =
+  let det, approx =
+    List.partition (fun (_, approx, _) -> not approx) entries
+  in
+  ( List.map (fun (n, _, v) -> (n, v)) det,
+    List.map (fun (n, _, v) -> (n, v)) approx )
+
+(* Merge and dedupe by name (keep the first): samplers could in
+   principle collide with a registered gauge name, and the strict
+   renderer requires strictly ascending names. *)
+let dedupe_sorted l =
+  let rec go = function
+    | (a, _) :: ((b, _) :: _ as rest) when String.equal a b -> go rest
+    | x :: rest -> x :: go rest
+    | [] -> []
+  in
+  go (List.sort compare l)
+
+let snapshot () =
+  let counters, approx_counters = split_approx (Metrics.counters ()) in
+  let gauges, approx_gauges = split_approx (Metrics.gauges ()) in
+  let approx_gauges = dedupe_sorted (approx_gauges @ Metrics.sampled ()) in
+  let all_histograms = Metrics.histograms () in
+  let convert (h : Metrics.histogram_snapshot) =
+    {
+      name = h.Metrics.hname;
+      bounds = Array.to_list h.Metrics.bounds;
+      counts = Array.to_list h.Metrics.counts;
+      sum = h.Metrics.sum;
+    }
+  in
+  let histograms =
+    List.filter_map
+      (fun (h : Metrics.histogram_snapshot) ->
+        if h.Metrics.happrox then None else Some (convert h))
+      all_histograms
+  in
+  let approx_histograms =
+    List.filter_map
+      (fun (h : Metrics.histogram_snapshot) ->
+        if h.Metrics.happrox then Some (convert h) else None)
+      all_histograms
+  in
+  let timings =
+    List.map
+      (fun (s : Span.snapshot) ->
+        {
+          name = s.Span.path;
+          count = s.Span.count;
+          total_ms = s.Span.total_ms;
+          max_ms = s.Span.max_ms;
+        })
+      (Span.snapshot ())
+  in
+  {
+    counters;
+    gauges;
+    histograms;
+    approx_counters;
+    approx_gauges;
+    approx_histograms;
+    timings;
+  }
+
+let reset () =
+  Metrics.reset ();
+  Span.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let render_entries b key entries =
+  Printf.bprintf b "  \"%s\": [" key;
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "\n    { \"name\": \"%s\", \"value\": %d }"
+        (Json.escape name) v)
+    entries;
+  if entries <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_char b ']'
+
+let render_int_list b l =
+  Buffer.add_string b "[ ";
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_string b ", ";
+      Printf.bprintf b "%d" v)
+    l;
+  Buffer.add_string b " ]"
+
+let render_histograms b key hs =
+  Printf.bprintf b "  \"%s\": [" key;
+  List.iteri
+    (fun i (h : histogram) ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "\n    { \"name\": \"%s\", \"bounds\": "
+        (Json.escape h.name);
+      render_int_list b h.bounds;
+      Buffer.add_string b ", \"counts\": ";
+      render_int_list b h.counts;
+      Printf.bprintf b ", \"sum\": %d }" h.sum)
+    hs;
+  if hs <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_char b ']'
+
+let render_timings b ts =
+  Buffer.add_string b "    \"timings\": [";
+  List.iteri
+    (fun i t ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b
+        "\n      { \"name\": \"%s\", \"count\": %d, \"total_ms\": %s, \
+         \"max_ms\": %s }"
+        (Json.escape t.name) t.count (Json.num t.total_ms) (Json.num t.max_ms))
+    ts;
+  if ts <> [] then Buffer.add_string b "\n    ";
+  Buffer.add_char b ']'
+
+let indent_block s =
+  (* shift the "  \"key\": [...]" entry renderings two spaces deeper for
+     the approx object *)
+  String.split_on_char '\n' s
+  |> List.map (fun l -> if l = "" then l else "  " ^ l)
+  |> String.concat "\n"
+
+let render t =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n  \"version\": 1,\n";
+  render_entries b "counters" t.counters;
+  Buffer.add_string b ",\n";
+  render_entries b "gauges" t.gauges;
+  Buffer.add_string b ",\n";
+  render_histograms b "histograms" t.histograms;
+  Buffer.add_string b ",\n  \"approx\": {\n";
+  let inner = Buffer.create 512 in
+  render_entries inner "counters" t.approx_counters;
+  Buffer.add_string inner ",\n";
+  render_entries inner "gauges" t.approx_gauges;
+  Buffer.add_string inner ",\n";
+  render_histograms inner "histograms" t.approx_histograms;
+  Buffer.add_string b (indent_block (Buffer.contents inner));
+  Buffer.add_string b ",\n";
+  render_timings b t.timings;
+  Buffer.add_string b "\n  }\n}\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Strict parsing                                                      *)
+
+exception Bad of string
+
+let field obj name =
+  match List.assoc_opt name obj with
+  | Some v -> v
+  | None -> raise (Bad (Printf.sprintf "missing field %S" name))
+
+let check_fields obj allowed ctx =
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem k allowed) then
+        raise (Bad (Printf.sprintf "unexpected field %S in %s" k ctx)))
+    obj
+
+let as_obj ctx = function
+  | Json.Obj o -> o
+  | _ -> raise (Bad (ctx ^ ": expected an object"))
+
+let as_arr ctx = function
+  | Json.Arr a -> a
+  | _ -> raise (Bad (ctx ^ ": expected an array"))
+
+let as_num ctx = function
+  | Json.Num f ->
+      if not (Float.is_finite f) then raise (Bad (ctx ^ ": non-finite"));
+      f
+  | _ -> raise (Bad (ctx ^ ": expected a number"))
+
+let as_int ctx v =
+  let f = as_num ctx v in
+  if not (Float.is_integer f) then raise (Bad (ctx ^ ": expected an integer"));
+  int_of_float f
+
+let as_nonneg_int ctx v =
+  let i = as_int ctx v in
+  if i < 0 then raise (Bad (ctx ^ ": negative"));
+  i
+
+let as_nonneg ctx v =
+  let f = as_num ctx v in
+  if f < 0. then raise (Bad (ctx ^ ": negative"));
+  f
+
+let as_name ctx = function
+  | Json.Str s when s <> "" -> s
+  | Json.Str _ -> raise (Bad (ctx ^ ": empty name"))
+  | _ -> raise (Bad (ctx ^ ": name must be a string"))
+
+let check_sorted ctx names =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+        if a >= b then
+          raise
+            (Bad (Printf.sprintf "%s: names not strictly ascending (%S, %S)" ctx a b));
+        go rest
+    | _ -> ()
+  in
+  go names
+
+let decode_entries ctx j =
+  let entries =
+    List.map
+      (fun e ->
+        let o = as_obj ctx e in
+        check_fields o [ "name"; "value" ] ctx;
+        (as_name ctx (field o "name"), as_int ctx (field o "value")))
+      (as_arr ctx j)
+  in
+  check_sorted ctx (List.map fst entries);
+  entries
+
+let decode_counter_entries ctx j =
+  let entries = decode_entries ctx j in
+  List.iter
+    (fun (n, v) ->
+      if v < 0 then raise (Bad (Printf.sprintf "%s: %S negative" ctx n)))
+    entries;
+  entries
+
+let decode_histogram j =
+  let o = as_obj "histogram" j in
+  check_fields o [ "name"; "bounds"; "counts"; "sum" ] "histogram";
+  let name = as_name "histogram" (field o "name") in
+  let bounds = List.map (as_int "bound") (as_arr "bounds" (field o "bounds")) in
+  let counts =
+    List.map (as_nonneg_int "count") (as_arr "counts" (field o "counts"))
+  in
+  if bounds = [] then raise (Bad ("histogram " ^ name ^ ": no bounds"));
+  let rec ascending = function
+    | a :: (b :: _ as rest) -> a < b && ascending rest
+    | _ -> true
+  in
+  if not (ascending bounds) then
+    raise (Bad ("histogram " ^ name ^ ": bounds not strictly ascending"));
+  if List.length counts <> List.length bounds + 1 then
+    raise (Bad ("histogram " ^ name ^ ": counts must be bounds + overflow"));
+  { name; bounds; counts; sum = as_int "sum" (field o "sum") }
+
+let decode_timing j =
+  let o = as_obj "timing" j in
+  check_fields o [ "name"; "count"; "total_ms"; "max_ms" ] "timing";
+  {
+    name = as_name "timing" (field o "name");
+    count = as_nonneg_int "count" (field o "count");
+    total_ms = as_nonneg "total_ms" (field o "total_ms");
+    max_ms = as_nonneg "max_ms" (field o "max_ms");
+  }
+
+let decode_doc j =
+  let o = as_obj "snapshot" j in
+  check_fields o
+    [ "version"; "counters"; "gauges"; "histograms"; "approx" ]
+    "snapshot";
+  (match as_int "version" (field o "version") with
+  | 1 -> ()
+  | v -> raise (Bad (Printf.sprintf "unsupported snapshot version %d" v)));
+  let histograms =
+    List.map decode_histogram (as_arr "histograms" (field o "histograms"))
+  in
+  check_sorted "histograms" (List.map (fun (h : histogram) -> h.name) histograms);
+  let a = as_obj "approx" (field o "approx") in
+  check_fields a [ "counters"; "gauges"; "histograms"; "timings" ] "approx";
+  let approx_histograms =
+    List.map decode_histogram (as_arr "approx histograms" (field a "histograms"))
+  in
+  check_sorted "approx histograms"
+    (List.map (fun (h : histogram) -> h.name) approx_histograms);
+  let timings = List.map decode_timing (as_arr "timings" (field a "timings")) in
+  check_sorted "timings" (List.map (fun t -> t.name) timings);
+  {
+    counters = decode_counter_entries "counters" (field o "counters");
+    gauges = decode_entries "gauges" (field o "gauges");
+    histograms;
+    approx_counters = decode_counter_entries "approx counters" (field a "counters");
+    approx_gauges = decode_entries "approx gauges" (field a "gauges");
+    approx_histograms;
+    timings;
+  }
+
+let parse s =
+  match decode_doc (Json.parse_exn s) with
+  | d -> Ok d
+  | exception Bad msg -> Error msg
+  | exception Json.Error msg -> Error msg
+
+let parse_exn s =
+  match parse s with
+  | Ok d -> d
+  | Error msg -> invalid_arg ("Export.parse_exn: " ^ msg)
+
+let deterministic_equal a b =
+  a.counters = b.counters && a.gauges = b.gauges
+  && a.histograms = b.histograms
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+
+let prom_name name =
+  "localcert_"
+  ^ String.map
+      (fun c ->
+        match c with 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' -> c | _ -> '_')
+      name
+
+let prom_entry b kind ?(labels = "") name v =
+  let m = prom_name name in
+  Printf.bprintf b "# TYPE %s %s\n%s%s %d\n" m kind m labels v
+
+let to_prometheus t =
+  let b = Buffer.create 2048 in
+  List.iter (fun (n, v) -> prom_entry b "counter" n v) t.counters;
+  List.iter (fun (n, v) -> prom_entry b "gauge" n v) t.gauges;
+  List.iter
+    (fun (h : histogram) ->
+      let m = prom_name h.name in
+      Printf.bprintf b "# TYPE %s histogram\n" m;
+      let cumulative = ref 0 in
+      List.iteri
+        (fun i c ->
+          cumulative := !cumulative + c;
+          let le =
+            match List.nth_opt h.bounds i with
+            | Some bound -> string_of_int bound
+            | None -> "+Inf"
+          in
+          Printf.bprintf b "%s_bucket{le=\"%s\"} %d\n" m le !cumulative)
+        h.counts;
+      Printf.bprintf b "%s_sum %d\n%s_count %d\n" m h.sum m !cumulative)
+    t.histograms;
+  List.iter
+    (fun (n, v) -> prom_entry b "counter" ~labels:"{approx=\"1\"}" n v)
+    t.approx_counters;
+  List.iter
+    (fun (n, v) -> prom_entry b "gauge" ~labels:"{approx=\"1\"}" n v)
+    t.approx_gauges;
+  List.iter
+    (fun (h : histogram) ->
+      let m = prom_name h.name in
+      Printf.bprintf b "# TYPE %s histogram\n" m;
+      let cumulative = ref 0 in
+      List.iteri
+        (fun i c ->
+          cumulative := !cumulative + c;
+          let le =
+            match List.nth_opt h.bounds i with
+            | Some bound -> string_of_int bound
+            | None -> "+Inf"
+          in
+          Printf.bprintf b "%s_bucket{le=\"%s\",approx=\"1\"} %d\n" m le
+            !cumulative)
+        h.counts;
+      Printf.bprintf b "%s_sum{approx=\"1\"} %d\n%s_count{approx=\"1\"} %d\n" m
+        h.sum m !cumulative)
+    t.approx_histograms;
+  List.iter
+    (fun tm ->
+      let m = prom_name tm.name in
+      Printf.bprintf b "# TYPE %s_ms summary\n" m;
+      Printf.bprintf b "%s_ms_count{approx=\"1\"} %d\n" m tm.count;
+      Printf.bprintf b "%s_ms_sum{approx=\"1\"} %s\n" m (Json.num tm.total_ms);
+      Printf.bprintf b "%s_ms_max{approx=\"1\"} %s\n" m (Json.num tm.max_ms))
+    t.timings;
+  Buffer.contents b
+
+let write_file path t =
+  let oc = open_out path in
+  output_string oc (render t);
+  close_out oc

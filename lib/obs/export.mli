@@ -1,0 +1,74 @@
+(** Deterministic telemetry snapshots.
+
+    A snapshot is the merged state of the {!Metrics} registry plus
+    {!Span} aggregates, split into a {e deterministic} section —
+    counters, gauges and histogram bucket counts that are a pure
+    function of the workload (identical across two runs with the same
+    seed, at any job count) — and an {e approximate} section holding
+    everything timing-derived, scheduling-dependent or configuration-
+    dependent (span timings, cache hit accounting, sampled live sizes,
+    pool/chunk geometry that varies with [--jobs]).
+
+    Rendering follows the [BENCH_PERF.json] discipline
+    ({!Localcert_util.Perf_schema}): canonical number formatting, names
+    sorted, and a strict parser that rejects unknown fields, unsorted
+    names and malformed shapes, such that render ∘ parse is a fixpoint
+    on rendered documents.  The CI telemetry smoke and the
+    [localcert stats --validate] subcommand parse snapshots with
+    exactly this parser. *)
+
+type histogram = {
+  name : string;
+  bounds : int list;  (** strictly increasing inclusive upper limits *)
+  counts : int list;  (** length [= List.length bounds + 1]; last = overflow *)
+  sum : int;
+}
+
+type timing = {
+  name : string;
+  count : int;
+  total_ms : float;
+  max_ms : float;
+}
+
+type t = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * int) list;
+  histograms : histogram list;
+  approx_counters : (string * int) list;
+  approx_gauges : (string * int) list;  (** includes sampler output *)
+  approx_histograms : histogram list;
+  timings : timing list;  (** span aggregates *)
+}
+
+val snapshot : unit -> t
+(** The current process-wide telemetry state. *)
+
+val reset : unit -> unit
+(** {!Metrics.reset} plus {!Span.reset}. *)
+
+val render : t -> string
+(** Deterministic JSON (sorted names, canonical numbers, trailing
+    newline). *)
+
+val parse : string -> (t, string) result
+(** Strict: unknown fields, duplicate or unsorted names, negative
+    counts, bound/count length mismatches and non-finite numbers are
+    all errors. *)
+
+val parse_exn : string -> t
+(** @raise Invalid_argument on parse failure. *)
+
+val deterministic_equal : t -> t -> bool
+(** Equality on the deterministic section only (counters, gauges,
+    histograms) — what two same-seed runs must agree on. *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition (metric names prefixed [localcert_] and
+    mapped to the [[a-zA-Z0-9_]] charset; histograms as
+    [_bucket]/[_sum]/[_count] triples; approximate metrics carry an
+    [approx="1"] label). *)
+
+val write_file : string -> t -> unit
+(** Render to a file, atomically enough for CI (write then rename is
+    overkill here; this is create/overwrite + close). *)

@@ -1,0 +1,210 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Error of string
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Canonical number rendering: integers as integers, everything else
+   as the shortest decimal that parses back to exactly the same float.
+   Exact round-tripping makes render ∘ parse a fixpoint (artifact-guard
+   tests rely on it): a lossy rendering could reparse to an
+   integer-valued float and flip formatting branches. *)
+let num f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else
+    let rec go p =
+      let s = Printf.sprintf "%.*g" p f in
+      if p >= 17 || float_of_string s = f then s else go (p + 1)
+    in
+    go 1
+
+let parse_exn s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    let n = String.length word in
+    if !pos + n <= len && String.sub s !pos n = word then begin
+      pos := !pos + n;
+      value
+    end
+    else fail (Printf.sprintf "expected '%s'" word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' ->
+              Buffer.add_char b '"';
+              advance ();
+              go ()
+          | Some '\\' ->
+              Buffer.add_char b '\\';
+              advance ();
+              go ()
+          | Some '/' ->
+              Buffer.add_char b '/';
+              advance ();
+              go ()
+          | Some 'n' ->
+              Buffer.add_char b '\n';
+              advance ();
+              go ()
+          | Some 't' ->
+              Buffer.add_char b '\t';
+              advance ();
+              go ()
+          | Some 'r' ->
+              Buffer.add_char b '\r';
+              advance ();
+              go ()
+          | Some 'b' ->
+              Buffer.add_char b '\b';
+              advance ();
+              go ()
+          | Some 'f' ->
+              Buffer.add_char b '\012';
+              advance ();
+              go ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > len then fail "truncated \\u escape";
+              let code =
+                try int_of_string ("0x" ^ String.sub s !pos 4)
+                with _ -> fail "bad \\u escape"
+              in
+              pos := !pos + 4;
+              (* ASCII only; anything above is replaced — our schemas
+                 never emit non-ASCII. *)
+              Buffer.add_char b (if code < 0x80 then Char.chr code else '?');
+              go ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while
+      match peek () with Some c when is_num_char c -> true | _ -> false
+    do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match float_of_string_opt text with
+    | Some f -> f
+    | None -> fail (Printf.sprintf "bad number %S" text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elems (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elems []
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+let parse s = match parse_exn s with v -> Ok v | exception Error msg -> Error msg

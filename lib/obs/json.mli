@@ -1,0 +1,36 @@
+(** Minimal strict JSON: a generic tree, a recursive-descent parser,
+    and the canonical scalar renderings shared by every machine-readable
+    artifact in the repository (BENCH_PERF.json via
+    {!Localcert_util.Perf_schema}, telemetry snapshots via {!Export}).
+
+    The parser accepts exactly one JSON value and rejects trailing
+    garbage; schema-level strictness (unknown fields, ranges) is the
+    caller's job on the returned tree.  The number rendering is chosen
+    so that render ∘ parse is a fixpoint: every float prints as the
+    shortest decimal that reparses to the same bits, which is what lets
+    artifact-guard tests compare re-rendered documents byte for
+    byte. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Error of string
+(** Raised by {!parse_exn}; the message includes a byte offset. *)
+
+val parse : string -> (t, string) result
+
+val parse_exn : string -> t
+(** @raise Error on malformed input. *)
+
+val escape : string -> string
+(** JSON string-body escaping (no surrounding quotes). *)
+
+val num : float -> string
+(** Canonical number rendering: integer-valued floats as integers,
+    everything else as the shortest decimal that parses back to exactly
+    the same float. *)

@@ -1,0 +1,87 @@
+(* Per-domain span stacks feeding shared per-path aggregates.
+
+   The stack is Domain.DLS state, so pushing/popping is unsynchronized.
+   Aggregates live in a mutex-protected table keyed by path; the mutex
+   only guards find-or-create — the count/total/max updates inside an
+   aggregate are atomic, so concurrent spans on the same path from
+   different domains never lose updates.  Span granularity is coarse
+   (a prover run, a verification sweep, a pool drain), so one table
+   lookup per span close is noise. *)
+
+type agg = {
+  count : int Atomic.t;
+  total_ns : int Atomic.t;
+  max_ns : int Atomic.t;
+}
+
+let aggs : (string, agg) Hashtbl.t = Hashtbl.create 32
+let aggs_mutex = Mutex.create ()
+
+let agg_of path =
+  Mutex.protect aggs_mutex (fun () ->
+      match Hashtbl.find_opt aggs path with
+      | Some a -> a
+      | None ->
+          let a =
+            { count = Atomic.make 0; total_ns = Atomic.make 0; max_ns = Atomic.make 0 }
+          in
+          Hashtbl.add aggs path a;
+          a)
+
+let stack_key : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let current () = !(Domain.DLS.get stack_key)
+
+let sanitize_segment name =
+  String.map (fun c -> if c = '/' then '_' else c) name
+
+let record path dt_ns =
+  let a = agg_of path in
+  ignore (Atomic.fetch_and_add a.count 1);
+  ignore (Atomic.fetch_and_add a.total_ns dt_ns);
+  let rec raise_max () =
+    let cur = Atomic.get a.max_ns in
+    if dt_ns > cur && not (Atomic.compare_and_set a.max_ns cur dt_ns) then
+      raise_max ()
+  in
+  raise_max ()
+
+let with_ name f =
+  if not (Metrics.is_enabled ()) then f ()
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    stack := sanitize_segment name :: !stack;
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+        (* path computed while [name] is still on the stack *)
+        let path = String.concat "/" (List.rev !stack) in
+        stack := List.tl !stack;
+        record path (max 0 dt_ns))
+      f
+  end
+
+type snapshot = {
+  path : string;
+  count : int;
+  total_ms : float;
+  max_ms : float;
+}
+
+let snapshot () =
+  Mutex.protect aggs_mutex (fun () ->
+      Hashtbl.fold
+        (fun path (a : agg) acc ->
+          {
+            path;
+            count = Atomic.get a.count;
+            total_ms = float_of_int (Atomic.get a.total_ns) /. 1e6;
+            max_ms = float_of_int (Atomic.get a.max_ns) /. 1e6;
+          }
+          :: acc)
+        aggs [])
+  |> List.sort (fun a b -> compare a.path b.path)
+
+let reset () = Mutex.protect aggs_mutex (fun () -> Hashtbl.reset aggs)

@@ -1,0 +1,40 @@
+(** Nested wall-clock timing scopes.
+
+    A span is a named region of execution; spans nest, and the
+    aggregate key of a span is its {e path} — the names of every
+    enclosing span on the current domain joined with ['/'] (so the
+    prover timed inside a certification shows up as
+    ["scheme.certify/scheme.prover"]).  The span stack is thread-local
+    (one per domain, via [Domain.DLS]), so worker domains time their
+    own work without any synchronization on the hot path; the per-path
+    aggregates (count, total, max) are atomic cells shared by all
+    domains.
+
+    Recording obeys the global {!Metrics.set_enabled} flag: disabled,
+    [with_] is a single branch around the thunk.  Span {e timings} are
+    inherently nondeterministic and are exported by {!Export} in the
+    segregated approximate section; span {e counts} ride along there
+    too, since under early exit or work stealing the number of timed
+    regions per path can depend on scheduling. *)
+
+val with_ : string -> (unit -> 'a) -> 'a
+(** [with_ name f] runs [f] inside a span.  ['/'] in [name] is
+    replaced by ['_'] (it is the path separator); the span is closed
+    even if [f] raises. *)
+
+val current : unit -> string list
+(** The current domain's span stack, innermost first (for tests). *)
+
+type snapshot = {
+  path : string;
+  count : int;
+  total_ms : float;
+  max_ms : float;
+}
+
+val snapshot : unit -> snapshot list
+(** All per-path aggregates, sorted by path. *)
+
+val reset : unit -> unit
+(** Drop all aggregates (the span stacks of running domains are left
+    alone). *)

@@ -38,12 +38,59 @@ let verify_round ~pool ~inst ~nodes ~inboxes scheme =
   in
   List.concat (Array.to_list per_chunk)
 
+(* Everything the runtime records is deterministic given the seed: the
+   fault plan draws from Rng streams keyed by (round, vertex), so event
+   lists — and hence these counts — are identical across job counts. *)
+let fault_counter = function
+  | Trace.Crash _ -> Some "runtime.fault.crash"
+  | Trace.Went_byzantine _ -> Some "runtime.fault.byzantine"
+  | Trace.Corrupt _ -> Some "runtime.fault.corrupt"
+  | Trace.Drop _ -> Some "runtime.fault.drop"
+  | Trace.Flip _ -> Some "runtime.fault.flip"
+  | Trace.Forge _ -> Some "runtime.fault.forge"
+  | Trace.Send _ | Trace.Verdict _ -> None
+
+let record_round ~wire_bits ~events ~rejections =
+  if Metrics.is_enabled () then begin
+    Metrics.incr (Metrics.counter "runtime.rounds");
+    Metrics.observe (Metrics.histogram "runtime.round_wire_bits") wire_bits;
+    Metrics.add
+      (Metrics.counter "runtime.rejections")
+      (List.length rejections);
+    List.iter
+      (fun e ->
+        match fault_counter e with
+        | Some name -> Metrics.incr (Metrics.counter name)
+        | None -> (
+            match e with
+            | Trace.Send _ ->
+                Metrics.incr (Metrics.counter "runtime.messages_sent")
+            | _ -> ()))
+      events
+  end
+
+(* Detection latency in rounds, small and linear-ish: simulations run
+   single-digit round counts, where power-of-two buckets would lump
+   everything into two cells. *)
+let latency_bounds = [| 1; 2; 3; 4; 6; 8; 12; 16; 24; 32 |]
+
+let record_trace trace =
+  if Metrics.is_enabled () then
+    match Trace.detection_latency (Trace.metrics trace) with
+    | Some l ->
+        Metrics.observe
+          (Metrics.histogram ~bounds:latency_bounds
+             "runtime.detection_latency_rounds")
+          l
+    | None -> ()
+
 let execute ?pool ?jobs ?(plan = Fault.none) ?(rounds = 1) ?(seed = 0) scheme
     inst certs =
   if rounds < 1 then invalid_arg "Runtime.execute: rounds must be >= 1";
   if Array.length certs <> Instance.n inst then
     invalid_arg "Runtime.execute: certificate count does not match the instance";
   with_pool_arg ?pool ?jobs (fun pool ->
+      Span.with_ "runtime.execute" @@ fun () ->
       let nodes = Node.boot inst certs in
       let n = Array.length nodes in
       let rng = Rng.make seed in
@@ -87,6 +134,7 @@ let execute ?pool ?jobs ?(plan = Fault.none) ?(rounds = 1) ?(seed = 0) scheme
               | _ -> acc)
             0 events
         in
+        record_round ~wire_bits ~events ~rejections;
         logs :=
           {
             Trace.round = r;
@@ -106,16 +154,25 @@ let execute ?pool ?jobs ?(plan = Fault.none) ?(rounds = 1) ?(seed = 0) scheme
           per_round;
         !found
       in
-      {
-        outcome = per_round.(rounds - 1);
-        per_round;
-        detected_at;
-        trace =
-          {
-            Trace.scheme = scheme.Scheme.name;
-            n;
-            seed;
-            plan = Fault.to_string plan;
-            rounds = List.rev !logs;
-          };
-      })
+      let trace =
+        {
+          Trace.scheme = scheme.Scheme.name;
+          n;
+          seed;
+          plan = Fault.to_string plan;
+          rounds = List.rev !logs;
+        }
+      in
+      record_trace trace;
+      Logger.debug
+        ~fields:
+          [
+            ("scheme", scheme.Scheme.name);
+            ("rounds", string_of_int rounds);
+            ( "detected_at",
+              match detected_at with
+              | None -> "never"
+              | Some r -> string_of_int r );
+          ]
+        "runtime execute done";
+      { outcome = per_round.(rounds - 1); per_round; detected_at; trace })

@@ -98,6 +98,20 @@ let metrics (t : t) =
     t.rounds;
   !m
 
+(* Rounds from first fault to first rejection, inclusive.  [None] when
+   nothing was detected, nothing was corrupted, or the first rejection
+   {e precedes} the first fault (e.g. certificates that were invalid
+   from round 1 while the fault plan only fired later) — a
+   "detection latency" of zero or less is not a latency.  Callers used
+   to compute [d - c + 1] inline and could produce those non-positive
+   values on such traces; aggregating here keeps the edge cases in one
+   place.  On a zero-round trace both options are [None], so this is
+   total. *)
+let detection_latency (m : metrics) =
+  match (m.detected_at, m.first_corruption) with
+  | Some d, Some c when d >= c -> Some (d - c + 1)
+  | _ -> None
+
 (* ------------------------------------------------------------------ *)
 (* JSON                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -203,13 +217,19 @@ let pp_summary ppf t =
     t.rounds;
   let m = metrics t in
   (match (m.detected_at, m.first_corruption) with
-  | Some d, Some c ->
-      Format.fprintf ppf
-        "detection: first rejection in round %d (first fault in round %d, \
-         latency %d round%s)@."
-        d c
-        (d - c + 1)
-        (if d - c = 0 then "" else "s")
+  | Some d, Some c -> (
+      match detection_latency m with
+      | Some l ->
+          Format.fprintf ppf
+            "detection: first rejection in round %d (first fault in round %d, \
+             latency %d round%s)@."
+            d c l
+            (if l = 1 then "" else "s")
+      | None ->
+          Format.fprintf ppf
+            "detection: first rejection in round %d, before the first fault \
+             (round %d)@."
+            d c)
   | Some d, None ->
       Format.fprintf ppf "detection: first rejection in round %d@." d
   | None, Some c ->

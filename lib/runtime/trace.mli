@@ -59,6 +59,14 @@ type metrics = {
 
 val metrics : t -> metrics
 
+val detection_latency : metrics -> int option
+(** Rounds from the first fault to the first rejection, inclusive
+    (so same-round detection has latency 1).  [None] when nothing was
+    detected, nothing was corrupted — including the trivial zero-round
+    trace — or the first rejection precedes the first fault (invalid
+    certificates rejected before the fault plan fired); a non-positive
+    "latency" is never reported. *)
+
 val to_json : t -> string
 (** Machine-readable rendering.  Deterministic: the same trace value
     always yields the same bytes. *)

@@ -24,9 +24,15 @@ let lookups = Atomic.make 0
 let hits = Atomic.make 0
 
 let mk_store () : (Bitstring.t, Bitstring.t) Memo.t =
-  Memo.create ~hash:Bitstring.hash ~equal:Bitstring.equal 256
+  Memo.create ~name:"cert_store" ~hash:Bitstring.hash ~equal:Bitstring.equal 256
 
 let store = ref (mk_store ())
+
+(* Live store size, exported as an approximate gauge at snapshot time
+   (walking every shard is too expensive for an eager gauge). *)
+let () =
+  Metrics.register_sampler (fun () ->
+      [ ("cert_store.distinct", Memo.length !store) ])
 
 let set_enabled b = Atomic.set enabled b
 let is_enabled () = Atomic.get enabled

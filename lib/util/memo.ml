@@ -18,11 +18,23 @@ type ('a, 'b) shard = {
   tbl : (int, ('a * 'b) list) Hashtbl.t;
 }
 
+(* Hit/miss/insert accounting for a named memo.  The counters are
+   registered as approximate: under run_par two domains can miss on the
+   same key concurrently (find_opt/set races are by design), so the
+   split between hits and misses depends on scheduling even though the
+   cached values do not. *)
+type stats = {
+  hits : Metrics.counter;
+  misses : Metrics.counter;
+  inserts : Metrics.counter;
+}
+
 type ('a, 'b) t = {
   hash : 'a -> int;
   equal : 'a -> 'a -> bool;
   mask : int;
   shards : ('a, 'b) shard array;
+  stats : stats option;
 }
 
 let default_shards () =
@@ -30,7 +42,11 @@ let default_shards () =
   let rec pow2 c = if c >= want then c else pow2 (c * 2) in
   pow2 1
 
-let create ?shards ?(hash = Hashtbl.hash) ?(equal = ( = )) initial =
+let stats_for name =
+  let c kind = Metrics.counter ~approx:true ("memo." ^ name ^ "." ^ kind) in
+  { hits = c "hits"; misses = c "misses"; inserts = c "inserts" }
+
+let create ?name ?shards ?(hash = Hashtbl.hash) ?(equal = ( = )) initial =
   let shards =
     match shards with
     | None -> default_shards ()
@@ -46,22 +62,38 @@ let create ?shards ?(hash = Hashtbl.hash) ?(equal = ( = )) initial =
     shards =
       Array.init shards (fun _ ->
           { m = Mutex.create (); tbl = Hashtbl.create (max 1 initial) });
+    stats = Option.map stats_for name;
   }
 
 let shard_of t h = t.shards.(h land t.mask)
 
+(* Counter bumps happen outside the shard lock; Metrics.incr is a
+   branch when telemetry is off. *)
+let note_hit t =
+  match t.stats with None -> () | Some s -> Metrics.incr s.hits
+
+let note_miss t =
+  match t.stats with None -> () | Some s -> Metrics.incr s.misses
+
+let note_insert t =
+  match t.stats with None -> () | Some s -> Metrics.incr s.inserts
+
 let find_opt t k =
   let h = t.hash k in
   let s = shard_of t h in
-  Mutex.protect s.m (fun () ->
-      match Hashtbl.find_opt s.tbl h with
-      | None -> None
-      | Some kvs ->
-          let rec scan = function
-            | [] -> None
-            | (k', v) :: rest -> if t.equal k k' then Some v else scan rest
-          in
-          scan kvs)
+  let r =
+    Mutex.protect s.m (fun () ->
+        match Hashtbl.find_opt s.tbl h with
+        | None -> None
+        | Some kvs ->
+            let rec scan = function
+              | [] -> None
+              | (k', v) :: rest -> if t.equal k k' then Some v else scan rest
+            in
+            scan kvs)
+  in
+  (match r with Some _ -> note_hit t | None -> note_miss t);
+  r
 
 (* Replace-or-insert under the shard lock. *)
 let set t k v =
@@ -70,7 +102,8 @@ let set t k v =
   Mutex.protect s.m (fun () ->
       let kvs = Option.value ~default:[] (Hashtbl.find_opt s.tbl h) in
       let kvs = List.filter (fun (k', _) -> not (t.equal k k')) kvs in
-      Hashtbl.replace s.tbl h ((k, v) :: kvs))
+      Hashtbl.replace s.tbl h ((k, v) :: kvs));
+  note_insert t
 
 (* [find_or_add t k f] computes [f ()] under the shard lock, so the
    value for [k] is computed exactly once even under races — the
@@ -82,16 +115,26 @@ let set t k v =
 let find_or_add t k f =
   let h = t.hash k in
   let s = shard_of t h in
-  Mutex.protect s.m (fun () ->
-      let kvs = Option.value ~default:[] (Hashtbl.find_opt s.tbl h) in
-      let rec scan = function
-        | [] ->
-            let v = f () in
-            Hashtbl.replace s.tbl h ((k, v) :: kvs);
-            v
-        | (k', v) :: rest -> if t.equal k k' then v else scan rest
-      in
-      scan kvs)
+  let added = ref false in
+  let v =
+    Mutex.protect s.m (fun () ->
+        let kvs = Option.value ~default:[] (Hashtbl.find_opt s.tbl h) in
+        let rec scan = function
+          | [] ->
+              let v = f () in
+              Hashtbl.replace s.tbl h ((k, v) :: kvs);
+              added := true;
+              v
+          | (k', v) :: rest -> if t.equal k k' then v else scan rest
+        in
+        scan kvs)
+  in
+  if !added then begin
+    note_miss t;
+    note_insert t
+  end
+  else note_hit t;
+  v
 
 let length t =
   Array.fold_left

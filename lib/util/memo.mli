@@ -13,6 +13,7 @@
 type ('a, 'b) t
 
 val create :
+  ?name:string ->
   ?shards:int ->
   ?hash:('a -> int) ->
   ?equal:('a -> 'a -> bool) ->
@@ -22,7 +23,13 @@ val create :
     [n].  [hash] and [equal] default to the polymorphic ones; pass both
     whenever polymorphic hashing is unsound for the key type (anything
     containing a {!Bitstring.t} must use [Bitstring.hash] /
-    [Bitstring.equal]).  [shards] is rounded up to a power of two. *)
+    [Bitstring.equal]).  [shards] is rounded up to a power of two.
+
+    [name] registers approximate telemetry counters
+    [memo.<name>.hits]/[.misses]/[.inserts]
+    ({!Localcert_obs.Metrics}); hit/miss splits are
+    scheduling-dependent under parallel callers, which is why they are
+    approximate.  Memos created with the same [name] share counters. *)
 
 val find_opt : ('a, 'b) t -> 'a -> 'b option
 (** Lookup under the key's shard lock only. *)

@@ -6,52 +6,34 @@ type row = {
   verts_per_sec : float;
   minor_words : float;
   interned_ratio : float;
+  memo_hit_ratio : float option;
 }
 
 type series = { scheme : string; rows : row list }
 type doc = { smoke : bool; series : series list }
 
 (* ------------------------------------------------------------------ *)
-(* Rendering                                                          *)
+(* Rendering.  String escaping and the canonical shortest-roundtrip
+   number rendering live in Obs.Json, shared with telemetry snapshots;
+   exact round-tripping makes render ∘ parse a fixpoint (the guard test
+   relies on it).                                                     *)
 
-let escape s =
-  let b = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | '\r' -> Buffer.add_string b "\\r"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-(* Canonical number rendering: integers as integers, everything else
-   as the shortest decimal that parses back to exactly the same float.
-   Exact round-tripping makes render ∘ parse a fixpoint (the guard
-   test relies on it): a lossy rendering could reparse to an
-   integer-valued float and flip formatting branches. *)
-let num f =
-  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
-  else
-    let rec go p =
-      let s = Printf.sprintf "%.*g" p f in
-      if p >= 17 || float_of_string s = f then s else go (p + 1)
-    in
-    go 1
+let escape = Json.escape
+let num = Json.num
 
 let render_row b r =
   Buffer.add_string b
     (Printf.sprintf
        "      { \"n\": %d, \"jobs\": %d, \"prover_ms\": %s, \"verify_ms\": \
         %s, \"verts_per_sec\": %s, \"minor_words\": %s, \"interned_ratio\": \
-        %s }"
+        %s"
        r.n r.jobs (num r.prover_ms) (num r.verify_ms) (num r.verts_per_sec)
-       (num r.minor_words) (num r.interned_ratio))
+       (num r.minor_words) (num r.interned_ratio));
+  (match r.memo_hit_ratio with
+  | None -> ()
+  | Some m ->
+      Buffer.add_string b (Printf.sprintf ", \"memo_hit_ratio\": %s" (num m)));
+  Buffer.add_string b " }"
 
 let render_series b s =
   Buffer.add_string b
@@ -79,191 +61,9 @@ let render d =
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
-(* Parsing: a small recursive-descent JSON reader, then strict schema
-   decoding on the generic tree.                                      *)
-
-type json =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | Arr of json list
-  | Obj of (string * json) list
+(* Strict decoding on the generic Obs.Json tree.                      *)
 
 exception Bad of string
-
-let parse_json s =
-  let pos = ref 0 in
-  let len = String.length s in
-  let peek () = if !pos < len then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-        advance ();
-        skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected '%c'" c)
-  in
-  let literal word value =
-    let n = String.length word in
-    if !pos + n <= len && String.sub s !pos n = word then begin
-      pos := !pos + n;
-      value
-    end
-    else fail (Printf.sprintf "expected '%s'" word)
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' -> (
-          advance ();
-          match peek () with
-          | Some '"' ->
-              Buffer.add_char b '"';
-              advance ();
-              go ()
-          | Some '\\' ->
-              Buffer.add_char b '\\';
-              advance ();
-              go ()
-          | Some '/' ->
-              Buffer.add_char b '/';
-              advance ();
-              go ()
-          | Some 'n' ->
-              Buffer.add_char b '\n';
-              advance ();
-              go ()
-          | Some 't' ->
-              Buffer.add_char b '\t';
-              advance ();
-              go ()
-          | Some 'r' ->
-              Buffer.add_char b '\r';
-              advance ();
-              go ()
-          | Some 'b' ->
-              Buffer.add_char b '\b';
-              advance ();
-              go ()
-          | Some 'f' ->
-              Buffer.add_char b '\012';
-              advance ();
-              go ()
-          | Some 'u' ->
-              advance ();
-              if !pos + 4 > len then fail "truncated \\u escape";
-              let code =
-                try int_of_string ("0x" ^ String.sub s !pos 4)
-                with _ -> fail "bad \\u escape"
-              in
-              pos := !pos + 4;
-              (* ASCII only; anything above is replaced — the schema
-                 never emits non-ASCII. *)
-              Buffer.add_char b
-                (if code < 0x80 then Char.chr code else '?');
-              go ()
-          | _ -> fail "bad escape")
-      | Some c ->
-          Buffer.add_char b c;
-          advance ();
-          go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let parse_number () =
-    let start = !pos in
-    let is_num_char c =
-      match c with
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while
-      match peek () with Some c when is_num_char c -> true | _ -> false
-    do
-      advance ()
-    done;
-    let text = String.sub s start (!pos - start) in
-    match float_of_string_opt text with
-    | Some f -> f
-    | None -> fail (Printf.sprintf "bad number %S" text)
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | None -> fail "unexpected end of input"
-    | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin
-          advance ();
-          Obj []
-        end
-        else begin
-          let rec members acc =
-            skip_ws ();
-            let key = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                members ((key, v) :: acc)
-            | Some '}' ->
-                advance ();
-                Obj (List.rev ((key, v) :: acc))
-            | _ -> fail "expected ',' or '}'"
-          in
-          members []
-        end
-    | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin
-          advance ();
-          Arr []
-        end
-        else begin
-          let rec elems acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                elems (v :: acc)
-            | Some ']' ->
-                advance ();
-                Arr (List.rev (v :: acc))
-            | _ -> fail "expected ',' or ']'"
-          in
-          elems []
-        end
-    | Some '"' -> Str (parse_string ())
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
-    | Some _ -> Num (parse_number ())
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> len then fail "trailing garbage";
-  v
-
-(* ------------------------------------------------------------------ *)
-(* Strict decoding                                                    *)
 
 let field obj name =
   match List.assoc_opt name obj with
@@ -278,15 +78,15 @@ let check_fields obj allowed ctx =
     obj
 
 let as_obj ctx = function
-  | Obj o -> o
+  | Json.Obj o -> o
   | _ -> raise (Bad (ctx ^ ": expected an object"))
 
 let as_arr ctx = function
-  | Arr a -> a
+  | Json.Arr a -> a
   | _ -> raise (Bad (ctx ^ ": expected an array"))
 
 let as_num ctx = function
-  | Num f ->
+  | Json.Num f ->
       if not (Float.is_finite f) then raise (Bad (ctx ^ ": non-finite"));
       f
   | _ -> raise (Bad (ctx ^ ": expected a number"))
@@ -301,6 +101,11 @@ let as_int ctx v =
   if not (Float.is_integer f) then raise (Bad (ctx ^ ": expected an integer"));
   int_of_float f
 
+let as_ratio ctx v =
+  let f = as_nonneg ctx v in
+  if f > 1. then raise (Bad (ctx ^ ": above 1"));
+  f
+
 let decode_row j =
   let o = as_obj "row" j in
   check_fields o
@@ -312,14 +117,13 @@ let decode_row j =
       "verts_per_sec";
       "minor_words";
       "interned_ratio";
+      "memo_hit_ratio";
     ]
     "row";
   let n = as_int "n" (field o "n") in
   let jobs = as_int "jobs" (field o "jobs") in
   if n <= 0 then raise (Bad "row: n must be positive");
   if jobs <= 0 then raise (Bad "row: jobs must be positive");
-  let interned_ratio = as_nonneg "interned_ratio" (field o "interned_ratio") in
-  if interned_ratio > 1. then raise (Bad "row: interned_ratio above 1");
   {
     n;
     jobs;
@@ -327,7 +131,9 @@ let decode_row j =
     verify_ms = as_nonneg "verify_ms" (field o "verify_ms");
     verts_per_sec = as_nonneg "verts_per_sec" (field o "verts_per_sec");
     minor_words = as_nonneg "minor_words" (field o "minor_words");
-    interned_ratio;
+    interned_ratio = as_ratio "interned_ratio" (field o "interned_ratio");
+    memo_hit_ratio =
+      Option.map (as_ratio "memo_hit_ratio") (List.assoc_opt "memo_hit_ratio" o);
   }
 
 let decode_series j =
@@ -335,8 +141,8 @@ let decode_series j =
   check_fields o [ "scheme"; "rows" ] "series";
   let scheme =
     match field o "scheme" with
-    | Str s when s <> "" -> s
-    | Str _ -> raise (Bad "series: empty scheme name")
+    | Json.Str s when s <> "" -> s
+    | Json.Str _ -> raise (Bad "series: empty scheme name")
     | _ -> raise (Bad "series: scheme must be a string")
   in
   let rows = List.map decode_row (as_arr "rows" (field o "rows")) in
@@ -348,7 +154,7 @@ let decode_doc j =
   check_fields o [ "smoke"; "series" ] "document";
   let smoke =
     match field o "smoke" with
-    | Bool b -> b
+    | Json.Bool b -> b
     | _ -> raise (Bad "document: smoke must be a boolean")
   in
   let series = List.map decode_series (as_arr "series" (field o "series")) in
@@ -356,9 +162,10 @@ let decode_doc j =
   { smoke; series }
 
 let parse s =
-  match decode_doc (parse_json s) with
+  match decode_doc (Json.parse_exn s) with
   | d -> Ok d
   | exception Bad msg -> Error msg
+  | exception Json.Error msg -> Error msg
 
 let parse_exn s =
   match parse s with

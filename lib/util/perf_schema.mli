@@ -7,9 +7,10 @@
     drift between what the bench writes and what this module parses is
     a test failure, not a silently stale file.
 
-    Rendering and parsing are hand-rolled (no JSON library in the
-    dependency cone); the parser accepts general JSON but [parse]
-    rejects documents that do not match the schema exactly. *)
+    Rendering and parsing build on {!Localcert_obs.Json} (no external
+    JSON library in the dependency cone); the parser accepts general
+    JSON but [parse] rejects documents that do not match the schema
+    exactly. *)
 
 type row = {
   n : int;  (** instance size (vertices) *)
@@ -19,6 +20,11 @@ type row = {
   verts_per_sec : float;  (** [n / verify] throughput *)
   minor_words : float;  (** Gc minor words allocated per prover run *)
   interned_ratio : float;  (** certificate-store hit ratio, [0..1] *)
+  memo_hit_ratio : float option;
+      (** aggregate named-memo hit ratio over a telemetry accounting
+          pass, [0..1]; absent in artifacts written before telemetry
+          existed (the parser treats a missing field as [None], so old
+          committed artifacts stay valid) *)
 }
 
 type series = {

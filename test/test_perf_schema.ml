@@ -23,6 +23,7 @@ let sample =
                 verts_per_sec = 260000.;
                 minor_words = 1048576.;
                 interned_ratio = 0.25;
+                memo_hit_ratio = Some 0.5;
               };
             ];
         };
@@ -53,6 +54,8 @@ let qcheck_random_roundtrip =
           verts_per_sec = Rng.float rng 1e9;
           minor_words = float_of_int (Rng.int rng 1_000_000_000);
           interned_ratio = Rng.float rng 1.0;
+          memo_hit_ratio =
+            (if Rng.bool rng then Some (Rng.float rng 1.0) else None);
         }
       in
       let series i =
@@ -72,6 +75,19 @@ let qcheck_random_roundtrip =
       | Error _ -> false
       | Ok d -> Perf_schema.render d = rendered)
 
+(* Rows written before the memo_hit_ratio field existed must keep
+   parsing (the committed full-run artifact predates it). *)
+let optional_memo_field_backward_compat () =
+  let text =
+    {|{ "smoke": false, "series": [ { "scheme": "x", "rows": [ { "n": 1, "jobs": 1, "prover_ms": 1, "verify_ms": 1, "verts_per_sec": 1, "minor_words": 1, "interned_ratio": 0 } ] } ] }|}
+  in
+  match Perf_schema.parse text with
+  | Error msg -> Alcotest.failf "legacy row does not parse: %s" msg
+  | Ok d ->
+      let row = List.hd (List.hd d.Perf_schema.series).Perf_schema.rows in
+      check "missing memo_hit_ratio is None" true
+        (row.Perf_schema.memo_hit_ratio = None)
+
 let rejects_malformed () =
   let bad =
     [
@@ -90,6 +106,9 @@ let rejects_malformed () =
       );
       ( "negative time",
         {|{ "smoke": false, "series": [ { "scheme": "x", "rows": [ { "n": 1, "jobs": 1, "prover_ms": -1, "verify_ms": 1, "verts_per_sec": 1, "minor_words": 1, "interned_ratio": 0 } ] } ] }|}
+      );
+      ( "memo ratio above one",
+        {|{ "smoke": false, "series": [ { "scheme": "x", "rows": [ { "n": 1, "jobs": 1, "prover_ms": 1, "verify_ms": 1, "verts_per_sec": 1, "minor_words": 1, "interned_ratio": 0, "memo_hit_ratio": 1.5 } ] } ] }|}
       );
     ]
   in
@@ -138,6 +157,8 @@ let suite =
         Alcotest.test_case "render/parse roundtrip" `Quick
           render_parse_roundtrip;
         QCheck_alcotest.to_alcotest qcheck_random_roundtrip;
+        Alcotest.test_case "missing memo_hit_ratio parses to None" `Quick
+          optional_memo_field_backward_compat;
         Alcotest.test_case "malformed documents rejected" `Quick
           rejects_malformed;
         Alcotest.test_case "committed BENCH_PERF.json parses" `Quick
