@@ -23,6 +23,9 @@ type cell = {
   detected_runs : int;
   mean_latency : float; (* rounds from first fault to first rejection; nan if none *)
   mean_wire_bits : float;
+  reverified_frac : float;
+      (* verifier executions under incremental mode, as a fraction of
+         the full-sweep count (alive verdicts); 1.0 means no saving *)
 }
 
 let sweep pool scheme inst certs =
@@ -30,6 +33,7 @@ let sweep pool scheme inst certs =
     (fun rate ->
       let corrupted = ref 0 and detected = ref 0 in
       let latencies = ref [] and wire = ref 0 in
+      let reverified = ref 0 and full = ref 0 in
       for seed = 0 to seeds - 1 do
         let r =
           Runtime.execute ~pool ~plan:(Fault.corruption rate) ~rounds ~seed
@@ -37,6 +41,16 @@ let sweep pool scheme inst certs =
         in
         let m = Trace.metrics r.Runtime.trace in
         wire := !wire + m.Trace.wire_bits;
+        Array.iter
+          (fun vs -> reverified := !reverified + List.length vs)
+          r.Runtime.reverified;
+        (* full-sweep cost baseline: one verifier run per alive verdict *)
+        List.iter
+          (fun log ->
+            List.iter
+              (function Trace.Verdict _ -> incr full | _ -> ())
+              log.Trace.events)
+          r.Runtime.trace.Trace.rounds;
         if m.Trace.certs_corrupted > 0 then incr corrupted;
         if r.Runtime.detected_at <> None && m.Trace.first_corruption <> None
         then incr detected;
@@ -58,6 +72,8 @@ let sweep pool scheme inst certs =
         detected_runs = !detected;
         mean_latency;
         mean_wire_bits = float_of_int !wire /. float_of_int seeds;
+        reverified_frac =
+          float_of_int !reverified /. float_of_int (max 1 !full);
       })
     rates
 
@@ -83,12 +99,12 @@ let schemes () =
 
 let json_cell b c =
   Printf.bprintf b
-    {|{"rate":%g,"runs":%d,"corrupted_runs":%d,"detected_runs":%d,"detection_rate":%g,"mean_latency_rounds":%s,"mean_wire_bits":%g}|}
+    {|{"rate":%g,"runs":%d,"corrupted_runs":%d,"detected_runs":%d,"detection_rate":%g,"mean_latency_rounds":%s,"mean_wire_bits":%g,"reverified_frac":%g}|}
     c.rate c.runs c.corrupted_runs c.detected_runs
     (float_of_int c.detected_runs /. float_of_int (max 1 c.corrupted_runs))
     (if Float.is_nan c.mean_latency then "null"
      else Printf.sprintf "%g" c.mean_latency)
-    c.mean_wire_bits
+    c.mean_wire_bits c.reverified_frac
 
 let write_json path results =
   let b = Buffer.create 4096 in
@@ -122,16 +138,17 @@ let run pool =
       (fun (name, scheme, inst) ->
         let certs = Option.get (scheme.Scheme.prover inst) in
         Printf.printf "\n%s (n=%d):\n" name (Instance.n inst);
-        Printf.printf "%8s %10s %10s %16s %16s\n" "rate" "corrupted"
-          "detected" "latency(rounds)" "wire bits/run";
+        Printf.printf "%8s %10s %10s %16s %16s %12s\n" "rate" "corrupted"
+          "detected" "latency(rounds)" "wire bits/run" "reverified";
         let cells = sweep pool scheme inst certs in
         List.iter
           (fun c ->
-            Printf.printf "%8.3f %7d/%-2d %7d/%-2d %16s %16.0f\n" c.rate
-              c.corrupted_runs c.runs c.detected_runs c.corrupted_runs
+            Printf.printf "%8.3f %7d/%-2d %7d/%-2d %16s %16.0f %11.1f%%\n"
+              c.rate c.corrupted_runs c.runs c.detected_runs c.corrupted_runs
               (if Float.is_nan c.mean_latency then "—"
                else Printf.sprintf "%.1f" c.mean_latency)
-              c.mean_wire_bits)
+              c.mean_wire_bits
+              (100. *. c.reverified_frac))
           cells;
         (name, Instance.n inst, cells))
       (schemes ())

@@ -484,10 +484,12 @@ let attack_cmd =
 (* ------------------------------------------------------------------ *)
 
 let simulate_cmd =
-  let run g name t formula plan rounds seed trace_out sweep jobs log metrics =
+  let run g name t formula plan rounds seed trace_out sweep no_incremental jobs
+      log metrics =
     with_telemetry log metrics @@ fun () ->
     let scheme = scheme_of_name name ~t ~formula in
     let instance = Instance.make g in
+    let incremental = not no_incremental in
     let certs =
       match scheme.Scheme.prover instance with
       | Some certs -> certs
@@ -498,7 +500,8 @@ let simulate_cmd =
     in
     Pool.with_pool ?jobs (fun pool ->
         let result =
-          Runtime.execute ~pool ~plan ~rounds ~seed scheme instance certs
+          Runtime.execute ~pool ~plan ~rounds ~seed ~incremental scheme
+            instance certs
         in
         Format.printf "%a" Trace.pp_summary result.Runtime.trace;
         (match trace_out with
@@ -522,7 +525,7 @@ let simulate_cmd =
               for s = 0 to 4 do
                 let r =
                   Runtime.execute ~pool ~plan:(Fault.corruption rate) ~rounds
-                    ~seed:((seed * 5) + s) scheme instance certs
+                    ~seed:((seed * 5) + s) ~incremental scheme instance certs
                 in
                 let m = Trace.metrics r.Runtime.trace in
                 if m.Trace.certs_corrupted > 0 then incr corrupted;
@@ -586,13 +589,22 @@ let simulate_cmd =
       & info [ "sweep" ]
           ~doc:"Also sweep corruption rates and report detection statistics.")
   in
+  let no_incremental_arg =
+    Arg.(
+      value & flag
+      & info [ "no-incremental" ]
+          ~doc:
+            "Disable the incremental verdict cache and re-verify every \
+             vertex every round.  Results are identical either way; this is \
+             an escape hatch for benchmarking and differential testing.")
+  in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Execute a scheme as a round-based distributed protocol")
     Term.(
       const run $ graph_arg $ name_arg $ t_arg $ formula_arg $ plan_arg
-      $ rounds_arg $ seed_arg $ trace_arg $ sweep_arg $ jobs_arg $ log_arg
-      $ metrics_arg)
+      $ rounds_arg $ seed_arg $ trace_arg $ sweep_arg $ no_incremental_arg
+      $ jobs_arg $ log_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gadget                                                              *)

@@ -30,6 +30,12 @@ let run_par ?pool ?jobs ?(early_exit = false) scheme inst certs =
             (* contiguous ranges: chunk c covers [lo, hi) *)
             let lo = c * n / chunks and hi = (c + 1) * n / chunks in
             let rejections = ref [] in
+            (* Only [Exit] (the early-exit signal) is caught here: a
+               verifier that raises is a programming error in this
+               single-assignment engine, and the exception propagates
+               through [Pool].  Exception containment lives in
+               [Runtime.run_verifier], where mangled wire data makes
+               verifier failures expected. *)
             (try
                (* downto, so consing leaves the list vertex-ascending *)
                for v = hi - 1 downto lo do

@@ -201,6 +201,12 @@ let as_num ctx = function
 let as_int ctx v =
   let f = as_num ctx v in
   if not (Float.is_integer f) then raise (Bad (ctx ^ ": expected an integer"));
+  (* [Float.is_integer] admits values like 2^62 or 1e300 whose
+     [int_of_float] is undefined; native ints cover [-2^62, 2^62).
+     -2^62 is exactly representable and equals [min_int], so only
+     values strictly below it are out of range. *)
+  if f >= 0x1p62 || f < -0x1p62 then
+    raise (Bad (ctx ^ ": integer overflows the native int range"));
   int_of_float f
 
 let as_nonneg_int ctx v =

@@ -3,6 +3,8 @@ type result = {
   per_round : Scheme.outcome array;
   detected_at : int option;
   trace : Trace.t;
+  checked : int list array;
+  reverified : int list array;
 }
 
 let with_pool_arg ?pool ?jobs f =
@@ -10,10 +12,21 @@ let with_pool_arg ?pool ?jobs f =
 
 let chunk_factor = 8
 
-(* Verification phase: every alive honest vertex assembles its view
-   from the round's inbox and runs the verifier.  Verdicts come back in
-   ascending vertex order (per-chunk downto + cons, chunks ascending),
-   matching Scheme.run's rejection order. *)
+(* Contain scheme-level failures as rejections — a vertex whose whole
+   neighborhood crashed or whose certificate was mangled must never
+   take the simulator down — but let fatal/programming-error
+   exceptions (OOM, stack overflow, tripped assertions) escape: those
+   mean the process is broken, not that a fault was detected. *)
+let run_verifier scheme view =
+  match scheme.Scheme.verifier view with
+  | verdict -> verdict
+  | exception e when not (Fatal.is_fatal e) ->
+      Scheme.Reject ("verifier raised: " ^ Printexc.to_string e)
+
+(* Full-sweep verification: every alive honest vertex assembles its
+   view from the round's inbox and runs the verifier.  Verdicts come
+   back in ascending vertex order (per-chunk downto + cons, chunks
+   ascending), matching Scheme.run's rejection order. *)
 let verify_round ~pool ~inst ~nodes ~inboxes scheme =
   let n = Array.length nodes in
   let chunks = max 1 (min n (Pool.size pool * chunk_factor)) in
@@ -25,22 +38,69 @@ let verify_round ~pool ~inst ~nodes ~inboxes scheme =
           let node = nodes.(v) in
           if node.Node.status = Node.Alive then begin
             let view = Node.view inst node ~inbox:inboxes.(v) in
-            let verdict =
-              match scheme.Scheme.verifier view with
-              | verdict -> verdict
-              | exception e ->
-                  Scheme.Reject ("verifier raised: " ^ Printexc.to_string e)
-            in
-            out := (v, verdict) :: !out
+            out := (v, run_verifier scheme view) :: !out
           end
         done;
         !out)
   in
   List.concat (Array.to_list per_chunk)
 
+(* Incremental verification: the dirty-set propagator (Vcache) names
+   the candidates whose view may have changed; only those reassemble a
+   view, and only key misses among them run the verifier.  Everything
+   else reuses its cached verdict, so the assembled verdict list — and
+   hence outcome, rejections and trace — is identical to the full
+   sweep's, per-round and byte for byte. *)
+let verify_round_incremental ~pool ~inst ~nodes ~inboxes ~cache ~first_round
+    ~events scheme =
+  let graph = inst.Instance.graph in
+  let cands =
+    Array.of_list (Vcache.candidates cache ~graph ~first_round events)
+  in
+  let k = Array.length cands in
+  let ran = Array.make k false in
+  if k > 0 then begin
+    let chunks = max 1 (min k (Pool.size pool * chunk_factor)) in
+    ignore
+      (Pool.map_chunks pool ~chunks (fun c ->
+           let lo = c * k / chunks and hi = (c + 1) * k / chunks in
+           for i = lo to hi - 1 do
+             let v = cands.(i) in
+             let node = nodes.(v) in
+             if node.Node.status <> Node.Alive then Vcache.skip cache v
+             else begin
+               let view = Node.view inst node ~inbox:inboxes.(v) in
+               let key =
+                 View_key.make ~cert:view.Scheme.cert ~nbrs:view.Scheme.nbrs
+               in
+               match Vcache.check cache v key with
+               | Some _ -> ()
+               | None ->
+                   Vcache.store cache v key (run_verifier scheme view);
+                   ran.(i) <- true
+             end
+           done));
+  end;
+  let verdicts = ref [] in
+  let n = Array.length nodes in
+  for v = n - 1 downto 0 do
+    if nodes.(v).Node.status = Node.Alive then
+      match Vcache.verdict cache v with
+      | Some verdict -> verdicts := (v, verdict) :: !verdicts
+      | None -> assert false (* alive ⇒ verified in round 1 *)
+  done;
+  Vcache.update_carry cache ~graph events;
+  let reverified = ref [] in
+  for i = k - 1 downto 0 do
+    if ran.(i) then reverified := cands.(i) :: !reverified
+  done;
+  (!verdicts, Array.to_list cands, !reverified)
+
 (* Everything the runtime records is deterministic given the seed: the
    fault plan draws from Rng streams keyed by (round, vertex), so event
-   lists — and hence these counts — are identical across job counts. *)
+   lists — and hence these counts, including the incremental layer's
+   candidate and re-verification counts — are identical across job
+   counts. *)
 let fault_counter = function
   | Trace.Crash _ -> Some "runtime.fault.crash"
   | Trace.Went_byzantine _ -> Some "runtime.fault.byzantine"
@@ -50,13 +110,15 @@ let fault_counter = function
   | Trace.Forge _ -> Some "runtime.fault.forge"
   | Trace.Send _ | Trace.Verdict _ -> None
 
-let record_round ~wire_bits ~events ~rejections =
+let record_round ~wire_bits ~events ~rejections ~reverified ~cached =
   if Metrics.is_enabled () then begin
     Metrics.incr (Metrics.counter "runtime.rounds");
     Metrics.observe (Metrics.histogram "runtime.round_wire_bits") wire_bits;
     Metrics.add
       (Metrics.counter "runtime.rejections")
       (List.length rejections);
+    Metrics.add (Metrics.counter "runtime.vertices_reverified") reverified;
+    Metrics.add (Metrics.counter "runtime.verdicts_cached") cached;
     List.iter
       (fun e ->
         match fault_counter e with
@@ -84,8 +146,8 @@ let record_trace trace =
           l
     | None -> ()
 
-let execute ?pool ?jobs ?(plan = Fault.none) ?(rounds = 1) ?(seed = 0) scheme
-    inst certs =
+let execute ?pool ?jobs ?(plan = Fault.none) ?(rounds = 1) ?(seed = 0)
+    ?(incremental = true) scheme inst certs =
   if rounds < 1 then invalid_arg "Runtime.execute: rounds must be >= 1";
   if Array.length certs <> Instance.n inst then
     invalid_arg "Runtime.execute: certificate count does not match the instance";
@@ -93,17 +155,31 @@ let execute ?pool ?jobs ?(plan = Fault.none) ?(rounds = 1) ?(seed = 0) scheme
       Span.with_ "runtime.execute" @@ fun () ->
       let nodes = Node.boot inst certs in
       let n = Array.length nodes in
+      let cache = if incremental then Some (Vcache.create n) else None in
       let rng = Rng.make seed in
       let round_streams = Rng.split rng rounds in
       let logs = ref [] in
       let outcomes = ref [] in
+      let checked = Array.make rounds [] in
+      let reverified = Array.make rounds [] in
       for r = 1 to rounds do
         let streams = Rng.split round_streams.(r - 1) n in
         let events, inboxes =
           Network.exchange ~pool ~plan ~first_round:(r = 1) ~inst ~nodes
             ~streams
         in
-        let verdicts = verify_round ~pool ~inst ~nodes ~inboxes scheme in
+        let verdicts, round_checked, round_reverified =
+          match cache with
+          | Some cache ->
+              verify_round_incremental ~pool ~inst ~nodes ~inboxes ~cache
+                ~first_round:(r = 1) ~events scheme
+          | None ->
+              let verdicts = verify_round ~pool ~inst ~nodes ~inboxes scheme in
+              let alive = List.map fst verdicts in
+              (verdicts, alive, alive)
+        in
+        checked.(r - 1) <- round_checked;
+        reverified.(r - 1) <- round_reverified;
         let rejections =
           List.filter_map
             (function
@@ -134,7 +210,9 @@ let execute ?pool ?jobs ?(plan = Fault.none) ?(rounds = 1) ?(seed = 0) scheme
               | _ -> acc)
             0 events
         in
-        record_round ~wire_bits ~events ~rejections;
+        record_round ~wire_bits ~events ~rejections
+          ~reverified:(List.length round_reverified)
+          ~cached:(List.length verdicts - List.length round_reverified);
         logs :=
           {
             Trace.round = r;
@@ -169,10 +247,18 @@ let execute ?pool ?jobs ?(plan = Fault.none) ?(rounds = 1) ?(seed = 0) scheme
           [
             ("scheme", scheme.Scheme.name);
             ("rounds", string_of_int rounds);
+            ("incremental", string_of_bool incremental);
             ( "detected_at",
               match detected_at with
               | None -> "never"
               | Some r -> string_of_int r );
           ]
         "runtime execute done";
-      { outcome = per_round.(rounds - 1); per_round; detected_at; trace })
+      {
+        outcome = per_round.(rounds - 1);
+        per_round;
+        detected_at;
+        trace;
+        checked;
+        reverified;
+      })

@@ -21,7 +21,22 @@
     Multi-round executions model self-stabilizing re-verification:
     persistent faults (corrupted certificates, crashes) accumulate,
     and {!result.detected_at} reports the first round in which some
-    honest vertex rejected. *)
+    honest vertex rejected.
+
+    {2 Incremental verification}
+
+    By default the runtime does {e not} re-run the verifier at every
+    vertex every round.  A radius-1 verdict is a pure function of the
+    view, so between rounds it can only change at vertices within
+    distance 1 of a fault event (or downstream of a transient fault's
+    reversion); {!Vcache} computes that dirty set from the round's
+    canonical event list and cached verdicts are reused everywhere
+    else.  The mode is {e drop-in exact}: outcomes, [detected_at] and
+    the trace are byte-identical to the full sweep
+    ([~incremental:false]), and the dirty set is computed sequentially
+    so [checked]/[reverified] — and the
+    [runtime.vertices_reverified] / [runtime.verdicts_cached] metrics
+    counters — are deterministic across job counts.  See DESIGN §5.4. *)
 
 type result = {
   outcome : Scheme.outcome;  (** the final round's outcome *)
@@ -29,6 +44,15 @@ type result = {
   detected_at : int option;
       (** first round (1-based) with a rejecting verdict *)
   trace : Trace.t;
+  checked : int list array;
+      (** per round: vertices whose view was reassembled and re-keyed
+          (the dirty set), ascending.  Contains the distance-1 closure
+          of the round's fault events.  In full-sweep mode: every alive
+          vertex. *)
+  reverified : int list array;
+      (** per round: vertices where the verifier actually ran (a
+          {!Vcache} key miss among [checked]), ascending.  In
+          full-sweep mode: every alive vertex. *)
 }
 
 val execute :
@@ -37,6 +61,7 @@ val execute :
   ?plan:Fault.t ->
   ?rounds:int ->
   ?seed:int ->
+  ?incremental:bool ->
   Scheme.t ->
   Instance.t ->
   Bitstring.t array ->
@@ -49,13 +74,22 @@ val execute :
     the verification phase of every round ([?pool] to reuse a pool,
     [?jobs] for a private one, as in {!Engine.run_par}).
 
+    [?incremental] (default [true]) enables the verdict cache: after
+    round 1, only vertices in the dirty set of the round's fault
+    events are re-examined.  [~incremental:false] forces the full
+    per-round sweep; results are identical either way.
+
     A round's outcome counts the verdicts of alive, honest vertices
     only — crashed and Byzantine vertices render none.  [max_bits]
     measures the stored certificates as of that round (so persistent
-    corruption is reflected, transient wire flips are not).  A verifier
-    that raises is treated as rejecting with the exception text: a
-    vertex whose neighbors all crashed (or whose messages were mangled)
-    must never take the simulator down.
+    corruption is reflected, transient wire flips are not).  A
+    verifier that raises a scheme-level exception is treated as
+    rejecting with the exception text: a vertex whose neighbors all
+    crashed (or whose messages were mangled) must never take the
+    simulator down.  Fatal exceptions ({!Localcert_util.Fatal} —
+    [Out_of_memory], [Stack_overflow], [Assert_failure]) are {e not}
+    converted: they indicate a broken process, not a detected fault,
+    and propagate to the caller.
 
     Raises [Invalid_argument] if [rounds < 1] or the certificate count
     does not match the instance. *)

@@ -42,6 +42,33 @@ let is_fault = function
   | Corrupt _ | Drop _ | Flip _ | Forge _ | Crash _ | Went_byzantine _ -> true
   | Send _ | Verdict _ -> false
 
+(* Which radius-1 views a fault event can change — the soundness basis
+   of the runtime's incremental dirty set (DESIGN §5.4).  Vertex-state
+   faults change the vertex's own view and (through its broadcast or
+   silence) every neighbor's inbox; wire faults change exactly the
+   receiving inbox; honest sends and verdicts change no view at all. *)
+type scope =
+  | Self_and_neighbors of int
+  | Inbox of int
+  | Pure
+
+let scope = function
+  | Crash { vertex } | Went_byzantine { vertex } | Corrupt { vertex } ->
+      Self_and_neighbors vertex
+  | Drop { dst; _ } | Flip { dst; _ } | Forge { dst; _ } -> Inbox dst
+  | Send _ | Verdict _ -> Pure
+
+(* Transient faults perturb one round's messages and revert on their
+   own in the next round (the dropped or flipped message is re-sent
+   honestly, the Byzantine sender forges afresh), so the views they
+   touched change again one round later {e without} any fault event
+   marking the reversion.  Persistent faults (crash, Byzantine status,
+   stored-certificate corruption) move the state once and then
+   re-broadcast it unchanged. *)
+let is_transient = function
+  | Drop _ | Flip _ | Forge _ -> true
+  | Crash _ | Went_byzantine _ | Corrupt _ | Send _ | Verdict _ -> false
+
 let metrics (t : t) =
   let m =
     ref

@@ -57,6 +57,25 @@ type metrics = {
   rejecting_verdicts : int;
 }
 
+(** Which radius-1 views an event can change (see DESIGN §5.4): a
+    vertex-state fault (crash, Byzantine conversion, corruption)
+    changes the vertex's own view and every neighbor's inbox; a wire
+    fault (drop, flip, forge) changes exactly the receiving vertex's
+    inbox; honest sends and verdicts change nothing.  The runtime's
+    incremental dirty set is the union of these scopes, closed over
+    neighborhoods for the vertex-state case. *)
+type scope =
+  | Self_and_neighbors of int
+  | Inbox of int
+  | Pure
+
+val scope : event -> scope
+
+val is_transient : event -> bool
+(** [true] for the wire faults (drop, flip, forge) whose effect on a
+    view reverts one round later without a marking event — the reason
+    the incremental dirty set carries them over one extra round. *)
+
 val metrics : t -> metrics
 
 val detection_latency : metrics -> int option

@@ -1,0 +1,57 @@
+(** Per-vertex verdict cache and dirty-set propagator for the
+    incremental runtime.
+
+    A radius-1 verifier's verdict depends only on the vertex's view,
+    and between rounds a view can change only through the fault events
+    of the current round — plus the unmarked reversion, one round
+    later, of a transient wire fault.  This module turns that
+    invariant into a candidate set per round:
+
+    {[ candidates(r) = closure(fault events(r)) ∪ carry(r - 1) ]}
+
+    where the closure follows {!Trace.scope} (vertex-state faults
+    dirty the vertex and its neighbors, wire faults dirty the
+    receiving inbox) and the carry holds the scopes of the previous
+    round's transient events plus every vertex whose {!View_key}
+    changed.  Vertices outside the candidate set provably have the
+    same view as when their cached verdict was computed, so the
+    verdict is reused without reassembling the view.
+
+    The candidate set is computed {e sequentially} from the canonical
+    event list, so it — and every count derived from it — is identical
+    at every job count.  The per-candidate accessors ({!check},
+    {!store}, {!skip}) mutate only the entry of the given vertex and
+    may be called concurrently for distinct vertices. *)
+
+type t
+
+val create : int -> t
+(** A cold cache for [n] vertices: round 1 makes every vertex a
+    candidate and populates the cache. *)
+
+val candidates : t -> graph:Graph.t -> first_round:bool -> Trace.event list -> int list
+(** The vertices whose view may have changed this round, ascending.
+    With [~first_round:true] that is every vertex (nothing is cached
+    yet).  Also resets the per-round change flags; call exactly once
+    per round, before the fan-out. *)
+
+val check : t -> int -> View_key.t -> Scheme.verdict option
+(** [check t v key] is the cached verdict if [v]'s view is unchanged
+    (its stored key equals [key], structurally), [None] if the
+    verifier must run. *)
+
+val store : t -> int -> View_key.t -> Scheme.verdict -> unit
+(** Record a freshly computed verdict for [v] under [key], marking [v]
+    changed (so next round re-checks it once). *)
+
+val skip : t -> int -> unit
+(** [v] renders no verdict this round (crashed or Byzantine); clears
+    its cache entry. *)
+
+val verdict : t -> int -> Scheme.verdict option
+(** The verdict of [v]'s current view: fresh or cached.  [Some] for
+    every vertex that was alive at its last candidacy. *)
+
+val update_carry : t -> graph:Graph.t -> Trace.event list -> unit
+(** Compute the carry for the next round from this round's events and
+    change flags.  Call exactly once per round, after the fan-out. *)

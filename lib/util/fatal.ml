@@ -1,0 +1,14 @@
+(* Which exceptions a "contain the verifier" boundary must never
+   swallow.
+
+   The runtime (and any other harness that folds a raising verifier
+   into a rejection) distinguishes scheme-level failures — a verifier
+   choking on a corrupted certificate, a decode error, a [failwith] —
+   from conditions that mean the *process* is broken: resource
+   exhaustion and tripped assertions.  Converting the latter into
+   [Scheme.Reject] would report an out-of-memory crash as "fault
+   detected", which is exactly backwards. *)
+
+let is_fatal = function
+  | Out_of_memory | Stack_overflow | Assert_failure _ -> true
+  | _ -> false

@@ -1,0 +1,15 @@
+(** Classification of exceptions that must never be converted into a
+    scheme-level rejection.
+
+    Harnesses that run untrusted verifiers (the distributed runtime,
+    robustness tests) contain exceptions as [Scheme.Reject] so that a
+    corrupted certificate cannot take the simulator down.  That
+    containment must not extend to exceptions that signal a broken
+    process rather than a failed local check. *)
+
+val is_fatal : exn -> bool
+(** [true] exactly for [Out_of_memory], [Stack_overflow] and
+    [Assert_failure] — resource exhaustion and tripped invariants.
+    Everything else ([Failure], [Invalid_argument], [Not_found],
+    scheme-specific exceptions) is treated as a scheme-level failure
+    the caller may convert into a rejection. *)

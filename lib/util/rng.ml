@@ -19,11 +19,30 @@ let split r k =
      the child seeds — hence the streams — are pairwise distinct. *)
   Array.init k (fun _ -> { state = next r })
 
-let int r bound =
+(* Rejection-sampled [v mod bound] over uniform draws from [0, 2^62).
+   Plain [v mod bound] is biased for bounds that do not divide 2^62:
+   residues below [2^62 mod bound] get one extra preimage.  Rejecting
+   draws that land in the incomplete top block makes every residue
+   have exactly ⌊2^62 / bound⌋ preimages.  The rejection probability is
+   (2^62 mod bound) / 2^62 < bound / 2^62, so for the small bounds used
+   throughout this library a rejection essentially never fires — which
+   also means seed-pinned streams are unchanged in practice. *)
+let unbiased_mod ~draw bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let max62 = (1 lsl 62) - 1 in
+  let rec go () =
+    let v = draw () in
+    let q = v mod bound in
+    (* v - q = bound·⌊v/bound⌋; the draw sits in the incomplete block
+       iff bound·(⌊v/bound⌋ + 1) > 2^62, i.e. v - q > 2^62 - bound *)
+    if v - q > max62 - bound + 1 then go () else q
+  in
+  go ()
+
+let int r bound =
   (* keep 62 bits so the value fits OCaml's 63-bit int nonnegatively *)
-  let v = Int64.to_int (Int64.shift_right_logical (next r) 2) in
-  v mod bound
+  unbiased_mod bound ~draw:(fun () ->
+      Int64.to_int (Int64.shift_right_logical (next r) 2))
 
 let int_in r lo hi =
   if hi < lo then invalid_arg "Rng.int_in: empty range";

@@ -19,7 +19,10 @@ val split : t -> int -> t array
     reproducible regardless of how many domains execute the shards. *)
 
 val int : t -> int -> int
-(** [int r bound] is uniform in [\[0, bound)].  Raises
+(** [int r bound] is {e exactly} uniform in [\[0, bound)]: draws whose
+    [mod bound] residue would be over-represented (the incomplete top
+    block of the 62-bit draw range) are rejected and redrawn, so there
+    is no modulo bias for bounds that do not divide 2{^62}.  Raises
     [Invalid_argument] if [bound <= 0]. *)
 
 val int_in : t -> int -> int -> int
@@ -43,3 +46,11 @@ val permutation : t -> int -> int array
 
 val bits : t -> int -> Bitstring.t
 (** [bits r len] is a uniform bit string of length [len]. *)
+
+(**/**)
+
+val unbiased_mod : draw:(unit -> int) -> int -> int
+(** Exposed for the test suite only: the rejection-sampling core of
+    {!int}, over a caller-supplied stream of uniform draws from
+    [\[0, 2^62)].  Lets tests drive the rejection branch with a
+    deterministic fake stream, which no realistic seed reaches. *)

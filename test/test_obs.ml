@@ -237,13 +237,33 @@ let export_rejects_malformed () =
       ( "unknown approx field",
         {|{"version":1,"counters":[],"gauges":[],"histograms":[],"approx":{"counters":[],"gauges":[],"histograms":[],"timings":[],"extra":[]}}|}
       );
+      (* regression: [Float.is_integer] admits these, but
+         [int_of_float] on them is undefined — the validator must
+         range-check before converting, not crash or wrap *)
+      ( "counter value 2^62 overflows native int",
+        {|{"version":1,"counters":[{"name":"a","value":4611686018427387904}],"gauges":[],"histograms":[],"approx":{"counters":[],"gauges":[],"histograms":[],"timings":[]}}|}
+      );
+      ( "counter value 1e300 overflows native int",
+        {|{"version":1,"counters":[{"name":"a","value":1e300}],"gauges":[],"histograms":[],"approx":{"counters":[],"gauges":[],"histograms":[],"timings":[]}}|}
+      );
+      ( "gauge value -1e300 overflows native int",
+        {|{"version":1,"counters":[],"gauges":[{"name":"g","value":-1e300}],"histograms":[],"approx":{"counters":[],"gauges":[],"histograms":[],"timings":[]}}|}
+      );
     ]
   in
   List.iter
     (fun (what, doc) ->
       check (what ^ " rejected") true
         (match Export.parse doc with Error _ -> true | Ok _ -> false))
-    cases
+    cases;
+  (* 2^53 is large but exactly representable and in range: still fine *)
+  check "2^53 counter value accepted" true
+    (match
+       Export.parse
+         {|{"version":1,"counters":[{"name":"a","value":9007199254740992}],"gauges":[],"histograms":[],"approx":{"counters":[],"gauges":[],"histograms":[],"timings":[]}}|}
+     with
+    | Ok _ -> true
+    | Error _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry is passive: on/off differential                           *)

@@ -113,6 +113,58 @@ let rng_permutation () =
   Array.sort Int.compare sorted;
   Alcotest.(check (array int)) "is a permutation" (Array.init 30 Fun.id) sorted
 
+(* Regression for the modulo-bias bug: [Rng.int] used plain
+   [v mod bound], which for bounds not dividing 2^62 gives the low
+   residues one extra preimage.  The rejection loop is exercised
+   directly with a fake draw stream: for bound 3, 2^62 mod 3 = 1, so
+   the single draw 2^62 - 1 (residue 0 in the incomplete top block)
+   must be rejected and the next draw used instead. *)
+let rng_rejection_boundary () =
+  let feed draws =
+    let q = Queue.of_seq (List.to_seq draws) in
+    fun () -> Queue.pop q
+  in
+  (* 2^62 mod 3 = 1: only the top draw 2^62 - 1 is incomplete *)
+  check_int "top-block draw rejected" 2
+    (Rng.unbiased_mod ~draw:(feed [ (1 lsl 62) - 1; 5 ]) 3);
+  check_int "last complete draw accepted" 2
+    (Rng.unbiased_mod ~draw:(feed [ (1 lsl 62) - 2 ]) 3);
+  check_int "draw below the block accepted" 0
+    (Rng.unbiased_mod ~draw:(feed [ (1 lsl 62) - 4 ]) 3);
+  (* bound 1 accepts any draw as 0, even the maximum *)
+  check_int "bound 1" 0 (Rng.unbiased_mod ~draw:(feed [ (1 lsl 62) - 1 ]) 1);
+  (* a power-of-two bound divides 2^62: nothing is ever rejected *)
+  check_int "power-of-two bound accepts max" 3
+    (Rng.unbiased_mod ~draw:(feed [ (1 lsl 62) - 1 ]) 4);
+  match Rng.unbiased_mod ~draw:(feed []) 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bound 0 accepted"
+
+(* Small-bound uniformity: with rejection sampling every residue class
+   is hit exactly-uniformly in expectation; a chi-square statistic over
+   20k draws at bound 7 sits far below the df=6 rejection threshold
+   unless the generator is broken.  (The old biased code would still
+   pass at these bounds — the real pin is the boundary test above —
+   but this guards the rewrite against a botched residue computation.) *)
+let rng_small_bound_distribution () =
+  let bound = 7 and draws = 20_000 in
+  let rng = Rng.make 1234 in
+  let counts = Array.make bound 0 in
+  for _ = 1 to draws do
+    let v = Rng.int rng bound in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let expected = float_of_int draws /. float_of_int bound in
+  let chi2 =
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expected in
+        acc +. (d *. d /. expected))
+      0.0 counts
+  in
+  (* chi-square 99.9th percentile at 6 degrees of freedom is 22.46 *)
+  check "chi-square within the df=6 99.9% bound" true (chi2 < 22.46)
+
 let combin_binomial () =
   check_int "C(5,2)" 10 (Combin.binomial 5 2);
   check_int "C(10,0)" 1 (Combin.binomial 10 0);
@@ -265,6 +317,9 @@ let suite =
         Alcotest.test_case "determinism" `Quick rng_determinism;
         Alcotest.test_case "bounds" `Quick rng_bounds;
         Alcotest.test_case "permutation" `Quick rng_permutation;
+        Alcotest.test_case "rejection boundary" `Quick rng_rejection_boundary;
+        Alcotest.test_case "small-bound distribution" `Quick
+          rng_small_bound_distribution;
         QCheck_alcotest.to_alcotest qcheck_rng_split_reproducible;
         QCheck_alcotest.to_alcotest qcheck_rng_split_distinct;
       ] );
