@@ -258,6 +258,26 @@ let jobs_arg =
            outcomes are exact, and all randomness is keyed to trial or \
            (round, vertex) positions, not domains.")
 
+(* Shared by certify and simulate: both verify through the engine's
+   compiled fast path by default. *)
+let compiled_arg =
+  Arg.(
+    value
+    & vflag true
+        [
+          ( true,
+            info [ "compiled" ]
+              ~doc:
+                "Verify through ahead-of-time compiled kernels for schemes \
+                 that publish a lowering (the default)." );
+          ( false,
+            info [ "no-compiled" ]
+              ~doc:
+                "Force the interpreted verifier everywhere.  Verdicts are \
+                 identical to the compiled path; useful for differential \
+                 checks and perf comparisons." );
+        ])
+
 (* ------------------------------------------------------------------ *)
 (* Telemetry flags (shared by certify and simulate)                    *)
 (* ------------------------------------------------------------------ *)
@@ -308,8 +328,9 @@ let with_telemetry log metrics f =
   r
 
 let certify_cmd =
-  let run g name t formula attack seed jobs log metrics =
+  let run g name t formula attack seed jobs compiled log metrics =
     with_telemetry log metrics @@ fun () ->
+    Vcompile.set_enabled compiled;
     let scheme = scheme_of_name name ~t ~formula in
     let instance = Instance.make g in
     Printf.printf "scheme: %s\ninstance: n=%d m=%d, %d-bit ids\n"
@@ -317,10 +338,10 @@ let certify_cmd =
     Pool.with_pool ?jobs (fun pool ->
         if Pool.size pool > 1 then
           Printf.printf "engine: %d domains\n" (Pool.size pool);
-        let verify certs =
-          if Pool.size pool > 1 then Engine.run_par ~pool scheme instance certs
-          else Scheme.run scheme instance certs
-        in
+        (* always the engine sweep (inline when the pool has one
+           domain): that is where the compiled fast path lives, and
+           with compilation off it matches Scheme.run exactly. *)
+        let verify certs = Engine.run_par ~pool scheme instance certs in
         match Span.with_ "prover" (fun () -> scheme.Scheme.prover instance) with
         | Some certs ->
             let certs = Cert_store.intern_all certs in
@@ -381,7 +402,7 @@ let certify_cmd =
     (Cmd.info "certify" ~doc:"Run a certification scheme on a graph")
     Term.(
       const run $ graph_arg $ name_arg $ t_arg $ formula_arg $ attack_arg
-      $ seed_arg $ jobs_arg $ log_arg $ metrics_arg)
+      $ seed_arg $ jobs_arg $ compiled_arg $ log_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* attack                                                              *)
@@ -485,8 +506,9 @@ let attack_cmd =
 
 let simulate_cmd =
   let run g name t formula plan rounds seed trace_out sweep no_incremental jobs
-      log metrics =
+      compiled log metrics =
     with_telemetry log metrics @@ fun () ->
+    Vcompile.set_enabled compiled;
     let scheme = scheme_of_name name ~t ~formula in
     let instance = Instance.make g in
     let incremental = not no_incremental in
@@ -500,8 +522,8 @@ let simulate_cmd =
     in
     Pool.with_pool ?jobs (fun pool ->
         let result =
-          Runtime.execute ~pool ~plan ~rounds ~seed ~incremental scheme
-            instance certs
+          Runtime.execute ~pool ~plan ~rounds ~seed ~incremental ~compiled
+            scheme instance certs
         in
         Format.printf "%a" Trace.pp_summary result.Runtime.trace;
         (match trace_out with
@@ -525,7 +547,8 @@ let simulate_cmd =
               for s = 0 to 4 do
                 let r =
                   Runtime.execute ~pool ~plan:(Fault.corruption rate) ~rounds
-                    ~seed:((seed * 5) + s) ~incremental scheme instance certs
+                    ~seed:((seed * 5) + s) ~incremental ~compiled scheme
+                    instance certs
                 in
                 let m = Trace.metrics r.Runtime.trace in
                 if m.Trace.certs_corrupted > 0 then incr corrupted;
@@ -604,7 +627,7 @@ let simulate_cmd =
     Term.(
       const run $ graph_arg $ name_arg $ t_arg $ formula_arg $ plan_arg
       $ rounds_arg $ seed_arg $ trace_arg $ sweep_arg $ no_incremental_arg
-      $ jobs_arg $ log_arg $ metrics_arg)
+      $ jobs_arg $ compiled_arg $ log_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gadget                                                              *)

@@ -113,6 +113,66 @@ let conj a b = product ~name:(a.name ^ " & " ^ b.name) ( && ) a b
 
 let disj a b = product ~name:(a.name ^ " | " ^ b.name) ( || ) a b
 
+(* ------------------------------------------------------------------ *)
+(* Flat transition tables.
+
+   A threshold automaton's transition depends only on the child-state
+   multiplicities capped at its threshold, so for [states] states and
+   cap [c] the whole transition function (at one label) fits in a flat
+   array indexed by the packed base-(c+1) count vector.  The compiled
+   verifier path accumulates the packed index with one saturating add
+   per child — no hash table, no list, no allocation. *)
+
+type table = {
+  t_states : int;
+  t_cap : int;
+  t_pow : int array;  (** [t_pow.(s)] = [(t_cap+1)^s] *)
+  t_delta : int array;  (** indexed by packed capped count vectors *)
+}
+
+let max_table_size = 1 lsl 16
+
+let tabulate a ~label =
+  match a.threshold with
+  | None -> None
+  | Some cap when cap < 1 -> None
+  | Some cap ->
+      let states = a.state_count () in
+      if states < 1 || states > 30 then None
+      else begin
+        let base = cap + 1 in
+        let rec sized s acc =
+          if acc > max_table_size then None
+          else if s = 0 then Some acc
+          else sized (s - 1) (acc * base)
+        in
+        match sized states 1 with
+        | None -> None
+        | Some size ->
+            let pow = Array.make states 1 in
+            for s = 1 to states - 1 do
+              pow.(s) <- pow.(s - 1) * base
+            done;
+            let tbl = Array.make size 0 in
+            for packed = 0 to size - 1 do
+              let counts = ref [] in
+              for s = states - 1 downto 0 do
+                let c = packed / pow.(s) mod base in
+                if c > 0 then counts := (s, c) :: !counts
+              done;
+              tbl.(packed) <- a.delta ~label ~counts:!counts
+            done;
+            Some { t_states = states; t_cap = cap; t_pow = pow; t_delta = tbl }
+      end
+
+let table_add t packed s =
+  if packed < 0 || s < 0 || s >= t.t_states then -1
+  else
+    let digit = packed / t.t_pow.(s) mod (t.t_cap + 1) in
+    if digit >= t.t_cap then packed else packed + t.t_pow.(s)
+
+let table_delta t packed = t.t_delta.(packed)
+
 let respects_threshold a ~cap ~samples =
   let ok = ref true in
   let check (t : Rooted.t) child_states =

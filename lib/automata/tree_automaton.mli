@@ -72,6 +72,36 @@ val total : counts -> int
 val count_of : counts -> int -> int
 (** Multiplicity of one state (0 if absent). *)
 
+(** {1 Flat transition tables}
+
+    For a threshold automaton the transition at a fixed label is a
+    function of the child-state multiplicities capped at the
+    threshold, so it can be precomputed into a flat array indexed by
+    packed base-(cap+1) count vectors.  The compiled verifier path
+    ({!Localcert_engine.Vcompile}) folds children into the packed
+    index with {!table_add} — one branch and one add per child, no
+    allocation — then reads the state with {!table_delta}.
+
+    The table is only sound for automata whose [delta] genuinely
+    respects the declared [threshold] (see {!respects_threshold});
+    every automaton in {!Library} does. *)
+
+type table
+
+val tabulate : t -> label:int -> table option
+(** Precompute the transition table at one label.  [None] when the
+    automaton declares no (positive) threshold, has no states yet
+    (lazily-grown automata), or the table would exceed 2^16 entries. *)
+
+val table_add : table -> int -> int -> int
+(** [table_add tbl packed s] adds one child in state [s] to the packed
+    count vector, saturating at the cap; [-1] (a poison value that
+    propagates) if [s] is outside the tabulated state range or
+    [packed] is already poisoned. *)
+
+val table_delta : table -> int -> int
+(** The tabulated transition of a packed (non-negative) vector. *)
+
 (** {1 Diagnostics} *)
 
 val respects_threshold : t -> cap:int -> samples:Rooted.t list -> bool

@@ -129,6 +129,11 @@ let decode ~id_bits codec b =
           in
           { aid; ann; tree }))
 
+let decode_arr ~id_bits codec b =
+  match decode ~id_bits codec b with
+  | None -> None
+  | Some es -> Some (Array.of_list es)
+
 (* ------------------------------------------------------------------ *)
 (* Verifier                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -140,120 +145,146 @@ type 'a analysis = {
   children : (int * 'a) list;
 }
 
-(* [suffix n xs] = last [n] elements of [xs] (which has length >= n). *)
-let suffix n xs =
-  let len = List.length xs in
-  List.filteri (fun i _ -> i >= len - n) xs
+type 'a analysis_arr = {
+  aentries : 'a entry array;
+  achildren : (int * 'a) list;
+}
 
-let pairs_equal codec a b =
-  List.length a = List.length b
-  && List.for_all2 (fun x y -> x.aid = y.aid && codec.equal x.ann y.ann) a b
+(* The verifier over pre-decoded entry arrays.  Every suffix
+   comparison in Section 5 — compatibility, subtree membership, the
+   exit-touch test, child-subtree claims — is a function of one number
+   per neighbor: the length of the longest common suffix (csl) between
+   my list and the neighbor's, comparing (id, annotation) pairs.  We
+   compute it once per neighbor and the whole check becomes integer
+   comparisons:
 
-let verify ~t_bound codec (view : Scheme.view) =
+   - suffix-compatible        <=>  csl = min d dn
+   - member of G_{v_j}        <=>  dn >= j  and  csl >= j
+   - whole list = (j-1)-suffix <=> dn = j-1 and  csl >= j-1
+   - claims a child subtree   <=>  dn > d   and  csl >= d
+
+   (all with j <= d, so csl >= k both implies and is implied by the
+   corresponding [pairs_equal] on length-k suffixes).  This replaces
+   the quadratic List.nth/suffix walks of the list-based verifier and
+   allocates nothing per neighbor beyond the two precomputed arrays. *)
+let verify_decoded ~t_bound codec ~me mine ~nbrs ~proj =
   let ( let* ) = Result.bind in
-  let id_bits = view.Scheme.id_bits in
   let* entries =
-    match decode ~id_bits codec view.Scheme.cert with
-    | Some e -> Ok e
-    | None -> Error "malformed certificate"
+    match mine with Some e -> Ok e | None -> Error "malformed certificate"
   in
-  let d = List.length entries in
+  let d = Array.length entries in
   (* step 1: depth bound, own id first *)
   let* () = if d <= t_bound then Ok () else Error "depth exceeds bound" in
   let* () =
-    match entries with
-    | e :: _ when e.aid = view.Scheme.me -> Ok ()
-    | _ -> Error "list does not start with my id"
+    if d > 0 && entries.(0).aid = me then Ok ()
+    else Error "list does not start with my id"
   in
-  let* neighbor_entries =
-    let rec go = function
-      | [] -> Ok []
-      | (nid, c) :: rest -> (
-          match decode ~id_bits codec c with
-          | None -> Error "malformed neighbor certificate"
-          | Some es -> Result.map (fun tail -> (nid, es) :: tail) (go rest))
+  let n = Array.length nbrs in
+  let ne = Array.make n [||] in
+  let* () =
+    let rec go i =
+      if i >= n then Ok ()
+      else
+        match proj (snd nbrs.(i)) with
+        | None -> Error "malformed neighbor certificate"
+        | Some es ->
+            ne.(i) <- es;
+            go (i + 1)
     in
-    go view.Scheme.nbrs
+    go 0
   in
   (* neighbors' own ids must head their lists (their own verifier also
      checks it, but we refuse to reason from ill-formed lists) *)
   let* () =
-    if
-      List.for_all
-        (fun (nid, es) -> match es with e :: _ -> e.aid = nid | [] -> false)
-        neighbor_entries
-    then Ok ()
-    else Error "neighbor list does not start with its id"
+    let rec go i =
+      if i >= n then Ok ()
+      else
+        let es = ne.(i) in
+        if Array.length es > 0 && es.(0).aid = fst nbrs.(i) then go (i + 1)
+        else Error "neighbor list does not start with its id"
+    in
+    go 0
   in
+  let csl = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let es = ne.(i) in
+    let dn = Array.length es in
+    let m = if d < dn then d else dn in
+    let k = ref 0 in
+    let matching = ref true in
+    while !matching && !k < m do
+      let a = entries.(d - 1 - !k) and b = es.(dn - 1 - !k) in
+      if a.aid = b.aid && codec.equal a.ann b.ann then incr k
+      else matching := false
+    done;
+    csl.(i) <- !k
+  done;
   (* step 2: suffix compatibility with every neighbor *)
   let* () =
-    let compatible (_, es) =
-      let dn = List.length es in
-      if dn <= d then pairs_equal codec (suffix dn entries) es
-      else pairs_equal codec entries (suffix d es)
+    let rec go i =
+      if i >= n then Ok ()
+      else
+        let dn = Array.length ne.(i) in
+        if csl.(i) = (if d < dn then d else dn) then go (i + 1)
+        else Error "neighbor list is not suffix-compatible"
     in
-    if List.for_all compatible neighbor_entries then Ok ()
-    else Error "neighbor list is not suffix-compatible"
+    go 0
   in
   (* steps 3-4: per-depth spanning-tree checks; my ancestor at depth j
      is entry (d - j), counting my own entry as depth d. *)
-  let entry_at j = List.nth entries (d - j) in
   let* () =
+    let member i j = Array.length ne.(i) >= j && csl.(i) >= j in
+    let member_record i j =
+      let es = ne.(i) in
+      es.(Array.length es - j).tree
+    in
     let rec per_depth j =
       if j < 2 then Ok ()
       else
-        let e = entry_at j in
+        let e = entries.(d - j) in
         match e.tree with
         | None -> Error "missing spanning-tree record"
         | Some te ->
             (* members of G_{v_j} among my neighbors: those whose lists
                share my j-suffix *)
-            let my_j_suffix = suffix j entries in
-            let members =
-              List.filter
-                (fun (_, es) ->
-                  List.length es >= j
-                  && pairs_equal codec (suffix j es) my_j_suffix)
-                neighbor_entries
-            in
-            let member_record (_, es) =
-              (List.nth es (List.length es - j)).tree
-            in
             let* () =
-              if
-                List.for_all
-                  (fun m ->
-                    match member_record m with
-                    | Some r -> r.exit_id = te.exit_id
-                    | None -> false)
-                  members
-              then Ok ()
-              else Error "exit-vertex ids disagree within a subtree"
+              let rec exits_ok i =
+                if i >= n then Ok ()
+                else if not (member i j) then exits_ok (i + 1)
+                else
+                  match member_record i j with
+                  | Some r when r.exit_id = te.exit_id -> exits_ok (i + 1)
+                  | _ -> Error "exit-vertex ids disagree within a subtree"
+              in
+              exits_ok 0
             in
             let* () =
               if te.dist = 0 then
-                if te.exit_id <> view.Scheme.me then
+                if te.exit_id <> me then
                   Error "claims distance 0 but is not the exit vertex"
-                else if te.parent_id <> view.Scheme.me then
+                else if te.parent_id <> me then
                   Error "exit vertex must be its own tree parent"
                 else begin
                   (* the exit vertex must touch the parent of v_j: a
                      neighbor whose whole list is my (j-1)-suffix *)
-                  let target = suffix (j - 1) entries in
-                  if
-                    List.exists
-                      (fun (_, es) -> pairs_equal codec es target)
-                      neighbor_entries
-                  then Ok ()
+                  let rec touches i =
+                    i < n
+                    && ((Array.length ne.(i) = j - 1 && csl.(i) >= j - 1)
+                       || touches (i + 1))
+                  in
+                  if touches 0 then Ok ()
                   else Error "exit vertex does not touch the parent"
                 end
               else
-                match
-                  List.find_opt (fun (nid, _) -> nid = te.parent_id) members
-                with
-                | None -> Error "tree parent is not a neighbor in the subtree"
-                | Some m -> (
-                    match member_record m with
+                let rec find i =
+                  if i >= n then -1
+                  else if member i j && fst nbrs.(i) = te.parent_id then i
+                  else find (i + 1)
+                in
+                match find 0 with
+                | -1 -> Error "tree parent is not a neighbor in the subtree"
+                | i -> (
+                    match member_record i j with
                     | Some r when r.dist = te.dist - 1 -> Ok ()
                     | Some _ -> Error "tree parent distance mismatch"
                     | None -> Error "tree parent lacks a record")
@@ -267,29 +298,52 @@ let verify ~t_bound codec (view : Scheme.view) =
      entry, the (id, annotation) of my child whose subtree they live
      in. *)
   let* children =
-    let claims =
-      List.filter_map
-        (fun (_, es) ->
-          let dn = List.length es in
-          if dn > d && pairs_equal codec (suffix d es) entries then begin
-            let child_entry = List.nth es (dn - (d + 1)) in
-            Some (child_entry.aid, child_entry.ann)
-          end
-          else None)
-        neighbor_entries
-    in
     let tbl = Hashtbl.create 8 in
     let conflict = ref false in
-    List.iter
-      (fun (aid, ann) ->
-        match Hashtbl.find_opt tbl aid with
-        | None -> Hashtbl.replace tbl aid ann
-        | Some existing -> if not (codec.equal existing ann) then conflict := true)
-      claims;
+    for i = 0 to n - 1 do
+      let es = ne.(i) in
+      let dn = Array.length es in
+      if dn > d && csl.(i) >= d then begin
+        let child_entry = es.(dn - (d + 1)) in
+        match Hashtbl.find_opt tbl child_entry.aid with
+        | None -> Hashtbl.replace tbl child_entry.aid child_entry.ann
+        | Some existing ->
+            if not (codec.equal existing child_entry.ann) then conflict := true
+      end
+    done;
     if !conflict then Error "conflicting claims about a child subtree"
     else
       Ok
         (Hashtbl.fold (fun aid ann acc -> (aid, ann) :: acc) tbl []
         |> List.sort compare)
   in
-  Ok { entries; depth = d; neighbor_entries; children }
+  Ok { aentries = entries; achildren = children }
+
+let verify ~t_bound codec (view : Scheme.view) =
+  let id_bits = view.Scheme.id_bits in
+  let mine = decode_arr ~id_bits codec view.Scheme.cert in
+  let nbrs =
+    Array.of_list
+      (List.map
+         (fun (nid, c) -> (nid, decode_arr ~id_bits codec c))
+         view.Scheme.nbrs)
+  in
+  match
+    verify_decoded ~t_bound codec ~me:view.Scheme.me mine ~nbrs ~proj:Fun.id
+  with
+  | Error _ as e -> e
+  | Ok a ->
+      let entries = Array.to_list a.aentries in
+      let neighbor_entries =
+        Array.to_list
+          (Array.map
+             (fun (nid, es) -> (nid, Array.to_list (Option.get es)))
+             nbrs)
+      in
+      Ok
+        {
+          entries;
+          depth = Array.length a.aentries;
+          neighbor_entries;
+          children = a.achildren;
+        }

@@ -53,6 +53,10 @@ val build :
 val encode : id_bits:int -> 'a codec -> 'a entry list -> Bitstring.t
 val decode : id_bits:int -> 'a codec -> Bitstring.t -> 'a entry list option
 
+val decode_arr : id_bits:int -> 'a codec -> Bitstring.t -> 'a entry array option
+(** {!decode} into an array — the representation the array verifier
+    ({!verify_decoded}) and the compiled engine path work on. *)
+
 (** {1 Verifier side} *)
 
 type 'a analysis = {
@@ -72,3 +76,27 @@ val verify :
   ('a analysis, string) result
 (** All Section-5 checks at one vertex; [t_bound] is the certified
     depth bound [t]. *)
+
+type 'a analysis_arr = {
+  aentries : 'a entry array;  (** my decoded list, self first *)
+  achildren : (int * 'a) list;  (** as {!analysis.children} *)
+}
+(** What {!verify_decoded} reports — the subset of {!analysis} the
+    lowered schemes consume (neighbor lists stay with the caller). *)
+
+val verify_decoded :
+  t_bound:int ->
+  'a codec ->
+  me:int ->
+  'a entry array option ->
+  nbrs:(int * 'b) array ->
+  proj:('b -> 'a entry array option) ->
+  ('a analysis_arr, string) result
+(** {!verify} over pre-decoded certificates ([None] = malformed), the
+    form used by scheme lowerings: the neighbor array is sorted by id
+    as in {!Scheme.view}, and [proj] extracts each neighbor's decoded
+    entry array.  All suffix comparisons run on one precomputed
+    common-suffix length per neighbor, so the per-vertex work is
+    O(Σ min(d, dn)) instead of the list verifier's quadratic walks.
+    Verdicts (error strings included) agree with {!verify} exactly —
+    {!verify} is implemented on top of this function. *)

@@ -228,4 +228,4 @@ let make phi =
                     else Reject "matrix does not satisfy the sentence"
               end))
   in
-  { Scheme.name; prover; verifier }
+  { Scheme.name; prover; verifier; compiled = None }

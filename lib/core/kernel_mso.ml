@@ -85,7 +85,6 @@ let decode_rows b =
 (* Rebuild the kernel graph from rows; None if the rows are not a
    well-formed bounded-depth model description. *)
 let graph_of_rows rows =
-  let rows = Array.of_list rows in
   let size = Array.length rows in
   if size = 0 then None
   else begin
@@ -252,77 +251,104 @@ let split_cert c =
       let rows = Bitbuf.Reader.bitstring r in
       (anclist, rows))
 
-let verifier ~k ~t phi =
-  (* Memoize formula evaluation per kernel description.  The table is
-     shared by every verifier call of this scheme value, including calls
-     racing from parallel domains (Engine.run_par), so it is a sharded
-     [Memo] keyed by the certificate's own FNV hash — polymorphic
-     hashing would leak Bitstring's cached-hash field into the key.
-     The evaluation itself runs unlocked (two domains may compute the
-     same entry — they agree, so last-write-wins is fine). *)
-  let eval_memo : (Bitstring.t, bool) Memo.t =
-    Memo.create ~name:"kernel_mso.eval" ~hash:Bitstring.hash ~equal:Bitstring.equal 8
+(* Decoded certificate: the split halves, the ancestor-entry array, the
+   kernel rows, and whether the broadcast kernel satisfies the
+   sentence.  Decoding is total — a malformed layer is [None] (resp.
+   [sat = false]) and the check stage reports it in the original
+   order.  The expensive rows work (decode + rebuild + evaluate) is
+   memoized on the rows bitstring: every vertex broadcasts the same
+   rows, so it runs once per sweep however many times [decode] is
+   called. *)
+type dec = {
+  parts : (Bitstring.t * Bitstring.t) option;
+  danc : ann Anclist.entry array option;
+  drows : (int * bool list * int) array option;
+  sat : bool;
+}
+
+let lowering ~k ~t phi : dec Scheme.lowering =
+  (* The memo is shared by every verifier call of this scheme value,
+     including calls racing from parallel domains (Engine.run_par), so
+     it is a sharded [Memo] keyed by the certificate's own FNV hash —
+     polymorphic hashing would leak Bitstring's cached-hash field into
+     the key.  The evaluation itself runs unlocked (two domains may
+     compute the same entry — they agree, so last-write-wins is
+     fine). *)
+  let eval_memo : (Bitstring.t, (int * bool list * int) array option * bool)
+      Memo.t =
+    Memo.create ~name:"kernel_mso.eval" ~hash:Bitstring.hash
+      ~equal:Bitstring.equal 8
   in
-  let eval_rows rows_bits rows =
+  let rows_of rows_bits =
     match Memo.find_opt eval_memo rows_bits with
-    | Some b -> b
+    | Some r -> r
     | None ->
-        let b =
-          match graph_of_rows rows with
+        let drows = Option.map Array.of_list (decode_rows rows_bits) in
+        let sat =
+          match drows with
           | None -> false
-          | Some (kg, klabels) -> (
-              try Eval.sentence ~labels:klabels kg phi
-              with Invalid_argument _ -> false)
+          | Some rows -> (
+              match graph_of_rows rows with
+              | None -> false
+              | Some (kg, klabels) -> (
+                  try Eval.sentence ~labels:klabels kg phi
+                  with Invalid_argument _ -> false))
         in
-        Memo.set eval_memo rows_bits b;
-        b
+        Memo.set eval_memo rows_bits (drows, sat);
+        (drows, sat)
   in
-  fun (view : Scheme.view) : Scheme.verdict ->
+  let decode ~id_bits c =
+    match split_cert c with
+    | None -> { parts = None; danc = None; drows = None; sat = false }
+    | Some (anc_bits, rows_bits) ->
+        let danc = Anclist.decode_arr ~id_bits ann_codec anc_bits in
+        let drows, sat = rows_of rows_bits in
+        { parts = Some (anc_bits, rows_bits); danc; drows; sat }
+  in
+  let check ~id_bits:_ ~me ~label mine nbrs : Scheme.verdict =
     let ( let* ) = Result.bind in
+    let n = Array.length nbrs in
     let result =
-      let* mine_anc, mine_rows =
-        match split_cert view.cert with
-        | Some p -> Ok p
+      let* mine_rows =
+        match mine.parts with
+        | Some (_, r) -> Ok r
         | None -> Error "malformed certificate"
       in
-      let* nbr_parts =
-        let rec go = function
-          | [] -> Ok []
-          | (nid, c) :: rest -> (
-              match split_cert c with
-              | None -> Error "malformed neighbor certificate"
-              | Some p -> Result.map (fun tl -> (nid, p) :: tl) (go rest))
+      let* () =
+        let rec go i =
+          if i >= n then Ok ()
+          else
+            match (snd nbrs.(i)).parts with
+            | None -> Error "malformed neighbor certificate"
+            | Some _ -> go (i + 1)
         in
-        go view.nbrs
+        go 0
       in
       (* broadcast agreement *)
       let* () =
-        if
-          List.for_all
-            (fun (_, (_, r)) -> Bitstring.equal r mine_rows)
-            nbr_parts
-        then Ok ()
-        else Error "kernel descriptions disagree"
+        let rec go i =
+          if i >= n then Ok ()
+          else
+            match (snd nbrs.(i)).parts with
+            | Some (_, r) when Bitstring.equal r mine_rows -> go (i + 1)
+            | _ -> Error "kernel descriptions disagree"
+        in
+        go 0
       in
       let* rows =
-        match decode_rows mine_rows with
+        match mine.drows with
         | Some r -> Ok r
         | None -> Error "malformed kernel description"
       in
       (* ancestor-list checks with annotations *)
-      let sub_view =
-        {
-          view with
-          cert = mine_anc;
-          nbrs = List.map (fun (nid, (a, _)) -> (nid, a)) nbr_parts;
-        }
+      let* analysis =
+        Anclist.verify_decoded ~t_bound:t ann_codec ~me mine.danc ~nbrs
+          ~proj:(fun d -> d.danc)
       in
-      let* analysis = Anclist.verify ~t_bound:t ann_codec sub_view in
-      let entries = analysis.Anclist.entries in
-      let d = analysis.Anclist.depth in
+      let entry_arr = analysis.Anclist.aentries in
+      let d = Array.length entry_arr in
       let ann_of (e : ann Anclist.entry) = e.Anclist.ann in
       (* alive(j) = no pruned flag from entry j to the root *)
-      let entry_arr = Array.of_list entries in
       let alive = Array.make d false in
       let rec compute_alive j acc =
         (* j indexes entries from self (0) to root (d-1); walk from
@@ -351,14 +377,16 @@ let verifier ~k ~t phi =
         in
         check 0
       in
-      let me = ann_of entry_arr.(0) in
-      let children = analysis.Anclist.children in
+      let my_ann = ann_of entry_arr.(0) in
+      let children = analysis.Anclist.achildren in
       (* my true adjacency to my ancestors, root first *)
-      let neighbor_ids = List.map fst view.nbrs in
+      let is_neighbor id =
+        let rec go i = i < n && (fst nbrs.(i) = id || go (i + 1)) in
+        go 0
+      in
       let anc_true =
-        List.rev_map
-          (fun (e : ann Anclist.entry) -> List.mem e.Anclist.aid neighbor_ids)
-          (List.tl entries)
+        List.init (d - 1) (fun i ->
+            is_neighbor entry_arr.(d - 1 - i).Anclist.aid)
       in
       (* count consistency *)
       let* () =
@@ -366,7 +394,7 @@ let verifier ~k ~t phi =
           List.fold_left (fun acc (_, a) -> acc + a.count) 0 children
         in
         let own = if alive.(0) then 1 else 0 in
-        if me.count = own + child_sum then Ok ()
+        if my_ann.count = own + child_sum then Ok ()
         else Error "survivor counts do not add up"
       in
       (* end-type consistency *)
@@ -384,10 +412,8 @@ let verifier ~k ~t phi =
             surviving;
           Hashtbl.fold (fun _ tc acc -> tc :: acc) tbl []
         in
-        let expected =
-          Vtype.make ~label:view.label ~anc:anc_true ~children:grouped
-        in
-        if Vtype.equal me.vtype expected then Ok ()
+        let expected = Vtype.make ~label ~anc:anc_true ~children:grouped in
+        if Vtype.equal my_ann.vtype expected then Ok ()
         else Error "end type does not match children and adjacency"
       in
       (* pruning validity and maximality (Lemma 6.1) *)
@@ -414,8 +440,8 @@ let verifier ~k ~t phi =
       let* () =
         if not alive.(0) then Ok ()
         else begin
-          let nrows = List.length rows in
-          if me.kindex < 0 || me.kindex >= nrows then
+          let nrows = Array.length rows in
+          if my_ann.kindex < 0 || my_ann.kindex >= nrows then
             Error "kernel index out of range"
           else begin
             let alive_children =
@@ -424,16 +450,16 @@ let verifier ~k ~t phi =
             in
             let rec tile start = function
               | [] ->
-                  if start = me.kindex + me.count then Ok ()
+                  if start = my_ann.kindex + my_ann.count then Ok ()
                   else Error "kernel interval not fully tiled"
               | (_, a) :: rest ->
                   if a.kindex <> start then
                     Error "child kernel interval misplaced"
                   else tile (start + a.count) rest
             in
-            let* () = tile (me.kindex + 1) alive_children in
+            let* () = tile (my_ann.kindex + 1) alive_children in
             (* my row *)
-            let prow, panc, plabel = List.nth rows me.kindex in
+            let prow, panc, plabel = rows.(my_ann.kindex) in
             let* () =
               let expected_parent =
                 if d = 1 then -1 else (ann_of entry_arr.(1)).kindex
@@ -446,21 +472,22 @@ let verifier ~k ~t phi =
               else Error "kernel row adjacency vector mismatch"
             in
             let* () =
-              if plabel = view.label then Ok ()
+              if plabel = label then Ok ()
               else Error "kernel row label mismatch"
             in
             if d = 1 then
-              if me.kindex = 0 && me.count = nrows then Ok ()
+              if my_ann.kindex = 0 && my_ann.count = nrows then Ok ()
               else Error "root kernel interval must cover all rows"
             else Ok ()
           end
         end
       in
       (* the kernel satisfies the sentence *)
-      if eval_rows mine_rows rows then Ok ()
-      else Error "kernel does not satisfy the sentence"
+      if mine.sat then Ok () else Error "kernel does not satisfy the sentence"
     in
     match result with Ok () -> Accept | Error e -> Reject e
+  in
+  { decode; check }
 
 (* ------------------------------------------------------------------ *)
 (* Schemes                                                              *)
@@ -470,26 +497,23 @@ let default_k phi = max 1 (Formula.quantifier_rank phi)
 
 let make ?(find_model = Treedepth_cert.default_find_model) ?k ~t phi =
   let k = match k with Some k -> k | None -> default_k phi in
-  {
-    Scheme.name =
-      Printf.sprintf "kernel-mso[%s;t=%d;k=%d]" (Formula.to_string phi) t k;
-    prover =
-      (fun inst ->
-        match find_model inst.Instance.graph with
-        | Some model -> prover_certs ~k ~t phi inst model
-        | None -> None);
-    verifier = verifier ~k ~t phi;
-  }
+  Scheme.of_lowering
+    ~name:
+      (Printf.sprintf "kernel-mso[%s;t=%d;k=%d]" (Formula.to_string phi) t k)
+    ~prover:(fun inst ->
+      match find_model inst.Instance.graph with
+      | Some model -> prover_certs ~k ~t phi inst model
+      | None -> None)
+    (lowering ~k ~t phi)
 
 let make_with_model ?k ~t model phi =
   let k = match k with Some k -> k | None -> default_k phi in
-  {
-    Scheme.name =
-      Printf.sprintf "kernel-mso[%s;t=%d;k=%d;fixed]" (Formula.to_string phi) t
-        k;
-    prover = (fun inst -> prover_certs ~k ~t phi inst model);
-    verifier = verifier ~k ~t phi;
-  }
+  Scheme.of_lowering
+    ~name:
+      (Printf.sprintf "kernel-mso[%s;t=%d;k=%d;fixed]" (Formula.to_string phi)
+         t k)
+    ~prover:(fun inst -> prover_certs ~k ~t phi inst model)
+    (lowering ~k ~t phi)
 
 type measure = {
   total_bits : int;

@@ -124,6 +124,7 @@ let scheme_of_labeled lcl =
           Some (Array.map (encode_label lcl) inst.Instance.labels)
         else None);
     verifier = verifier_core lcl ~check_own:true;
+    compiled = None;
   }
 
 let scheme_of_search lcl ~solve =
@@ -136,4 +137,5 @@ let scheme_of_search lcl ~solve =
             Some (Array.map (encode_label lcl) labels)
         | _ -> None);
     verifier = verifier_core lcl ~check_own:false;
+    compiled = None;
   }

@@ -8,11 +8,50 @@ type view = {
 
 type verdict = Accept | Reject of string
 
+(* A lowering splits a radius-1 verifier into a total per-certificate
+   decode stage and a check stage over pre-decoded values.  The
+   interpreted verifier decodes every view from scratch; the compiled
+   engine path (Localcert_engine.Vcompile) decodes each distinct
+   certificate once and reuses the result across every vertex that
+   sees it.  Because both paths end in the same [check], they agree on
+   every verdict — reason strings included — by construction. *)
+type 'dec lowering = {
+  decode : id_bits:int -> Bitstring.t -> 'dec;
+  check :
+    id_bits:int ->
+    me:int ->
+    label:int ->
+    'dec ->
+    (int * 'dec) array ->
+    verdict;
+}
+
+type compiled = Compiled : 'dec lowering -> compiled
+
 type t = {
   name : string;
   prover : Instance.t -> Bitstring.t array option;
   verifier : view -> verdict;
+  compiled : compiled option;
 }
+
+let check_lowered (Compiled l) (view : view) =
+  let id_bits = view.id_bits in
+  let mine = l.decode ~id_bits view.cert in
+  let nbrs =
+    Array.of_list
+      (List.map (fun (nid, c) -> (nid, l.decode ~id_bits c)) view.nbrs)
+  in
+  l.check ~id_bits ~me:view.me ~label:view.label mine nbrs
+
+let of_lowering ~name ~prover l =
+  let compiled = Compiled l in
+  {
+    name;
+    prover;
+    verifier = (fun view -> check_lowered compiled view);
+    compiled = Some compiled;
+  }
 
 type outcome = {
   accepted : bool;
@@ -161,7 +200,7 @@ let conjoin ~name s1 s2 =
               | Reject r -> Reject (s2.name ^ ": " ^ r)
               | Accept -> Accept))
   in
-  { name; prover; verifier }
+  { name; prover; verifier; compiled = None }
 
 let disjoin ~name s1 s2 =
   let tag bit c =
@@ -204,11 +243,12 @@ let disjoin ~name s1 s2 =
           in
           if sel then s2.verifier inner else s1.verifier inner)
   in
-  { name; prover; verifier }
+  { name; prover; verifier; compiled = None }
 
 let trivial ~name verifier =
   {
     name;
     prover = (fun inst -> Some (Array.make (Instance.n inst) Bitstring.empty));
     verifier;
+    compiled = None;
   }

@@ -29,13 +29,55 @@ type verdict = Accept | Reject of string
 (** Rejections carry a human-readable reason; the framework treats any
     [Reject _] identically. *)
 
+type 'dec lowering = {
+  decode : id_bits:int -> Bitstring.t -> 'dec;
+      (** Total per-certificate decoding: malformed input is
+          represented {e inside} ['dec] (e.g. with an option), never
+          raised, so a decoded value can be computed once per distinct
+          certificate and shared by every vertex that sees it. *)
+  check :
+    id_bits:int ->
+    me:int ->
+    label:int ->
+    'dec ->
+    (int * 'dec) array ->
+    verdict;
+      (** The radius-1 check over pre-decoded certificates.  The
+          neighbor array is sorted ascending by identifier, mirroring
+          {!view.nbrs}. *)
+}
+(** A scheme verifier split into decode and check stages.  The
+    interpreted verifier and the ahead-of-time compiled engine path
+    ({!Localcert_engine.Vcompile}) both end in the same [check], so
+    their verdicts — reason strings included — agree by
+    construction. *)
+
+type compiled = Compiled : 'dec lowering -> compiled
+(** A lowering with its decoded representation abstracted away — what
+    a scheme publishes for the engine to compile. *)
+
 type t = {
   name : string;
   prover : Instance.t -> Bitstring.t array option;
       (** [None] when the instance is a no-instance (or the prover
           cannot find a witness); [Some certs] indexed by vertex. *)
   verifier : view -> verdict;
+  compiled : compiled option;
+      (** The verifier's lowering, when the scheme has one.  [None]
+          makes every engine fall back to [verifier]. *)
 }
+
+val check_lowered : compiled -> view -> verdict
+(** Run a lowering on one view, decoding from scratch — the
+    interpreted reference semantics of a lowered scheme. *)
+
+val of_lowering :
+  name:string ->
+  prover:(Instance.t -> Bitstring.t array option) ->
+  'dec lowering ->
+  t
+(** A scheme whose verifier {e is} its lowering (via
+    {!check_lowered}), guaranteeing interpreted ≡ compiled. *)
 
 type outcome = {
   accepted : bool;

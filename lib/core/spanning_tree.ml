@@ -14,28 +14,6 @@ let decode ~id_bits b =
       let parent_id = Bitbuf.Reader.fixed r ~width:id_bits in
       { root_id; dist; parent_id })
 
-let check_tree_view ~me c ~neighbors =
-  let ( let* ) = Result.bind in
-  let* () =
-    if List.for_all (fun (_, nc) -> nc.root_id = c.root_id) neighbors then
-      Ok ()
-    else Error "root ids disagree"
-  in
-  if c.dist = 0 then
-    if c.root_id <> me then Error "distance 0 but not the claimed root"
-    else if c.parent_id <> me then Error "root must be its own parent"
-    else Ok ()
-  else
-    let* () =
-      if c.root_id = me then Error "claimed root has nonzero distance"
-      else Ok ()
-    in
-    match List.find_opt (fun (nid, _) -> nid = c.parent_id) neighbors with
-    | None -> Error "parent is not a neighbor"
-    | Some (_, pc) ->
-        if pc.dist = c.dist - 1 then Ok ()
-        else Error "parent distance is not mine minus one"
-
 (* Build certificates from a BFS spanning tree. *)
 let tree_certs (inst : Instance.t) root =
   let sp = Spanning.bfs inst.graph ~root in
@@ -47,78 +25,116 @@ let tree_certs (inst : Instance.t) root =
           (if v = root then inst.ids.(root) else inst.ids.(sp.parent.(v)));
       })
 
-let decode_view (view : Scheme.view) =
-  let id_bits = view.id_bits in
-  match decode ~id_bits view.cert with
-  | None -> Error "malformed certificate"
-  | Some mine ->
-      let rec decode_all = function
-        | [] -> Ok []
-        | (nid, c) :: rest -> (
-            match decode ~id_bits c with
-            | None -> Error "malformed neighbor certificate"
-            | Some nc ->
-                Result.map (fun tail -> (nid, nc) :: tail) (decode_all rest))
-      in
-      Result.map (fun nbrs -> (mine, nbrs)) (decode_all view.nbrs)
+(* ------------------------------------------------------------------ *)
+(* Lowered checkers.  Decoding is total (malformed = None); the check
+   stage runs on pre-decoded certificates and is shared verbatim by
+   the interpreted verifier and the compiled engine path, so the two
+   agree on every verdict by construction.                            *)
+
+let any_malformed nbrs =
+  let n = Array.length nbrs in
+  let rec go i =
+    if i >= n then false
+    else match snd nbrs.(i) with None -> true | Some _ -> go (i + 1)
+  in
+  go 0
+
+(* [proj] extracts the embedded tree certificate from a decoded (and
+   known well-formed) neighbor value. *)
+let check_tree_arr ~me c nbrs ~proj =
+  let n = Array.length nbrs in
+  let nth i = proj (snd nbrs.(i)) in
+  let rec roots_ok i =
+    i >= n || ((nth i).root_id = c.root_id && roots_ok (i + 1))
+  in
+  if not (roots_ok 0) then Error "root ids disagree"
+  else if c.dist = 0 then
+    if c.root_id <> me then Error "distance 0 but not the claimed root"
+    else if c.parent_id <> me then Error "root must be its own parent"
+    else Ok ()
+  else if c.root_id = me then Error "claimed root has nonzero distance"
+  else begin
+    let rec find i =
+      if i >= n then -1
+      else if fst nbrs.(i) = c.parent_id then i
+      else find (i + 1)
+    in
+    match find 0 with
+    | -1 -> Error "parent is not a neighbor"
+    | i ->
+        if (nth i).dist = c.dist - 1 then Ok ()
+        else Error "parent distance is not mine minus one"
+  end
+
+let opt_cert = function Some c -> c | None -> assert false
+
+let check_tree_view ~me c ~neighbors =
+  check_tree_arr ~me c (Array.of_list neighbors) ~proj:Fun.id
+
+let tree_check ~me mine nbrs : Scheme.verdict =
+  match mine with
+  | None -> Reject "malformed certificate"
+  | Some c ->
+      if any_malformed nbrs then Reject "malformed neighbor certificate"
+      else (
+        match check_tree_arr ~me c nbrs ~proj:opt_cert with
+        | Ok () -> Accept
+        | Error e -> Reject e)
+
+let tree_lowering : cert option Scheme.lowering =
+  {
+    decode = (fun ~id_bits c -> decode ~id_bits c);
+    check = (fun ~id_bits:_ ~me ~label:_ mine nbrs -> tree_check ~me mine nbrs);
+  }
 
 let scheme ?(root = 0) () =
-  {
-    Scheme.name = "spanning-tree";
-    prover =
-      (fun inst ->
-        if Graph.is_connected inst.graph then
-          Some
-            (Array.map
-               (encode ~id_bits:inst.id_bits)
-               (tree_certs inst root))
-        else None);
-    verifier =
-      (fun view ->
-        match decode_view view with
+  Scheme.of_lowering ~name:"spanning-tree"
+    ~prover:(fun inst ->
+      if Graph.is_connected inst.Instance.graph then
+        Some
+          (Array.map
+             (encode ~id_bits:inst.Instance.id_bits)
+             (tree_certs inst root))
+      else None)
+    tree_lowering
+
+let acyclicity_check ~me mine nbrs : Scheme.verdict =
+  match mine with
+  | None -> Reject "malformed certificate"
+  | Some c ->
+      if any_malformed nbrs then Reject "malformed neighbor certificate"
+      else (
+        match check_tree_arr ~me c nbrs ~proj:opt_cert with
         | Error e -> Reject e
-        | Ok (mine, nbrs) -> (
-            match check_tree_view ~me:view.me mine ~neighbors:nbrs with
-            | Ok () -> Accept
-            | Error e -> Reject e));
-  }
+        | Ok () ->
+            (* every edge must be a tree edge: each neighbor is my
+               parent (dist-1, and I claim it) or my child (dist+1,
+               and it claims me) *)
+            let n = Array.length nbrs in
+            let rec all_tree i =
+              if i >= n then true
+              else
+                let nid = fst nbrs.(i) in
+                let nc = opt_cert (snd nbrs.(i)) in
+                let is_parent = nc.dist = c.dist - 1 && c.parent_id = nid in
+                let is_child = nc.dist = c.dist + 1 && nc.parent_id = me in
+                (is_parent || is_child) && all_tree (i + 1)
+            in
+            if all_tree 0 then Accept else Reject "non-tree edge detected")
 
 let acyclicity =
-  {
-    Scheme.name = "acyclicity";
-    prover =
-      (fun inst ->
-        if Graph.is_tree inst.graph then
-          Some
-            (Array.map (encode ~id_bits:inst.id_bits) (tree_certs inst 0))
-        else None);
-    verifier =
-      (fun view ->
-        match decode_view view with
-        | Error e -> Reject e
-        | Ok (mine, nbrs) -> (
-            match check_tree_view ~me:view.me mine ~neighbors:nbrs with
-            | Error e -> Reject e
-            | Ok () ->
-                (* every edge must be a tree edge: each neighbor is my
-                   parent (dist-1, and I claim it) or my child (dist+1,
-                   and it claims me) *)
-                let bad =
-                  List.find_opt
-                    (fun (nid, nc) ->
-                      let is_parent =
-                        nc.dist = mine.dist - 1 && mine.parent_id = nid
-                      in
-                      let is_child =
-                        nc.dist = mine.dist + 1 && nc.parent_id = view.me
-                      in
-                      not (is_parent || is_child))
-                    nbrs
-                in
-                (match bad with
-                | None -> Accept
-                | Some _ -> Reject "non-tree edge detected")));
-  }
+  Scheme.of_lowering ~name:"acyclicity"
+    ~prover:(fun inst ->
+      if Graph.is_tree inst.Instance.graph then
+        Some
+          (Array.map (encode ~id_bits:inst.Instance.id_bits) (tree_certs inst 0))
+      else None)
+    {
+      Scheme.decode = (fun ~id_bits c -> decode ~id_bits c);
+      check =
+        (fun ~id_bits:_ ~me ~label:_ mine nbrs ->
+          acyclicity_check ~me mine nbrs);
+    }
 
 (* Vertex count: spanning-tree certificate extended with the subtree
    size and the claimed global total. *)
@@ -149,131 +165,101 @@ let count_certs (inst : Instance.t) root =
   Array.init (Instance.n inst) (fun v ->
       { tree = base.(v); size = sizes.(v); total = Instance.n inst })
 
-let vertex_count ?(root = 0) ~expected pred_name =
-  let verifier (view : Scheme.view) : Scheme.verdict =
-    let id_bits = view.id_bits in
-    match decode_count ~id_bits view.cert with
-    | None -> Reject "malformed certificate"
-    | Some mine -> (
-        let nbrs =
-          List.map (fun (nid, c) -> (nid, decode_count ~id_bits c)) view.nbrs
+let count_tree = function Some c -> c.tree | None -> assert false
+
+let count_check ~total_pred ~local ~root_check ~me mine nbrs : Scheme.verdict =
+  match mine with
+  | None -> Reject "malformed certificate"
+  | Some mine -> (
+      if any_malformed nbrs then Reject "malformed neighbor certificate"
+      else
+        let n = Array.length nbrs in
+        let nth i =
+          match snd nbrs.(i) with Some c -> c | None -> assert false
         in
-        if List.exists (fun (_, c) -> c = None) nbrs then
-          Reject "malformed neighbor certificate"
-        else
-          let nbrs = List.map (fun (nid, c) -> (nid, Option.get c)) nbrs in
-          let tree_nbrs = List.map (fun (nid, c) -> (nid, c.tree)) nbrs in
-          match check_tree_view ~me:view.me mine.tree ~neighbors:tree_nbrs with
-          | Error e -> Reject e
-          | Ok () ->
-              if List.exists (fun (_, c) -> c.total <> mine.total) nbrs then
-                Reject "totals disagree"
-              else begin
-                let children_sum =
-                  List.fold_left
-                    (fun acc (_, c) ->
-                      if
-                        c.tree.parent_id = view.me
-                        && c.tree.dist = mine.tree.dist + 1
-                      then acc + c.size
-                      else acc)
-                    0 nbrs
-                in
-                if mine.size <> children_sum + 1 then
-                  Reject "subtree size does not match children"
-                else if mine.tree.dist = 0 && mine.size <> mine.total then
-                  Reject "root size differs from claimed total"
-                else if mine.tree.dist = 0 && not (expected mine.total) then
-                  Reject "total fails the predicate"
-                else Accept
-              end)
-  in
+        match check_tree_arr ~me mine.tree nbrs ~proj:count_tree with
+        | Error e -> Reject e
+        | Ok () ->
+            let rec totals_ok i =
+              i >= n || ((nth i).total = mine.total && totals_ok (i + 1))
+            in
+            if not (totals_ok 0) then Reject "totals disagree"
+            else begin
+              let children_sum = ref 0 in
+              for i = 0 to n - 1 do
+                let c = nth i in
+                if c.tree.parent_id = me && c.tree.dist = mine.tree.dist + 1
+                then children_sum := !children_sum + c.size
+              done;
+              if mine.size <> !children_sum + 1 then
+                Reject "subtree size does not match children"
+              else if mine.tree.dist = 0 && mine.size <> mine.total then
+                Reject "root size differs from claimed total"
+              else if mine.tree.dist = 0 && not (total_pred mine.total) then
+                Reject "total fails the predicate"
+              else if not (local ~total:mine.total ~me ~degree:n) then
+                Reject "local degree check failed"
+              else if
+                mine.tree.dist = 0
+                && not (root_check ~total:mine.total ~degree:n)
+              then Reject "root check failed"
+              else Accept
+            end)
+
+let count_lowering ~total_pred ~local ~root_check :
+    count_cert option Scheme.lowering =
   {
-    Scheme.name = Printf.sprintf "vertex-count[%s]" pred_name;
-    prover =
-      (fun inst ->
-        if Graph.is_connected inst.graph && expected (Instance.n inst) then
-          Some
-            (Array.map (encode_count ~id_bits:inst.id_bits) (count_certs inst root))
-        else None);
-    verifier;
+    decode = (fun ~id_bits c -> decode_count ~id_bits c);
+    check =
+      (fun ~id_bits:_ ~me ~label:_ mine nbrs ->
+        count_check ~total_pred ~local ~root_check ~me mine nbrs);
   }
+
+let always_local ~total:_ ~me:_ ~degree:_ = true
+let always_root ~total:_ ~degree:_ = true
+
+let vertex_count ?(root = 0) ~expected pred_name =
+  Scheme.of_lowering
+    ~name:(Printf.sprintf "vertex-count[%s]" pred_name)
+    ~prover:(fun inst ->
+      if Graph.is_connected inst.Instance.graph && expected (Instance.n inst)
+      then
+        Some
+          (Array.map
+             (encode_count ~id_bits:inst.Instance.id_bits)
+             (count_certs inst root))
+      else None)
+    (count_lowering ~total_pred:expected ~local:always_local
+       ~root_check:always_root)
 
 let counted ?(choose_root = fun _ -> Some 0) ~name ~total_pred ~local
     ~root_check () =
-  let verifier (view : Scheme.view) : Scheme.verdict =
-    let id_bits = view.id_bits in
-    match decode_count ~id_bits view.cert with
-    | None -> Reject "malformed certificate"
-    | Some mine -> (
-        let nbrs =
-          List.map (fun (nid, c) -> (nid, decode_count ~id_bits c)) view.nbrs
-        in
-        if List.exists (fun (_, c) -> c = None) nbrs then
-          Reject "malformed neighbor certificate"
-        else
-          let nbrs = List.map (fun (nid, c) -> (nid, Option.get c)) nbrs in
-          let tree_nbrs = List.map (fun (nid, c) -> (nid, c.tree)) nbrs in
-          match check_tree_view ~me:view.me mine.tree ~neighbors:tree_nbrs with
-          | Error e -> Reject e
-          | Ok () ->
-              if List.exists (fun (_, c) -> c.total <> mine.total) nbrs then
-                Reject "totals disagree"
-              else begin
-                let children_sum =
-                  List.fold_left
-                    (fun acc (_, c) ->
-                      if
-                        c.tree.parent_id = view.me
-                        && c.tree.dist = mine.tree.dist + 1
-                      then acc + c.size
-                      else acc)
-                    0 nbrs
-                in
-                let degree = List.length view.nbrs in
-                if mine.size <> children_sum + 1 then
-                  Reject "subtree size does not match children"
-                else if mine.tree.dist = 0 && mine.size <> mine.total then
-                  Reject "root size differs from claimed total"
-                else if mine.tree.dist = 0 && not (total_pred mine.total) then
-                  Reject "total fails the predicate"
-                else if not (local ~total:mine.total ~me:view.me ~degree) then
-                  Reject "local degree check failed"
-                else if
-                  mine.tree.dist = 0 && not (root_check ~total:mine.total ~degree)
-                then Reject "root check failed"
-                else Accept
-              end)
-  in
-  {
-    Scheme.name = name;
-    prover =
-      (fun inst ->
-        let g = inst.Instance.graph in
-        if not (Graph.is_connected g) then None
-        else
-          match choose_root g with
-          | None -> None
-          | Some root ->
-              let n = Instance.n inst in
-              let ok =
-                total_pred n
-                && Graph.fold_vertices
-                     (fun v acc ->
-                       acc
-                       && local ~total:n ~me:inst.Instance.ids.(v)
-                            ~degree:(Graph.degree g v))
-                     g true
-                && root_check ~total:n ~degree:(Graph.degree g root)
-              in
-              if ok then
-                Some
-                  (Array.map
-                     (encode_count ~id_bits:inst.Instance.id_bits)
-                     (count_certs inst root))
-              else None);
-    verifier;
-  }
+  Scheme.of_lowering ~name
+    ~prover:(fun inst ->
+      let g = inst.Instance.graph in
+      if not (Graph.is_connected g) then None
+      else
+        match choose_root g with
+        | None -> None
+        | Some root ->
+            let n = Instance.n inst in
+            let ok =
+              total_pred n
+              && Graph.fold_vertices
+                   (fun v acc ->
+                     acc
+                     && local ~total:n ~me:inst.Instance.ids.(v)
+                          ~degree:(Graph.degree g v))
+                   g true
+              && root_check ~total:n ~degree:(Graph.degree g root)
+            in
+            if ok then
+              Some
+                (Array.map
+                   (encode_count ~id_bits:inst.Instance.id_bits)
+                   (count_certs inst root))
+            else None)
+    (count_lowering ~total_pred ~local ~root_check)
 
 let count_cert_size inst =
   let certs = count_certs inst 0 in

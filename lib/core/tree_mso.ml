@@ -83,74 +83,103 @@ let prover_certs ?state_bits (inst : Instance.t) (auto : TA.t) roots =
                encode ~state_bits:sb
                  { dist3 = dist.(v) mod 3; state = states.(v); fingerprint = fp }))
 
-let verifier ~state_bits (auto : TA.t) (view : Scheme.view) : Scheme.verdict =
+(* The lowered checker.  Certificates decode (totally) to [cert
+   option]; the check stage walks the pre-decoded neighbor array with
+   counters instead of building filtered lists.  For unlabeled trees
+   (label 0, the common case) the child-state transition goes through a
+   precomputed flat table (one saturating add per child, no
+   allocation); any out-of-range state falls back to the exact
+   [delta].  Both the interpreted verifier and the compiled engine path
+   run this same [check], so their verdicts agree by construction. *)
+
+let nbr_cert (nbr : int * cert option) =
+  match snd nbr with Some c -> c | None -> assert false
+
+let lowering ~state_bits (auto : TA.t) : cert option Scheme.lowering =
   let fp = fingerprint auto in
-  match decode ~state_bits view.cert with
-  | None -> Reject "malformed certificate"
-  | Some mine -> (
-      if mine.fingerprint <> fp then Reject "automaton fingerprint mismatch"
-      else if mine.dist3 > 2 then Reject "invalid mod-3 distance"
-      else
-        let nbrs = List.map (fun (_, c) -> decode ~state_bits c) view.nbrs in
-        if List.exists (fun c -> c = None) nbrs then
-          Reject "malformed neighbor certificate"
+  let table0 = TA.tabulate auto ~label:0 in
+  let slow_transition ~label ~down nbrs =
+    let states = ref [] in
+    for i = Array.length nbrs - 1 downto 0 do
+      let c = nbr_cert nbrs.(i) in
+      if c.dist3 = down then states := c.state :: !states
+    done;
+    auto.TA.delta ~label ~counts:(TA.counts_of_list !states)
+  in
+  let transition ~label ~down nbrs =
+    match table0 with
+    | Some tbl when label = 0 ->
+        let n = Array.length nbrs in
+        let packed = ref 0 in
+        let i = ref 0 in
+        while !packed >= 0 && !i < n do
+          let c = nbr_cert nbrs.(!i) in
+          if c.dist3 = down then packed := TA.table_add tbl !packed c.state;
+          incr i
+        done;
+        if !packed >= 0 then TA.table_delta tbl !packed
+        else slow_transition ~label ~down nbrs
+    | _ -> slow_transition ~label ~down nbrs
+  in
+  let check ~id_bits:_ ~me:_ ~label mine nbrs : Scheme.verdict =
+    match mine with
+    | None -> Reject "malformed certificate"
+    | Some mine ->
+        if mine.fingerprint <> fp then Reject "automaton fingerprint mismatch"
+        else if mine.dist3 > 2 then Reject "invalid mod-3 distance"
         else
-          let nbrs = List.map Option.get nbrs in
-          if List.exists (fun c -> c.fingerprint <> fp) nbrs then
-            Reject "neighbor fingerprint mismatch"
-          else begin
-            let up = (mine.dist3 + 2) mod 3 and down = (mine.dist3 + 1) mod 3 in
-            let parents = List.filter (fun c -> c.dist3 = up) nbrs in
-            let children = List.filter (fun c -> c.dist3 = down) nbrs in
-            if List.length parents + List.length children <> List.length nbrs
-            then Reject "neighbor at my own mod-3 distance"
-            else
-              match parents with
-              | _ :: _ :: _ -> Reject "two parents"
-              | [ _ ] ->
-                  (* internal vertex: transition check *)
-                  let expected =
-                    auto.TA.delta ~label:view.label
-                      ~counts:
-                        (TA.counts_of_list (List.map (fun c -> c.state) children))
-                  in
-                  if expected <> mine.state then
-                    Reject "state is not the transition of the children states"
-                  else Accept
-              | [] ->
-                  (* root *)
-                  if mine.dist3 <> 0 then Reject "root must have distance 0"
-                  else
-                    let expected =
-                      auto.TA.delta ~label:view.label
-                        ~counts:
-                          (TA.counts_of_list
-                             (List.map (fun c -> c.state) children))
-                    in
-                    if expected <> mine.state then
-                      Reject "root state is not the transition of the children"
-                    else if not (auto.TA.accepting mine.state) then
-                      Reject "root state is not accepting"
-                    else Accept
-          end)
+          let n = Array.length nbrs in
+          let rec malformed i =
+            i < n
+            &&
+            match snd nbrs.(i) with None -> true | Some _ -> malformed (i + 1)
+          in
+          if malformed 0 then Reject "malformed neighbor certificate"
+          else
+            let rec bad_fp i =
+              i < n && ((nbr_cert nbrs.(i)).fingerprint <> fp || bad_fp (i + 1))
+            in
+            if bad_fp 0 then Reject "neighbor fingerprint mismatch"
+            else begin
+              let up = (mine.dist3 + 2) mod 3
+              and down = (mine.dist3 + 1) mod 3 in
+              let parents = ref 0 and children = ref 0 in
+              for i = 0 to n - 1 do
+                let c = nbr_cert nbrs.(i) in
+                if c.dist3 = up then incr parents
+                else if c.dist3 = down then incr children
+              done;
+              if !parents + !children <> n then
+                Reject "neighbor at my own mod-3 distance"
+              else if !parents >= 2 then Reject "two parents"
+              else if !parents = 1 then
+                if transition ~label ~down nbrs <> mine.state then
+                  Reject "state is not the transition of the children states"
+                else Accept
+              else if mine.dist3 <> 0 then Reject "root must have distance 0"
+              else if transition ~label ~down nbrs <> mine.state then
+                Reject "root state is not the transition of the children"
+              else if not (auto.TA.accepting mine.state) then
+                Reject "root state is not accepting"
+              else Accept
+            end
+  in
+  { decode = (fun ~id_bits:_ c -> decode ~state_bits c); check }
 
 let make ?state_bits auto =
   let sb = match state_bits with Some b -> b | None -> default_state_bits auto in
-  {
-    Scheme.name = "tree-mso[" ^ auto.TA.name ^ "]";
-    prover =
-      (fun inst ->
-        prover_certs ~state_bits:sb inst auto (Graph.vertices inst.Instance.graph));
-    verifier = verifier ~state_bits:sb auto;
-  }
+  Scheme.of_lowering
+    ~name:("tree-mso[" ^ auto.TA.name ^ "]")
+    ~prover:(fun inst ->
+      prover_certs ~state_bits:sb inst auto (Graph.vertices inst.Instance.graph))
+    (lowering ~state_bits:sb auto)
 
 let make_with_root ?state_bits ~root auto =
   let sb = match state_bits with Some b -> b | None -> default_state_bits auto in
-  {
-    Scheme.name = Printf.sprintf "tree-mso[%s]@%d" auto.TA.name root;
-    prover = (fun inst -> prover_certs ~state_bits:sb inst auto [ root ]);
-    verifier = verifier ~state_bits:sb auto;
-  }
+  Scheme.of_lowering
+    ~name:(Printf.sprintf "tree-mso[%s]@%d" auto.TA.name root)
+    ~prover:(fun inst -> prover_certs ~state_bits:sb inst auto [ root ])
+    (lowering ~state_bits:sb auto)
 
 (* The literal certificate of Appendix C.1: mod-3 counter, automaton
    description (the encoded UOP table), and run state. *)
@@ -229,7 +258,12 @@ let make_table table =
                   Reject "root state not accepting"
                 else Accept)
   in
-  { Scheme.name = "tree-mso-table[" ^ table.U.name ^ "]"; prover; verifier }
+  {
+    Scheme.name = "tree-mso-table[" ^ table.U.name ^ "]";
+    prover;
+    verifier;
+    compiled = None;
+  }
 
 let with_tree_promise_check scheme =
   Scheme.conjoin

@@ -86,6 +86,7 @@ let make ~name p =
         end
         else None);
     verifier;
+    compiled = None;
   }
 
 let of_formula phi = make ~name:(Formula.to_string phi) (fun g -> Eval.sentence g phi)

@@ -5,16 +5,23 @@ let with_pool_arg ?pool ?jobs f =
 
 (* Chunks per domain for vertex sharding: enough slack that one slow
    chunk (an expensive verifier hitting a cold memo) load-balances, not
-   so many that counter traffic shows up at small n. *)
+   so many that counter traffic shows up at small n.  The floor keeps
+   the chunk count identical for every pool size up to 8: per-chunk
+   overhead is then a constant of the sweep, not a function of
+   [--jobs], which would otherwise tilt a sub-millisecond jobs ladder
+   all by itself. *)
 let chunk_factor = 8
+let chunk_floor = 64
 
 let run_par ?pool ?jobs ?(early_exit = false) scheme inst certs =
   with_pool_arg ?pool ?jobs (fun pool ->
       Span.with_ "run_par" @@ fun () ->
       let n = Graph.n inst.Instance.graph in
-      let chunks = max 1 (min n (Pool.size pool * chunk_factor)) in
+      let chunks =
+        max 1 (min n (max chunk_floor (Pool.size pool * chunk_factor)))
+      in
       (* chunk geometry is a pure function of (n, pool size) — stable
-         for a fixed command line, but a different [--jobs] changes it,
+         for a fixed command line, but a [--jobs] above 8 changes it,
          so it is segregated into the approx section to keep the
          deterministic section jobs-invariant *)
       if Metrics.is_enabled () then begin
@@ -24,6 +31,16 @@ let run_par ?pool ?jobs ?(early_exit = false) scheme inst certs =
           Metrics.observe h (((c + 1) * n / chunks) - (c * n / chunks))
         done
       end;
+      (* The compiled fast path: decode-once, flat-array kernels
+         (Vcompile).  Falling back to the interpreted verifier when the
+         scheme has no lowering (or compilation is toggled off) keeps
+         this a drop-in — both paths produce identical outcomes. *)
+      let kernel = Vcompile.compile scheme inst certs in
+      let check =
+        match kernel with
+        | Some k -> k
+        | None -> fun v -> scheme.Scheme.verifier (Scheme.view_of inst certs v)
+      in
       let stop = Atomic.make false in
       let per_chunk =
         Pool.map_chunks pool ~chunks (fun c ->
@@ -33,14 +50,16 @@ let run_par ?pool ?jobs ?(early_exit = false) scheme inst certs =
             (* Only [Exit] (the early-exit signal) is caught here: a
                verifier that raises is a programming error in this
                single-assignment engine, and the exception propagates
-               through [Pool].  Exception containment lives in
-               [Runtime.run_verifier], where mangled wire data makes
-               verifier failures expected. *)
+               through [Pool].  Exception containment for compiled
+               kernels lives in [Vcompile] (non-fatal falls back to the
+               interpreted verifier per vertex); containment for wire
+               data lives in [Runtime.run_verifier], where mangled
+               deliveries make verifier failures expected. *)
             (try
                (* downto, so consing leaves the list vertex-ascending *)
                for v = hi - 1 downto lo do
                  if early_exit && Atomic.get stop then raise Exit;
-                 match scheme.Scheme.verifier (Scheme.view_of inst certs v) with
+                 match check v with
                  | Scheme.Accept -> ()
                  | Scheme.Reject reason ->
                      rejections := (v, reason) :: !rejections;
@@ -61,8 +80,11 @@ let run_par ?pool ?jobs ?(early_exit = false) scheme inst certs =
         }
       in
       Scheme.record_outcome scheme ~early_exit outcome;
-      if (not early_exit) && Metrics.is_enabled () then
+      if (not early_exit) && Metrics.is_enabled () then begin
         Metrics.add (Metrics.counter "engine.vertices_verified") n;
+        if Option.is_some kernel then
+          Metrics.add (Metrics.counter "engine.compiled_hits") n
+      end;
       outcome)
 
 (* Trials per Rng stream.  Any constant works; it only trades stream

@@ -5,10 +5,23 @@
    it enqueues one "drain" task per worker and lets every participant —
    workers and the calling domain alike — claim chunk indices from an
    atomic counter.  That keeps queue traffic at O(workers) per region
-   while chunk claiming stays lock-free. *)
+   while chunk claiming stays lock-free.
+
+   [jobs] is the pool's *logical* size: chunk geometry (and hence the
+   deterministic chunk boundaries the engine exposes) is derived from
+   it.  The number of domains actually spawned is clamped to the
+   hardware ([Domain.recommended_domain_count]).  Runnable domains in
+   excess of cores are pure overhead in OCaml 5: every minor
+   collection is a stop-the-world rendezvous, and a runnable but
+   descheduled domain stalls the rendezvous for up to a scheduling
+   quantum, so oversubscribed pools run *slower* than sequential
+   sweeps.  Clamping keeps `--jobs 8` on a small machine semantically
+   identical (same chunks, same results) while executing with only as
+   much parallelism as the hardware can hold. *)
 
 type t = {
-  jobs : int;
+  jobs : int; (* logical size: drives chunk geometry *)
+  worker_count : int; (* physical helper domains actually spawned *)
   queue : (unit -> unit) Queue.t;
   m : Mutex.t;
   cv : Condition.t;
@@ -54,9 +67,15 @@ let create ?jobs () =
         if j > 128 then invalid_arg "Pool.create: more than 128 jobs";
         max 1 j
   in
+  (* The calling domain participates in every region, so a machine
+     with c cores supports at most c - 1 helpers. *)
+  let worker_count =
+    max 0 (min jobs (Domain.recommended_domain_count ()) - 1)
+  in
   let t =
     {
       jobs;
+      worker_count;
       queue = Queue.create ();
       m = Mutex.create ();
       cv = Condition.create ();
@@ -64,7 +83,8 @@ let create ?jobs () =
       workers = [];
     }
   in
-  t.workers <- List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker i t));
+  t.workers <-
+    List.init worker_count (fun i -> Domain.spawn (fun () -> worker i t));
   t
 
 let size t = t.jobs
@@ -104,7 +124,7 @@ let submit_batch t count task =
 let map_chunks (type a) t ~chunks (f : int -> a) : a array =
   if chunks < 0 then invalid_arg "Pool.map_chunks: negative chunk count";
   if chunks = 0 then [||]
-  else if t.jobs = 1 || chunks = 1 then begin
+  else if t.worker_count = 0 || chunks = 1 then begin
     if t.stopped then invalid_arg "Pool: already shut down";
     Array.init chunks f
   end
@@ -133,7 +153,7 @@ let map_chunks (type a) t ~chunks (f : int -> a) : a array =
       claim ()
     in
     (* Never more helpers than chunks; the caller is one participant. *)
-    let helpers = min (t.jobs - 1) (chunks - 1) in
+    let helpers = min t.worker_count (chunks - 1) in
     submit_batch t helpers drain;
     drain ();
     Mutex.lock done_m;

@@ -16,9 +16,13 @@ let chunk_factor = 8
    neighborhood crashed or whose certificate was mangled must never
    take the simulator down — but let fatal/programming-error
    exceptions (OOM, stack overflow, tripped assertions) escape: those
-   mean the process is broken, not that a fault was detected. *)
-let run_verifier scheme view =
-  match scheme.Scheme.verifier view with
+   mean the process is broken, not that a fault was detected.  [check]
+   is either the scheme's interpreted verifier or its compiled view
+   checker (Vcompile.view_checker) — the latter already falls back to
+   the interpreted verifier on a non-fatal failure of its own, so this
+   outer containment produces the same rejection text either way. *)
+let run_verifier check view =
+  match check view with
   | verdict -> verdict
   | exception e when not (Fatal.is_fatal e) ->
       Scheme.Reject ("verifier raised: " ^ Printexc.to_string e)
@@ -27,7 +31,7 @@ let run_verifier scheme view =
    view from the round's inbox and runs the verifier.  Verdicts come
    back in ascending vertex order (per-chunk downto + cons, chunks
    ascending), matching Scheme.run's rejection order. *)
-let verify_round ~pool ~inst ~nodes ~inboxes scheme =
+let verify_round ~pool ~inst ~nodes ~inboxes check =
   let n = Array.length nodes in
   let chunks = max 1 (min n (Pool.size pool * chunk_factor)) in
   let per_chunk =
@@ -38,7 +42,7 @@ let verify_round ~pool ~inst ~nodes ~inboxes scheme =
           let node = nodes.(v) in
           if node.Node.status = Node.Alive then begin
             let view = Node.view inst node ~inbox:inboxes.(v) in
-            out := (v, run_verifier scheme view) :: !out
+            out := (v, run_verifier check view) :: !out
           end
         done;
         !out)
@@ -52,7 +56,7 @@ let verify_round ~pool ~inst ~nodes ~inboxes scheme =
    hence outcome, rejections and trace — is identical to the full
    sweep's, per-round and byte for byte. *)
 let verify_round_incremental ~pool ~inst ~nodes ~inboxes ~cache ~first_round
-    ~events scheme =
+    ~events check =
   let graph = inst.Instance.graph in
   let cands =
     Array.of_list (Vcache.candidates cache ~graph ~first_round events)
@@ -76,7 +80,7 @@ let verify_round_incremental ~pool ~inst ~nodes ~inboxes ~cache ~first_round
                match Vcache.check cache v key with
                | Some _ -> ()
                | None ->
-                   Vcache.store cache v key (run_verifier scheme view);
+                   Vcache.store cache v key (run_verifier check view);
                    ran.(i) <- true
              end
            done));
@@ -147,12 +151,21 @@ let record_trace trace =
     | None -> ()
 
 let execute ?pool ?jobs ?(plan = Fault.none) ?(rounds = 1) ?(seed = 0)
-    ?(incremental = true) scheme inst certs =
+    ?(incremental = true) ?(compiled = true) scheme inst certs =
   if rounds < 1 then invalid_arg "Runtime.execute: rounds must be >= 1";
   if Array.length certs <> Instance.n inst then
     invalid_arg "Runtime.execute: certificate count does not match the instance";
   with_pool_arg ?pool ?jobs (fun pool ->
       Span.with_ "runtime.execute" @@ fun () ->
+      (* Inbox views carry per-delivery wire copies, so the per-domain
+         decode-cache checker is the applicable compiled form; [None]
+         (no lowering, or compilation off) keeps the interpreted
+         verifier.  Verdicts are identical either way. *)
+      let check =
+        match if compiled then Vcompile.view_checker scheme else None with
+        | Some fast -> fast
+        | None -> scheme.Scheme.verifier
+      in
       let nodes = Node.boot inst certs in
       let n = Array.length nodes in
       let cache = if incremental then Some (Vcache.create n) else None in
@@ -172,9 +185,9 @@ let execute ?pool ?jobs ?(plan = Fault.none) ?(rounds = 1) ?(seed = 0)
           match cache with
           | Some cache ->
               verify_round_incremental ~pool ~inst ~nodes ~inboxes ~cache
-                ~first_round:(r = 1) ~events scheme
+                ~first_round:(r = 1) ~events check
           | None ->
-              let verdicts = verify_round ~pool ~inst ~nodes ~inboxes scheme in
+              let verdicts = verify_round ~pool ~inst ~nodes ~inboxes check in
               let alive = List.map fst verdicts in
               (verdicts, alive, alive)
         in

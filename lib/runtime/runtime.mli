@@ -62,6 +62,7 @@ val execute :
   ?rounds:int ->
   ?seed:int ->
   ?incremental:bool ->
+  ?compiled:bool ->
   Scheme.t ->
   Instance.t ->
   Bitstring.t array ->
@@ -78,6 +79,14 @@ val execute :
     round 1, only vertices in the dirty set of the round's fault
     events are re-examined.  [~incremental:false] forces the full
     per-round sweep; results are identical either way.
+
+    [?compiled] (default [true]) runs verdicts through the scheme's
+    compiled view checker ({!Vcompile.view_checker}) when it has a
+    lowering: per-domain decode caches make repeated rounds and
+    broadcast certificates decode once instead of once per view.
+    [~compiled:false] — or a scheme without a lowering — uses the
+    interpreted verifier; outcomes and traces are identical either
+    way.
 
     A round's outcome counts the verdicts of alive, honest vertices
     only — crashed and Byzantine vertices render none.  [max_bits]

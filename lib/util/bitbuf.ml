@@ -132,21 +132,83 @@ module Reader = struct
       !n
     end
 
-  let nat r =
-    let zeros = ref 0 in
-    while not (bit r) do
-      incr zeros;
-      if !zeros > 62 then fail "nat: unreasonable length"
-    done;
-    (* We consumed the leading 1 of the value; read the remaining
-       [zeros] bits. *)
-    if !zeros = 0 then 0
+  (* Bit length of [v > 0]. *)
+  let bitlen v =
+    let n = ref 0 and v = ref v in
+    if !v lsr 32 <> 0 then begin
+      n := !n + 32;
+      v := !v lsr 32
+    end;
+    if !v lsr 16 <> 0 then begin
+      n := !n + 16;
+      v := !v lsr 16
+    end;
+    if !v lsr 8 <> 0 then begin
+      n := !n + 8;
+      v := !v lsr 8
+    end;
+    if !v lsr 4 <> 0 then begin
+      n := !n + 4;
+      v := !v lsr 4
+    end;
+    if !v lsr 2 <> 0 then begin
+      n := !n + 2;
+      v := !v lsr 2
+    end;
+    if !v lsr 1 <> 0 then incr n;
+    !n + 1
+
+  (* Slow continuation once the zero-run length [k] is known but the
+     value bits run past the peeked window: the leading 1 sits at
+     [pos + k], the remaining [k] bits follow it. *)
+  let nat_finish r k =
+    if r.pos + (2 * k) + 1 > Bitstring.length r.src then
+      fail "truncated certificate";
+    let rest = Bitstring.unsafe_extract r.src ~pos:(r.pos + k + 1) ~width:k in
+    r.pos <- r.pos + (2 * k) + 1;
+    ((1 lsl k) lor rest) - 1
+
+  (* Gamma decoding bit-by-bit costs one bounds-checked [Bitstring.get]
+     per leading zero — the hot cost of every certificate decode.  Peek
+     one word-sized window instead: the zero-run length falls out of
+     the window's bit length, and for small values (the common case)
+     the value bits are already in the window too, making the whole
+     decode two arithmetic steps on one extract. *)
+  let nat_window r avail =
+    let m = if avail < 62 then avail else 62 in
+    let w = Bitstring.unsafe_extract r.src ~pos:r.pos ~width:m in
+    if w = 0 then
+      if avail <= 62 then fail "truncated certificate"
+      else if Bitstring.get r.src (r.pos + 62) then nat_finish r 62
+      else fail "nat: unreasonable length"
     else begin
-      let k = !zeros in
-      if r.pos + k > Bitstring.length r.src then fail "truncated certificate";
-      let rest = Bitstring.unsafe_extract r.src ~pos:r.pos ~width:k in
-      r.pos <- r.pos + k;
-      ((1 lsl k) lor rest) - 1
+      let k = m - bitlen w in
+      if (2 * k) + 1 <= m then begin
+        let value = (w lsr (m - ((2 * k) + 1))) land ((1 lsl (k + 1)) - 1) in
+        r.pos <- r.pos + (2 * k) + 1;
+        value - 1
+      end
+      else nat_finish r k
+    end
+
+  let nat r =
+    let avail = Bitstring.length r.src - r.pos in
+    if avail <= 0 then fail "truncated certificate";
+    (* one-byte peek first: gamma codes of values < 16 (the vast
+       majority — list lengths, small distances, annotations) resolve
+       inside it, and a byte window is a one-iteration extract *)
+    let m1 = if avail < 8 then avail else 8 in
+    let w1 = Bitstring.unsafe_extract r.src ~pos:r.pos ~width:m1 in
+    if w1 = 0 then
+      if m1 = avail then fail "truncated certificate" else nat_window r avail
+    else begin
+      let k = m1 - bitlen w1 in
+      if (2 * k) + 1 <= m1 then begin
+        let value = (w1 lsr (m1 - ((2 * k) + 1))) land ((1 lsl (k + 1)) - 1) in
+        r.pos <- r.pos + (2 * k) + 1;
+        value - 1
+      end
+      else nat_window r avail
     end
 
   let int r =

@@ -1,15 +1,15 @@
-type row = {
+type jrow = { jobs : int; verify_ms : float; verts_per_sec : float }
+
+type group = {
   n : int;
-  jobs : int;
   prover_ms : float;
-  verify_ms : float;
-  verts_per_sec : float;
   minor_words : float;
   interned_ratio : float;
   memo_hit_ratio : float option;
+  rows : jrow list;
 }
 
-type series = { scheme : string; rows : row list }
+type series = { scheme : string; groups : group list }
 type doc = { smoke : bool; series : series list }
 
 (* ------------------------------------------------------------------ *)
@@ -21,30 +21,43 @@ type doc = { smoke : bool; series : series list }
 let escape = Json.escape
 let num = Json.num
 
-let render_row b r =
+let render_jrow b (r : jrow) =
+  Buffer.add_string b
+    (Printf.sprintf "{ \"jobs\": %d, \"verify_ms\": %s, \"verts_per_sec\": %s }"
+       r.jobs (num r.verify_ms) (num r.verts_per_sec))
+
+let render_group b (g : group) =
   Buffer.add_string b
     (Printf.sprintf
-       "      { \"n\": %d, \"jobs\": %d, \"prover_ms\": %s, \"verify_ms\": \
-        %s, \"verts_per_sec\": %s, \"minor_words\": %s, \"interned_ratio\": \
-        %s"
-       r.n r.jobs (num r.prover_ms) (num r.verify_ms) (num r.verts_per_sec)
-       (num r.minor_words) (num r.interned_ratio));
-  (match r.memo_hit_ratio with
+       "      {\n\
+       \        \"n\": %d,\n\
+       \        \"prover_ms\": %s,\n\
+       \        \"minor_words\": %s,\n\
+       \        \"interned_ratio\": %s,\n"
+       g.n (num g.prover_ms) (num g.minor_words) (num g.interned_ratio));
+  (match g.memo_hit_ratio with
   | None -> ()
   | Some m ->
-      Buffer.add_string b (Printf.sprintf ", \"memo_hit_ratio\": %s" (num m)));
-  Buffer.add_string b " }"
-
-let render_series b s =
-  Buffer.add_string b
-    (Printf.sprintf "    {\n      \"scheme\": \"%s\",\n      \"rows\": [\n"
-       (escape s.scheme));
+      Buffer.add_string b
+        (Printf.sprintf "        \"memo_hit_ratio\": %s,\n" (num m)));
+  Buffer.add_string b "        \"rows\": [\n";
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_string b ",\n";
-      Buffer.add_string b "  ";
-      render_row b r)
-    s.rows;
+      Buffer.add_string b "          ";
+      render_jrow b r)
+    g.rows;
+  Buffer.add_string b "\n        ]\n      }"
+
+let render_series b s =
+  Buffer.add_string b
+    (Printf.sprintf "    {\n      \"scheme\": \"%s\",\n      \"groups\": [\n"
+       (escape s.scheme));
+  List.iteri
+    (fun i g ->
+      if i > 0 then Buffer.add_string b ",\n";
+      render_group b g)
+    s.groups;
   Buffer.add_string b "\n      ]\n    }"
 
 let render d =
@@ -106,48 +119,59 @@ let as_ratio ctx v =
   if f > 1. then raise (Bad (ctx ^ ": above 1"));
   f
 
-let decode_row j =
+let decode_jrow j =
   let o = as_obj "row" j in
-  check_fields o
-    [
-      "n";
-      "jobs";
-      "prover_ms";
-      "verify_ms";
-      "verts_per_sec";
-      "minor_words";
-      "interned_ratio";
-      "memo_hit_ratio";
-    ]
-    "row";
-  let n = as_int "n" (field o "n") in
+  check_fields o [ "jobs"; "verify_ms"; "verts_per_sec" ] "row";
   let jobs = as_int "jobs" (field o "jobs") in
-  if n <= 0 then raise (Bad "row: n must be positive");
   if jobs <= 0 then raise (Bad "row: jobs must be positive");
   {
-    n;
     jobs;
-    prover_ms = as_nonneg "prover_ms" (field o "prover_ms");
     verify_ms = as_nonneg "verify_ms" (field o "verify_ms");
     verts_per_sec = as_nonneg "verts_per_sec" (field o "verts_per_sec");
+  }
+
+let decode_group j =
+  let o = as_obj "group" j in
+  check_fields o
+    [
+      "n"; "prover_ms"; "minor_words"; "interned_ratio"; "memo_hit_ratio"; "rows";
+    ]
+    "group";
+  let n = as_int "n" (field o "n") in
+  if n <= 0 then raise (Bad "group: n must be positive");
+  let rows = List.map decode_jrow (as_arr "rows" (field o "rows")) in
+  if rows = [] then raise (Bad (Printf.sprintf "group n=%d: no rows" n));
+  (* one measurement per job count: a duplicate would make the jobs
+     ladder — and the monotone guard over it — ambiguous *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (r : jrow) ->
+      if Hashtbl.mem seen r.jobs then
+        raise (Bad (Printf.sprintf "group n=%d: duplicate jobs=%d" n r.jobs));
+      Hashtbl.add seen r.jobs ())
+    rows;
+  {
+    n;
+    prover_ms = as_nonneg "prover_ms" (field o "prover_ms");
     minor_words = as_nonneg "minor_words" (field o "minor_words");
     interned_ratio = as_ratio "interned_ratio" (field o "interned_ratio");
     memo_hit_ratio =
       Option.map (as_ratio "memo_hit_ratio") (List.assoc_opt "memo_hit_ratio" o);
+    rows;
   }
 
 let decode_series j =
   let o = as_obj "series" j in
-  check_fields o [ "scheme"; "rows" ] "series";
+  check_fields o [ "scheme"; "groups" ] "series";
   let scheme =
     match field o "scheme" with
     | Json.Str s when s <> "" -> s
     | Json.Str _ -> raise (Bad "series: empty scheme name")
     | _ -> raise (Bad "series: scheme must be a string")
   in
-  let rows = List.map decode_row (as_arr "rows" (field o "rows")) in
-  if rows = [] then raise (Bad ("series " ^ scheme ^ ": no rows"));
-  { scheme; rows }
+  let groups = List.map decode_group (as_arr "groups" (field o "groups")) in
+  if groups = [] then raise (Bad ("series " ^ scheme ^ ": no groups"));
+  { scheme; groups }
 
 let decode_doc j =
   let o = as_obj "document" j in
@@ -171,3 +195,38 @@ let parse_exn s =
   match parse s with
   | Ok d -> d
   | Error msg -> invalid_arg ("Perf_schema.parse_exn: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* Jobs-ladder monotonicity.  On this artifact "more jobs" must never
+   cost wall-clock beyond the tolerance — the inverted ladder the
+   compiled verifier path fixed (DESIGN §5.5) is exactly what this
+   guard exists to catch.                                             *)
+
+let jobs_monotone ?(tolerance = 0.15) (d : doc) =
+  if tolerance < 0. then
+    invalid_arg "Perf_schema.jobs_monotone: negative tolerance";
+  let check_group scheme (g : group) acc =
+    match acc with
+    | Error _ -> acc
+    | Ok () ->
+        let rows =
+          List.sort (fun (a : jrow) b -> compare a.jobs b.jobs) g.rows
+        in
+        let rec go = function
+          | (a : jrow) :: (b :: _ as rest) ->
+              if b.verify_ms > a.verify_ms *. (1. +. tolerance) then
+                Error
+                  (Printf.sprintf
+                     "%s n=%d: verify_ms increases along the jobs ladder \
+                      (jobs=%d: %.3fms -> jobs=%d: %.3fms, tolerance %.0f%%)"
+                     scheme g.n a.jobs a.verify_ms b.jobs b.verify_ms
+                     (100. *. tolerance))
+              else go rest
+          | _ -> Ok ()
+        in
+        go rows
+  in
+  List.fold_left
+    (fun acc s ->
+      List.fold_left (fun acc g -> check_group s.scheme g acc) acc s.groups)
+    (Ok ()) d.series

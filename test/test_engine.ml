@@ -50,6 +50,7 @@ let length_scheme d =
       (fun view ->
         if Bitstring.length view.Scheme.cert >= d then Scheme.Accept
         else Scheme.Reject "certificate too short");
+    compiled = None;
   }
 
 let even_count =
@@ -296,6 +297,68 @@ let attack_par_sound_scheme () =
       check_int "full budget" 300 r.Attack.trials)
     [ pool1; pool4 ]
 
+(* ------------------------------------------------------------------ *)
+(* Compiled-kernel crash containment                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A scheme whose published lowering misbehaves at one vertex while its
+   interpreted verifier is fine.  Lowerings are total by contract, so
+   this can only happen through a bug — the engine's containment rule
+   (lib/util/fatal.ml) still applies: a non-fatal exception from the
+   kernel falls back to the interpreted verifier for that vertex, a
+   fatal one (here [Assert_failure]) propagates, because it means the
+   process is broken, not that a fault was detected. *)
+let booby_trapped ~target raise_fatal =
+  {
+    Scheme.name = "booby-trapped";
+    prover = (fun inst -> Some (Array.make (Instance.n inst) Bitstring.empty));
+    verifier = (fun _ -> Scheme.Accept);
+    compiled =
+      Some
+        (Scheme.Compiled
+           {
+             Scheme.decode = (fun ~id_bits:_ _ -> ());
+             check =
+               (fun ~id_bits:_ ~me ~label:_ () _ ->
+                 if me = target then
+                   if raise_fatal then assert false
+                   else failwith "kernel boom"
+                 else Scheme.Accept);
+           });
+  }
+
+let compiled_kernel_crash_containment () =
+  let n = 400 in
+  let inst = Instance.make (Gen.random_tree (Rng.make 9) n) in
+  (* ids are v+1 under Instance.make; trap a mid-chunk vertex *)
+  let scheme = booby_trapped ~target:(n / 2) false in
+  let certs = Option.get (scheme.Scheme.prover inst) in
+  List.iter
+    (fun pool ->
+      let out = Engine.run_par ~pool scheme inst certs in
+      check "non-fatal kernel crash contained (accepts via fallback)" true
+        (out.Scheme.accepted && out.Scheme.rejections = []))
+    [ pool1; pool4; pool8 ];
+  (* the fallback is visible in telemetry *)
+  Metrics.with_enabled true (fun () ->
+      Metrics.reset ();
+      ignore (Engine.run_par ~pool:pool4 scheme inst certs);
+      check "fallback counted" true
+        (Metrics.value (Metrics.counter "engine.compiled_fallbacks") >= 1);
+      Metrics.reset ())
+
+let compiled_kernel_fatal_propagates () =
+  let n = 400 in
+  let inst = Instance.make (Gen.random_tree (Rng.make 9) n) in
+  let scheme = booby_trapped ~target:(n / 2) true in
+  let certs = Option.get (scheme.Scheme.prover inst) in
+  match Engine.run_par ~pool:pool4 scheme inst certs with
+  | _ -> Alcotest.fail "expected Assert_failure to propagate"
+  | exception Assert_failure _ ->
+      (* the pool survives the failed region *)
+      check_int "pool still works" 10
+        (Array.length (Pool.map_chunks pool4 ~chunks:10 Fun.id))
+
 let suite =
   [
     ( "engine:differential",
@@ -312,6 +375,13 @@ let suite =
         QCheck_alcotest.to_alcotest qcheck_attack_par_vs_exhaustive;
         Alcotest.test_case "sound scheme unfoolable" `Quick
           attack_par_sound_scheme;
+      ] );
+    ( "engine:containment",
+      [
+        Alcotest.test_case "non-fatal compiled-kernel crash contained" `Quick
+          compiled_kernel_crash_containment;
+        Alcotest.test_case "fatal compiled-kernel crash propagates" `Quick
+          compiled_kernel_fatal_propagates;
       ] );
     ( "engine:pool",
       [

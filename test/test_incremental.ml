@@ -208,6 +208,7 @@ let test_fatal_exception_propagates () =
       Scheme.name = "asserts";
       prover = (fun inst -> Some (Array.make (Instance.n inst) Bitstring.empty));
       verifier = (fun _ -> assert false);
+      compiled = None;
     }
   in
   let inst = Instance.make (Gen.path 5) in
@@ -225,6 +226,7 @@ let test_scheme_failure_still_contained () =
       Scheme.name = "raises";
       prover = (fun inst -> Some (Array.make (Instance.n inst) Bitstring.empty));
       verifier = (fun _ -> failwith "boom");
+      compiled = None;
     }
   in
   let inst = Instance.make (Gen.path 5) in

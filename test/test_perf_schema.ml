@@ -2,9 +2,19 @@
 
    The committed artifact must always parse under [Perf_schema] — a
    bench that drifts from the schema (or a hand-edited artifact) is a
-   test failure here, not a silently stale file. *)
+   test failure here, not a silently stale file.  Since PR 6 the
+   committed artifact must also have a monotone non-increasing (within
+   tolerance) verify_ms along every group's jobs ladder: an inverted
+   ladder means the compiled verifier path regressed (DESIGN §5.5). *)
 
 let check = Alcotest.(check bool)
+
+let jrow jobs verify_ms n =
+  {
+    Perf_schema.jobs;
+    verify_ms;
+    verts_per_sec = (float_of_int n /. verify_ms) *. 1e3;
+  }
 
 let sample =
   {
@@ -13,17 +23,15 @@ let sample =
       [
         {
           Perf_schema.scheme = "kernel-mso";
-          rows =
+          groups =
             [
               {
                 Perf_schema.n = 195;
-                jobs = 4;
                 prover_ms = 12.5;
-                verify_ms = 0.75;
-                verts_per_sec = 260000.;
                 minor_words = 1048576.;
                 interned_ratio = 0.25;
                 memo_hit_ratio = Some 0.5;
+                rows = [ jrow 1 0.8 195; jrow 2 0.78 195; jrow 4 0.75 195 ];
               };
             ];
         };
@@ -45,23 +53,30 @@ let qcheck_random_roundtrip =
   QCheck.Test.make ~name:"random docs round-trip through render/parse"
     ~count:200 seed_arbitrary (fun seed ->
       let rng = Rng.make seed in
-      let row () =
+      let row jobs =
         {
-          Perf_schema.n = 1 + Rng.int rng 100_000;
-          jobs = 1 + Rng.int rng 16;
-          prover_ms = Rng.float rng 10_000.;
+          Perf_schema.jobs;
           verify_ms = Rng.float rng 10_000.;
           verts_per_sec = Rng.float rng 1e9;
+        }
+      in
+      let group () =
+        (* distinct job counts: duplicates are a parse error *)
+        let k = 1 + Rng.int rng 5 in
+        {
+          Perf_schema.n = 1 + Rng.int rng 100_000;
+          prover_ms = Rng.float rng 10_000.;
           minor_words = float_of_int (Rng.int rng 1_000_000_000);
           interned_ratio = Rng.float rng 1.0;
           memo_hit_ratio =
             (if Rng.bool rng then Some (Rng.float rng 1.0) else None);
+          rows = List.init k (fun i -> row (i + 1));
         }
       in
       let series i =
         {
           Perf_schema.scheme = Printf.sprintf "scheme-%d" i;
-          rows = List.init (1 + Rng.int rng 8) (fun _ -> row ());
+          groups = List.init (1 + Rng.int rng 3) (fun _ -> group ());
         }
       in
       let doc =
@@ -75,40 +90,55 @@ let qcheck_random_roundtrip =
       | Error _ -> false
       | Ok d -> Perf_schema.render d = rendered)
 
-(* Rows written before the memo_hit_ratio field existed must keep
-   parsing (the committed full-run artifact predates it). *)
-let optional_memo_field_backward_compat () =
+(* Groups without a named-memo ratio omit the field and parse to
+   None. *)
+let optional_memo_field () =
   let text =
-    {|{ "smoke": false, "series": [ { "scheme": "x", "rows": [ { "n": 1, "jobs": 1, "prover_ms": 1, "verify_ms": 1, "verts_per_sec": 1, "minor_words": 1, "interned_ratio": 0 } ] } ] }|}
+    {|{ "smoke": false, "series": [ { "scheme": "x", "groups": [ { "n": 1, "prover_ms": 1, "minor_words": 1, "interned_ratio": 0, "rows": [ { "jobs": 1, "verify_ms": 1, "verts_per_sec": 1 } ] } ] } ] }|}
   in
   match Perf_schema.parse text with
-  | Error msg -> Alcotest.failf "legacy row does not parse: %s" msg
+  | Error msg -> Alcotest.failf "memo-less group does not parse: %s" msg
   | Ok d ->
-      let row = List.hd (List.hd d.Perf_schema.series).Perf_schema.rows in
+      let g =
+        List.hd (List.hd d.Perf_schema.series).Perf_schema.groups
+      in
       check "missing memo_hit_ratio is None" true
-        (row.Perf_schema.memo_hit_ratio = None)
+        (g.Perf_schema.memo_hit_ratio = None)
 
 let rejects_malformed () =
+  let wrap rows_body =
+    Printf.sprintf
+      {|{ "smoke": false, "series": [ { "scheme": "x", "groups": [ { "n": 1, "prover_ms": 1, "minor_words": 1, "interned_ratio": 0, "rows": [ %s ] } ] } ] }|}
+      rows_body
+  in
   let bad =
     [
       ("not json", "{");
       ("empty series", {|{ "smoke": false, "series": [] }|});
+      ( "empty groups",
+        {|{ "smoke": false, "series": [ { "scheme": "x", "groups": [] } ] }|} );
       ( "empty rows",
-        {|{ "smoke": false, "series": [ { "scheme": "x", "rows": [] } ] }|} );
-      ( "missing field",
-        {|{ "smoke": false, "series": [ { "scheme": "x", "rows": [ { "n": 1, "jobs": 1 } ] } ] }|}
+        {|{ "smoke": false, "series": [ { "scheme": "x", "groups": [ { "n": 1, "prover_ms": 1, "minor_words": 1, "interned_ratio": 0, "rows": [] } ] } ] }|}
       );
+      ("missing row field", wrap {|{ "jobs": 1, "verify_ms": 1 }|});
       ( "unknown field",
-        {|{ "smoke": false, "oops": 1, "series": [ { "scheme": "x", "rows": [ { "n": 1, "jobs": 1, "prover_ms": 1, "verify_ms": 1, "verts_per_sec": 1, "minor_words": 1, "interned_ratio": 0 } ] } ] }|}
+        {|{ "smoke": false, "oops": 1, "series": [ { "scheme": "x", "groups": [ { "n": 1, "prover_ms": 1, "minor_words": 1, "interned_ratio": 0, "rows": [ { "jobs": 1, "verify_ms": 1, "verts_per_sec": 1 } ] } ] } ] }|}
+      );
+      ( "prover_ms duplicated into rows (v1 layout)",
+        wrap {|{ "jobs": 1, "prover_ms": 1, "verify_ms": 1, "verts_per_sec": 1 }|}
+      );
+      ( "duplicate job counts",
+        wrap
+          {|{ "jobs": 1, "verify_ms": 1, "verts_per_sec": 1 }, { "jobs": 1, "verify_ms": 2, "verts_per_sec": 1 }|}
       );
       ( "ratio above one",
-        {|{ "smoke": false, "series": [ { "scheme": "x", "rows": [ { "n": 1, "jobs": 1, "prover_ms": 1, "verify_ms": 1, "verts_per_sec": 1, "minor_words": 1, "interned_ratio": 2 } ] } ] }|}
+        {|{ "smoke": false, "series": [ { "scheme": "x", "groups": [ { "n": 1, "prover_ms": 1, "minor_words": 1, "interned_ratio": 2, "rows": [ { "jobs": 1, "verify_ms": 1, "verts_per_sec": 1 } ] } ] } ] }|}
       );
       ( "negative time",
-        {|{ "smoke": false, "series": [ { "scheme": "x", "rows": [ { "n": 1, "jobs": 1, "prover_ms": -1, "verify_ms": 1, "verts_per_sec": 1, "minor_words": 1, "interned_ratio": 0 } ] } ] }|}
+        {|{ "smoke": false, "series": [ { "scheme": "x", "groups": [ { "n": 1, "prover_ms": -1, "minor_words": 1, "interned_ratio": 0, "rows": [ { "jobs": 1, "verify_ms": 1, "verts_per_sec": 1 } ] } ] } ] }|}
       );
       ( "memo ratio above one",
-        {|{ "smoke": false, "series": [ { "scheme": "x", "rows": [ { "n": 1, "jobs": 1, "prover_ms": 1, "verify_ms": 1, "verts_per_sec": 1, "minor_words": 1, "interned_ratio": 0, "memo_hit_ratio": 1.5 } ] } ] }|}
+        {|{ "smoke": false, "series": [ { "scheme": "x", "groups": [ { "n": 1, "prover_ms": 1, "minor_words": 1, "interned_ratio": 0, "memo_hit_ratio": 1.5, "rows": [ { "jobs": 1, "verify_ms": 1, "verts_per_sec": 1 } ] } ] } ] }|}
       );
     ]
   in
@@ -116,6 +146,94 @@ let rejects_malformed () =
     (fun (name, text) ->
       check name true (Result.is_error (Perf_schema.parse text)))
     bad
+
+(* ------------------------------------------------------------------ *)
+(* jobs_monotone                                                      *)
+
+let doc_of_ladder verify_ms_ladder =
+  {
+    Perf_schema.smoke = false;
+    series =
+      [
+        {
+          Perf_schema.scheme = "spanning";
+          groups =
+            [
+              {
+                Perf_schema.n = 256;
+                prover_ms = 1.;
+                minor_words = 0.;
+                interned_ratio = 0.;
+                memo_hit_ratio = None;
+                rows =
+                  List.mapi (fun i v -> jrow (i + 1) v 256) verify_ms_ladder;
+              };
+            ];
+        };
+      ];
+  }
+
+let monotone_accepts () =
+  let ok d =
+    match Perf_schema.jobs_monotone d with
+    | Ok () -> true
+    | Error _ -> false
+  in
+  check "strictly decreasing" true (ok (doc_of_ladder [ 4.; 3.; 2.; 1. ]));
+  check "flat" true (ok (doc_of_ladder [ 1.; 1.; 1. ]));
+  (* within the default 15% tolerance *)
+  check "small bump tolerated" true (ok (doc_of_ladder [ 1.0; 1.10; 1.05 ]));
+  (* exactly at the boundary is allowed (<=, not <) *)
+  check "boundary bump tolerated" true (ok (doc_of_ladder [ 1.0; 1.15 ]));
+  (* stricter tolerance rejects the same bump *)
+  check "zero tolerance rejects any bump" true
+    (Result.is_error
+       (Perf_schema.jobs_monotone ~tolerance:0.
+          (doc_of_ladder [ 1.0; 1.001 ])))
+
+let monotone_rejects_inversion () =
+  match Perf_schema.jobs_monotone (doc_of_ladder [ 1.0; 2.0; 1.9 ]) with
+  | Ok () -> Alcotest.fail "inverted ladder accepted"
+  | Error msg ->
+      (* the error names the scheme, the size and the offending step *)
+      let has needle =
+        let rec go i =
+          i + String.length needle <= String.length msg
+          && (String.sub msg i (String.length needle) = needle || go (i + 1))
+        in
+        go 0
+      in
+      check "names scheme" true (has "spanning");
+      check "names size" true (has "n=256");
+      check "names jobs step" true (has "jobs=2")
+
+let monotone_sorts_rows () =
+  (* rows out of jobs order are sorted before checking: the ladder
+     8/4/2/1 with decreasing times read back-to-front is monotone *)
+  let d =
+    {
+      Perf_schema.smoke = false;
+      series =
+        [
+          {
+            Perf_schema.scheme = "x";
+            groups =
+              [
+                {
+                  Perf_schema.n = 16;
+                  prover_ms = 1.;
+                  minor_words = 0.;
+                  interned_ratio = 0.;
+                  memo_hit_ratio = None;
+                  rows = [ jrow 8 1.0 16; jrow 1 4.0 16; jrow 2 2.0 16 ];
+                };
+              ];
+          };
+        ];
+    }
+  in
+  check "unsorted rows handled" true
+    (match Perf_schema.jobs_monotone d with Ok () -> true | Error _ -> false)
 
 (* The committed artifact at the repository root: walk up from the
    dune sandbox cwd until BENCH_PERF.json appears. *)
@@ -146,9 +264,20 @@ let committed_artifact_parses () =
             (List.length d.Perf_schema.series >= 4);
           List.iter
             (fun (s : Perf_schema.series) ->
-              check (s.Perf_schema.scheme ^ " has rows") true
-                (s.Perf_schema.rows <> []))
-            d.Perf_schema.series)
+              check (s.Perf_schema.scheme ^ " has groups") true
+                (s.Perf_schema.groups <> []))
+            d.Perf_schema.series;
+          (* the headline guard: no inverted jobs ladder in the
+             committed artifact.  Full runs only — smoke artifacts
+             (CI regenerates one in-place before re-running this
+             test) use sizes where timing noise swamps the ladder,
+             which is exactly why the bench skips its own guard under
+             --perf-smoke. *)
+          if not d.Perf_schema.smoke then
+            match Perf_schema.jobs_monotone d with
+            | Ok () -> ()
+            | Error msg ->
+                Alcotest.failf "%s jobs ladder not monotone: %s" path msg)
 
 let suite =
   [
@@ -158,10 +287,16 @@ let suite =
           render_parse_roundtrip;
         QCheck_alcotest.to_alcotest qcheck_random_roundtrip;
         Alcotest.test_case "missing memo_hit_ratio parses to None" `Quick
-          optional_memo_field_backward_compat;
+          optional_memo_field;
         Alcotest.test_case "malformed documents rejected" `Quick
           rejects_malformed;
-        Alcotest.test_case "committed BENCH_PERF.json parses" `Quick
-          committed_artifact_parses;
+        Alcotest.test_case "jobs_monotone accepts flat/decreasing ladders"
+          `Quick monotone_accepts;
+        Alcotest.test_case "jobs_monotone rejects an inverted ladder" `Quick
+          monotone_rejects_inversion;
+        Alcotest.test_case "jobs_monotone sorts rows by jobs" `Quick
+          monotone_sorts_rows;
+        Alcotest.test_case "committed BENCH_PERF.json parses and is monotone"
+          `Quick committed_artifact_parses;
       ] );
   ]

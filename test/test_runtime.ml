@@ -152,6 +152,7 @@ let test_raising_verifier_contained () =
       Scheme.name = "raises";
       prover = (fun inst -> Some (Array.make (Instance.n inst) Bitstring.empty));
       verifier = (fun _ -> failwith "boom");
+      compiled = None;
     }
   in
   let inst = Instance.make (Gen.path 5) in
@@ -232,6 +233,7 @@ let test_near_miss_absent_when_first_trial_wins () =
       Scheme.name = "accept-all";
       prover = (fun _ -> None);
       verifier = (fun _ -> Scheme.Accept);
+      compiled = None;
     }
   in
   let inst = Instance.make (Gen.path 4) in
