@@ -1,4 +1,5 @@
-.PHONY: all check build test bench bench-runtime bench-perf bench-perf-smoke clean
+.PHONY: all check build test bench bench-runtime bench-perf bench-perf-smoke \
+        serve-smoke bench-serve bench-serve-smoke clean
 
 all: build
 
@@ -28,6 +29,22 @@ bench-perf:
 # Small-n variant for CI: same artifact, seconds instead of minutes.
 bench-perf-smoke:
 	dune exec bench/main.exe -- --perf-smoke
+
+# Boot a self-hosted server, fire a scaled-down campaign at it and
+# validate the result — the one-command health check for the serving
+# subsystem (no artifact written).
+serve-smoke:
+	dune exec bin/localcert_cli.exe -- loadgen --campaign --smoke
+
+# Full latency/throughput campaign against a self-hosted server;
+# writes BENCH_SERVE.json (schema: lib/serve/bench_schema.mli, guarded
+# by the test suite, which expects the committed artifact to exist).
+bench-serve:
+	dune exec bin/localcert_cli.exe -- loadgen --campaign --out BENCH_SERVE.json
+
+# Smoke variant: same artifact shape, ~100x fewer requests.
+bench-serve-smoke:
+	dune exec bin/localcert_cli.exe -- loadgen --campaign --smoke --out BENCH_SERVE_smoke.json
 
 clean:
 	dune clean

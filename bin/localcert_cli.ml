@@ -6,13 +6,16 @@
      certify    run a certification scheme end-to-end (sizes, attacks)
      attack     adversarial soundness probes (corruptions, transplant, ...)
      simulate   round-based distributed execution with fault injection
+     serve      certification server (binary protocol, batching, admission)
+     loadgen    open-loop latency load generator for the server
      gadget     build the Section-7 lower-bound gadgets
      experiments (pointer to bench/main.exe)
 
-   Graph specifications (for --graph):
+   Graph specifications (for --graph): the pure Spec grammar
      path:N cycle:N star:N clique:N cbt:H caterpillar:S:L spider:L:LEN
      grid:R:C random-tree:N:SEED random-btd:N:DEPTH:SEED
-     edges:0-1,1-2,...                                              *)
+     g6:... edges:0-1,1-2,...
+   plus the CLI-only file:PATH (edge list or graph6, sniffed).        *)
 
 open Cmdliner
 
@@ -20,28 +23,13 @@ open Cmdliner
 (* Graph specification parsing                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* Pure spec forms (path:N, random-tree:N:SEED, ...) live in
+   Graph.Spec, shared with the wire protocol so a server request names
+   the same graphs --graph does.  Only file:PATH stays here: specs
+   arriving over the network must never touch the filesystem. *)
 let parse_graph spec =
   let fail msg = Error (`Msg msg) in
   match String.split_on_char ':' spec with
-  | [ "path"; n ] -> Ok (Gen.path (int_of_string n))
-  | [ "cycle"; n ] -> Ok (Gen.cycle (int_of_string n))
-  | [ "star"; n ] -> Ok (Gen.star (int_of_string n))
-  | [ "clique"; n ] -> Ok (Gen.clique (int_of_string n))
-  | [ "cbt"; h ] -> Ok (Gen.complete_binary_tree (int_of_string h))
-  | [ "caterpillar"; s; l ] ->
-      Ok (Gen.caterpillar ~spine:(int_of_string s) ~legs:(int_of_string l))
-  | [ "spider"; l; len ] ->
-      Ok (Gen.spider ~legs:(int_of_string l) ~leg_len:(int_of_string len))
-  | [ "grid"; r; c ] -> Ok (Gen.grid (int_of_string r) (int_of_string c))
-  | [ "random-tree"; n; seed ] ->
-      Ok (Gen.random_tree (Rng.make (int_of_string seed)) (int_of_string n))
-  | [ "random-btd"; n; d; seed ] ->
-      Ok
-        (Gen.random_bounded_treedepth
-           (Rng.make (int_of_string seed))
-           ~n:(int_of_string n) ~depth:(int_of_string d) ~p:0.5)
-  | "g6" :: rest ->
-      Result.map_error (fun e -> `Msg e) (Io.of_graph6 (String.concat ":" rest))
   | [ "file"; path ] -> (
       match
         let ic = open_in path in
@@ -63,21 +51,7 @@ let parse_graph spec =
           then Result.map_error (fun e -> `Msg e) (Io.of_edge_list content)
           else Result.map_error (fun e -> `Msg e) (Io.of_graph6 content)
       | exception Sys_error e -> fail e)
-  | [ "edges"; es ] -> (
-      try
-        let pairs =
-          String.split_on_char ',' es
-          |> List.map (fun e ->
-                 match String.split_on_char '-' e with
-                 | [ a; b ] -> (int_of_string a, int_of_string b)
-                 | _ -> failwith "bad edge")
-        in
-        let n =
-          1 + List.fold_left (fun acc (a, b) -> max acc (max a b)) 0 pairs
-        in
-        Ok (Graph.of_edges ~n pairs)
-      with _ -> fail "bad edge list; expected edges:0-1,1-2,...")
-  | _ -> fail (Printf.sprintf "unknown graph spec %S" spec)
+  | _ -> Result.map_error (fun e -> `Msg e) (Spec.parse spec)
 
 let graph_conv =
   Arg.conv
@@ -315,16 +289,25 @@ let metrics_arg =
 (* Applied around a subcommand body: --log sets the level first, and
    --metrics switches recording on so the snapshot written afterwards
    has data in it.  Without --metrics, telemetry stays off and every
-   instrument update is a single load-and-branch. *)
+   instrument update is a single load-and-branch.
+
+   The snapshot flush is registered as a Shutdown cleanup rather than
+   written inline: an interrupted run (SIGINT mid-sweep, SIGTERM from
+   a supervisor) still flushes a valid strict-JSON snapshot before
+   exiting 130/143.  Cleanups are one-shot, so the normal-exit flush
+   and a racing signal never write twice. *)
 let with_telemetry log metrics f =
   (match log with None -> () | Some l -> Logger.set_level l);
-  (match metrics with None -> () | Some _ -> Metrics.set_enabled true);
-  let r = f () in
   (match metrics with
   | None -> ()
   | Some path ->
-      Export.write_file path (Export.snapshot ());
-      Printf.printf "metrics written to %s\n" path);
+      Metrics.set_enabled true;
+      Shutdown.add_cleanup (fun () ->
+          Export.write_file path (Export.snapshot ());
+          Printf.printf "metrics written to %s\n%!" path);
+      Shutdown.install ());
+  let r = f () in
+  Shutdown.run_cleanups ();
   r
 
 let certify_cmd =
@@ -630,6 +613,301 @@ let simulate_cmd =
       $ jobs_arg $ compiled_arg $ log_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve / loadgen                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind or connect to.")
+
+(* Default port: 0x4C43, the wire protocol's "LC" magic. *)
+let default_port = 19523
+
+let serve_cmd =
+  let run host port workers jobs queue inflight conns batch log metrics =
+    with_telemetry log metrics @@ fun () ->
+    let config =
+      {
+        Server.host;
+        port;
+        workers;
+        jobs = Option.value jobs ~default:1;
+        queue_capacity = queue;
+        inflight_cap = inflight;
+        max_connections = conns;
+        batch_max = batch;
+      }
+    in
+    Server.run
+      ~ready:(fun p ->
+        Printf.printf "localcert serve: listening on %s:%d (%d workers)\n%!"
+          host p config.Server.workers)
+      config
+  in
+  let port_arg =
+    Arg.(
+      value & opt int default_port
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port (0 picks an ephemeral port, printed on startup).")
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.workers
+      & info [ "workers" ] ~docv:"N" ~doc:"Response worker domains.")
+  in
+  let queue_arg =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.queue_capacity
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Admission queue capacity; past it requests get RETRY_LATER.")
+  in
+  let inflight_arg =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.inflight_cap
+      & info [ "inflight" ] ~docv:"N"
+          ~doc:"Per-connection in-flight cap; past it, RETRY_LATER.")
+  in
+  let conns_arg =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.max_connections
+      & info [ "max-conns" ] ~docv:"N" ~doc:"Maximum open connections.")
+  in
+  let batch_arg =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.batch_max
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Max requests a worker pops per queue drain (the coalescing \
+                granularity).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the certification server (binary protocol, batching, \
+          admission control; SIGINT/SIGTERM drain gracefully)")
+    Term.(
+      const run $ host_arg $ port_arg $ workers_arg $ jobs_arg $ queue_arg
+      $ inflight_arg $ conns_arg $ batch_arg $ log_arg $ metrics_arg)
+
+let print_run (r : Bench_schema.run) =
+  Printf.printf "%s: %d requests in %.3fs -> %.0f req/s\n" r.Bench_schema.label
+    r.Bench_schema.sent r.Bench_schema.duration_s r.Bench_schema.throughput_rps;
+  Printf.printf "  ok %d, retry-later %d, errors %d\n" r.Bench_schema.ok
+    r.Bench_schema.retry_later r.Bench_schema.errors;
+  Printf.printf "  latency us: p50 %.0f  p99 %.0f  p999 %.0f  max %.0f\n"
+    r.Bench_schema.p50_us r.Bench_schema.p99_us r.Bench_schema.p999_us
+    r.Bench_schema.max_us
+
+let loadgen_cmd =
+  let run host port self campaign smoke out op scheme graph flip label
+      connections window total rate workers jobs log =
+    (match log with None -> () | Some l -> Logger.set_level l);
+    let jobs = Option.value jobs ~default:1 in
+    let request =
+      match op with
+      | "ping" -> Protocol.Ping
+      | "verify" -> Protocol.Verify { scheme; graph; flip }
+      | "certify" -> Protocol.Certify { scheme; graph }
+      | "stats" -> Protocol.Stats
+      | _ -> failwith "op must be ping, verify, certify or stats"
+    in
+    let scale n = if smoke then max 50 (n / 100) else n in
+    let one ~port ~label ~connections ~window ~total ~rate ~scheme ~graph
+        request =
+      let cfg =
+        { Loadgen.host; port; connections; window; total; rate; request }
+      in
+      let r = Loadgen.to_run ~label ~scheme ~graph cfg (Loadgen.run cfg) in
+      print_run r;
+      r
+    in
+    let server_cfg =
+      { Server.default_config with workers; jobs }
+    in
+    let runs =
+      if campaign then begin
+        (* Fixed three-shape campaign, self-hosted: the latency floor
+           (ping), the batched verify hot path, and typed overload
+           against a deliberately tiny admission queue. *)
+        let normal =
+          Loadgen.with_self_server ~config:server_cfg (fun ~port ->
+              [
+                one ~port ~label:"ping-floor" ~connections:2 ~window:16
+                  ~total:(scale 20_000) ~rate:None ~scheme:"-" ~graph:"-"
+                  Protocol.Ping;
+                one ~port ~label:"verify-n4096" ~connections:4 ~window:256
+                  ~total:(scale 200_000) ~rate:None ~scheme ~graph
+                  (Protocol.Verify { scheme; graph; flip = None });
+                one ~port ~label:"verify-paced" ~connections:4 ~window:256
+                  ~total:(scale 50_000) ~rate:(Some 20_000) ~scheme ~graph
+                  (Protocol.Verify { scheme; graph; flip = None });
+              ])
+        in
+        let overload =
+          Loadgen.with_self_server
+            ~config:
+              {
+                server_cfg with
+                Server.queue_capacity = 64;
+                inflight_cap = 32;
+              }
+            (fun ~port ->
+              [
+                one ~port ~label:"overload" ~connections:2 ~window:256
+                  ~total:(scale 50_000) ~rate:None ~scheme ~graph
+                  (Protocol.Verify { scheme; graph; flip = None });
+              ])
+        in
+        normal @ overload
+      end
+      else
+        let label = Option.value label ~default:op in
+        let go ~port =
+          [
+            one ~port ~label ~connections ~window ~total:(scale total) ~rate
+              ~scheme ~graph request;
+          ]
+        in
+        if self then Loadgen.with_self_server ~config:server_cfg (fun ~port -> go ~port)
+        else go ~port
+    in
+    match out with
+    | None -> ()
+    | Some path ->
+        let doc = { Bench_schema.smoke; workers; runs } in
+        let text = Bench_schema.render doc in
+        (match Bench_schema.parse text with
+        | Ok _ -> ()
+        | Error e ->
+            failwith ("internal: BENCH_SERVE failed self-validation: " ^ e));
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        Printf.printf "results written to %s\n" path
+  in
+  let port_arg =
+    Arg.(
+      value & opt int default_port
+      & info [ "port" ] ~docv:"PORT" ~doc:"Server port (ignored with --self).")
+  in
+  let self_flag =
+    Arg.(
+      value & flag
+      & info [ "self" ]
+          ~doc:
+            "Boot an in-process server on an ephemeral port, load it, then \
+             drain it — one command, no port coordination.")
+  in
+  let campaign_flag =
+    Arg.(
+      value & flag
+      & info [ "campaign" ]
+          ~doc:
+            "Run the fixed benchmark campaign (ping floor, verify \
+             saturation, paced verify, overload) against self-hosted \
+             servers; this is what writes the committed BENCH_SERVE.json.")
+  in
+  let smoke_flag =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Scale request counts down ~100x and mark the output smoke.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write schema-validated BENCH_SERVE JSON to $(docv).")
+  in
+  let op_arg =
+    Arg.(
+      value & opt string "verify"
+      & info [ "op" ] ~docv:"OP" ~doc:"Request kind: ping, verify, certify or stats.")
+  in
+  let scheme_arg =
+    Arg.(
+      value & opt string "spanning"
+      & info [ "scheme" ] ~docv:"NAME" ~doc:"Registry scheme for verify/certify.")
+  in
+  let graph_spec_arg =
+    Arg.(
+      value
+      & opt string "random-tree:4096:1"
+      & info [ "graph" ] ~docv:"SPEC"
+          ~doc:"Pure graph spec sent in each request (no file: form).")
+  in
+  let flip_conv =
+    Arg.conv
+      ( (fun s ->
+          match String.split_on_char ':' s with
+          | [ v; b ] -> (
+              match (int_of_string_opt v, int_of_string_opt b) with
+              | Some v, Some b -> Ok (v, b)
+              | _ -> Error (`Msg "expected V:B"))
+          | _ -> Error (`Msg "expected V:B")),
+        fun ppf (v, b) -> Format.fprintf ppf "%d:%d" v b )
+  in
+  let flip_arg =
+    Arg.(
+      value
+      & opt (some flip_conv) None
+      & info [ "flip" ] ~docv:"V:B"
+          ~doc:"For verify: flip bit B of vertex V's certificate first.")
+  in
+  let label_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "label" ] ~docv:"NAME" ~doc:"Run label in the output document.")
+  in
+  let connections_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "connections" ] ~docv:"N" ~doc:"Concurrent client connections.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "window" ] ~docv:"N" ~doc:"Per-connection pipeline depth.")
+  in
+  let total_arg =
+    Arg.(
+      value & opt int 20_000
+      & info [ "requests" ] ~docv:"N" ~doc:"Total requests across connections.")
+  in
+  let rate_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:"Pace sends to $(docv) requests/s total (default: saturate).")
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.workers
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains for --self servers (recorded in the output).")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Open-loop latency load generator for the certification server \
+          (p50/p99/p999, saturation throughput, BENCH_SERVE.json)")
+    Term.(
+      const run $ host_arg $ port_arg $ self_flag $ campaign_flag $ smoke_flag
+      $ out_arg $ op_arg $ scheme_arg $ graph_spec_arg $ flip_arg $ label_arg
+      $ connections_arg $ window_arg $ total_arg $ rate_arg $ workers_arg
+      $ jobs_arg $ log_arg)
+
+(* ------------------------------------------------------------------ *)
 (* gadget                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -723,8 +1001,32 @@ let demo_workload () =
   ignore (Scheme.certify s2 (Instance.make (Gen.path 32)))
 
 let stats_cmd =
-  let run validate required prometheus log =
+  let run validate required prometheus remote log =
     (match log with None -> () | Some l -> Logger.set_level l);
+    match remote with
+    | Some spec -> (
+        let host, port =
+          match String.rindex_opt spec ':' with
+          | Some i -> (
+              let h = String.sub spec 0 i in
+              let p = String.sub spec (i + 1) (String.length spec - i - 1) in
+              match int_of_string_opt p with
+              | Some p -> ((if h = "" then "127.0.0.1" else h), p)
+              | None -> failwith "expected --remote HOST:PORT")
+          | None -> (
+              match int_of_string_opt spec with
+              | Some p -> ("127.0.0.1", p)
+              | None -> failwith "expected --remote HOST:PORT or --remote PORT")
+        in
+        match Loadgen.request_once ~host ~port Protocol.Stats with
+        | Ok (Protocol.Stats_text text) -> print_string text
+        | Ok _ ->
+            Printf.eprintf "unexpected response to STATS\n";
+            exit 1
+        | Error e ->
+            Printf.eprintf "%s\n" e;
+            exit 1)
+    | None -> (
     match validate with
     | Some path -> (
         match Export.parse (read_file path) with
@@ -750,7 +1052,7 @@ let stats_cmd =
         demo_workload ();
         let snap = Export.snapshot () in
         print_string
-          (if prometheus then Export.to_prometheus snap else Export.render snap)
+          (if prometheus then Export.to_prometheus snap else Export.render snap))
   in
   let validate_arg =
     Arg.(
@@ -776,12 +1078,23 @@ let stats_cmd =
       & info [ "prometheus" ]
           ~doc:"Print the Prometheus text exposition instead of JSON.")
   in
+  let remote_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "remote" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Fetch a running server's Prometheus exposition over the wire \
+             protocol (STATS opcode) instead of running the demo workload.")
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
-         "Run a demo workload with telemetry on and print the snapshot, or \
-          validate a snapshot file")
-    Term.(const run $ validate_arg $ require_arg $ prometheus_flag $ log_arg)
+         "Run a demo workload with telemetry on and print the snapshot, \
+          validate a snapshot file, or query a running server")
+    Term.(
+      const run $ validate_arg $ require_arg $ prometheus_flag $ remote_arg
+      $ log_arg)
 
 (* ------------------------------------------------------------------ *)
 (* export                                                              *)
@@ -832,6 +1145,8 @@ let () =
             certify_cmd;
             attack_cmd;
             simulate_cmd;
+            serve_cmd;
+            loadgen_cmd;
             gadget_cmd;
             stats_cmd;
             export_cmd;

@@ -1,0 +1,59 @@
+(* Textual graph specifications, shared by the CLI's --graph option and
+   the wire protocol's instance references.
+
+   Only pure, deterministic constructors live here: a spec names a
+   generator and its parameters, so the same string builds the same
+   graph in the CLI, in the server and in a differential test.  The
+   CLI-only `file:PATH` form (which reads the local filesystem) stays
+   in bin/ — a network request must not be able to name server-side
+   paths. *)
+
+let int_field name s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "%s: expected an integer, got %S" name s)
+
+let parse spec =
+  let fail msg = Error msg in
+  match
+    match String.split_on_char ':' spec with
+    | [ "path"; n ] -> Gen.path (int_field "path" n)
+    | [ "cycle"; n ] -> Gen.cycle (int_field "cycle" n)
+    | [ "star"; n ] -> Gen.star (int_field "star" n)
+    | [ "clique"; n ] -> Gen.clique (int_field "clique" n)
+    | [ "cbt"; h ] -> Gen.complete_binary_tree (int_field "cbt" h)
+    | [ "caterpillar"; s; l ] ->
+        Gen.caterpillar ~spine:(int_field "spine" s) ~legs:(int_field "legs" l)
+    | [ "spider"; l; len ] ->
+        Gen.spider ~legs:(int_field "legs" l) ~leg_len:(int_field "leg-len" len)
+    | [ "grid"; r; c ] -> Gen.grid (int_field "rows" r) (int_field "cols" c)
+    | [ "random-tree"; n; seed ] ->
+        Gen.random_tree
+          (Localcert_util.Rng.make (int_field "seed" seed))
+          (int_field "n" n)
+    | [ "random-btd"; n; d; seed ] ->
+        Gen.random_bounded_treedepth
+          (Localcert_util.Rng.make (int_field "seed" seed))
+          ~n:(int_field "n" n) ~depth:(int_field "depth" d) ~p:0.5
+    | "g6" :: rest -> (
+        match Io.of_graph6 (String.concat ":" rest) with
+        | Ok g -> g
+        | Error e -> failwith e)
+    | [ "edges"; es ] ->
+        let pairs =
+          String.split_on_char ',' es
+          |> List.map (fun e ->
+                 match String.split_on_char '-' e with
+                 | [ a; b ] -> (int_field "edge" a, int_field "edge" b)
+                 | _ -> failwith "bad edge list; expected edges:0-1,1-2,...")
+        in
+        if pairs = [] then failwith "empty edge list";
+        let n =
+          1 + List.fold_left (fun acc (a, b) -> max acc (max a b)) 0 pairs
+        in
+        Graph.of_edges ~n pairs
+    | _ -> failwith (Printf.sprintf "unknown graph spec %S" spec)
+  with
+  | g -> Ok g
+  | exception Failure msg -> fail msg
+  | exception Invalid_argument msg -> fail msg

@@ -1,0 +1,21 @@
+(** Textual graph specifications.
+
+    One grammar, three consumers: the CLI's [--graph] option, the wire
+    protocol's instance references, and the differential tests that
+    must rebuild the exact graph a server request named.  Supported
+    forms:
+
+    {v
+    path:N cycle:N star:N clique:N cbt:H caterpillar:S:L spider:L:LEN
+    grid:R:C random-tree:N:SEED random-btd:N:DEPTH:SEED
+    g6:GRAPH6 edges:0-1,1-2,...
+    v}
+
+    Every form is a pure function of the spec string (randomized
+    generators embed their seed), so equal specs build equal graphs in
+    every process.  Specs never touch the filesystem; the CLI's
+    [file:PATH] convenience stays CLI-local. *)
+
+val parse : string -> (Graph.t, string) result
+(** Parse and build, or a human-readable error (never raises on
+    adversarial input). *)

@@ -344,52 +344,45 @@ let prom_entry b kind ?(labels = "") name v =
   let m = prom_name name in
   Printf.bprintf b "# TYPE %s %s\n%s%s %d\n" m kind m labels v
 
+(* One histogram block.  [extra] is an optional label rendered inside
+   every sample's label set (`le` joins it on buckets): the exact and
+   approx sections used to duplicate this loop verbatim, differing only
+   in that label. *)
+let prom_histogram b ?extra (h : histogram) =
+  let m = prom_name h.name in
+  let plain, with_le =
+    match extra with
+    | None -> ("", fun le -> Printf.sprintf "{le=\"%s\"}" le)
+    | Some l ->
+        (Printf.sprintf "{%s}" l, fun le -> Printf.sprintf "{le=\"%s\",%s}" le l)
+  in
+  Printf.bprintf b "# TYPE %s histogram\n" m;
+  let cumulative = ref 0 in
+  List.iteri
+    (fun i c ->
+      cumulative := !cumulative + c;
+      let le =
+        match List.nth_opt h.bounds i with
+        | Some bound -> string_of_int bound
+        | None -> "+Inf"
+      in
+      Printf.bprintf b "%s_bucket%s %d\n" m (with_le le) !cumulative)
+    h.counts;
+  Printf.bprintf b "%s_sum%s %d\n%s_count%s %d\n" m plain h.sum m plain
+    !cumulative
+
 let to_prometheus t =
   let b = Buffer.create 2048 in
   List.iter (fun (n, v) -> prom_entry b "counter" n v) t.counters;
   List.iter (fun (n, v) -> prom_entry b "gauge" n v) t.gauges;
-  List.iter
-    (fun (h : histogram) ->
-      let m = prom_name h.name in
-      Printf.bprintf b "# TYPE %s histogram\n" m;
-      let cumulative = ref 0 in
-      List.iteri
-        (fun i c ->
-          cumulative := !cumulative + c;
-          let le =
-            match List.nth_opt h.bounds i with
-            | Some bound -> string_of_int bound
-            | None -> "+Inf"
-          in
-          Printf.bprintf b "%s_bucket{le=\"%s\"} %d\n" m le !cumulative)
-        h.counts;
-      Printf.bprintf b "%s_sum %d\n%s_count %d\n" m h.sum m !cumulative)
-    t.histograms;
+  List.iter (prom_histogram b) t.histograms;
   List.iter
     (fun (n, v) -> prom_entry b "counter" ~labels:"{approx=\"1\"}" n v)
     t.approx_counters;
   List.iter
     (fun (n, v) -> prom_entry b "gauge" ~labels:"{approx=\"1\"}" n v)
     t.approx_gauges;
-  List.iter
-    (fun (h : histogram) ->
-      let m = prom_name h.name in
-      Printf.bprintf b "# TYPE %s histogram\n" m;
-      let cumulative = ref 0 in
-      List.iteri
-        (fun i c ->
-          cumulative := !cumulative + c;
-          let le =
-            match List.nth_opt h.bounds i with
-            | Some bound -> string_of_int bound
-            | None -> "+Inf"
-          in
-          Printf.bprintf b "%s_bucket{le=\"%s\",approx=\"1\"} %d\n" m le
-            !cumulative)
-        h.counts;
-      Printf.bprintf b "%s_sum{approx=\"1\"} %d\n%s_count{approx=\"1\"} %d\n" m
-        h.sum m !cumulative)
-    t.approx_histograms;
+  List.iter (prom_histogram b ~extra:"approx=\"1\"") t.approx_histograms;
   List.iter
     (fun tm ->
       let m = prom_name tm.name in

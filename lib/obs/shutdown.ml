@@ -1,0 +1,51 @@
+(* Process-exit plumbing shared by the CLI and the server.
+
+   Two problems, one registry:
+
+   - `--metrics FILE` snapshots used to be written only on normal
+     return, so a Ctrl-C'd `simulate`/`bench` run left nothing behind.
+     Registering the flush as a cleanup and installing the default
+     signal handler makes an interrupted run still produce a valid
+     strict-JSON snapshot before exiting with the conventional
+     128+signo status.
+   - `localcert serve` must NOT exit from the signal handler: it wants
+     to stop accepting, finish in-flight requests, and only then flush
+     and return.  It installs its own [~handler] that merely requests a
+     drain; the cleanups (the same metrics flush) run from the normal
+     drain path.
+
+   OCaml runs [Signal_handle] callbacks at safe points of normal
+   execution, not in an async-signal context, so doing file IO from a
+   handler is safe; blocking syscalls ([Unix.select]) are interrupted
+   with EINTR, which event loops must treat as a spurious wake-up. *)
+
+let cleanups : (unit -> unit) list ref = ref []
+let m = Mutex.create ()
+
+let add_cleanup f = Mutex.protect m (fun () -> cleanups := f :: !cleanups)
+
+(* Draining the registry under the mutex is what makes each cleanup
+   one-shot: a signal handler and a normal-exit flush can both call
+   this, but whoever takes the list runs it — the other sees []. *)
+let run_cleanups () =
+  let to_run =
+    Mutex.protect m (fun () ->
+        let fs = !cleanups in
+        cleanups := [];
+        fs)
+  in
+  (* LIFO, and one failing cleanup must not starve the others: a
+     snapshot write racing a full disk should still let later cleanups
+     run. *)
+  List.iter (fun f -> try f () with _ -> ()) to_run
+
+let default_handler signo =
+  run_cleanups ();
+  (* Conventional "killed by signal" exit codes: 130 for SIGINT, 143
+     for SIGTERM. *)
+  exit (128 + if signo = Sys.sigint then 2 else 15)
+
+let install ?(handler = default_handler) () =
+  let h = Sys.Signal_handle handler in
+  Sys.set_signal Sys.sigint h;
+  Sys.set_signal Sys.sigterm h

@@ -1,0 +1,25 @@
+(** Signal-aware process cleanup, shared by the CLI and the server.
+
+    [add_cleanup] registers an action (e.g. "write the [--metrics]
+    snapshot") that must run exactly once before the process exits,
+    whether the exit is a normal return, SIGINT or SIGTERM.  [install]
+    hooks the signals; the default handler runs the cleanups and exits
+    with the conventional 128+signo status, while a long-lived server
+    passes its own [~handler] that merely requests a graceful drain
+    (its normal drain path then calls {!run_cleanups}). *)
+
+val add_cleanup : (unit -> unit) -> unit
+(** Register a cleanup.  Cleanups run LIFO; an exception in one does
+    not prevent the rest from running. *)
+
+val run_cleanups : unit -> unit
+(** Run and drop all registered cleanups.  Each cleanup runs at most
+    once even when a signal races a normal-exit flush: whichever call
+    drains the registry runs it, the other finds it empty.  Cleanups
+    registered after a drain belong to the next drain. *)
+
+val install : ?handler:(int -> unit) -> unit -> unit
+(** Install [handler] for SIGINT and SIGTERM.  The default handler
+    calls {!run_cleanups} and exits 130/143.  The last [install] wins,
+    so a server can override the CLI-wide default with a
+    drain-requesting handler. *)

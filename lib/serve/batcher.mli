@@ -1,0 +1,28 @@
+(** Coalescing of identical in-flight computations.
+
+    Certification responses are pure functions of their request, so
+    concurrent identical requests share one computation: {!group}
+    coalesces within a worker's queue batch (one engine sweep per
+    distinct request per batch — the compiled-kernel cache fires once),
+    and {!run} coalesces across workers (a second worker starting a
+    request another worker is still computing waits for that result
+    instead of recomputing).  See DESIGN §5.6. *)
+
+type ('k, 'v) t
+
+val create : unit -> ('k, 'v) t
+(** Keys are compared with structural equality/hashing. *)
+
+val run : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** [run t k f] computes [f ()] if no computation for [k] is in
+    flight, else blocks until the in-flight leader finishes and
+    returns (or re-raises) its result.  Results are never cached past
+    completion — this deduplicates concurrency, not history. *)
+
+val group : ('a -> 'k) -> 'a list -> ('k * 'a list) list
+(** Group a batch by key, first-seen key order, per-key arrival
+    order. *)
+
+val observe_batch : ('k, 'v) t -> int -> unit
+(** Record a coalesced group's size in the [serve.batch_size]
+    histogram. *)

@@ -1,0 +1,278 @@
+(* Open-loop latency load generator.
+
+   One domain per connection, each pipelining up to [window] requests
+   on a blocking socket and matching responses by request id.  All
+   connections send the *same* request: a certification service's hot
+   load is many clients asking about few instances, and identical
+   concurrent requests are exactly what the server's batching layer
+   coalesces into single engine sweeps — this harness measures that
+   path on purpose (BENCH_SERVE.json records the request so the run is
+   reproducible).
+
+   With [rate = Some r] each connection paces its sends against the
+   wall clock (its share is [r / connections]); unpaced, the window is
+   kept full — saturation throughput.  Latency is response arrival
+   minus send time, in microseconds, one sample per request including
+   RETRY_LATER and error responses (a typed overload answer is still
+   an answer; its latency is the admission path's latency). *)
+
+type config = {
+  host : string;
+  port : int;
+  connections : int;
+  window : int;
+  total : int;  (** total requests across all connections *)
+  rate : int option;  (** total requests/s across all connections *)
+  request : Protocol.request;
+}
+
+type stats = {
+  sent : int;
+  ok : int;
+  retry_later : int;
+  errors : int;
+  duration_s : float;
+  latencies_us : float array;  (** sorted ascending, one per response *)
+}
+
+type outcome = { mutable n_ok : int; mutable n_retry : int; mutable n_err : int }
+
+let classify out = function
+  | Ok Protocol.Retry_later -> out.n_retry <- out.n_retry + 1
+  | Ok (Protocol.Error _) | Error _ -> out.n_err <- out.n_err + 1
+  | Ok _ -> out.n_ok <- out.n_ok + 1
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write_substring fd s !off (len - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* One connection's run: returns (outcome counts, latencies in
+   completion order).  [per_conn] requests, ids [0 .. per_conn-1]. *)
+let client cfg ~per_conn ~per_conn_rate =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+  Unix.setsockopt fd Unix.TCP_NODELAY true;
+  let template = Protocol.encode_request ~id:0 cfg.request in
+  let out = { n_ok = 0; n_retry = 0; n_err = 0 } in
+  let lat = Array.make (max per_conn 1) 0.0 in
+  let send_times = Array.make (max per_conn 1) 0.0 in
+  let sent = ref 0 and recvd = ref 0 in
+  let rbuf = ref (Bytes.create 65536) in
+  let rstart = ref 0 and rlen = ref 0 in
+  let wbuf = Buffer.create 4096 in
+  let start = Unix.gettimeofday () in
+  let read_some () =
+    (* grow if the pending frame cannot fit *)
+    if !rstart + !rlen = Bytes.length !rbuf then begin
+      if !rstart > 0 then begin
+        Bytes.blit !rbuf !rstart !rbuf 0 !rlen;
+        rstart := 0
+      end
+      else begin
+        let nb = Bytes.create (2 * Bytes.length !rbuf) in
+        Bytes.blit !rbuf 0 nb 0 !rlen;
+        rbuf := nb
+      end
+    end;
+    let off = !rstart + !rlen in
+    match Unix.read fd !rbuf off (Bytes.length !rbuf - off) with
+    | 0 -> failwith "loadgen: server closed the connection"
+    | n -> rlen := !rlen + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  let parse_frames () =
+    let continue = ref true in
+    while !continue do
+      match Wire.decode !rbuf ~pos:!rstart ~len:(!rstart + !rlen) with
+      | Wire.Frame (frame, consumed) ->
+          rstart := !rstart + consumed;
+          rlen := !rlen - consumed;
+          let id = frame.Wire.id in
+          if id < 0 || id >= per_conn then
+            failwith "loadgen: response id out of range";
+          lat.(!recvd) <-
+            (Unix.gettimeofday () -. send_times.(id)) *. 1e6;
+          classify out (Protocol.decode_response frame);
+          incr recvd
+      | Wire.Need _ -> continue := false
+      | Wire.Fail e -> failwith ("loadgen: " ^ Wire.error_to_string e)
+    done;
+    if !rstart > 0 && !rlen = 0 then rstart := 0
+  in
+  while !recvd < per_conn do
+    (* how many sends the window (and the pacing schedule) allow now *)
+    let can_send =
+      min (per_conn - !sent) (cfg.window - (!sent - !recvd))
+    in
+    let can_send =
+      match per_conn_rate with
+      | None -> can_send
+      | Some r ->
+          let due =
+            int_of_float ((Unix.gettimeofday () -. start) *. float_of_int r)
+            + 1 - !sent
+          in
+          min can_send (max 0 due)
+    in
+    if can_send > 0 then begin
+      Buffer.clear wbuf;
+      for _ = 1 to can_send do
+        send_times.(!sent) <- Unix.gettimeofday ();
+        Wire.encode_into wbuf { template with Wire.id = !sent };
+        incr sent
+      done;
+      write_all fd (Buffer.contents wbuf)
+    end;
+    if !recvd < per_conn then
+      if !sent > !recvd then begin
+        read_some ();
+        parse_frames ()
+      end
+      else
+        (* paced and idle: sleep toward the next scheduled send *)
+        Unix.sleepf 0.0005
+  done;
+  (out, lat)
+
+(* One request, one response, over a fresh connection — the CLI's
+   remote-stats path and the differential tests' client. *)
+let request_once ~host ~port req =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  match
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "connect %s:%d: %s" host port (Unix.error_message e))
+  | () -> (
+      write_all fd (Wire.encode (Protocol.encode_request ~id:0 req));
+      let buf = ref (Bytes.create 65536) in
+      let len = ref 0 in
+      let rec recv () =
+        match Wire.decode !buf ~pos:0 ~len:!len with
+        | Wire.Frame (frame, _) -> Ok frame
+        | Wire.Fail e -> Error (Wire.error_to_string e)
+        | Wire.Need _ -> (
+            if !len = Bytes.length !buf then begin
+              let nb = Bytes.create (2 * Bytes.length !buf) in
+              Bytes.blit !buf 0 nb 0 !len;
+              buf := nb
+            end;
+            match Unix.read fd !buf !len (Bytes.length !buf - !len) with
+            | 0 -> Error "server closed the connection"
+            | n ->
+                len := !len + n;
+                recv ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv ())
+      in
+      match recv () with
+      | Error _ as e -> e
+      | Ok frame ->
+          if frame.Wire.id <> 0 then Error "response id mismatch"
+          else Protocol.decode_response frame)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+let run cfg =
+  if cfg.connections < 1 then invalid_arg "Loadgen.run: connections < 1";
+  if cfg.window < 1 then invalid_arg "Loadgen.run: window < 1";
+  if cfg.total < 1 then invalid_arg "Loadgen.run: total < 1";
+  let base = cfg.total / cfg.connections
+  and extra = cfg.total mod cfg.connections in
+  let per_conn_rate =
+    Option.map
+      (fun r -> max 1 (r / cfg.connections))
+      cfg.rate
+  in
+  let start = Unix.gettimeofday () in
+  let domains =
+    List.init cfg.connections (fun i ->
+        let per_conn = base + if i < extra then 1 else 0 in
+        Domain.spawn (fun () ->
+            if per_conn = 0 then ({ n_ok = 0; n_retry = 0; n_err = 0 }, [||])
+            else client cfg ~per_conn ~per_conn_rate))
+  in
+  let results = List.map Domain.join domains in
+  let duration_s = Unix.gettimeofday () -. start in
+  let sent = List.fold_left (fun a (_, l) -> a + Array.length l) 0 results in
+  let ok = List.fold_left (fun a (o, _) -> a + o.n_ok) 0 results in
+  let retry_later = List.fold_left (fun a (o, _) -> a + o.n_retry) 0 results in
+  let errors = List.fold_left (fun a (o, _) -> a + o.n_err) 0 results in
+  let latencies_us = Array.concat (List.map snd results) in
+  Array.sort compare latencies_us;
+  { sent; ok; retry_later; errors; duration_s; latencies_us }
+
+let opcode_string = function
+  | Protocol.Ping -> "ping"
+  | Protocol.Certify _ -> "certify"
+  | Protocol.Verify _ -> "verify"
+  | Protocol.Simulate _ -> "simulate"
+  | Protocol.Attack _ -> "attack"
+  | Protocol.Stats -> "stats"
+
+let to_run ~label ~scheme ~graph cfg (s : stats) : Bench_schema.run =
+  {
+    Bench_schema.label;
+    opcode = opcode_string cfg.request;
+    scheme;
+    graph;
+    connections = cfg.connections;
+    window = cfg.window;
+    rate = cfg.rate;
+    sent = s.sent;
+    ok = s.ok;
+    retry_later = s.retry_later;
+    errors = s.errors;
+    duration_s = s.duration_s;
+    throughput_rps =
+      (if s.duration_s > 0. then float_of_int s.sent /. s.duration_s else 0.);
+    p50_us = percentile s.latencies_us 0.50;
+    p99_us = percentile s.latencies_us 0.99;
+    p999_us = percentile s.latencies_us 0.999;
+    max_us = percentile s.latencies_us 1.0;
+  }
+
+(* Boot an in-process server on an ephemeral port, run [f ~port], then
+   drain it.  This is what `localcert loadgen --self` and `make
+   bench-serve` use: one command, no port coordination, and the drain
+   path gets exercised on every bench run. *)
+let with_self_server ?(config = Server.default_config) f =
+  let stop = Atomic.make false in
+  let port_cell = Atomic.make 0 in
+  let server =
+    Domain.spawn (fun () ->
+        Server.run ~stop ~install_signals:false
+          ~ready:(fun p -> Atomic.set port_cell p)
+          { config with port = 0 })
+  in
+  let rec wait_port tries =
+    match Atomic.get port_cell with
+    | 0 ->
+        if tries > 5000 then failwith "loadgen: server never came up";
+        Unix.sleepf 0.001;
+        wait_port (tries + 1)
+    | p -> p
+  in
+  let finish () =
+    Atomic.set stop true;
+    Domain.join server
+  in
+  match f ~port:(wait_port 0) with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e

@@ -1,0 +1,330 @@
+(* The long-lived certification server.
+
+   Topology: one IO domain (this caller) runs a select loop over the
+   listen socket and every connection — it accepts, reads, frames
+   (Wire.decode is incremental) and decides admission; a fixed pool of
+   worker domains pops queue batches, evaluates requests through
+   Handlers (grouped so identical requests in a batch share one engine
+   sweep) and writes responses.  No threads library: domains and
+   blocking sockets only, which is all OCaml 5 needs here.
+
+   Overload never stalls the accept loop: Admission.try_admit is
+   non-blocking, and a rejected frame is answered with RETRY_LATER
+   right from the IO domain.  Responses may be written out of request
+   order (workers finish independently); clients match on request id.
+
+   Graceful drain (SIGINT/SIGTERM or the [stop] atomic): close the
+   listen socket, stop reading, let the workers drain the queue and
+   write every in-flight response, then close connections, run the
+   Shutdown cleanups (the --metrics flush) and return — exit 0, not a
+   signal death. *)
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port; [ready] reports it *)
+  workers : int;
+  jobs : int;
+  queue_capacity : int;
+  inflight_cap : int;
+  max_connections : int;
+  batch_max : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    (* one IO domain + workers; leave the caller's core to IO on small
+       machines *)
+    workers = max 1 (Domain.recommended_domain_count () - 1);
+    jobs = 1;
+    queue_capacity = 4096;
+    inflight_cap = 1024;
+    max_connections = 256;
+    batch_max = 512;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  cid : int;
+  mutable rbuf : Bytes.t;
+  mutable rstart : int;  (* consumed prefix *)
+  mutable rlen : int;  (* valid bytes from rstart *)
+  wm : Mutex.t;
+  mutable closed : bool;  (* guarded by wm *)
+  slots : Admission.slots;
+}
+
+type job = { jconn : conn; frame : Wire.frame; enqueued : float }
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+
+(* Request traffic depends on clients and scheduling, so every serve
+   instrument lives in the approx section; the deterministic section
+   stays reserved for seed-reproducible workload counts. *)
+let c_requests op =
+  Metrics.counter ~approx:true ("serve.requests." ^ Protocol.opcode_name op)
+
+let c_retry = lazy (Metrics.counter ~approx:true "serve.retry_later")
+let c_wire_errors = lazy (Metrics.counter ~approx:true "serve.wire_errors")
+let c_conns = lazy (Metrics.counter ~approx:true "serve.connections")
+let c_conns_rejected =
+  lazy (Metrics.counter ~approx:true "serve.connections_rejected")
+let g_open = lazy (Metrics.gauge ~approx:true "serve.conns_open")
+
+let h_latency =
+  lazy
+    (Metrics.histogram ~approx:true
+       ~bounds:
+         [| 50; 100; 200; 500; 1000; 2000; 5000; 10000; 50000; 100000; 1000000 |]
+       "serve.latency_us")
+
+let when_metrics f = if Metrics.is_enabled () then f ()
+
+(* ------------------------------------------------------------------ *)
+(* Connection writes                                                   *)
+
+(* All bytes or raise; blocking sockets only short-write on signals. *)
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write_substring fd s !off (len - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* Best-effort: a peer that vanished mid-response is closed and
+   forgotten, never an exception into the worker. *)
+let send conn s =
+  Mutex.protect conn.wm (fun () ->
+      if not conn.closed then
+        try write_all conn.fd s
+        with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          conn.closed <- true)
+
+(* ------------------------------------------------------------------ *)
+(* Worker loop                                                         *)
+
+let worker handlers queue batch_max =
+  let rec loop () =
+    match Admission.pop_batch queue ~max:batch_max with
+    | [] -> () (* closed and drained *)
+    | jobs ->
+        (* Decode, then group by decoded request: every group is
+           answered by one evaluation, its shared payload encoded once
+           and stamped with each request's id. *)
+        let decoded =
+          List.map (fun j -> (j, Protocol.decode_request j.frame)) jobs
+        in
+        let groups = Batcher.group snd decoded in
+        let out : (int, conn * Buffer.t) Hashtbl.t = Hashtbl.create 8 in
+        List.iter
+          (fun (key, items) ->
+            let resp =
+              match key with
+              | Error code -> Protocol.Error code
+              | Ok req ->
+                  Batcher.observe_batch (Handlers.batcher handlers)
+                    (List.length items);
+                  Span.with_ "serve.handle" (fun () ->
+                      Handlers.handle handlers req)
+            in
+            let opcode, payload = Protocol.encode_response_payload resp in
+            List.iter
+              (fun ((j : job), _) ->
+                let conn = j.jconn in
+                let buf =
+                  match Hashtbl.find_opt out conn.cid with
+                  | Some (_, b) -> b
+                  | None ->
+                      let b = Buffer.create 256 in
+                      Hashtbl.replace out conn.cid (conn, b);
+                      b
+                in
+                Wire.encode_into buf
+                  { Wire.id = j.frame.Wire.id; opcode; payload };
+                when_metrics (fun () ->
+                    Metrics.observe (Lazy.force h_latency)
+                      (int_of_float
+                         ((Unix.gettimeofday () -. j.enqueued) *. 1e6))))
+              items)
+          groups;
+        (* one write per connection per batch *)
+        Hashtbl.iter (fun _ (conn, b) -> send conn (Buffer.contents b)) out;
+        List.iter (fun (j, _) -> Admission.release j.jconn.slots) decoded;
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* IO loop                                                             *)
+
+let retry_later_payload = lazy (Protocol.encode_response_payload Protocol.Retry_later)
+
+let dispatch queue conn (frame : Wire.frame) =
+  when_metrics (fun () -> Metrics.incr (c_requests frame.Wire.opcode));
+  let job = { jconn = conn; frame; enqueued = Unix.gettimeofday () } in
+  match Admission.try_admit queue conn.slots job with
+  | Admission.Admitted -> ()
+  | Admission.Queue_full | Admission.Conn_saturated ->
+      when_metrics (fun () -> Metrics.incr (Lazy.force c_retry));
+      let opcode, payload = Lazy.force retry_later_payload in
+      send conn (Wire.encode { Wire.id = frame.Wire.id; opcode; payload })
+
+(* Parse every complete frame in the connection's buffer.  Returns
+   [false] when the connection must be closed (framing lost). *)
+let parse_frames queue conn =
+  let ok = ref true and continue = ref true in
+  while !continue do
+    match
+      Wire.decode conn.rbuf ~pos:conn.rstart ~len:(conn.rstart + conn.rlen)
+    with
+    | Wire.Frame (frame, consumed) ->
+        conn.rstart <- conn.rstart + consumed;
+        conn.rlen <- conn.rlen - consumed;
+        dispatch queue conn frame
+    | Wire.Need _ -> continue := false
+    | Wire.Fail e ->
+        when_metrics (fun () -> Metrics.incr (Lazy.force c_wire_errors));
+        Logger.warn
+          ~fields:[ ("conn", string_of_int conn.cid) ]
+          ("wire error: " ^ Wire.error_to_string e);
+        ok := false;
+        continue := false
+  done;
+  (* compact: keep the unparsed suffix at the front *)
+  if conn.rstart > 0 then begin
+    if conn.rlen > 0 then Bytes.blit conn.rbuf conn.rstart conn.rbuf 0 conn.rlen;
+    conn.rstart <- 0
+  end;
+  !ok
+
+let read_into conn =
+  (* grow so at least one header (or the pending frame) can land *)
+  let cap = Bytes.length conn.rbuf in
+  if conn.rstart + conn.rlen = cap then begin
+    let need = max (2 * cap) (conn.rlen + 65536) in
+    let need = min need (Wire.header_size + Wire.max_payload + 65536) in
+    if need > cap then begin
+      let nb = Bytes.create need in
+      Bytes.blit conn.rbuf conn.rstart nb 0 conn.rlen;
+      conn.rbuf <- nb;
+      conn.rstart <- 0
+    end
+  end;
+  let off = conn.rstart + conn.rlen in
+  match Unix.read conn.fd conn.rbuf off (Bytes.length conn.rbuf - off) with
+  | 0 -> `Eof
+  | n ->
+      conn.rlen <- conn.rlen + n;
+      `Read
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Read
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> `Eof
+
+let run ?(stop = Atomic.make false) ?(install_signals = true) ?ready config =
+  if config.workers < 1 then invalid_arg "Server.run: workers < 1";
+  if install_signals then
+    Shutdown.install ~handler:(fun _ -> Atomic.set stop true) ();
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd
+    (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+  Unix.listen listen_fd 128;
+  let port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  (match ready with None -> () | Some f -> f port);
+  Logger.info
+    ~fields:
+      [
+        ("port", string_of_int port);
+        ("workers", string_of_int config.workers);
+        ("queue", string_of_int config.queue_capacity);
+      ]
+    "serve: listening";
+  let queue =
+    Admission.create ~capacity:config.queue_capacity
+      ~inflight_cap:config.inflight_cap ()
+  in
+  Pool.with_pool ~jobs:config.jobs @@ fun pool ->
+  let handlers = Handlers.create ~pool () in
+  let workers =
+    List.init config.workers (fun _ ->
+        Domain.spawn (fun () -> worker handlers queue config.batch_max))
+  in
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 32 in
+  let next_cid = ref 0 in
+  let close_conn conn =
+    Mutex.protect conn.wm (fun () -> conn.closed <- true);
+    Hashtbl.remove conns conn.fd;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    when_metrics (fun () ->
+        Metrics.set_gauge (Lazy.force g_open) (Hashtbl.length conns))
+  in
+  let accept_one () =
+    match Unix.accept listen_fd with
+    | fd, _addr ->
+        if Hashtbl.length conns >= config.max_connections then begin
+          when_metrics (fun () -> Metrics.incr (Lazy.force c_conns_rejected));
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        end
+        else begin
+          Unix.setsockopt fd Unix.TCP_NODELAY true;
+          incr next_cid;
+          let conn =
+            {
+              fd;
+              cid = !next_cid;
+              rbuf = Bytes.create 65536;
+              rstart = 0;
+              rlen = 0;
+              wm = Mutex.create ();
+              closed = false;
+              slots = Admission.slots queue;
+            }
+          in
+          Hashtbl.replace conns fd conn;
+          when_metrics (fun () ->
+              Metrics.incr (Lazy.force c_conns);
+              Metrics.set_gauge (Lazy.force g_open) (Hashtbl.length conns))
+        end
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      ->
+        ()
+  in
+  (* main select loop *)
+  let continue = ref true in
+  while !continue do
+    if Atomic.get stop then continue := false
+    else begin
+      let fds = listen_fd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+      match Unix.select fds [] [] 0.2 with
+      | readable, _, _ ->
+          List.iter
+            (fun fd ->
+              if fd = listen_fd then accept_one ()
+              else
+                match Hashtbl.find_opt conns fd with
+                | None -> ()
+                | Some conn -> (
+                    match read_into conn with
+                    | `Eof -> close_conn conn
+                    | `Read -> if not (parse_frames queue conn) then close_conn conn))
+            readable
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    end
+  done;
+  (* graceful drain: no new connections or frames; the workers finish
+     everything already admitted, then exit on the closed queue. *)
+  Logger.info ~fields:[ ("port", string_of_int port) ] "serve: draining";
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  Admission.close queue;
+  List.iter Domain.join workers;
+  Hashtbl.iter (fun _ conn -> Mutex.protect conn.wm (fun () -> conn.closed <- true)) conns;
+  Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) conns;
+  Logger.info ~fields:[ ("port", string_of_int port) ] "serve: drained";
+  Shutdown.run_cleanups ()

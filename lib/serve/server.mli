@@ -1,0 +1,41 @@
+(** The certification server: accept loop, worker domains, graceful
+    drain.
+
+    One IO domain (the caller of {!run}) owns the listen socket and
+    every connection: it accepts, reads, frames incrementally with
+    {!Wire.decode} and decides admission without ever blocking.  A
+    fixed pool of worker domains pops queue {e batches}, groups them by
+    request so identical concurrent requests share one engine sweep,
+    and writes responses (out of request order — clients match on
+    request id).  Overload is answered inline with RETRY_LATER from
+    the IO domain; see DESIGN §5.6. *)
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port; [ready] reports it *)
+  workers : int;  (** response worker domains, ≥ 1 *)
+  jobs : int;  (** engine pool size shared by the workers *)
+  queue_capacity : int;  (** global admission bound *)
+  inflight_cap : int;  (** per-connection admission bound *)
+  max_connections : int;  (** accepts past this are closed *)
+  batch_max : int;  (** max requests a worker pops at once *)
+}
+
+val default_config : config
+
+val run :
+  ?stop:bool Atomic.t ->
+  ?install_signals:bool ->
+  ?ready:(int -> unit) ->
+  config ->
+  unit
+(** Serve until [stop] becomes true, then drain: stop accepting,
+    finish every admitted request, flush responses, close, run the
+    {!Shutdown} cleanups, return normally.
+
+    [install_signals] (default true) routes SIGINT/SIGTERM to the
+    drain path (the handler just sets [stop]); pass [false] in tests
+    that stop the server through the atomic.  [ready] is called with
+    the bound port before the first accept — the hook the CLI uses to
+    print the port and the tests use to connect to an ephemeral one.
+    Blocks the calling domain for the server's lifetime. *)

@@ -1,0 +1,94 @@
+(* Length-prefixed binary framing for the certification service.
+
+   Header layout (16 bytes, all integers big-endian):
+
+     offset 0   2 bytes   magic "LC"
+     offset 2   1 byte    protocol version (currently 1)
+     offset 3   1 byte    opcode
+     offset 4   8 bytes   request id (non-negative, < 2^63)
+     offset 12  4 bytes   payload length in bytes
+     offset 16  ...       payload
+
+   Decoding is incremental and strictly bounds-checked: a frame is
+   never touched past [len], a short buffer yields [Need] with the
+   exact number of missing bytes, and a header that can never become a
+   valid frame (bad magic, unsupported version, oversized or
+   sign-overflowing fields) yields a typed [Fail] — the caller treats
+   those as connection-fatal because the stream has lost framing.
+   Unknown *opcodes* are deliberately not a wire error: every opcode
+   byte frames identically, so the protocol layer can answer them with
+   a typed error response on the still-synchronized stream. *)
+
+type frame = { id : int; opcode : int; payload : string }
+
+type error =
+  | Bad_magic of int
+  | Bad_version of int
+  | Bad_id
+  | Oversized of int
+
+let error_to_string = function
+  | Bad_magic m -> Printf.sprintf "bad magic 0x%04x" m
+  | Bad_version v -> Printf.sprintf "unsupported protocol version %d" v
+  | Bad_id -> "request id out of range"
+  | Oversized n -> Printf.sprintf "payload length %d exceeds the frame limit" n
+
+type progress = Frame of frame * int | Need of int | Fail of error
+
+let magic = 0x4C43 (* "LC" *)
+let version = 1
+let header_size = 16
+
+(* Certificates on multi-million-vertex instances stay far below this;
+   anything larger is an attack or a bug, and bounding it keeps one
+   malicious connection from ballooning the server's buffers. *)
+let max_payload = 1 lsl 24
+
+let encode_into buf { id; opcode; payload } =
+  if id < 0 then invalid_arg "Wire.encode: negative request id";
+  if opcode < 0 || opcode > 0xff then invalid_arg "Wire.encode: opcode byte";
+  if String.length payload > max_payload then
+    invalid_arg "Wire.encode: payload exceeds max_payload";
+  Buffer.add_uint16_be buf magic;
+  Buffer.add_uint8 buf version;
+  Buffer.add_uint8 buf opcode;
+  Buffer.add_int64_be buf (Int64.of_int id);
+  Buffer.add_int32_be buf (Int32.of_int (String.length payload));
+  Buffer.add_string buf payload
+
+let encode f =
+  let b = Buffer.create (header_size + String.length f.payload) in
+  encode_into b f;
+  Buffer.contents b
+
+let decode buf ~pos ~len =
+  let avail = len - pos in
+  if avail < header_size then Need (header_size - avail)
+  else begin
+    let m = Bytes.get_uint16_be buf pos in
+    if m <> magic then Fail (Bad_magic m)
+    else begin
+      let v = Bytes.get_uint8 buf (pos + 2) in
+      if v <> version then Fail (Bad_version v)
+      else begin
+        let opcode = Bytes.get_uint8 buf (pos + 3) in
+        let id64 = Bytes.get_int64_be buf (pos + 4) in
+        let plen32 = Bytes.get_int32_be buf (pos + 12) in
+        let plen = Int32.to_int plen32 in
+        (* ids must round-trip through OCaml's 63-bit native int *)
+        if Int64.compare id64 0L < 0 || Int64.compare id64 0x4000000000000000L >= 0
+        then Fail Bad_id
+        else if plen < 0 || plen > max_payload then Fail (Oversized plen)
+        else if avail < header_size + plen then
+          Need (header_size + plen - avail)
+        else
+          Frame
+            ( {
+                id = Int64.to_int id64;
+                opcode;
+                payload = Bytes.sub_string buf (pos + header_size) plen;
+              },
+              header_size + plen )
+      end
+    end
+  end

@@ -1,0 +1,49 @@
+(** Versioned length-prefixed framing for the certification service.
+
+    A frame is [magic, version, opcode, request id, payload length,
+    payload]; see wire.ml for the byte layout.  {!decode} is the
+    incremental, strictly bounds-checked inverse of {!encode}:
+
+    - [encode ∘ decode] and [decode ∘ encode] are identities on valid
+      frames (property-tested);
+    - a prefix of a valid encoding yields [Need n] with [n] the exact
+      number of missing bytes;
+    - bad magic, an unsupported version, a sign-overflowing request id
+      and an oversized or negative payload length yield a typed
+      {!error} — the stream has lost framing and the connection must be
+      dropped.  Unknown opcode {e bytes} frame fine and are left to the
+      protocol layer, which answers them with a typed error response. *)
+
+type frame = {
+  id : int;  (** request id, echoed verbatim in the response frame *)
+  opcode : int;  (** 0..255; semantics live in {!Protocol} *)
+  payload : string;
+}
+
+type error =
+  | Bad_magic of int
+  | Bad_version of int
+  | Bad_id  (** request id negative or ≥ 2{^62} (native-int overflow) *)
+  | Oversized of int  (** negative, or above {!max_payload} *)
+
+val error_to_string : error -> string
+
+type progress =
+  | Frame of frame * int  (** a parsed frame and the bytes it consumed *)
+  | Need of int  (** incomplete: at least this many more bytes *)
+  | Fail of error  (** framing lost; connection-fatal *)
+
+val header_size : int
+val max_payload : int
+
+val encode : frame -> string
+(** Raises [Invalid_argument] on a negative id, an opcode outside
+    0..255, or a payload above {!max_payload}. *)
+
+val encode_into : Buffer.t -> frame -> unit
+(** {!encode} appending to an existing buffer — response writers batch
+    many frames into one [write]. *)
+
+val decode : Bytes.t -> pos:int -> len:int -> progress
+(** Decode one frame from [buf[pos, len)].  Never reads outside that
+    range and never raises on adversarial bytes. *)

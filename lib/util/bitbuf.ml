@@ -97,6 +97,10 @@ module Writer = struct
     nat w (List.length xs);
     List.iter (enc w) xs
 
+  let string w s =
+    nat w (String.length s);
+    String.iter (fun c -> unsafe_bits w ~width:8 (Char.code c)) s
+
   let length w = w.len
 
   let contents w =
@@ -225,6 +229,11 @@ module Reader = struct
   let list r dec =
     let len = nat r in
     List.init len (fun _ -> dec r)
+
+  let string r =
+    let len = nat r in
+    if len > (Bitstring.length r.src - r.pos) / 8 then fail "truncated string";
+    String.init len (fun _ -> Char.chr (fixed r ~width:8))
 
   let remaining r = Bitstring.length r.src - r.pos
 

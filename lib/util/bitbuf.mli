@@ -45,6 +45,11 @@ module Writer : sig
   val list : t -> (t -> 'a -> unit) -> 'a list -> unit
   (** [list w enc xs] appends [nat (List.length xs)] then each element. *)
 
+  val string : t -> string -> unit
+  (** [string w s] appends [nat (String.length s)] then each byte as 8
+      fixed bits.  Used by the wire protocol for scheme names, graph
+      specs and rejection reasons. *)
+
   val length : t -> int
   (** Number of bits appended so far. *)
 
@@ -63,6 +68,12 @@ module Reader : sig
   val int : t -> int
   val bitstring : t -> Bitstring.t
   val list : t -> (t -> 'a) -> 'a list
+
+  val string : t -> string
+  (** Inverse of {!Writer.string}; raises {!Decode_error} on truncated
+      input (the length prefix is validated against the remaining bits
+      before any allocation, so adversarial lengths cannot force a
+      large allocation). *)
 
   val remaining : t -> int
   (** Bits not yet consumed. *)

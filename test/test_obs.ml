@@ -265,6 +265,122 @@ let export_rejects_malformed () =
     | Ok _ -> true
     | Error _ -> false)
 
+(* Every # TYPE block in the Prometheus exposition must be well-formed
+   text: a TYPE line per metric (no duplicates), every sample under
+   the most recent TYPE with a legal suffix, numeric values, and
+   histogram buckets cumulative ending in le="+Inf".  The exact and
+   approx histogram renderers share one helper; this test is what
+   keeps a future edit from unsharing them incorrectly. *)
+let prometheus_well_formed () =
+  Metrics.with_enabled true (fun () ->
+      Metrics.reset ();
+      Span.reset ();
+      Metrics.incr (Metrics.counter "test.prom.det_counter");
+      Metrics.set_gauge (Metrics.gauge "test.prom.det_gauge") 5;
+      let h = Metrics.histogram ~bounds:[| 1; 2; 4 |] "test.prom.det_histo" in
+      List.iter (Metrics.observe h) [ 1; 3; 9 ];
+      Metrics.incr (Metrics.counter ~approx:true "test.prom.apx_counter");
+      let ah =
+        Metrics.histogram ~approx:true ~bounds:[| 10; 20 |]
+          "test.prom.apx_histo"
+      in
+      List.iter (Metrics.observe ah) [ 5; 15; 25 ];
+      Span.with_ "test.prom.span" (fun () -> ());
+      let text = Export.to_prometheus (Export.snapshot ()) in
+      let lines =
+        List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
+      in
+      let is_name s =
+        s <> ""
+        && String.for_all
+             (fun c ->
+               (c >= 'a' && c <= 'z')
+               || (c >= 'A' && c <= 'Z')
+               || (c >= '0' && c <= '9')
+               || c = '_')
+             s
+      in
+      let seen_types = Hashtbl.create 16 in
+      let current = ref None in
+      let bucket_cum = ref (-1) in
+      let bucket_last_le = ref "" in
+      List.iter
+        (fun line ->
+          match String.split_on_char ' ' line with
+          | [ "#"; "TYPE"; name; kind ] ->
+              check (line ^ ": metric name charset") true (is_name name);
+              check (line ^ ": known kind") true
+                (List.mem kind [ "counter"; "gauge"; "histogram"; "summary" ]);
+              check (line ^ ": no duplicate TYPE") false
+                (Hashtbl.mem seen_types name);
+              Hashtbl.replace seen_types name kind;
+              (* a histogram block must have closed with +Inf *)
+              check "previous histogram closed with +Inf" true
+                (!bucket_cum < 0 || !bucket_last_le = "+Inf");
+              current := Some (name, kind);
+              bucket_cum := -1;
+              bucket_last_le := ""
+          | [ sample; value ] -> (
+              check (line ^ ": numeric value") true
+                (match float_of_string_opt value with
+                | Some f -> Float.is_finite f
+                | None -> false);
+              let base, labels =
+                match String.index_opt sample '{' with
+                | Some i ->
+                    check (line ^ ": labels close") true
+                      (String.length sample > i
+                      && sample.[String.length sample - 1] = '}')
+                      ;
+                    ( String.sub sample 0 i,
+                      String.sub sample (i + 1)
+                        (String.length sample - i - 2) )
+                | None -> (sample, "")
+              in
+              match !current with
+              | None -> Alcotest.failf "sample before any TYPE: %s" line
+              | Some (tname, kind) ->
+                  check (line ^ ": under its TYPE") true
+                    (base = tname
+                    || List.mem base
+                         [ tname ^ "_bucket"; tname ^ "_sum"; tname ^ "_count";
+                           tname ^ "_max" ]);
+                  if kind = "histogram" && base = tname ^ "_bucket" then begin
+                    let le =
+                      List.find_map
+                        (fun l ->
+                          match String.index_opt l '=' with
+                          | Some i when String.sub l 0 i = "le" ->
+                              let v =
+                                String.sub l (i + 1) (String.length l - i - 1)
+                              in
+                              Some (String.sub v 1 (String.length v - 2))
+                          | _ -> None)
+                        (String.split_on_char ',' labels)
+                    in
+                    match le with
+                    | None -> Alcotest.failf "bucket without le: %s" line
+                    | Some le ->
+                        let cum = int_of_string value in
+                        check (line ^ ": cumulative non-decreasing") true
+                          (cum >= max 0 !bucket_cum);
+                        bucket_cum := cum;
+                        bucket_last_le := le
+                  end)
+          | _ -> Alcotest.failf "unparseable exposition line: %s" line)
+        lines;
+      check "final histogram closed with +Inf" true
+        (!bucket_cum < 0 || !bucket_last_le = "+Inf");
+      (* both histogram flavors rendered through the shared helper *)
+      check "exact histogram present" true
+        (Hashtbl.find_opt seen_types "localcert_test_prom_det_histo"
+        = Some "histogram");
+      check "approx histogram present" true
+        (Hashtbl.find_opt seen_types "localcert_test_prom_apx_histo"
+        = Some "histogram");
+      Metrics.reset ();
+      Span.reset ())
+
 (* ------------------------------------------------------------------ *)
 (* Telemetry is passive: on/off differential                           *)
 (* ------------------------------------------------------------------ *)
@@ -492,6 +608,8 @@ let suite =
           export_roundtrip_fixpoint;
         Alcotest.test_case "malformed snapshots rejected" `Quick
           export_rejects_malformed;
+        Alcotest.test_case "prometheus TYPE blocks well-formed" `Quick
+          prometheus_well_formed;
       ] );
     ( "obs-differential",
       [
