@@ -306,9 +306,10 @@ let with_telemetry log metrics f =
           Export.write_file path (Export.snapshot ());
           Printf.printf "metrics written to %s\n%!" path);
       Shutdown.install ());
-  let r = f () in
-  Shutdown.run_cleanups ();
-  r
+  (* [~finally] rather than run-on-return: an exception exit (a bad
+     argument's [failwith], a prover blowing up) must still flush the
+     snapshot — that is the whole point of registering it. *)
+  Fun.protect ~finally:Shutdown.run_cleanups f
 
 let certify_cmd =
   let run g name t formula attack seed jobs compiled log metrics =

@@ -16,6 +16,14 @@
     every process.  Specs never touch the filesystem; the CLI's
     [file:PATH] convenience stays CLI-local. *)
 
-val parse : string -> (Graph.t, string) result
+val parse :
+  ?max_vertices:int -> ?max_edges:int -> string -> (Graph.t, string) result
 (** Parse and build, or a human-readable error (never raises on
-    adversarial input). *)
+    adversarial input).
+
+    [max_vertices]/[max_edges] bound the named graph's size, checked
+    against a parameter-derived estimate {e before} anything is
+    allocated: a consumer that admits specs from untrusted input (the
+    server) can refuse [clique:100000] (~5·10⁹ edges) or a single
+    enormous [edges:] endpoint without paying to build it.  Unset
+    (the CLI) means unbounded, as before. *)

@@ -39,6 +39,15 @@ let run_cleanups () =
      run. *)
   List.iter (fun f -> try f () with _ -> ()) to_run
 
+(* OCaml leaves SIGPIPE at its default disposition (kill the process),
+   so a socket writer whose peer vanished dies before Unix.write can
+   raise EPIPE.  Every path that writes to a peer it does not control
+   — the server, the load generator, the CLI's remote-stats client —
+   must ignore the signal first; with it ignored, the write raises
+   EPIPE and the caller's dead-peer handling runs. *)
+let ignore_sigpipe () =
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
 let default_handler signo =
   run_cleanups ();
   (* Conventional "killed by signal" exit codes: 130 for SIGINT, 143
@@ -46,6 +55,7 @@ let default_handler signo =
   exit (128 + if signo = Sys.sigint then 2 else 15)
 
 let install ?(handler = default_handler) () =
+  ignore_sigpipe ();
   let h = Sys.Signal_handle handler in
   Sys.set_signal Sys.sigint h;
   Sys.set_signal Sys.sigterm h

@@ -19,7 +19,15 @@ val run_cleanups : unit -> unit
     registered after a drain belong to the next drain. *)
 
 val install : ?handler:(int -> unit) -> unit -> unit
-(** Install [handler] for SIGINT and SIGTERM.  The default handler
-    calls {!run_cleanups} and exits 130/143.  The last [install] wins,
-    so a server can override the CLI-wide default with a
-    drain-requesting handler. *)
+(** Install [handler] for SIGINT and SIGTERM, and ignore SIGPIPE (see
+    {!ignore_sigpipe}).  The default handler calls {!run_cleanups} and
+    exits 130/143.  The last [install] wins, so a server can override
+    the CLI-wide default with a drain-requesting handler. *)
+
+val ignore_sigpipe : unit -> unit
+(** Set SIGPIPE to ignored (no-op off Unix).  Without this, writing to
+    a peer that already closed its end kills the whole process before
+    [Unix.write] can raise EPIPE; with it, the write raises and the
+    caller's dead-peer handling runs.  Idempotent; called by
+    {!install} and by every socket-writing entry point in the serving
+    layer. *)

@@ -48,6 +48,16 @@ exception Reject of Protocol.error_code
 let max_prepared = 256
 let max_flipped = 1024
 
+(* Work named by a request is bounded the way Attack's trials always
+   were: a wire graph spec may not describe an instance past these
+   caps (clique:100000 is ~5e9 edges) and a Simulate may not pin a
+   worker for an unbounded number of rounds.  Past a cap the answer
+   is a typed Bad_graph/Bad_argument, computed before anything is
+   allocated.  The CLI keeps calling Spec.parse uncapped. *)
+let max_graph_vertices = 1 lsl 22
+let max_graph_edges = 1 lsl 24
+let max_rounds = 1_000_000
+
 let prepare t ~scheme ~graph =
   let key = (scheme, graph) in
   match Memo.find_opt t.prepared key with
@@ -59,7 +69,10 @@ let prepare t ~scheme ~graph =
         | None -> raise (Reject (Protocol.Unknown_scheme scheme))
       in
       let g =
-        match Spec.parse graph with
+        match
+          Spec.parse ~max_vertices:max_graph_vertices
+            ~max_edges:max_graph_edges graph
+        with
         | Ok g -> g
         | Error msg -> raise (Reject (Protocol.Bad_graph msg))
       in
@@ -125,6 +138,8 @@ let eval t (req : Protocol.request) : Protocol.response =
       in
       verdict_of_outcome (Engine.run_par ~pool:t.pool p.scheme p.inst certs)
   | Protocol.Simulate { scheme; graph; plan; rounds; seed } ->
+      if rounds < 1 || rounds > max_rounds then
+        raise (Reject (Protocol.Bad_argument "rounds must be in [1, 1e6]"));
       let p = prepare t ~scheme ~graph in
       let certs = certs_or_decline p in
       let plan =

@@ -57,8 +57,7 @@ let client cfg ~per_conn ~per_conn_rate =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
   @@ fun () ->
-  Unix.connect fd
-    (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+  Unix.connect fd (Server.resolve_addr ~host:cfg.host ~port:cfg.port);
   Unix.setsockopt fd Unix.TCP_NODELAY true;
   let template = Protocol.encode_request ~id:0 cfg.request in
   let out = { n_ok = 0; n_retry = 0; n_err = 0 } in
@@ -145,12 +144,12 @@ let client cfg ~per_conn ~per_conn_rate =
 (* One request, one response, over a fresh connection — the CLI's
    remote-stats path and the differential tests' client. *)
 let request_once ~host ~port req =
+  Shutdown.ignore_sigpipe ();
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
   @@ fun () ->
-  match
-    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
-  with
+  match Unix.connect fd (Server.resolve_addr ~host ~port) with
+  | exception Failure msg -> Error msg
   | exception Unix.Unix_error (e, _, _) ->
       Error (Printf.sprintf "connect %s:%d: %s" host port (Unix.error_message e))
   | () -> (
@@ -186,6 +185,7 @@ let percentile sorted q =
   else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
 
 let run cfg =
+  Shutdown.ignore_sigpipe ();
   if cfg.connections < 1 then invalid_arg "Loadgen.run: connections < 1";
   if cfg.window < 1 then invalid_arg "Loadgen.run: window < 1";
   if cfg.total < 1 then invalid_arg "Loadgen.run: total < 1";

@@ -68,6 +68,8 @@ let c_requests op =
 
 let c_retry = lazy (Metrics.counter ~approx:true "serve.retry_later")
 let c_wire_errors = lazy (Metrics.counter ~approx:true "serve.wire_errors")
+let c_oversized =
+  lazy (Metrics.counter ~approx:true "serve.oversized_responses")
 let c_conns = lazy (Metrics.counter ~approx:true "serve.connections")
 let c_conns_rejected =
   lazy (Metrics.counter ~approx:true "serve.connections_rejected")
@@ -107,56 +109,99 @@ let send conn s =
 (* ------------------------------------------------------------------ *)
 (* Worker loop                                                         *)
 
+(* Handlers.handle already folds non-fatal exceptions into typed
+   [Internal] errors; this is the fatal backstop.  Out_of_memory while
+   materialising one oversized response must not kill the worker
+   domain silently — with workers=1 that would stop the server while
+   admitted jobs keep their in-flight slots forever.  Answer the
+   request, log loudly, keep serving. *)
+let handle_guarded handlers req =
+  match Span.with_ "serve.handle" (fun () -> Handlers.handle handlers req) with
+  | resp -> resp
+  | exception e ->
+      Logger.err
+        ~fields:[ ("exn", Printexc.to_string e) ]
+        "serve: fatal exception in a handler; answering INTERNAL";
+      Protocol.Error (Protocol.Internal (Printexc.to_string e))
+
+(* A response whose payload cannot ride a frame (a Simulate trace or
+   rejection list past Wire.max_payload) must become a typed error,
+   not an [Invalid_argument] out of [Wire.encode_into]. *)
+let encodable_payload resp =
+  let (_, payload) as r = Protocol.encode_response_payload resp in
+  if String.length payload <= Wire.max_payload then r
+  else begin
+    when_metrics (fun () -> Metrics.incr (Lazy.force c_oversized));
+    Logger.warn
+      ~fields:[ ("bytes", string_of_int (String.length payload)) ]
+      "serve: response exceeds the frame limit; answering INTERNAL";
+    Protocol.encode_response_payload
+      (Protocol.Error
+         (Protocol.Internal "response exceeds the wire frame limit"))
+  end
+
 let worker handlers queue batch_max =
+  let run_batch jobs =
+    (* Decode, then group by decoded request: every group is
+       answered by one evaluation, its shared payload encoded once
+       and stamped with each request's id. *)
+    let decoded =
+      List.map (fun j -> (j, Protocol.decode_request j.frame)) jobs
+    in
+    let groups = Batcher.group snd decoded in
+    let out : (int, conn * Buffer.t) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (key, items) ->
+        let resp =
+          match key with
+          | Error code -> Protocol.Error code
+          | Ok req ->
+              Batcher.observe_batch (Handlers.batcher handlers)
+                (List.length items);
+              handle_guarded handlers req
+        in
+        let opcode, payload = encodable_payload resp in
+        List.iter
+          (fun ((j : job), _) ->
+            let conn = j.jconn in
+            let buf =
+              match Hashtbl.find_opt out conn.cid with
+              | Some (_, b) -> b
+              | None ->
+                  let b = Buffer.create 256 in
+                  Hashtbl.replace out conn.cid (conn, b);
+                  b
+            in
+            Wire.encode_into buf { Wire.id = j.frame.Wire.id; opcode; payload };
+            when_metrics (fun () ->
+                Metrics.observe (Lazy.force h_latency)
+                  (int_of_float
+                     ((Unix.gettimeofday () -. j.enqueued) *. 1e6))))
+          items)
+      groups;
+    (* one write per connection per batch *)
+    Hashtbl.iter (fun _ (conn, b) -> send conn (Buffer.contents b)) out
+  in
   let rec loop () =
     match Admission.pop_batch queue ~max:batch_max with
     | [] -> () (* closed and drained *)
     | jobs ->
-        (* Decode, then group by decoded request: every group is
-           answered by one evaluation, its shared payload encoded once
-           and stamped with each request's id. *)
-        let decoded =
-          List.map (fun j -> (j, Protocol.decode_request j.frame)) jobs
-        in
-        let groups = Batcher.group snd decoded in
-        let out : (int, conn * Buffer.t) Hashtbl.t = Hashtbl.create 8 in
-        List.iter
-          (fun (key, items) ->
-            let resp =
-              match key with
-              | Error code -> Protocol.Error code
-              | Ok req ->
-                  Batcher.observe_batch (Handlers.batcher handlers)
-                    (List.length items);
-                  Span.with_ "serve.handle" (fun () ->
-                      Handlers.handle handlers req)
-            in
-            let opcode, payload = Protocol.encode_response_payload resp in
-            List.iter
-              (fun ((j : job), _) ->
-                let conn = j.jconn in
-                let buf =
-                  match Hashtbl.find_opt out conn.cid with
-                  | Some (_, b) -> b
-                  | None ->
-                      let b = Buffer.create 256 in
-                      Hashtbl.replace out conn.cid (conn, b);
-                      b
-                in
-                Wire.encode_into buf
-                  { Wire.id = j.frame.Wire.id; opcode; payload };
-                when_metrics (fun () ->
-                    Metrics.observe (Lazy.force h_latency)
-                      (int_of_float
-                         ((Unix.gettimeofday () -. j.enqueued) *. 1e6))))
-              items)
-          groups;
-        (* one write per connection per batch *)
-        Hashtbl.iter (fun _ (conn, b) -> send conn (Buffer.contents b)) out;
-        List.iter (fun (j, _) -> Admission.release j.jconn.slots) decoded;
+        (* Slots are released whatever happens to the batch: a leaked
+           slot would pin its connection at the in-flight cap forever. *)
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter (fun j -> Admission.release j.jconn.slots) jobs)
+          (fun () -> run_batch jobs);
         loop ()
   in
-  loop ()
+  (* Anything escaping the guards above is a bug; dying loudly beats a
+     silent worker loss. *)
+  try loop ()
+  with e ->
+    Logger.err
+      ~fields:[ ("exn", Printexc.to_string e) ]
+      "serve: worker domain died";
+    raise e
 
 (* ------------------------------------------------------------------ *)
 (* IO loop                                                             *)
@@ -223,14 +268,40 @@ let read_into conn =
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Read
   | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> `Eof
 
+(* [Unix.inet_addr_of_string] accepts only numeric addresses and
+   raises a bare [Failure _] on names; fall through to getaddrinfo so
+   "localhost" (server bind and loadgen connect alike) resolves.  IPv4
+   only — both ends open PF_INET sockets. *)
+let resolve_addr ~host ~port =
+  match Unix.inet_addr_of_string host with
+  | addr -> Unix.ADDR_INET (addr, port)
+  | exception Failure _ -> (
+      let candidates =
+        try
+          Unix.getaddrinfo host ""
+            [ Unix.AI_FAMILY Unix.PF_INET; Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+        with Unix.Unix_error _ -> []
+      in
+      match
+        List.find_map
+          (function
+            | { Unix.ai_addr = Unix.ADDR_INET (addr, _); _ } -> Some addr
+            | _ -> None)
+          candidates
+      with
+      | Some addr -> Unix.ADDR_INET (addr, port)
+      | None -> failwith (Printf.sprintf "cannot resolve host %S" host))
+
 let run ?(stop = Atomic.make false) ?(install_signals = true) ?ready config =
   if config.workers < 1 then invalid_arg "Server.run: workers < 1";
+  (* A client that disconnects with responses in flight must surface
+     as EPIPE in [send], not kill the process. *)
+  Shutdown.ignore_sigpipe ();
   if install_signals then
     Shutdown.install ~handler:(fun _ -> Atomic.set stop true) ();
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
-  Unix.bind listen_fd
-    (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+  Unix.bind listen_fd (resolve_addr ~host:config.host ~port:config.port);
   Unix.listen listen_fd 128;
   let port =
     match Unix.getsockname listen_fd with

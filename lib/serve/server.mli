@@ -23,6 +23,13 @@ type config = {
 
 val default_config : config
 
+val resolve_addr : host:string -> port:int -> Unix.sockaddr
+(** Resolve [host] (a numeric IPv4 address or a name like
+    ["localhost"], via getaddrinfo) to an IPv4 socket address.
+    Raises [Failure] with a readable message when the name does not
+    resolve.  Shared by the server's bind and the load generator's
+    connects. *)
+
 val run :
   ?stop:bool Atomic.t ->
   ?install_signals:bool ->

@@ -423,6 +423,113 @@ let qcheck_spec_total =
     (fun s ->
       match Spec.parse s with Ok _ | Error _ -> true)
 
+(* Caps refuse a huge spec from its *parameters* — these would OOM or
+   spin for minutes if the generator ran first — while specs inside
+   the caps build exactly as the uncapped parse does. *)
+let spec_size_caps () =
+  let capped = Spec.parse ~max_vertices:10_000 ~max_edges:100_000 in
+  let refused spec =
+    match capped spec with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s not refused" spec
+  in
+  refused "clique:100000";
+  refused "grid:100000:100000";
+  refused "cbt:60";
+  refused "path:1000000000";
+  refused "caterpillar:100000:100000";
+  refused "edges:0-9999999999";
+  List.iter
+    (fun spec ->
+      match (capped spec, Spec.parse spec) with
+      | Ok g, Ok g' -> check spec true (Graph.equal g g')
+      | _ -> Alcotest.failf "%s should parse under the caps" spec)
+    [ "clique:12"; "grid:30:30"; "random-tree:500:7"; "edges:0-1,1-2" ];
+  (* junk stays a typed error under caps too *)
+  match capped "clique:notanumber" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "junk accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Server-side resource bounds                                         *)
+
+let handlers_resource_bounds () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let h = Handlers.create ~pool () in
+      (* a graph spec naming an enormous instance is a typed Bad_graph,
+         answered without building anything *)
+      (match
+         Handlers.handle h
+           (Protocol.Verify
+              { scheme = scheme_name; graph = "clique:100000"; flip = None })
+       with
+      | Protocol.Error (Protocol.Bad_graph _) -> ()
+      | _ -> Alcotest.fail "oversized graph spec must be Bad_graph");
+      (* unbounded rounds are a typed Bad_argument *)
+      match
+        Handlers.handle h
+          (Protocol.Simulate
+             {
+               scheme = scheme_name;
+               graph = graph_spec;
+               plan = "corrupt:0.1";
+               rounds = 100_000_000;
+               seed = 1;
+             })
+      with
+      | Protocol.Error (Protocol.Bad_argument _) -> ()
+      | _ -> Alcotest.fail "unbounded rounds must be Bad_argument")
+
+(* ------------------------------------------------------------------ *)
+(* Host resolution                                                     *)
+
+let resolve_hosts () =
+  (match Server.resolve_addr ~host:"127.0.0.1" ~port:19523 with
+  | Unix.ADDR_INET (a, 19523) ->
+      check "numeric" true (Unix.string_of_inet_addr a = "127.0.0.1")
+  | _ -> Alcotest.fail "numeric address must resolve");
+  (match Server.resolve_addr ~host:"localhost" ~port:7 with
+  | Unix.ADDR_INET (_, 7) -> ()
+  | _ -> Alcotest.fail "localhost must resolve via getaddrinfo");
+  match Server.resolve_addr ~host:"no.such.host.invalid" ~port:1 with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "unresolvable host must raise a readable Failure"
+
+(* A client that disconnects with responses still in flight must not
+   kill the server (SIGPIPE ignored, EPIPE contained): the server
+   keeps answering a second client afterwards. *)
+let dead_peer_survival () =
+  Loadgen.with_self_server
+    ~config:{ Server.default_config with Server.workers = 1; jobs = 1 }
+    (fun ~port ->
+      (* open, fire a pipelined burst, vanish without reading *)
+      for _ = 1 to 3 do
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        let b = Buffer.create 4096 in
+        for id = 0 to 63 do
+          Wire.encode_into b
+            (Protocol.encode_request ~id
+               (Protocol.Verify
+                  { scheme = scheme_name; graph = graph_spec; flip = None }))
+        done;
+        (try
+           ignore
+             (Unix.write_substring fd (Buffer.contents b) 0
+                (Buffer.length b))
+         with Unix.Unix_error _ -> ());
+        Unix.close fd;
+        Unix.sleepf 0.01
+      done;
+      (* the server is still alive and correct for a well-behaved peer *)
+      match
+        Loadgen.request_once ~host:"localhost" ~port
+          (Protocol.Verify { scheme = scheme_name; graph = graph_spec; flip = None })
+      with
+      | Ok (Protocol.Verdict { accepted = true; _ }) -> ()
+      | Ok _ -> Alcotest.fail "expected an accepting verdict"
+      | Error e -> Alcotest.fail e)
+
 (* ------------------------------------------------------------------ *)
 (* Bench schema                                                        *)
 
@@ -561,13 +668,21 @@ let suite =
           simulate_differential_via_socket;
         Alcotest.test_case "overload answers RETRY_LATER" `Quick
           overload_retry_later;
+        Alcotest.test_case "oversized specs and rounds rejected typed" `Quick
+          handlers_resource_bounds;
+        Alcotest.test_case "dead peers do not kill the server" `Quick
+          dead_peer_survival;
       ] );
     ( "serve-spec",
       [
         Alcotest.test_case "spec matches generators" `Quick
           spec_matches_generators;
         QCheck_alcotest.to_alcotest qcheck_spec_total;
+        Alcotest.test_case "size caps refuse before building" `Quick
+          spec_size_caps;
       ] );
+    ( "serve-resolve",
+      [ Alcotest.test_case "numeric, named and bogus hosts" `Quick resolve_hosts ] );
     ( "serve-bench-schema",
       [
         Alcotest.test_case "render/parse fixpoint" `Quick
