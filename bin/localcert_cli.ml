@@ -31,25 +31,32 @@ let parse_graph spec =
   let fail msg = Error (`Msg msg) in
   match String.split_on_char ':' spec with
   | [ "file"; path ] -> (
+      (* sniff the first line only: an edge-list header is "n m";
+         otherwise graph6.  Edge lists stream through
+         [Io.of_edge_list_file] (two counting passes over the file,
+         CSR built directly), so a multi-million-edge input never
+         needs to fit in memory. *)
       match
         let ic = open_in path in
-        let len = in_channel_length ic in
-        let content = really_input_string ic len in
+        let first_line = try input_line ic with End_of_file -> "" in
         close_in ic;
-        content
+        first_line
       with
-      | content ->
-          (* sniff: an edge-list header is "n m"; otherwise graph6 *)
-          let first_line =
-            match String.split_on_char '\n' content with
-            | l :: _ -> l
-            | [] -> ""
-          in
+      | first_line ->
           if
             String.split_on_char ' ' (String.trim first_line)
             |> List.for_all (fun t -> t <> "" && String.for_all (fun c -> c >= '0' && c <= '9') t)
-          then Result.map_error (fun e -> `Msg e) (Io.of_edge_list content)
-          else Result.map_error (fun e -> `Msg e) (Io.of_graph6 content)
+          then Result.map_error (fun e -> `Msg e) (Io.of_edge_list_file path)
+          else (
+            match
+              let ic = open_in path in
+              let len = in_channel_length ic in
+              let content = really_input_string ic len in
+              close_in ic;
+              content
+            with
+            | content -> Result.map_error (fun e -> `Msg e) (Io.of_graph6 content)
+            | exception Sys_error e -> fail e)
       | exception Sys_error e -> fail e)
   | _ -> Result.map_error (fun e -> `Msg e) (Spec.parse spec)
 

@@ -167,7 +167,7 @@ type 'a analysis_arr = {
    corresponding [pairs_equal] on length-k suffixes).  This replaces
    the quadratic List.nth/suffix walks of the list-based verifier and
    allocates nothing per neighbor beyond the two precomputed arrays. *)
-let verify_decoded ~t_bound codec ~me mine ~nbrs ~proj =
+let verify_decoded ~t_bound codec ~me mine ~ids ~decs ~lo ~hi ~proj =
   let ( let* ) = Result.bind in
   let* entries =
     match mine with Some e -> Ok e | None -> Error "malformed certificate"
@@ -179,13 +179,14 @@ let verify_decoded ~t_bound codec ~me mine ~nbrs ~proj =
     if d > 0 && entries.(0).aid = me then Ok ()
     else Error "list does not start with my id"
   in
-  let n = Array.length nbrs in
+  let n = hi - lo in
+  let nid i = ids.(lo + i) in
   let ne = Array.make n [||] in
   let* () =
     let rec go i =
       if i >= n then Ok ()
       else
-        match proj (snd nbrs.(i)) with
+        match proj decs.(lo + i) with
         | None -> Error "malformed neighbor certificate"
         | Some es ->
             ne.(i) <- es;
@@ -200,7 +201,7 @@ let verify_decoded ~t_bound codec ~me mine ~nbrs ~proj =
       if i >= n then Ok ()
       else
         let es = ne.(i) in
-        if Array.length es > 0 && es.(0).aid = fst nbrs.(i) then go (i + 1)
+        if Array.length es > 0 && es.(0).aid = nid i then go (i + 1)
         else Error "neighbor list does not start with its id"
     in
     go 0
@@ -278,7 +279,7 @@ let verify_decoded ~t_bound codec ~me mine ~nbrs ~proj =
               else
                 let rec find i =
                   if i >= n then -1
-                  else if member i j && fst nbrs.(i) = te.parent_id then i
+                  else if member i j && nid i = te.parent_id then i
                   else find (i + 1)
                 in
                 match find 0 with
@@ -322,23 +323,21 @@ let verify_decoded ~t_bound codec ~me mine ~nbrs ~proj =
 let verify ~t_bound codec (view : Scheme.view) =
   let id_bits = view.Scheme.id_bits in
   let mine = decode_arr ~id_bits codec view.Scheme.cert in
-  let nbrs =
+  let ids = Array.of_list (List.map fst view.Scheme.nbrs) in
+  let decs =
     Array.of_list
-      (List.map
-         (fun (nid, c) -> (nid, decode_arr ~id_bits codec c))
-         view.Scheme.nbrs)
+      (List.map (fun (_, c) -> decode_arr ~id_bits codec c) view.Scheme.nbrs)
   in
   match
-    verify_decoded ~t_bound codec ~me:view.Scheme.me mine ~nbrs ~proj:Fun.id
+    verify_decoded ~t_bound codec ~me:view.Scheme.me mine ~ids ~decs ~lo:0
+      ~hi:(Array.length ids) ~proj:Fun.id
   with
   | Error _ as e -> e
   | Ok a ->
       let entries = Array.to_list a.aentries in
       let neighbor_entries =
-        Array.to_list
-          (Array.map
-             (fun (nid, es) -> (nid, Array.to_list (Option.get es)))
-             nbrs)
+        List.init (Array.length ids) (fun i ->
+            (ids.(i), Array.to_list (Option.get decs.(i))))
       in
       Ok
         {

@@ -89,13 +89,18 @@ val verify_decoded :
   'a codec ->
   me:int ->
   'a entry array option ->
-  nbrs:(int * 'b) array ->
+  ids:int array ->
+  decs:'b array ->
+  lo:int ->
+  hi:int ->
   proj:('b -> 'a entry array option) ->
   ('a analysis_arr, string) result
 (** {!verify} over pre-decoded certificates ([None] = malformed), the
-    form used by scheme lowerings: the neighbor array is sorted by id
-    as in {!Scheme.view}, and [proj] extracts each neighbor's decoded
-    entry array.  All suffix comparisons run on one precomputed
+    form used by scheme lowerings: the neighbors are the parallel
+    slices [ids.(lo..hi-1)]/[decs.(lo..hi-1)], sorted by id as in
+    {!Scheme.view} (for the compiled engine these are whole-graph
+    CSR rows), and [proj] extracts each neighbor's decoded entry
+    array.  All suffix comparisons run on one precomputed
     common-suffix length per neighbor, so the per-vertex work is
     O(Σ min(d, dn)) instead of the list verifier's quadratic walks.
     Verdicts (error strings included) agree with {!verify} exactly —

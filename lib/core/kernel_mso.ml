@@ -305,9 +305,8 @@ let lowering ~k ~t phi : dec Scheme.lowering =
         let drows, sat = rows_of rows_bits in
         { parts = Some (anc_bits, rows_bits); danc; drows; sat }
   in
-  let check ~id_bits:_ ~me ~label mine nbrs : Scheme.verdict =
+  let check ~id_bits:_ ~me ~label mine ~ids ~decs ~lo ~hi : Scheme.verdict =
     let ( let* ) = Result.bind in
-    let n = Array.length nbrs in
     let result =
       let* mine_rows =
         match mine.parts with
@@ -316,24 +315,24 @@ let lowering ~k ~t phi : dec Scheme.lowering =
       in
       let* () =
         let rec go i =
-          if i >= n then Ok ()
+          if i >= hi then Ok ()
           else
-            match (snd nbrs.(i)).parts with
+            match decs.(i).parts with
             | None -> Error "malformed neighbor certificate"
             | Some _ -> go (i + 1)
         in
-        go 0
+        go lo
       in
       (* broadcast agreement *)
       let* () =
         let rec go i =
-          if i >= n then Ok ()
+          if i >= hi then Ok ()
           else
-            match (snd nbrs.(i)).parts with
+            match decs.(i).parts with
             | Some (_, r) when Bitstring.equal r mine_rows -> go (i + 1)
             | _ -> Error "kernel descriptions disagree"
         in
-        go 0
+        go lo
       in
       let* rows =
         match mine.drows with
@@ -342,7 +341,8 @@ let lowering ~k ~t phi : dec Scheme.lowering =
       in
       (* ancestor-list checks with annotations *)
       let* analysis =
-        Anclist.verify_decoded ~t_bound:t ann_codec ~me mine.danc ~nbrs
+        Anclist.verify_decoded ~t_bound:t ann_codec ~me mine.danc ~ids ~decs
+          ~lo ~hi
           ~proj:(fun d -> d.danc)
       in
       let entry_arr = analysis.Anclist.aentries in
@@ -381,8 +381,8 @@ let lowering ~k ~t phi : dec Scheme.lowering =
       let children = analysis.Anclist.achildren in
       (* my true adjacency to my ancestors, root first *)
       let is_neighbor id =
-        let rec go i = i < n && (fst nbrs.(i) = id || go (i + 1)) in
-        go 0
+        let rec go i = i < hi && (ids.(i) = id || go (i + 1)) in
+        go lo
       in
       let anc_true =
         List.init (d - 1) (fun i ->
@@ -487,7 +487,7 @@ let lowering ~k ~t phi : dec Scheme.lowering =
     in
     match result with Ok () -> Accept | Error e -> Reject e
   in
-  { decode; check }
+  { decode; check; flat = None }
 
 (* ------------------------------------------------------------------ *)
 (* Schemes                                                              *)

@@ -40,17 +40,59 @@ type 'dec lowering = {
     me:int ->
     label:int ->
     'dec ->
-    (int * 'dec) array ->
+    ids:int array ->
+    decs:'dec array ->
+    lo:int ->
+    hi:int ->
     verdict;
       (** The radius-1 check over pre-decoded certificates.  The
-          neighbor array is sorted ascending by identifier, mirroring
-          {!view.nbrs}. *)
+          neighbors live in the parallel slices
+          [ids.(lo..hi-1)]/[decs.(lo..hi-1)], sorted ascending by
+          identifier — for the compiled engine these are whole-graph
+          CSR-shaped arrays shared by every vertex (one row per
+          vertex, zero per-view allocation); the interpreted path
+          passes a 0-based pair built from the view. *)
+  flat : 'dec flat option;
+      (** Optional struct-of-arrays plane for the compiled engine;
+          [None] keeps the boxed [decs] layout. *)
+}
+
+and 'dec flat = {
+  width : int;  (** ints per decoded value *)
+  write : 'dec -> int array -> int -> unit;
+      (** [write d plane base] stores [d]'s fields at
+          [plane.(base .. base + width - 1)]. *)
+  check_flat :
+    id_bits:int ->
+    me:int ->
+    label:int ->
+    mine:int array ->
+    mbase:int ->
+    ids:int array ->
+    plane:int array ->
+    lo:int ->
+    hi:int ->
+    verdict;
+      (** [check] over planes instead of boxed values: the vertex's
+          own fields live at [mine.(mbase .. mbase + width - 1)] and
+          slot [i]'s fields at [plane.(i * width ..)], parallel to
+          [ids.(i)].  Must agree with [check] verdict-for-verdict,
+          reason strings included — the interpreted verifier still
+          runs [check], and the engine's differential tests hold the
+          two paths to each other. *)
 }
 (** A scheme verifier split into decode and check stages.  The
     interpreted verifier and the ahead-of-time compiled engine path
     ({!Localcert_engine.Vcompile}) both end in the same [check], so
-    their verdicts — reason strings included — agree by
-    construction. *)
+    their verdicts — reason strings included — agree by construction.
+
+    Why planes exist: decoded records are boxed, and the major heap's
+    size-class free lists place them wherever holes are — at 10⁶+
+    vertices every neighbor dereference in a row walk is then a cache
+    miss on any graph whose adjacency is not id-local.  An int plane
+    is one contiguous unboxed array; the same walk streams it
+    sequentially, which is what holds verify throughput flat from
+    n=16384 to n=10⁶ (DESIGN §5.7). *)
 
 type compiled = Compiled : 'dec lowering -> compiled
 (** A lowering with its decoded representation abstracted away — what

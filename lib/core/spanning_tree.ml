@@ -31,23 +31,18 @@ let tree_certs (inst : Instance.t) root =
    the interpreted verifier and the compiled engine path, so the two
    agree on every verdict by construction.                            *)
 
-let any_malformed nbrs =
-  let n = Array.length nbrs in
-  let rec go i =
-    if i >= n then false
-    else match snd nbrs.(i) with None -> true | Some _ -> go (i + 1)
-  in
-  go 0
+(* Check stages take the neighbors as parallel [ids]/[decs] slices
+   ([lo, hi)) — the compiled engine passes whole-graph CSR rows here,
+   so the loops below index shared flat arrays and allocate nothing. *)
 
 (* [proj] extracts the embedded tree certificate from a decoded (and
    known well-formed) neighbor value. *)
-let check_tree_arr ~me c nbrs ~proj =
-  let n = Array.length nbrs in
-  let nth i = proj (snd nbrs.(i)) in
+let check_tree_arr ~me c ~ids ~decs ~lo ~hi ~proj =
+  let nth i = proj decs.(i) in
   let rec roots_ok i =
-    i >= n || ((nth i).root_id = c.root_id && roots_ok (i + 1))
+    i >= hi || ((nth i).root_id = c.root_id && roots_ok (i + 1))
   in
-  if not (roots_ok 0) then Error "root ids disagree"
+  if not (roots_ok lo) then Error "root ids disagree"
   else if c.dist = 0 then
     if c.root_id <> me then Error "distance 0 but not the claimed root"
     else if c.parent_id <> me then Error "root must be its own parent"
@@ -55,11 +50,9 @@ let check_tree_arr ~me c nbrs ~proj =
   else if c.root_id = me then Error "claimed root has nonzero distance"
   else begin
     let rec find i =
-      if i >= n then -1
-      else if fst nbrs.(i) = c.parent_id then i
-      else find (i + 1)
+      if i >= hi then -1 else if ids.(i) = c.parent_id then i else find (i + 1)
     in
-    match find 0 with
+    match find lo with
     | -1 -> Error "parent is not a neighbor"
     | i ->
         if (nth i).dist = c.dist - 1 then Ok ()
@@ -69,22 +62,111 @@ let check_tree_arr ~me c nbrs ~proj =
 let opt_cert = function Some c -> c | None -> assert false
 
 let check_tree_view ~me c ~neighbors =
-  check_tree_arr ~me c (Array.of_list neighbors) ~proj:Fun.id
+  let ids = Array.of_list (List.map fst neighbors) in
+  let decs = Array.of_list (List.map snd neighbors) in
+  check_tree_arr ~me c ~ids ~decs ~lo:0 ~hi:(Array.length ids) ~proj:Fun.id
 
-let tree_check ~me mine nbrs : Scheme.verdict =
+(* The compiled sweeps below are single-pass: at 10⁶+ vertices each
+   [decs.(i)] dereference is a likely cache miss (decoded records live
+   in vertex order, rows of a non-path graph reference them in random
+   order), so the row is walked once, gathering every sub-check's
+   flag, and the verdict is decided afterwards in the multi-pass
+   checkers' priority order.  Each sub-check is a forall/exists over
+   the whole row, so gathering commutes — verdicts (error strings
+   included) are identical to the layered versions. *)
+
+let tree_check ~me mine ~ids ~decs ~lo ~hi : Scheme.verdict =
   match mine with
   | None -> Reject "malformed certificate"
   | Some c ->
-      if any_malformed nbrs then Reject "malformed neighbor certificate"
-      else (
-        match check_tree_arr ~me c nbrs ~proj:opt_cert with
-        | Ok () -> Accept
-        | Error e -> Reject e)
+      let malformed = ref false in
+      let roots_ok = ref true in
+      let parent_idx = ref (-1) in
+      let i = ref lo in
+      while (not !malformed) && !i < hi do
+        (match decs.(!i) with
+        | None -> malformed := true
+        | Some nc ->
+            if nc.root_id <> c.root_id then roots_ok := false;
+            if ids.(!i) = c.parent_id then parent_idx := !i);
+        incr i
+      done;
+      if !malformed then Reject "malformed neighbor certificate"
+      else if not !roots_ok then Reject "root ids disagree"
+      else if c.dist = 0 then
+        if c.root_id <> me then Reject "distance 0 but not the claimed root"
+        else if c.parent_id <> me then Reject "root must be its own parent"
+        else Accept
+      else if c.root_id = me then Reject "claimed root has nonzero distance"
+      else if !parent_idx < 0 then Reject "parent is not a neighbor"
+      else if (opt_cert decs.(!parent_idx)).dist = c.dist - 1 then Accept
+      else Reject "parent distance is not mine minus one"
+
+(* Struct-of-arrays planes for the compiled engine (Scheme.flat): a
+   decoded [cert option] flattens to [valid; root_id; dist; parent_id]
+   and the flat checks below repeat the fused sweeps on plane slots
+   instead of boxed records — same gathering, same verdict cascade,
+   same reason strings. *)
+
+let tree_width = 4
+
+let tree_write d plane base =
+  match d with
+  | None -> plane.(base) <- 0
+  | Some c ->
+      plane.(base) <- 1;
+      plane.(base + 1) <- c.root_id;
+      plane.(base + 2) <- c.dist;
+      plane.(base + 3) <- c.parent_id
+
+let tree_check_flat ~me ~mine ~mbase ~ids ~plane ~lo ~hi : Scheme.verdict =
+  if Array.unsafe_get mine mbase = 0 then Reject "malformed certificate"
+  else begin
+    let m_root = Array.unsafe_get mine (mbase + 1) in
+    let m_dist = Array.unsafe_get mine (mbase + 2) in
+    let m_parent = Array.unsafe_get mine (mbase + 3) in
+    let malformed = ref false in
+    let roots_ok = ref true in
+    let parent_dist = ref min_int in
+    let i = ref lo in
+    while (not !malformed) && !i < hi do
+      let b = !i * tree_width in
+      if Array.unsafe_get plane b = 0 then malformed := true
+      else begin
+        if Array.unsafe_get plane (b + 1) <> m_root then roots_ok := false;
+        if Array.unsafe_get ids !i = m_parent then
+          parent_dist := Array.unsafe_get plane (b + 2)
+      end;
+      incr i
+    done;
+    if !malformed then Reject "malformed neighbor certificate"
+    else if not !roots_ok then Reject "root ids disagree"
+    else if m_dist = 0 then
+      if m_root <> me then Reject "distance 0 but not the claimed root"
+      else if m_parent <> me then Reject "root must be its own parent"
+      else Accept
+    else if m_root = me then Reject "claimed root has nonzero distance"
+    else if !parent_dist = min_int then Reject "parent is not a neighbor"
+    else if !parent_dist = m_dist - 1 then Accept
+    else Reject "parent distance is not mine minus one"
+  end
+
+let tree_flat : cert option Scheme.flat =
+  {
+    width = tree_width;
+    write = tree_write;
+    check_flat =
+      (fun ~id_bits:_ ~me ~label:_ ~mine ~mbase ~ids ~plane ~lo ~hi ->
+        tree_check_flat ~me ~mine ~mbase ~ids ~plane ~lo ~hi);
+  }
 
 let tree_lowering : cert option Scheme.lowering =
   {
     decode = (fun ~id_bits c -> decode ~id_bits c);
-    check = (fun ~id_bits:_ ~me ~label:_ mine nbrs -> tree_check ~me mine nbrs);
+    check =
+      (fun ~id_bits:_ ~me ~label:_ mine ~ids ~decs ~lo ~hi ->
+        tree_check ~me mine ~ids ~decs ~lo ~hi);
+    flat = Some tree_flat;
   }
 
 let scheme ?(root = 0) () =
@@ -98,29 +180,83 @@ let scheme ?(root = 0) () =
       else None)
     tree_lowering
 
-let acyclicity_check ~me mine nbrs : Scheme.verdict =
+let acyclicity_check ~me mine ~ids ~decs ~lo ~hi : Scheme.verdict =
   match mine with
   | None -> Reject "malformed certificate"
   | Some c ->
-      if any_malformed nbrs then Reject "malformed neighbor certificate"
-      else (
-        match check_tree_arr ~me c nbrs ~proj:opt_cert with
-        | Error e -> Reject e
-        | Ok () ->
-            (* every edge must be a tree edge: each neighbor is my
-               parent (dist-1, and I claim it) or my child (dist+1,
-               and it claims me) *)
-            let n = Array.length nbrs in
-            let rec all_tree i =
-              if i >= n then true
-              else
-                let nid = fst nbrs.(i) in
-                let nc = opt_cert (snd nbrs.(i)) in
-                let is_parent = nc.dist = c.dist - 1 && c.parent_id = nid in
-                let is_child = nc.dist = c.dist + 1 && nc.parent_id = me in
-                (is_parent || is_child) && all_tree (i + 1)
-            in
-            if all_tree 0 then Accept else Reject "non-tree edge detected")
+      let malformed = ref false in
+      let roots_ok = ref true in
+      let parent_idx = ref (-1) in
+      (* every edge must be a tree edge: each neighbor is my parent
+         (dist-1, and I claim it) or my child (dist+1, and it claims
+         me) *)
+      let all_tree = ref true in
+      let i = ref lo in
+      while (not !malformed) && !i < hi do
+        (match decs.(!i) with
+        | None -> malformed := true
+        | Some nc ->
+            if nc.root_id <> c.root_id then roots_ok := false;
+            if ids.(!i) = c.parent_id then parent_idx := !i;
+            let is_parent = nc.dist = c.dist - 1 && c.parent_id = ids.(!i) in
+            let is_child = nc.dist = c.dist + 1 && nc.parent_id = me in
+            if not (is_parent || is_child) then all_tree := false);
+        incr i
+      done;
+      if !malformed then Reject "malformed neighbor certificate"
+      else if not !roots_ok then Reject "root ids disagree"
+      else if c.dist = 0 then
+        if c.root_id <> me then Reject "distance 0 but not the claimed root"
+        else if c.parent_id <> me then Reject "root must be its own parent"
+        else if !all_tree then Accept
+        else Reject "non-tree edge detected"
+      else if c.root_id = me then Reject "claimed root has nonzero distance"
+      else if !parent_idx < 0 then Reject "parent is not a neighbor"
+      else if (opt_cert decs.(!parent_idx)).dist <> c.dist - 1 then
+        Reject "parent distance is not mine minus one"
+      else if !all_tree then Accept
+      else Reject "non-tree edge detected"
+
+let acyclicity_check_flat ~me ~mine ~mbase ~ids ~plane ~lo ~hi :
+    Scheme.verdict =
+  if Array.unsafe_get mine mbase = 0 then Reject "malformed certificate"
+  else begin
+    let m_root = Array.unsafe_get mine (mbase + 1) in
+    let m_dist = Array.unsafe_get mine (mbase + 2) in
+    let m_parent = Array.unsafe_get mine (mbase + 3) in
+    let malformed = ref false in
+    let roots_ok = ref true in
+    let parent_dist = ref min_int in
+    let all_tree = ref true in
+    let i = ref lo in
+    while (not !malformed) && !i < hi do
+      let b = !i * tree_width in
+      if Array.unsafe_get plane b = 0 then malformed := true
+      else begin
+        let nd = Array.unsafe_get plane (b + 2) in
+        let nid = Array.unsafe_get ids !i in
+        if Array.unsafe_get plane (b + 1) <> m_root then roots_ok := false;
+        if nid = m_parent then parent_dist := nd;
+        let is_parent = nd = m_dist - 1 && m_parent = nid in
+        let is_child = nd = m_dist + 1 && Array.unsafe_get plane (b + 3) = me in
+        if not (is_parent || is_child) then all_tree := false
+      end;
+      incr i
+    done;
+    if !malformed then Reject "malformed neighbor certificate"
+    else if not !roots_ok then Reject "root ids disagree"
+    else if m_dist = 0 then
+      if m_root <> me then Reject "distance 0 but not the claimed root"
+      else if m_parent <> me then Reject "root must be its own parent"
+      else if !all_tree then Accept
+      else Reject "non-tree edge detected"
+    else if m_root = me then Reject "claimed root has nonzero distance"
+    else if !parent_dist = min_int then Reject "parent is not a neighbor"
+    else if !parent_dist <> m_dist - 1 then
+      Reject "parent distance is not mine minus one"
+    else if !all_tree then Accept
+    else Reject "non-tree edge detected"
+  end
 
 let acyclicity =
   Scheme.of_lowering ~name:"acyclicity"
@@ -132,87 +268,202 @@ let acyclicity =
     {
       Scheme.decode = (fun ~id_bits c -> decode ~id_bits c);
       check =
-        (fun ~id_bits:_ ~me ~label:_ mine nbrs ->
-          acyclicity_check ~me mine nbrs);
+        (fun ~id_bits:_ ~me ~label:_ mine ~ids ~decs ~lo ~hi ->
+          acyclicity_check ~me mine ~ids ~decs ~lo ~hi);
+      flat =
+        Some
+          {
+            Scheme.width = tree_width;
+            write = tree_write;
+            check_flat =
+              (fun ~id_bits:_ ~me ~label:_ ~mine ~mbase ~ids ~plane ~lo ~hi ->
+                acyclicity_check_flat ~me ~mine ~mbase ~ids ~plane ~lo ~hi);
+          };
     }
 
 (* Vertex count: spanning-tree certificate extended with the subtree
-   size and the claimed global total. *)
-type count_cert = { tree : cert; size : int; total : int }
+   size and the claimed global total.  The record is flat — no nested
+   tree certificate — so the one dereference the fused sweep below
+   performs per neighbor pulls every field into cache together. *)
+type count_cert = {
+  c_root_id : int;
+  c_dist : int;
+  c_parent_id : int;
+  size : int;
+  total : int;
+}
 
 let encode_count ~id_bits c =
   let w = Bitbuf.Writer.create () in
-  Bitbuf.Writer.fixed w ~width:id_bits c.tree.root_id;
-  Bitbuf.Writer.nat w c.tree.dist;
-  Bitbuf.Writer.fixed w ~width:id_bits c.tree.parent_id;
+  Bitbuf.Writer.fixed w ~width:id_bits c.c_root_id;
+  Bitbuf.Writer.nat w c.c_dist;
+  Bitbuf.Writer.fixed w ~width:id_bits c.c_parent_id;
   Bitbuf.Writer.nat w c.size;
   Bitbuf.Writer.nat w c.total;
   Bitbuf.Writer.contents w
 
 let decode_count ~id_bits b =
   Bitbuf.decode b (fun r ->
-      let root_id = Bitbuf.Reader.fixed r ~width:id_bits in
-      let dist = Bitbuf.Reader.nat r in
-      let parent_id = Bitbuf.Reader.fixed r ~width:id_bits in
+      let c_root_id = Bitbuf.Reader.fixed r ~width:id_bits in
+      let c_dist = Bitbuf.Reader.nat r in
+      let c_parent_id = Bitbuf.Reader.fixed r ~width:id_bits in
       let size = Bitbuf.Reader.nat r in
       let total = Bitbuf.Reader.nat r in
-      { tree = { root_id; dist; parent_id }; size; total })
+      { c_root_id; c_dist; c_parent_id; size; total })
 
 let count_certs (inst : Instance.t) root =
   let sp = Spanning.bfs inst.graph ~root in
   let sizes = Spanning.subtree_sizes sp in
   let base = tree_certs inst root in
   Array.init (Instance.n inst) (fun v ->
-      { tree = base.(v); size = sizes.(v); total = Instance.n inst })
+      let t = base.(v) in
+      {
+        c_root_id = t.root_id;
+        c_dist = t.dist;
+        c_parent_id = t.parent_id;
+        size = sizes.(v);
+        total = Instance.n inst;
+      })
 
-let count_tree = function Some c -> c.tree | None -> assert false
-
-let count_check ~total_pred ~local ~root_check ~me mine nbrs : Scheme.verdict =
+let count_check ~total_pred ~local ~root_check ~me mine ~ids ~decs ~lo ~hi :
+    Scheme.verdict =
   match mine with
   | None -> Reject "malformed certificate"
-  | Some mine -> (
-      if any_malformed nbrs then Reject "malformed neighbor certificate"
-      else
-        let n = Array.length nbrs in
-        let nth i =
-          match snd nbrs.(i) with Some c -> c | None -> assert false
-        in
-        match check_tree_arr ~me mine.tree nbrs ~proj:count_tree with
-        | Error e -> Reject e
-        | Ok () ->
-            let rec totals_ok i =
-              i >= n || ((nth i).total = mine.total && totals_ok (i + 1))
-            in
-            if not (totals_ok 0) then Reject "totals disagree"
-            else begin
-              let children_sum = ref 0 in
-              for i = 0 to n - 1 do
-                let c = nth i in
-                if c.tree.parent_id = me && c.tree.dist = mine.tree.dist + 1
-                then children_sum := !children_sum + c.size
-              done;
-              if mine.size <> !children_sum + 1 then
-                Reject "subtree size does not match children"
-              else if mine.tree.dist = 0 && mine.size <> mine.total then
-                Reject "root size differs from claimed total"
-              else if mine.tree.dist = 0 && not (total_pred mine.total) then
-                Reject "total fails the predicate"
-              else if not (local ~total:mine.total ~me ~degree:n) then
-                Reject "local degree check failed"
-              else if
-                mine.tree.dist = 0
-                && not (root_check ~total:mine.total ~degree:n)
-              then Reject "root check failed"
-              else Accept
-            end)
+  | Some mine ->
+      let n = hi - lo in
+      let malformed = ref false in
+      let roots_ok = ref true and totals_ok = ref true in
+      let parent_idx = ref (-1) in
+      let children_sum = ref 0 in
+      let i = ref lo in
+      while (not !malformed) && !i < hi do
+        (match decs.(!i) with
+        | None -> malformed := true
+        | Some c ->
+            if c.c_root_id <> mine.c_root_id then roots_ok := false;
+            if c.total <> mine.total then totals_ok := false;
+            if ids.(!i) = mine.c_parent_id then parent_idx := !i;
+            if c.c_parent_id = me && c.c_dist = mine.c_dist + 1 then
+              children_sum := !children_sum + c.size);
+        incr i
+      done;
+      if !malformed then Reject "malformed neighbor certificate"
+      else if not !roots_ok then Reject "root ids disagree"
+      else if
+        (* the spanning-tree core, on the flat fields *)
+        mine.c_dist = 0 && mine.c_root_id <> me
+      then Reject "distance 0 but not the claimed root"
+      else if mine.c_dist = 0 && mine.c_parent_id <> me then
+        Reject "root must be its own parent"
+      else if mine.c_dist > 0 && mine.c_root_id = me then
+        Reject "claimed root has nonzero distance"
+      else if mine.c_dist > 0 && !parent_idx < 0 then
+        Reject "parent is not a neighbor"
+      else if
+        mine.c_dist > 0
+        && (match decs.(!parent_idx) with
+           | Some p -> p.c_dist <> mine.c_dist - 1
+           | None -> assert false)
+      then Reject "parent distance is not mine minus one"
+      else if not !totals_ok then Reject "totals disagree"
+      else if mine.size <> !children_sum + 1 then
+        Reject "subtree size does not match children"
+      else if mine.c_dist = 0 && mine.size <> mine.total then
+        Reject "root size differs from claimed total"
+      else if mine.c_dist = 0 && not (total_pred mine.total) then
+        Reject "total fails the predicate"
+      else if not (local ~total:mine.total ~me ~degree:n) then
+        Reject "local degree check failed"
+      else if mine.c_dist = 0 && not (root_check ~total:mine.total ~degree:n)
+      then Reject "root check failed"
+      else Accept
+
+(* Flat plane for count certificates:
+   [valid; root_id; dist; parent_id; size; total]. *)
+let count_width = 6
+
+let count_write d plane base =
+  match d with
+  | None -> plane.(base) <- 0
+  | Some c ->
+      plane.(base) <- 1;
+      plane.(base + 1) <- c.c_root_id;
+      plane.(base + 2) <- c.c_dist;
+      plane.(base + 3) <- c.c_parent_id;
+      plane.(base + 4) <- c.size;
+      plane.(base + 5) <- c.total
+
+let count_check_flat ~total_pred ~local ~root_check ~me ~mine ~mbase ~ids
+    ~plane ~lo ~hi : Scheme.verdict =
+  if Array.unsafe_get mine mbase = 0 then Reject "malformed certificate"
+  else begin
+    let m_root = Array.unsafe_get mine (mbase + 1) in
+    let m_dist = Array.unsafe_get mine (mbase + 2) in
+    let m_parent = Array.unsafe_get mine (mbase + 3) in
+    let m_size = Array.unsafe_get mine (mbase + 4) in
+    let m_total = Array.unsafe_get mine (mbase + 5) in
+    let n = hi - lo in
+    let malformed = ref false in
+    let roots_ok = ref true and totals_ok = ref true in
+    let parent_dist = ref min_int in
+    let children_sum = ref 0 in
+    let i = ref lo in
+    while (not !malformed) && !i < hi do
+      let b = !i * count_width in
+      if Array.unsafe_get plane b = 0 then malformed := true
+      else begin
+        let nd = Array.unsafe_get plane (b + 2) in
+        if Array.unsafe_get plane (b + 1) <> m_root then roots_ok := false;
+        if Array.unsafe_get plane (b + 5) <> m_total then totals_ok := false;
+        if Array.unsafe_get ids !i = m_parent then parent_dist := nd;
+        if Array.unsafe_get plane (b + 3) = me && nd = m_dist + 1 then
+          children_sum := !children_sum + Array.unsafe_get plane (b + 4)
+      end;
+      incr i
+    done;
+    if !malformed then Reject "malformed neighbor certificate"
+    else if not !roots_ok then Reject "root ids disagree"
+    else if m_dist = 0 && m_root <> me then
+      Reject "distance 0 but not the claimed root"
+    else if m_dist = 0 && m_parent <> me then
+      Reject "root must be its own parent"
+    else if m_dist > 0 && m_root = me then
+      Reject "claimed root has nonzero distance"
+    else if m_dist > 0 && !parent_dist = min_int then
+      Reject "parent is not a neighbor"
+    else if m_dist > 0 && !parent_dist <> m_dist - 1 then
+      Reject "parent distance is not mine minus one"
+    else if not !totals_ok then Reject "totals disagree"
+    else if m_size <> !children_sum + 1 then
+      Reject "subtree size does not match children"
+    else if m_dist = 0 && m_size <> m_total then
+      Reject "root size differs from claimed total"
+    else if m_dist = 0 && not (total_pred m_total) then
+      Reject "total fails the predicate"
+    else if not (local ~total:m_total ~me ~degree:n) then
+      Reject "local degree check failed"
+    else if m_dist = 0 && not (root_check ~total:m_total ~degree:n) then
+      Reject "root check failed"
+    else Accept
+  end
 
 let count_lowering ~total_pred ~local ~root_check :
     count_cert option Scheme.lowering =
   {
     decode = (fun ~id_bits c -> decode_count ~id_bits c);
     check =
-      (fun ~id_bits:_ ~me ~label:_ mine nbrs ->
-        count_check ~total_pred ~local ~root_check ~me mine nbrs);
+      (fun ~id_bits:_ ~me ~label:_ mine ~ids ~decs ~lo ~hi ->
+        count_check ~total_pred ~local ~root_check ~me mine ~ids ~decs ~lo ~hi);
+    flat =
+      Some
+        {
+          Scheme.width = count_width;
+          write = count_write;
+          check_flat =
+            (fun ~id_bits:_ ~me ~label:_ ~mine ~mbase ~ids ~plane ~lo ~hi ->
+              count_check_flat ~total_pred ~local ~root_check ~me ~mine ~mbase
+                ~ids ~plane ~lo ~hi);
+        };
   }
 
 let always_local ~total:_ ~me:_ ~degree:_ = true
@@ -264,5 +515,6 @@ let counted ?(choose_root = fun _ -> Some 0) ~name ~total_pred ~local
 let count_cert_size inst =
   let certs = count_certs inst 0 in
   Array.fold_left
-    (fun acc c -> max acc (Bitstring.length (encode_count ~id_bits:inst.Instance.id_bits c)))
+    (fun acc c ->
+      max acc (Bitstring.length (encode_count ~id_bits:inst.Instance.id_bits c)))
     0 certs

@@ -32,23 +32,25 @@ let default_state_bits (auto : TA.t) =
    (dist mod 3, state). *)
 let label_run (inst : Instance.t) (auto : TA.t) root =
   let g = inst.Instance.graph in
-  let dist = Graph.bfs_dist g root in
-  let size = Graph.n g in
-  let states = Array.make size (-1) in
-  (* bottom-up by decreasing distance *)
-  let order = Array.init size Fun.id in
-  Array.sort (fun a b -> Int.compare dist.(b) dist.(a)) order;
-  Array.iter
-    (fun v ->
-      let child_states =
-        Array.to_list (Graph.neighbors g v)
-        |> List.filter (fun w -> dist.(w) = dist.(v) + 1)
-        |> List.map (fun w -> states.(w))
-      in
-      states.(v) <-
-        auto.TA.delta ~label:inst.Instance.labels.(v)
-          ~counts:(TA.counts_of_list child_states))
-    order;
+  let bt = Graph.bfs_tree g root in
+  let dist = bt.Graph.dist in
+  let states = Array.make (Graph.n g) (-1) in
+  (* bottom-up: reversed BFS discovery order is nonincreasing
+     distance, so children are always labelled before their parent —
+     no comparison sort, no per-vertex neighbor array *)
+  let order = bt.Graph.order in
+  for i = Array.length order - 1 downto 0 do
+    let v = order.(i) in
+    let dv = dist.(v) + 1 in
+    let child_states =
+      Graph.fold_neighbors g v
+        (fun acc w -> if dist.(w) = dv then states.(w) :: acc else acc)
+        []
+    in
+    states.(v) <-
+      auto.TA.delta ~label:inst.Instance.labels.(v)
+        ~counts:(TA.counts_of_list child_states)
+  done;
   (dist, states)
 
 let prover_certs ?state_bits (inst : Instance.t) (auto : TA.t) roots =
@@ -92,79 +94,77 @@ let prover_certs ?state_bits (inst : Instance.t) (auto : TA.t) roots =
    [delta].  Both the interpreted verifier and the compiled engine path
    run this same [check], so their verdicts agree by construction. *)
 
-let nbr_cert (nbr : int * cert option) =
-  match snd nbr with Some c -> c | None -> assert false
+let nbr_cert (d : cert option) =
+  match d with Some c -> c | None -> assert false
 
 let lowering ~state_bits (auto : TA.t) : cert option Scheme.lowering =
   let fp = fingerprint auto in
   let table0 = TA.tabulate auto ~label:0 in
-  let slow_transition ~label ~down nbrs =
+  let slow_transition ~label ~down decs ~lo ~hi =
     let states = ref [] in
-    for i = Array.length nbrs - 1 downto 0 do
-      let c = nbr_cert nbrs.(i) in
+    for i = hi - 1 downto lo do
+      let c = nbr_cert decs.(i) in
       if c.dist3 = down then states := c.state :: !states
     done;
     auto.TA.delta ~label ~counts:(TA.counts_of_list !states)
   in
-  let transition ~label ~down nbrs =
+  let transition ~label ~down decs ~lo ~hi =
     match table0 with
     | Some tbl when label = 0 ->
-        let n = Array.length nbrs in
         let packed = ref 0 in
-        let i = ref 0 in
-        while !packed >= 0 && !i < n do
-          let c = nbr_cert nbrs.(!i) in
+        let i = ref lo in
+        while !packed >= 0 && !i < hi do
+          let c = nbr_cert decs.(!i) in
           if c.dist3 = down then packed := TA.table_add tbl !packed c.state;
           incr i
         done;
         if !packed >= 0 then TA.table_delta tbl !packed
-        else slow_transition ~label ~down nbrs
-    | _ -> slow_transition ~label ~down nbrs
+        else slow_transition ~label ~down decs ~lo ~hi
+    | _ -> slow_transition ~label ~down decs ~lo ~hi
   in
-  let check ~id_bits:_ ~me:_ ~label mine nbrs : Scheme.verdict =
+  let check ~id_bits:_ ~me:_ ~label mine ~ids:_ ~decs ~lo ~hi : Scheme.verdict
+      =
     match mine with
     | None -> Reject "malformed certificate"
     | Some mine ->
         if mine.fingerprint <> fp then Reject "automaton fingerprint mismatch"
         else if mine.dist3 > 2 then Reject "invalid mod-3 distance"
         else
-          let n = Array.length nbrs in
           let rec malformed i =
-            i < n
-            &&
-            match snd nbrs.(i) with None -> true | Some _ -> malformed (i + 1)
+            i < hi
+            && match decs.(i) with None -> true | Some _ -> malformed (i + 1)
           in
-          if malformed 0 then Reject "malformed neighbor certificate"
+          if malformed lo then Reject "malformed neighbor certificate"
           else
             let rec bad_fp i =
-              i < n && ((nbr_cert nbrs.(i)).fingerprint <> fp || bad_fp (i + 1))
+              i < hi && ((nbr_cert decs.(i)).fingerprint <> fp || bad_fp (i + 1))
             in
-            if bad_fp 0 then Reject "neighbor fingerprint mismatch"
+            if bad_fp lo then Reject "neighbor fingerprint mismatch"
             else begin
               let up = (mine.dist3 + 2) mod 3
               and down = (mine.dist3 + 1) mod 3 in
               let parents = ref 0 and children = ref 0 in
-              for i = 0 to n - 1 do
-                let c = nbr_cert nbrs.(i) in
+              for i = lo to hi - 1 do
+                let c = nbr_cert decs.(i) in
                 if c.dist3 = up then incr parents
                 else if c.dist3 = down then incr children
               done;
-              if !parents + !children <> n then
+              if !parents + !children <> hi - lo then
                 Reject "neighbor at my own mod-3 distance"
               else if !parents >= 2 then Reject "two parents"
               else if !parents = 1 then
-                if transition ~label ~down nbrs <> mine.state then
+                if transition ~label ~down decs ~lo ~hi <> mine.state then
                   Reject "state is not the transition of the children states"
                 else Accept
               else if mine.dist3 <> 0 then Reject "root must have distance 0"
-              else if transition ~label ~down nbrs <> mine.state then
+              else if transition ~label ~down decs ~lo ~hi <> mine.state then
                 Reject "root state is not the transition of the children"
               else if not (auto.TA.accepting mine.state) then
                 Reject "root state is not accepting"
               else Accept
             end
   in
-  { decode = (fun ~id_bits:_ c -> decode ~state_bits c); check }
+  { decode = (fun ~id_bits:_ c -> decode ~state_bits c); check; flat = None }
 
 let make ?state_bits auto =
   let sb = match state_bits with Some b -> b | None -> default_state_bits auto in

@@ -100,65 +100,126 @@ let compile_fresh (scheme : Scheme.t) (inst : Instance.t) certs =
               d
         in
         let dec = Array.map dec_of certs in
-        (* Per-vertex neighbor views, ids ascending — the same order
-           [Scheme.view_of] presents.  A vertex with a poisoned
-           certificate anywhere in its view gets no compiled view and
-           takes the interpreted path. *)
-        let views =
-          Array.init n (fun v ->
-              match dec.(v) with
-              | None -> None
-              | Some mine ->
-                  let nbr_vertices = Graph.neighbors g v in
-                  let deg = Array.length nbr_vertices in
-                  let rec all_decoded i =
-                    i >= deg
-                    || (match dec.(nbr_vertices.(i)) with
-                       | Some _ -> all_decoded (i + 1)
-                       | None -> false)
-                  in
-                  if not (all_decoded 0) then None
-                  else begin
-                    let nbrs =
-                      Array.init deg (fun i ->
-                          let w = nbr_vertices.(i) in
-                          match dec.(w) with
-                          | Some d -> (ids.(w), d)
-                          | None -> assert false)
-                    in
-                    (* Insertion sort by id: neighbor lists come out of
-                       the graph in vertex order and ids are assigned
-                       ascending in vertex order for the generated
-                       instances, so this is one linear scan in the
-                       common case — no comparator closure, no
-                       merge-sort scratch array. *)
-                    for i = 1 to deg - 1 do
-                      let (ki, _) as x = nbrs.(i) in
-                      let j = ref (i - 1) in
-                      while !j >= 0 && fst nbrs.(!j) > ki do
-                        nbrs.(!j + 1) <- nbrs.(!j);
-                        decr j
-                      done;
-                      nbrs.(!j + 1) <- x
-                    done;
-                    Some (mine, nbrs)
-                  end)
-        in
         let interpret v =
           if Metrics.is_enabled () then Metrics.incr (fallback_counter ());
           scheme.Scheme.verifier (Scheme.view_of inst certs v)
         in
-        Some
-          (fun v ->
-            match views.(v) with
-            | None -> interpret v
-            | Some (mine, nbrs) -> (
-                match
-                  l.Scheme.check ~id_bits ~me:ids.(v) ~label:labels.(v) mine
-                    nbrs
-                with
-                | verdict -> verdict
-                | exception e when not (Fatal.is_fatal e) -> interpret v))
+        (* The compiled layout mirrors the graph's CSR: one whole-graph
+           [nbr_ids]/[nbr_dec] pair shaped exactly like the adjacency
+           [col] array, rows sorted ascending by *identifier* — the
+           order [Scheme.view_of] presents.  The kernel hands each
+           check its row as a slice of the two shared arrays, so a
+           sweep is one linear pass over flat memory with no per-vertex
+           view structure at all.  A vertex that sees any poisoned
+           certificate keeps [ok = false] and takes the interpreted
+           path; its slots hold an arbitrary witness decode and are
+           never read. *)
+        let witness = ref None in
+        (try
+           Array.iter
+             (function Some _ as d -> witness := d; raise Exit | None -> ())
+             dec
+         with Exit -> ());
+        (match !witness with
+        | None ->
+            (* every certificate poisoned: nothing to lay out *)
+            Some interpret
+        | Some w ->
+            let rp, col = Graph.unsafe_csr g in
+            let total = rp.(n) in
+            let nbr_ids = Array.make total 0 in
+            let nbr_dec = Array.make total w in
+            let mine = Array.make n w in
+            let ok = Array.make n true in
+            for v = 0 to n - 1 do
+              match dec.(v) with
+              | Some d -> mine.(v) <- d
+              | None -> ok.(v) <- false
+            done;
+            for v = 0 to n - 1 do
+              let lo = rp.(v) and hi = rp.(v + 1) in
+              let sorted = ref true in
+              for i = lo to hi - 1 do
+                let u = Array.unsafe_get col i in
+                (match dec.(u) with
+                | Some d -> nbr_dec.(i) <- d
+                | None -> ok.(v) <- false);
+                let idu = ids.(u) in
+                nbr_ids.(i) <- idu;
+                if i > lo && nbr_ids.(i - 1) > idu then sorted := false
+              done;
+              (* Rows come out of the CSR in vertex order and ids are
+                 assigned ascending in vertex order for generated
+                 instances, so rows are almost always already sorted;
+                 otherwise a joint insertion sort of the (id, dec)
+                 pairs restores the view order. *)
+              if not !sorted then
+                for i = lo + 1 to hi - 1 do
+                  let ki = nbr_ids.(i) and di = nbr_dec.(i) in
+                  let j = ref (i - 1) in
+                  while !j >= lo && nbr_ids.(!j) > ki do
+                    nbr_ids.(!j + 1) <- nbr_ids.(!j);
+                    nbr_dec.(!j + 1) <- nbr_dec.(!j);
+                    decr j
+                  done;
+                  nbr_ids.(!j + 1) <- ki;
+                  nbr_dec.(!j + 1) <- di
+                done
+            done;
+            (* Schemes that publish a flat plane (Scheme.flat) get a
+               struct-of-arrays layout: slot [i]'s decoded fields as
+               ints at [plane.(i * width ..)].  Boxed decoded records
+               are placed by the major allocator's size-class free
+               lists, so on graphs whose adjacency is not id-local — a
+               random tree at n = 10^6 — every [nbr_dec] dereference
+               is a cache miss and those misses dominate the sweep; the
+               plane is one contiguous int array the row walk streams
+               sequentially.  [nbr_dec] stays the sort's staging array
+               and is dropped once the plane is written. *)
+            match l.Scheme.flat with
+            | Some f ->
+                let k = f.Scheme.width in
+                let plane = Array.make (total * k) 0 in
+                for i = 0 to total - 1 do
+                  f.Scheme.write (Array.unsafe_get nbr_dec i) plane (i * k)
+                done;
+                (* own fields flattened too: [mine.(v)] is a boxed
+                   record behind a pointer, and one random dereference
+                   per vertex is still one miss per vertex at 10⁶ *)
+                let mine_plane = Array.make (n * k) 0 in
+                for v = 0 to n - 1 do
+                  f.Scheme.write (Array.unsafe_get mine v) mine_plane (v * k)
+                done;
+                Some
+                  (fun v ->
+                    if not (Array.unsafe_get ok v) then interpret v
+                    else
+                      match
+                        f.Scheme.check_flat ~id_bits
+                          ~me:(Array.unsafe_get ids v)
+                          ~label:(Array.unsafe_get labels v)
+                          ~mine:mine_plane ~mbase:(v * k)
+                          ~ids:nbr_ids ~plane
+                          ~lo:(Array.unsafe_get rp v)
+                          ~hi:(Array.unsafe_get rp (v + 1))
+                      with
+                      | verdict -> verdict
+                      | exception e when not (Fatal.is_fatal e) -> interpret v)
+            | None ->
+                Some
+                  (fun v ->
+                    if not (Array.unsafe_get ok v) then interpret v
+                    else
+                      match
+                        l.Scheme.check ~id_bits ~me:(Array.unsafe_get ids v)
+                          ~label:(Array.unsafe_get labels v)
+                          (Array.unsafe_get mine v)
+                          ~ids:nbr_ids ~decs:nbr_dec
+                          ~lo:(Array.unsafe_get rp v)
+                          ~hi:(Array.unsafe_get rp (v + 1))
+                      with
+                      | verdict -> verdict
+                      | exception e when not (Fatal.is_fatal e) -> interpret v))
 
 let compile scheme inst certs =
   if not (Atomic.get enabled) then None
@@ -209,14 +270,16 @@ let view_checker (scheme : Scheme.t) =
                     d
               in
               let mine = dec_of view.Scheme.cert in
-              let nbrs =
-                Array.of_list
-                  (List.map
-                     (fun (nid, c) -> (nid, dec_of c))
-                     view.Scheme.nbrs)
-              in
+              let deg = List.length view.Scheme.nbrs in
+              let ids = Array.make deg 0 in
+              let decs = Array.make deg mine in
+              List.iteri
+                (fun i (nid, c) ->
+                  ids.(i) <- nid;
+                  decs.(i) <- dec_of c)
+                view.Scheme.nbrs;
               l.Scheme.check ~id_bits ~me:view.Scheme.me
-                ~label:view.Scheme.label mine nbrs
+                ~label:view.Scheme.label mine ~ids ~decs ~lo:0 ~hi:deg
             with
             | verdict -> verdict
             | exception e when not (Fatal.is_fatal e) ->

@@ -13,7 +13,7 @@ let decompose g =
     low.(v) <- !timer;
     incr timer;
     let children = ref 0 in
-    Array.iter
+    Graph.iter_neighbors g v
       (fun w ->
         if disc.(w) = -1 then begin
           incr children;
@@ -39,8 +39,7 @@ let decompose g =
         else if w <> parent && disc.(w) < disc.(v) then begin
           stack := (v, w) :: !stack;
           low.(v) <- min low.(v) disc.(w)
-        end)
-      (Graph.neighbors g v);
+        end);
     if parent = -1 && !children >= 2 then cuts.(v) <- true
   in
   for v = 0 to n - 1 do

@@ -1,74 +1,88 @@
 module Rng = Localcert_util.Rng
 
+(* Generators emit edges straight into Graph.of_iter's two counting
+   passes: no generator below holds a per-edge tuple list, so a
+   path:1000000 costs the CSR arrays and nothing else. *)
+
 let path n =
-  Graph.of_edges ~n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+  Graph.of_iter ~n (fun f ->
+      for i = 0 to n - 2 do
+        f i (i + 1)
+      done)
 
 let cycle n =
   if n < 3 then invalid_arg "Gen.cycle: need n >= 3";
-  Graph.of_edges ~n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+  Graph.of_iter ~n (fun f ->
+      f (n - 1) 0;
+      for i = 0 to n - 2 do
+        f i (i + 1)
+      done)
 
 let star n =
   if n < 1 then invalid_arg "Gen.star: need n >= 1";
-  Graph.of_edges ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+  Graph.of_iter ~n (fun f ->
+      for i = 1 to n - 1 do
+        f 0 i
+      done)
 
 let clique n =
-  let es = ref [] in
-  for u = 0 to n - 1 do
-    for v = u + 1 to n - 1 do
-      es := (u, v) :: !es
-    done
-  done;
-  Graph.of_edges ~n !es
+  Graph.of_iter ~n (fun f ->
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          f u v
+        done
+      done)
 
 let complete_binary_tree h =
   if h < 0 then invalid_arg "Gen.complete_binary_tree: negative height";
   let n = (1 lsl (h + 1)) - 1 in
-  let es = ref [] in
-  for v = 1 to n - 1 do
-    es := (v, (v - 1) / 2) :: !es
-  done;
-  Graph.of_edges ~n !es
+  Graph.of_iter ~n (fun f ->
+      for v = 1 to n - 1 do
+        f v ((v - 1) / 2)
+      done)
 
 let caterpillar ~spine ~legs =
   if spine < 1 || legs < 0 then invalid_arg "Gen.caterpillar";
   let n = spine * (legs + 1) in
-  let es = ref [] in
-  for i = 0 to spine - 2 do
-    es := (i, i + 1) :: !es
-  done;
-  for i = 0 to spine - 1 do
-    for j = 0 to legs - 1 do
-      es := (i, spine + (i * legs) + j) :: !es
-    done
-  done;
-  Graph.of_edges ~n !es
+  Graph.of_iter ~n (fun f ->
+      for i = 0 to spine - 2 do
+        f i (i + 1)
+      done;
+      for i = 0 to spine - 1 do
+        for j = 0 to legs - 1 do
+          f i (spine + (i * legs) + j)
+        done
+      done)
 
 let spider ~legs ~leg_len =
   if legs < 0 || leg_len < 1 then invalid_arg "Gen.spider";
   let n = 1 + (legs * leg_len) in
-  let es = ref [] in
-  for l = 0 to legs - 1 do
-    let base = 1 + (l * leg_len) in
-    es := (0, base) :: !es;
-    for j = 0 to leg_len - 2 do
-      es := (base + j, base + j + 1) :: !es
-    done
-  done;
-  Graph.of_edges ~n !es
+  Graph.of_iter ~n (fun f ->
+      for l = 0 to legs - 1 do
+        let base = 1 + (l * leg_len) in
+        f 0 base;
+        for j = 0 to leg_len - 2 do
+          f (base + j) (base + j + 1)
+        done
+      done)
 
 let grid rows cols =
   if rows < 1 || cols < 1 then invalid_arg "Gen.grid";
   let idx r c = (r * cols) + c in
-  let es = ref [] in
-  for r = 0 to rows - 1 do
-    for c = 0 to cols - 1 do
-      if c + 1 < cols then es := (idx r c, idx r (c + 1)) :: !es;
-      if r + 1 < rows then es := (idx r c, idx (r + 1) c) :: !es
-    done
-  done;
-  Graph.of_edges ~n:(rows * cols) !es
+  Graph.of_iter ~n:(rows * cols) (fun f ->
+      for r = 0 to rows - 1 do
+        for c = 0 to cols - 1 do
+          if c + 1 < cols then f (idx r c) (idx r (c + 1));
+          if r + 1 < rows then f (idx r c) (idx (r + 1) c)
+        done
+      done)
 
-(* Decode a Prüfer sequence of length n-2 into a labelled tree. *)
+(* Decode a Prüfer sequence of length n-2 into a labelled tree, O(n):
+   a forward scan pointer finds the smallest untouched leaf, and a
+   vertex whose degree drops to 1 *behind* the pointer is served on
+   the very next step (there is at most one such pending leaf, and it
+   is the minimum).  Same tree as the textbook smallest-leaf decode,
+   without the log-factor of a leaf set. *)
 let random_tree rng n =
   if n < 1 then invalid_arg "Gen.random_tree: need n >= 1";
   if n = 1 then Graph.empty 1
@@ -77,24 +91,41 @@ let random_tree rng n =
     let seq = Array.init (n - 2) (fun _ -> Rng.int rng n) in
     let deg = Array.make n 1 in
     Array.iter (fun v -> deg.(v) <- deg.(v) + 1) seq;
-    let module IS = Set.Make (Int) in
-    let leaves = ref IS.empty in
-    for v = 0 to n - 1 do
-      if deg.(v) = 1 then leaves := IS.add v !leaves
-    done;
-    let es = ref [] in
-    Array.iter
-      (fun v ->
-        let leaf = IS.min_elt !leaves in
-        leaves := IS.remove leaf !leaves;
-        es := (leaf, v) :: !es;
+    let eu = Array.make (n - 1) 0 and ev = Array.make (n - 1) 0 in
+    let ptr = ref 0 in
+    let pending = ref (-1) in
+    let next_leaf () =
+      if !pending >= 0 then begin
+        let l = !pending in
+        pending := -1;
+        l
+      end
+      else begin
+        while deg.(!ptr) <> 1 do
+          incr ptr
+        done;
+        !ptr
+      end
+    in
+    Array.iteri
+      (fun i v ->
+        let l = next_leaf () in
+        eu.(i) <- l;
+        ev.(i) <- v;
+        deg.(l) <- 0;
         deg.(v) <- deg.(v) - 1;
-        if deg.(v) = 1 then leaves := IS.add v !leaves)
+        if deg.(v) = 1 && v < !ptr then pending := v)
       seq;
-    (match IS.elements !leaves with
-    | [ a; b ] -> es := (a, b) :: !es
-    | _ -> assert false);
-    Graph.of_edges ~n !es
+    let a = ref (-1) and b = ref (-1) in
+    for v = 0 to n - 1 do
+      if deg.(v) = 1 then if !a < 0 then a := v else b := v
+    done;
+    eu.(n - 2) <- !a;
+    ev.(n - 2) <- !b;
+    Graph.of_iter ~n (fun f ->
+        for i = 0 to n - 2 do
+          f eu.(i) ev.(i)
+        done)
   end
 
 let random_tree_bounded_depth rng ~n ~depth =
@@ -111,10 +142,10 @@ let random_tree_bounded_depth rng ~n ~depth =
         vdepth.(v) <- vdepth.(p) + 1);
     if vdepth.(v) < depth then candidates := v :: !candidates
   done;
-  Graph.of_edges ~n
-    (List.filter_map
-       (fun v -> if parent.(v) >= 0 then Some (v, parent.(v)) else None)
-       (List.init n Fun.id))
+  Graph.of_iter ~n (fun f ->
+      for v = 1 to n - 1 do
+        if parent.(v) >= 0 then f v parent.(v)
+      done)
 
 let random_connected rng ~n ~extra_edges =
   let t = random_tree rng n in
@@ -133,15 +164,11 @@ let random_connected rng ~n ~extra_edges =
 let random_bounded_treedepth rng ~n ~depth ~p =
   if depth < 1 then invalid_arg "Gen.random_bounded_treedepth: depth >= 1";
   let tree = random_tree_bounded_depth rng ~n ~depth:(depth - 1) in
-  (* Recover parent/ancestor structure of the rooted tree (root 0). *)
-  let dist = Graph.bfs_dist tree 0 in
-  let parent = Array.make n (-1) in
-  for v = 1 to n - 1 do
-    Array.iter
-      (fun u -> if dist.(u) = dist.(v) - 1 then parent.(v) <- u)
-      (Graph.neighbors tree v)
-  done;
-  let rec ancestors v = if v = 0 then [] else parent.(v) :: ancestors parent.(v) in
+  (* The tree is rooted at 0 by construction; BFS recovers parents. *)
+  let parent = (Graph.bfs_tree tree 0).Graph.parent in
+  let rec ancestors v =
+    if v = 0 then [] else parent.(v) :: ancestors parent.(v)
+  in
   let es = ref [] in
   for v = 1 to n - 1 do
     es := (v, parent.(v)) :: !es;

@@ -1,62 +1,148 @@
-type t = { size : int; adj : int array array }
+(* Compressed sparse row.  [row_ptr] has length [size + 1]; the
+   neighbors of [v] are [col.(row_ptr.(v)) .. col.(row_ptr.(v+1) - 1)],
+   sorted strictly ascending (no duplicates, no loops).  Two flat int
+   arrays is the whole graph: a neighbor sweep over all vertices is one
+   linear pass over [col], and the representation is canonical, so
+   structural equality of the arrays decides graph equality. *)
+
+type t = { size : int; row_ptr : int array; col : int array }
+
+type bfs_tree = { dist : int array; parent : int array; order : int array }
 
 let check_vertex ~n v =
   if v < 0 || v >= n then
     invalid_arg (Printf.sprintf "Graph: vertex %d out of [0,%d)" v n)
 
-let of_edges ~n edges =
-  if n < 0 then invalid_arg "Graph.of_edges: negative size";
-  let sets = Array.make n [] in
-  List.iter
-    (fun (u, v) ->
+(* Two-pass counting build: pass 1 sizes the rows, pass 2 scatters the
+   endpoints, then each row is sorted and deduplicated in place.  The
+   iterator must describe the same edge multiset on both passes; a
+   shrinking or growing second pass is detected and rejected rather
+   than silently producing a corrupt graph.  Nothing here holds a
+   per-edge tuple, so ingesting 10^6-edge streams costs two int arrays
+   and whatever the caller's iterator itself needs. *)
+let of_iter ~n iter =
+  if n < 0 then invalid_arg "Graph.of_iter: negative size";
+  let row_ptr = Array.make (n + 1) 0 in
+  iter (fun u v ->
       check_vertex ~n u;
       check_vertex ~n v;
-      if u = v then invalid_arg "Graph.of_edges: loop";
-      sets.(u) <- v :: sets.(u);
-      sets.(v) <- u :: sets.(v))
-    edges;
-  let adj =
-    Array.map
-      (fun l -> Array.of_list (List.sort_uniq Int.compare l))
-      sets
-  in
-  { size = n; adj }
+      if u = v then invalid_arg "Graph.of_iter: loop";
+      row_ptr.(u + 1) <- row_ptr.(u + 1) + 1;
+      row_ptr.(v + 1) <- row_ptr.(v + 1) + 1);
+  for v = 1 to n do
+    row_ptr.(v) <- row_ptr.(v) + row_ptr.(v - 1)
+  done;
+  let total = row_ptr.(n) in
+  let col = Array.make total 0 in
+  let next = Array.copy row_ptr in
+  iter (fun u v ->
+      if next.(u) >= row_ptr.(u + 1) || next.(v) >= row_ptr.(v + 1) then
+        invalid_arg "Graph.of_iter: iterator changed between passes";
+      col.(next.(u)) <- v;
+      next.(u) <- next.(u) + 1;
+      col.(next.(v)) <- u;
+      next.(v) <- next.(v) + 1);
+  for v = 0 to n - 1 do
+    if next.(v) <> row_ptr.(v + 1) then
+      invalid_arg "Graph.of_iter: iterator changed between passes"
+  done;
+  (* Sort rows that need it (generators mostly emit ascending already),
+     then compact duplicates with a single forward write cursor: the
+     write position never overtakes the read position, so this is
+     in place. *)
+  let w = ref 0 in
+  let rp = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    let lo = row_ptr.(v) and hi = row_ptr.(v + 1) in
+    let sorted = ref true in
+    for i = lo + 1 to hi - 1 do
+      if col.(i - 1) > col.(i) then sorted := false
+    done;
+    if not !sorted then begin
+      let tmp = Array.sub col lo (hi - lo) in
+      Array.sort Int.compare tmp;
+      Array.blit tmp 0 col lo (hi - lo)
+    end;
+    let prev = ref (-1) in
+    for i = lo to hi - 1 do
+      let x = col.(i) in
+      if x <> !prev then begin
+        col.(!w) <- x;
+        incr w;
+        prev := x
+      end
+    done;
+    rp.(v + 1) <- !w
+  done;
+  let col = if !w = total then col else Array.sub col 0 !w in
+  { size = n; row_ptr = rp; col }
 
-let empty n = of_edges ~n []
+let of_edges ~n edges =
+  of_iter ~n (fun f -> List.iter (fun (u, v) -> f u v) edges)
+
+let empty n =
+  if n < 0 then invalid_arg "Graph.of_iter: negative size";
+  { size = n; row_ptr = Array.make (n + 1) 0; col = [||] }
 
 let n g = g.size
+let m g = g.row_ptr.(g.size) / 2
+
+let degree g v =
+  check_vertex ~n:g.size v;
+  g.row_ptr.(v + 1) - g.row_ptr.(v)
 
 let neighbors g v =
   check_vertex ~n:g.size v;
-  g.adj.(v)
+  Array.sub g.col g.row_ptr.(v) (g.row_ptr.(v + 1) - g.row_ptr.(v))
 
-let degree g v = Array.length (neighbors g v)
+let iter_neighbors g v f =
+  check_vertex ~n:g.size v;
+  for i = g.row_ptr.(v) to g.row_ptr.(v + 1) - 1 do
+    f (Array.unsafe_get g.col i)
+  done
 
-let m g = Array.fold_left (fun acc a -> acc + Array.length a) 0 g.adj / 2
+let fold_neighbors g v f init =
+  check_vertex ~n:g.size v;
+  let acc = ref init in
+  for i = g.row_ptr.(v) to g.row_ptr.(v + 1) - 1 do
+    acc := f !acc (Array.unsafe_get g.col i)
+  done;
+  !acc
+
+let unsafe_csr g = (g.row_ptr, g.col)
 
 let mem_edge g u v =
   check_vertex ~n:g.size u;
   check_vertex ~n:g.size v;
-  let a = g.adj.(u) in
+  let col = g.col in
   let rec bin lo hi =
     if lo >= hi then false
     else
       let mid = (lo + hi) / 2 in
-      if a.(mid) = v then true
-      else if a.(mid) < v then bin (mid + 1) hi
-      else bin lo mid
+      let x = col.(mid) in
+      if x = v then true else if x < v then bin (mid + 1) hi else bin lo mid
   in
-  bin 0 (Array.length a)
+  bin g.row_ptr.(u) g.row_ptr.(u + 1)
 
+let iter_edges g f =
+  for u = 0 to g.size - 1 do
+    for i = g.row_ptr.(u) to g.row_ptr.(u + 1) - 1 do
+      let v = g.col.(i) in
+      if u < v then f u v
+    done
+  done
+
+(* Rows are ascending and sorted, so prepending while walking backwards
+   yields the (u, v), u < v list already in lexicographic order. *)
 let edges g =
   let acc = ref [] in
   for u = g.size - 1 downto 0 do
-    let a = g.adj.(u) in
-    for i = Array.length a - 1 downto 0 do
-      if u < a.(i) then acc := (u, a.(i)) :: !acc
+    for i = g.row_ptr.(u + 1) - 1 downto g.row_ptr.(u) do
+      let v = g.col.(i) in
+      if u < v then acc := (u, v) :: !acc
     done
   done;
-  List.sort compare !acc
+  !acc
 
 let vertices g = List.init g.size Fun.id
 
@@ -71,41 +157,47 @@ let add_edge g u v =
   check_vertex ~n:g.size u;
   check_vertex ~n:g.size v;
   if u = v then invalid_arg "Graph.add_edge: loop";
-  if mem_edge g u v then g else of_edges ~n:g.size ((u, v) :: edges g)
+  if mem_edge g u v then g
+  else
+    of_iter ~n:g.size (fun f ->
+        iter_edges g f;
+        f u v)
 
 let remove_vertex g v =
   check_vertex ~n:g.size v;
   let rename u = if u < v then u else u - 1 in
-  let keep =
-    List.filter_map
-      (fun (a, b) ->
-        if a = v || b = v then None else Some (rename a, rename b))
-      (edges g)
-  in
-  of_edges ~n:(g.size - 1) keep
+  of_iter ~n:(g.size - 1) (fun f ->
+      iter_edges g (fun a b ->
+          if a <> v && b <> v then f (rename a) (rename b)))
 
 let induced g vs =
   let vs = List.sort_uniq Int.compare vs in
   List.iter (check_vertex ~n:g.size) vs;
   let back = Array.of_list vs in
-  let fwd = Hashtbl.create (Array.length back) in
-  Array.iteri (fun i v -> Hashtbl.replace fwd v i) back;
-  let sub_edges =
-    List.filter_map
-      (fun (u, v) ->
-        match (Hashtbl.find_opt fwd u, Hashtbl.find_opt fwd v) with
-        | Some a, Some b -> Some (a, b)
-        | _ -> None)
-      (edges g)
+  let fwd = Array.make g.size (-1) in
+  Array.iteri (fun i v -> fwd.(v) <- i) back;
+  let sub =
+    of_iter ~n:(Array.length back) (fun f ->
+        iter_edges g (fun u v ->
+            let a = fwd.(u) and b = fwd.(v) in
+            if a >= 0 && b >= 0 then f a b))
   in
-  (of_edges ~n:(Array.length back) sub_edges, back)
+  (sub, back)
 
 let disjoint_union g h =
-  let shift = g.size in
-  let es =
-    edges g @ List.map (fun (u, v) -> (u + shift, v + shift)) (edges h)
-  in
-  of_edges ~n:(g.size + h.size) es
+  let size = g.size + h.size in
+  let gm = g.row_ptr.(g.size) in
+  let row_ptr = Array.make (size + 1) 0 in
+  Array.blit g.row_ptr 0 row_ptr 0 (g.size + 1);
+  for v = 1 to h.size do
+    row_ptr.(g.size + v) <- gm + h.row_ptr.(v)
+  done;
+  let col = Array.make (gm + h.row_ptr.(h.size)) 0 in
+  Array.blit g.col 0 col 0 gm;
+  for i = 0 to Array.length h.col - 1 do
+    col.(gm + i) <- h.col.(i) + g.size
+  done;
+  { size; row_ptr; col }
 
 let relabel g perm =
   if Array.length perm <> g.size then
@@ -117,32 +209,47 @@ let relabel g perm =
       if seen.(v) then invalid_arg "Graph.relabel: not a permutation";
       seen.(v) <- true)
     perm;
-  of_edges ~n:g.size
-    (List.map (fun (u, v) -> (perm.(u), perm.(v))) (edges g))
+  of_iter ~n:g.size (fun f -> iter_edges g (fun u v -> f perm.(u) perm.(v)))
 
-let equal g h = g.size = h.size && edges g = edges h
+(* The representation is canonical (rows sorted, no duplicates), so
+   equality is array equality — no edge lists materialized. *)
+let equal g h =
+  g.size = h.size && g.row_ptr = h.row_ptr && g.col = h.col
 
-let bfs_dist g s =
+(* BFS over a flat int-array queue: no Queue cells, no per-visit
+   allocation, and the queue prefix doubles as the discovery order. *)
+let bfs_tree g s =
   check_vertex ~n:g.size s;
   let dist = Array.make g.size (-1) in
+  let parent = Array.make g.size (-1) in
+  let queue = Array.make g.size 0 in
+  let rp = g.row_ptr and col = g.col in
   dist.(s) <- 0;
-  let q = Queue.create () in
-  Queue.add s q;
-  while not (Queue.is_empty q) do
-    let u = Queue.pop q in
-    Array.iter
-      (fun v ->
-        if dist.(v) = -1 then begin
-          dist.(v) <- dist.(u) + 1;
-          Queue.add v q
-        end)
-      g.adj.(u)
+  queue.(0) <- s;
+  let tail = ref 1 in
+  let head = ref 0 in
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    let du = dist.(u) + 1 in
+    for i = rp.(u) to rp.(u + 1) - 1 do
+      let v = Array.unsafe_get col i in
+      if dist.(v) = -1 then begin
+        dist.(v) <- du;
+        parent.(v) <- u;
+        queue.(!tail) <- v;
+        incr tail
+      end
+    done
   done;
-  dist
+  let order = if !tail = g.size then queue else Array.sub queue 0 !tail in
+  { dist; parent; order }
+
+let bfs_dist g s = (bfs_tree g s).dist
 
 let is_connected g =
   if g.size = 0 then false
-  else Array.for_all (fun d -> d >= 0) (bfs_dist g 0)
+  else Array.length (bfs_tree g 0).order = g.size
 
 let components g =
   let seen = Array.make g.size false in

@@ -4,11 +4,24 @@
     and simple; the certification model additionally assumes connected
     graphs, which callers check with {!is_connected} where it matters.
 
-    The representation is an immutable sorted adjacency array, which
-    makes neighbor scans (the heart of every radius-1 verifier) cheap
-    and allocation-free. *)
+    The representation is an immutable compressed-sparse-row (CSR)
+    layout: one [row_ptr] array of length [n+1] and one flat [col]
+    array of length [2m], each row sorted strictly ascending.  Neighbor
+    scans — the heart of every radius-1 verifier — are contiguous array
+    reads, adjacency tests are binary searches within a row, and a full
+    sweep over all vertices touches [col] exactly once, in order. *)
 
 type t
+
+type bfs_tree = {
+  dist : int array;  (** BFS distance from the source, [-1] unreachable *)
+  parent : int array;
+      (** BFS-tree parent, [-1] at the source and on unreachable
+          vertices *)
+  order : int array;
+      (** reached vertices in discovery order — distances along it are
+          nondecreasing, so it doubles as a counting sort by distance *)
+}
 
 (** {1 Construction} *)
 
@@ -16,6 +29,15 @@ val of_edges : n:int -> (int * int) list -> t
 (** [of_edges ~n edges] builds the graph on vertices [0..n-1] with the
     given undirected edges.  Duplicate edges are collapsed; loops raise
     [Invalid_argument], as do endpoints outside [\[0, n)]. *)
+
+val of_iter : n:int -> ((int -> int -> unit) -> unit) -> t
+(** [of_iter ~n iter] builds the graph from a repeatable edge
+    iterator: [iter f] must call [f u v] once per (undirected) edge,
+    and is invoked twice — a counting pass that sizes the CSR rows and
+    a fill pass that scatters endpoints — so no edge list of tuples is
+    ever held.  The iterator must describe the same edges both times;
+    a divergence raises [Invalid_argument], as do loops and
+    out-of-range endpoints.  Duplicate edges are collapsed. *)
 
 val empty : int -> t
 (** [empty n] has [n] vertices and no edge. *)
@@ -48,7 +70,22 @@ val m : t -> int
 (** Number of edges. *)
 
 val neighbors : t -> int -> int array
-(** Sorted neighbor array.  Do not mutate. *)
+(** Sorted neighbor array.  Freshly allocated on every call — safe to
+    mutate, but prefer {!iter_neighbors}/{!fold_neighbors} (or
+    {!unsafe_csr} in compiled kernels) on hot paths. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** [iter_neighbors g v f] applies [f] to each neighbor of [v] in
+    ascending order, without allocating. *)
+
+val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+(** Allocation-free fold over the neighbors of [v], ascending. *)
+
+val unsafe_csr : t -> int array * int array
+(** [(row_ptr, col)] — the internal arrays, for compiled verifier
+    kernels that index rows directly: the neighbors of [v] are
+    [col.(row_ptr.(v)) .. col.(row_ptr.(v+1) - 1)].  Do not mutate;
+    writes would corrupt the graph for every holder. *)
 
 val degree : t -> int -> int
 
@@ -58,19 +95,29 @@ val mem_edge : t -> int -> int -> bool
 val edges : t -> (int * int) list
 (** All edges as pairs [(u, v)] with [u < v], sorted. *)
 
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** [iter_edges g f] calls [f u v] for every edge with [u < v], in
+    lexicographic order, without materializing a list — composes with
+    {!of_iter} for rebuilds and with streaming writers. *)
+
 val vertices : t -> int list
 (** [0; 1; …; n-1]. *)
 
 val fold_vertices : (int -> 'a -> 'a) -> t -> 'a -> 'a
 
 val equal : t -> t -> bool
-(** Same vertex count and same edge set (identity on labels). *)
+(** Same vertex count and same edge set (identity on labels).  The CSR
+    form is canonical, so this is plain array equality. *)
 
 (** {1 Traversal and metrics} *)
 
 val bfs_dist : t -> int -> int array
 (** [bfs_dist g s] has distance from [s] at index [v], or [-1] when
     unreachable. *)
+
+val bfs_tree : t -> int -> bfs_tree
+(** One-pass BFS from [s]: distances, tree parents and discovery order
+    from a flat array queue, with no per-visit allocation. *)
 
 val is_connected : t -> bool
 (** True on the empty graph's complement convention: a graph with 0

@@ -1,6 +1,11 @@
 (* graph6: size prefix (n, or 126 then 3 sextets for n <= 258047),
    then the upper triangle x(0,1) x(0,2) x(1,2) x(0,3) … packed into
-   6-bit groups, each + 63. *)
+   6-bit groups, each + 63.
+
+   Both readers below build the CSR directly through Graph.of_iter's
+   two counting passes: decoding is re-run per pass (pure reads over
+   the input), so no per-edge tuple list is ever materialized — the
+   peak cost of ingesting an n-vertex stream is the graph itself. *)
 
 let to_graph6 g =
   let n = Graph.n g in
@@ -13,7 +18,6 @@ let to_graph6 g =
     Buffer.add_char buf (Char.chr (63 + ((n lsr 6) land 63)));
     Buffer.add_char buf (Char.chr (63 + (n land 63)))
   end;
-  let bit_count = n * (n - 1) / 2 in
   let acc = ref 0 and filled = ref 0 in
   let flush_groups () =
     Buffer.add_char buf (Char.chr (63 + !acc));
@@ -35,7 +39,6 @@ let to_graph6 g =
     filled := 6;
     flush_groups ()
   end;
-  ignore bit_count;
   Buffer.contents buf
 
 let of_graph6 line =
@@ -71,15 +74,16 @@ let of_graph6 line =
       let group = Char.code line.[start + (i / 6)] - 63 in
       group land (1 lsl (5 - (i mod 6))) <> 0
     in
-    let es = ref [] in
-    let idx = ref 0 in
-    for col = 1 to n - 1 do
-      for row = 0 to col - 1 do
-        if bit !idx then es := (row, col) :: !es;
-        incr idx
-      done
-    done;
-    match Graph.of_edges ~n !es with
+    match
+      Graph.of_iter ~n (fun f ->
+          let idx = ref 0 in
+          for col = 1 to n - 1 do
+            for row = 0 to col - 1 do
+              if bit !idx then f row col;
+              incr idx
+            done
+          done)
+    with
     | g -> Ok g
     | exception Invalid_argument m -> Error m
   end
@@ -100,42 +104,121 @@ let to_dot ?labels ?(highlight = []) g =
       in
       Buffer.add_string buf (Printf.sprintf "  %d%s%s;\n" v label fill))
     (Graph.vertices g);
-  List.iter
-    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v))
-    (Graph.edges g);
+  Graph.iter_edges g (fun u v ->
+      Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v));
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
 let to_edge_list g =
   let buf = Buffer.create 128 in
   Buffer.add_string buf (Printf.sprintf "%d %d\n" (Graph.n g) (Graph.m g));
-  List.iter
-    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v))
-    (Graph.edges g);
+  Graph.iter_edges g (fun u v ->
+      Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
   Buffer.contents buf
 
-let of_edge_list text =
-  let lines =
-    String.split_on_char '\n' text
-    |> List.map String.trim
-    |> List.filter (fun l -> l <> "")
+(* Whitespace-separated int scanner over a pull-based character
+   source.  Both edge-list readers share it; the source is re-created
+   per counting pass, so a pass is one forward scan with no lookahead
+   state beyond a single char. *)
+
+let is_ws c = c = ' ' || c = '\t' || c = '\r' || c = '\n'
+let is_digit c = c >= '0' && c <= '9'
+
+let read_int read ~eof_msg =
+  let rec skip () =
+    match read () with
+    | Some c when is_ws c -> skip ()
+    | other -> other
   in
-  match lines with
-  | [] -> Error "empty input"
-  | header :: rest -> (
-      match String.split_on_char ' ' header with
-      | [ n; m ] -> (
-          try
-            let n = int_of_string n and m = int_of_string m in
-            let es =
-              List.map
-                (fun l ->
-                  match String.split_on_char ' ' l with
-                  | [ a; b ] -> (int_of_string a, int_of_string b)
-                  | _ -> failwith "bad edge line")
-                rest
-            in
-            if List.length es <> m then Error "edge count mismatch"
-            else Ok (Graph.of_edges ~n es)
-          with Failure msg -> Error msg | Invalid_argument msg -> Error msg)
-      | _ -> Error "bad header")
+  match skip () with
+  | None -> failwith eof_msg
+  | Some c0 ->
+      let neg = c0 = '-' in
+      let c0 =
+        if neg then
+          match read () with
+          | Some c -> c
+          | None -> failwith eof_msg
+        else c0
+      in
+      if not (is_digit c0) then failwith eof_msg;
+      let v = ref (Char.code c0 - Char.code '0') in
+      let stop = ref false in
+      while not !stop do
+        match read () with
+        | Some c when is_digit c -> v := (!v * 10) + (Char.code c - Char.code '0')
+        | Some c when is_ws c -> stop := true
+        | Some _ -> failwith eof_msg
+        | None -> stop := true
+      done;
+      if neg then - !v else !v
+
+let rest_is_ws read =
+  let rec go () =
+    match read () with
+    | None -> true
+    | Some c when is_ws c -> go ()
+    | Some _ -> false
+  in
+  go ()
+
+(* Parses "n m" then m edges from a fresh character source per pass.
+   [source ()] must yield the same characters on every call. *)
+let edge_list_of_source source =
+  let header read =
+    let n = read_int read ~eof_msg:"bad header" in
+    let m = read_int read ~eof_msg:"bad header" in
+    if n < 0 || m < 0 then failwith "bad header";
+    (n, m)
+  in
+  match
+    let n, m = header (source ()) in
+    Graph.of_iter ~n (fun f ->
+        let read = source () in
+        let _ = header read in
+        for _ = 1 to m do
+          let a = read_int read ~eof_msg:"edge count mismatch" in
+          let b = read_int read ~eof_msg:"edge count mismatch" in
+          f a b
+        done;
+        if not (rest_is_ws read) then failwith "edge count mismatch")
+  with
+  | g -> Ok g
+  | exception Failure msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+let string_source text () =
+  let p = ref 0 in
+  let len = String.length text in
+  fun () ->
+    if !p >= len then None
+    else begin
+      let c = text.[!p] in
+      incr p;
+      Some c
+    end
+
+let of_edge_list text =
+  if String.for_all is_ws text then Error "empty input"
+  else edge_list_of_source (string_source text)
+
+let of_edge_list_file path =
+  (* Each counting pass re-opens the file: two sequential scans, so a
+     multi-gigabyte edge list never needs to fit in memory. *)
+  let run () =
+    let channels = ref [] in
+    let source () =
+      let ic = open_in path in
+      channels := ic :: !channels;
+      fun () ->
+        match input_char ic with
+        | c -> Some c
+        | exception End_of_file -> None
+    in
+    Fun.protect
+      ~finally:(fun () -> List.iter close_in_noerr !channels)
+      (fun () -> edge_list_of_source source)
+  in
+  match run () with
+  | r -> r
+  | exception Sys_error msg -> Error msg

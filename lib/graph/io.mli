@@ -19,3 +19,11 @@ val to_edge_list : Graph.t -> string
 (** ["n m\nu v\n…"] — the trivial format. *)
 
 val of_edge_list : string -> (Graph.t, string) result
+(** Token-based: header ["n m"] then [2m] whitespace-separated
+    endpoints.  Builds the CSR in two counting passes over the text —
+    no intermediate edge list. *)
+
+val of_edge_list_file : string -> (Graph.t, string) result
+(** Same format, streamed from a file.  Each counting pass re-opens
+    and scans the file sequentially, so the input never needs to fit
+    in memory beyond the OS page cache. *)

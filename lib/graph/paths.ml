@@ -10,14 +10,12 @@ let longest_path g =
     let best = ref 1 in
     let rec extend v len =
       if len > !best then best := len;
-      Array.iter
-        (fun w ->
+      Graph.iter_neighbors g v (fun w ->
           if not visited.(w) then begin
             visited.(w) <- true;
             extend w (len + 1);
             visited.(w) <- false
           end)
-        (Graph.neighbors g v)
     in
     for s = 0 to n - 1 do
       visited.(s) <- true;
@@ -34,8 +32,7 @@ let circumference g =
   (* Only search cycles whose minimum vertex is the start [s]; this
      avoids rediscovering each cycle at every vertex. *)
   let rec extend s v len =
-    Array.iter
-      (fun w ->
+    Graph.iter_neighbors g v (fun w ->
         if w = s && len >= 3 then begin
           if len > !best then best := len
         end
@@ -44,7 +41,6 @@ let circumference g =
           extend s w (len + 1);
           visited.(w) <- false
         end)
-      (Graph.neighbors g v)
   in
   for s = 0 to n - 1 do
     visited.(s) <- true;

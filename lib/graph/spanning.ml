@@ -1,20 +1,10 @@
 type t = { root : int; parent : int array; dist : int array }
 
 let bfs g ~root =
-  let dist = Graph.bfs_dist g root in
-  if Array.exists (fun d -> d < 0) dist then
+  let bt = Graph.bfs_tree g root in
+  if Array.length bt.Graph.order < Graph.n g then
     invalid_arg "Spanning.bfs: disconnected graph";
-  let parent = Array.make (Graph.n g) (-1) in
-  for v = 0 to Graph.n g - 1 do
-    if v <> root then begin
-      let best = ref (-1) in
-      Array.iter
-        (fun u -> if dist.(u) = dist.(v) - 1 && !best = -1 then best := u)
-        (Graph.neighbors g v);
-      parent.(v) <- !best
-    end
-  done;
-  { root; parent; dist }
+  { root; parent = bt.Graph.parent; dist = bt.Graph.dist }
 
 let children t v =
   let out = ref [] in
@@ -24,19 +14,34 @@ let children t v =
 let subtree_sizes t =
   let n = Array.length t.parent in
   let sizes = Array.make n 1 in
-  (* Process vertices by decreasing BFS distance so children are done
-     before their parents. *)
-  let order = Array.init n Fun.id in
-  Array.sort (fun a b -> Int.compare t.dist.(b) t.dist.(a)) order;
-  Array.iter
-    (fun v ->
-      if t.parent.(v) >= 0 then
-        sizes.(t.parent.(v)) <- sizes.(t.parent.(v)) + sizes.(v))
-    order;
+  (* Accumulate children into parents in order of decreasing BFS
+     distance; a counting sort by distance replaces the old
+     comparison sort (distances are small dense ints). *)
+  let maxd = Array.fold_left max 0 t.dist in
+  let start = Array.make (maxd + 1) 0 in
+  Array.iter (fun d -> start.(d) <- start.(d) + 1) t.dist;
+  let acc = ref 0 in
+  for d = 0 to maxd do
+    let c = start.(d) in
+    start.(d) <- !acc;
+    acc := !acc + c
+  done;
+  let order = Array.make n 0 in
+  for v = 0 to n - 1 do
+    let d = t.dist.(v) in
+    order.(start.(d)) <- v;
+    start.(d) <- start.(d) + 1
+  done;
+  for i = n - 1 downto 0 do
+    let v = order.(i) in
+    if t.parent.(v) >= 0 then
+      sizes.(t.parent.(v)) <- sizes.(t.parent.(v)) + sizes.(v)
+  done;
   sizes
 
 let to_graph t =
   let n = Array.length t.parent in
-  let es = ref [] in
-  Array.iteri (fun v p -> if p >= 0 then es := (v, p) :: !es) t.parent;
-  Graph.of_edges ~n !es
+  Graph.of_iter ~n (fun f ->
+      for v = 0 to n - 1 do
+        if t.parent.(v) >= 0 then f v t.parent.(v)
+      done)

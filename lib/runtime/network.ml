@@ -42,7 +42,7 @@ let sender_step ~plan ~first_round ~inst ~(node : Node.t) ~stream =
   end;
   let sends = ref [] in
   if node.status <> Node.Crashed then
-    Array.iter
+    Graph.iter_neighbors inst.Instance.graph node.vertex
       (fun w ->
         let u_drop = Rng.float stream 1.0 in
         let u_flip = Rng.float stream 1.0 in
@@ -71,8 +71,7 @@ let sender_step ~plan ~first_round ~inst ~(node : Node.t) ~stream =
             (if forged then Trace.Forge { src = node.vertex; dst = w; bits }
              else Trace.Send { src = node.vertex; dst = w; bits });
           sends := { dst = w; payload } :: !sends
-        end)
-      (Graph.neighbors inst.Instance.graph node.vertex);
+        end);
   (List.rev !events, List.rev !sends)
 
 let chunk_factor = 8

@@ -50,7 +50,7 @@ let create n =
 let mark_scope graph dirty = function
   | Trace.Self_and_neighbors v ->
       dirty.(v) <- true;
-      Array.iter (fun w -> dirty.(w) <- true) (Graph.neighbors graph v)
+      Graph.iter_neighbors graph v (fun w -> dirty.(w) <- true)
   | Trace.Inbox v -> dirty.(v) <- true
   | Trace.Pure -> ()
 

@@ -29,6 +29,14 @@ type t = {
   batcher : (Protocol.request, Protocol.response) Batcher.t;
   prepared : (string * string, prepared) Memo.t;
   flipped : (string * string * int * int, Bitstring.t array) Memo.t;
+  instances : (string, Instance.t) Memo.t;
+      (* graph spec string → built instance, shared across schemes: a
+         deployment typically certifies several properties of one
+         topology, and at 10⁶+ vertices regenerating the graph (and
+         re-streaming its edge list) dwarfs the verification sweep.
+         Instances are immutable, and physical sharing is what lets
+         Vcompile's instance-keyed kernel slot carry across schemes'
+         requests on the same graph. *)
 }
 
 let create ~pool () =
@@ -37,6 +45,7 @@ let create ~pool () =
     batcher = Batcher.create ();
     prepared = Memo.create ~name:"serve.prepared" 16;
     flipped = Memo.create ~name:"serve.flipped" 16;
+    instances = Memo.create ~name:"serve.instances" 16;
   }
 
 exception Reject of Protocol.error_code
@@ -47,16 +56,43 @@ exception Reject of Protocol.error_code
    (The Batcher still coalesces concurrent duplicates either way.) *)
 let max_prepared = 256
 let max_flipped = 1024
+let max_instances = 64
 
 (* Work named by a request is bounded the way Attack's trials always
    were: a wire graph spec may not describe an instance past these
    caps (clique:100000 is ~5e9 edges) and a Simulate may not pin a
    worker for an unbounded number of rounds.  Past a cap the answer
    is a typed Bad_graph/Bad_argument, computed before anything is
-   allocated.  The CLI keeps calling Spec.parse uncapped. *)
-let max_graph_vertices = 1 lsl 22
-let max_graph_edges = 1 lsl 24
+   allocated.  The CLI keeps calling Spec.parse uncapped.  The caps
+   admit the streamed multi-million-vertex instances the CSR substrate
+   is built for (2²⁴ vertices / 2²⁶ edges ≈ 1 GiB of CSR arrays);
+   memory for admitted work is the deployment's queue-depth × instance
+   budget, as before. *)
+let max_graph_vertices = 1 lsl 24
+let max_graph_edges = 1 lsl 26
 let max_rounds = 1_000_000
+
+let instance_cache_hits () =
+  Metrics.counter ~approx:true "serve.instance_cache_hits"
+
+let instance_for t graph =
+  match Memo.find_opt t.instances graph with
+  | Some inst ->
+      if Metrics.is_enabled () then Metrics.incr (instance_cache_hits ());
+      inst
+  | None ->
+      let g =
+        match
+          Spec.parse ~max_vertices:max_graph_vertices
+            ~max_edges:max_graph_edges graph
+        with
+        | Ok g -> g
+        | Error msg -> raise (Reject (Protocol.Bad_graph msg))
+      in
+      let inst = Instance.make g in
+      if Memo.length t.instances < max_instances then
+        Memo.set t.instances graph inst;
+      inst
 
 let prepare t ~scheme ~graph =
   let key = (scheme, graph) in
@@ -68,15 +104,7 @@ let prepare t ~scheme ~graph =
         | Some e -> e
         | None -> raise (Reject (Protocol.Unknown_scheme scheme))
       in
-      let g =
-        match
-          Spec.parse ~max_vertices:max_graph_vertices
-            ~max_edges:max_graph_edges graph
-        with
-        | Ok g -> g
-        | Error msg -> raise (Reject (Protocol.Bad_graph msg))
-      in
-      let inst = Instance.make g in
+      let inst = instance_for t graph in
       let sc = entry.Registry.scheme in
       let certs =
         match sc.Scheme.prover inst with

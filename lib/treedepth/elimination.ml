@@ -219,9 +219,8 @@ let centroid_of_tree g =
     let rec dfs u =
       seen.(u) <- true;
       acc := u :: !acc;
-      Array.iter
-        (fun w -> if alive.(w) && not seen.(w) then dfs w)
-        (Graph.neighbors g u)
+      Graph.iter_neighbors g u (fun w ->
+          if alive.(w) && not seen.(w) then dfs w)
     in
     dfs v;
     !acc
@@ -235,29 +234,24 @@ let centroid_of_tree g =
     let sub = Array.make total 0 in
     let rec calc u p =
       sub.(u) <- 1;
-      Array.iter
-        (fun w ->
+      Graph.iter_neighbors g u (fun w ->
           if in_comp.(w) && w <> p then begin
             calc w u;
             sub.(u) <- sub.(u) + sub.(w)
           end)
-        (Graph.neighbors g u)
     in
     let start = List.hd comp in
     calc start (-1);
     let rec walk u p =
       let score = ref (size - sub.(u)) in
-      Array.iter
-        (fun w ->
-          if in_comp.(w) && w <> p then score := max !score sub.(w))
-        (Graph.neighbors g u);
+      Graph.iter_neighbors g u (fun w ->
+          if in_comp.(w) && w <> p then score := max !score sub.(w));
       if !score < !best_score then begin
         best_score := !score;
         best := u
       end;
-      Array.iter
-        (fun w -> if in_comp.(w) && w <> p then walk w u)
-        (Graph.neighbors g u)
+      Graph.iter_neighbors g u (fun w ->
+          if in_comp.(w) && w <> p then walk w u)
     in
     walk start (-1);
     !best
@@ -267,9 +261,7 @@ let centroid_of_tree g =
     let c = centroid comp in
     parent.(c) <- up;
     alive.(c) <- false;
-    Array.iter
-      (fun w -> if alive.(w) then decompose w c)
-      (Graph.neighbors g c)
+    Graph.iter_neighbors g c (fun w -> if alive.(w) then decompose w c)
   in
   if total > 0 then decompose 0 (-1);
   make ~parent

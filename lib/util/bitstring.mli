@@ -92,3 +92,17 @@ val unsafe_blit : t -> Bytes.t -> off:int -> unit
 val unsafe_extract : t -> pos:int -> width:int -> int
 (** [unsafe_extract b ~pos ~width] reads [width <= 62] bits starting
     at [pos], most significant first.  Bounds are not checked. *)
+
+val byte_size : t -> int
+(** Number of payload bytes, [(length + 7) / 8] — what {!unsafe_pack}
+    writes. *)
+
+val unsafe_pack : t -> Bytes.t -> off:int -> t
+(** [unsafe_pack b dst ~off] copies the payload bytes of [b] into
+    [dst] at byte offset [off] and returns a bit string {e viewing}
+    those bytes in place — structurally equal to [b] (the cached hash
+    carries over) with no buffer of its own.  The certificate arenas
+    (Cert_store) use this to pack millions of payloads back-to-back
+    into a few large chunks.  The caller must reserve
+    [byte_size b] bytes at [off] inside [dst] and must not mutate
+    them afterwards; bounds are not checked. *)

@@ -6,6 +6,11 @@ type group = {
   minor_words : float;
   interned_ratio : float;
   memo_hit_ratio : float option;
+  max_rss_mb : float option;
+      (* v3: process peak RSS (VmHWM) in MiB observed by the time the
+         group finished — a per-run high-water mark, so within one
+         artifact later groups report values ≥ earlier ones.  Optional
+         so v2 artifacts (and platforms without /proc) still parse. *)
   rows : jrow list;
 }
 
@@ -40,6 +45,11 @@ let render_group b (g : group) =
   | Some m ->
       Buffer.add_string b
         (Printf.sprintf "        \"memo_hit_ratio\": %s,\n" (num m)));
+  (match g.max_rss_mb with
+  | None -> ()
+  | Some r ->
+      Buffer.add_string b
+        (Printf.sprintf "        \"max_rss_mb\": %s,\n" (num r)));
   Buffer.add_string b "        \"rows\": [\n";
   List.iteri
     (fun i r ->
@@ -134,7 +144,13 @@ let decode_group j =
   let o = as_obj "group" j in
   check_fields o
     [
-      "n"; "prover_ms"; "minor_words"; "interned_ratio"; "memo_hit_ratio"; "rows";
+      "n";
+      "prover_ms";
+      "minor_words";
+      "interned_ratio";
+      "memo_hit_ratio";
+      "max_rss_mb";
+      "rows";
     ]
     "group";
   let n = as_int "n" (field o "n") in
@@ -157,6 +173,8 @@ let decode_group j =
     interned_ratio = as_ratio "interned_ratio" (field o "interned_ratio");
     memo_hit_ratio =
       Option.map (as_ratio "memo_hit_ratio") (List.assoc_opt "memo_hit_ratio" o);
+    max_rss_mb =
+      Option.map (as_nonneg "max_rss_mb") (List.assoc_opt "max_rss_mb" o);
     rows;
   }
 

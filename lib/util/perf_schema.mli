@@ -35,6 +35,13 @@ type group = {
       (** aggregate named-memo hit ratio over a telemetry accounting
           pass, [0..1]; absent when the scheme exercises no named memo
           (the parser treats a missing field as [None]) *)
+  max_rss_mb : float option;
+      (** v3: process peak RSS ([VmHWM]) in MiB observed by the time
+          the group finished.  A per-run high-water mark — within one
+          artifact, later groups report values no smaller than earlier
+          ones.  Absent in v2 artifacts and on platforms without
+          [/proc]; the parser treats a missing field as [None], so v2
+          artifacts parse unchanged. *)
   rows : jrow list;
       (** non-empty, one row per job count (duplicate job counts are a
           parse error), ordered by [jobs] *)

@@ -1,0 +1,349 @@
+(* Differential suites for the CSR graph substrate (DESIGN §5.7).
+
+   The CSR swap touched every adjacency consumer in the tree, so these
+   tests hold the new representation against an independent reference
+   model — plain sorted adjacency lists rebuilt here from the edge
+   list — on every [Graph] observation, on random inputs.  Streaming
+   ingestion is held against [of_edges] the same way, and the arena
+   packing of Cert_store against the identity. *)
+
+let check = Alcotest.(check bool)
+
+(* Random edge multiset over [n] vertices: duplicates and both
+   orientations included deliberately — [of_edges] must canonicalize
+   them away. *)
+let random_edges rng n =
+  let k = Rng.int rng (3 * n) in
+  List.init k (fun _ ->
+      let u = Rng.int rng n and v = Rng.int rng n in
+      if Rng.bool rng then (u, v) else (v, u))
+  |> List.filter (fun (u, v) -> u <> v)
+
+(* Reference model: sorted dedup'd adjacency lists. *)
+let reference n edges =
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    edges;
+  Array.map (fun l -> List.sort_uniq compare l) adj
+
+let seed_arbitrary = QCheck.(pair (int_range 1 40) (int_bound 1_000_000))
+
+let qcheck_csr_vs_reference =
+  QCheck.Test.make ~name:"CSR agrees with reference adjacency on all ops"
+    ~count:300 seed_arbitrary (fun (n, seed) ->
+      let rng = Rng.make seed in
+      let edges = random_edges rng n in
+      let g = Graph.of_edges ~n edges in
+      let adj = reference n edges in
+      let m_ref =
+        Array.fold_left (fun acc l -> acc + List.length l) 0 adj / 2
+      in
+      Graph.n g = n
+      && Graph.m g = m_ref
+      && List.for_all
+           (fun v ->
+             Graph.degree g v = List.length adj.(v)
+             && Array.to_list (Graph.neighbors g v) = adj.(v)
+             && (let acc = ref [] in
+                 Graph.iter_neighbors g v (fun w -> acc := w :: !acc);
+                 List.rev !acc = adj.(v))
+             && Graph.fold_neighbors g v (fun acc _ -> acc + 1) 0
+                = List.length adj.(v)
+             && List.for_all
+                  (fun w ->
+                    Graph.mem_edge g v w = List.mem w adj.(v))
+                  (List.init n Fun.id))
+           (List.init n Fun.id)
+      && Graph.edges g
+         = List.sort compare
+             (List.concat_map
+                (fun v -> List.filter_map
+                   (fun w -> if v < w then Some (v, w) else None)
+                   adj.(v))
+                (List.init n Fun.id))
+      && (let acc = ref [] in
+          Graph.iter_edges g (fun u v -> acc := (u, v) :: !acc);
+          List.rev !acc = Graph.edges g))
+
+let qcheck_csr_invariants =
+  QCheck.Test.make ~name:"unsafe_csr rows are strictly sorted and symmetric"
+    ~count:200 seed_arbitrary (fun (n, seed) ->
+      let rng = Rng.make seed in
+      let g = Graph.of_edges ~n (random_edges rng n) in
+      let rp, col = Graph.unsafe_csr g in
+      Array.length rp = n + 1
+      && rp.(0) = 0
+      && rp.(n) = Array.length col
+      && List.for_all
+           (fun v ->
+             rp.(v) <= rp.(v + 1)
+             && (let ok = ref true in
+                 for i = rp.(v) to rp.(v + 1) - 1 do
+                   if col.(i) < 0 || col.(i) >= n || col.(i) = v then
+                     ok := false;
+                   if i > rp.(v) && col.(i - 1) >= col.(i) then ok := false;
+                   if not (Graph.mem_edge g col.(i) v) then ok := false
+                 done;
+                 !ok))
+           (List.init n Fun.id))
+
+let qcheck_bfs_vs_reference =
+  QCheck.Test.make ~name:"bfs_tree distances match a reference BFS" ~count:200
+    seed_arbitrary (fun (n, seed) ->
+      let rng = Rng.make seed in
+      let edges = random_edges rng n in
+      let g = Graph.of_edges ~n edges in
+      let adj = reference n edges in
+      let dist_ref = Array.make n (-1) in
+      let q = Queue.create () in
+      dist_ref.(0) <- 0;
+      Queue.add 0 q;
+      while not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        List.iter
+          (fun w ->
+            if dist_ref.(w) < 0 then begin
+              dist_ref.(w) <- dist_ref.(v) + 1;
+              Queue.add w q
+            end)
+          adj.(v)
+      done;
+      let t = Graph.bfs_tree g 0 in
+      t.Graph.dist = dist_ref
+      && (* order is a BFS discovery order: nondecreasing distance,
+            every reached vertex present exactly once *)
+      (let reached =
+         Array.to_list t.Graph.order |> List.sort_uniq compare
+       in
+       List.length reached = Array.length t.Graph.order
+       && List.for_all (fun v -> dist_ref.(v) >= 0) reached)
+      && Array.for_all
+           (fun v ->
+             match t.Graph.parent.(v) with
+             | -1 -> v = 0 || dist_ref.(v) < 0
+             | p -> dist_ref.(p) = dist_ref.(v) - 1 && Graph.mem_edge g p v)
+           (Array.init n Fun.id))
+
+(* Satellite: [neighbors] returns a fresh array — mutating it must not
+   corrupt the graph (the old representation leaked its backing
+   arrays, a mutation away from an unsound verifier). *)
+let neighbors_freshness () =
+  let g = Graph.of_edges ~n:5 [ (0, 1); (0, 2); (1, 2); (2, 3); (3, 4) ] in
+  let nb = Graph.neighbors g 2 in
+  Array.fill nb 0 (Array.length nb) 99;
+  check "graph unchanged after mutating neighbors result" true
+    (Array.to_list (Graph.neighbors g 2) = [ 0; 1; 3 ]);
+  check "second call unaffected" true (Graph.degree g 2 = 3)
+
+let of_iter_rejects_diverging_iterator () =
+  (* an iterator that emits different edges on its two passes *)
+  let calls = ref 0 in
+  let iter f =
+    incr calls;
+    if !calls = 1 then f 0 1
+    else begin
+      f 0 1;
+      f 1 2
+    end
+  in
+  match Graph.of_iter ~n:3 iter with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "diverging iterator not rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Streaming ingestion                                                 *)
+
+let qcheck_edge_list_stream_equals_of_edges =
+  QCheck.Test.make ~name:"of_edge_list ≡ of_edges (and file ≡ string)"
+    ~count:200 seed_arbitrary (fun (n, seed) ->
+      let rng = Rng.make seed in
+      let edges = random_edges rng n in
+      let g = Graph.of_edges ~n edges in
+      let text =
+        Printf.sprintf "%d %d\n%s" n (List.length edges)
+          (String.concat "\n"
+             (List.map (fun (u, v) -> Printf.sprintf "%d %d" u v) edges))
+      in
+      let via_string =
+        match Io.of_edge_list text with
+        | Ok g' -> Graph.equal g g'
+        | Error _ -> false
+      in
+      let via_file =
+        let path = Filename.temp_file "csr_edges" ".txt" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let oc = open_out path in
+            output_string oc text;
+            close_out oc;
+            match Io.of_edge_list_file path with
+            | Ok g' -> Graph.equal g g'
+            | Error _ -> false)
+      in
+      via_string && via_file)
+
+let edge_list_malformed () =
+  let bad =
+    [
+      "";
+      "3";
+      "3 2\n0 1";
+      (* fewer endpoints than the header claims *)
+      "3 1\n0 1 2 0";
+      (* more *)
+      "3 1\n0 3";
+      (* endpoint out of range *)
+      "3 1\n0 x";
+      "-1 0";
+      "2 1\n0 1 trailing";
+    ]
+  in
+  List.iter
+    (fun text ->
+      check (Printf.sprintf "rejects %S" text) true
+        (Result.is_error (Io.of_edge_list text)))
+    bad
+
+let graph6_truncated () =
+  let g = Gen.random_tree (Rng.make 5) 30 in
+  let s = Io.to_graph6 g in
+  (* every strict prefix must be a typed error, never an exception *)
+  for k = 0 to String.length s - 1 do
+    match Io.of_graph6 (String.sub s 0 k) with
+    | Ok g' ->
+        (* a prefix that still parses must at least not be our graph
+           unless it is byte-identical *)
+        if Graph.equal g g' then
+          Alcotest.failf "truncated to %d bytes still parses to the graph" k
+    | Error _ -> ()
+  done;
+  (* large-form header cut mid-size *)
+  check "truncated 4-byte size rejected" true
+    (Result.is_error (Io.of_graph6 "~"));
+  check "truncated payload rejected" true
+    (Result.is_error (Io.of_graph6 (String.sub s 0 (String.length s / 2))))
+
+(* ------------------------------------------------------------------ *)
+(* Certificate arenas                                                  *)
+
+let qcheck_arena_transparent =
+  QCheck.Test.make ~name:"Cert_store.pack is the interning identity"
+    ~count:100
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.make seed in
+      let mk () =
+        Bitstring.of_bools (List.init (Rng.int rng 200) (fun _ -> Rng.bool rng))
+      in
+      (* a pool with duplicates, so packing exercises its dedup *)
+      let pool = Array.init 16 (fun _ -> mk ()) in
+      let certs =
+        Array.init 200 (fun _ ->
+            if Rng.bool rng then pool.(Rng.int rng 16) else mk ())
+      in
+      let packed = Cert_store.pack certs in
+      Array.length packed = Array.length certs
+      && Array.for_all2
+           (fun c p ->
+             Bitstring.equal c p
+             && Bitstring.length c = Bitstring.length p
+             && Bitstring.hash c = Bitstring.hash p
+             && Bitstring.to_string c = Bitstring.to_string p)
+           certs packed
+      && (* equal nonempty inputs share one arena slot (empties pass
+            through untouched, as in [intern]) *)
+      (let ok = ref true in
+       Array.iteri
+         (fun i c ->
+           Array.iteri
+             (fun j p ->
+               if
+                 i < j
+                 && Bitstring.length c > 0
+                 && Bitstring.equal c certs.(j)
+                 && not (packed.(i) == p)
+               then ok := false)
+             packed)
+         certs;
+       !ok))
+
+(* Operations on arena views (byte offset ≠ 0) agree with the same
+   operations on their privately-buffered originals. *)
+let arena_views_behave () =
+  let rng = Rng.make 42 in
+  let certs =
+    Array.init 64 (fun _ ->
+        Bitstring.of_bools
+          (List.init (1 + Rng.int rng 90) (fun _ -> Rng.bool rng)))
+  in
+  let packed = Cert_store.pack certs in
+  Array.iteri
+    (fun i c ->
+      let p = packed.(i) in
+      let len = Bitstring.length c in
+      check "to_bools" true (Bitstring.to_bools c = Bitstring.to_bools p);
+      check "append" true
+        (Bitstring.equal (Bitstring.append c c) (Bitstring.append p p));
+      check "xor zero" true
+        (Bitstring.length (Bitstring.xor c p) = len);
+      if len > 1 then begin
+        let pos = Rng.int rng len in
+        let sub_len = Rng.int rng (len - pos) in
+        check "sub" true
+          (Bitstring.equal
+             (Bitstring.sub c ~pos ~len:sub_len)
+             (Bitstring.sub p ~pos ~len:sub_len));
+        let b = Rng.int rng len in
+        check "flip" true
+          (Bitstring.equal (Bitstring.flip c b) (Bitstring.flip p b));
+        check "compare" true (Bitstring.compare c p = 0)
+      end)
+    certs
+
+(* intern_all routes big arrays through the arena and small ones
+   through the store — both observably identity. *)
+let intern_all_threshold () =
+  Cert_store.reset ();
+  let big =
+    Array.init 70_000 (fun i ->
+        Bitstring.of_string (if i mod 2 = 0 then "1010" else "0101"))
+  in
+  let out = Cert_store.intern_all big in
+  let s = Cert_store.stats () in
+  check "arena used" true (s.Cert_store.arena_packs = 1);
+  check "dedup in arena" true (s.Cert_store.arena_certs = 2);
+  check "store untouched" true (s.Cert_store.distinct = 0);
+  check "identity" true (Array.for_all2 Bitstring.equal big out);
+  Cert_store.reset ()
+
+let suite =
+  [
+    ( "csr-differential",
+      [
+        QCheck_alcotest.to_alcotest qcheck_csr_vs_reference;
+        QCheck_alcotest.to_alcotest qcheck_csr_invariants;
+        QCheck_alcotest.to_alcotest qcheck_bfs_vs_reference;
+        Alcotest.test_case "neighbors is fresh" `Quick neighbors_freshness;
+        Alcotest.test_case "of_iter rejects diverging iterators" `Quick
+          of_iter_rejects_diverging_iterator;
+      ] );
+    ( "csr-streaming",
+      [
+        QCheck_alcotest.to_alcotest qcheck_edge_list_stream_equals_of_edges;
+        Alcotest.test_case "malformed edge lists rejected" `Quick
+          edge_list_malformed;
+        Alcotest.test_case "truncated graph6 rejected" `Quick graph6_truncated;
+      ] );
+    ( "cert-arena",
+      [
+        QCheck_alcotest.to_alcotest qcheck_arena_transparent;
+        Alcotest.test_case "views behave like originals" `Quick
+          arena_views_behave;
+        Alcotest.test_case "intern_all threshold routing" `Quick
+          intern_all_threshold;
+      ] );
+  ]

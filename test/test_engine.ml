@@ -319,11 +319,12 @@ let booby_trapped ~target raise_fatal =
            {
              Scheme.decode = (fun ~id_bits:_ _ -> ());
              check =
-               (fun ~id_bits:_ ~me ~label:_ () _ ->
+               (fun ~id_bits:_ ~me ~label:_ () ~ids:_ ~decs:_ ~lo:_ ~hi:_ ->
                  if me = target then
                    if raise_fatal then assert false
                    else failwith "kernel boom"
                  else Scheme.Accept);
+             flat = None;
            });
   }
 

@@ -31,6 +31,7 @@ let sample =
                 minor_words = 1048576.;
                 interned_ratio = 0.25;
                 memo_hit_ratio = Some 0.5;
+                max_rss_mb = Some 42.5;
                 rows = [ jrow 1 0.8 195; jrow 2 0.78 195; jrow 4 0.75 195 ];
               };
             ];
@@ -70,6 +71,8 @@ let qcheck_random_roundtrip =
           interned_ratio = Rng.float rng 1.0;
           memo_hit_ratio =
             (if Rng.bool rng then Some (Rng.float rng 1.0) else None);
+          max_rss_mb =
+            (if Rng.bool rng then Some (Rng.float rng 100_000.) else None);
           rows = List.init k (fun i -> row (i + 1));
         }
       in
@@ -90,20 +93,31 @@ let qcheck_random_roundtrip =
       | Error _ -> false
       | Ok d -> Perf_schema.render d = rendered)
 
-(* Groups without a named-memo ratio omit the field and parse to
-   None. *)
+(* Groups without a named-memo ratio or an RSS figure omit the fields
+   and parse to None — this is also what makes a v2 artifact (no
+   max_rss_mb anywhere) parse under the v3 schema. *)
 let optional_memo_field () =
   let text =
     {|{ "smoke": false, "series": [ { "scheme": "x", "groups": [ { "n": 1, "prover_ms": 1, "minor_words": 1, "interned_ratio": 0, "rows": [ { "jobs": 1, "verify_ms": 1, "verts_per_sec": 1 } ] } ] } ] }|}
   in
-  match Perf_schema.parse text with
+  (match Perf_schema.parse text with
   | Error msg -> Alcotest.failf "memo-less group does not parse: %s" msg
   | Ok d ->
       let g =
         List.hd (List.hd d.Perf_schema.series).Perf_schema.groups
       in
       check "missing memo_hit_ratio is None" true
-        (g.Perf_schema.memo_hit_ratio = None)
+        (g.Perf_schema.memo_hit_ratio = None);
+      check "missing max_rss_mb is None (v2 artifact)" true
+        (g.Perf_schema.max_rss_mb = None));
+  let text_v3 =
+    {|{ "smoke": false, "series": [ { "scheme": "x", "groups": [ { "n": 1, "prover_ms": 1, "minor_words": 1, "interned_ratio": 0, "max_rss_mb": 512.25, "rows": [ { "jobs": 1, "verify_ms": 1, "verts_per_sec": 1 } ] } ] } ] }|}
+  in
+  match Perf_schema.parse text_v3 with
+  | Error msg -> Alcotest.failf "v3 group does not parse: %s" msg
+  | Ok d ->
+      let g = List.hd (List.hd d.Perf_schema.series).Perf_schema.groups in
+      check "max_rss_mb parsed" true (g.Perf_schema.max_rss_mb = Some 512.25)
 
 let rejects_malformed () =
   let wrap rows_body =
@@ -137,6 +151,9 @@ let rejects_malformed () =
       ( "negative time",
         {|{ "smoke": false, "series": [ { "scheme": "x", "groups": [ { "n": 1, "prover_ms": -1, "minor_words": 1, "interned_ratio": 0, "rows": [ { "jobs": 1, "verify_ms": 1, "verts_per_sec": 1 } ] } ] } ] }|}
       );
+      ( "negative max_rss_mb",
+        {|{ "smoke": false, "series": [ { "scheme": "x", "groups": [ { "n": 1, "prover_ms": 1, "minor_words": 1, "interned_ratio": 0, "max_rss_mb": -5, "rows": [ { "jobs": 1, "verify_ms": 1, "verts_per_sec": 1 } ] } ] } ] }|}
+      );
       ( "memo ratio above one",
         {|{ "smoke": false, "series": [ { "scheme": "x", "groups": [ { "n": 1, "prover_ms": 1, "minor_words": 1, "interned_ratio": 0, "memo_hit_ratio": 1.5, "rows": [ { "jobs": 1, "verify_ms": 1, "verts_per_sec": 1 } ] } ] } ] }|}
       );
@@ -165,6 +182,7 @@ let doc_of_ladder verify_ms_ladder =
                 minor_words = 0.;
                 interned_ratio = 0.;
                 memo_hit_ratio = None;
+                max_rss_mb = None;
                 rows =
                   List.mapi (fun i v -> jrow (i + 1) v 256) verify_ms_ladder;
               };
@@ -225,6 +243,7 @@ let monotone_sorts_rows () =
                   minor_words = 0.;
                   interned_ratio = 0.;
                   memo_hit_ratio = None;
+                  max_rss_mb = None;
                   rows = [ jrow 8 1.0 16; jrow 1 4.0 16; jrow 2 2.0 16 ];
                 };
               ];

@@ -306,6 +306,32 @@ let handlers_differential () =
       | Protocol.Verdict _ -> Alcotest.fail "flip not detected"
       | _ -> Alcotest.fail "expected a verdict")
 
+(* One graph spec, two schemes: the second prepare must reuse the
+   instance built for the first (the per-spec-string cache exists for
+   exactly this cross-scheme sharing — same-scheme repeats are already
+   absorbed by the (scheme, graph) prepared memo upstream) and say so
+   in serve.instance_cache_hits. *)
+let instance_cache_shares () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let h = Handlers.create ~pool () in
+      Metrics.with_enabled true (fun () ->
+          Metrics.reset ();
+          let verify scheme =
+            match
+              Handlers.handle h
+                (Protocol.Verify { scheme; graph = graph_spec; flip = None })
+            with
+            | Protocol.Verdict { accepted; _ } -> accepted
+            | _ -> Alcotest.fail "expected a verdict"
+          in
+          check "spanning accepts" true (verify "spanning");
+          check "acyclic accepts" true (verify "acyclic");
+          check "second scheme hit the instance cache" true
+            (Metrics.value
+               (Metrics.counter ~approx:true "serve.instance_cache_hits")
+            >= 1);
+          Metrics.reset ()))
+
 let simulate_differential_via_socket () =
   let plan = "corrupt:0.2" and rounds = 5 and seed = 11 in
   let sc, inst, certs, _ = direct_outcome () in
@@ -662,6 +688,8 @@ let suite =
     ( "serve-differential",
       [
         Alcotest.test_case "handlers ≡ engine" `Quick handlers_differential;
+        Alcotest.test_case "instance cache shared across schemes" `Quick
+          instance_cache_shares;
         Alcotest.test_case "socket verify ≡ engine" `Quick
           verify_differential_via_socket;
         Alcotest.test_case "socket simulate ≡ runtime (trace bytes)" `Quick
