@@ -264,6 +264,50 @@ let print_series (s : Perf_schema.series) =
         g.rows)
     s.groups
 
+(* Tracing overhead guard.  The tracer's promise is that a disabled
+   emitter costs one atomic load and a branch; there is no
+   tracing-free build to diff against, so the guard measures something
+   strictly stronger: the same verify sweep with the tracer fully
+   ENABLED (rings recording) must stay within 1% of the disabled
+   sweep.  If even live recording fits the budget, the disabled
+   single-branch path does a fortiori.  Both modes are measured
+   round-robin with per-mode minima — the same noise discipline as the
+   jobs ladder — so a slow patch of host time cannot fake a
+   regression.  Full runs fail hard past the budget; smoke runs print
+   the figure but do not gate (their sweeps are too short for a 1%
+   resolution). *)
+let tracer_overhead_guard ~smoke ~reps =
+  let n = if smoke then 2048 else 16384 in
+  let fam = List.find (fun f -> f.name = "spanning") families in
+  let scheme, inst = fam.make n in
+  Cert_store.reset ();
+  let certs = Cert_store.intern_all (Option.get (scheme.Scheme.prover inst)) in
+  Gc.full_major ();
+  Tracer.reset ();
+  let pool = Pool.create ~jobs:8 () in
+  let times =
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () ->
+        wall_ladder ~reps [ false; true ] (fun enabled ->
+            Tracer.with_enabled enabled (fun () ->
+                Engine.run_par ~pool scheme inst certs)))
+  in
+  Tracer.reset ();
+  match times with
+  | [ off_s; on_s ] ->
+      let overhead = (on_s -. off_s) /. off_s in
+      Printf.printf
+        "\n  tracer overhead @ n=%d: disabled %.3fms, enabled %.3fms (%+.2f%%)\n"
+        n (off_s *. 1e3) (on_s *. 1e3) (100. *. overhead);
+      if (not smoke) && overhead > 0.01 then
+        failwith
+          (Printf.sprintf
+             "tracing overhead %.2f%% of verify time exceeds the 1%% budget \
+              (n=%d)"
+             (100. *. overhead) n)
+  | _ -> assert false
+
 let run ~smoke () =
   let jobs_ladder = if smoke then [ 1; 2; 8 ] else [ 1; 2; 4; 8 ] in
   let reps = if smoke then 2 else 5 in
@@ -294,6 +338,7 @@ let run ~smoke () =
     | Ok () -> ()
     | Error msg ->
         failwith ("perf bench jobs ladder is not monotone: " ^ msg));
+  tracer_overhead_guard ~smoke ~reps;
   let oc = open_out out_file in
   output_string oc rendered;
   close_out oc;

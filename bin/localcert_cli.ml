@@ -9,6 +9,8 @@
      serve      certification server (binary protocol, batching, admission)
      loadgen    open-loop latency load generator for the server
      gadget     build the Section-7 lower-bound gadgets
+     stats      telemetry snapshots (demo, validate, remote, percentiles)
+     trace-merge merge/validate Chrome trace-event files from --trace
      experiments (pointer to bench/main.exe)
 
    Graph specifications (for --graph): the pure Spec grammar
@@ -293,17 +295,19 @@ let metrics_arg =
            identical across same-seed runs at any job count; timings and \
            approximate metrics live in a separate section.")
 
-(* Applied around a subcommand body: --log sets the level first, and
+(* Applied around a subcommand body: --log sets the level first,
    --metrics switches recording on so the snapshot written afterwards
-   has data in it.  Without --metrics, telemetry stays off and every
-   instrument update is a single load-and-branch.
+   has data in it, and --trace switches the event tracer on.  Without
+   them, telemetry stays off and every instrument update is a single
+   load-and-branch.
 
-   The snapshot flush is registered as a Shutdown cleanup rather than
-   written inline: an interrupted run (SIGINT mid-sweep, SIGTERM from
-   a supervisor) still flushes a valid strict-JSON snapshot before
-   exiting 130/143.  Cleanups are one-shot, so the normal-exit flush
-   and a racing signal never write twice. *)
-let with_telemetry log metrics f =
+   The snapshot and trace flushes are registered as Shutdown cleanups
+   rather than written inline: an interrupted run (SIGINT mid-sweep,
+   SIGTERM from a supervisor — exactly how CI stops `serve`) still
+   flushes valid artifacts before exiting 130/143.  Cleanups are
+   one-shot, so the normal-exit flush and a racing signal never write
+   twice. *)
+let with_telemetry ?trace ?(trace_process = "localcert") log metrics f =
   (match log with None -> () | Some l -> Logger.set_level l);
   (match metrics with
   | None -> ()
@@ -313,14 +317,43 @@ let with_telemetry log metrics f =
           Export.write_file path (Export.snapshot ());
           Printf.printf "metrics written to %s\n%!" path);
       Shutdown.install ());
+  (match trace with
+  | None -> ()
+  | Some path ->
+      Tracer.set_enabled true;
+      Shutdown.add_cleanup (fun () ->
+          Tracer.write_file ~process_name:trace_process path;
+          Printf.printf "trace written to %s\n%!" path);
+      Shutdown.install ());
   (* [~finally] rather than run-on-return: an exception exit (a bad
      argument's [failwith], a prover blowing up) must still flush the
      snapshot — that is the whole point of registering it. *)
   Fun.protect ~finally:Shutdown.run_cleanups f
 
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Enable request-scoped event tracing and write a Chrome \
+           trace-event JSON document to $(docv) on exit (open it at \
+           ui.perfetto.dev).  Without this flag every trace emitter is a \
+           single load-and-branch.")
+
+let trace_rate_conv =
+  Arg.conv
+    ( (fun s ->
+        match float_of_string_opt s with
+        | Some r when r >= 0. && r <= 1. -> Ok r
+        | Some _ | None ->
+            Error (`Msg "expected a sampling rate between 0 and 1")),
+      Format.pp_print_float )
+
 let certify_cmd =
-  let run g name t formula attack seed jobs compiled log metrics =
-    with_telemetry log metrics @@ fun () ->
+  let run g name t formula attack seed jobs compiled log metrics trace =
+    with_telemetry ?trace ~trace_process:"localcert-certify" log metrics
+    @@ fun () ->
     Vcompile.set_enabled compiled;
     let scheme = scheme_of_name name ~t ~formula in
     let instance = Instance.make g in
@@ -393,7 +426,8 @@ let certify_cmd =
     (Cmd.info "certify" ~doc:"Run a certification scheme on a graph")
     Term.(
       const run $ graph_arg $ name_arg $ t_arg $ formula_arg $ attack_arg
-      $ seed_arg $ jobs_arg $ compiled_arg $ log_arg $ metrics_arg)
+      $ seed_arg $ jobs_arg $ compiled_arg $ log_arg $ metrics_arg
+      $ trace_file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* attack                                                              *)
@@ -497,8 +531,10 @@ let attack_cmd =
 
 let simulate_cmd =
   let run g name t formula plan rounds seed trace_out sweep no_incremental jobs
-      compiled log metrics =
-    with_telemetry log metrics @@ fun () ->
+      compiled log metrics trace_perfetto =
+    with_telemetry ?trace:trace_perfetto ~trace_process:"localcert-simulate"
+      log metrics
+    @@ fun () ->
     Vcompile.set_enabled compiled;
     let scheme = scheme_of_name name ~t ~formula in
     let instance = Instance.make g in
@@ -595,7 +631,20 @@ let simulate_cmd =
       value
       & opt (some string) None
       & info [ "trace" ] ~docv:"FILE"
-          ~doc:"Write the full execution trace as JSON to $(docv).")
+          ~doc:
+            "Write the full execution trace (rounds, faults, verdicts) as \
+             JSON to $(docv).  This is the runtime's semantic trace; for a \
+             Perfetto timeline use --trace-perfetto.")
+  in
+  let trace_perfetto_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-perfetto" ] ~docv:"FILE"
+          ~doc:
+            "Enable request-scoped event tracing and write a Chrome \
+             trace-event JSON timeline (per-round instants, fault and \
+             detection marks) to $(docv).")
   in
   let sweep_arg =
     Arg.(
@@ -618,7 +667,7 @@ let simulate_cmd =
     Term.(
       const run $ graph_arg $ name_arg $ t_arg $ formula_arg $ plan_arg
       $ rounds_arg $ seed_arg $ trace_arg $ sweep_arg $ no_incremental_arg
-      $ jobs_arg $ compiled_arg $ log_arg $ metrics_arg)
+      $ jobs_arg $ compiled_arg $ log_arg $ metrics_arg $ trace_perfetto_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve / loadgen                                                     *)
@@ -634,8 +683,10 @@ let host_arg =
 let default_port = 19523
 
 let serve_cmd =
-  let run host port workers jobs queue inflight conns batch log metrics =
-    with_telemetry log metrics @@ fun () ->
+  let run host port workers jobs queue inflight conns batch log metrics trace
+      trace_rate =
+    with_telemetry ?trace ~trace_process:"localcert-serve" log metrics
+    @@ fun () ->
     let config =
       {
         Server.host;
@@ -646,6 +697,7 @@ let serve_cmd =
         inflight_cap = inflight;
         max_connections = conns;
         batch_max = batch;
+        trace_rate;
       }
     in
     Server.run
@@ -694,6 +746,15 @@ let serve_cmd =
           ~doc:"Max requests a worker pops per queue drain (the coalescing \
                 granularity).")
   in
+  let trace_rate_arg =
+    Arg.(
+      value
+      & opt trace_rate_conv Server.default_config.Server.trace_rate
+      & info [ "trace-rate" ] ~docv:"R"
+          ~doc:
+            "With --trace: sample fraction $(docv) of untraced requests \
+             into the tracer (client-traced requests are always recorded).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -701,7 +762,8 @@ let serve_cmd =
           admission control; SIGINT/SIGTERM drain gracefully)")
     Term.(
       const run $ host_arg $ port_arg $ workers_arg $ jobs_arg $ queue_arg
-      $ inflight_arg $ conns_arg $ batch_arg $ log_arg $ metrics_arg)
+      $ inflight_arg $ conns_arg $ batch_arg $ log_arg $ metrics_arg
+      $ trace_file_arg $ trace_rate_arg)
 
 let print_run (r : Bench_schema.run) =
   Printf.printf "%s: %d requests in %.3fs -> %.0f req/s\n" r.Bench_schema.label
@@ -714,8 +776,9 @@ let print_run (r : Bench_schema.run) =
 
 let loadgen_cmd =
   let run host port self campaign smoke out op scheme graph flip label
-      connections window total rate workers jobs log =
-    (match log with None -> () | Some l -> Logger.set_level l);
+      connections window total rate workers jobs log trace trace_rate =
+    with_telemetry ?trace ~trace_process:"localcert-loadgen" log None
+    @@ fun () ->
     let jobs = Option.value jobs ~default:1 in
     let request =
       match op with
@@ -729,7 +792,16 @@ let loadgen_cmd =
     let one ~port ~label ~connections ~window ~total ~rate ~scheme ~graph
         request =
       let cfg =
-        { Loadgen.host; port; connections; window; total; rate; request }
+        {
+          Loadgen.host;
+          port;
+          connections;
+          window;
+          total;
+          rate;
+          request;
+          trace_rate;
+        }
       in
       let r = Loadgen.to_run ~label ~scheme ~graph cfg (Loadgen.run cfg) in
       print_run r;
@@ -904,6 +976,16 @@ let loadgen_cmd =
       & info [ "workers" ] ~docv:"N"
           ~doc:"Worker domains for --self servers (recorded in the output).")
   in
+  let trace_rate_arg =
+    Arg.(
+      value
+      & opt trace_rate_conv 0.01
+      & info [ "trace-rate" ] ~docv:"R"
+          ~doc:
+            "With --trace: stamp fraction $(docv) of requests with a \
+             client trace id carried in the wire header, so a tracing \
+             server records the same request under the same id.")
+  in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:
@@ -913,7 +995,7 @@ let loadgen_cmd =
       const run $ host_arg $ port_arg $ self_flag $ campaign_flag $ smoke_flag
       $ out_arg $ op_arg $ scheme_arg $ graph_spec_arg $ flip_arg $ label_arg
       $ connections_arg $ window_arg $ total_arg $ rate_arg $ workers_arg
-      $ jobs_arg $ log_arg)
+      $ jobs_arg $ log_arg $ trace_file_arg $ trace_rate_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gadget                                                              *)
@@ -1009,7 +1091,7 @@ let demo_workload () =
   ignore (Scheme.certify s2 (Instance.make (Gen.path 32)))
 
 let stats_cmd =
-  let run validate required prometheus remote log =
+  let run validate required prometheus percentiles remote log =
     (match log with None -> () | Some l -> Logger.set_level l);
     match remote with
     | Some spec -> (
@@ -1027,7 +1109,13 @@ let stats_cmd =
               | None -> failwith "expected --remote HOST:PORT or --remote PORT")
         in
         match Loadgen.request_once ~host ~port Protocol.Stats with
-        | Ok (Protocol.Stats_text text) -> print_string text
+        | Ok (Protocol.Stats_text text) ->
+            (* The wire carries the Prometheus exposition; percentile
+               estimates are reconstructed client-side from its
+               cumulative histogram buckets. *)
+            if percentiles then
+              print_string (Export.render_percentiles_of_prometheus text)
+            else print_string text
         | Ok _ ->
             Printf.eprintf "unexpected response to STATS\n";
             exit 1
@@ -1060,7 +1148,9 @@ let stats_cmd =
         demo_workload ();
         let snap = Export.snapshot () in
         print_string
-          (if prometheus then Export.to_prometheus snap else Export.render snap))
+          (if percentiles then Export.render_percentiles snap
+           else if prometheus then Export.to_prometheus snap
+           else Export.render snap))
   in
   let validate_arg =
     Arg.(
@@ -1086,6 +1176,16 @@ let stats_cmd =
       & info [ "prometheus" ]
           ~doc:"Print the Prometheus text exposition instead of JSON.")
   in
+  let percentiles_flag =
+    Arg.(
+      value & flag
+      & info [ "percentiles" ]
+          ~doc:
+            "Print p50/p90/p99 estimates per histogram (linear \
+             interpolation within buckets) instead of the raw snapshot; \
+             with --remote the estimates are derived client-side from the \
+             server's Prometheus histogram buckets.")
+  in
   let remote_arg =
     Arg.(
       value
@@ -1101,8 +1201,94 @@ let stats_cmd =
          "Run a demo workload with telemetry on and print the snapshot, \
           validate a snapshot file, or query a running server")
     Term.(
-      const run $ validate_arg $ require_arg $ prometheus_flag $ remote_arg
-      $ log_arg)
+      const run $ validate_arg $ require_arg $ prometheus_flag
+      $ percentiles_flag $ remote_arg $ log_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace-merge                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let trace_merge_cmd =
+  let run files out validate require_req =
+    if files = [] then failwith "trace-merge needs at least one FILE";
+    let docs =
+      List.map
+        (fun path ->
+          match Json.parse (read_file path) with
+          | Ok doc -> doc
+          | Error e -> failwith (path ^ ": not valid JSON: " ^ e))
+        files
+    in
+    let merged = Tracer.merge docs in
+    let events =
+      match merged with
+      | Json.Obj fields -> (
+          match List.assoc_opt "traceEvents" fields with
+          | Some (Json.Arr evs) -> List.length evs
+          | _ -> 0)
+      | _ -> 0
+    in
+    (match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Json.render merged);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "merged trace (%d events from %d files) written to %s\n"
+          events (List.length files) path);
+    if validate || require_req then
+      match Tracer.validate ~require_traced_request:require_req merged with
+      | Ok () ->
+          Printf.printf "valid trace: %d events%s\n" events
+            (if require_req then
+               ", at least one request spans queue/batch/kernel/write across \
+                timelines with a client flow"
+             else "")
+      | Error errs ->
+          List.iter (fun e -> Printf.eprintf "invalid trace: %s\n" e) errs;
+          exit 1
+  in
+  let files_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:"Chrome trace-event JSON documents (from --trace).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the merged document (one timeline, metadata first, \
+             events re-sorted by timestamp) to $(docv).")
+  in
+  let validate_flag =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "Check structural well-formedness — balanced begin/end per \
+             timeline, monotone timestamps, flow steps preceded by their \
+             start — and exit non-zero on any violation.")
+  in
+  let require_flag =
+    Arg.(
+      value & flag
+      & info [ "require-traced-request" ]
+          ~doc:
+            "Additionally require at least one traced request with \
+             queue-wait, batch, kernel and response-write slices spanning \
+             two or more timelines, stitched to a client-side flow — the \
+             end-to-end shape CI asserts on the serve smoke.")
+  in
+  Cmd.v
+    (Cmd.info "trace-merge"
+       ~doc:
+         "Merge Chrome trace-event files (server + load generator) into \
+          one Perfetto-loadable timeline, optionally validating it")
+    Term.(const run $ files_arg $ out_arg $ validate_flag $ require_flag)
 
 (* ------------------------------------------------------------------ *)
 (* export                                                              *)
@@ -1157,5 +1343,6 @@ let () =
             loadgen_cmd;
             gadget_cmd;
             stats_cmd;
+            trace_merge_cmd;
             export_cmd;
           ]))

@@ -63,6 +63,40 @@ val deterministic_equal : t -> t -> bool
 (** Equality on the deterministic section only (counters, gauges,
     histograms) — what two same-seed runs must agree on. *)
 
+val estimate_percentile : histogram -> float -> float option
+(** [estimate_percentile h q] estimates the [q]-quantile ([q] in
+    [[0, 1]]) of the observations summarized by [h], interpolating
+    linearly within the bucket the rank falls into.  A rank landing in
+    the overflow bucket clamps to the last bound (a lower bound on the
+    true quantile).  [None] when the histogram is empty.
+    @raise Invalid_argument if [q] is outside [[0, 1]]. *)
+
+type percentile_row = {
+  pname : string;
+  pcount : int;  (** total observations *)
+  p50 : float option;
+  p90 : float option;
+  p99 : float option;
+}
+
+val percentile_rows : t -> percentile_row list
+(** One row per histogram (deterministic then approximate sections,
+    each in name order). *)
+
+val render_percentiles : t -> string
+(** Human-readable percentile table (histograms with zero observations
+    are omitted) — what [localcert stats --percentiles] prints so
+    operators get latency percentiles without scraping Prometheus. *)
+
+val render_percentiles_of_prometheus : string -> string
+(** The same table, reconstructed from a Prometheus text exposition —
+    the shape a server's STATS reply arrives in, so
+    [localcert stats --remote --percentiles] can estimate quantiles
+    client-side.  Cumulative [_bucket{le=...}] samples are
+    de-cumulated; names stay in their mangled [localcert_*] form.
+    Non-histogram lines and malformed (non-monotone) series are
+    ignored. *)
+
 val to_prometheus : t -> string
 (** Prometheus text exposition (metric names prefixed [localcert_] and
     mapped to the [[a-zA-Z0-9_]] charset; histograms as

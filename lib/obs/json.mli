@@ -34,3 +34,9 @@ val num : float -> string
 (** Canonical number rendering: integer-valued floats as integers,
     everything else as the shortest decimal that parses back to exactly
     the same float. *)
+
+val render : t -> string
+(** Compact canonical rendering of a whole tree (no insignificant
+    whitespace, {!escape}d strings, {!num} scalars).  [parse ∘ render]
+    is the identity on trees, so [render ∘ parse] is a fixpoint on
+    rendered documents. *)

@@ -1,0 +1,39 @@
+/* Monotonic clock primitive for the tracer and the serving stack.
+
+   CLOCK_MONOTONIC never steps (NTP slews it but cannot jump it), is
+   consistent across every thread and process on the machine, and costs
+   one vDSO call — which is what lets client and server trace events
+   recorded by different processes land on one comparable timeline, and
+   what makes queue-wait measurements immune to wall-clock steps.
+
+   The value is nanoseconds since an unspecified epoch (boot, on
+   Linux), returned as a tagged OCaml int: 62 bits of nanoseconds cover
+   ~146 years of uptime.  [@@noalloc] keeps the disabled-tracer path
+   free of GC traffic. */
+
+#include <caml/mlvalues.h>
+
+#ifdef _WIN32
+#include <windows.h>
+
+CAMLprim value localcert_monotonic_ns(value unit)
+{
+  (void)unit;
+  LARGE_INTEGER freq, count;
+  QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&count);
+  return Val_long((long)((double)count.QuadPart * 1e9 / (double)freq.QuadPart));
+}
+
+#else
+#include <time.h>
+
+CAMLprim value localcert_monotonic_ns(value unit)
+{
+  (void)unit;
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((long)ts.tv_sec * 1000000000L + ts.tv_nsec);
+}
+
+#endif

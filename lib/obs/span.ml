@@ -48,18 +48,27 @@ let record path dt_ns =
   raise_max ()
 
 let with_ name f =
-  if not (Metrics.is_enabled ()) then f ()
+  (* Captured once: if tracing is toggled mid-span we still emit the
+     matching end for every begin we emitted (end_slice stays a no-op
+     if the tracer was disabled *and stays disabled*, which is the
+     only toggle pattern the CLI produces — enable at startup, export
+     at shutdown without disabling). *)
+  let traced = Tracer.is_enabled () in
+  if not (Metrics.is_enabled () || traced) then f ()
   else begin
     let stack = Domain.DLS.get stack_key in
-    stack := sanitize_segment name :: !stack;
-    let t0 = Unix.gettimeofday () in
+    let leaf = sanitize_segment name in
+    stack := leaf :: !stack;
+    if traced then Tracer.begin_slice leaf;
+    let t0 = Monotonic.now_ns () in
     Fun.protect
       ~finally:(fun () ->
-        let dt_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+        if traced then Tracer.end_slice leaf;
+        let dt_ns = Monotonic.now_ns () - t0 in
         (* path computed while [name] is still on the stack *)
         let path = String.concat "/" (List.rev !stack) in
         stack := List.tl !stack;
-        record path (max 0 dt_ns))
+        if Metrics.is_enabled () then record path (max 0 dt_ns))
       f
   end
 

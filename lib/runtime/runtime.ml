@@ -226,6 +226,22 @@ let execute ?pool ?jobs ?(plan = Fault.none) ?(rounds = 1) ?(seed = 0)
         record_round ~wire_bits ~events ~rejections
           ~reverified:(List.length round_reverified)
           ~cached:(List.length verdicts - List.length round_reverified);
+        if Tracer.is_enabled () then begin
+          let faults =
+            List.length (List.filter (fun e -> fault_counter e <> None) events)
+          in
+          Tracer.instant
+            ~args:
+              [
+                ("round", r);
+                ("wire_bits", wire_bits);
+                ("rejections", List.length rejections);
+              ]
+            "runtime.round";
+          if faults > 0 then
+            Tracer.instant ~args:[ ("round", r); ("count", faults) ]
+              "runtime.fault"
+        end;
         logs :=
           {
             Trace.round = r;
@@ -255,6 +271,10 @@ let execute ?pool ?jobs ?(plan = Fault.none) ?(rounds = 1) ?(seed = 0)
         }
       in
       record_trace trace;
+      (match detected_at with
+      | Some r when Tracer.is_enabled () ->
+          Tracer.instant ~args:[ ("round", r) ] "runtime.detected"
+      | _ -> ());
       Logger.debug
         ~fields:
           [

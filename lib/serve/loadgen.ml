@@ -24,7 +24,16 @@ type config = {
   total : int;  (** total requests across all connections *)
   rate : int option;  (** total requests/s across all connections *)
   request : Protocol.request;
+  trace_rate : float;  (** fraction of requests sent with a trace id *)
 }
+
+(* Client-chosen trace ids carry bit 61 (servers sample under bit 60),
+   then the connection index and the per-connection sequence number —
+   collision-free across connections without coordination. *)
+let client_trace_tag = 1 lsl 61
+
+let trace_every_of_rate r =
+  if r <= 0. then 0 else max 1 (int_of_float (Float.round (1. /. Float.min 1. r)))
 
 type stats = {
   sent : int;
@@ -53,7 +62,7 @@ let write_all fd s =
 
 (* One connection's run: returns (outcome counts, latencies in
    completion order).  [per_conn] requests, ids [0 .. per_conn-1]. *)
-let client cfg ~per_conn ~per_conn_rate =
+let client cfg ~conn_id ~per_conn ~per_conn_rate =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
   @@ fun () ->
@@ -63,6 +72,15 @@ let client cfg ~per_conn ~per_conn_rate =
   let out = { n_ok = 0; n_retry = 0; n_err = 0 } in
   let lat = Array.make (max per_conn 1) 0.0 in
   let send_times = Array.make (max per_conn 1) 0.0 in
+  let trace_every =
+    if Tracer.is_enabled () then trace_every_of_rate cfg.trace_rate else 0
+  in
+  (* Monotonic send stamps and ids for traced requests only — the
+     untraced path keeps its allocation profile. *)
+  let send_ns = if trace_every > 0 then Array.make (max per_conn 1) 0 else [||] in
+  let trace_of =
+    if trace_every > 0 then Array.make (max per_conn 1) (-1) else [||]
+  in
   let sent = ref 0 and recvd = ref 0 in
   let rbuf = ref (Bytes.create 65536) in
   let rstart = ref 0 and rlen = ref 0 in
@@ -99,6 +117,13 @@ let client cfg ~per_conn ~per_conn_rate =
             failwith "loadgen: response id out of range";
           lat.(!recvd) <-
             (Unix.gettimeofday () -. send_times.(id)) *. 1e6;
+          if trace_every > 0 && trace_of.(id) >= 0 then begin
+            (* client-observed round trip, stitched to the server's
+               slices by the echoed trace id *)
+            let t = trace_of.(id) in
+            Tracer.complete_slice ~trace:t ~t0_ns:send_ns.(id) "client.rtt";
+            Tracer.flow_end ~trace:t ~id:t "req"
+          end;
           classify out (Protocol.decode_response frame);
           incr recvd
       | Wire.Need _ -> continue := false
@@ -125,7 +150,15 @@ let client cfg ~per_conn ~per_conn_rate =
       Buffer.clear wbuf;
       for _ = 1 to can_send do
         send_times.(!sent) <- Unix.gettimeofday ();
-        Wire.encode_into wbuf { template with Wire.id = !sent };
+        if trace_every > 0 && !sent mod trace_every = 0 then begin
+          let t = client_trace_tag lor (conn_id lsl 24) lor !sent in
+          trace_of.(!sent) <- t;
+          send_ns.(!sent) <- Monotonic.now_ns ();
+          Tracer.flow_start ~trace:t ~id:t "req";
+          Tracer.instant ~trace:t "client.send";
+          Wire.encode_into wbuf { template with Wire.id = !sent; trace = Some t }
+        end
+        else Wire.encode_into wbuf { template with Wire.id = !sent };
         incr sent
       done;
       write_all fd (Buffer.contents wbuf)
@@ -202,7 +235,7 @@ let run cfg =
         let per_conn = base + if i < extra then 1 else 0 in
         Domain.spawn (fun () ->
             if per_conn = 0 then ({ n_ok = 0; n_retry = 0; n_err = 0 }, [||])
-            else client cfg ~per_conn ~per_conn_rate))
+            else client cfg ~conn_id:i ~per_conn ~per_conn_rate))
   in
   let results = List.map Domain.join domains in
   let duration_s = Unix.gettimeofday () -. start in

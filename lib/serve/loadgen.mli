@@ -17,6 +17,10 @@ type config = {
       (** total requests/s pacing across all connections; [None]
           keeps every window full (saturation) *)
   request : Protocol.request;
+  trace_rate : float;
+      (** fraction of requests stamped with a client trace id (wire
+          header trace word + {!Localcert_obs.Tracer} send/recv
+          events); effective only while the tracer is enabled *)
 }
 
 type stats = {

@@ -173,7 +173,7 @@ let r_rejection r =
 (* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
 
-let encode_request ~id req =
+let encode_request ?trace ~id req =
   let w = Bitbuf.Writer.create () in
   let opcode =
     match req with
@@ -206,6 +206,7 @@ let encode_request ~id req =
   {
     Wire.id;
     opcode;
+    trace;
     payload = payload_of_bits (Bitbuf.Writer.contents w);
   }
 
@@ -310,9 +311,9 @@ let encode_response_payload resp =
   in
   (opcode, payload_of_bits (Bitbuf.Writer.contents w))
 
-let encode_response ~id resp =
+let encode_response ?trace ~id resp =
   let opcode, payload = encode_response_payload resp in
-  { Wire.id; opcode; payload }
+  { Wire.id; opcode; trace; payload }
 
 let decode_response (f : Wire.frame) =
   match

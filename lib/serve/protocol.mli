@@ -70,10 +70,16 @@ type response =
 val error_code_to_string : error_code -> string
 val opcode_name : int -> string
 
-val encode_request : id:int -> request -> Wire.frame
+val encode_request : ?trace:int -> id:int -> request -> Wire.frame
+(** [trace] puts a tracing context on the frame (strictly optional:
+    untraced requests are byte-identical to a client that has never
+    heard of tracing). *)
+
 val decode_request : Wire.frame -> (request, error_code) result
 
-val encode_response : id:int -> response -> Wire.frame
+val encode_response : ?trace:int -> id:int -> response -> Wire.frame
+(** Servers echo the request's trace id so the client can stitch its
+    send/recv events to the server-side slices. *)
 
 val encode_response_payload : response -> int * string
 (** [(opcode, payload)] without an id — batched responses encode the

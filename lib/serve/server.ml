@@ -28,6 +28,7 @@ type config = {
   inflight_cap : int;
   max_connections : int;
   batch_max : int;
+  trace_rate : float;
 }
 
 let default_config =
@@ -42,6 +43,7 @@ let default_config =
     inflight_cap = 1024;
     max_connections = 256;
     batch_max = 512;
+    trace_rate = 0.;
   }
 
 type conn = {
@@ -55,7 +57,17 @@ type conn = {
   slots : Admission.slots;
 }
 
-type job = { jconn : conn; frame : Wire.frame; enqueued : float }
+(* [enqueued_ns] is monotonic (Monotonic.now_ns), not wall time: an
+   NTP step between enqueue and drain must not produce negative or
+   skewed queue-wait observations, and the tracer's slices need the
+   same clock.  [trace] is the request's tracing context — either
+   propagated by the client in the wire header or sampled here. *)
+type job = {
+  jconn : conn;
+  frame : Wire.frame;
+  enqueued_ns : int;
+  trace : int option;
+}
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry                                                           *)
@@ -75,14 +87,30 @@ let c_conns_rejected =
   lazy (Metrics.counter ~approx:true "serve.connections_rejected")
 let g_open = lazy (Metrics.gauge ~approx:true "serve.conns_open")
 
+let latency_bounds =
+  [| 50; 100; 200; 500; 1000; 2000; 5000; 10000; 50000; 100000; 1000000 |]
+
 let h_latency =
+  lazy (Metrics.histogram ~approx:true ~bounds:latency_bounds "serve.latency_us")
+
+let h_queue_wait =
   lazy
-    (Metrics.histogram ~approx:true
-       ~bounds:
-         [| 50; 100; 200; 500; 1000; 2000; 5000; 10000; 50000; 100000; 1000000 |]
-       "serve.latency_us")
+    (Metrics.histogram ~approx:true ~bounds:latency_bounds
+       "serve.queue_wait_us")
 
 let when_metrics f = if Metrics.is_enabled () then f ()
+
+(* Server-sampled trace ids live in their own namespace (bit 60) so
+   they can never collide with client-chosen ids, which the load
+   generator tags with bit 61. *)
+let server_trace_tag = 1 lsl 60
+let trace_sample_counter = Atomic.make 0
+
+(* [--trace-rate r] becomes "trace every k-th untraced request".
+   Counter sampling (not a PRNG) keeps the IO loop deterministic and
+   allocation-free. *)
+let trace_every_of_rate r =
+  if r <= 0. then 0 else max 1 (int_of_float (Float.round (1. /. Float.min 1. r)))
 
 (* ------------------------------------------------------------------ *)
 (* Connection writes                                                   *)
@@ -140,25 +168,56 @@ let encodable_payload resp =
          (Protocol.Internal "response exceeds the wire frame limit"))
   end
 
-let worker handlers queue batch_max =
+let worker handlers queue batch_max ~io_tid =
   let run_batch jobs =
+    let t_drain = Monotonic.now_ns () in
+    (* The first traced job lends its context to the batch-level
+       slices — batching is shared work, so the trace shows the batch
+       the traced request actually rode in. *)
+    let batch_trace = List.find_map (fun j -> j.trace) jobs in
+    List.iter
+      (fun j ->
+        when_metrics (fun () ->
+            Metrics.observe (Lazy.force h_queue_wait)
+              ((t_drain - j.enqueued_ns) / 1000));
+        match j.trace with
+        | Some t ->
+            (* Rendered on the IO domain's timeline: the wait happened
+               between the IO domain's dispatch and this drain, and
+               putting it there keeps the worker row to actual work. *)
+            Tracer.complete_slice ~trace:t ~tid:io_tid ~t1_ns:t_drain
+              ~t0_ns:j.enqueued_ns "serve.queue_wait"
+        | None -> ())
+      jobs;
     (* Decode, then group by decoded request: every group is
        answered by one evaluation, its shared payload encoded once
        and stamped with each request's id. *)
+    let t_decode = Monotonic.now_ns () in
     let decoded =
       List.map (fun j -> (j, Protocol.decode_request j.frame)) jobs
     in
+    (match batch_trace with
+    | Some t -> Tracer.complete_slice ~trace:t ~t0_ns:t_decode "serve.decode"
+    | None -> ());
     let groups = Batcher.group snd decoded in
     let out : (int, conn * Buffer.t) Hashtbl.t = Hashtbl.create 8 in
     List.iter
       (fun (key, items) ->
-        let resp =
+        let eval () =
           match key with
           | Error code -> Protocol.Error code
           | Ok req ->
               Batcher.observe_batch (Handlers.batcher handlers)
                 (List.length items);
               handle_guarded handlers req
+        in
+        let resp =
+          (* Install the group's trace context so the engine-side
+             spans (serve.handle, run_par, vcompile) tag their events
+             with the request that caused them. *)
+          match List.find_map (fun ((j : job), _) -> j.trace) items with
+          | None -> eval ()
+          | Some _ as gtrace -> Tracer.with_context gtrace eval
         in
         let opcode, payload = encodable_payload resp in
         List.iter
@@ -172,15 +231,25 @@ let worker handlers queue batch_max =
                   Hashtbl.replace out conn.cid (conn, b);
                   b
             in
-            Wire.encode_into buf { Wire.id = j.frame.Wire.id; opcode; payload };
+            Wire.encode_into buf
+              { Wire.id = j.frame.Wire.id; opcode; trace = j.trace; payload };
             when_metrics (fun () ->
                 Metrics.observe (Lazy.force h_latency)
-                  (int_of_float
-                     ((Unix.gettimeofday () -. j.enqueued) *. 1e6))))
+                  ((Monotonic.now_ns () - j.enqueued_ns) / 1000)))
           items)
       groups;
+    (match batch_trace with
+    | Some t ->
+        Tracer.complete_slice ~trace:t
+          ~args:[ ("batch_size", List.length jobs) ]
+          ~t0_ns:t_drain "serve.batch"
+    | None -> ());
     (* one write per connection per batch *)
-    Hashtbl.iter (fun _ (conn, b) -> send conn (Buffer.contents b)) out
+    let t_write = Monotonic.now_ns () in
+    Hashtbl.iter (fun _ (conn, b) -> send conn (Buffer.contents b)) out;
+    match batch_trace with
+    | Some t -> Tracer.complete_slice ~trace:t ~t0_ns:t_write "serve.write"
+    | None -> ()
   in
   let rec loop () =
     match Admission.pop_batch queue ~max:batch_max with
@@ -208,19 +277,41 @@ let worker handlers queue batch_max =
 
 let retry_later_payload = lazy (Protocol.encode_response_payload Protocol.Retry_later)
 
-let dispatch queue conn (frame : Wire.frame) =
+let dispatch ~trace_every queue conn (frame : Wire.frame) =
   when_metrics (fun () -> Metrics.incr (c_requests frame.Wire.opcode));
-  let job = { jconn = conn; frame; enqueued = Unix.gettimeofday () } in
+  let trace =
+    match frame.Wire.trace with
+    | Some t ->
+        (* Client-propagated context: stitch its flow arrow into the
+           server timeline right at ingress. *)
+        Tracer.flow_step ~trace:t ~id:t "req";
+        Tracer.instant ~trace:t "serve.ingress";
+        Some t
+    | None ->
+        if trace_every > 0 && Tracer.is_enabled () then begin
+          let n = Atomic.fetch_and_add trace_sample_counter 1 in
+          if n mod trace_every = 0 then begin
+            let t = server_trace_tag lor n in
+            Tracer.instant ~trace:t "serve.ingress";
+            Some t
+          end
+          else None
+        end
+        else None
+  in
+  let job = { jconn = conn; frame; enqueued_ns = Monotonic.now_ns (); trace } in
   match Admission.try_admit queue conn.slots job with
   | Admission.Admitted -> ()
   | Admission.Queue_full | Admission.Conn_saturated ->
       when_metrics (fun () -> Metrics.incr (Lazy.force c_retry));
       let opcode, payload = Lazy.force retry_later_payload in
-      send conn (Wire.encode { Wire.id = frame.Wire.id; opcode; payload })
+      send conn
+        (Wire.encode
+           { Wire.id = frame.Wire.id; opcode; trace = frame.Wire.trace; payload })
 
 (* Parse every complete frame in the connection's buffer.  Returns
    [false] when the connection must be closed (framing lost). *)
-let parse_frames queue conn =
+let parse_frames ~trace_every queue conn =
   let ok = ref true and continue = ref true in
   while !continue do
     match
@@ -229,7 +320,7 @@ let parse_frames queue conn =
     | Wire.Frame (frame, consumed) ->
         conn.rstart <- conn.rstart + consumed;
         conn.rlen <- conn.rlen - consumed;
-        dispatch queue conn frame
+        dispatch ~trace_every queue conn frame
     | Wire.Need _ -> continue := false
     | Wire.Fail e ->
         when_metrics (fun () -> Metrics.incr (Lazy.force c_wire_errors));
@@ -323,9 +414,11 @@ let run ?(stop = Atomic.make false) ?(install_signals = true) ?ready config =
   in
   Pool.with_pool ~jobs:config.jobs @@ fun pool ->
   let handlers = Handlers.create ~pool () in
+  let io_tid = (Domain.self () :> int) in
+  let trace_every = trace_every_of_rate config.trace_rate in
   let workers =
     List.init config.workers (fun _ ->
-        Domain.spawn (fun () -> worker handlers queue config.batch_max))
+        Domain.spawn (fun () -> worker handlers queue config.batch_max ~io_tid))
   in
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 32 in
   let next_cid = ref 0 in
@@ -384,7 +477,9 @@ let run ?(stop = Atomic.make false) ?(install_signals = true) ?ready config =
                 | Some conn -> (
                     match read_into conn with
                     | `Eof -> close_conn conn
-                    | `Read -> if not (parse_frames queue conn) then close_conn conn))
+                    | `Read ->
+                        if not (parse_frames ~trace_every queue conn) then
+                          close_conn conn))
             readable
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     end

@@ -19,6 +19,11 @@ type config = {
   inflight_cap : int;  (** per-connection admission bound *)
   max_connections : int;  (** accepts past this are closed *)
   batch_max : int;  (** max requests a worker pops at once *)
+  trace_rate : float;
+      (** fraction of untraced requests the server samples into the
+          tracer (0 disables; client-traced requests are always
+          honoured).  Effective only while {!Localcert_obs.Tracer} is
+          enabled. *)
 }
 
 val default_config : config

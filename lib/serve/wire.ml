@@ -1,52 +1,71 @@
 (* Length-prefixed binary framing for the certification service.
 
-   Header layout (16 bytes, all integers big-endian):
+   Header layout (24 bytes, all integers big-endian):
 
      offset 0   2 bytes   magic "LC"
-     offset 2   1 byte    protocol version (currently 1)
+     offset 2   1 byte    protocol version (currently 2)
      offset 3   1 byte    opcode
-     offset 4   8 bytes   request id (non-negative, < 2^63)
+     offset 4   8 bytes   request id (non-negative, < 2^62)
      offset 12  4 bytes   payload length in bytes
-     offset 16  ...       payload
+     offset 16  8 bytes   trace word
+     offset 24  ...       payload
+
+   The trace word carries request-scoped tracing context end-to-end:
+   bit 63 is the "traced" flag, bits 0..61 the trace id, bit 62 must be
+   clear.  An untraced frame carries all-zero bits — the encoding is
+   strict in both directions (a set flag with bit 62 set, or a clear
+   flag with any id bit set, is a framing error), so every trace word
+   has exactly one meaning and fuzzed bytes cannot alias as "untraced".
 
    Decoding is incremental and strictly bounds-checked: a frame is
    never touched past [len], a short buffer yields [Need] with the
    exact number of missing bytes, and a header that can never become a
    valid frame (bad magic, unsupported version, oversized or
-   sign-overflowing fields) yields a typed [Fail] — the caller treats
-   those as connection-fatal because the stream has lost framing.
-   Unknown *opcodes* are deliberately not a wire error: every opcode
-   byte frames identically, so the protocol layer can answer them with
-   a typed error response on the still-synchronized stream. *)
+   sign-overflowing fields, malformed trace word) yields a typed
+   [Fail] — the caller treats those as connection-fatal because the
+   stream has lost framing.  Unknown *opcodes* are deliberately not a
+   wire error: every opcode byte frames identically, so the protocol
+   layer can answer them with a typed error response on the
+   still-synchronized stream. *)
 
-type frame = { id : int; opcode : int; payload : string }
+type frame = { id : int; opcode : int; trace : int option; payload : string }
 
 type error =
   | Bad_magic of int
   | Bad_version of int
   | Bad_id
+  | Bad_trace
   | Oversized of int
 
 let error_to_string = function
   | Bad_magic m -> Printf.sprintf "bad magic 0x%04x" m
   | Bad_version v -> Printf.sprintf "unsupported protocol version %d" v
   | Bad_id -> "request id out of range"
+  | Bad_trace -> "malformed trace word"
   | Oversized n -> Printf.sprintf "payload length %d exceeds the frame limit" n
 
 type progress = Frame of frame * int | Need of int | Fail of error
 
 let magic = 0x4C43 (* "LC" *)
-let version = 1
-let header_size = 16
+let version = 2
+let header_size = 24
+let max_trace = (1 lsl 62) - 1
+let traced_flag = 0x8000_0000_0000_0000L
+let trace_reserved = 0x4000_0000_0000_0000L
+let trace_id_mask = 0x3FFF_FFFF_FFFF_FFFFL
 
 (* Certificates on multi-million-vertex instances stay far below this;
    anything larger is an attack or a bug, and bounding it keeps one
    malicious connection from ballooning the server's buffers. *)
 let max_payload = 1 lsl 24
 
-let encode_into buf { id; opcode; payload } =
+let encode_into buf { id; opcode; trace; payload } =
   if id < 0 then invalid_arg "Wire.encode: negative request id";
   if opcode < 0 || opcode > 0xff then invalid_arg "Wire.encode: opcode byte";
+  (match trace with
+  | Some t when t < 0 || t > max_trace ->
+      invalid_arg "Wire.encode: trace id out of range"
+  | _ -> ());
   if String.length payload > max_payload then
     invalid_arg "Wire.encode: payload exceeds max_payload";
   Buffer.add_uint16_be buf magic;
@@ -54,12 +73,24 @@ let encode_into buf { id; opcode; payload } =
   Buffer.add_uint8 buf opcode;
   Buffer.add_int64_be buf (Int64.of_int id);
   Buffer.add_int32_be buf (Int32.of_int (String.length payload));
+  (match trace with
+  | None -> Buffer.add_int64_be buf 0L
+  | Some t -> Buffer.add_int64_be buf (Int64.logor traced_flag (Int64.of_int t)));
   Buffer.add_string buf payload
 
 let encode f =
   let b = Buffer.create (header_size + String.length f.payload) in
   encode_into b f;
   Buffer.contents b
+
+let decode_trace_word w =
+  if Int64.equal w 0L then Ok None
+  else if
+    (* flag set, reserved bit clear: the id bits are the trace id *)
+    Int64.equal (Int64.logand w traced_flag) traced_flag
+    && Int64.equal (Int64.logand w trace_reserved) 0L
+  then Ok (Some (Int64.to_int (Int64.logand w trace_id_mask)))
+  else Error Bad_trace
 
 let decode buf ~pos ~len =
   let avail = len - pos in
@@ -79,16 +110,22 @@ let decode buf ~pos ~len =
         if Int64.compare id64 0L < 0 || Int64.compare id64 0x4000000000000000L >= 0
         then Fail Bad_id
         else if plen < 0 || plen > max_payload then Fail (Oversized plen)
-        else if avail < header_size + plen then
-          Need (header_size + plen - avail)
-        else
-          Frame
-            ( {
-                id = Int64.to_int id64;
-                opcode;
-                payload = Bytes.sub_string buf (pos + header_size) plen;
-              },
-              header_size + plen )
+        else begin
+          match decode_trace_word (Bytes.get_int64_be buf (pos + 16)) with
+          | Error e -> Fail e
+          | Ok trace ->
+              if avail < header_size + plen then
+                Need (header_size + plen - avail)
+              else
+                Frame
+                  ( {
+                      id = Int64.to_int id64;
+                      opcode;
+                      trace;
+                      payload = Bytes.sub_string buf (pos + header_size) plen;
+                    },
+                    header_size + plen )
+        end
       end
     end
   end

@@ -1,22 +1,30 @@
 (** Versioned length-prefixed framing for the certification service.
 
     A frame is [magic, version, opcode, request id, payload length,
-    payload]; see wire.ml for the byte layout.  {!decode} is the
-    incremental, strictly bounds-checked inverse of {!encode}:
+    trace word, payload]; see wire.ml for the byte layout.  The trace
+    word propagates request-scoped tracing context ({!Localcert_obs.Tracer})
+    across the wire: bit 63 flags a traced request, the low 62 bits
+    carry the trace id, and the encoding is strict — an untraced frame
+    is all-zero bits, and any other combination with bit 63 clear (or
+    with reserved bit 62 set) is a framing error, so a trace word has
+    exactly one valid encoding.  {!decode} is the incremental, strictly
+    bounds-checked inverse of {!encode}:
 
     - [encode ∘ decode] and [decode ∘ encode] are identities on valid
       frames (property-tested);
     - a prefix of a valid encoding yields [Need n] with [n] the exact
       number of missing bytes;
-    - bad magic, an unsupported version, a sign-overflowing request id
-      and an oversized or negative payload length yield a typed
-      {!error} — the stream has lost framing and the connection must be
-      dropped.  Unknown opcode {e bytes} frame fine and are left to the
-      protocol layer, which answers them with a typed error response. *)
+    - bad magic, an unsupported version, a sign-overflowing request id,
+      a malformed trace word and an oversized or negative payload
+      length yield a typed {!error} — the stream has lost framing and
+      the connection must be dropped.  Unknown opcode {e bytes} frame
+      fine and are left to the protocol layer, which answers them with
+      a typed error response. *)
 
 type frame = {
   id : int;  (** request id, echoed verbatim in the response frame *)
   opcode : int;  (** 0..255; semantics live in {!Protocol} *)
+  trace : int option;  (** trace id in [[0, 2{^62})], echoed in responses *)
   payload : string;
 }
 
@@ -24,6 +32,7 @@ type error =
   | Bad_magic of int
   | Bad_version of int
   | Bad_id  (** request id negative or ≥ 2{^62} (native-int overflow) *)
+  | Bad_trace  (** trace word neither zero nor flag+id *)
   | Oversized of int  (** negative, or above {!max_payload} *)
 
 val error_to_string : error -> string
@@ -36,9 +45,13 @@ type progress =
 val header_size : int
 val max_payload : int
 
+val max_trace : int
+(** Largest valid trace id, [2{^62} - 1]. *)
+
 val encode : frame -> string
 (** Raises [Invalid_argument] on a negative id, an opcode outside
-    0..255, or a payload above {!max_payload}. *)
+    0..255, a trace id outside [[0, {!max_trace}]], or a payload above
+    {!max_payload}. *)
 
 val encode_into : Buffer.t -> frame -> unit
 (** {!encode} appending to an existing buffer — response writers batch

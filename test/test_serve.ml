@@ -11,14 +11,24 @@ let check = Alcotest.(check bool)
 let frame_arb =
   QCheck.make
     ~print:(fun (f : Wire.frame) ->
-      Printf.sprintf "{id=%d; opcode=%d; payload=%d bytes}" f.Wire.id
+      Printf.sprintf "{id=%d; opcode=%d; trace=%s; payload=%d bytes}" f.Wire.id
         f.Wire.opcode
+        (match f.Wire.trace with None -> "-" | Some t -> string_of_int t)
         (String.length f.Wire.payload))
     QCheck.Gen.(
       let* id = oneof [ int_bound 1000; int_bound max_int ] in
       let* opcode = int_bound 0xff in
+      (* small ids, and the top of the 62-bit range the header admits *)
+      let* trace =
+        oneof
+          [
+            return None;
+            map Option.some (int_bound 0xffff);
+            return (Some Wire.max_trace);
+          ]
+      in
       let* payload = string_size (int_bound 512) in
-      return { Wire.id; opcode; payload })
+      return { Wire.id; opcode; trace; payload })
 
 let qcheck_wire_roundtrip =
   QCheck.Test.make ~name:"wire: encode/decode is the identity" ~count:500
@@ -39,7 +49,7 @@ let qcheck_wire_truncation =
       let n = Bytes.length buf in
       let ok = ref true in
       for cut = 0 to n - 1 do
-        (* Before the 16-byte header is complete the decoder can only
+        (* Before the 24-byte header is complete the decoder can only
            ask for the rest of the header; once it can read the length
            field it asks for exactly the rest of the frame. *)
         let expect =
@@ -62,7 +72,9 @@ let qcheck_wire_total =
       | Wire.Frame _ | Wire.Need _ | Wire.Fail _ -> true)
 
 let wire_adversarial () =
-  let base = Wire.encode { Wire.id = 7; opcode = 2; payload = "xy" } in
+  let base =
+    Wire.encode { Wire.id = 7; opcode = 2; trace = None; payload = "xy" }
+  in
   let patched ~at byte =
     let b = Bytes.of_string base in
     Bytes.set_uint8 b at byte;
@@ -83,6 +95,14 @@ let wire_adversarial () =
   (match decode (patched ~at:12 0x7f) with
   | Wire.Fail (Wire.Oversized _) -> ()
   | _ -> Alcotest.fail "oversized length not rejected");
+  (* the trace word is strict in both directions: the reserved bit can
+     never be set, and id bits without the traced flag are meaningless *)
+  (match decode (patched ~at:16 0x40) with
+  | Wire.Fail Wire.Bad_trace -> ()
+  | _ -> Alcotest.fail "reserved trace bit not rejected");
+  (match decode (patched ~at:23 0x01) with
+  | Wire.Fail Wire.Bad_trace -> ()
+  | _ -> Alcotest.fail "trace id bits without the traced flag not rejected");
   (* an unknown opcode is NOT a wire error: framing stays synchronized
      and the protocol layer answers it *)
   match decode (patched ~at:3 0xee) with
@@ -123,7 +143,10 @@ let request_arb =
          (let* scheme = str
           and* graph = str
           and* plan = str
-          and* rounds = int_bound 1000
+          (* rounds = 0 is rejected at decode by design (see the
+             explicit check in the fuzz test below), so the roundtrip
+             generator stays in the valid range *)
+          and* rounds = int_range 1 1000
           and* seed = int_bound 1_000_000 in
           return (Protocol.Simulate { scheme; graph; plan; rounds; seed }));
          (let* scheme = str
@@ -192,8 +215,25 @@ let qcheck_protocol_fuzz =
     ~count:1000
     QCheck.(pair (int_bound 0xff) (string_of_size Gen.(int_bound 48)))
     (fun (opcode, payload) ->
-      match Protocol.decode_request { Wire.id = 0; opcode; payload } with
+      match
+        Protocol.decode_request { Wire.id = 0; opcode; trace = None; payload }
+      with
       | Ok _ | Error _ -> true)
+
+(* The one semantic validation in request decode: a well-framed
+   SIMULATE with rounds = 0 is a typed Bad_payload, not Ok and not an
+   exception. *)
+let simulate_zero_rounds_rejected () =
+  let f =
+    Protocol.encode_request ~id:3
+      (Protocol.Simulate
+         { scheme = "spanning"; graph = "path:4"; plan = "none"; rounds = 0;
+           seed = 1 })
+  in
+  match Protocol.decode_request f with
+  | Error (Protocol.Bad_payload _) -> ()
+  | Ok _ -> Alcotest.fail "rounds = 0 must not decode"
+  | Error _ -> Alcotest.fail "rounds = 0 must be Bad_payload"
 
 (* ------------------------------------------------------------------ *)
 (* Admission control                                                   *)
@@ -415,6 +455,7 @@ let overload_retry_later () =
             request =
               Protocol.Verify
                 { scheme = scheme_name; graph = graph_spec; flip = None };
+            trace_rate = 0.;
           }
       in
       check "all answered" true (stats.Loadgen.sent = 2_000);
@@ -673,6 +714,8 @@ let suite =
         QCheck_alcotest.to_alcotest qcheck_request_roundtrip;
         QCheck_alcotest.to_alcotest qcheck_response_roundtrip;
         QCheck_alcotest.to_alcotest qcheck_protocol_fuzz;
+        Alcotest.test_case "simulate rounds = 0 is a typed rejection" `Quick
+          simulate_zero_rounds_rejected;
       ] );
     ( "serve-admission",
       [
