@@ -97,6 +97,118 @@ let schemes () =
     ("kernel-mso", km, km_inst);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Churn + self-healing sweep                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Topology churn with recovery enabled: rate-based edge edits plus
+   corruption for the first [churn_horizon] rounds, then the
+   environment goes quiet and the self-healing runtime has
+   [churn_rounds - churn_horizon] rounds to re-certify and quiesce.
+   Reported per cell: how many runs detected, how many quiesced, the
+   mean rounds-to-quiescence past the last fault, and what fraction of
+   the network re-adopted a certificate along the way. *)
+let churn_rates = [ 0.0005; 0.002 ]
+let churn_seeds = 3
+let churn_rounds = 8
+let churn_horizon = 3
+let churn_sizes = [ 4096; 65536 ]
+
+type churn_cell = {
+  c_rate : float;
+  c_runs : int;
+  c_detected : int;
+  c_quiesced : int;
+  c_mean_rtq : float;
+      (* rounds from the last fault to quiescence, mean over quiesced
+         runs; nan if none quiesced *)
+  c_recert_frac : float;
+      (* re-adopted certificates as a fraction of n, mean over runs *)
+  c_mean_wire_bits : float;
+}
+
+let churn_sweep pool ~plan_of scheme inst certs =
+  let n = Instance.n inst in
+  List.map
+    (fun rate ->
+      let detected = ref 0 and quiesced = ref 0 in
+      let rtqs = ref [] and wire = ref 0 and adopted = ref 0 in
+      for seed = 0 to churn_seeds - 1 do
+        let r =
+          Runtime.execute ~pool ~plan:(plan_of rate) ~rounds:churn_rounds
+            ~seed ~recover:true scheme inst certs
+        in
+        let m = Trace.metrics r.Runtime.trace in
+        wire := !wire + m.Trace.wire_bits;
+        Array.iter
+          (fun vs -> adopted := !adopted + List.length vs)
+          r.Runtime.adopted;
+        if r.Runtime.detected_at <> None then incr detected;
+        match r.Runtime.quiesced_at with
+        | Some q ->
+            incr quiesced;
+            let last_fault = Option.value m.Trace.last_fault ~default:0 in
+            rtqs := (q - last_fault) :: !rtqs
+        | None -> ()
+      done;
+      let mean_rtq =
+        match !rtqs with
+        | [] -> nan
+        | ls ->
+            float_of_int (List.fold_left ( + ) 0 ls)
+            /. float_of_int (List.length ls)
+      in
+      {
+        c_rate = rate;
+        c_runs = churn_seeds;
+        c_detected = !detected;
+        c_quiesced = !quiesced;
+        c_mean_rtq = mean_rtq;
+        c_recert_frac =
+          float_of_int !adopted /. float_of_int (n * churn_seeds);
+        c_mean_wire_bits = float_of_int !wire /. float_of_int churn_seeds;
+      })
+    churn_rates
+
+(* Two scheme families that stay certifiable under churn.  The MIS
+   search scheme holds on every topology, so it takes the full plan
+   (deletions included); spanning-tree certifies connectivity, which
+   random deletions genuinely destroy (a correct rejection, not a
+   recoverable fault), so its plan adds edges only. *)
+let churn_plan rate =
+  List.fold_left Fault.union
+    (Fault.edge_deletions rate)
+    [ Fault.edge_additions rate; Fault.corruption rate;
+      Fault.until churn_horizon ]
+
+let addonly_plan rate =
+  List.fold_left Fault.union
+    (Fault.edge_additions rate)
+    [ Fault.corruption rate; Fault.until churn_horizon ]
+
+let churn_schemes () =
+  List.concat_map
+    (fun n ->
+      let g = Gen.random_connected (Rng.make (100 + n)) ~n ~extra_edges:(n / 2) in
+      let inst = Instance.make g in
+      let mis =
+        Lcl.scheme_of_search Lcl.maximal_independent_set ~solve:(fun g ->
+            Some (Lcl.greedy_mis g))
+      in
+      [
+        ("lcl:mis", mis, inst, churn_plan);
+        ("spanning", Spanning_tree.scheme (), inst, addonly_plan);
+      ])
+    churn_sizes
+
+let json_churn_cell b c =
+  Printf.bprintf b
+    {|{"rate":%g,"runs":%d,"detected_runs":%d,"quiesced_runs":%d,"mean_rounds_to_quiescence":%s,"recertified_frac":%g,"mean_wire_bits":%g}|}
+    c.c_rate c.c_runs c.c_detected c.c_quiesced
+    (if Float.is_nan c.c_mean_rtq then "null"
+     else Printf.sprintf "%g" c.c_mean_rtq)
+    c.c_recert_frac c.c_mean_wire_bits
+
 let json_cell b c =
   Printf.bprintf b
     {|{"rate":%g,"runs":%d,"corrupted_runs":%d,"detected_runs":%d,"detection_rate":%g,"mean_latency_rounds":%s,"mean_wire_bits":%g,"reverified_frac":%g}|}
@@ -106,7 +218,7 @@ let json_cell b c =
      else Printf.sprintf "%g" c.mean_latency)
     c.mean_wire_bits c.reverified_frac
 
-let write_json path results =
+let write_json path results churn_results =
   let b = Buffer.create 4096 in
   Printf.bprintf b
     {|{"experiment":"runtime-corruption-sweep","rounds":%d,"seeds":%d,"schemes":[|}
@@ -122,7 +234,23 @@ let write_json path results =
         cells;
       Buffer.add_string b "]}")
     results;
-  Buffer.add_string b "]}\n";
+  (* additive key: consumers of the corruption sweep alone still parse *)
+  Printf.bprintf b
+    {|],"churn":{"rounds":%d,"seeds":%d,"horizon":%d,"series":[|}
+    churn_rounds churn_seeds churn_horizon;
+  List.iteri
+    (fun i (name, n, plan, cells) ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b {|{"scheme":"%s","n":%d,"plan":"%s","cells":[|} name n
+        plan;
+      List.iteri
+        (fun j c ->
+          if j > 0 then Buffer.add_char b ',';
+          json_churn_cell b c)
+        cells;
+      Buffer.add_string b "]}")
+    churn_results;
+  Buffer.add_string b "]}}\n";
   let oc = open_out path in
   Buffer.output_buffer oc b;
   close_out oc
@@ -153,5 +281,33 @@ let run pool =
         (name, Instance.n inst, cells))
       (schemes ())
   in
-  write_json "BENCH_runtime.json" results;
+  Printf.printf "\n================================================================\n";
+  Printf.printf
+    "Runtime: churn + self-healing sweep (%d rounds, faults until round %d, \
+     %d seeds per rate)\n"
+    churn_rounds churn_horizon churn_seeds;
+  Printf.printf "================================================================\n";
+  let churn_results =
+    List.map
+      (fun (name, scheme, inst, plan_of) ->
+        let certs = Option.get (scheme.Scheme.prover inst) in
+        let plan = Fault.to_string (plan_of 0.001) in
+        Printf.printf "\n%s (n=%d, plan shape %s):\n" name (Instance.n inst)
+          plan;
+        Printf.printf "%8s %10s %10s %18s %14s %16s\n" "rate" "detected"
+          "quiesced" "rounds-to-quiesce" "recert frac" "wire bits/run";
+        let cells = churn_sweep pool ~plan_of scheme inst certs in
+        List.iter
+          (fun c ->
+            Printf.printf "%8.4f %7d/%-2d %7d/%-2d %18s %13.4f%% %16.0f\n"
+              c.c_rate c.c_detected c.c_runs c.c_quiesced c.c_runs
+              (if Float.is_nan c.c_mean_rtq then "—"
+               else Printf.sprintf "%.1f" c.c_mean_rtq)
+              (100. *. c.c_recert_frac)
+              c.c_mean_wire_bits)
+          cells;
+        (name, Instance.n inst, plan, cells))
+      (churn_schemes ())
+  in
+  write_json "BENCH_runtime.json" results churn_results;
   Printf.printf "\nwrote BENCH_runtime.json\n"

@@ -531,36 +531,53 @@ let attack_cmd =
 
 let simulate_cmd =
   let run g name t formula plan rounds seed trace_out sweep no_incremental jobs
-      compiled log metrics trace_perfetto =
-    with_telemetry ?trace:trace_perfetto ~trace_process:"localcert-simulate"
-      log metrics
-    @@ fun () ->
-    Vcompile.set_enabled compiled;
-    let scheme = scheme_of_name name ~t ~formula in
-    let instance = Instance.make g in
-    let incremental = not no_incremental in
-    let certs =
-      match scheme.Scheme.prover instance with
-      | Some certs -> certs
-      | None ->
-          failwith
-            "the prover declined on this instance; simulate needs an initial \
-             certification (pick a yes-instance)"
-    in
-    Pool.with_pool ?jobs (fun pool ->
-        let result =
-          Runtime.execute ~pool ~plan ~rounds ~seed ~incremental ~compiled
-            scheme instance certs
-        in
-        Format.printf "%a" Trace.pp_summary result.Runtime.trace;
-        (match trace_out with
-        | None -> ()
-        | Some path ->
-            let oc = open_out path in
-            output_string oc (Trace.to_json result.Runtime.trace);
-            output_char oc '\n';
-            close_out oc;
-            Printf.printf "trace written to %s\n" path);
+      compiled recover log metrics trace_perfetto =
+    (* A malformed plan against this instance (out-of-range crashed: or
+       edit: ids) raises Invalid_argument from Runtime.execute; surface
+       it as a typed CLI error instead of a backtrace. *)
+    try
+      Ok
+        ( with_telemetry ?trace:trace_perfetto
+            ~trace_process:"localcert-simulate" log metrics
+        @@ fun () ->
+          Vcompile.set_enabled compiled;
+          let scheme = scheme_of_name name ~t ~formula in
+          let instance = Instance.make g in
+          let incremental = not no_incremental in
+          let certs =
+            match scheme.Scheme.prover instance with
+            | Some certs -> certs
+            | None ->
+                failwith
+                  "the prover declined on this instance; simulate needs an \
+                   initial certification (pick a yes-instance)"
+          in
+          Pool.with_pool ?jobs (fun pool ->
+              let result =
+                Runtime.execute ~pool ~plan ~rounds ~seed ~incremental
+                  ~compiled ~recover scheme instance certs
+              in
+              Format.printf "%a" Trace.pp_summary result.Runtime.trace;
+              (match result.Runtime.quiesced_at with
+              | Some q -> Printf.printf "quiesced_at: round %d\n" q
+              | None -> Printf.printf "quiesced_at: never\n");
+              if recover then begin
+                let adopted =
+                  Array.fold_left
+                    (fun acc l -> acc + List.length l)
+                    0 result.Runtime.adopted
+                in
+                Printf.printf "recovery: %d certificate%s re-adopted\n" adopted
+                  (if adopted = 1 then "" else "s")
+              end;
+              (match trace_out with
+              | None -> ()
+              | Some path ->
+                  let oc = open_out path in
+                  output_string oc (Trace.to_json result.Runtime.trace);
+                  output_char oc '\n';
+                  close_out oc;
+                  Printf.printf "trace written to %s\n" path);
         if sweep then begin
           Printf.printf
             "\ncorruption-rate sweep (%d rounds per run, 5 seeds per rate):\n"
@@ -595,7 +612,8 @@ let simulate_cmd =
               Printf.printf "%8.2f %10d %10d %12.1f\n" rate !corrupted
                 !detected mean_latency)
             [ 0.02; 0.05; 0.1; 0.2; 0.4 ]
-        end)
+        end) )
+    with Invalid_argument msg -> Error (`Msg msg)
   in
   let plan_conv =
     Arg.conv
@@ -609,8 +627,11 @@ let simulate_cmd =
       & info [ "plan" ] ~docv:"PLAN"
           ~doc:
             "Fault plan: $(b,none) or comma-separated kind:value with kinds \
-             drop, flip, corrupt, crash, byz (rates) and crashed (vertex \
-             list, e.g. crashed:0+3).")
+             drop, flip, corrupt, crash, byz (rates, byz optionally \
+             byz:RATE:BITS), crashed (vertex list, e.g. crashed:0+3), \
+             topology churn rates addedge and deledge, scheduled edits \
+             edit:ROUND:+U-V / edit:ROUND:-U-V, and until:R to stop \
+             rate-based faults after round R.")
   in
   let rounds_conv =
     Arg.conv
@@ -661,13 +682,25 @@ let simulate_cmd =
              vertex every round.  Results are identical either way; this is \
              an escape hatch for benchmarking and differential testing.")
   in
+  let recover_arg =
+    Arg.(
+      value & flag
+      & info [ "recover" ]
+          ~doc:
+            "Self-healing mode: after a detection, re-run the prover on the \
+             edit-affected region and let vertices re-adopt the corrected \
+             certificates.  The summary reports the quiescence round and \
+             how many certificates were re-adopted.")
+  in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Execute a scheme as a round-based distributed protocol")
     Term.(
-      const run $ graph_arg $ name_arg $ t_arg $ formula_arg $ plan_arg
-      $ rounds_arg $ seed_arg $ trace_arg $ sweep_arg $ no_incremental_arg
-      $ jobs_arg $ compiled_arg $ log_arg $ metrics_arg $ trace_perfetto_arg)
+      term_result
+        (const run $ graph_arg $ name_arg $ t_arg $ formula_arg $ plan_arg
+       $ rounds_arg $ seed_arg $ trace_arg $ sweep_arg $ no_incremental_arg
+       $ jobs_arg $ compiled_arg $ recover_arg $ log_arg $ metrics_arg
+       $ trace_perfetto_arg))
 
 (* ------------------------------------------------------------------ *)
 (* serve / loadgen                                                     *)

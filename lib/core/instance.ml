@@ -5,7 +5,7 @@ type t = {
   labels : int array;
 }
 
-let make ?labels ?ids graph =
+let make ?labels ?ids ?id_bits graph =
   let size = Graph.n graph in
   if size = 0 then invalid_arg "Instance.make: empty graph";
   let ids = match ids with Some a -> Array.copy a | None -> Array.init size (fun v -> v + 1) in
@@ -25,7 +25,17 @@ let make ?labels ?ids graph =
     | None -> Array.make size 0
   in
   let max_id = Array.fold_left max 1 ids in
-  { graph; ids; id_bits = Combin.ceil_log2 (max_id + 1); labels }
+  let needed = Combin.ceil_log2 (max_id + 1) in
+  let id_bits =
+    match id_bits with
+    | None -> needed
+    | Some b when b >= needed -> b
+    | Some b ->
+        invalid_arg
+          (Printf.sprintf "Instance.make: id_bits %d cannot encode id %d" b
+             max_id)
+  in
+  { graph; ids; id_bits; labels }
 
 let with_random_ids ?(range_exp = 2) rng t =
   let size = Graph.n t.graph in

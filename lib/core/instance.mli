@@ -14,9 +14,17 @@ type t = private {
   labels : int array;  (** vertex labels (all 0 when unlabeled) *)
 }
 
-val make : ?labels:int array -> ?ids:int array -> Graph.t -> t
+val make : ?labels:int array -> ?ids:int array -> ?id_bits:int -> Graph.t -> t
 (** Default identifiers are [v + 1]; raises [Invalid_argument] on
-    duplicate or nonpositive ids, or if the graph is empty. *)
+    duplicate or nonpositive ids, or if the graph is empty.
+
+    [?id_bits] widens the identifier encoding beyond the minimum the
+    ids require (raises [Invalid_argument] if too narrow to encode the
+    largest id).  A sub-instance that must stay wire-compatible with
+    its parent — region-scoped re-certification splices sub-instance
+    certificates into a full assignment — passes the parent's width
+    here, so every codec reads and writes ids at the same width on
+    both sides. *)
 
 val with_random_ids : ?range_exp:int -> Localcert_util.Rng.t -> t -> t
 (** Redraw distinct identifiers uniformly from [\[1, n^range_exp\]]

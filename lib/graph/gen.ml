@@ -149,17 +149,44 @@ let random_tree_bounded_depth rng ~n ~depth =
 
 let random_connected rng ~n ~extra_edges =
   let t = random_tree rng n in
-  let non_edges = ref [] in
-  for u = 0 to n - 1 do
-    for v = u + 1 to n - 1 do
-      if not (Graph.mem_edge t u v) then non_edges := (u, v) :: !non_edges
-    done
-  done;
-  let pool = Array.of_list !non_edges in
-  Rng.shuffle rng pool;
-  let take = min extra_edges (Array.length pool) in
-  let extra = Array.to_list (Array.sub pool 0 take) in
-  Graph.of_edges ~n (extra @ Graph.edges t)
+  let capacity = (n * (n - 1) / 2) - (n - 1) in
+  let take = min extra_edges (max 0 capacity) in
+  if take = 0 then t
+  else if 3 * take >= capacity then begin
+    (* dense request: enumerate the non-edges and shuffle *)
+    let non_edges = ref [] in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if not (Graph.mem_edge t u v) then non_edges := (u, v) :: !non_edges
+      done
+    done;
+    let pool = Array.of_list !non_edges in
+    Rng.shuffle rng pool;
+    let extra = Array.to_list (Array.sub pool 0 take) in
+    Graph.of_edges ~n (extra @ Graph.edges t)
+  end
+  else begin
+    (* sparse request (the common case): rejection-sample the extra
+       edges — each draw misses with probability < 2/3, so this is
+       expected O(take) work instead of the O(n^2) non-edge
+       enumeration, which at n = 65536 would materialize two billion
+       pairs *)
+    let chosen = Hashtbl.create (4 * take) in
+    let extra = ref [] in
+    let count = ref 0 in
+    while !count < take do
+      let u = Rng.int rng n and v = Rng.int rng n in
+      if u <> v then begin
+        let e = (min u v, max u v) in
+        if (not (Hashtbl.mem chosen e)) && not (Graph.mem_edge t u v) then begin
+          Hashtbl.add chosen e ();
+          extra := e :: !extra;
+          incr count
+        end
+      end
+    done;
+    Graph.of_edges ~n (!extra @ Graph.edges t)
+  end
 
 let random_bounded_treedepth rng ~n ~depth ~p =
   if depth < 1 then invalid_arg "Gen.random_bounded_treedepth: depth >= 1";

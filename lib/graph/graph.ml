@@ -285,6 +285,128 @@ let is_tree g = is_connected g && m g = g.size - 1
 
 let is_acyclic g = m g = g.size - List.length (components g)
 
+(* Edit overlay for dynamic-topology simulations (DESIGN §5.9).  The
+   base CSR stays immutable and shared; the overlay holds two small
+   per-vertex sorted adjacency diffs.  Invariants: [added] is disjoint
+   from the base adjacency, [removed] is a subset of it, and both
+   tables are symmetric, so a merge of a base row with its diff lists
+   is duplicate-free and ascending by construction.  [edits] counts
+   the undirected edges on which the overlay currently differs from
+   the base: re-adding a removed edge shrinks it back, and a delta
+   that has drifted home ([edits = 0]) commits to the base for free. *)
+module Delta = struct
+  type graph = t
+
+  let base_mem_edge = mem_edge
+
+  type t = {
+    base : graph;
+    added : (int, int list) Hashtbl.t;
+    removed : (int, int list) Hashtbl.t;
+    mutable edits : int;
+  }
+
+  let create base =
+    { base; added = Hashtbl.create 16; removed = Hashtbl.create 16; edits = 0 }
+
+  let base d = d.base
+  let n d = d.base.size
+  let edit_count d = d.edits
+  let slot tbl v = Option.value (Hashtbl.find_opt tbl v) ~default:[]
+
+  let mem_edge d u v =
+    check_vertex ~n:d.base.size u;
+    check_vertex ~n:d.base.size v;
+    List.mem v (slot d.added u)
+    || (base_mem_edge d.base u v && not (List.mem v (slot d.removed u)))
+
+  let insert tbl u v =
+    Hashtbl.replace tbl u (List.sort Int.compare (v :: slot tbl u))
+
+  let delete tbl u v =
+    match List.filter (fun x -> x <> v) (slot tbl u) with
+    | [] -> Hashtbl.remove tbl u
+    | l -> Hashtbl.replace tbl u l
+
+  let add_edge d u v =
+    check_vertex ~n:d.base.size u;
+    check_vertex ~n:d.base.size v;
+    if u = v then invalid_arg "Graph.Delta.add_edge: loop";
+    if mem_edge d u v then false
+    else begin
+      if base_mem_edge d.base u v then begin
+        delete d.removed u v;
+        delete d.removed v u;
+        d.edits <- d.edits - 1
+      end
+      else begin
+        insert d.added u v;
+        insert d.added v u;
+        d.edits <- d.edits + 1
+      end;
+      true
+    end
+
+  let remove_edge d u v =
+    check_vertex ~n:d.base.size u;
+    check_vertex ~n:d.base.size v;
+    if u = v then invalid_arg "Graph.Delta.remove_edge: loop";
+    if not (mem_edge d u v) then false
+    else begin
+      if base_mem_edge d.base u v then begin
+        insert d.removed u v;
+        insert d.removed v u;
+        d.edits <- d.edits + 1
+      end
+      else begin
+        delete d.added u v;
+        delete d.added v u;
+        d.edits <- d.edits - 1
+      end;
+      true
+    end
+
+  let degree d v =
+    degree d.base v
+    - List.length (slot d.removed v)
+    + List.length (slot d.added v)
+
+  let iter_neighbors d v f =
+    if d.edits = 0 then iter_neighbors d.base v f
+    else begin
+      let removed = slot d.removed v in
+      let pending = ref (slot d.added v) in
+      let emit_added_below w =
+        let rec go () =
+          match !pending with
+          | a :: rest when a < w ->
+              f a;
+              pending := rest;
+              go ()
+          | _ -> ()
+        in
+        go ()
+      in
+      iter_neighbors d.base v (fun w ->
+          emit_added_below w;
+          if not (List.mem w removed) then f w);
+      List.iter f !pending
+    end
+
+  let commit d =
+    if d.edits = 0 then d.base
+    else
+      (* Both passes of [of_iter] see the tables unmutated, so the
+         iterator is repeatable; the CSR build re-sorts rows, so the
+         Hashtbl iteration order never shows in the result. *)
+      of_iter ~n:d.base.size (fun f ->
+          iter_edges d.base (fun u v ->
+              if not (List.mem v (slot d.removed u)) then f u v);
+          Hashtbl.iter
+            (fun u l -> List.iter (fun v -> if u < v then f u v) l)
+            d.added)
+end
+
 let pp ppf g =
   Format.fprintf ppf "@[<hov 2>n=%d;@ edges=" g.size;
   List.iter (fun (u, v) -> Format.fprintf ppf "(%d,%d)@ " u v) (edges g);

@@ -138,6 +138,60 @@ val is_tree : t -> bool
 val is_acyclic : t -> bool
 (** Forest test: [m = n - #components]. *)
 
+(** {1 Edit overlay}
+
+    Dynamic-topology simulations apply a handful of edge edits per
+    round to graphs with up to 10⁶ vertices; rebuilding the CSR per
+    edit would cost [O(n + m)] each time.  {!Delta} is a mutable edit
+    overlay over an immutable base CSR: adds and removals land in
+    small per-vertex diff lists, the overlay-aware accessors merge
+    them on the fly, and {!Delta.commit} pays the full rebuild once,
+    when a clean CSR is actually needed (re-certification, final
+    state).  Reads are safe from multiple domains as long as no edit
+    runs concurrently — the runtime edits sequentially between
+    rounds. *)
+
+module Delta : sig
+  type graph := t
+
+  type t
+  (** A base graph plus pending undirected edge edits. *)
+
+  val create : graph -> t
+  (** An empty overlay: behaves exactly like the base. *)
+
+  val base : t -> graph
+  (** The immutable graph underneath (without pending edits). *)
+
+  val n : t -> int
+  (** Vertex count (edits never add or remove vertices). *)
+
+  val edit_count : t -> int
+  (** Number of undirected edges on which the overlay currently
+      differs from the base; [0] means {!commit} is free. *)
+
+  val add_edge : t -> int -> int -> bool
+  (** [add_edge d u v] makes [u–v] present; [true] iff the graph
+      changed (the edge was absent).  Raises [Invalid_argument] on a
+      loop or out-of-range endpoint. *)
+
+  val remove_edge : t -> int -> int -> bool
+  (** [remove_edge d u v] makes [u–v] absent; [true] iff the graph
+      changed.  Raises like {!add_edge}. *)
+
+  val mem_edge : t -> int -> int -> bool
+  val degree : t -> int -> int
+
+  val iter_neighbors : t -> int -> (int -> unit) -> unit
+  (** Ascending, duplicate-free, like {!Graph.iter_neighbors}; with no
+      pending edits this is exactly the base iteration. *)
+
+  val commit : t -> graph
+  (** A clean CSR of the current topology.  Returns the base itself
+      when [edit_count = 0]; otherwise one [of_iter] rebuild.  The
+      overlay keeps its edits — committing is a read. *)
+end
+
 (** {1 Pretty-printing} *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,3 +1,5 @@
+type edit = { round : int; add : bool; u : int; v : int }
+
 type t = {
   name : string;
   drop : float;
@@ -7,7 +9,16 @@ type t = {
   crashed : int list;
   byzantine : float;
   byz_bits : int;
+  addedge : float;
+  deledge : float;
+  edits : edit list;
+  horizon : int;
 }
+
+(* [name] is always the canonical rendering of the other fields
+   (computed by [rename], below), so [of_spec (to_string p)] is a
+   fixpoint for every reachable plan — constructors, [union] and
+   [of_spec] all go through [rename].  *)
 
 let none =
   {
@@ -19,61 +30,156 @@ let none =
     crashed = [];
     byzantine = 0.;
     byz_bits = 16;
+    addedge = 0.;
+    deledge = 0.;
+    edits = [];
+    horizon = max_int;
   }
 
 let is_none p =
   p.drop = 0. && p.flip = 0. && p.corrupt = 0. && p.crash = 0.
-  && p.crashed = [] && p.byzantine = 0.
+  && p.crashed = [] && p.byzantine = 0. && p.addedge = 0. && p.deledge = 0.
+  && p.edits = []
 
 let check_rate what r =
   if not (r >= 0. && r <= 1.) then
     invalid_arg (Printf.sprintf "Fault.%s: rate %g outside [0, 1]" what r)
 
+(* Shortest float literal that round-trips: %g covers every rate a
+   human would write; the %.17g fallback keeps programmatic plans
+   (e.g. qcheck-generated rates) lossless. *)
+let rate_str r =
+  let s = Printf.sprintf "%g" r in
+  if float_of_string s = r then s else Printf.sprintf "%.17g" r
+
+let edit_compare a b =
+  match Int.compare a.round b.round with
+  | 0 -> (
+      match Int.compare a.u b.u with
+      | 0 -> (
+          match Int.compare a.v b.v with
+          | 0 -> Bool.compare a.add b.add
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let canonical_name p =
+  if is_none p && p.horizon = max_int then "none"
+  else begin
+    let items = ref [] in
+    let push s = items := s :: !items in
+    if p.horizon <> max_int then push (Printf.sprintf "until:%d" p.horizon);
+    List.iter
+      (fun e ->
+        push
+          (Printf.sprintf "edit:%d:%c%d-%d" e.round
+             (if e.add then '+' else '-')
+             e.u e.v))
+      (List.rev (List.sort edit_compare p.edits));
+    if p.deledge > 0. then push ("deledge:" ^ rate_str p.deledge);
+    if p.addedge > 0. then push ("addedge:" ^ rate_str p.addedge);
+    if p.byzantine > 0. then
+      push
+        (if p.byz_bits = 16 then "byz:" ^ rate_str p.byzantine
+         else Printf.sprintf "byz:%s:%d" (rate_str p.byzantine) p.byz_bits);
+    if p.crashed <> [] then
+      push
+        (Printf.sprintf "crashed:%s"
+           (String.concat "+" (List.map string_of_int p.crashed)));
+    if p.crash > 0. then push ("crash:" ^ rate_str p.crash);
+    if p.corrupt > 0. then push ("corrupt:" ^ rate_str p.corrupt);
+    if p.flip > 0. then push ("flip:" ^ rate_str p.flip);
+    if p.drop > 0. then push ("drop:" ^ rate_str p.drop);
+    String.concat "," !items
+  end
+
+(* Re-derive [name] after any field change, and normalize the
+   field representation itself: sorted duplicate-free crash list and
+   edit schedule, default [byz_bits] whenever no Byzantine vertex can
+   exist (so the unrendered bit budget can never make two observably
+   equal plans differ). *)
+let rename p =
+  let p =
+    {
+      p with
+      crashed = List.sort_uniq Int.compare p.crashed;
+      edits = List.sort_uniq edit_compare p.edits;
+      byz_bits = (if p.byzantine > 0. then p.byz_bits else none.byz_bits);
+    }
+  in
+  { p with name = canonical_name p }
+
 let drops r =
   check_rate "drops" r;
-  { none with name = Printf.sprintf "drop:%g" r; drop = r }
+  rename { none with drop = r }
 
 let flips r =
   check_rate "flips" r;
-  { none with name = Printf.sprintf "flip:%g" r; flip = r }
+  rename { none with flip = r }
 
 let corruption r =
   check_rate "corruption" r;
-  { none with name = Printf.sprintf "corrupt:%g" r; corrupt = r }
+  rename { none with corrupt = r }
 
 let crashes r =
   check_rate "crashes" r;
-  { none with name = Printf.sprintf "crash:%g" r; crash = r }
+  rename { none with crash = r }
 
 let crash_vertices vs =
-  let vs = List.sort_uniq Int.compare vs in
-  {
-    none with
-    name =
-      Printf.sprintf "crashed:%s"
-        (String.concat "+" (List.map string_of_int vs));
-    crashed = vs;
-  }
+  List.iter
+    (fun v ->
+      if v < 0 then invalid_arg "Fault.crash_vertices: negative vertex")
+    vs;
+  rename { none with crashed = vs }
 
 let byzantine ?(bits = 16) r =
   check_rate "byzantine" r;
   if bits < 0 then invalid_arg "Fault.byzantine: negative bit budget";
-  { none with name = Printf.sprintf "byz:%g" r; byzantine = r; byz_bits = bits }
+  rename { none with byzantine = r; byz_bits = bits }
+
+let edge_additions r =
+  check_rate "edge_additions" r;
+  rename { none with addedge = r }
+
+let edge_deletions r =
+  check_rate "edge_deletions" r;
+  rename { none with deledge = r }
+
+let edit ~round ~add u v =
+  if round < 1 then invalid_arg "Fault.edit: rounds are 1-based";
+  if u < 0 || v < 0 then invalid_arg "Fault.edit: negative vertex";
+  if u = v then invalid_arg "Fault.edit: loop";
+  rename { none with edits = [ { round; add; u = min u v; v = max u v } ] }
+
+let until r =
+  if r < 0 then invalid_arg "Fault.until: negative round";
+  rename { none with horizon = r }
 
 let union a b =
-  {
-    name =
-      (if is_none a then b.name
-       else if is_none b then a.name
-       else a.name ^ "," ^ b.name);
-    drop = Float.max a.drop b.drop;
-    flip = Float.max a.flip b.flip;
-    corrupt = Float.max a.corrupt b.corrupt;
-    crash = Float.max a.crash b.crash;
-    crashed = List.sort_uniq Int.compare (a.crashed @ b.crashed);
-    byzantine = Float.max a.byzantine b.byzantine;
-    byz_bits = max a.byz_bits b.byz_bits;
-  }
+  rename
+    {
+      none with
+      drop = Float.max a.drop b.drop;
+      flip = Float.max a.flip b.flip;
+      corrupt = Float.max a.corrupt b.corrupt;
+      crash = Float.max a.crash b.crash;
+      crashed = a.crashed @ b.crashed;
+      byzantine = Float.max a.byzantine b.byzantine;
+      byz_bits =
+        (* the bit budget of the plan that actually has Byzantine
+           vertices; worst of both when both do *)
+        (match (a.byzantine > 0., b.byzantine > 0.) with
+        | true, true -> max a.byz_bits b.byz_bits
+        | true, false -> a.byz_bits
+        | false, true -> b.byz_bits
+        | false, false -> none.byz_bits);
+      addedge = Float.max a.addedge b.addedge;
+      deledge = Float.max a.deledge b.deledge;
+      edits = a.edits @ b.edits;
+      (* the stricter horizon wins: [none] has horizon [max_int], so a
+         comma-separated spec's [until:] survives the union fold *)
+      horizon = min a.horizon b.horizon;
+    }
 
 let of_spec spec =
   let ( let* ) = Result.bind in
@@ -94,7 +200,62 @@ let of_spec spec =
         | "flip" -> Result.map flips (parse_rate kind v)
         | "corrupt" -> Result.map corruption (parse_rate kind v)
         | "crash" -> Result.map crashes (parse_rate kind v)
-        | "byz" -> Result.map (byzantine ?bits:None) (parse_rate kind v)
+        | "addedge" -> Result.map edge_additions (parse_rate kind v)
+        | "deledge" -> Result.map edge_deletions (parse_rate kind v)
+        | "byz" -> (
+            match String.index_opt v ':' with
+            | None -> Result.map (byzantine ?bits:None) (parse_rate kind v)
+            | Some j -> (
+                let rv = String.sub v 0 j in
+                let bv = String.sub v (j + 1) (String.length v - j - 1) in
+                match int_of_string_opt bv with
+                | Some bits when bits >= 0 ->
+                    Result.map (byzantine ~bits) (parse_rate kind rv)
+                | _ ->
+                    Error
+                      (Printf.sprintf
+                         "fault byz: %S is not a nonnegative bit budget" bv)))
+        | "until" -> (
+            match int_of_string_opt v with
+            | Some r when r >= 0 -> Ok (until r)
+            | _ ->
+                Error
+                  (Printf.sprintf "fault until: %S is not a nonnegative round"
+                     v))
+        | "edit" -> (
+            (* ROUND:+U-V or ROUND:-U-V *)
+            let err () =
+              Error
+                (Printf.sprintf
+                   "fault edit: %S is not ROUND:+U-V or ROUND:-U-V" v)
+            in
+            match String.index_opt v ':' with
+            | None -> err ()
+            | Some j -> (
+                let rv = String.sub v 0 j in
+                let ev = String.sub v (j + 1) (String.length v - j - 1) in
+                match (int_of_string_opt rv, ev) with
+                | Some round, ev when round >= 1 && String.length ev >= 4 -> (
+                    let add =
+                      match ev.[0] with
+                      | '+' -> Some true
+                      | '-' -> Some false
+                      | _ -> None
+                    in
+                    let rest = String.sub ev 1 (String.length ev - 1) in
+                    match (add, String.index_opt rest '-') with
+                    | Some add, Some k -> (
+                        let us = String.sub rest 0 k in
+                        let vs =
+                          String.sub rest (k + 1) (String.length rest - k - 1)
+                        in
+                        match (int_of_string_opt us, int_of_string_opt vs)
+                        with
+                        | Some u, Some w when u >= 0 && w >= 0 && u <> w ->
+                            Ok (edit ~round ~add u w)
+                        | _ -> err ())
+                    | _ -> err ())
+                | _ -> err ()))
         | "crashed" -> (
             let vs = String.split_on_char '+' v in
             match
@@ -114,22 +275,18 @@ let of_spec spec =
             Error
               (Printf.sprintf
                  "unknown fault kind %S (expected drop, flip, corrupt, crash, \
-                  byz or crashed)"
+                  byz, crashed, addedge, deledge, edit or until)"
                  kind))
   in
   match String.trim spec with
   | "" | "none" -> Ok none
   | spec ->
-      let* plan =
-        List.fold_left
-          (fun acc item ->
-            let* acc = acc in
-            let* p = parse_item (String.trim item) in
-            Ok (union acc p))
-          (Ok none)
-          (String.split_on_char ',' spec)
-      in
-      (* keep the user's spelling for reproducibility in traces *)
-      Ok { plan with name = spec }
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          let* p = parse_item (String.trim item) in
+          Ok (union acc p))
+        (Ok none)
+        (String.split_on_char ',' spec)
 
 let to_string p = p.name

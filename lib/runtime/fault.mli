@@ -3,8 +3,9 @@
     A plan describes the adversary/environment the {!Runtime} simulator
     applies at every communication round.  All rates are per-round
     probabilities; every random decision is drawn from a per-vertex
-    {!Localcert_util.Rng.split} stream, so an execution under a plan is
-    a pure function of the seed — never of the job count.
+    {!Localcert_util.Rng.split} stream (topology churn from a dedicated
+    per-round stream), so an execution under a plan is a pure function
+    of the seed — never of the job count.
 
     The fault kinds mirror the self-stabilization literature behind
     proof-labeling schemes:
@@ -22,17 +23,45 @@
       renders no verdicts from the crash round on;
     - {e Byzantine} vertices (drawn once, in round 1) send arbitrary,
       per-neighbor random certificates instead of their own and render
-      no verdicts. *)
+      no verdicts;
+    - {e topology churn}: edges appear and vanish, either at random
+      ([addedge]/[deledge] rates, per vertex per round) or on a
+      deterministic schedule ([edits]) — the certified property may
+      become stale, which {!Runtime.execute}'s [~recover] mode heals by
+      re-proving the affected region.
+
+    [horizon] bounds the rounds in which {e rate-based} kinds fire
+    (after round [horizon] the environment goes quiet, which is what
+    makes rounds-to-quiescence measurable); the deterministic [crashed]
+    list and [edits] schedule are unaffected by it. *)
+
+type edit = { round : int; add : bool; u : int; v : int }
+(** One scheduled topology edit: in round [round] (1-based), edge
+    [u–v] ([u < v]) is added ([add]) or removed.  Constructors
+    normalize endpoint order. *)
 
 type t = {
-  name : string;  (** the spec string the plan was built from *)
+  name : string;
+      (** canonical spec rendering of the plan — see {!to_string} *)
   drop : float;  (** P(message dropped), per directed edge per round *)
   flip : float;  (** P(one message bit flipped), per directed edge per round *)
   corrupt : float;  (** P(stored certificate mutated), per vertex per round *)
   crash : float;  (** P(vertex crashes), per vertex per round *)
-  crashed : int list;  (** vertices deterministically crashed in round 1 *)
+  crashed : int list;
+      (** vertices deterministically crashed in round 1; sorted,
+          duplicate-free *)
   byzantine : float;  (** P(vertex is Byzantine), drawn once in round 1 *)
   byz_bits : int;  (** max length of a forged Byzantine message *)
+  addedge : float;
+      (** P(vertex gains an edge to a uniform non-neighbor), per vertex
+          per round *)
+  deledge : float;
+      (** P(vertex loses a uniform incident edge), per vertex per
+          round *)
+  edits : edit list;  (** deterministic edit schedule, sorted *)
+  horizon : int;
+      (** last round in which rate-based kinds fire ([max_int]: no
+          bound) *)
 }
 
 val none : t
@@ -51,21 +80,52 @@ val crashes : float -> t
 
 val crash_vertices : int list -> t
 (** Deterministically crash the listed vertices in round 1 (targeted
-    tests: e.g. crash every neighbor of one vertex). *)
+    tests: e.g. crash every neighbor of one vertex).  Raises
+    [Invalid_argument] on a negative vertex; {!Runtime.execute}
+    validates the ids against the instance size. *)
 
 val byzantine : ?bits:int -> float -> t
 (** Byzantine vertices with forged messages of up to [bits] (default
     16) bits. *)
 
+val edge_additions : float -> t
+(** Random churn: each round (up to [horizon]), each vertex gains an
+    edge to a uniformly random non-neighbor with this probability. *)
+
+val edge_deletions : float -> t
+(** Random churn: each round (up to [horizon]), each vertex loses a
+    uniformly random incident edge with this probability. *)
+
+val edit : round:int -> add:bool -> int -> int -> t
+(** [edit ~round ~add u v] schedules one deterministic edit.  Raises
+    [Invalid_argument] on [round < 1], a loop, or a negative
+    endpoint. *)
+
+val until : int -> t
+(** [until r] bounds rate-based faults to rounds [1..r].  Combine with
+    [union]: [union (corruption 0.05) (until 3)] corrupts only in the
+    first three rounds, after which recovery can quiesce. *)
+
 val union : t -> t -> t
-(** Pointwise-worst combination of two plans (max of each rate, union
-    of crash lists). *)
+(** Pointwise-worst combination of two plans: max of each rate, union
+    of crash lists and edit schedules, the {e stricter} (smaller)
+    horizon — so unioning with {!until} bounds the combined plan —
+    and the Byzantine bit budget of whichever side actually has
+    Byzantine vertices (worst of both when both do). *)
 
 val of_spec : string -> (t, string) result
 (** Parse a plan from a CLI spec: ["none"], or a comma-separated list
     of [kind:value] items with kind one of [drop], [flip], [corrupt],
-    [crash], [byz] (value a probability) or [crashed] (value a
-    [+]-separated vertex list), e.g. ["drop:0.1,corrupt:0.05"]. *)
+    [crash], [addedge], [deledge] (value a probability), [byz] (value
+    [RATE] or [RATE:BITS]), [crashed] (value a [+]-separated vertex
+    list), [edit] (value [ROUND:+U-V] to add or [ROUND:-U-V] to remove
+    the edge [U–V] in round [ROUND]) or [until] (value a round
+    number), e.g. ["drop:0.1,corrupt:0.05"] or
+    ["deledge:0.01,addedge:0.01,until:3,edit:2:+0-5"]. *)
 
 val to_string : t -> string
-(** The spec the plan was built from ([name]). *)
+(** The plan's canonical spec ([name]).  Round-trip law:
+    [of_spec (to_string p) = Ok p] for every plan built from the
+    constructors above, [union]s of them, or [of_spec] itself — the
+    name is re-derived from the fields after every operation, never
+    concatenated from operand names. *)

@@ -14,36 +14,43 @@ let mutate_cert stream cert =
        else Rng.bits stream len)
 
 (* One vertex's sender step.  Only reads/writes [node] and only draws
-   from [stream]; see the .mli determinism contract. *)
-let sender_step ~plan ~first_round ~inst ~(node : Node.t) ~stream =
+   from [stream]; see the .mli determinism contract.  [active] is
+   false past the plan's horizon: every random number is still drawn
+   (the stream schedule is part of the trace contract) but no
+   rate-based fault fires — Byzantine vertices keep forging, since
+   their status is state, not a per-round draw. *)
+let sender_step ~plan ~first_round ~active ~crash_mask ~graph ~(node : Node.t)
+    ~stream =
   let events = ref [] in
   let push e = events := e :: !events in
   if first_round then begin
-    if node.Node.status = Node.Alive && List.mem node.vertex plan.Fault.crashed
-    then begin
-      node.status <- Node.Crashed;
-      push (Trace.Crash { vertex = node.vertex })
-    end;
+    (match crash_mask with
+    | Some mask when node.Node.status = Node.Alive && mask.(node.vertex) ->
+        node.status <- Node.Crashed;
+        push (Trace.Crash { vertex = node.vertex })
+    | _ -> ());
     let u_byz = Rng.float stream 1.0 in
-    if node.status = Node.Alive && u_byz < plan.Fault.byzantine then begin
+    if active && node.status = Node.Alive && u_byz < plan.Fault.byzantine
+    then begin
       node.status <- Node.Byzantine;
       push (Trace.Went_byzantine { vertex = node.vertex })
     end
   end;
   let u_crash = Rng.float stream 1.0 in
-  if node.status <> Node.Crashed && u_crash < plan.Fault.crash then begin
+  if active && node.status <> Node.Crashed && u_crash < plan.Fault.crash
+  then begin
     node.status <- Node.Crashed;
     push (Trace.Crash { vertex = node.vertex })
   end;
   let u_corrupt = Rng.float stream 1.0 in
-  if node.status = Node.Alive && u_corrupt < plan.Fault.corrupt then begin
+  if active && node.status = Node.Alive && u_corrupt < plan.Fault.corrupt
+  then begin
     node.cert <- mutate_cert stream node.cert;
     push (Trace.Corrupt { vertex = node.vertex })
   end;
   let sends = ref [] in
   if node.status <> Node.Crashed then
-    Graph.iter_neighbors inst.Instance.graph node.vertex
-      (fun w ->
+    Graph.Delta.iter_neighbors graph node.vertex (fun w ->
         let u_drop = Rng.float stream 1.0 in
         let u_flip = Rng.float stream 1.0 in
         let forged = node.status = Node.Byzantine in
@@ -52,12 +59,14 @@ let sender_step ~plan ~first_round ~inst ~(node : Node.t) ~stream =
             Rng.bits stream (Rng.int stream (plan.Fault.byz_bits + 1))
           else node.cert
         in
-        if u_drop < plan.Fault.drop then
+        if active && u_drop < plan.Fault.drop then
           push (Trace.Drop { src = node.vertex; dst = w })
         else begin
           let payload =
             if
-              (not forged) && u_flip < plan.Fault.flip
+              active
+              && (not forged)
+              && u_flip < plan.Fault.flip
               && Bitstring.length payload > 0
             then begin
               let bit = Rng.int stream (Bitstring.length payload) in
@@ -76,8 +85,19 @@ let sender_step ~plan ~first_round ~inst ~(node : Node.t) ~stream =
 
 let chunk_factor = 8
 
-let exchange ~pool ~plan ~first_round ~inst ~nodes ~streams =
+let exchange ~pool ~plan ~first_round ~active ~graph ~nodes ~streams =
   let n = Array.length nodes in
+  (* The deterministic crash list becomes a bool mask once, instead of
+     a List.mem per vertex (O(n·|crashed|) over the whole round).
+     Runtime.execute has already range-checked the ids. *)
+  let crash_mask =
+    if first_round && plan.Fault.crashed <> [] then begin
+      let mask = Array.make n false in
+      List.iter (fun v -> mask.(v) <- true) plan.Fault.crashed;
+      Some mask
+    end
+    else None
+  in
   let per_vertex = Array.make n ([], []) in
   let chunks = max 1 (min n (Pool.size pool * chunk_factor)) in
   ignore
@@ -85,8 +105,8 @@ let exchange ~pool ~plan ~first_round ~inst ~nodes ~streams =
          let lo = c * n / chunks and hi = (c + 1) * n / chunks in
          for v = lo to hi - 1 do
            per_vertex.(v) <-
-             sender_step ~plan ~first_round ~inst ~node:nodes.(v)
-               ~stream:streams.(v)
+             sender_step ~plan ~first_round ~active ~crash_mask ~graph
+               ~node:nodes.(v) ~stream:streams.(v)
          done));
   let inboxes = Array.make n [] in
   Array.iteri

@@ -1,32 +1,45 @@
 (** One communication round: broadcast, faults, delivery.
 
     Each alive vertex broadcasts its stored certificate to every
-    neighbor; the fault plan intercepts state (crash, Byzantine
-    conversion, stored-certificate corruption) and messages (drop, bit
-    flip, forgery) on the way.
+    neighbor in the {e current} topology (a {!Graph.Delta} overlay, so
+    churned edges take effect in the round they were edited); the
+    fault plan intercepts state (crash, Byzantine conversion,
+    stored-certificate corruption) and messages (drop, bit flip,
+    forgery) on the way.
 
     Determinism contract: vertex [v]'s step consumes randomness only
     from [streams.(v)] and mutates only [nodes.(v)], so the phase can
     be sharded across any number of domains without changing the
     outcome — events are reassembled in ascending vertex order
-    afterwards. *)
+    afterwards.  The overlay is only read here; the runtime applies
+    edits sequentially between rounds. *)
 
 val exchange :
   pool:Pool.t ->
   plan:Fault.t ->
   first_round:bool ->
-  inst:Instance.t ->
+  active:bool ->
+  graph:Graph.Delta.t ->
   nodes:Node.t array ->
   streams:Localcert_util.Rng.t array ->
   Trace.event list * (int * Bitstring.t) list array
-(** [exchange ~pool ~plan ~first_round ~inst ~nodes ~streams] plays one
-    round of message exchange.  Returns the sender-side events (in
-    canonical ascending-sender order) and, per vertex, the inbox of
-    [(sender id, payload)] messages that survived the faults.
+(** [exchange ~pool ~plan ~first_round ~active ~graph ~nodes ~streams]
+    plays one round of message exchange.  Returns the sender-side
+    events (in canonical ascending-sender order) and, per vertex, the
+    inbox of [(sender id, payload)] messages that survived the faults.
+
+    [active] is whether the round is within the plan's
+    {!Fault.t.horizon}: when [false], every random number is still
+    drawn (the stream schedule never depends on the horizon) but no
+    rate-based fault fires — already-Byzantine vertices keep forging,
+    already-crashed vertices stay silent.
 
     Per vertex the stream is consumed in a fixed order: round-1
     Byzantine draw, crash draw, corruption draw (plus mutation draws
     when it fires), then per neighbor in ascending vertex order a drop
     draw, a flip draw and — for Byzantine senders — the forged
-    payload.  [nodes] is mutated in place (status transitions,
-    corrupted certificates). *)
+    payload.  The plan's deterministic [crashed] list is applied in
+    round 1 through a precomputed mask (no per-vertex list scan);
+    {!Runtime.execute} validates those ids before the first round.
+    [nodes] is mutated in place (status transitions, corrupted
+    certificates). *)

@@ -2,9 +2,13 @@ type result = {
   outcome : Scheme.outcome;
   per_round : Scheme.outcome array;
   detected_at : int option;
+  quiesced_at : int option;
   trace : Trace.t;
   checked : int list array;
   reverified : int list array;
+  adopted : int list array;
+  final_graph : Graph.t;
+  final_certs : Bitstring.t array;
 }
 
 let with_pool_arg ?pool ?jobs f =
@@ -54,10 +58,11 @@ let verify_round ~pool ~inst ~nodes ~inboxes check =
    view, and only key misses among them run the verifier.  Everything
    else reuses its cached verdict, so the assembled verdict list — and
    hence outcome, rejections and trace — is identical to the full
-   sweep's, per-round and byte for byte. *)
-let verify_round_incremental ~pool ~inst ~nodes ~inboxes ~cache ~first_round
-    ~events check =
-  let graph = inst.Instance.graph in
+   sweep's, per-round and byte for byte.  [graph] is the current
+   topology overlay: scopes of this round's events (topology edits
+   included) are closed over the post-edit neighborhoods. *)
+let verify_round_incremental ~pool ~inst ~graph ~nodes ~inboxes ~cache
+    ~first_round ~events check =
   let cands =
     Array.of_list (Vcache.candidates cache ~graph ~first_round events)
   in
@@ -101,10 +106,11 @@ let verify_round_incremental ~pool ~inst ~nodes ~inboxes ~cache ~first_round
   (!verdicts, Array.to_list cands, !reverified)
 
 (* Everything the runtime records is deterministic given the seed: the
-   fault plan draws from Rng streams keyed by (round, vertex), so event
-   lists — and hence these counts, including the incremental layer's
-   candidate and re-verification counts — are identical across job
-   counts. *)
+   fault plan draws from Rng streams keyed by (round, vertex) — plus
+   one dedicated per-round topology stream, consumed sequentially —
+   so event lists, and hence these counts, including the incremental
+   layer's candidate and re-verification counts, are identical across
+   job counts. *)
 let fault_counter = function
   | Trace.Crash _ -> Some "runtime.fault.crash"
   | Trace.Went_byzantine _ -> Some "runtime.fault.byzantine"
@@ -112,7 +118,9 @@ let fault_counter = function
   | Trace.Drop _ -> Some "runtime.fault.drop"
   | Trace.Flip _ -> Some "runtime.fault.flip"
   | Trace.Forge _ -> Some "runtime.fault.forge"
-  | Trace.Send _ | Trace.Verdict _ -> None
+  | Trace.Edge_added _ -> Some "runtime.churn.edge_added"
+  | Trace.Edge_removed _ -> Some "runtime.churn.edge_removed"
+  | Trace.Send _ | Trace.Verdict _ | Trace.Recover _ -> None
 
 let record_round ~wire_bits ~events ~rejections ~reverified ~cached =
   if Metrics.is_enabled () then begin
@@ -131,6 +139,8 @@ let record_round ~wire_bits ~events ~rejections ~reverified ~cached =
             match e with
             | Trace.Send _ ->
                 Metrics.incr (Metrics.counter "runtime.messages_sent")
+            | Trace.Recover _ ->
+                Metrics.incr (Metrics.counter "runtime.certs_recovered")
             | _ -> ()))
       events
   end
@@ -150,11 +160,32 @@ let record_trace trace =
           l
     | None -> ()
 
+let validate_plan ~n (plan : Fault.t) =
+  List.iter
+    (fun v ->
+      if v < 0 || v >= n then
+        invalid_arg
+          (Printf.sprintf
+             "Runtime.execute: crashed vertex %d out of [0,%d) for this \
+              instance"
+             v n))
+    plan.Fault.crashed;
+  List.iter
+    (fun (e : Fault.edit) ->
+      if e.u < 0 || e.u >= n || e.v < 0 || e.v >= n then
+        invalid_arg
+          (Printf.sprintf
+             "Runtime.execute: edit %d-%d out of [0,%d) for this instance" e.u
+             e.v n))
+    plan.Fault.edits
+
 let execute ?pool ?jobs ?(plan = Fault.none) ?(rounds = 1) ?(seed = 0)
-    ?(incremental = true) ?(compiled = true) scheme inst certs =
+    ?(incremental = true) ?(compiled = true) ?(recover = false) scheme inst
+    certs =
   if rounds < 1 then invalid_arg "Runtime.execute: rounds must be >= 1";
   if Array.length certs <> Instance.n inst then
     invalid_arg "Runtime.execute: certificate count does not match the instance";
+  validate_plan ~n:(Instance.n inst) plan;
   with_pool_arg ?pool ?jobs (fun pool ->
       Span.with_ "runtime.execute" @@ fun () ->
       (* Inbox views carry per-delivery wire copies, so the per-domain
@@ -171,21 +202,156 @@ let execute ?pool ?jobs ?(plan = Fault.none) ?(rounds = 1) ?(seed = 0)
       let cache = if incremental then Some (Vcache.create n) else None in
       let rng = Rng.make seed in
       let round_streams = Rng.split rng rounds in
+      let delta = Graph.Delta.create inst.Instance.graph in
+      (* Committed-CSR cache: recovery and the final state need a clean
+         CSR; rebuild only when edits happened since the last commit. *)
+      let edit_ops = ref 0 in
+      let committed = ref inst.Instance.graph in
+      let committed_ops = ref 0 in
+      let commit_current () =
+        if !committed_ops <> !edit_ops then begin
+          committed := Graph.Delta.commit delta;
+          committed_ops := !edit_ops
+        end;
+        !committed
+      in
+      (* Self-healing state.  [pending_dirty] accumulates suspect seeds
+         (edit endpoints, rejecting vertices) since the last recovery;
+         a recovery is attempted when the previous round rejected and
+         something actually happened since the last attempt (otherwise
+         re-proving would produce the same certificates again — e.g.
+         rejections that persist because their cause is a crashed
+         neighbor no prover can heal). *)
+      let pending_dirty = ref [] in
+      let need_recovery = ref false in
+      let fault_events_total = ref 0 in
+      let attempted_at = ref (-1) in
       let logs = ref [] in
       let outcomes = ref [] in
       let checked = Array.make rounds [] in
       let reverified = Array.make rounds [] in
+      let adopted = Array.make rounds [] in
       for r = 1 to rounds do
-        let streams = Rng.split round_streams.(r - 1) n in
-        let events, inboxes =
-          Network.exchange ~pool ~plan ~first_round:(r = 1) ~inst ~nodes
-            ~streams
+        let active = r <= plan.Fault.horizon in
+        let streams = Rng.split round_streams.(r - 1) (n + 1) in
+        (* 1. Recovery: respond to the previous round's detection on
+           the topology as committed at the start of this round. *)
+        let recover_events =
+          if recover && !need_recovery && !fault_events_total > !attempted_at
+          then begin
+            attempted_at := !fault_events_total;
+            need_recovery := false;
+            let g = commit_current () in
+            let inst_now =
+              Instance.make ~labels:inst.Instance.labels
+                ~ids:inst.Instance.ids ~id_bits:inst.Instance.id_bits g
+            in
+            let old = Array.map (fun nd -> nd.Node.cert) nodes in
+            let seeds = List.sort_uniq Int.compare !pending_dirty in
+            match Recert.recertify scheme inst_now ~dirty:seeds ~old with
+            | Some o ->
+                pending_dirty := [];
+                let adopters =
+                  List.filter
+                    (fun v -> nodes.(v).Node.status = Node.Alive)
+                    o.Recert.changed
+                in
+                List.iter
+                  (fun v -> nodes.(v).Node.cert <- o.Recert.certs.(v))
+                  adopters;
+                adopted.(r - 1) <- adopters;
+                if Tracer.is_enabled () && adopters <> [] then
+                  Tracer.instant
+                    ~args:
+                      [
+                        ("round", r);
+                        ("adopted", List.length adopters);
+                        ("scoped", Bool.to_int o.Recert.scoped);
+                      ]
+                    "runtime.recovery";
+                List.map (fun v -> Trace.Recover { vertex = v }) adopters
+            | None ->
+                (* no-instance: nothing to adopt, and pointless to
+                   retry until the topology changes again *)
+                []
+          end
+          else begin
+            need_recovery := false;
+            []
+          end
         in
+        (* 2. Topology edits: the deterministic schedule, then random
+           churn, drawn sequentially from the round's dedicated
+           topology stream (jobs-invariant by construction). *)
+        let topo_events = ref [] in
+        let apply_edit ~add u v =
+          let changed =
+            if add then Graph.Delta.add_edge delta u v
+            else Graph.Delta.remove_edge delta u v
+          in
+          if changed then begin
+            incr edit_ops;
+            let lo = min u v and hi = max u v in
+            pending_dirty := lo :: hi :: !pending_dirty;
+            topo_events :=
+              (if add then Trace.Edge_added { u = lo; v = hi }
+               else Trace.Edge_removed { u = lo; v = hi })
+              :: !topo_events
+          end
+        in
+        List.iter
+          (fun (e : Fault.edit) ->
+            if e.round = r then apply_edit ~add:e.add e.u e.v)
+          plan.Fault.edits;
+        if active && (plan.Fault.deledge > 0. || plan.Fault.addedge > 0.)
+        then begin
+          let tstream = streams.(n) in
+          for v = 0 to n - 1 do
+            if
+              plan.Fault.deledge > 0.
+              && Rng.float tstream 1.0 < plan.Fault.deledge
+            then begin
+              let d = Graph.Delta.degree delta v in
+              if d > 0 then begin
+                let target = Rng.int tstream d in
+                let w = ref (-1) in
+                let i = ref 0 in
+                Graph.Delta.iter_neighbors delta v (fun x ->
+                    if !i = target then w := x;
+                    incr i);
+                apply_edit ~add:false v !w
+              end
+            end;
+            if
+              plan.Fault.addedge > 0. && n > 1
+              && Rng.float tstream 1.0 < plan.Fault.addedge
+            then begin
+              (* bounded retries: near-clique vertices may fail to
+                 find a non-neighbor, and that is fine *)
+              let rec attempt k =
+                if k > 0 then begin
+                  let w = Rng.int tstream (n - 1) in
+                  let w = if w >= v then w + 1 else w in
+                  if Graph.Delta.mem_edge delta v w then attempt (k - 1)
+                  else apply_edit ~add:true v w
+                end
+              in
+              attempt 8
+            end
+          done
+        end;
+        let pre_events = recover_events @ List.rev !topo_events in
+        (* 3. Exchange on the current overlay; 4. verify. *)
+        let net_events, inboxes =
+          Network.exchange ~pool ~plan ~first_round:(r = 1) ~active
+            ~graph:delta ~nodes ~streams
+        in
+        let events = pre_events @ net_events in
         let verdicts, round_checked, round_reverified =
           match cache with
           | Some cache ->
-              verify_round_incremental ~pool ~inst ~nodes ~inboxes ~cache
-                ~first_round:(r = 1) ~events check
+              verify_round_incremental ~pool ~inst ~graph:delta ~nodes
+                ~inboxes ~cache ~first_round:(r = 1) ~events check
           | None ->
               let verdicts = verify_round ~pool ~inst ~nodes ~inboxes check in
               let alive = List.map fst verdicts in
@@ -200,6 +366,7 @@ let execute ?pool ?jobs ?(plan = Fault.none) ?(rounds = 1) ?(seed = 0)
               | _, Scheme.Accept -> None)
             verdicts
         in
+        let verdicts_rendered = List.length verdicts in
         let verdict_events =
           List.map
             (fun (v, verdict) ->
@@ -223,13 +390,20 @@ let execute ?pool ?jobs ?(plan = Fault.none) ?(rounds = 1) ?(seed = 0)
               | _ -> acc)
             0 events
         in
+        let round_faults =
+          List.length (List.filter (fun e -> fault_counter e <> None) events)
+        in
+        fault_events_total := !fault_events_total + round_faults;
+        if rejections <> [] then begin
+          need_recovery := true;
+          List.iter
+            (fun (v, _) -> pending_dirty := v :: !pending_dirty)
+            rejections
+        end;
         record_round ~wire_bits ~events ~rejections
           ~reverified:(List.length round_reverified)
-          ~cached:(List.length verdicts - List.length round_reverified);
+          ~cached:(verdicts_rendered - List.length round_reverified);
         if Tracer.is_enabled () then begin
-          let faults =
-            List.length (List.filter (fun e -> fault_counter e <> None) events)
-          in
           Tracer.instant
             ~args:
               [
@@ -238,8 +412,9 @@ let execute ?pool ?jobs ?(plan = Fault.none) ?(rounds = 1) ?(seed = 0)
                 ("rejections", List.length rejections);
               ]
             "runtime.round";
-          if faults > 0 then
-            Tracer.instant ~args:[ ("round", r); ("count", faults) ]
+          if round_faults > 0 then
+            Tracer.instant
+              ~args:[ ("round", r); ("count", round_faults) ]
               "runtime.fault"
         end;
         logs :=
@@ -248,18 +423,52 @@ let execute ?pool ?jobs ?(plan = Fault.none) ?(rounds = 1) ?(seed = 0)
             events = events @ verdict_events;
             wire_bits;
             rejections;
+            verdicts_rendered;
           }
           :: !logs;
-        outcomes := { Scheme.accepted = rejections = []; rejections; max_bits } :: !outcomes
+        (* Vacuous acceptance is not acceptance: a round in which no
+           vertex rendered a verdict (everyone crashed or Byzantine)
+           did not certify anything. *)
+        outcomes :=
+          {
+            Scheme.accepted = rejections = [] && verdicts_rendered > 0;
+            rejections;
+            max_bits;
+          }
+          :: !outcomes
       done;
       let per_round = Array.of_list (List.rev !outcomes) in
+      let round_logs = List.rev !logs in
+      (* Detection is an explicit rejecting verdict — a zero-verdict
+         round is neither acceptance nor detection. *)
       let detected_at =
         let found = ref None in
         Array.iteri
           (fun i (o : Scheme.outcome) ->
-            if !found = None && not o.Scheme.accepted then found := Some (i + 1))
+            if !found = None && o.Scheme.rejections <> [] then
+              found := Some (i + 1))
           per_round;
         !found
+      in
+      let quiesced_at =
+        let last_fault =
+          List.fold_left
+            (fun acc (log : Trace.round_log) ->
+              if List.exists Trace.is_fault log.Trace.events then
+                Some log.Trace.round
+              else acc)
+            None round_logs
+        in
+        let lo = match last_fault with None -> 1 | Some l -> l + 1 in
+        let first_stable = ref (rounds + 1) in
+        (try
+           for i = rounds - 1 downto 0 do
+             if per_round.(i).Scheme.accepted then first_stable := i + 1
+             else raise Exit
+           done
+         with Exit -> ());
+        let q = max lo !first_stable in
+        if q <= rounds then Some q else None
       in
       let trace =
         {
@@ -267,7 +476,7 @@ let execute ?pool ?jobs ?(plan = Fault.none) ?(rounds = 1) ?(seed = 0)
           n;
           seed;
           plan = Fault.to_string plan;
-          rounds = List.rev !logs;
+          rounds = round_logs;
         }
       in
       record_trace trace;
@@ -275,14 +484,23 @@ let execute ?pool ?jobs ?(plan = Fault.none) ?(rounds = 1) ?(seed = 0)
       | Some r when Tracer.is_enabled () ->
           Tracer.instant ~args:[ ("round", r) ] "runtime.detected"
       | _ -> ());
+      (match quiesced_at with
+      | Some r when Tracer.is_enabled () ->
+          Tracer.instant ~args:[ ("round", r) ] "runtime.quiesced"
+      | _ -> ());
       Logger.debug
         ~fields:
           [
             ("scheme", scheme.Scheme.name);
             ("rounds", string_of_int rounds);
             ("incremental", string_of_bool incremental);
+            ("recover", string_of_bool recover);
             ( "detected_at",
               match detected_at with
+              | None -> "never"
+              | Some r -> string_of_int r );
+            ( "quiesced_at",
+              match quiesced_at with
               | None -> "never"
               | Some r -> string_of_int r );
           ]
@@ -291,7 +509,11 @@ let execute ?pool ?jobs ?(plan = Fault.none) ?(rounds = 1) ?(seed = 0)
         outcome = per_round.(rounds - 1);
         per_round;
         detected_at;
+        quiesced_at;
         trace;
         checked;
         reverified;
+        adopted;
+        final_graph = commit_current ();
+        final_certs = Array.map (fun nd -> nd.Node.cert) nodes;
       })

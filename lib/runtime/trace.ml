@@ -6,6 +6,9 @@ type event =
   | Drop of { src : int; dst : int }
   | Flip of { src : int; dst : int; bit : int }
   | Forge of { src : int; dst : int; bits : int }
+  | Edge_added of { u : int; v : int }
+  | Edge_removed of { u : int; v : int }
+  | Recover of { vertex : int }
   | Verdict of { vertex : int; accepted : bool; reason : string }
 
 type round_log = {
@@ -13,6 +16,7 @@ type round_log = {
   events : event list;
   wire_bits : int;
   rejections : (int * string) list;
+  verdicts_rendered : int;
 }
 
 type t = {
@@ -36,11 +40,17 @@ type metrics = {
   byzantine : int;
   wire_bits : int;
   rejecting_verdicts : int;
+  edges_added : int;
+  edges_removed : int;
+  certs_recovered : int;
+  last_fault : int option;
 }
 
 let is_fault = function
-  | Corrupt _ | Drop _ | Flip _ | Forge _ | Crash _ | Went_byzantine _ -> true
-  | Send _ | Verdict _ -> false
+  | Corrupt _ | Drop _ | Flip _ | Forge _ | Crash _ | Went_byzantine _
+  | Edge_added _ | Edge_removed _ ->
+      true
+  | Send _ | Verdict _ | Recover _ -> false
 
 (* Which radius-1 views a fault event can change — the soundness basis
    of the runtime's incremental dirty set (DESIGN §5.4).  Vertex-state
@@ -50,12 +60,15 @@ let is_fault = function
 type scope =
   | Self_and_neighbors of int
   | Inbox of int
+  | Endpoints of int * int
   | Pure
 
 let scope = function
-  | Crash { vertex } | Went_byzantine { vertex } | Corrupt { vertex } ->
+  | Crash { vertex } | Went_byzantine { vertex } | Corrupt { vertex }
+  | Recover { vertex } ->
       Self_and_neighbors vertex
   | Drop { dst; _ } | Flip { dst; _ } | Forge { dst; _ } -> Inbox dst
+  | Edge_added { u; v } | Edge_removed { u; v } -> Endpoints (u, v)
   | Send _ | Verdict _ -> Pure
 
 (* Transient faults perturb one round's messages and revert on their
@@ -67,7 +80,9 @@ let scope = function
    re-broadcast it unchanged. *)
 let is_transient = function
   | Drop _ | Flip _ | Forge _ -> true
-  | Crash _ | Went_byzantine _ | Corrupt _ | Send _ | Verdict _ -> false
+  | Crash _ | Went_byzantine _ | Corrupt _ | Edge_added _ | Edge_removed _
+  | Recover _ | Send _ | Verdict _ ->
+      false
 
 let metrics (t : t) =
   let m =
@@ -85,6 +100,10 @@ let metrics (t : t) =
         byzantine = 0;
         wire_bits = 0;
         rejecting_verdicts = 0;
+        edges_added = 0;
+        edges_removed = 0;
+        certs_recovered = 0;
+        last_fault = None;
       }
   in
   List.iter
@@ -96,8 +115,14 @@ let metrics (t : t) =
         else acc
       in
       let acc =
-        if acc.first_corruption = None && List.exists is_fault r.events then
-          { acc with first_corruption = Some r.round }
+        if List.exists is_fault r.events then
+          {
+            acc with
+            first_corruption =
+              (if acc.first_corruption = None then Some r.round
+               else acc.first_corruption);
+            last_fault = Some r.round;
+          }
         else acc
       in
       m :=
@@ -117,6 +142,11 @@ let metrics (t : t) =
                 { acc with certs_corrupted = acc.certs_corrupted + 1 }
             | Crash _ -> { acc with crashed = acc.crashed + 1 }
             | Went_byzantine _ -> { acc with byzantine = acc.byzantine + 1 }
+            | Edge_added _ -> { acc with edges_added = acc.edges_added + 1 }
+            | Edge_removed _ ->
+                { acc with edges_removed = acc.edges_removed + 1 }
+            | Recover _ ->
+                { acc with certs_recovered = acc.certs_recovered + 1 }
             | Verdict { accepted = false; _ } ->
                 { acc with rejecting_verdicts = acc.rejecting_verdicts + 1 }
             | Verdict _ -> acc)
@@ -175,6 +205,12 @@ let event_json b = function
   | Forge { src; dst; bits } ->
       Printf.bprintf b {|{"type":"forge","src":%d,"dst":%d,"bits":%d}|} src
         dst bits
+  | Edge_added { u; v } ->
+      Printf.bprintf b {|{"type":"edge_add","u":%d,"v":%d}|} u v
+  | Edge_removed { u; v } ->
+      Printf.bprintf b {|{"type":"edge_del","u":%d,"v":%d}|} u v
+  | Recover { vertex } ->
+      Printf.bprintf b {|{"type":"recover","vertex":%d}|} vertex
   | Verdict { vertex; accepted; reason } ->
       Printf.bprintf b {|{"type":"verdict","vertex":%d,"accepted":%b|} vertex
         accepted;
@@ -196,8 +232,8 @@ let sep_iter b f = function
         rest
 
 let round_json b r =
-  Printf.bprintf b {|{"round":%d,"wire_bits":%d,"rejections":[|} r.round
-    r.wire_bits;
+  Printf.bprintf b {|{"round":%d,"wire_bits":%d,"verdicts_rendered":%d,"rejections":[|}
+    r.round r.wire_bits r.verdicts_rendered;
   sep_iter b
     (fun b (v, reason) ->
       Printf.bprintf b {|{"vertex":%d,"reason":"|} v;
@@ -229,9 +265,13 @@ let pp_summary ppf t =
   List.iter
     (fun r ->
       let count f = List.length (List.filter f r.events) in
+      let edge_edits =
+        count (function Edge_added _ | Edge_removed _ -> true | _ -> false)
+      in
+      let recovered = count (function Recover _ -> true | _ -> false) in
       Format.fprintf ppf
         "round %2d: %4d sent (%d bits), %d dropped, %d flipped, %d forged, %d \
-         corrupted, %d crashed; %d rejecting@."
+         corrupted, %d crashed; %d verdicts, %d rejecting"
         r.round
         (count (function Send _ -> true | _ -> false))
         r.wire_bits
@@ -240,7 +280,13 @@ let pp_summary ppf t =
         (count (function Forge _ -> true | _ -> false))
         (count (function Corrupt _ -> true | _ -> false))
         (count (function Crash _ -> true | _ -> false))
-        (List.length r.rejections))
+        r.verdicts_rendered
+        (List.length r.rejections);
+      if edge_edits > 0 then
+        Format.fprintf ppf "; %d edge edit%s" edge_edits
+          (if edge_edits = 1 then "" else "s");
+      if recovered > 0 then Format.fprintf ppf "; %d recovered" recovered;
+      Format.fprintf ppf "@.")
     t.rounds;
   let m = metrics t in
   (match (m.detected_at, m.first_corruption) with
@@ -265,6 +311,7 @@ let pp_summary ppf t =
   | None, None -> Format.fprintf ppf "detection: nothing to detect@.");
   Format.fprintf ppf
     "totals: %d rounds, %d bits on the wire, %d corrupted certs, %d crashed, \
-     %d byzantine, %d rejecting verdicts@."
-    m.rounds m.wire_bits m.certs_corrupted m.crashed m.byzantine
-    m.rejecting_verdicts
+     %d byzantine, %d edges added, %d edges removed, %d recovered certs, %d \
+     rejecting verdicts@."
+    m.rounds m.wire_bits m.certs_corrupted m.crashed m.byzantine m.edges_added
+    m.edges_removed m.certs_recovered m.rejecting_verdicts

@@ -23,6 +23,13 @@ type event =
       (** delivered with bit [bit] inverted *)
   | Forge of { src : int; dst : int; bits : int }
       (** Byzantine sender, arbitrary payload delivered *)
+  | Edge_added of { u : int; v : int }
+      (** topology churn: edge [u–v] ([u < v]) appeared this round *)
+  | Edge_removed of { u : int; v : int }
+      (** topology churn: edge [u–v] ([u < v]) vanished this round *)
+  | Recover of { vertex : int }
+      (** self-healing: the vertex re-adopted a freshly proved
+          certificate (not a fault) *)
   | Verdict of { vertex : int; accepted : bool; reason : string }
       (** verifier output ([reason] is [""] on acceptance) *)
 
@@ -31,6 +38,11 @@ type round_log = {
   events : event list;  (** canonical order, see above *)
   wire_bits : int;  (** delivered payload bits this round *)
   rejections : (int * string) list;  (** rejecting vertices, ascending *)
+  verdicts_rendered : int;
+      (** how many alive honest vertices actually rendered a verdict —
+          [0] means the round's acceptance was vacuously undecidable
+          (every vertex crashed or Byzantine), which {!Runtime} treats
+          as {e not} accepted *)
 }
 
 type t = {
@@ -45,7 +57,8 @@ type metrics = {
   rounds : int;
   detected_at : int option;  (** first round with a rejection, 1-based *)
   first_corruption : int option;
-      (** first round with any fault event (corrupt/flip/drop/forge/crash) *)
+      (** first round with any fault event
+          (corrupt/flip/drop/forge/crash/edge edit) *)
   messages_sent : int;  (** delivered, honest *)
   messages_dropped : int;
   messages_flipped : int;
@@ -55,21 +68,38 @@ type metrics = {
   byzantine : int;
   wire_bits : int;  (** delivered payload bits over all rounds *)
   rejecting_verdicts : int;
+  edges_added : int;  (** topology churn: edges that appeared *)
+  edges_removed : int;  (** topology churn: edges that vanished *)
+  certs_recovered : int;  (** certificates re-adopted by self-healing *)
+  last_fault : int option;
+      (** last round with any fault event (edits included, recoveries
+          not) — the baseline for rounds-to-quiescence *)
 }
 
 (** Which radius-1 views an event can change (see DESIGN §5.4): a
     vertex-state fault (crash, Byzantine conversion, corruption)
     changes the vertex's own view and every neighbor's inbox; a wire
     fault (drop, flip, forge) changes exactly the receiving vertex's
-    inbox; honest sends and verdicts change nothing.  The runtime's
-    incremental dirty set is the union of these scopes, closed over
-    neighborhoods for the vertex-state case. *)
+    inbox; a topology edit changes both endpoints' degrees and
+    broadcast targets, hence both endpoints' closed neighborhoods (in
+    the post-edit topology); a recovery changes the vertex's stored
+    certificate exactly like a corruption does; honest sends and
+    verdicts change nothing.  The runtime's incremental dirty set is
+    the union of these scopes, closed over neighborhoods for the
+    vertex-state and endpoint cases. *)
 type scope =
   | Self_and_neighbors of int
   | Inbox of int
+  | Endpoints of int * int
   | Pure
 
 val scope : event -> scope
+
+val is_fault : event -> bool
+(** Whether the event perturbs the execution: state faults, wire
+    faults and topology edits are faults; honest sends, verdicts and
+    recoveries are not.  The last round containing one is the baseline
+    for rounds-to-quiescence. *)
 
 val is_transient : event -> bool
 (** [true] for the wire faults (drop, flip, forge) whose effect on a

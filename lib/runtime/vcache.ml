@@ -47,11 +47,22 @@ let create n =
     dirty = Array.make n false;
   }
 
+(* Closed neighborhoods are taken in the graph as it stands {e after}
+   the round's edits — for a topology event both endpoints' current
+   neighbors see a different inbox (a new sender appeared or an old
+   one fell silent), and the endpoints themselves broadcast to a
+   different set.  The just-removed counterparty is its own event's
+   endpoint, so it is marked even though it is no longer a neighbor. *)
 let mark_scope graph dirty = function
   | Trace.Self_and_neighbors v ->
       dirty.(v) <- true;
-      Graph.iter_neighbors graph v (fun w -> dirty.(w) <- true)
+      Graph.Delta.iter_neighbors graph v (fun w -> dirty.(w) <- true)
   | Trace.Inbox v -> dirty.(v) <- true
+  | Trace.Endpoints (u, v) ->
+      dirty.(u) <- true;
+      Graph.Delta.iter_neighbors graph u (fun w -> dirty.(w) <- true);
+      dirty.(v) <- true;
+      Graph.Delta.iter_neighbors graph v (fun w -> dirty.(w) <- true)
   | Trace.Pure -> ()
 
 (* The round's candidate list, ascending.  Sequential by design: it

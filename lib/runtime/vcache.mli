@@ -11,7 +11,8 @@
 
     where the closure follows {!Trace.scope} (vertex-state faults
     dirty the vertex and its neighbors, wire faults dirty the
-    receiving inbox) and the carry holds the scopes of the previous
+    receiving inbox, topology edits dirty both endpoints' closed
+    neighborhoods in the post-edit overlay) and the carry holds the scopes of the previous
     round's transient events plus every vertex whose {!View_key}
     changed.  Vertices outside the candidate set provably have the
     same view as when their cached verdict was computed, so the
@@ -29,7 +30,8 @@ val create : int -> t
 (** A cold cache for [n] vertices: round 1 makes every vertex a
     candidate and populates the cache. *)
 
-val candidates : t -> graph:Graph.t -> first_round:bool -> Trace.event list -> int list
+val candidates :
+  t -> graph:Graph.Delta.t -> first_round:bool -> Trace.event list -> int list
 (** The vertices whose view may have changed this round, ascending.
     With [~first_round:true] that is every vertex (nothing is cached
     yet).  Also resets the per-round change flags; call exactly once
@@ -52,6 +54,6 @@ val verdict : t -> int -> Scheme.verdict option
 (** The verdict of [v]'s current view: fresh or cached.  [Some] for
     every vertex that was alive at its last candidacy. *)
 
-val update_carry : t -> graph:Graph.t -> Trace.event list -> unit
+val update_carry : t -> graph:Graph.Delta.t -> Trace.event list -> unit
 (** Compute the carry for the next round from this round's events and
     change flags.  Call exactly once per round, after the fan-out. *)

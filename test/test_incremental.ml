@@ -123,6 +123,16 @@ let qcheck_checked_contains_closure =
                     (fun w -> Hashtbl.replace closure w ())
                     (Graph.neighbors graph v)
               | Trace.Inbox v -> Hashtbl.replace closure v ()
+              | Trace.Endpoints (u, v) ->
+                  (* stress_plan has no churn, so the static graph is
+                     the post-edit topology *)
+                  List.iter
+                    (fun x ->
+                      Hashtbl.replace closure x ();
+                      Array.iter
+                        (fun w -> Hashtbl.replace closure w ())
+                        (Graph.neighbors graph x))
+                    [ u; v ]
               | Trace.Pure -> ())
             log.Trace.events;
           let checked = r.Runtime.checked.(log.Trace.round - 1) in

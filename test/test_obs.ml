@@ -505,6 +505,7 @@ let fault_free_trace () =
         ];
       wire_bits = 8;
       rejections = [];
+      verdicts_rendered = 2;
     }
   in
   let t =
@@ -526,6 +527,7 @@ let rejection_before_fault () =
       events = [ Trace.Verdict { vertex = 0; accepted = false; reason = "bad" } ];
       wire_bits = 0;
       rejections = [ (0, "bad") ];
+      verdicts_rendered = 1;
     }
   in
   let r2 =
@@ -534,6 +536,7 @@ let rejection_before_fault () =
       events = [ Trace.Corrupt { vertex = 1 } ];
       wire_bits = 0;
       rejections = [ (0, "bad") ];
+      verdicts_rendered = 1;
     }
   in
   let t =
@@ -564,6 +567,7 @@ let rejection_before_fault () =
               ];
             wire_bits = 0;
             rejections = [ (1, "x") ];
+            verdicts_rendered = 1;
           };
         ];
     }

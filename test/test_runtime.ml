@@ -167,6 +167,53 @@ let test_raising_verifier_contained () =
     r.Runtime.outcome.Scheme.rejections
 
 (* ------------------------------------------------------------------ *)
+(* Plan validation (bugfix regression)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Out-of-range vertex ids in a plan used to be silent no-ops: the
+   crash never happened and the run looked healthy.  They must be
+   rejected loudly now. *)
+let test_out_of_range_plan_rejected () =
+  let inst = Instance.make (Gen.path 4) in
+  let scheme = Spanning_tree.scheme () in
+  let certs = Option.get (scheme.Scheme.prover inst) in
+  let raises plan =
+    match Runtime.execute ~pool:pool1 ~plan scheme inst certs with
+    | (_ : Runtime.result) -> false
+    | exception Invalid_argument _ -> true
+  in
+  check "crashed:99 rejected" true (raises (Fault.crash_vertices [ 99 ]));
+  check "edit endpoint 99 rejected" true
+    (raises (Fault.edit ~round:1 ~add:true 0 99));
+  check "in-range crash list accepted" false
+    (raises (Fault.crash_vertices [ 3 ]))
+
+(* Vacuous acceptance (bugfix regression): a round in which every
+   vertex crashed renders zero verdicts.  That round must not read as
+   accepted — a dead network certifies nothing — and it is not a
+   detection either, so the execution neither accepts nor quiesces. *)
+let test_all_crashed_round_not_accepted () =
+  let inst = Instance.make (Gen.path 3) in
+  let scheme = Spanning_tree.scheme () in
+  let certs = Option.get (scheme.Scheme.prover inst) in
+  let r =
+    Runtime.execute ~pool:pool1
+      ~plan:(Fault.crash_vertices [ 0; 1; 2 ])
+      ~rounds:3 scheme inst certs
+  in
+  check "not accepted" false r.Runtime.outcome.Scheme.accepted;
+  check "not a detection" true (r.Runtime.detected_at = None);
+  check "never quiesces" true (r.Runtime.quiesced_at = None);
+  List.iter
+    (fun (log : Trace.round_log) ->
+      check_int "zero verdicts rendered" 0 log.Trace.verdicts_rendered;
+      check "no rejections" true (log.Trace.rejections = []))
+    r.Runtime.trace.Trace.rounds;
+  Array.iter
+    (fun (o : Scheme.outcome) -> check "per-round not accepted" false o.Scheme.accepted)
+    r.Runtime.per_round
+
+(* ------------------------------------------------------------------ *)
 (* Fault plan parsing                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -204,6 +251,44 @@ let test_union () =
   check "crash list kept" true (u.Fault.crashed = [ 2 ]);
   check "union of none is none" true
     (Fault.is_none (Fault.union Fault.none Fault.none))
+
+(* [to_string] renders the canonical name re-derived from the fields,
+   so parsing it back must reproduce the plan exactly — including
+   plans assembled by unioning many kinds, where the old name-keeping
+   logic used to drop everything but the first component. *)
+let qcheck_spec_round_trip =
+  QCheck.Test.make
+    ~name:"of_spec (to_string p) = Ok p on random union-built plans"
+    ~count:300 seed_arbitrary (fun seed ->
+      let rng = Rng.make seed in
+      let components =
+        [|
+          (fun () -> Fault.drops (Rng.float rng 1.0));
+          (fun () -> Fault.flips (Rng.float rng 1.0));
+          (fun () -> Fault.corruption (Rng.float rng 1.0));
+          (fun () -> Fault.crashes (Rng.float rng 1.0));
+          (fun () ->
+            Fault.crash_vertices
+              (List.init (1 + Rng.int rng 4) (fun _ -> Rng.int rng 50)));
+          (fun () ->
+            Fault.byzantine ~bits:(Rng.int rng 32) (Rng.float rng 1.0));
+          (fun () -> Fault.edge_additions (Rng.float rng 1.0));
+          (fun () -> Fault.edge_deletions (Rng.float rng 1.0));
+          (fun () ->
+            let u = Rng.int rng 20 in
+            let v = u + 1 + Rng.int rng 20 in
+            Fault.edit ~round:(1 + Rng.int rng 6) ~add:(Rng.bool rng) u v);
+          (fun () -> Fault.until (Rng.int rng 6));
+        |]
+      in
+      let p = ref Fault.none in
+      for _ = 1 to Rng.int rng 7 do
+        let make = components.(Rng.int rng (Array.length components)) in
+        p := Fault.union !p (make ())
+      done;
+      match Fault.of_spec (Fault.to_string !p) with
+      | Ok q -> q = !p
+      | Error _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* Attack near-miss surfacing (satellite)                               *)
@@ -257,8 +342,13 @@ let suite =
           test_all_neighbors_crashed;
         Alcotest.test_case "raising verifier becomes a rejection" `Quick
           test_raising_verifier_contained;
+        Alcotest.test_case "out-of-range plan ids rejected loudly" `Quick
+          test_out_of_range_plan_rejected;
+        Alcotest.test_case "all-crashed round is not accepted" `Quick
+          test_all_crashed_round_not_accepted;
         Alcotest.test_case "Fault.of_spec" `Quick test_of_spec;
         Alcotest.test_case "Fault.union" `Quick test_union;
+        QCheck_alcotest.to_alcotest qcheck_spec_round_trip;
         Alcotest.test_case "attack near-miss on a no-instance" `Quick
           test_near_miss_on_no_instance;
         Alcotest.test_case "attack near-miss absent on instant fooling" `Quick
